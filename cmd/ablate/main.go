@@ -1,0 +1,57 @@
+// Command ablate runs the ablation studies that probe the paper's fixed
+// design choices: the coarse vector's region size, the pointer budget of
+// the limited schemes, and the §7 queued-lock grant behaviour under a
+// hot-spot lock.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dircoh/internal/exp"
+	"dircoh/internal/sim"
+)
+
+func main() {
+	var (
+		app    = flag.String("app", "LocusRoute", "application for the sweeps")
+		procs  = flag.Int("procs", exp.Procs, "processors")
+		rounds = flag.Int("rounds", 8, "lock acquisitions per processor in the contention study")
+	)
+	flag.Parse()
+
+	fmt.Printf("Region-size sweep (Dir3CV_r on %s):\n\n", *app)
+	_, tb := exp.RegionSweep(*app, *procs)
+	fmt.Println(tb)
+
+	fmt.Printf("Pointer-count sweep (on %s):\n\n", *app)
+	_, tb = exp.PointerSweep(*app, *procs)
+	fmt.Println(tb)
+
+	fmt.Printf("Directory organizations (§7 alternatives, on %s):\n\n", *app)
+	_, tb = exp.DirectoryComparison(*app, *procs)
+	fmt.Println(tb)
+
+	fmt.Printf("Queued-lock contention (%d procs x %d acquisitions of one lock):\n\n", *procs, *rounds)
+	_, tb = exp.LockContention(*procs, *rounds)
+	fmt.Println(tb)
+
+	fmt.Println("Directory occupancy (§4.2 motivation — full directories are nearly empty):")
+	fmt.Println()
+	_, tb = exp.OccupancyStudy(*procs)
+	fmt.Println(tb)
+
+	fmt.Printf("Network ejection-port contention (on %s):\n\n", *app)
+	_, tb = exp.NetworkContention(*app, *procs, []sim.Time{0, 4, 8})
+	fmt.Println(tb)
+
+	fmt.Println("Block-size tradeoff (§3.1, on MP3D):")
+	fmt.Println()
+	_, tb = exp.BlockSizeStudy("MP3D", *procs, []int{16, 32, 64})
+	fmt.Println(tb)
+
+	fmt.Println("Barrier implementations under repeated global synchronization:")
+	fmt.Println()
+	_, tb = exp.BarrierStudy(*procs, 8, []sim.Time{0, 8})
+	fmt.Println(tb)
+}

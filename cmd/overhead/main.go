@@ -1,0 +1,47 @@
+// Command overhead regenerates Table 1 (sample machine configurations and
+// their directory memory overhead) and the §5 sparse-directory storage
+// savings example.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dircoh/internal/analytic"
+	"dircoh/internal/core"
+)
+
+func main() {
+	var (
+		custom   = flag.Bool("custom", false, "also print a custom configuration")
+		procs    = flag.Int("procs", 256, "custom: total processors")
+		ppc      = flag.Int("ppc", 4, "custom: processors per cluster")
+		sparsity = flag.Int("sparsity", 4, "custom: memory blocks per directory entry")
+	)
+	flag.Parse()
+
+	fmt.Println("Table 1: sample machine configurations (16 MB memory + 256 KB cache per processor)")
+	fmt.Println(analytic.Table1())
+
+	ex := analytic.SparseSavingsExample()
+	fmt.Printf("Sparse savings example (§5): full bit vector, 32 clusters, sparsity 64:\n")
+	fmt.Printf("  %d state bits + %d tag bits per entry, one entry per 64 blocks\n", ex.StateBits, ex.TagBits)
+	fmt.Printf("  storage savings factor vs non-sparse: %.1f\n", ex.Savings)
+
+	if *custom {
+		clusters := *procs / *ppc
+		cfg := analytic.OverheadConfig{
+			Procs:             *procs,
+			ProcsPerCluster:   *ppc,
+			MemBytesPerProc:   16 << 20,
+			CacheBytesPerProc: 256 << 10,
+			BlockBytes:        16,
+			Scheme:            core.NewFullVector(clusters),
+			Sparsity:          *sparsity,
+		}
+		r := analytic.Overhead(cfg)
+		fmt.Printf("\nCustom: %d procs, %d clusters, full vector, sparsity %d:\n", *procs, clusters, *sparsity)
+		fmt.Printf("  %d+%d bits/entry, %d entries/cluster, overhead %.2f%%, savings %.1fx\n",
+			r.StateBits, r.TagBits, r.Entries, r.OverheadPct, r.Savings)
+	}
+}

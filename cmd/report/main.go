@@ -1,0 +1,49 @@
+// Command report runs the whole evaluation and writes a self-contained
+// markdown report (figures, tables and ablations) to a file or stdout.
+//
+//	report -o REPORT.md            # everything (several minutes)
+//	report -sparse=false           # skip the slow sparse sweeps
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dircoh/internal/exp"
+)
+
+func main() {
+	var (
+		out       = flag.String("o", "", "output file (default stdout)")
+		procs     = flag.Int("procs", exp.Procs, "processors")
+		trials    = flag.Int("trials", 2000, "Monte-Carlo trials for Figure 2")
+		sparse    = flag.Bool("sparse", true, "include the sparse-directory sweeps (slow)")
+		ablations = flag.Bool("ablations", true, "include the ablation studies")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "report:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	start := time.Now()
+	opt := exp.ReportOptions{Procs: *procs, Trials: *trials, Sparse: *sparse, Ablations: *ablations}
+	if err := exp.WriteReport(w, opt); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "report:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "report generated in %s\n", time.Since(start).Round(time.Second))
+}

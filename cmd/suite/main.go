@@ -1,0 +1,96 @@
+// Command suite runs a JSON-specified list of experiments and prints a
+// comparison table. Example suite file:
+//
+//	{
+//	  "runs": [
+//	    {"app": "LocusRoute", "machine": {"scheme": {"kind": "full"}}},
+//	    {"app": "LocusRoute", "machine": {"scheme": {"kind": "cv"}}},
+//	    {"app": "LocusRoute", "machine": {"scheme": {"kind": "b"}}}
+//	  ]
+//	}
+//
+//	suite -f experiments.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dircoh/internal/apps"
+	"dircoh/internal/config"
+	"dircoh/internal/machine"
+	"dircoh/internal/stats"
+	"dircoh/internal/trace"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "suite:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		file    = flag.String("f", "", "suite JSON file (required)")
+		verbose = flag.Bool("v", false, "print per-run summaries")
+	)
+	flag.Parse()
+	if *file == "" {
+		fatal(fmt.Errorf("-f suite file required"))
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		fatal(err)
+	}
+	s, err := config.Load(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	tb := stats.NewTable("run", "scheme", "exec", "msgs", "requests", "replies", "inval+ack", "repl")
+	for _, run := range s.Runs {
+		cfg, err := run.Machine.Build()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", run.Name, err))
+		}
+		m, err := machine.New(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", run.Name, err))
+		}
+		var w = apps.ByName(run.App, cfg.Procs)
+		if w == nil {
+			// Fall back to a trace file path.
+			tf, err := os.Open(run.App)
+			if err != nil {
+				fatal(fmt.Errorf("%s: unknown app or trace %q", run.Name, run.App))
+			}
+			w, err = trace.Read(tf)
+			tf.Close()
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", run.Name, err))
+			}
+		}
+		r, err := m.Run(w)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", run.Name, err))
+		}
+		if err := m.CheckCoherence(); err != nil {
+			fatal(fmt.Errorf("%s: coherence: %w", run.Name, err))
+		}
+		if *verbose {
+			fmt.Printf("%s:\n%s\n", run.Name, r.Summary())
+		}
+		tb.AddRow(
+			run.Name,
+			r.Scheme,
+			fmt.Sprintf("%d", r.ExecTime),
+			fmt.Sprintf("%d", r.Msgs.Total()),
+			fmt.Sprintf("%d", r.Msgs[stats.Request]),
+			fmt.Sprintf("%d", r.Msgs[stats.Reply]),
+			fmt.Sprintf("%d", r.Msgs.InvalAck()),
+			fmt.Sprintf("%d", r.Replacements),
+		)
+	}
+	fmt.Println(tb)
+}

@@ -1,0 +1,77 @@
+// Command tracegen generates a reference trace for one of the paper's
+// applications and writes it in the binary trace format, or inspects an
+// existing trace — the paper's "Tango can be used to generate
+// multiprocessor reference traces" mode.
+//
+//	tracegen -app LU -procs 32 -o lu32.trace
+//	tracegen -info lu32.trace
+//
+// Replay a trace with:
+//
+//	dashsim -trace lu32.trace -scheme cv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dircoh/internal/apps"
+	"dircoh/internal/trace"
+)
+
+func main() {
+	var (
+		app   = flag.String("app", "LU", "application to trace")
+		procs = flag.Int("procs", 32, "processors")
+		out   = flag.String("o", "", "output trace file")
+		info  = flag.String("info", "", "print characteristics of an existing trace file")
+	)
+	flag.Parse()
+
+	if *info != "" {
+		f, err := os.Open(*info)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		wl, err := trace.Read(f)
+		if err != nil {
+			fatal(err)
+		}
+		c := wl.Characterize()
+		fmt.Printf("%s: %d processors\n", wl.Name, wl.Procs())
+		fmt.Printf("shared refs: %d (%d reads, %d writes), sync ops: %d, shared data: %.1f KB\n",
+			c.SharedRefs, c.SharedReads, c.SharedWrites, c.SyncOps, float64(c.SharedBytes)/1024)
+		return
+	}
+
+	if *out == "" {
+		fatal(fmt.Errorf("-o output file required (or use -info)"))
+	}
+	wl := apps.ByName(*app, *procs)
+	if wl == nil {
+		fatal(fmt.Errorf("unknown app %q", *app))
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := trace.Write(f, wl); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	st, _ := os.Stat(*out)
+	c := wl.Characterize()
+	fmt.Printf("wrote %s: %d refs from %d procs, %d bytes (%.2f bytes/ref)\n",
+		*out, c.SharedRefs+c.SyncOps, wl.Procs(), st.Size(),
+		float64(st.Size())/float64(c.SharedRefs+c.SyncOps))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Schemes: compare all five directory entry schemes — full bit vector,
+// coarse vector (the paper's contribution), limited pointers with
+// broadcast, limited pointers without broadcast, and the superset scheme —
+// on the LocusRoute workload, the paper's most scheme-sensitive
+// application (Figure 10).
+//
+//	go run ./examples/schemes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dircoh/internal/apps"
+	"dircoh/internal/core"
+	"dircoh/internal/machine"
+	"dircoh/internal/stats"
+)
+
+func main() {
+	schemes := []struct {
+		label string
+		f     machine.SchemeFactory
+	}{
+		{"Dir32 full vector", machine.FullVec},
+		{"Dir3CV2 coarse vector", machine.CoarseVec2},
+		{"Dir3B broadcast", machine.Broadcast},
+		{"Dir3NB no-broadcast", machine.NoBroadcast},
+		{"Dir2X superset", func(n int) core.Scheme { return core.NewSuperset(2, n) }},
+	}
+
+	tb := stats.NewTable("scheme", "exec(norm)", "msgs(norm)", "requests", "replies", "inval+ack", "avg invals/event")
+	var baseExec, baseMsgs float64
+	for i, s := range schemes {
+		m, err := machine.New(machine.DefaultConfig(s.f))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Each run needs a fresh workload: streams are consumed.
+		r, err := m.Run(apps.ByName("LocusRoute", 32))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			baseExec = float64(r.ExecTime)
+			baseMsgs = float64(r.Msgs.Total())
+		}
+		tb.AddRow(
+			s.label,
+			fmt.Sprintf("%.3f", float64(r.ExecTime)/baseExec),
+			fmt.Sprintf("%.3f", float64(r.Msgs.Total())/baseMsgs),
+			fmt.Sprintf("%d", r.Msgs[stats.Request]),
+			fmt.Sprintf("%d", r.Msgs[stats.Reply]),
+			fmt.Sprintf("%d", r.Msgs.InvalAck()),
+			fmt.Sprintf("%.2f", r.InvalHist.Mean()),
+		)
+	}
+	fmt.Println("LocusRoute, 32 processors, normalized to the full bit vector:")
+	fmt.Println()
+	fmt.Println(tb)
+	fmt.Println("Expected shape (paper §6.2): the broadcast scheme explodes in")
+	fmt.Println("invalidation traffic; the coarse vector stays within ~12% of the")
+	fmt.Println("full vector; no-broadcast sits between them on this workload.")
+}

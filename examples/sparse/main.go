@@ -1,0 +1,75 @@
+// Sparse: demonstrate the sparse directory (§4.2) on the DWF workload —
+// a directory cache holding a fraction of the blocks, with replacement
+// invalidations tracked by the Remote Access Cache. Sweeps the size
+// factor and shows the storage savings each point buys.
+//
+//	go run ./examples/sparse
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dircoh/internal/analytic"
+	"dircoh/internal/core"
+	"dircoh/internal/exp"
+	"dircoh/internal/machine"
+	"dircoh/internal/sparse"
+	"dircoh/internal/stats"
+)
+
+func main() {
+	const procs = 32
+	tb := stats.NewTable("directory", "exec(norm)", "msgs(norm)", "replacements", "RAC peak", "storage savings")
+
+	var baseExec, baseMsgs float64
+	for i, sf := range []int{0, 4, 2, 1} {
+		cfg := exp.SparseConfigFor("DWF", machine.FullVec, procs, sf, 4, sparse.LRU)
+		m, err := machine.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := m.Run(exp.SparseWorkload("DWF", procs))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.CheckCoherence(); err != nil {
+			log.Fatal("coherence: ", err)
+		}
+		label := "full map (one entry per block)"
+		savings := "1.0x"
+		if sf > 0 {
+			label = fmt.Sprintf("sparse, size factor %d", sf)
+			// Storage accounting from the analytic model: sparsity =
+			// memory blocks per directory entry at this size factor.
+			totalCacheBlocks := int64(procs) * int64(cfg.Cache.L2Size/cfg.Block)
+			memBlocks := int64(procs) * (16 << 20) / 16
+			sparsity := int(memBlocks / (totalCacheBlocks * int64(sf)))
+			oh := analytic.Overhead(analytic.OverheadConfig{
+				Procs: procs, ProcsPerCluster: 1,
+				MemBytesPerProc: 16 << 20, CacheBytesPerProc: 256 << 10,
+				BlockBytes: 16, Scheme: core.NewFullVector(procs),
+				Sparsity: sparsity,
+			})
+			savings = fmt.Sprintf("%.0fx", oh.Savings)
+		}
+		if i == 0 {
+			baseExec = float64(r.ExecTime)
+			baseMsgs = float64(r.Msgs.Total())
+		}
+		tb.AddRow(
+			label,
+			fmt.Sprintf("%.3f", float64(r.ExecTime)/baseExec),
+			fmt.Sprintf("%.3f", float64(r.Msgs.Total())/baseMsgs),
+			fmt.Sprintf("%d", r.Replacements),
+			fmt.Sprintf("%d", r.RACPeak),
+			savings,
+		)
+	}
+	fmt.Println("DWF, 32 processors, full bit vector, scaled caches (paper §6.3):")
+	fmt.Println()
+	fmt.Println(tb)
+	fmt.Println("Expected shape: one to two orders of magnitude of directory storage")
+	fmt.Println("saved for a few percent of extra traffic and almost no execution-time")
+	fmt.Println("cost — the paper's headline sparse-directory result.")
+}

@@ -1,0 +1,3 @@
+module dircoh
+
+go 1.22

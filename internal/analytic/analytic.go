@@ -1,0 +1,197 @@
+// Package analytic implements the paper's closed-form/Monte-Carlo models:
+// the average-invalidations-vs-sharers curves of Figure 2 and the
+// directory-memory-overhead arithmetic of Table 1 (and of the §5 sparse
+// savings example).
+package analytic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dircoh/internal/core"
+	"dircoh/internal/stats"
+)
+
+// InvalCurve estimates, for each sharer count s = 1..nodes-1, the average
+// number of invalidation messages a write to a block with s random sharers
+// produces under the given scheme (Figure 2's methodology: "for each
+// invalidation event, the sharers were randomly chosen and the number of
+// invalidations required was recorded").
+//
+// The writer is drawn from the non-sharers; the writer's own cluster and
+// the home cluster are excluded from the targets, as DASH excludes them
+// ("the home cluster and the new owning cluster do not require an
+// invalidation", §6.1).
+func InvalCurve(scheme core.Scheme, trials int, seed int64) []float64 {
+	n := scheme.Nodes()
+	if trials <= 0 {
+		panic("analytic: trials must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n) // out[s] = average invals with s sharers
+	perm := make([]int, n)
+	for s := 1; s < n; s++ {
+		var total uint64
+		for t := 0; t < trials; t++ {
+			// Random sharer set of size s plus a distinct writer.
+			for i := range perm {
+				perm[i] = i
+			}
+			rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			e := scheme.NewEntry()
+			for _, node := range perm[:s] {
+				e.AddSharer(node)
+			}
+			writer := perm[s]
+			home := rng.Intn(n)
+			targets := e.Sharers()
+			targets.Remove(writer)
+			if home != writer {
+				targets.Remove(home)
+			}
+			total += uint64(targets.Count())
+		}
+		out[s] = float64(total) / float64(trials)
+	}
+	return out
+}
+
+// Fig2Table renders Figure 2 (a: 32 nodes with Dir3CV2, b: 64 nodes with
+// Dir3CV4) as a table of average invalidations per sharer count.
+func Fig2Table(nodes, trials int, seed int64) *stats.Table {
+	region := 2
+	if nodes >= 64 {
+		region = 4
+	}
+	schemes := []core.Scheme{
+		core.NewLimitedBroadcast(3, nodes),
+		core.NewSuperset(3, nodes),
+		core.NewCoarseVector(3, region, nodes),
+		core.NewFullVector(nodes),
+	}
+	header := []string{"sharers"}
+	curves := make([][]float64, len(schemes))
+	for i, s := range schemes {
+		header = append(header, s.Name())
+		curves[i] = InvalCurve(s, trials, seed)
+	}
+	tb := stats.NewTable(header...)
+	for s := 1; s < nodes; s++ {
+		row := []string{fmt.Sprintf("%d", s)}
+		for _, c := range curves {
+			row = append(row, fmt.Sprintf("%.2f", c[s]))
+		}
+		tb.AddRow(row...)
+	}
+	return tb
+}
+
+// OverheadConfig describes one machine row of Table 1.
+type OverheadConfig struct {
+	Procs             int
+	ProcsPerCluster   int
+	MemBytesPerProc   int64
+	CacheBytesPerProc int64
+	BlockBytes        int
+	Scheme            core.Scheme // sized for Clusters() nodes
+	Sparsity          int         // main-memory blocks per directory entry (0 or 1 = full directory)
+}
+
+// Clusters returns the cluster count of the configuration.
+func (c *OverheadConfig) Clusters() int { return c.Procs / c.ProcsPerCluster }
+
+// OverheadResult is the computed storage accounting.
+type OverheadResult struct {
+	StateBits   int     // directory state bits per entry (incl. dirty)
+	TagBits     int     // sparse tag bits per entry (0 for full directories)
+	EntryBits   int     // total bits per entry
+	Entries     int64   // directory entries per cluster
+	OverheadPct float64 // directory bits as % of main-memory bits
+	Savings     float64 // storage ratio vs the same scheme non-sparse
+}
+
+func log2ceil(v int64) int {
+	b := 0
+	for x := v - 1; x > 0; x >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Overhead computes the Table 1 accounting for one configuration.
+func Overhead(cfg OverheadConfig) OverheadResult {
+	if cfg.Sparsity <= 0 {
+		cfg.Sparsity = 1
+	}
+	blocksPerCluster := cfg.MemBytesPerProc * int64(cfg.ProcsPerCluster) / int64(cfg.BlockBytes)
+	var r OverheadResult
+	r.StateBits = cfg.Scheme.BitsPerEntry()
+	if cfg.Sparsity > 1 {
+		r.TagBits = log2ceil(int64(cfg.Sparsity))
+	}
+	r.EntryBits = r.StateBits + r.TagBits
+	r.Entries = blocksPerCluster / int64(cfg.Sparsity)
+	memBits := blocksPerCluster * int64(cfg.BlockBytes) * 8
+	dirBits := r.Entries * int64(r.EntryBits)
+	r.OverheadPct = 100 * float64(dirBits) / float64(memBits)
+	nonSparseBits := blocksPerCluster * int64(r.StateBits)
+	r.Savings = float64(nonSparseBits) / float64(dirBits)
+	return r
+}
+
+// Table1 reproduces the paper's Table 1: sample machine configurations
+// with 16 MB of memory and 256 KB of cache per processor, 16-byte blocks
+// and ≈13% directory overhead throughout.
+func Table1() *stats.Table {
+	tb := stats.NewTable("clusters", "procs", "memory(MB)", "cache(MB)", "block(B)", "scheme", "sparsity", "overhead")
+	rows := []struct {
+		procs    int
+		scheme   func(clusters int) core.Scheme
+		sparsity int
+		label    string
+	}{
+		{64, func(n int) core.Scheme { return core.NewFullVector(n) }, 1, "Dir16"},
+		{256, func(n int) core.Scheme { return core.NewFullVector(n) }, 4, "sparse Dir64"},
+		{1024, func(n int) core.Scheme { return core.NewCoarseVector(8, 4, n) }, 4, "sparse Dir8CV4"},
+	}
+	for _, row := range rows {
+		cfg := OverheadConfig{
+			Procs:             row.procs,
+			ProcsPerCluster:   4,
+			MemBytesPerProc:   16 << 20,
+			CacheBytesPerProc: 256 << 10,
+			BlockBytes:        16,
+			Sparsity:          row.sparsity,
+		}
+		cfg.Scheme = row.scheme(cfg.Clusters())
+		r := Overhead(cfg)
+		tb.AddRow(
+			fmt.Sprintf("%d", cfg.Clusters()),
+			fmt.Sprintf("%d", row.procs),
+			fmt.Sprintf("%d", int64(row.procs)*16),
+			fmt.Sprintf("%.0f", float64(row.procs)*0.25),
+			"16",
+			row.label,
+			fmt.Sprintf("%d", row.sparsity),
+			fmt.Sprintf("%.1f%%", r.OverheadPct),
+		)
+	}
+	return tb
+}
+
+// SparseSavingsExample reproduces the §5 worked example: a full bit vector
+// directory for 32 clusters at sparsity 64 keeps 32+1 state bits plus a
+// 6-bit tag per entry, one entry per 64 blocks — a storage savings factor
+// of about 54 versus the non-sparse directory.
+func SparseSavingsExample() OverheadResult {
+	cfg := OverheadConfig{
+		Procs:             32,
+		ProcsPerCluster:   1,
+		MemBytesPerProc:   16 << 20,
+		CacheBytesPerProc: 256 << 10,
+		BlockBytes:        16,
+		Scheme:            core.NewFullVector(32),
+		Sparsity:          64,
+	}
+	return Overhead(cfg)
+}

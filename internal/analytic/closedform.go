@@ -1,0 +1,69 @@
+package analytic
+
+import "fmt"
+
+// This file gives closed-form counterparts to the Monte-Carlo model of
+// Figure 2: the expected size of the candidate sharer set ("invalidation
+// targets before writer/home exclusion") for s uniformly random distinct
+// sharers out of n nodes, under each representation. The property tests
+// cross-validate InvalCurve against these formulas.
+
+// ExpectedCandidatesFull returns E[|candidates|] for the full bit vector:
+// the representation is exact.
+func ExpectedCandidatesFull(n, s int) float64 {
+	checkNS(n, s)
+	return float64(s)
+}
+
+// ExpectedCandidatesBroadcast returns E[|candidates|] for Dir_iB: exact up
+// to i sharers, the whole machine afterwards.
+func ExpectedCandidatesBroadcast(ptrs, n, s int) float64 {
+	checkNS(n, s)
+	if s <= ptrs {
+		return float64(s)
+	}
+	return float64(n)
+}
+
+// ExpectedCandidatesCV returns E[|candidates|] for Dir_iCV_r. Past the
+// pointer capacity, each region of size r_j is covered iff at least one of
+// the s sharers falls into it:
+//
+//	E = Σ_j r_j · (1 − C(n−r_j, s)/C(n, s))
+func ExpectedCandidatesCV(ptrs, region, n, s int) float64 {
+	checkNS(n, s)
+	if region <= 0 {
+		panic("analytic: region must be positive")
+	}
+	if s <= ptrs {
+		return float64(s)
+	}
+	e := 0.0
+	for lo := 0; lo < n; lo += region {
+		size := region
+		if lo+size > n {
+			size = n - lo
+		}
+		e += float64(size) * (1 - hypergeomMissProb(n, s, size))
+	}
+	return e
+}
+
+// hypergeomMissProb returns C(n-k, s)/C(n, s): the probability that none
+// of s uniform distinct draws out of n lands in a fixed set of k elements.
+func hypergeomMissProb(n, s, k int) float64 {
+	if s > n-k {
+		return 0
+	}
+	p := 1.0
+	for j := 0; j < k; j++ {
+		p *= float64(n-s-j) / float64(n-j)
+	}
+	return p
+}
+
+func checkNS(n, s int) {
+	if n <= 0 || s < 0 || s > n {
+		panic(fmt.Sprintf("analytic: invalid nodes=%d sharers=%d", n, s))
+	}
+}

@@ -1,0 +1,162 @@
+package analytic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dircoh/internal/core"
+)
+
+// candidateMC measures E[|Sharers()|] for s random distinct sharers under
+// the given scheme — the empirical counterpart of the closed forms.
+func candidateMC(s core.Scheme, sharers, trials int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	n := s.Nodes()
+	perm := make([]int, n)
+	var total uint64
+	for t := 0; t < trials; t++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		e := s.NewEntry()
+		for _, node := range perm[:sharers] {
+			e.AddSharer(node)
+		}
+		total += uint64(e.Count())
+	}
+	return float64(total) / float64(trials)
+}
+
+func TestClosedFormFullMatchesMC(t *testing.T) {
+	scheme := core.NewFullVector(24)
+	for s := 1; s < 24; s += 4 {
+		mc := candidateMC(scheme, s, 200, 1)
+		cf := ExpectedCandidatesFull(24, s)
+		if mc != cf {
+			t.Fatalf("s=%d: MC=%v formula=%v", s, mc, cf)
+		}
+	}
+}
+
+func TestClosedFormBroadcastMatchesMC(t *testing.T) {
+	scheme := core.NewLimitedBroadcast(3, 24)
+	for s := 1; s < 24; s += 3 {
+		mc := candidateMC(scheme, s, 200, 1)
+		cf := ExpectedCandidatesBroadcast(3, 24, s)
+		if mc != cf {
+			t.Fatalf("s=%d: MC=%v formula=%v", s, mc, cf)
+		}
+	}
+}
+
+func TestClosedFormCVMatchesMC(t *testing.T) {
+	cases := []struct{ ptrs, region, n int }{
+		{3, 2, 32},
+		{3, 4, 64},
+		{2, 3, 10}, // odd last region
+		{1, 8, 20},
+	}
+	for _, c := range cases {
+		scheme := core.NewCoarseVector(c.ptrs, c.region, c.n)
+		for s := 1; s <= c.n; s += 3 {
+			mc := candidateMC(scheme, s, 3000, 7)
+			cf := ExpectedCandidatesCV(c.ptrs, c.region, c.n, s)
+			if math.Abs(mc-cf) > 0.35 {
+				t.Fatalf("Dir%dCV%d n=%d s=%d: MC=%.3f formula=%.3f", c.ptrs, c.region, c.n, s, mc, cf)
+			}
+		}
+	}
+}
+
+func TestClosedFormCVBoundaries(t *testing.T) {
+	// All sharers: every region covered exactly.
+	if got := ExpectedCandidatesCV(3, 2, 32, 32); got != 32 {
+		t.Fatalf("full coverage = %v, want 32", got)
+	}
+	// At the pointer limit the representation is exact.
+	if got := ExpectedCandidatesCV(3, 2, 32, 3); got != 3 {
+		t.Fatalf("pointer mode = %v, want 3", got)
+	}
+	// Monotone in s.
+	prev := 0.0
+	for s := 1; s <= 32; s++ {
+		cur := ExpectedCandidatesCV(3, 2, 32, s)
+		if cur+1e-9 < prev {
+			t.Fatalf("not monotone at s=%d: %v < %v", s, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestHypergeomMissProb(t *testing.T) {
+	// P(no draw hits a k-set) with s = n-k draws must still be positive;
+	// with s > n-k it is impossible to miss.
+	if p := hypergeomMissProb(10, 8, 3); p != 0 {
+		t.Fatalf("miss prob = %v, want 0 (pigeonhole)", p)
+	}
+	// s=1: probability = (n-k)/n.
+	if p := hypergeomMissProb(10, 1, 3); math.Abs(p-0.7) > 1e-12 {
+		t.Fatalf("miss prob = %v, want 0.7", p)
+	}
+	// k=0: always misses.
+	if p := hypergeomMissProb(10, 5, 0); p != 1 {
+		t.Fatalf("miss prob = %v, want 1", p)
+	}
+}
+
+// Property: CV expectation is sandwiched between exact and broadcast.
+func TestQuickCVBetweenFullAndBroadcastClosedForm(t *testing.T) {
+	f := func(sr, rr uint8) bool {
+		n := 32
+		s := 1 + int(sr)%n
+		r := 1 + int(rr)%8
+		cv := ExpectedCandidatesCV(3, r, n, s)
+		return cv >= ExpectedCandidatesFull(n, s)-1e-9 &&
+			cv <= ExpectedCandidatesBroadcast(3, n, s)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: larger regions never shrink the CV candidate set expectation
+// (coarser regions are less precise) for region sizes dividing n.
+func TestQuickCVMonotoneInRegion(t *testing.T) {
+	f := func(sr uint8) bool {
+		n := 32
+		s := 4 + int(sr)%(n-4) // past the pointers
+		prev := -1.0
+		for _, r := range []int{1, 2, 4, 8, 16, 32} {
+			cur := ExpectedCandidatesCV(3, r, n, s)
+			if cur+1e-9 < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClosedFormPanics(t *testing.T) {
+	cases := []func(){
+		func() { ExpectedCandidatesFull(0, 0) },
+		func() { ExpectedCandidatesFull(4, 5) },
+		func() { ExpectedCandidatesCV(3, 0, 8, 2) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

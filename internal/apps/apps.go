@@ -1,0 +1,400 @@
+// Package apps generates the four workloads of the paper's evaluation
+// (§5): LU (dense L-U factorization, numerical), DWF (wavefront string
+// matching against a library, medical), MP3D (3-D particle simulation,
+// aeronautics) and LocusRoute (standard-cell routing, VLSI-CAD).
+//
+// Each generator emits the application's real sharing skeleton — the
+// property the directory schemes are sensitive to — at configurable
+// problem sizes:
+//
+//   - LU: the pivot column is read by every processor right after the
+//     pivot step (widely read-shared data, §6.2).
+//   - DWF: pattern and library arrays are constantly read by all
+//     processes; the wavefront keeps the instantaneous working set small.
+//   - MP3D: space cells are shared by one or two processors at a time
+//     (migratory data).
+//   - LocusRoute: the central cost array is shared among the several
+//     processors working on the same geographical region, protected by
+//     region locks.
+package apps
+
+import (
+	"math/rand"
+
+	"dircoh/internal/tango"
+)
+
+// BlockBytes is the cache block size the allocators align to (the paper
+// uses 16-byte blocks throughout).
+const BlockBytes = 16
+
+// syncSpace reserves a region for barrier and lock words so they never
+// share blocks with data.
+func syncSpace(a *tango.Allocator, words int64) tango.Region {
+	return a.Words(words)
+}
+
+// LUConfig sizes the LU workload.
+type LUConfig struct {
+	Procs int
+	N     int // matrix dimension (N x N)
+	Seed  int64
+}
+
+// DefaultLU returns the standard benchmark size for procs processors.
+func DefaultLU(procs int) LUConfig { return LUConfig{Procs: procs, N: 96} }
+
+// LU generates a column-interleaved dense L-U factorization without
+// pivoting. At step k the owner of column k normalizes it; after a
+// barrier, every processor updates its own columns j > k, re-reading the
+// pivot column for each — the widely-read-shared pattern that devastates
+// Dir_iNB (§6.2).
+func LU(cfg LUConfig) *tango.Workload {
+	p, n := cfg.Procs, cfg.N
+	if p <= 0 || n <= 0 {
+		panic("apps: LU needs positive Procs and N")
+	}
+	alloc := tango.NewAllocator(BlockBytes)
+	matrix := alloc.Words(int64(n) * int64(n)) // column-major
+	sync := syncSpace(alloc, int64(n)+1)
+
+	at := func(col, row int) int64 { return matrix.Word(int64(col)*int64(n) + int64(row)) }
+
+	builders := make([]tango.Builder, p)
+	for k := 0; k < n; k++ {
+		owner := k % p
+		// Normalize column k below the diagonal.
+		b := &builders[owner]
+		b.Read(at(k, k))
+		for i := k + 1; i < n; i++ {
+			b.Read(at(k, i))
+			b.Write(at(k, i))
+		}
+		// Everyone waits for the pivot column.
+		for q := 0; q < p; q++ {
+			builders[q].Barrier(sync.Word(int64(k)))
+		}
+		// Update phase: each processor updates its own columns, reading
+		// the pivot column afresh for each.
+		for j := k + 1; j < n; j++ {
+			b := &builders[j%p]
+			for i := k + 1; i < n; i++ {
+				b.Read(at(k, i))
+				b.Read(at(j, i))
+				b.Write(at(j, i))
+			}
+		}
+	}
+	return workload("LU", builders, alloc)
+}
+
+// DWFConfig sizes the DWF workload.
+type DWFConfig struct {
+	Procs      int
+	Pattern    int // pattern length in words (read by everyone, constantly)
+	Chunks     int // library chunks (wavefront width)
+	ChunkWords int // words per library chunk
+	RowWords   int // words of DP state per processor per tile
+	Seed       int64
+}
+
+// DefaultDWF returns the standard benchmark size for procs processors.
+func DefaultDWF(procs int) DWFConfig {
+	return DWFConfig{Procs: procs, Pattern: 48, Chunks: 16, ChunkWords: 48, RowWords: 16}
+}
+
+// DWF generates the wavefront string-matching workload: processor p works
+// on library chunk t-p during phase t, re-reading the whole (read-only)
+// pattern and the chunk, consuming the boundary row its predecessor wrote
+// in the previous phase, and writing its own row of DP state.
+func DWF(cfg DWFConfig) *tango.Workload {
+	p := cfg.Procs
+	if p <= 0 || cfg.Chunks <= 0 {
+		panic("apps: DWF needs positive Procs and Chunks")
+	}
+	alloc := tango.NewAllocator(BlockBytes)
+	pattern := alloc.Words(int64(cfg.Pattern))
+	library := alloc.Words(int64(cfg.Chunks) * int64(cfg.ChunkWords))
+	rows := alloc.Words(int64(p) * int64(cfg.Chunks) * int64(cfg.RowWords))
+	sync := syncSpace(alloc, int64(p+cfg.Chunks))
+
+	rowAt := func(proc, chunk int) (lo int64) {
+		return (int64(proc)*int64(cfg.Chunks) + int64(chunk)) * int64(cfg.RowWords)
+	}
+
+	builders := make([]tango.Builder, p)
+	phases := p + cfg.Chunks - 1
+	for t := 0; t < phases; t++ {
+		for q := 0; q < p; q++ {
+			c := t - q
+			if c < 0 || c >= cfg.Chunks {
+				continue
+			}
+			b := &builders[q]
+			// The whole pattern is re-read every phase by every active
+			// process: widely read-shared, never written.
+			b.ReadRange(pattern, 0, pattern.Words())
+			// The library chunk: over the run every chunk is read by
+			// every processor.
+			lo := int64(c) * int64(cfg.ChunkWords)
+			b.ReadRange(library, lo, lo+int64(cfg.ChunkWords))
+			// Consume the boundary row the predecessor wrote last phase.
+			if q > 0 {
+				prev := rowAt(q-1, c)
+				b.ReadRange(rows, prev, prev+int64(cfg.RowWords))
+			}
+			// Compute this tile's DP row.
+			own := rowAt(q, c)
+			for w := int64(0); w < int64(cfg.RowWords); w++ {
+				b.Read(rows.Word(own + w))
+				b.Write(rows.Word(own + w))
+			}
+		}
+		for q := 0; q < p; q++ {
+			builders[q].Barrier(sync.Word(int64(t % (p + cfg.Chunks))))
+		}
+	}
+	return workload("DWF", builders, alloc)
+}
+
+// MP3DConfig sizes the MP3D workload.
+type MP3DConfig struct {
+	Procs     int
+	Particles int // particles per processor
+	Cells     int // space cells
+	Steps     int
+	Seed      int64
+}
+
+// DefaultMP3D returns the standard benchmark size for procs processors.
+func DefaultMP3D(procs int) MP3DConfig {
+	return MP3DConfig{Procs: procs, Particles: 96, Cells: 512, Steps: 10, Seed: 1}
+}
+
+// MP3D generates the particle simulation: each processor advances its own
+// particles every step, reading and writing the space cell each particle
+// occupies. Cells migrate between the one or two processors whose
+// particles pass through them — the sharing pattern every scheme handles
+// well (§6.2).
+func MP3D(cfg MP3DConfig) *tango.Workload {
+	p := cfg.Procs
+	if p <= 0 || cfg.Particles <= 0 || cfg.Cells <= 0 {
+		panic("apps: MP3D needs positive sizes")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	alloc := tango.NewAllocator(BlockBytes)
+	particles := alloc.Words(int64(p) * int64(cfg.Particles) * 3) // 3 words of state each
+	cells := alloc.Words(int64(cfg.Cells) * 2)                    // 2 words per cell
+	sync := syncSpace(alloc, 1)
+
+	// Each particle moves through a drifting window of cells, so a cell
+	// is touched by few processors at any one time.
+	pos := make([][]int, p)
+	for q := range pos {
+		pos[q] = make([]int, cfg.Particles)
+		for i := range pos[q] {
+			pos[q][i] = rng.Intn(cfg.Cells)
+		}
+	}
+
+	builders := make([]tango.Builder, p)
+	for s := 0; s < cfg.Steps; s++ {
+		for q := 0; q < p; q++ {
+			b := &builders[q]
+			base := int64(q) * int64(cfg.Particles) * 3
+			for i := 0; i < cfg.Particles; i++ {
+				pb := base + int64(i)*3
+				b.Read(particles.Word(pb))
+				b.Read(particles.Word(pb + 1))
+				b.Write(particles.Word(pb + 2))
+				// Drift to a nearby cell and collide there.
+				pos[q][i] = (pos[q][i] + 1 + rng.Intn(3)) % cfg.Cells
+				cw := int64(pos[q][i]) * 2
+				b.Read(cells.Word(cw))
+				b.Write(cells.Word(cw + 1))
+			}
+		}
+		for q := 0; q < p; q++ {
+			builders[q].Barrier(sync.Word(0))
+		}
+	}
+	return workload("MP3D", builders, alloc)
+}
+
+// LocusRouteConfig sizes the LocusRoute workload.
+type LocusRouteConfig struct {
+	Procs       int
+	Regions     int // geographical regions of the cost array
+	RegionWords int
+	Wires       int // wires routed per processor
+	Window      int // regions a processor works in (overlap -> sharing)
+	Seed        int64
+}
+
+// DefaultLocusRoute returns the standard benchmark size for procs
+// processors.
+func DefaultLocusRoute(procs int) LocusRouteConfig {
+	return LocusRouteConfig{
+		Procs:       procs,
+		Regions:     max(2, procs/2),
+		RegionWords: 128,
+		Wires:       48,
+		Window:      3,
+		Seed:        1,
+	}
+}
+
+// LocusRoute generates the standard-cell router: each processor routes
+// wires within a window of geographical regions of the central cost
+// array. Several processors share each region (more than the limited
+// schemes' three pointers), so writes to routed paths produce mid-sized
+// invalidation events — the pattern where Dir_iNB beats Dir_iB because
+// pointer-overflow invalidations rarely cause re-reads (§6.2).
+func LocusRoute(cfg LocusRouteConfig) *tango.Workload {
+	p := cfg.Procs
+	if p <= 0 || cfg.Regions <= 0 || cfg.Window <= 0 {
+		panic("apps: LocusRoute needs positive sizes")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	alloc := tango.NewAllocator(BlockBytes)
+	grid := alloc.Words(int64(cfg.Regions) * int64(cfg.RegionWords))
+	locks := syncSpace(alloc, int64(cfg.Regions)*2) // one lock word per region, block-spread
+
+	builders := make([]tango.Builder, p)
+	for q := 0; q < p; q++ {
+		b := &builders[q]
+		base := q * cfg.Regions / p
+		for w := 0; w < cfg.Wires; w++ {
+			region := (base + rng.Intn(cfg.Window)) % cfg.Regions
+			rbase := int64(region) * int64(cfg.RegionWords)
+			// Evaluate a few candidate segments: reads of the shared
+			// cost array.
+			for c := 0; c < 3; c++ {
+				seg := rbase + int64(rng.Intn(cfg.RegionWords-8))
+				b.ReadRange(grid, seg, seg+8)
+			}
+			// Commit the best route under the region lock.
+			lock := locks.Word(int64(region) * 2)
+			b.Lock(lock)
+			seg := rbase + int64(rng.Intn(cfg.RegionWords-8))
+			for i := int64(0); i < 4; i++ {
+				b.Read(grid.Word(seg + i))
+				b.Write(grid.Word(seg + i))
+			}
+			b.Unlock(lock)
+		}
+	}
+	return workload("LocusRoute", builders, alloc)
+}
+
+// FFTConfig sizes the FFT workload (an extension beyond the paper's four
+// applications).
+type FFTConfig struct {
+	Procs  int
+	Points int // total points; must be a power of two and a multiple of Procs
+}
+
+// DefaultFFT returns the standard benchmark size for procs processors.
+func DefaultFFT(procs int) FFTConfig { return FFTConfig{Procs: procs, Points: 64 * procs} }
+
+// FFT generates a radix-2 butterfly: each processor owns a contiguous
+// band of points; early stages are processor-local, later stages exchange
+// whole bands pairwise — producer–consumer sharing between exactly two
+// processors at a time, a pattern every limited-pointer scheme handles
+// precisely (useful as a control workload).
+func FFT(cfg FFTConfig) *tango.Workload {
+	p, n := cfg.Procs, cfg.Points
+	if p <= 0 || n <= 0 || n%p != 0 || n&(n-1) != 0 {
+		panic("apps: FFT needs Points a power of two and a multiple of Procs")
+	}
+	alloc := tango.NewAllocator(BlockBytes)
+	data := alloc.Words(int64(n))
+	sync := syncSpace(alloc, 1)
+	per := n / p
+
+	builders := make([]tango.Builder, p)
+	for span := 1; span < n; span <<= 1 {
+		for q := 0; q < p; q++ {
+			b := &builders[q]
+			lo := q * per
+			for i := lo; i < lo+per; i++ {
+				partner := i ^ span
+				// Butterfly: read both inputs, write the own output.
+				b.Read(data.Word(int64(i)))
+				b.Read(data.Word(int64(partner)))
+				b.Write(data.Word(int64(i)))
+			}
+		}
+		for q := 0; q < p; q++ {
+			builders[q].Barrier(sync.Word(0))
+		}
+	}
+	return workload("FFT", builders, alloc)
+}
+
+// UniformConfig sizes the synthetic uniform workload used by tests and the
+// quickstart example.
+type UniformConfig struct {
+	Procs     int
+	Blocks    int // shared blocks touched
+	Refs      int // references per processor
+	WriteFrac int // writes per 10 references
+	Seed      int64
+}
+
+// Uniform generates uniformly random reads and writes over a small shared
+// array — not one of the paper's applications, but a convenient smoke
+// workload.
+func Uniform(cfg UniformConfig) *tango.Workload {
+	if cfg.Procs <= 0 || cfg.Blocks <= 0 {
+		panic("apps: Uniform needs positive sizes")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	alloc := tango.NewAllocator(BlockBytes)
+	words := alloc.Words(int64(cfg.Blocks) * BlockBytes / tango.WordBytes)
+	builders := make([]tango.Builder, cfg.Procs)
+	for q := range builders {
+		for i := 0; i < cfg.Refs; i++ {
+			w := int64(rng.Intn(int(words.Words())))
+			if rng.Intn(10) < cfg.WriteFrac {
+				builders[q].Write(words.Word(w))
+			} else {
+				builders[q].Read(words.Word(w))
+			}
+		}
+	}
+	return workload("Uniform", builders, alloc)
+}
+
+// workload assembles the final Workload from per-proc builders.
+func workload(name string, builders []tango.Builder, alloc *tango.Allocator) *tango.Workload {
+	streams := make([][]tango.Ref, len(builders))
+	for i := range builders {
+		streams[i] = builders[i].Refs()
+	}
+	return &tango.Workload{Name: name, Streams: streams, SharedBytes: alloc.TotalBytes()}
+}
+
+// ByName builds a default-sized workload by its paper name. It returns
+// nil for unknown names.
+func ByName(name string, procs int) *tango.Workload {
+	switch name {
+	case "LU", "lu":
+		return LU(DefaultLU(procs))
+	case "DWF", "dwf":
+		return DWF(DefaultDWF(procs))
+	case "MP3D", "mp3d":
+		return MP3D(DefaultMP3D(procs))
+	case "LocusRoute", "locusroute", "locus":
+		return LocusRoute(DefaultLocusRoute(procs))
+	case "FFT", "fft":
+		return FFT(DefaultFFT(procs))
+	default:
+		return nil
+	}
+}
+
+// Names lists the four applications in the paper's order. FFT, an
+// extension workload, is available via ByName but is not part of the
+// paper's evaluation set.
+func Names() []string { return []string{"LU", "DWF", "MP3D", "LocusRoute"} }

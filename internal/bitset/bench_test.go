@@ -1,0 +1,47 @@
+package bitset
+
+import "testing"
+
+func BenchmarkAddContains(b *testing.B) {
+	s := New(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Add(i % 1024)
+		if !s.Contains(i % 1024) {
+			b.Fatal("missing")
+		}
+	}
+}
+
+func BenchmarkUnionCount(b *testing.B) {
+	x := New(1024)
+	y := New(1024)
+	for i := 0; i < 1024; i += 3 {
+		x.Add(i)
+	}
+	for i := 0; i < 1024; i += 5 {
+		y.Add(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		u := x.Clone()
+		u.Union(y)
+		total += u.Count()
+	}
+	_ = total
+}
+
+func BenchmarkForEach(b *testing.B) {
+	s := New(1024)
+	for i := 0; i < 1024; i += 2 {
+		s.Add(i)
+	}
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(int) { n++ })
+	}
+	_ = n
+}

@@ -1,0 +1,196 @@
+// Package bitset provides a fixed-width bit set used to represent sets of
+// cluster (node) identifiers in directory entries.
+//
+// The width is chosen at construction time and never changes; all operations
+// that combine two sets require equal widths. The zero value is an empty set
+// of width zero and is mostly useful as a placeholder.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-width bit set. Bit i set means element i is a member.
+type Set struct {
+	n     int // width in bits
+	words []uint64
+}
+
+// New returns an empty set able to hold elements 0..n-1.
+func New(n int) Set {
+	if n < 0 {
+		panic("bitset: negative width")
+	}
+	return Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromSlice returns a set of width n containing the given elements.
+func FromSlice(n int, elems []int) Set {
+	s := New(n)
+	for _, e := range elems {
+		s.Add(e)
+	}
+	return s
+}
+
+// Width returns the number of elements the set can hold.
+func (s Set) Width() int { return s.n }
+
+// Clone returns an independent copy of s.
+func (s Set) Clone() Set {
+	c := Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+func (s Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: element %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Add inserts element i.
+func (s Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove deletes element i.
+func (s Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Contains reports whether element i is a member.
+func (s Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Clear removes all elements.
+func (s Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Count returns the number of elements in the set.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Union adds every element of t to s. Both sets must have the same width.
+func (s Set) Union(t Set) {
+	s.mustMatch(t)
+	for i := range s.words {
+		s.words[i] |= t.words[i]
+	}
+}
+
+// Subtract removes every element of t from s.
+func (s Set) Subtract(t Set) {
+	s.mustMatch(t)
+	for i := range s.words {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Intersect removes from s every element not in t.
+func (s Set) Intersect(t Set) {
+	s.mustMatch(t)
+	for i := range s.words {
+		s.words[i] &= t.words[i]
+	}
+}
+
+// SupersetOf reports whether s contains every element of t.
+func (s Set) SupersetOf(t Set) bool {
+	s.mustMatch(t)
+	for i := range s.words {
+		if t.words[i]&^s.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+func (s Set) Equal(t Set) bool {
+	s.mustMatch(t)
+	for i := range s.words {
+		if s.words[i] != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Set) mustMatch(t Set) {
+	if s.n != t.n {
+		panic(fmt.Sprintf("bitset: width mismatch %d != %d", s.n, t.n))
+	}
+}
+
+// ForEach calls fn for every element in ascending order.
+func (s Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Elems returns the members in ascending order.
+func (s Set) Elems() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// AddRange inserts every element in [lo, hi).
+func (s Set) AddRange(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		s.Add(i)
+	}
+}
+
+// Fill inserts every element 0..n-1.
+func (s Set) Fill() {
+	s.AddRange(0, s.n)
+}
+
+// String renders the set as {a, b, c}.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

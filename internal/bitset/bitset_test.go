@@ -1,0 +1,236 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if !s.Empty() {
+		t.Fatal("new set not empty")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+	if s.Width() != 100 {
+		t.Fatalf("Width = %d, want 100", s.Width())
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("Contains(%d) before Add", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("!Contains(%d) after Add", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(3)
+	s.Add(3)
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := New(4)
+	s.Add(4)
+}
+
+func TestNegativeWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := New(70)
+	s.Add(5)
+	c := s.Clone()
+	c.Add(69)
+	if s.Contains(69) {
+		t.Fatal("Clone shares storage with original")
+	}
+	if !c.Contains(5) {
+		t.Fatal("Clone missing original element")
+	}
+}
+
+func TestUnionSubtractIntersect(t *testing.T) {
+	a := FromSlice(100, []int{1, 2, 3, 64})
+	b := FromSlice(100, []int{3, 4, 64, 99})
+
+	u := a.Clone()
+	u.Union(b)
+	want := FromSlice(100, []int{1, 2, 3, 4, 64, 99})
+	if !u.Equal(want) {
+		t.Fatalf("Union = %v, want %v", u, want)
+	}
+
+	d := a.Clone()
+	d.Subtract(b)
+	want = FromSlice(100, []int{1, 2})
+	if !d.Equal(want) {
+		t.Fatalf("Subtract = %v, want %v", d, want)
+	}
+
+	x := a.Clone()
+	x.Intersect(b)
+	want = FromSlice(100, []int{3, 64})
+	if !x.Equal(want) {
+		t.Fatalf("Intersect = %v, want %v", x, want)
+	}
+}
+
+func TestSupersetOf(t *testing.T) {
+	a := FromSlice(66, []int{1, 2, 65})
+	b := FromSlice(66, []int{1, 65})
+	if !a.SupersetOf(b) {
+		t.Fatal("a should be superset of b")
+	}
+	if b.SupersetOf(a) {
+		t.Fatal("b should not be superset of a")
+	}
+	if !a.SupersetOf(a) {
+		t.Fatal("a should be superset of itself")
+	}
+	empty := New(66)
+	if !a.SupersetOf(empty) {
+		t.Fatal("any set is superset of the empty set")
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := New(10)
+	b := New(11)
+	a.Union(b)
+}
+
+func TestForEachOrderAndElems(t *testing.T) {
+	s := FromSlice(200, []int{199, 0, 63, 64, 100})
+	got := s.Elems()
+	want := []int{0, 63, 64, 100, 199}
+	if len(got) != len(want) {
+		t.Fatalf("Elems = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Elems = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAddRangeFillClear(t *testing.T) {
+	s := New(75)
+	s.AddRange(10, 20)
+	if s.Count() != 10 {
+		t.Fatalf("Count = %d, want 10", s.Count())
+	}
+	s.Fill()
+	if s.Count() != 75 {
+		t.Fatalf("Count after Fill = %d, want 75", s.Count())
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("not empty after Clear")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromSlice(10, []int{1, 3})
+	if got := s.String(); got != "{1, 3}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// Property: for random element sequences, the bitset agrees with a map-based
+// reference implementation on membership and count.
+func TestQuickAgainstMap(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		const width = 300
+		s := New(width)
+		ref := map[int]bool{}
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			e := int(op) % width
+			if rng.Intn(2) == 0 {
+				s.Add(e)
+				ref[e] = true
+			} else {
+				s.Remove(e)
+				delete(ref, e)
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for e := range ref {
+			if !s.Contains(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative and a superset of both operands.
+func TestQuickUnionProperties(t *testing.T) {
+	f := func(as, bs []uint8) bool {
+		const width = 256
+		a := New(width)
+		b := New(width)
+		for _, x := range as {
+			a.Add(int(x))
+		}
+		for _, x := range bs {
+			b.Add(int(x))
+		}
+		u1 := a.Clone()
+		u1.Union(b)
+		u2 := b.Clone()
+		u2.Union(a)
+		return u1.Equal(u2) && u1.SupersetOf(a) && u1.SupersetOf(b) &&
+			u1.Count() <= a.Count()+b.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

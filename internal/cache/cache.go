@@ -1,0 +1,182 @@
+// Package cache models the processor cache hierarchy of a DASH node: a
+// primary (L1) and an inclusive secondary (L2) set-associative cache with
+// MSI states, LRU replacement within a set, writeback of dirty victims and
+// silent drop of shared victims.
+//
+// Addresses are pre-divided block numbers: the machine layer converts byte
+// addresses to blocks before touching the caches.
+package cache
+
+import "fmt"
+
+// State is an MSI cache line state.
+type State uint8
+
+const (
+	// Invalid means no copy is present.
+	Invalid State = iota
+	// Shared means a clean copy is present; reads hit, writes need
+	// ownership.
+	Shared
+	// Dirty means this cache holds the only, modified copy.
+	Dirty
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Dirty:
+		return "D"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+type line struct {
+	valid   bool
+	block   int64
+	state   State
+	lastUse uint64
+}
+
+// Cache is a single set-associative cache level.
+type Cache struct {
+	sets  int
+	assoc int
+	lines []line
+}
+
+// NewCache builds a cache of sizeBytes with blockBytes lines and the given
+// associativity. sizeBytes must be a multiple of blockBytes*assoc.
+func NewCache(sizeBytes, blockBytes, assoc int) *Cache {
+	if sizeBytes <= 0 || blockBytes <= 0 || assoc <= 0 {
+		panic("cache: sizes must be positive")
+	}
+	nlines := sizeBytes / blockBytes
+	if nlines == 0 || nlines%assoc != 0 {
+		panic(fmt.Sprintf("cache: %d bytes / %d-byte blocks not divisible into %d-way sets", sizeBytes, blockBytes, assoc))
+	}
+	return &Cache{sets: nlines / assoc, assoc: assoc, lines: make([]line, nlines)}
+}
+
+// Lines returns the total number of cache lines.
+func (c *Cache) Lines() int { return len(c.lines) }
+
+func (c *Cache) set(block int64) []line {
+	si := int(uint64(block) % uint64(c.sets))
+	return c.lines[si*c.assoc : (si+1)*c.assoc]
+}
+
+func (c *Cache) find(block int64) *line {
+	set := c.set(block)
+	for i := range set {
+		if set[i].valid && set[i].block == block {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// State returns the line state for block (Invalid if absent).
+func (c *Cache) State(block int64) State {
+	if l := c.find(block); l != nil {
+		return l.state
+	}
+	return Invalid
+}
+
+// Touch refreshes the LRU position of block if present.
+func (c *Cache) Touch(block int64, now uint64) {
+	if l := c.find(block); l != nil {
+		l.lastUse = now
+	}
+}
+
+// SetState changes the state of a present line; it panics if absent, since
+// that indicates a protocol bug.
+func (c *Cache) SetState(block int64, s State) {
+	l := c.find(block)
+	if l == nil {
+		panic(fmt.Sprintf("cache: SetState(%d) on absent block", block))
+	}
+	l.state = s
+}
+
+// Victim describes a line displaced by Fill.
+type Victim struct {
+	Valid bool
+	Block int64
+	Dirty bool
+}
+
+// Fill installs block with state st, evicting the LRU line of the set if
+// needed, and returns the displaced victim (Victim.Valid false if a free
+// way was used). Filling an already-present block just updates its state.
+func (c *Cache) Fill(block int64, st State, now uint64) Victim {
+	if l := c.find(block); l != nil {
+		l.state = st
+		l.lastUse = now
+		return Victim{}
+	}
+	set := c.set(block)
+	vi := -1
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			break
+		}
+	}
+	var v Victim
+	if vi < 0 {
+		vi = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < set[vi].lastUse {
+				vi = i
+			}
+		}
+		v = Victim{Valid: true, Block: set[vi].block, Dirty: set[vi].state == Dirty}
+	}
+	set[vi] = line{valid: true, block: block, state: st, lastUse: now}
+	return v
+}
+
+// Invalidate removes block and reports its previous presence and dirtiness.
+func (c *Cache) Invalidate(block int64) (present, dirty bool) {
+	if l := c.find(block); l != nil {
+		present, dirty = true, l.state == Dirty
+		l.valid = false
+	}
+	return present, dirty
+}
+
+// Downgrade turns a Dirty line Shared, reporting whether it was dirty.
+func (c *Cache) Downgrade(block int64) (wasDirty bool) {
+	if l := c.find(block); l != nil && l.state == Dirty {
+		l.state = Shared
+		return true
+	}
+	return false
+}
+
+// ForEach calls fn for every valid line (used by coherence validators).
+func (c *Cache) ForEach(fn func(block int64, st State)) {
+	for i := range c.lines {
+		if c.lines[i].valid {
+			fn(c.lines[i].block, c.lines[i].state)
+		}
+	}
+}
+
+// Occupancy returns the number of valid lines (for tests).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,40 @@
+package core
+
+import "testing"
+
+func benchAddSharer(b *testing.B, s Scheme) {
+	b.ReportAllocs()
+	n := s.Nodes()
+	for i := 0; i < b.N; i++ {
+		e := s.NewEntry()
+		for j := 0; j < n; j++ {
+			e.AddSharer(j % n)
+		}
+	}
+}
+
+func BenchmarkAddSharerFullVector(b *testing.B) { benchAddSharer(b, NewFullVector(64)) }
+func BenchmarkAddSharerBroadcast(b *testing.B)  { benchAddSharer(b, NewLimitedBroadcast(3, 64)) }
+func BenchmarkAddSharerNoBroadcast(b *testing.B) {
+	benchAddSharer(b, NewLimitedNoBroadcast(3, 64, VictimRandom, 1))
+}
+func BenchmarkAddSharerSuperset(b *testing.B)     { benchAddSharer(b, NewSuperset(2, 64)) }
+func BenchmarkAddSharerCoarseVector(b *testing.B) { benchAddSharer(b, NewCoarseVector(3, 4, 64)) }
+
+func benchSharers(b *testing.B, s Scheme) {
+	e := s.NewEntry()
+	for j := 0; j < s.Nodes(); j += 3 {
+		e.AddSharer(j)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += e.Sharers().Count()
+	}
+	_ = total
+}
+
+func BenchmarkSharersFullVector(b *testing.B)   { benchSharers(b, NewFullVector(64)) }
+func BenchmarkSharersSuperset(b *testing.B)     { benchSharers(b, NewSuperset(2, 64)) }
+func BenchmarkSharersCoarseVector(b *testing.B) { benchSharers(b, NewCoarseVector(3, 4, 64)) }

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+
+	"dircoh/internal/bitset"
+)
+
+// CoarseVector is the Dir_iCV_r scheme — the paper's first contribution
+// (§4.1). While a block has at most i sharers the entry holds i exact
+// pointers, identical to the other limited-pointer schemes. On overflow the
+// same storage is reinterpreted as a coarse bit vector in which each bit
+// stands for a region of r consecutive nodes. Invalidations then go to
+// whole regions rather than to the entire machine, so the scheme degrades
+// far more gracefully than Dir_iB while never dropping sharers like
+// Dir_iNB.
+//
+// With all region bits set the entry is equivalent to a broadcast, so
+// Dir_iCV_r is never worse than Dir_iB for the same storage.
+type CoarseVector struct {
+	nodes   int
+	ptrs    int
+	region  int
+	regions int // ceil(nodes/region)
+}
+
+// NewCoarseVector returns a Dir_iCV_r scheme with ptrs pointers and
+// region-size region.
+func NewCoarseVector(ptrs, region, nodes int) *CoarseVector {
+	if ptrs <= 0 || nodes <= 0 || region <= 0 {
+		panic("core: ptrs, region and nodes must be positive")
+	}
+	return &CoarseVector{
+		nodes:   nodes,
+		ptrs:    ptrs,
+		region:  region,
+		regions: (nodes + region - 1) / region,
+	}
+}
+
+// RegionFor returns the region index that node n belongs to.
+func (s *CoarseVector) RegionFor(n NodeID) int { return n / s.region }
+
+// Region returns the configured region size r.
+func (s *CoarseVector) Region() int { return s.region }
+
+// Name implements Scheme.
+func (s *CoarseVector) Name() string { return fmt.Sprintf("Dir%dCV%d", s.ptrs, s.region) }
+
+// Nodes implements Scheme.
+func (s *CoarseVector) Nodes() int { return s.nodes }
+
+// BitsPerEntry implements Scheme: the larger of the pointer storage and
+// the coarse vector, plus a mode bit and the dirty bit.
+func (s *CoarseVector) BitsPerEntry() int {
+	bits := s.ptrs * log2ceil(s.nodes)
+	if s.regions > bits {
+		bits = s.regions
+	}
+	return bits + 2
+}
+
+// NewEntry implements Scheme.
+func (s *CoarseVector) NewEntry() Entry {
+	return &coarseEntry{s: s, ptrs: make([]NodeID, 0, s.ptrs)}
+}
+
+type coarseEntry struct {
+	s      *CoarseVector
+	ptrs   []NodeID
+	coarse bool
+	vec    bitset.Set // region bits; allocated lazily on first overflow
+	dirty  bool
+	owner  NodeID
+}
+
+func (e *coarseEntry) AddSharer(n NodeID) []NodeID {
+	if e.coarse {
+		e.vec.Add(e.s.RegionFor(n))
+		return nil
+	}
+	if idIndex(e.ptrs, n) >= 0 {
+		return nil
+	}
+	if len(e.ptrs) < cap(e.ptrs) {
+		e.ptrs = append(e.ptrs, n)
+		return nil
+	}
+	// Overflow: reinterpret the storage as a coarse vector covering the
+	// existing pointers plus the newcomer.
+	e.coarse = true
+	if e.vec.Width() == 0 {
+		e.vec = bitset.New(e.s.regions)
+	} else {
+		e.vec.Clear()
+	}
+	for _, p := range e.ptrs {
+		e.vec.Add(e.s.RegionFor(p))
+	}
+	e.vec.Add(e.s.RegionFor(n))
+	e.ptrs = e.ptrs[:0]
+	return nil
+}
+
+func (e *coarseEntry) RemoveSharer(n NodeID) {
+	if e.coarse {
+		return // a region bit may cover other sharers; keep the superset
+	}
+	if k := idIndex(e.ptrs, n); k >= 0 {
+		e.ptrs = popID(e.ptrs, k)
+	}
+}
+
+// expandRegion adds every node of region ri to set.
+func (e *coarseEntry) expandRegion(set bitset.Set, ri int) {
+	lo := ri * e.s.region
+	hi := lo + e.s.region
+	if hi > e.s.nodes {
+		hi = e.s.nodes
+	}
+	set.AddRange(lo, hi)
+}
+
+func (e *coarseEntry) Sharers() bitset.Set {
+	set := bitset.New(e.s.nodes)
+	if !e.coarse {
+		for _, p := range e.ptrs {
+			set.Add(p)
+		}
+		return set
+	}
+	e.vec.ForEach(func(ri int) { e.expandRegion(set, ri) })
+	return set
+}
+
+func (e *coarseEntry) IsSharer(n NodeID) bool {
+	if e.coarse {
+		return e.vec.Contains(e.s.RegionFor(n))
+	}
+	return idIndex(e.ptrs, n) >= 0
+}
+
+func (e *coarseEntry) Count() int {
+	if !e.coarse {
+		return len(e.ptrs)
+	}
+	// Every region is full-sized except possibly the last.
+	c := 0
+	e.vec.ForEach(func(ri int) {
+		lo := ri * e.s.region
+		hi := lo + e.s.region
+		if hi > e.s.nodes {
+			hi = e.s.nodes
+		}
+		c += hi - lo
+	})
+	return c
+}
+
+func (e *coarseEntry) Dirty() bool { return e.dirty }
+
+func (e *coarseEntry) Owner() NodeID {
+	if !e.dirty {
+		return None
+	}
+	return e.owner
+}
+
+func (e *coarseEntry) SetDirty(owner NodeID) {
+	e.coarse = false
+	e.ptrs = append(e.ptrs[:0], owner)
+	e.dirty = true
+	e.owner = owner
+}
+
+func (e *coarseEntry) ClearDirty() {
+	e.dirty = false
+	e.owner = None
+}
+
+func (e *coarseEntry) Reset() {
+	e.ptrs = e.ptrs[:0]
+	e.coarse = false
+	if e.vec.Width() != 0 {
+		e.vec.Clear()
+	}
+	e.dirty = false
+	e.owner = None
+}
+
+func (e *coarseEntry) Empty() bool { return !e.dirty && !e.coarse && len(e.ptrs) == 0 }
+
+func (e *coarseEntry) Precise() bool { return !e.coarse }
+
+// PopGrant pops one node in pointer mode, or one whole region in coarse
+// mode — the §7 lock-grant behaviour: all waiters of a region are released
+// and re-contend.
+func (e *coarseEntry) PopGrant() []NodeID {
+	if e.coarse {
+		ri := -1
+		e.vec.ForEach(func(i int) {
+			if ri < 0 {
+				ri = i
+			}
+		})
+		if ri < 0 {
+			return nil
+		}
+		e.vec.Remove(ri)
+		set := bitset.New(e.s.nodes)
+		e.expandRegion(set, ri)
+		if e.vec.Empty() {
+			e.coarse = false
+		}
+		return set.Elems()
+	}
+	if len(e.ptrs) == 0 {
+		return nil
+	}
+	n := e.ptrs[0]
+	e.ptrs = popID(e.ptrs, 0)
+	return []NodeID{n}
+}

@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dircoh/internal/core"
+)
+
+// The coarse vector keeps exact pointers until they overflow, then tracks
+// regions of processors instead of broadcasting.
+func ExampleNewCoarseVector() {
+	scheme := core.NewCoarseVector(3, 2, 32) // Dir3CV2 over 32 clusters
+	e := scheme.NewEntry()
+
+	for _, n := range []core.NodeID{4, 9, 17} {
+		e.AddSharer(n)
+	}
+	fmt.Println("precise:", e.Precise(), e.Sharers())
+
+	e.AddSharer(26) // fourth sharer: switch to the coarse vector
+	fmt.Println("coarse: ", e.Precise(), e.Sharers())
+	// Output:
+	// precise: true {4, 9, 17}
+	// coarse:  false {4, 5, 8, 9, 16, 17, 26, 27}
+}
+
+// A broadcast entry loses all precision on overflow.
+func ExampleNewLimitedBroadcast() {
+	e := core.NewLimitedBroadcast(2, 8).NewEntry()
+	e.AddSharer(1)
+	e.AddSharer(2)
+	e.AddSharer(3) // overflow
+	fmt.Println(e.Count(), "invalidation targets")
+	// Output:
+	// 8 invalidation targets
+}
+
+// A write resets any representation to a single exclusive owner.
+func ExampleEntry_setDirty() {
+	e := core.NewFullVector(8).NewEntry()
+	e.AddSharer(2)
+	e.AddSharer(5)
+	e.SetDirty(7)
+	fmt.Println(e.Dirty(), e.Owner(), e.Sharers())
+	// Output:
+	// true 7 {7}
+}

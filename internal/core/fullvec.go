@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"dircoh/internal/bitset"
+)
+
+// FullVector is the Dir_P scheme (§3.1): one presence bit per node plus a
+// dirty bit. It is precise — the best any invalidation-based directory can
+// do — but its storage grows linearly per entry and quadratically for the
+// machine.
+type FullVector struct {
+	nodes int
+}
+
+// NewFullVector returns the full-bit-vector scheme for the given node count.
+func NewFullVector(nodes int) *FullVector {
+	if nodes <= 0 {
+		panic("core: nodes must be positive")
+	}
+	return &FullVector{nodes: nodes}
+}
+
+// Name implements Scheme.
+func (s *FullVector) Name() string { return fmt.Sprintf("Dir%d", s.nodes) }
+
+// Nodes implements Scheme.
+func (s *FullVector) Nodes() int { return s.nodes }
+
+// BitsPerEntry implements Scheme: one bit per node plus the dirty bit.
+func (s *FullVector) BitsPerEntry() int { return s.nodes + 1 }
+
+// NewEntry implements Scheme.
+func (s *FullVector) NewEntry() Entry {
+	return &fullVecEntry{vec: bitset.New(s.nodes)}
+}
+
+type fullVecEntry struct {
+	vec   bitset.Set
+	dirty bool
+	owner NodeID
+}
+
+func (e *fullVecEntry) AddSharer(n NodeID) []NodeID {
+	e.vec.Add(n)
+	return nil
+}
+
+func (e *fullVecEntry) RemoveSharer(n NodeID) { e.vec.Remove(n) }
+
+func (e *fullVecEntry) Sharers() bitset.Set { return e.vec.Clone() }
+
+func (e *fullVecEntry) IsSharer(n NodeID) bool { return e.vec.Contains(n) }
+
+func (e *fullVecEntry) Count() int { return e.vec.Count() }
+
+func (e *fullVecEntry) Dirty() bool { return e.dirty }
+
+func (e *fullVecEntry) Owner() NodeID {
+	if !e.dirty {
+		return None
+	}
+	return e.owner
+}
+
+func (e *fullVecEntry) SetDirty(owner NodeID) {
+	e.vec.Clear()
+	e.vec.Add(owner)
+	e.dirty = true
+	e.owner = owner
+}
+
+func (e *fullVecEntry) ClearDirty() {
+	e.dirty = false
+	e.owner = None
+}
+
+func (e *fullVecEntry) Reset() {
+	e.vec.Clear()
+	e.dirty = false
+	e.owner = None
+}
+
+func (e *fullVecEntry) Empty() bool { return !e.dirty && e.vec.Empty() }
+
+func (e *fullVecEntry) Precise() bool { return true }
+
+func (e *fullVecEntry) PopGrant() []NodeID {
+	var out []NodeID
+	e.vec.ForEach(func(i int) {
+		if out == nil {
+			out = []NodeID{i}
+		}
+	})
+	if out != nil {
+		e.vec.Remove(out[0])
+	}
+	return out
+}

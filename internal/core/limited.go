@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dircoh/internal/bitset"
+)
+
+// VictimPolicy selects which pointer a Dir_iNB entry drops on overflow.
+type VictimPolicy int
+
+const (
+	// VictimRandom drops a uniformly random pointer (default; what the
+	// paper's replacement discussion assumes for pointer overflow).
+	VictimRandom VictimPolicy = iota
+	// VictimOldest drops the pointer that was inserted first (FIFO).
+	VictimOldest
+)
+
+func (p VictimPolicy) String() string {
+	switch p {
+	case VictimRandom:
+		return "random"
+	case VictimOldest:
+		return "oldest"
+	default:
+		return fmt.Sprintf("VictimPolicy(%d)", int(p))
+	}
+}
+
+// LimitedBroadcast is the Dir_iB scheme (§3.2.1): i pointers plus a
+// broadcast bit. Pointer overflow sets the broadcast bit; subsequent writes
+// invalidate every node.
+type LimitedBroadcast struct {
+	nodes int
+	ptrs  int
+}
+
+// NewLimitedBroadcast returns a Dir_iB scheme with ptrs pointers.
+func NewLimitedBroadcast(ptrs, nodes int) *LimitedBroadcast {
+	if ptrs <= 0 || nodes <= 0 {
+		panic("core: ptrs and nodes must be positive")
+	}
+	return &LimitedBroadcast{nodes: nodes, ptrs: ptrs}
+}
+
+// Name implements Scheme.
+func (s *LimitedBroadcast) Name() string { return fmt.Sprintf("Dir%dB", s.ptrs) }
+
+// Nodes implements Scheme.
+func (s *LimitedBroadcast) Nodes() int { return s.nodes }
+
+// BitsPerEntry implements Scheme: i pointers, a broadcast bit, a dirty bit.
+func (s *LimitedBroadcast) BitsPerEntry() int {
+	return s.ptrs*log2ceil(s.nodes) + 2
+}
+
+// NewEntry implements Scheme.
+func (s *LimitedBroadcast) NewEntry() Entry {
+	return &broadcastEntry{s: s, ptrs: make([]NodeID, 0, s.ptrs)}
+}
+
+type broadcastEntry struct {
+	s     *LimitedBroadcast
+	ptrs  []NodeID
+	bcast bool
+	dirty bool
+	owner NodeID
+}
+
+func (e *broadcastEntry) AddSharer(n NodeID) []NodeID {
+	if e.bcast {
+		return nil
+	}
+	if idIndex(e.ptrs, n) >= 0 {
+		return nil
+	}
+	if len(e.ptrs) == cap(e.ptrs) {
+		e.bcast = true
+		e.ptrs = e.ptrs[:0]
+		return nil
+	}
+	e.ptrs = append(e.ptrs, n)
+	return nil
+}
+
+func (e *broadcastEntry) RemoveSharer(n NodeID) {
+	if e.bcast {
+		return // cannot express removal once broadcasting
+	}
+	if k := idIndex(e.ptrs, n); k >= 0 {
+		e.ptrs = popID(e.ptrs, k)
+	}
+}
+
+func (e *broadcastEntry) Sharers() bitset.Set {
+	set := bitset.New(e.s.nodes)
+	if e.bcast {
+		set.Fill()
+		return set
+	}
+	for _, p := range e.ptrs {
+		set.Add(p)
+	}
+	return set
+}
+
+func (e *broadcastEntry) IsSharer(n NodeID) bool {
+	return e.bcast || idIndex(e.ptrs, n) >= 0
+}
+
+func (e *broadcastEntry) Count() int {
+	if e.bcast {
+		return e.s.nodes
+	}
+	return len(e.ptrs)
+}
+
+func (e *broadcastEntry) Dirty() bool { return e.dirty }
+
+func (e *broadcastEntry) Owner() NodeID {
+	if !e.dirty {
+		return None
+	}
+	return e.owner
+}
+
+func (e *broadcastEntry) SetDirty(owner NodeID) {
+	e.bcast = false
+	e.ptrs = append(e.ptrs[:0], owner)
+	e.dirty = true
+	e.owner = owner
+}
+
+func (e *broadcastEntry) ClearDirty() {
+	e.dirty = false
+	e.owner = None
+}
+
+func (e *broadcastEntry) Reset() {
+	e.ptrs = e.ptrs[:0]
+	e.bcast = false
+	e.dirty = false
+	e.owner = None
+}
+
+func (e *broadcastEntry) Empty() bool { return !e.dirty && !e.bcast && len(e.ptrs) == 0 }
+
+func (e *broadcastEntry) Precise() bool { return !e.bcast }
+
+func (e *broadcastEntry) PopGrant() []NodeID {
+	if e.bcast {
+		out := make([]NodeID, e.s.nodes)
+		for i := range out {
+			out[i] = i
+		}
+		e.bcast = false
+		return out
+	}
+	if len(e.ptrs) == 0 {
+		return nil
+	}
+	n := e.ptrs[0]
+	e.ptrs = popID(e.ptrs, 0)
+	return []NodeID{n}
+}
+
+// LimitedNoBroadcast is the Dir_iNB scheme (§3.2.2): i pointers and no
+// overflow mechanism — adding an (i+1)-th sharer forces one existing sharer
+// to be invalidated. A block can therefore never be cached by more than i
+// nodes, which devastates widely read-shared data.
+type LimitedNoBroadcast struct {
+	nodes  int
+	ptrs   int
+	policy VictimPolicy
+	rng    *rand.Rand
+}
+
+// NewLimitedNoBroadcast returns a Dir_iNB scheme. The seed drives the
+// random victim policy so runs are reproducible.
+func NewLimitedNoBroadcast(ptrs, nodes int, policy VictimPolicy, seed int64) *LimitedNoBroadcast {
+	if ptrs <= 0 || nodes <= 0 {
+		panic("core: ptrs and nodes must be positive")
+	}
+	return &LimitedNoBroadcast{
+		nodes:  nodes,
+		ptrs:   ptrs,
+		policy: policy,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements Scheme.
+func (s *LimitedNoBroadcast) Name() string { return fmt.Sprintf("Dir%dNB", s.ptrs) }
+
+// Nodes implements Scheme.
+func (s *LimitedNoBroadcast) Nodes() int { return s.nodes }
+
+// BitsPerEntry implements Scheme: i pointers plus a dirty bit.
+func (s *LimitedNoBroadcast) BitsPerEntry() int {
+	return s.ptrs*log2ceil(s.nodes) + 1
+}
+
+// NewEntry implements Scheme.
+func (s *LimitedNoBroadcast) NewEntry() Entry {
+	return &noBroadcastEntry{s: s, ptrs: make([]NodeID, 0, s.ptrs)}
+}
+
+type noBroadcastEntry struct {
+	s     *LimitedNoBroadcast
+	ptrs  []NodeID // insertion order preserved except after random eviction
+	dirty bool
+	owner NodeID
+}
+
+func (e *noBroadcastEntry) AddSharer(n NodeID) []NodeID {
+	if idIndex(e.ptrs, n) >= 0 {
+		return nil
+	}
+	if len(e.ptrs) < cap(e.ptrs) {
+		e.ptrs = append(e.ptrs, n)
+		return nil
+	}
+	var k int
+	switch e.s.policy {
+	case VictimOldest:
+		k = 0
+	default:
+		k = e.s.rng.Intn(len(e.ptrs))
+	}
+	victim := e.ptrs[k]
+	// Preserve order for the FIFO policy by shifting.
+	copy(e.ptrs[k:], e.ptrs[k+1:])
+	e.ptrs[len(e.ptrs)-1] = n
+	return []NodeID{victim}
+}
+
+func (e *noBroadcastEntry) RemoveSharer(n NodeID) {
+	if k := idIndex(e.ptrs, n); k >= 0 {
+		copy(e.ptrs[k:], e.ptrs[k+1:])
+		e.ptrs = e.ptrs[:len(e.ptrs)-1]
+	}
+}
+
+func (e *noBroadcastEntry) Sharers() bitset.Set {
+	set := bitset.New(e.s.nodes)
+	for _, p := range e.ptrs {
+		set.Add(p)
+	}
+	return set
+}
+
+func (e *noBroadcastEntry) IsSharer(n NodeID) bool { return idIndex(e.ptrs, n) >= 0 }
+
+func (e *noBroadcastEntry) Count() int { return len(e.ptrs) }
+
+func (e *noBroadcastEntry) Dirty() bool { return e.dirty }
+
+func (e *noBroadcastEntry) Owner() NodeID {
+	if !e.dirty {
+		return None
+	}
+	return e.owner
+}
+
+func (e *noBroadcastEntry) SetDirty(owner NodeID) {
+	e.ptrs = append(e.ptrs[:0], owner)
+	e.dirty = true
+	e.owner = owner
+}
+
+func (e *noBroadcastEntry) ClearDirty() {
+	e.dirty = false
+	e.owner = None
+}
+
+func (e *noBroadcastEntry) Reset() {
+	e.ptrs = e.ptrs[:0]
+	e.dirty = false
+	e.owner = None
+}
+
+func (e *noBroadcastEntry) Empty() bool { return !e.dirty && len(e.ptrs) == 0 }
+
+func (e *noBroadcastEntry) Precise() bool { return true }
+
+func (e *noBroadcastEntry) PopGrant() []NodeID {
+	if len(e.ptrs) == 0 {
+		return nil
+	}
+	n := e.ptrs[0]
+	copy(e.ptrs, e.ptrs[1:])
+	e.ptrs = e.ptrs[:len(e.ptrs)-1]
+	return []NodeID{n}
+}

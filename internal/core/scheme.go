@@ -1,0 +1,131 @@
+// Package core implements the directory entry schemes studied in Gupta,
+// Weber & Mowry, "Reducing Memory and Traffic Requirements for Scalable
+// Directory-Based Cache Coherence Schemes" (ICPP 1990):
+//
+//   - Dir_P    — full bit vector (one bit per node)            [§3.1]
+//   - Dir_iB   — i limited pointers, broadcast on overflow     [§3.2.1]
+//   - Dir_iNB  — i limited pointers, never broadcast           [§3.2.2]
+//   - Dir_iX   — superset / composite-pointer scheme           [§3.2.3]
+//   - Dir_iCV_r — coarse vector: i pointers that degrade to a
+//     coarse bit vector with region size r (the paper's first
+//     contribution)                                            [§4.1]
+//
+// A directory entry tracks, for one memory block, the set of nodes
+// (clusters, in DASH terms) that may hold a cached copy, plus a dirty bit
+// and owner. Every scheme guarantees that the set it reports via Sharers
+// is a superset of the sharers it was told about via AddSharer — that is,
+// invalidations sent to Sharers() reach every cached copy; imprecise
+// schemes merely send extra ("extraneous") invalidations.
+package core
+
+import "dircoh/internal/bitset"
+
+// NodeID identifies a node (a DASH cluster) at directory granularity.
+type NodeID = int
+
+// None is the owner value of a non-dirty entry.
+const None NodeID = -1
+
+// Entry is the sharing state a directory keeps for one memory block.
+//
+// Entries are not safe for concurrent use; the simulator serializes all
+// accesses at the block's home node, as the hardware does.
+type Entry interface {
+	// AddSharer records node n as holding a copy. If the representation
+	// must drop an existing sharer to make room (Dir_iNB pointer
+	// overflow), the dropped nodes are returned and the caller must
+	// invalidate their cached copies.
+	AddSharer(n NodeID) (evicted []NodeID)
+
+	// RemoveSharer removes node n if the representation can express the
+	// removal precisely; otherwise it is a no-op (the entry keeps a
+	// stale superset, as DASH does for silent cache replacements).
+	RemoveSharer(n NodeID)
+
+	// Sharers returns the candidate sharer set: a superset of every node
+	// recorded via AddSharer (and not precisely removed). Invalidations
+	// on a write are sent to this set.
+	Sharers() bitset.Set
+
+	// IsSharer reports whether n is in the candidate set.
+	IsSharer(n NodeID) bool
+
+	// Count returns the size of the candidate set.
+	Count() int
+
+	// Dirty reports whether one node holds the block exclusively.
+	Dirty() bool
+
+	// Owner returns the dirty owner, or None.
+	Owner() NodeID
+
+	// SetDirty makes owner the sole, exclusive holder. The previous
+	// sharer representation is discarded (the caller has already sent
+	// the invalidations).
+	SetDirty(owner NodeID)
+
+	// ClearDirty downgrades a dirty entry to shared; the former owner
+	// remains a sharer.
+	ClearDirty()
+
+	// Reset empties the entry entirely.
+	Reset()
+
+	// Empty reports whether the entry tracks nothing (safe to reclaim).
+	Empty() bool
+
+	// Precise reports whether the candidate set is exactly the recorded
+	// sharers (false once a limited scheme has overflowed).
+	Precise() bool
+
+	// PopGrant removes and returns a minimal releasable subset of the
+	// candidate set, used by queued directory locks (§7 of the paper):
+	// a precise representation yields a single node; a coarse vector
+	// yields one region; a broadcast yields everything.
+	PopGrant() []NodeID
+}
+
+// Scheme is a factory for directory entries of one flavor.
+type Scheme interface {
+	// Name returns the paper's notation for the scheme, e.g. "Dir3CV2".
+	Name() string
+
+	// Nodes returns the number of nodes entries of this scheme track.
+	Nodes() int
+
+	// NewEntry returns a fresh, empty entry.
+	NewEntry() Entry
+
+	// BitsPerEntry returns the directory state storage cost of one
+	// entry in bits, including the dirty bit and any mode flags but
+	// excluding sparse-directory tags.
+	BitsPerEntry() int
+}
+
+// log2ceil returns ceil(log2(n)) for n >= 1; pointer width in bits.
+func log2ceil(n int) int {
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	if b == 0 {
+		return 1 // a pointer needs at least one bit
+	}
+	return b
+}
+
+// popID removes the element at index k from a pointer list.
+func popID(ptrs []NodeID, k int) []NodeID {
+	ptrs[k] = ptrs[len(ptrs)-1]
+	return ptrs[:len(ptrs)-1]
+}
+
+// idIndex returns the index of n in ptrs, or -1.
+func idIndex(ptrs []NodeID, n NodeID) int {
+	for i, p := range ptrs {
+		if p == n {
+			return i
+		}
+	}
+	return -1
+}

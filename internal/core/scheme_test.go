@@ -1,0 +1,519 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dircoh/internal/bitset"
+)
+
+const testNodes = 32
+
+// allSchemes returns one instance of every scheme, sized for n nodes.
+func allSchemes(n int) []Scheme {
+	return []Scheme{
+		NewFullVector(n),
+		NewLimitedBroadcast(3, n),
+		NewLimitedNoBroadcast(3, n, VictimRandom, 1),
+		NewLimitedNoBroadcast(3, n, VictimOldest, 1),
+		NewSuperset(2, n),
+		NewCoarseVector(3, 2, n),
+		NewCoarseVector(8, 4, n),
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	want := map[string]Scheme{
+		"Dir32":   NewFullVector(32),
+		"Dir3B":   NewLimitedBroadcast(3, 32),
+		"Dir3NB":  NewLimitedNoBroadcast(3, 32, VictimRandom, 1),
+		"Dir2X":   NewSuperset(2, 32),
+		"Dir3CV2": NewCoarseVector(3, 2, 32),
+		"Dir8CV4": NewCoarseVector(8, 4, 256),
+		"Dir16":   NewFullVector(16),
+		"Dir12NB": NewLimitedNoBroadcast(12, 64, VictimOldest, 1),
+	}
+	for name, s := range want {
+		if s.Name() != name {
+			t.Errorf("Name() = %q, want %q", s.Name(), name)
+		}
+	}
+}
+
+func TestBitsPerEntry(t *testing.T) {
+	// Paper §3.1: DASH prototype, 16 clusters, full vector: 16+1 = 17 bits.
+	if got := NewFullVector(16).BitsPerEntry(); got != 17 {
+		t.Errorf("Dir16 bits = %d, want 17", got)
+	}
+	// §5: 32 nodes, 3 pointers of 5 bits each.
+	if got := NewLimitedNoBroadcast(3, 32, VictimRandom, 1).BitsPerEntry(); got != 16 {
+		t.Errorf("Dir3NB bits = %d, want 16", got)
+	}
+	if got := NewLimitedBroadcast(3, 32).BitsPerEntry(); got != 17 {
+		t.Errorf("Dir3B bits = %d, want 17", got)
+	}
+	// Dir3CV2 at 32 nodes: max(15, 16) + 2 = 18.
+	if got := NewCoarseVector(3, 2, 32).BitsPerEntry(); got != 18 {
+		t.Errorf("Dir3CV2 bits = %d, want 18", got)
+	}
+	// Dir2X at 32 nodes: composite = 2*5 = pointer storage, +2.
+	if got := NewSuperset(2, 32).BitsPerEntry(); got != 12 {
+		t.Errorf("Dir2X bits = %d, want 12", got)
+	}
+}
+
+func TestEmptyEntryInvariants(t *testing.T) {
+	for _, s := range allSchemes(testNodes) {
+		e := s.NewEntry()
+		if !e.Empty() {
+			t.Errorf("%s: new entry not empty", s.Name())
+		}
+		if e.Dirty() {
+			t.Errorf("%s: new entry dirty", s.Name())
+		}
+		if e.Owner() != None {
+			t.Errorf("%s: new entry has owner %d", s.Name(), e.Owner())
+		}
+		if e.Count() != 0 {
+			t.Errorf("%s: new entry Count = %d", s.Name(), e.Count())
+		}
+		if !e.Precise() {
+			t.Errorf("%s: new entry imprecise", s.Name())
+		}
+		if g := e.PopGrant(); g != nil {
+			t.Errorf("%s: PopGrant on empty = %v", s.Name(), g)
+		}
+	}
+}
+
+func TestAddThenSharersContains(t *testing.T) {
+	for _, s := range allSchemes(testNodes) {
+		e := s.NewEntry()
+		e.AddSharer(7)
+		if !e.IsSharer(7) {
+			t.Errorf("%s: 7 not a sharer after AddSharer", s.Name())
+		}
+		if !e.Sharers().Contains(7) {
+			t.Errorf("%s: Sharers() missing 7", s.Name())
+		}
+		if e.Empty() {
+			t.Errorf("%s: empty after AddSharer", s.Name())
+		}
+	}
+}
+
+func TestSetDirtyResetsToOwner(t *testing.T) {
+	for _, s := range allSchemes(testNodes) {
+		e := s.NewEntry()
+		for n := 0; n < 10; n++ {
+			e.AddSharer(n)
+		}
+		e.SetDirty(13)
+		if !e.Dirty() || e.Owner() != 13 {
+			t.Errorf("%s: Dirty/Owner wrong after SetDirty", s.Name())
+		}
+		sh := e.Sharers()
+		if sh.Count() != 1 || !sh.Contains(13) {
+			t.Errorf("%s: Sharers after SetDirty = %v, want {13}", s.Name(), sh)
+		}
+		if !e.Precise() {
+			t.Errorf("%s: imprecise after SetDirty", s.Name())
+		}
+		e.ClearDirty()
+		if e.Dirty() || e.Owner() != None {
+			t.Errorf("%s: still dirty after ClearDirty", s.Name())
+		}
+		if !e.IsSharer(13) {
+			t.Errorf("%s: former owner dropped by ClearDirty", s.Name())
+		}
+	}
+}
+
+func TestResetEmpties(t *testing.T) {
+	for _, s := range allSchemes(testNodes) {
+		e := s.NewEntry()
+		for n := 0; n < testNodes; n++ {
+			e.AddSharer(n)
+		}
+		e.SetDirty(3)
+		e.Reset()
+		if !e.Empty() || e.Dirty() || e.Count() != 0 {
+			t.Errorf("%s: Reset did not empty entry", s.Name())
+		}
+	}
+}
+
+func TestFullVectorPrecision(t *testing.T) {
+	s := NewFullVector(testNodes)
+	e := s.NewEntry()
+	for n := 0; n < testNodes; n += 3 {
+		e.AddSharer(n)
+	}
+	want := 0
+	for n := 0; n < testNodes; n += 3 {
+		want++
+	}
+	if e.Count() != want {
+		t.Fatalf("Count = %d, want %d", e.Count(), want)
+	}
+	e.RemoveSharer(3)
+	if e.IsSharer(3) {
+		t.Fatal("RemoveSharer failed")
+	}
+	if !e.Precise() {
+		t.Fatal("full vector must always be precise")
+	}
+}
+
+func TestBroadcastOverflow(t *testing.T) {
+	s := NewLimitedBroadcast(3, testNodes)
+	e := s.NewEntry()
+	for n := 0; n < 3; n++ {
+		e.AddSharer(n)
+	}
+	if !e.Precise() || e.Count() != 3 {
+		t.Fatal("should still be precise with 3 sharers")
+	}
+	e.AddSharer(3) // overflow -> broadcast
+	if e.Precise() {
+		t.Fatal("should be imprecise after overflow")
+	}
+	if e.Count() != testNodes {
+		t.Fatalf("broadcast Count = %d, want %d", e.Count(), testNodes)
+	}
+	for n := 0; n < testNodes; n++ {
+		if !e.IsSharer(n) {
+			t.Fatalf("node %d not in broadcast set", n)
+		}
+	}
+	// Removal in broadcast mode is a no-op.
+	e.RemoveSharer(5)
+	if !e.IsSharer(5) {
+		t.Fatal("RemoveSharer should be a no-op in broadcast mode")
+	}
+}
+
+func TestNoBroadcastEviction(t *testing.T) {
+	s := NewLimitedNoBroadcast(3, testNodes, VictimOldest, 1)
+	e := s.NewEntry()
+	for n := 0; n < 3; n++ {
+		if ev := e.AddSharer(n); ev != nil {
+			t.Fatalf("unexpected eviction %v", ev)
+		}
+	}
+	ev := e.AddSharer(10)
+	if len(ev) != 1 || ev[0] != 0 {
+		t.Fatalf("eviction = %v, want [0] (oldest)", ev)
+	}
+	if e.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", e.Count())
+	}
+	if e.IsSharer(0) || !e.IsSharer(10) {
+		t.Fatal("wrong sharers after eviction")
+	}
+	// NB never exceeds its pointer count.
+	for n := 11; n < 20; n++ {
+		e.AddSharer(n)
+		if e.Count() > 3 {
+			t.Fatalf("Count = %d exceeds pointers", e.Count())
+		}
+	}
+}
+
+func TestNoBroadcastRandomEvictionIsMember(t *testing.T) {
+	s := NewLimitedNoBroadcast(3, testNodes, VictimRandom, 42)
+	e := s.NewEntry()
+	members := map[NodeID]bool{}
+	for n := 0; n < 3; n++ {
+		e.AddSharer(n)
+		members[n] = true
+	}
+	for n := 3; n < 30; n++ {
+		ev := e.AddSharer(n)
+		if len(ev) != 1 {
+			t.Fatalf("want exactly one eviction, got %v", ev)
+		}
+		if !members[ev[0]] {
+			t.Fatalf("evicted %d was not a member", ev[0])
+		}
+		delete(members, ev[0])
+		members[n] = true
+	}
+}
+
+func TestSupersetComposite(t *testing.T) {
+	s := NewSuperset(2, testNodes)
+	e := s.NewEntry()
+	e.AddSharer(0) // 00000
+	e.AddSharer(1) // 00001
+	if !e.Precise() {
+		t.Fatal("precise with 2 sharers")
+	}
+	e.AddSharer(2) // 00010 -> overflow; X pattern 000XX => {0,1,2,3}
+	if e.Precise() {
+		t.Fatal("imprecise after overflow")
+	}
+	sh := e.Sharers()
+	want := bitset.FromSlice(testNodes, []int{0, 1, 2, 3})
+	if !sh.Equal(want) {
+		t.Fatalf("Sharers = %v, want %v", sh, want)
+	}
+	// Adding a distant node explodes the candidate set.
+	e.AddSharer(16) // 10000 -> pattern X00XX
+	if got := e.Sharers().Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+}
+
+func TestSupersetWorseOrEqualCoarse(t *testing.T) {
+	// Figure 2b: Dir3X behaves almost like broadcast, much worse than CV.
+	// Deterministically: for any sharer set, Dir2X candidates ⊇ sharers,
+	// and typically |Dir2X| grows toward N much faster than |Dir3CV2|.
+	rng := rand.New(rand.NewSource(7))
+	xTotal, cvTotal := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		x := NewSuperset(2, 64).NewEntry()
+		cv := NewCoarseVector(3, 2, 64).NewEntry()
+		for k := 0; k < 8; k++ {
+			n := rng.Intn(64)
+			x.AddSharer(n)
+			cv.AddSharer(n)
+		}
+		xTotal += x.Count()
+		cvTotal += cv.Count()
+	}
+	if xTotal <= cvTotal {
+		t.Fatalf("expected superset scheme to send more invalidations: X=%d CV=%d", xTotal, cvTotal)
+	}
+}
+
+func TestCoarseVectorRegions(t *testing.T) {
+	s := NewCoarseVector(3, 2, testNodes)
+	e := s.NewEntry()
+	e.AddSharer(0)
+	e.AddSharer(5)
+	e.AddSharer(9)
+	if !e.Precise() || e.Count() != 3 {
+		t.Fatal("precise with 3 sharers")
+	}
+	e.AddSharer(20) // overflow: regions {0,1},{4,5},{8,9},{20,21}
+	if e.Precise() {
+		t.Fatal("imprecise after overflow")
+	}
+	want := bitset.FromSlice(testNodes, []int{0, 1, 4, 5, 8, 9, 20, 21})
+	if got := e.Sharers(); !got.Equal(want) {
+		t.Fatalf("Sharers = %v, want %v", got, want)
+	}
+	// Coarse adds stay region-granular.
+	e.AddSharer(31)
+	if !e.IsSharer(30) || !e.IsSharer(31) {
+		t.Fatal("region {30,31} should be covered")
+	}
+}
+
+func TestCoarseVectorNeverWorseThanBroadcast(t *testing.T) {
+	// §4.1: with all bits set the CV equals a broadcast; before that it is
+	// strictly better. Check |CV targets| <= |B targets| for random adds.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		cv := NewCoarseVector(3, 2, testNodes).NewEntry()
+		b := NewLimitedBroadcast(3, testNodes).NewEntry()
+		k := 1 + rng.Intn(testNodes)
+		for j := 0; j < k; j++ {
+			n := rng.Intn(testNodes)
+			cv.AddSharer(n)
+			b.AddSharer(n)
+		}
+		if cv.Count() > b.Count() {
+			t.Fatalf("CV=%d > B=%d after %d adds", cv.Count(), b.Count(), k)
+		}
+	}
+}
+
+func TestCoarseVectorOddRegion(t *testing.T) {
+	// 10 nodes, region 3 -> regions {0-2},{3-5},{6-8},{9}.
+	s := NewCoarseVector(1, 3, 10)
+	e := s.NewEntry()
+	e.AddSharer(9)
+	e.AddSharer(0) // overflow
+	want := bitset.FromSlice(10, []int{0, 1, 2, 9})
+	if got := e.Sharers(); !got.Equal(want) {
+		t.Fatalf("Sharers = %v, want %v", got, want)
+	}
+	if e.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", e.Count())
+	}
+}
+
+func TestPopGrantDrainsEntry(t *testing.T) {
+	for _, s := range allSchemes(testNodes) {
+		e := s.NewEntry()
+		added := map[NodeID]bool{}
+		for _, n := range []NodeID{2, 9, 17, 25, 30} {
+			e.AddSharer(n)
+			added[n] = true
+		}
+		seen := map[NodeID]bool{}
+		for i := 0; i < 100; i++ {
+			g := e.PopGrant()
+			if g == nil {
+				break
+			}
+			for _, n := range g {
+				seen[n] = true
+			}
+		}
+		if !e.Empty() && e.Count() != 0 {
+			t.Errorf("%s: entry not drained by PopGrant", s.Name())
+		}
+		for n := range added {
+			if !seen[n] {
+				// NB may have evicted some sharers; eviction is allowed
+				// to drop them from the grant set.
+				if _, nb := s.(*LimitedNoBroadcast); nb {
+					continue
+				}
+				t.Errorf("%s: added sharer %d never granted", s.Name(), n)
+			}
+		}
+	}
+}
+
+func TestCoarsePopGrantReleasesOneRegion(t *testing.T) {
+	s := NewCoarseVector(3, 4, testNodes)
+	e := s.NewEntry()
+	for _, n := range []NodeID{0, 5, 10, 15} { // overflow into regions 0,1,2,3
+		e.AddSharer(n)
+	}
+	g := e.PopGrant()
+	if len(g) != 4 {
+		t.Fatalf("grant = %v, want one region of 4", g)
+	}
+	for i, n := range []NodeID{0, 1, 2, 3} {
+		if g[i] != n {
+			t.Fatalf("grant = %v, want [0 1 2 3]", g)
+		}
+	}
+}
+
+// Property: for every scheme, the candidate set reported by Sharers is a
+// superset of all sharers added (minus NB evictions and explicit removals
+// honored precisely). This is the correctness invariant of the whole paper:
+// invalidations must reach every cached copy.
+func TestQuickSupersetInvariant(t *testing.T) {
+	type op struct {
+		node   uint8
+		remove bool
+	}
+	f := func(rawOps []uint16) bool {
+		for _, s := range allSchemes(testNodes) {
+			e := s.NewEntry()
+			tracked := bitset.New(testNodes) // what a precise directory would hold
+			for _, raw := range rawOps {
+				o := op{node: uint8(raw % testNodes), remove: raw&0x8000 != 0}
+				n := NodeID(o.node)
+				if o.remove {
+					// Model a precise removal request: the entry may
+					// ignore it, but if it honors it the tracked set
+					// must drop it too only when the entry is precise.
+					if e.Precise() {
+						e.RemoveSharer(n)
+						tracked.Remove(n)
+					}
+				} else {
+					ev := e.AddSharer(n)
+					tracked.Add(n)
+					for _, v := range ev {
+						tracked.Remove(v) // caller invalidates evictees
+					}
+				}
+				if !e.Sharers().SupersetOf(tracked) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Count always equals the cardinality of Sharers().
+func TestQuickCountMatchesSharers(t *testing.T) {
+	f := func(nodes []uint8) bool {
+		for _, s := range allSchemes(testNodes) {
+			e := s.NewEntry()
+			for _, n := range nodes {
+				e.AddSharer(NodeID(n % testNodes))
+				if e.Count() != e.Sharers().Count() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the coarse vector candidate set is always a subset of the
+// broadcast candidate set and a superset of the full-vector (true) set.
+func TestQuickCVBetweenFullAndBroadcast(t *testing.T) {
+	f := func(nodes []uint8) bool {
+		full := NewFullVector(testNodes).NewEntry()
+		cv := NewCoarseVector(3, 2, testNodes).NewEntry()
+		b := NewLimitedBroadcast(3, testNodes).NewEntry()
+		for _, raw := range nodes {
+			n := NodeID(raw % testNodes)
+			full.AddSharer(n)
+			cv.AddSharer(n)
+			b.AddSharer(n)
+		}
+		cvSet := cv.Sharers()
+		return cvSet.SupersetOf(full.Sharers()) && b.Sharers().SupersetOf(cvSet)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewFullVector(0) },
+		func() { NewLimitedBroadcast(0, 4) },
+		func() { NewLimitedNoBroadcast(2, 0, VictimRandom, 1) },
+		func() { NewSuperset(-1, 4) },
+		func() { NewCoarseVector(1, 0, 4) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestVictimPolicyString(t *testing.T) {
+	if VictimRandom.String() != "random" || VictimOldest.String() != "oldest" {
+		t.Fatal("VictimPolicy String broken")
+	}
+	if VictimPolicy(9).String() == "" {
+		t.Fatal("unknown policy should still render")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 16: 4, 17: 5, 32: 5, 33: 6, 1024: 10}
+	for n, want := range cases {
+		if got := log2ceil(n); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"dircoh/internal/bitset"
+)
+
+// Superset is the Dir_iX scheme (§3.2.3, terminology from the paper; the
+// mechanism is from Agarwal et al. 1988): i exact pointers that collapse,
+// on overflow, into a single composite pointer whose bits may be 0, 1, or X
+// ("both"). The candidate sharer set is every node ID matching the
+// composite pattern. The paper uses i = 2 and shows the scheme is only
+// marginally better than broadcast (Figure 2b).
+type Superset struct {
+	nodes int
+	ptrs  int
+}
+
+// NewSuperset returns a Dir_iX scheme with ptrs exact pointers.
+func NewSuperset(ptrs, nodes int) *Superset {
+	if ptrs <= 0 || nodes <= 0 {
+		panic("core: ptrs and nodes must be positive")
+	}
+	return &Superset{nodes: nodes, ptrs: ptrs}
+}
+
+// Name implements Scheme.
+func (s *Superset) Name() string { return fmt.Sprintf("Dir%dX", s.ptrs) }
+
+// Nodes implements Scheme.
+func (s *Superset) Nodes() int { return s.nodes }
+
+// BitsPerEntry implements Scheme: the composite pointer needs two bits per
+// pointer-bit position (value + X flag), which is exactly the storage of
+// two plain pointers; plus a mode bit and the dirty bit.
+func (s *Superset) BitsPerEntry() int {
+	w := log2ceil(s.nodes)
+	bits := s.ptrs * w
+	if composite := 2 * w; composite > bits {
+		bits = composite
+	}
+	return bits + 2
+}
+
+// NewEntry implements Scheme.
+func (s *Superset) NewEntry() Entry {
+	return &supersetEntry{s: s, ptrs: make([]NodeID, 0, s.ptrs)}
+}
+
+type supersetEntry struct {
+	s         *Superset
+	ptrs      []NodeID
+	composite bool
+	value     uint64 // pattern bits (bits under xmask are irrelevant)
+	xmask     uint64 // bits in the X ("both") state
+	dirty     bool
+	owner     NodeID
+}
+
+func (e *supersetEntry) AddSharer(n NodeID) []NodeID {
+	if e.composite {
+		e.xmask |= e.value ^ uint64(n)
+		return nil
+	}
+	if idIndex(e.ptrs, n) >= 0 {
+		return nil
+	}
+	if len(e.ptrs) < cap(e.ptrs) {
+		e.ptrs = append(e.ptrs, n)
+		return nil
+	}
+	// Overflow: fold all pointers plus the newcomer into one composite.
+	e.composite = true
+	e.value = uint64(n)
+	for _, p := range e.ptrs {
+		e.xmask |= e.value ^ uint64(p)
+	}
+	e.ptrs = e.ptrs[:0]
+	return nil
+}
+
+func (e *supersetEntry) RemoveSharer(n NodeID) {
+	if e.composite {
+		return // composite pointers cannot express removal
+	}
+	if k := idIndex(e.ptrs, n); k >= 0 {
+		e.ptrs = popID(e.ptrs, k)
+	}
+}
+
+// matches reports whether node id n matches the composite pattern.
+func (e *supersetEntry) matches(n NodeID) bool {
+	return (uint64(n)^e.value)&^e.xmask == 0
+}
+
+func (e *supersetEntry) Sharers() bitset.Set {
+	set := bitset.New(e.s.nodes)
+	if !e.composite {
+		for _, p := range e.ptrs {
+			set.Add(p)
+		}
+		return set
+	}
+	// Expand every X bit to both values; enumerate matching node IDs.
+	for n := 0; n < e.s.nodes; n++ {
+		if e.matches(n) {
+			set.Add(n)
+		}
+	}
+	return set
+}
+
+func (e *supersetEntry) IsSharer(n NodeID) bool {
+	if e.composite {
+		return e.matches(n)
+	}
+	return idIndex(e.ptrs, n) >= 0
+}
+
+func (e *supersetEntry) Count() int {
+	if !e.composite {
+		return len(e.ptrs)
+	}
+	return e.Sharers().Count()
+}
+
+func (e *supersetEntry) Dirty() bool { return e.dirty }
+
+func (e *supersetEntry) Owner() NodeID {
+	if !e.dirty {
+		return None
+	}
+	return e.owner
+}
+
+func (e *supersetEntry) SetDirty(owner NodeID) {
+	e.composite = false
+	e.value, e.xmask = 0, 0
+	e.ptrs = append(e.ptrs[:0], owner)
+	e.dirty = true
+	e.owner = owner
+}
+
+func (e *supersetEntry) ClearDirty() {
+	e.dirty = false
+	e.owner = None
+}
+
+func (e *supersetEntry) Reset() {
+	e.ptrs = e.ptrs[:0]
+	e.composite = false
+	e.value, e.xmask = 0, 0
+	e.dirty = false
+	e.owner = None
+}
+
+func (e *supersetEntry) Empty() bool { return !e.dirty && !e.composite && len(e.ptrs) == 0 }
+
+func (e *supersetEntry) Precise() bool { return !e.composite }
+
+func (e *supersetEntry) PopGrant() []NodeID {
+	if e.composite {
+		out := e.Sharers().Elems()
+		e.composite = false
+		e.value, e.xmask = 0, 0
+		return out
+	}
+	if len(e.ptrs) == 0 {
+		return nil
+	}
+	n := e.ptrs[0]
+	e.ptrs = popID(e.ptrs, 0)
+	return []NodeID{n}
+}

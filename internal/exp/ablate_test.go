@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegionSweepMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several 32-proc runs")
+	}
+	runs, tb := RegionSweep("LocusRoute", Procs)
+	if !strings.Contains(tb.String(), "Dir3CV16") {
+		t.Fatalf("table missing rows:\n%s", tb)
+	}
+	// Larger regions -> more extraneous invalidations (within noise).
+	base := runs[0].Result
+	var prev float64
+	for _, r := range runs[1:] {
+		cur := float64(r.Result.Msgs.InvalAck())
+		if prev != 0 && cur < prev*0.97 {
+			t.Errorf("%s inval+ack %v dropped well below previous %v", r.Label, cur, prev)
+		}
+		prev = cur
+	}
+	// Region 32 (one region = whole machine) behaves like broadcast:
+	// far above the full vector.
+	last := runs[len(runs)-1].Result
+	if last.Msgs.InvalAck() < 2*base.Msgs.InvalAck() {
+		t.Errorf("CV32 inval+ack %d should be broadcast-like (full: %d)",
+			last.Msgs.InvalAck(), base.Msgs.InvalAck())
+	}
+	// Region 1 stays close to the full vector.
+	r1 := runs[1].Result
+	if float64(r1.Msgs.Total()) > 1.1*float64(base.Msgs.Total()) {
+		t.Errorf("CV1 total msgs %d should be near full vector's %d",
+			r1.Msgs.Total(), base.Msgs.Total())
+	}
+}
+
+func TestPointerSweepMorePointersHelp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many 32-proc runs")
+	}
+	runs, _ := PointerSweep("LocusRoute", Procs)
+	byLabel := map[string]Run{}
+	for _, r := range runs[1:] {
+		byLabel[r.Label] = r
+	}
+	// For the broadcast scheme, going from 1 to 6 pointers must cut
+	// traffic substantially (fewer overflows).
+	b1 := byLabel["Dir_iB i=1"].Result.Msgs.Total()
+	b6 := byLabel["Dir_iB i=6"].Result.Msgs.Total()
+	if float64(b6) > 0.8*float64(b1) {
+		t.Errorf("Dir6B msgs %d should be well below Dir1B's %d", b6, b1)
+	}
+	// Same direction for the coarse vector.
+	cv1 := byLabel["Dir_iCV2 i=1"].Result.Msgs.Total()
+	cv6 := byLabel["Dir_iCV2 i=6"].Result.Msgs.Total()
+	if cv6 > cv1 {
+		t.Errorf("Dir6CV2 msgs %d should not exceed Dir1CV2's %d", cv6, cv1)
+	}
+	// And at every pointer count, CV's traffic <= B's (the paper's core
+	// superiority claim, here swept across the budget).
+	for _, i := range []string{"1", "2", "3", "4", "6"} {
+		cv := byLabel["Dir_iCV2 i="+i].Result.Msgs.Total()
+		b := byLabel["Dir_iB i="+i].Result.Msgs.Total()
+		if float64(cv) > float64(b)*1.02 {
+			t.Errorf("i=%s: CV msgs %d exceed B msgs %d", i, cv, b)
+		}
+	}
+}
+
+func TestDirectoryComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("five 32-proc runs")
+	}
+	runs, tb := DirectoryComparison("LocusRoute", Procs)
+	if len(runs) != 5 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	full := runs[0].Result
+	ov := runs[3].Result // Dir2 + 64 wide entries
+	// With a big-enough wide cache the overflow directory is exactly as
+	// precise as the full vector, at a fraction of per-block storage.
+	if ov.Msgs != full.Msgs {
+		t.Errorf("overflow directory with ample wide cache should match the full vector: %v vs %v", ov.Msgs, full.Msgs)
+	}
+	// The tight wide cache degrades but never approaches broadcast.
+	tight := runs[4].Result
+	if tight.Replacements == 0 {
+		t.Error("tight wide cache should replace entries")
+	}
+	if float64(tight.Msgs.Total()) > 1.8*float64(full.Msgs.Total()) {
+		t.Errorf("tight overflow traffic %.2fx should stay well below broadcast's 2.4x",
+			float64(tight.Msgs.Total())/float64(full.Msgs.Total()))
+	}
+	if !strings.Contains(tb.String(), "overflow") {
+		t.Fatal("table malformed")
+	}
+}
+
+func TestLockContention(t *testing.T) {
+	runs, tb := LockContention(16, 4)
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	full, cv := runs[0].Result, runs[1].Result
+	// Full vector grants directly: no retries. Coarse waiter sets cause
+	// region wakes and re-contention.
+	if full.LockRetries != 0 {
+		t.Errorf("full vector lock retries = %d, want 0", full.LockRetries)
+	}
+	if cv.LockRetries == 0 {
+		t.Error("coarse vector should incur lock retries (§7 region wake)")
+	}
+	if !strings.Contains(tb.String(), "lock retries") {
+		t.Fatal("table malformed")
+	}
+	// Every variant must complete (the run panics on deadlock) and do
+	// real work.
+	for _, r := range runs {
+		if r.Result.ExecTime == 0 {
+			t.Errorf("%s: no work", r.Label)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package exp drives the paper's experiments end to end: it builds the
+// workloads, configures machines, runs them, and renders each table and
+// figure of the evaluation section (Figures 2–14, Tables 1–2). Both
+// cmd/sweep and the benchmark harness are thin wrappers around this
+// package.
+package exp
+
+import (
+	"fmt"
+
+	"dircoh/internal/apps"
+	"dircoh/internal/cache"
+	"dircoh/internal/machine"
+	"dircoh/internal/sparse"
+	"dircoh/internal/stats"
+	"dircoh/internal/tango"
+)
+
+// Procs is the paper's experimental machine size: 32 processors in 32
+// clusters (§5: "All runs were done with 32 processors").
+const Procs = 32
+
+// Schemes is the §5 roster: Dir32, Dir3CV2, Dir3B, Dir3NB. The paper
+// normalizes everything to the full bit vector, which therefore comes
+// first.
+var Schemes = []struct {
+	Label   string
+	Factory machine.SchemeFactory
+}{
+	{"Full Vector", machine.FullVec},
+	{"Coarse Vector", machine.CoarseVec2},
+	{"Broadcast", machine.Broadcast},
+	{"Non Broadcast", machine.NoBroadcast},
+}
+
+// Run is one simulation outcome annotated with its configuration.
+type Run struct {
+	App    string
+	Label  string
+	Result *machine.Result
+}
+
+// Workload builds the named application at its default experiment size.
+func Workload(app string, procs int) *tango.Workload {
+	w := apps.ByName(app, procs)
+	if w == nil {
+		panic(fmt.Sprintf("exp: unknown application %q", app))
+	}
+	return w
+}
+
+// RunApp simulates one application under one scheme with the prototype's
+// full-size caches and a non-sparse directory (the Figures 7–10 setup).
+func RunApp(app string, procs int, label string, f machine.SchemeFactory) Run {
+	cfg := machine.DefaultConfig(f)
+	cfg.Procs = procs
+	return runWith(app, cfg, label)
+}
+
+func runWith(app string, cfg machine.Config, label string) Run {
+	return runWorkload(app, Workload(app, cfg.Procs), cfg, label)
+}
+
+// runSparse runs a sparse-study configuration with the sparse-study
+// problem size (LU is enlarged so the data set pressures the directory
+// the way the paper's full-size problems pressured theirs).
+func runSparse(app string, cfg machine.Config, label string) Run {
+	return runWorkload(app, SparseWorkload(app, cfg.Procs), cfg, label)
+}
+
+// SparseWorkload builds the problem size used by the sparse-directory
+// studies (Figures 11-14).
+func SparseWorkload(app string, procs int) *tango.Workload {
+	if app == "LU" {
+		return apps.LU(apps.LUConfig{Procs: procs, N: 128})
+	}
+	return Workload(app, procs)
+}
+
+func runWorkload(app string, w *tango.Workload, cfg machine.Config, label string) Run {
+	m, err := machine.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	r, err := m.Run(w)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %s/%s: %v", app, label, err))
+	}
+	if err := m.CheckCoherence(); err != nil {
+		panic(fmt.Sprintf("exp: %s/%s coherence: %v", app, label, err))
+	}
+	return Run{App: app, Label: label, Result: r}
+}
+
+// Table2 reproduces Table 2: general application characteristics at the
+// experiment problem sizes (counts are in thousands, data set in KB —
+// the paper's full-size runs report millions and MB).
+func Table2(procs int) *stats.Table {
+	tb := stats.NewTable("application", "shared refs(k)", "reads(k)", "writes(k)", "sync ops", "shared KB")
+	for _, name := range apps.Names() {
+		c := Workload(name, procs).Characterize()
+		tb.AddRow(
+			name,
+			fmt.Sprintf("%.1f", float64(c.SharedRefs)/1000),
+			fmt.Sprintf("%.1f", float64(c.SharedReads)/1000),
+			fmt.Sprintf("%.1f", float64(c.SharedWrites)/1000),
+			fmt.Sprintf("%d", c.SyncOps),
+			fmt.Sprintf("%.1f", float64(c.SharedBytes)/1024),
+		)
+	}
+	return tb
+}
+
+// Figs3to6 reproduces the invalidation distributions of Figures 3–6:
+// LocusRoute under Dir32, Dir3NB, Dir3B and Dir3CV2.
+func Figs3to6(procs int) []Run {
+	order := []struct {
+		fig   string
+		label string
+		f     machine.SchemeFactory
+	}{
+		{"Figure 3", "Dir32 (full vector)", machine.FullVec},
+		{"Figure 4", "Dir3NB", machine.NoBroadcast},
+		{"Figure 5", "Dir3B", machine.Broadcast},
+		{"Figure 6", "Dir3CV2", machine.CoarseVec2},
+	}
+	var out []Run
+	for _, o := range order {
+		r := RunApp("LocusRoute", procs, o.fig+": "+o.label, o.f)
+		out = append(out, r)
+	}
+	return out
+}
+
+// SchemeComparison reproduces one of Figures 7–10: one application under
+// all four schemes, reporting execution time and message counts
+// normalized to the full bit vector.
+func SchemeComparison(app string, procs int) ([]Run, *stats.Table) {
+	var runs []Run
+	for _, s := range Schemes {
+		runs = append(runs, RunApp(app, procs, s.Label, s.Factory))
+	}
+	base := runs[0].Result
+	tb := stats.NewTable("scheme", "exec", "exec(norm)", "msgs", "msgs(norm)", "requests", "replies", "inval+ack")
+	for _, r := range runs {
+		res := r.Result
+		tb.AddRow(
+			r.Label,
+			fmt.Sprintf("%d", res.ExecTime),
+			fmt.Sprintf("%.3f", float64(res.ExecTime)/float64(base.ExecTime)),
+			fmt.Sprintf("%d", res.Msgs.Total()),
+			fmt.Sprintf("%.3f", float64(res.Msgs.Total())/float64(base.Msgs.Total())),
+			fmt.Sprintf("%d", res.Msgs[stats.Request]),
+			fmt.Sprintf("%d", res.Msgs[stats.Reply]),
+			fmt.Sprintf("%d", res.Msgs.InvalAck()),
+		)
+	}
+	return runs, tb
+}
+
+// ScaledCache returns the reduced cache configuration the sparse studies
+// use for the given application (§6.3: caches are scaled per application
+// so the data-set-to-cache ratio matches a full-size problem on real DASH
+// hardware; the paper gives DWF 2 KB per processor).
+func ScaledCache(app string) cache.Config {
+	if app == "DWF" {
+		return cache.Config{L1Size: 1 << 10, L1Assoc: 1, L2Size: 2 << 10, L2Assoc: 1, Block: 16}
+	}
+	return cache.Config{L1Size: 512, L1Assoc: 1, L2Size: 1 << 10, L2Assoc: 1, Block: 16}
+}
+
+// sparseEntriesPerCluster sizes the per-cluster sparse directory so the
+// machine-wide entry count is sizeFactor times the machine-wide cache
+// block count (the paper's "size factor").
+func sparseEntriesPerCluster(cfg machine.Config, sizeFactor int) int {
+	l2Blocks := cfg.Cache.L2Size / cfg.Block
+	total := sizeFactor * l2Blocks * cfg.Procs
+	return total / cfg.Clusters()
+}
+
+// SparseConfigFor builds the machine configuration for one sparse run of
+// the named application.
+func SparseConfigFor(app string, f machine.SchemeFactory, procs, sizeFactor, assoc int, policy sparse.ReplacePolicy) machine.Config {
+	cfg := machine.DefaultConfig(f)
+	cfg.Procs = procs
+	cfg.Cache = ScaledCache(app)
+	if sizeFactor > 0 {
+		cfg.Sparse = machine.SparseConfig{
+			Entries: sparseEntriesPerCluster(cfg, sizeFactor),
+			Assoc:   assoc,
+			Policy:  policy,
+		}
+	}
+	return cfg
+}
+
+// SparsePerformance reproduces Figure 11 (LU) / Figure 12 (DWF): execution
+// time versus directory size factor for the full-vector, coarse-vector and
+// broadcast schemes with scaled caches, associativity 4 and random
+// replacement, normalized to the non-sparse full-vector run.
+func SparsePerformance(app string, procs int) ([]Run, *stats.Table) {
+	schemes := Schemes[:3] // full, coarse, broadcast — as in the figures
+	var runs []Run
+	base := runSparse(app, SparseConfigFor(app, machine.FullVec, procs, 0, 0, sparse.Random), "non-sparse full vector")
+	runs = append(runs, base)
+	tb := stats.NewTable("scheme", "size factor", "exec", "exec(norm)", "msgs(norm)", "replacements")
+	tb.AddRow("Full Vector", "non-sparse", fmt.Sprintf("%d", base.Result.ExecTime), "1.000", "1.000", "0")
+	for _, s := range schemes {
+		for _, sf := range []int{1, 2, 4} {
+			label := fmt.Sprintf("%s sf=%d", s.Label, sf)
+			r := runSparse(app, SparseConfigFor(app, s.Factory, procs, sf, 4, sparse.Random), label)
+			runs = append(runs, r)
+			tb.AddRow(
+				s.Label,
+				fmt.Sprintf("%d", sf),
+				fmt.Sprintf("%d", r.Result.ExecTime),
+				fmt.Sprintf("%.3f", float64(r.Result.ExecTime)/float64(base.Result.ExecTime)),
+				fmt.Sprintf("%.3f", float64(r.Result.Msgs.Total())/float64(base.Result.Msgs.Total())),
+				fmt.Sprintf("%d", r.Result.Replacements),
+			)
+		}
+	}
+	return runs, tb
+}
+
+// AssocSweep reproduces Figure 13: message traffic versus sparse-directory
+// associativity (1, 2, 4) for size factors 1, 2, 4, LU, full bit vector,
+// normalized to the non-sparse run with the same scaled caches.
+func AssocSweep(app string, procs int) ([]Run, *stats.Table) {
+	base := runSparse(app, SparseConfigFor(app, machine.FullVec, procs, 0, 0, sparse.Random), "non-sparse")
+	tb := stats.NewTable("size factor", "assoc", "msgs", "msgs(norm)", "replacements")
+	runs := []Run{base}
+	for _, sf := range []int{1, 2, 4} {
+		for _, assoc := range []int{1, 2, 4} {
+			label := fmt.Sprintf("sf=%d assoc=%d", sf, assoc)
+			r := runSparse(app, SparseConfigFor(app, machine.FullVec, procs, sf, assoc, sparse.Random), label)
+			runs = append(runs, r)
+			tb.AddRow(
+				fmt.Sprintf("%d", sf),
+				fmt.Sprintf("%d", assoc),
+				fmt.Sprintf("%d", r.Result.Msgs.Total()),
+				fmt.Sprintf("%.3f", float64(r.Result.Msgs.Total())/float64(base.Result.Msgs.Total())),
+				fmt.Sprintf("%d", r.Result.Replacements),
+			)
+		}
+	}
+	return runs, tb
+}
+
+// PolicySweep reproduces Figure 14: message traffic versus replacement
+// policy (LRU, Random, LRA) for size factors 1, 2, 4, LU, associativity 4,
+// full bit vector.
+func PolicySweep(app string, procs int) ([]Run, *stats.Table) {
+	base := runSparse(app, SparseConfigFor(app, machine.FullVec, procs, 0, 0, sparse.Random), "non-sparse")
+	policies := []sparse.ReplacePolicy{sparse.LRU, sparse.Random, sparse.LRA}
+	tb := stats.NewTable("size factor", "policy", "msgs", "msgs(norm)", "replacements")
+	runs := []Run{base}
+	for _, sf := range []int{1, 2, 4} {
+		for _, pol := range policies {
+			label := fmt.Sprintf("sf=%d %v", sf, pol)
+			r := runSparse(app, SparseConfigFor(app, machine.FullVec, procs, sf, 4, pol), label)
+			runs = append(runs, r)
+			tb.AddRow(
+				fmt.Sprintf("%d", sf),
+				pol.String(),
+				fmt.Sprintf("%d", r.Result.Msgs.Total()),
+				fmt.Sprintf("%.3f", float64(r.Result.Msgs.Total())/float64(base.Result.Msgs.Total())),
+				fmt.Sprintf("%d", r.Result.Replacements),
+			)
+		}
+	}
+	return runs, tb
+}
+
+// WorkloadSeeded builds the named application with a specific generator
+// seed (only MP3D and LocusRoute are seed-sensitive; the others are fully
+// deterministic).
+func WorkloadSeeded(app string, procs int, seed int64) *tango.Workload {
+	switch app {
+	case "MP3D":
+		cfg := apps.DefaultMP3D(procs)
+		cfg.Seed = seed
+		return apps.MP3D(cfg)
+	case "LocusRoute":
+		cfg := apps.DefaultLocusRoute(procs)
+		cfg.Seed = seed
+		return apps.LocusRoute(cfg)
+	default:
+		return Workload(app, procs)
+	}
+}
+
+// SchemeComparisonSeeded is SchemeComparison with a chosen workload seed,
+// used to check that the paper's conclusions are not artifacts of one
+// random input.
+func SchemeComparisonSeeded(app string, procs int, seed int64) []Run {
+	var runs []Run
+	for _, s := range Schemes {
+		cfg := machine.DefaultConfig(s.Factory)
+		cfg.Procs = procs
+		runs = append(runs, runWorkload(app, WorkloadSeeded(app, procs, seed), cfg, s.Label))
+	}
+	return runs
+}

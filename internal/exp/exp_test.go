@@ -1,0 +1,298 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"dircoh/internal/stats"
+)
+
+// ratio returns a.Result metric ratios against b's.
+func execRatio(a, b Run) float64 {
+	return float64(a.Result.ExecTime) / float64(b.Result.ExecTime)
+}
+
+func msgRatio(a, b Run) float64 {
+	return float64(a.Result.Msgs.Total()) / float64(b.Result.Msgs.Total())
+}
+
+func TestTable2Shape(t *testing.T) {
+	s := Table2(8).String()
+	for _, app := range []string{"LU", "DWF", "MP3D", "LocusRoute"} {
+		if !strings.Contains(s, app) {
+			t.Fatalf("Table 2 missing %s:\n%s", app, s)
+		}
+	}
+}
+
+// TestFigs3to6Ordering checks the invalidation-distribution claims of §6.1
+// on LocusRoute: NB has more events but the smallest mean (reads cause
+// extra single invalidations); B's mean is by far the largest (broadcasts);
+// CV sits between full vector and broadcast.
+func TestFigs3to6Ordering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 32-proc runs")
+	}
+	runs := Figs3to6(Procs)
+	full, nb, b, cv := runs[0].Result, runs[1].Result, runs[2].Result, runs[3].Result
+	if nb.InvalHist.Events() <= full.InvalHist.Events() {
+		t.Errorf("NB events (%d) should exceed full vector events (%d): reads cause invalidations",
+			nb.InvalHist.Events(), full.InvalHist.Events())
+	}
+	if nb.InvalHist.Mean() >= full.InvalHist.Mean() {
+		t.Errorf("NB mean (%.2f) should be below full's (%.2f)", nb.InvalHist.Mean(), full.InvalHist.Mean())
+	}
+	if !(full.InvalHist.Mean() < cv.InvalHist.Mean() && cv.InvalHist.Mean() < b.InvalHist.Mean()) {
+		t.Errorf("want full < CV < B means, got %.2f / %.2f / %.2f",
+			full.InvalHist.Mean(), cv.InvalHist.Mean(), b.InvalHist.Mean())
+	}
+	// B's broadcasts reach ~N-2 clusters: the distribution has a peak at
+	// the right edge that CV must not have (Figures 5 vs 6).
+	edge := 0
+	for k := Procs - 4; k < Procs; k++ {
+		edge += int(b.InvalHist.Count(k))
+	}
+	if edge == 0 {
+		t.Error("broadcast distribution missing its right-edge peak")
+	}
+	cvEdge := 0
+	for k := Procs - 4; k < Procs; k++ {
+		cvEdge += int(cv.InvalHist.Count(k))
+	}
+	if cvEdge >= edge {
+		t.Errorf("CV right-edge mass (%d) should be far below B's (%d)", cvEdge, edge)
+	}
+}
+
+// TestFig7LU: Dir_iNB collapses on LU's widely read-shared pivot column;
+// the other schemes are indistinguishable (§6.2).
+func TestFig7LU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 32-proc runs")
+	}
+	runs, _ := SchemeComparison("LU", Procs)
+	full, cv, b, nb := runs[0], runs[1], runs[2], runs[3]
+	if r := execRatio(nb, full); r < 1.15 {
+		t.Errorf("NB exec ratio %.3f, want >= 1.15 (paper: severe degradation)", r)
+	}
+	if r := msgRatio(nb, full); r < 1.5 {
+		t.Errorf("NB msg ratio %.3f, want >= 1.5", r)
+	}
+	for _, s := range []Run{cv, b} {
+		if r := execRatio(s, full); r < 0.99 || r > 1.02 {
+			t.Errorf("%s exec ratio %.3f, want ~1.0", s.Label, r)
+		}
+	}
+}
+
+// TestFig8DWF: read-shared pattern/library arrays punish NB; everything
+// else is virtually indistinguishable (§6.2).
+func TestFig8DWF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 32-proc runs")
+	}
+	runs, _ := SchemeComparison("DWF", Procs)
+	full, cv, b, nb := runs[0], runs[1], runs[2], runs[3]
+	if r := execRatio(nb, full); r < 1.05 {
+		t.Errorf("NB exec ratio %.3f, want >= 1.05", r)
+	}
+	for _, s := range []Run{cv, b} {
+		if r := execRatio(s, full); r < 0.995 || r > 1.01 {
+			t.Errorf("%s exec ratio %.3f, want ~1.0", s.Label, r)
+		}
+	}
+}
+
+// TestFig9MP3D: migratory 1-2 sharer data — every scheme handles it; even
+// NB is within a fraction of a percent (§6.2: "+0.4%").
+func TestFig9MP3D(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 32-proc runs")
+	}
+	runs, _ := SchemeComparison("MP3D", Procs)
+	full := runs[0]
+	for _, s := range runs[1:] {
+		if r := execRatio(s, full); r < 0.99 || r > 1.01 {
+			t.Errorf("%s exec ratio %.3f, want within 1%%", s.Label, r)
+		}
+		if r := msgRatio(s, full); r > 1.02 {
+			t.Errorf("%s msg ratio %.3f, want within 2%%", s.Label, r)
+		}
+	}
+}
+
+// TestFig10LocusRoute: regionally shared data overflows the pointers: B
+// broadcasts heavily (worst traffic); the unique app where NB's traffic
+// beats B's; CV stays close to the full vector (worst case ~+12% msgs).
+func TestFig10LocusRoute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 32-proc runs")
+	}
+	runs, _ := SchemeComparison("LocusRoute", Procs)
+	full, cv, b, nb := runs[0], runs[1], runs[2], runs[3]
+	if r := msgRatio(b, full); r < 1.5 {
+		t.Errorf("B msg ratio %.3f, want >= 1.5 (broadcast explosion)", r)
+	}
+	if r := msgRatio(cv, full); r > 1.15 {
+		t.Errorf("CV msg ratio %.3f, want <= 1.15 (paper: ~12%% worst case)", r)
+	}
+	if msgRatio(nb, full) >= msgRatio(b, full) {
+		t.Errorf("NB traffic (%.3f) should beat B's (%.3f) on LocusRoute",
+			msgRatio(nb, full), msgRatio(b, full))
+	}
+	if b.Result.InvalHist.Mean() < 3*cv.Result.InvalHist.Mean() {
+		t.Errorf("B mean invals %.2f should dwarf CV's %.2f",
+			b.Result.InvalHist.Mean(), cv.Result.InvalHist.Mean())
+	}
+	// Broadcast invalidations occupy every cluster bus: its utilization
+	// must exceed the full vector's.
+	if b.Result.BusUtil <= full.Result.BusUtil {
+		t.Errorf("B bus utilization %.4f should exceed full vector's %.4f",
+			b.Result.BusUtil, full.Result.BusUtil)
+	}
+}
+
+// TestFig11SparseLU: sparse directories cost little execution time and
+// bounded traffic; the broadcast scheme suffers most from replacements of
+// widely-shared entries, the coarse vector stays near the full vector.
+func TestFig11SparseLU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: ~10 sparse LU runs")
+	}
+	runs, _ := SparsePerformance("LU", Procs)
+	base := runs[0]
+	byLabel := map[string]Run{}
+	for _, r := range runs[1:] {
+		byLabel[r.Label] = r
+	}
+	fullSF1 := byLabel["Full Vector sf=1"]
+	cvSF1 := byLabel["Coarse Vector sf=1"]
+	bSF1 := byLabel["Broadcast sf=1"]
+	// Execution degradation is small (paper: +1.4% worst case).
+	for _, r := range runs[1:] {
+		if er := execRatio(r, base); er > 1.05 {
+			t.Errorf("%s exec ratio %.3f, want <= 1.05", r.Label, er)
+		}
+	}
+	// Traffic add stays bounded (paper: < 17%).
+	if mr := msgRatio(fullSF1, base); mr > 1.17 {
+		t.Errorf("full sf=1 traffic ratio %.3f, want <= 1.17", mr)
+	}
+	// Broadcast's replacements send the most invalidations.
+	if !(bSF1.Result.Msgs.InvalAck() > cvSF1.Result.Msgs.InvalAck() &&
+		cvSF1.Result.Msgs.InvalAck() >= fullSF1.Result.Msgs.InvalAck()) {
+		t.Errorf("want inval+ack B > CV >= full at sf=1, got %d / %d / %d",
+			bSF1.Result.Msgs.InvalAck(), cvSF1.Result.Msgs.InvalAck(), fullSF1.Result.Msgs.InvalAck())
+	}
+	// Pressure falls with size factor.
+	if byLabel["Full Vector sf=4"].Result.Replacements > byLabel["Full Vector sf=1"].Result.Replacements {
+		t.Error("replacements should fall with size factor")
+	}
+}
+
+// TestFig12SparseDWF: DWF's small wavefront working set keeps sparse
+// performance flat across size factors (§6.3.1).
+func TestFig12SparseDWF(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: ~10 sparse DWF runs")
+	}
+	runs, _ := SparsePerformance("DWF", Procs)
+	base := runs[0]
+	for _, r := range runs[1:] {
+		if er := execRatio(r, base); er > 1.02 {
+			t.Errorf("%s exec ratio %.3f, want flat (<= 1.02)", r.Label, er)
+		}
+	}
+}
+
+// TestFig13Assoc: associativity 4 >= 2 > direct-mapped (§6.3.2).
+func TestFig13Assoc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: 10 sparse LU runs")
+	}
+	runs, _ := AssocSweep("LU", Procs)
+	byLabel := map[string]Run{}
+	for _, r := range runs[1:] {
+		byLabel[r.Label] = r
+	}
+	for _, sf := range []string{"1", "2"} {
+		direct := byLabel["sf="+sf+" assoc=1"].Result.Msgs.Total()
+		two := byLabel["sf="+sf+" assoc=2"].Result.Msgs.Total()
+		four := byLabel["sf="+sf+" assoc=4"].Result.Msgs.Total()
+		if !(float64(four) <= float64(two)*1.01 && float64(two) <= float64(direct)*1.01) {
+			t.Errorf("sf=%s: want assoc4 <= assoc2 <= direct, got %d / %d / %d", sf, four, two, direct)
+		}
+	}
+}
+
+// TestFig14Policy: LRU best, random better than LRA (§6.3.2).
+func TestFig14Policy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: 10 sparse LU runs")
+	}
+	runs, _ := PolicySweep("LU", Procs)
+	byLabel := map[string]Run{}
+	for _, r := range runs[1:] {
+		byLabel[r.Label] = r
+	}
+	lru := byLabel["sf=1 LRU"].Result.Msgs.Total()
+	rnd := byLabel["sf=1 Rand"].Result.Msgs.Total()
+	lra := byLabel["sf=1 LRA"].Result.Msgs.Total()
+	if !(float64(lru) <= float64(rnd)*1.01 && float64(rnd) <= float64(lra)*1.01) {
+		t.Errorf("want LRU <= Rand <= LRA at sf=1, got %d / %d / %d", lru, rnd, lra)
+	}
+}
+
+// TestSmallScaleSmoke keeps a fast, always-on end-to-end check: every
+// figure driver runs at 8 processors without error.
+func TestSmallScaleSmoke(t *testing.T) {
+	const procs = 8
+	if got := len(Figs3to6(procs)); got != 4 {
+		t.Fatalf("Figs3to6 produced %d runs", got)
+	}
+	runs, tb := SchemeComparison("MP3D", procs)
+	if len(runs) != 4 || !strings.Contains(tb.String(), "Coarse Vector") {
+		t.Fatal("SchemeComparison output wrong")
+	}
+	if runs[0].Result.Msgs[stats.Request] == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	runsS, tbS := SparsePerformance("MP3D", procs)
+	if len(runsS) != 10 || !strings.Contains(tbS.String(), "size factor") {
+		t.Fatal("SparsePerformance output wrong")
+	}
+}
+
+func TestWorkloadUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Workload("nosuch", 4)
+}
+
+// TestClaimsRobustAcrossSeeds re-checks the LocusRoute and MP3D claims on
+// three different workload seeds: the conclusions must not depend on one
+// random input.
+func TestClaimsRobustAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("24 32-proc runs")
+	}
+	for seed := int64(2); seed <= 4; seed++ {
+		runs := SchemeComparisonSeeded("LocusRoute", Procs, seed)
+		full, cv, b := runs[0], runs[1], runs[2]
+		if r := msgRatio(b, full); r < 1.4 {
+			t.Errorf("seed %d: B msg ratio %.3f, want >= 1.4", seed, r)
+		}
+		if r := msgRatio(cv, full); r > 1.15 {
+			t.Errorf("seed %d: CV msg ratio %.3f, want <= 1.15", seed, r)
+		}
+		mruns := SchemeComparisonSeeded("MP3D", Procs, seed)
+		for _, s := range mruns[1:] {
+			if r := execRatio(s, mruns[0]); r < 0.99 || r > 1.01 {
+				t.Errorf("seed %d: MP3D %s exec ratio %.3f, want within 1%%", seed, s.Label, r)
+			}
+		}
+	}
+}

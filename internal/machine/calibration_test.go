@@ -1,0 +1,260 @@
+package machine
+
+import (
+	"testing"
+
+	"dircoh/internal/cache"
+	"dircoh/internal/sparse"
+	"dircoh/internal/stats"
+	"dircoh/internal/tango"
+)
+
+// TestLatencyCalibration checks the §5 latency constants: a local miss
+// costs ~23 cycles; a two-cluster remote read ~60; a three-cluster
+// (dirty-remote) read ~80. We accept the paper's numbers ±40%.
+func TestLatencyCalibration(t *testing.T) {
+	run := func(streams [][]tango.Ref) *Machine {
+		m, err := New(testConfig(len(streams), FullVec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(wl(streams...)); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	// Local miss: proc 0 reads a block homed at its own cluster.
+	var b0 tango.Builder
+	b0.Read(addr(0))
+	m := run([][]tango.Ref{b0.Refs(), nil})
+	local := m.procs[0].finish
+	if local < 20 || local > 35 {
+		t.Errorf("local miss latency = %d cycles, want ~23 (§5)", local)
+	}
+
+	// Two-cluster read: proc 1 reads a block homed at cluster 0.
+	var b1 tango.Builder
+	b1.Read(addr(0))
+	m = run([][]tango.Ref{nil, b1.Refs()})
+	twoCluster := m.procs[1].finish
+	if twoCluster < 45 || twoCluster > 85 {
+		t.Errorf("2-cluster read latency = %d cycles, want ~60 (§5)", twoCluster)
+	}
+
+	// Three-cluster read: proc 1 dirties a block homed at cluster 0,
+	// then proc 2 reads it. Measure proc 2's read alone by subtracting
+	// its barrier exit.
+	var w1, r2, s0 tango.Builder
+	w1.Write(addr(0))
+	w1.Barrier(addr(99))
+	r2.Barrier(addr(99))
+	r2.Read(addr(0))
+	s0.Barrier(addr(99))
+	m = run([][]tango.Ref{s0.Refs(), w1.Refs(), r2.Refs()})
+	three := m.procs[2].finish - m.procs[0].finish // barrier exits together
+	if three < 60 || three > 115 {
+		t.Errorf("3-cluster read latency = %d cycles, want ~80 (§5)", three)
+	}
+	if three <= twoCluster {
+		t.Errorf("3-cluster (%d) should cost more than 2-cluster (%d)", three, twoCluster)
+	}
+}
+
+// TestUpgradeRace: proc 1 and proc 2 both hold a shared copy and write
+// "simultaneously"; one side's copy is invalidated while its upgrade is in
+// flight, so the home must supply data, not just ownership. The run must
+// complete coherently.
+func TestUpgradeRace(t *testing.T) {
+	var b0, b1, b2 tango.Builder
+	// Both remote procs read first (shared copies), then both write at
+	// the same barrier-released instant.
+	b0.Barrier(addr(99))
+	b0.Barrier(addr(98))
+	for _, b := range []*tango.Builder{&b1, &b2} {
+		b.Read(addr(0))
+		b.Barrier(addr(99))
+		b.Write(addr(0))
+		b.Barrier(addr(98))
+	}
+	m, _ := mustRun(t, testConfig(3, FullVec), wl(b0.Refs(), b1.Refs(), b2.Refs()))
+	// Exactly one cluster may end up dirty.
+	e := m.dirEntry(0)
+	if e == nil || !e.Dirty() {
+		t.Fatal("block should be dirty at one of the writers")
+	}
+	if e.Owner() != 1 && e.Owner() != 2 {
+		t.Fatalf("owner = %d, want 1 or 2", e.Owner())
+	}
+}
+
+// TestWritebackRace: the owner writes back (cache eviction) while a write
+// request from another cluster is racing to the home. The guarded
+// writeback must not clobber the new owner's state.
+func TestWritebackRace(t *testing.T) {
+	// Tiny cache: proc 1 dirties block 0, then floods its cache to force
+	// the writeback, while proc 2 writes block 0.
+	var b0, b1, b2 tango.Builder
+	b0.Barrier(addr(199))
+	b1.Write(addr(0))
+	b1.Barrier(addr(199))
+	for i := int64(2); i < 140; i += 2 {
+		b1.Write(addr(i)) // evicts block 0 eventually -> writeback
+	}
+	b2.Barrier(addr(199))
+	b2.Write(addr(0))
+	m, _ := mustRun(t, testConfig(3, FullVec), wl(b0.Refs(), b1.Refs(), b2.Refs()))
+	e := m.dirEntry(0)
+	if e != nil && e.Dirty() && e.Owner() == 1 {
+		// Only acceptable if cluster 1 really still holds it dirty.
+		if m.procs[1].h.State(0) != cache.Dirty {
+			t.Fatal("directory says cluster 1 owns block 0 but its cache lost it")
+		}
+	}
+}
+
+// TestRequestQueuedBehindReplacement: a request for a block whose sparse
+// entry was just replaced must wait for the replacement invalidations to
+// be acknowledged (RAC gating), then proceed correctly.
+func TestRequestQueuedBehindReplacement(t *testing.T) {
+	// Cluster 1 reads blocks 0 and 3 (same home 0, 1-entry directory):
+	// reading 3 replaces 0's entry. Cluster 2 immediately reads 0 —
+	// this request races the replacement invalidations.
+	var b1, b2 tango.Builder
+	b1.Read(addr(0))
+	b1.Read(addr(3)) // same home (cluster 0) with 3 clusters
+	b2.Read(addr(0))
+	b2.Read(addr(0)) // hit after refetch
+	cfg := testConfig(3, FullVec)
+	cfg.Sparse = SparseConfig{Entries: 1, Assoc: 1, Policy: sparse.LRU}
+	m, r := mustRun(t, cfg, wl(nil, b1.Refs(), b2.Refs()))
+	if r.Replacements == 0 {
+		t.Fatal("expected replacements")
+	}
+	// Whatever the interleaving, coherence held (mustRun checked) and
+	// cluster 2 ends with a shared copy recorded in some entry.
+	if m.procs[2].h.State(0) == cache.Shared {
+		e := m.dirEntry(0)
+		if e == nil || !e.IsSharer(2) {
+			t.Fatal("cluster 2 holds block 0 but the directory does not know")
+		}
+	}
+}
+
+// TestClusterLocalSupply: with several processors per cluster, a miss
+// that another local cache can satisfy must not generate any network
+// traffic.
+func TestClusterLocalSupply(t *testing.T) {
+	// 1 cluster of 4 procs: all sharing stays on the bus.
+	var b0, b1, b2, b3 tango.Builder
+	b0.Write(addr(5))
+	b0.Barrier(addr(99))
+	for _, b := range []*tango.Builder{&b1, &b2, &b3} {
+		b.Barrier(addr(99))
+		b.Read(addr(5)) // local dirty supply, then local shared supply
+	}
+	cfg := testConfig(4, FullVec)
+	cfg.ProcsPerCluster = 4
+	_, r := mustRun(t, cfg, wl(b0.Refs(), b1.Refs(), b2.Refs(), b3.Refs()))
+	if r.Msgs.Total() != 0 {
+		t.Fatalf("intra-cluster sharing sent %d network messages", r.Msgs.Total())
+	}
+}
+
+// TestClusterLocalOwnershipTransfer: a write hitting another local cache's
+// dirty copy transfers ownership over the bus without network messages,
+// even when the block's home is remote.
+func TestClusterLocalOwnershipTransfer(t *testing.T) {
+	// 2 clusters of 2. Block 1 homed at cluster 1; procs 0 and 1 are
+	// cluster 0.
+	var b0, b1 tango.Builder
+	b0.Write(addr(1)) // remote miss: messages
+	b0.Barrier(addr(98))
+	b1.Barrier(addr(98))
+	b1.Write(addr(1)) // local dirty transfer: no new messages
+	var b2, b3 tango.Builder
+	b2.Barrier(addr(98))
+	b3.Barrier(addr(98))
+	cfg := testConfig(4, FullVec)
+	cfg.ProcsPerCluster = 2
+	m, r := mustRun(t, cfg, wl(b0.Refs(), b1.Refs(), b2.Refs(), b3.Refs()))
+	// Block 1's home is cluster 1: the first write costs WriteReq+Reply
+	// plus barrier traffic; the second costs nothing further.
+	wantMax := uint64(2) /* write */ + 4 /* barrier arrive/release for procs 0,1 */
+	if r.Msgs.Total() > wantMax {
+		t.Fatalf("messages = %d, want <= %d (local transfer must be free)", r.Msgs.Total(), wantMax)
+	}
+	if m.procs[1].h.State(m.block(addr(1))) != cache.Dirty {
+		t.Fatal("proc 1 should own the block")
+	}
+	if m.procs[0].h.State(m.block(addr(1))) != cache.Invalid {
+		t.Fatal("proc 0's copy should have been invalidated on the bus")
+	}
+}
+
+// TestSharingWBGuard: a sharing writeback arriving after ownership moved
+// must not clear the new owner's dirty state.
+func TestSharingWBGuard(t *testing.T) {
+	// Cluster 1 dirties block 0 (home 0); a local read inside cluster 1
+	// (2 procs per cluster) triggers a sharing writeback; meanwhile
+	// cluster... exercise via ppc=2 machine and follow-up write.
+	cfg := testConfig(6, FullVec)
+	cfg.ProcsPerCluster = 2
+	var b2, b3, b4 tango.Builder // procs 2,3 = cluster 1; proc 4 = cluster 2
+	b2.Write(addr(0))
+	b2.Barrier(addr(99))
+	b3.Barrier(addr(99))
+	b3.Read(addr(0)) // local dirty supply -> SharingWB to home
+	b4.Barrier(addr(99))
+	b4.Write(addr(0)) // races the SharingWB
+	streams := make([][]tango.Ref, 6)
+	var bb tango.Builder
+	bb.Barrier(addr(99))
+	for i := range streams {
+		streams[i] = bb.Refs()
+	}
+	streams[2] = b2.Refs()
+	streams[3] = b3.Refs()
+	streams[4] = b4.Refs()
+	mustRun(t, cfg, wl(streams...)) // coherence check inside mustRun is the assertion
+}
+
+// TestExecutionTimeIsMaxFinish: the reported execution time equals the
+// latest processor's finish.
+func TestExecutionTimeIsMaxFinish(t *testing.T) {
+	var b0, b1 tango.Builder
+	b0.Read(addr(0))
+	for i := int64(0); i < 50; i++ {
+		b1.Write(addr(i*2 + 1))
+	}
+	m, r := mustRun(t, testConfig(2, FullVec), wl(b0.Refs(), b1.Refs()))
+	want := m.procs[0].finish
+	if m.procs[1].finish > want {
+		want = m.procs[1].finish
+	}
+	if r.ExecTime != want {
+		t.Fatalf("ExecTime = %d, want %d", r.ExecTime, want)
+	}
+}
+
+// TestAcksDrainBeforeUnlock: release consistency requires the fence at
+// unlock to wait for outstanding invalidation acknowledgements.
+func TestAcksDrainBeforeUnlock(t *testing.T) {
+	// Proc 2 writes a block shared by proc 1 while holding a lock; the
+	// unlock must not complete before the ack arrives. We verify
+	// indirectly: the run completes and no proc finishes with pending
+	// acks (Run would have reported a deadlock otherwise), plus acks
+	// were actually generated.
+	var b0, b1, b2 tango.Builder
+	b0.Barrier(addr(97))
+	b1.Read(addr(0))
+	b1.Barrier(addr(97))
+	b2.Barrier(addr(97))
+	b2.Lock(addr(301))
+	b2.Write(addr(0))
+	b2.Unlock(addr(301))
+	_, r := mustRun(t, testConfig(3, FullVec), wl(b0.Refs(), b1.Refs(), b2.Refs()))
+	if r.Msgs[stats.Ack] == 0 {
+		t.Fatal("expected an acknowledgement")
+	}
+}

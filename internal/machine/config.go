@@ -1,0 +1,140 @@
+package machine
+
+import (
+	"fmt"
+
+	"dircoh/internal/cache"
+	"dircoh/internal/core"
+	"dircoh/internal/mesh"
+	"dircoh/internal/sim"
+	"dircoh/internal/sparse"
+)
+
+// SchemeFactory builds a directory entry scheme for a given cluster count.
+type SchemeFactory func(clusters int) core.Scheme
+
+// Standard scheme factories matching the paper's §5 roster.
+var (
+	// FullVec is Dir_P, the full bit vector.
+	FullVec SchemeFactory = func(n int) core.Scheme { return core.NewFullVector(n) }
+	// CoarseVec2 is Dir3CV2, the paper's coarse vector configuration.
+	CoarseVec2 SchemeFactory = func(n int) core.Scheme { return core.NewCoarseVector(3, 2, n) }
+	// Broadcast is Dir3B.
+	Broadcast SchemeFactory = func(n int) core.Scheme { return core.NewLimitedBroadcast(3, n) }
+	// NoBroadcast is Dir3NB with random victim pointers.
+	NoBroadcast SchemeFactory = func(n int) core.Scheme {
+		return core.NewLimitedNoBroadcast(3, n, core.VictimRandom, 11)
+	}
+	// SupersetX is Dir2X.
+	SupersetX SchemeFactory = func(n int) core.Scheme { return core.NewSuperset(2, n) }
+)
+
+// SparseConfig enables the sparse directory when Entries > 0.
+type SparseConfig struct {
+	Entries int // entry slots per cluster (0 = full-map directory)
+	Assoc   int // associativity (default 4, the paper's main setting)
+	Policy  sparse.ReplacePolicy
+}
+
+// OverflowDirConfig enables the §7 two-level directory: small
+// limited-pointer entries per block backed by a per-cluster cache of wide
+// full-vector entries.
+type OverflowDirConfig struct {
+	Ptrs        int // pointers per small entry
+	WideEntries int // wide-entry cache slots per cluster
+	Assoc       int
+	Policy      sparse.ReplacePolicy
+}
+
+// BarrierKind selects the barrier implementation.
+type BarrierKind int
+
+const (
+	// CentralBarrier counts arrivals at the barrier word's home cluster
+	// (simple, but a hot spot at scale).
+	CentralBarrier BarrierKind = iota
+	// TreeBarrier combines arrivals up a tree of clusters and fans the
+	// release back down, spreading the traffic.
+	TreeBarrier
+)
+
+func (k BarrierKind) String() string {
+	if k == TreeBarrier {
+		return "tree"
+	}
+	return "central"
+}
+
+// Timing holds the latency model in processor cycles, calibrated to the
+// paper's §5 constants (local ≈23, 2-cluster ≈60, 3-cluster ≈80).
+type Timing struct {
+	Hit       sim.Time // cache hit
+	Bus       sim.Time // full local bus transaction incl. memory
+	Dir       sim.Time // directory controller occupancy per remote request
+	InvalBus  sim.Time // bus occupancy of an invalidation at a remote cluster
+	InvalSend sim.Time // directory occupancy per invalidation sent ("as fast as the network can accept them", §3.3)
+	Fwd       sim.Time // cache access of a forwarded request at the owner
+	Fill      sim.Time // cache fill after a reply arrives
+}
+
+// DefaultTiming returns the calibrated latency constants.
+func DefaultTiming() Timing {
+	return Timing{Hit: 1, Bus: 23, Dir: 8, InvalBus: 8, InvalSend: 2, Fwd: 8, Fill: 2}
+}
+
+// Config describes one simulated machine.
+type Config struct {
+	Procs           int // total processors
+	ProcsPerCluster int // DASH prototype: 4; the paper's runs: 1
+	Block           int // cache block size in bytes (paper: 16)
+	Cache           cache.Config
+	Scheme          SchemeFactory
+	Sparse          SparseConfig
+	Overflow        *OverflowDirConfig // mutually exclusive with Sparse
+	Barrier         BarrierKind
+	Mesh            mesh.Config // zero value -> mesh.DefaultConfig
+	Timing          Timing      // zero value -> DefaultTiming
+	Seed            int64
+}
+
+// DefaultConfig returns the paper's main experimental setup: 32 processors
+// in 32 clusters, 64 KB + 256 KB caches, 16-byte blocks, full-map
+// directory with the given scheme.
+func DefaultConfig(scheme SchemeFactory) Config {
+	return Config{
+		Procs:           32,
+		ProcsPerCluster: 1,
+		Block:           16,
+		Cache:           cache.DefaultConfig(),
+		Scheme:          scheme,
+		Timing:          DefaultTiming(),
+	}
+}
+
+// Clusters returns the cluster count implied by the configuration.
+func (c *Config) Clusters() int { return c.Procs / c.ProcsPerCluster }
+
+func (c *Config) validate() error {
+	if c.Procs <= 0 || c.ProcsPerCluster <= 0 {
+		return fmt.Errorf("machine: Procs and ProcsPerCluster must be positive")
+	}
+	if c.Procs%c.ProcsPerCluster != 0 {
+		return fmt.Errorf("machine: Procs (%d) not divisible by ProcsPerCluster (%d)", c.Procs, c.ProcsPerCluster)
+	}
+	if c.Block <= 0 {
+		return fmt.Errorf("machine: Block must be positive")
+	}
+	if c.Scheme == nil {
+		return fmt.Errorf("machine: Scheme factory is required")
+	}
+	if c.Overflow != nil && c.Sparse.Entries > 0 {
+		return fmt.Errorf("machine: Sparse and Overflow directories are mutually exclusive")
+	}
+	if c.Overflow != nil && (c.Overflow.Ptrs <= 0 || c.Overflow.WideEntries <= 0) {
+		return fmt.Errorf("machine: Overflow needs positive Ptrs and WideEntries")
+	}
+	if c.Cache.Block != 0 && c.Cache.Block != c.Block {
+		return fmt.Errorf("machine: cache block (%d) differs from machine block (%d)", c.Cache.Block, c.Block)
+	}
+	return nil
+}

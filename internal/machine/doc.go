@@ -1,0 +1,62 @@
+// Package machine assembles the full DASH-style multiprocessor simulator.
+// This file documents the protocol flows; see config.go for configuration
+// and memory.go / msync.go for the implementations.
+//
+// # Machine model
+//
+// A machine is a set of clusters connected by a 2-D mesh. Each cluster
+// holds ProcsPerCluster processors (each with an inclusive L1+L2 cache
+// hierarchy), a snoopy bus, a slice of main memory (blocks are assigned
+// round-robin by block number), and the directory for its memory. The
+// directory stores one entry per home-local block (full map), a bounded
+// set-associative cache of entries (sparse), or small per-block entries
+// with a wide-entry overflow cache (§7).
+//
+// # Reads
+//
+//   - Cache hit: 1 cycle.
+//   - Miss: a bus transaction snoops the cluster. A sibling's dirty copy
+//     supplies the data (and a sharing writeback informs a remote home);
+//     a shared copy supplies it directly.
+//   - Home-local miss: the directory is consulted under the block's gate;
+//     a remotely-dirty block is fetched by forwarding to the owner.
+//   - Remote miss: a ReadReq goes to the home. Clean data is returned
+//     with a DataReply and the requester is added to the sharer set;
+//     dirty data is forwarded (FwdReadReq) to the owner, which replies to
+//     the requester and sends a SharingWB home — the paper's 3-cluster
+//     path (~80 cycles).
+//
+// # Writes
+//
+// A write needs exclusivity. The bus invalidates sibling copies; a
+// sibling's dirty copy transfers ownership locally. Otherwise the home
+// serves a WriteReq/UpgradeReq: it invalidates every cluster in the
+// directory entry's candidate sharer set (the active scheme decides how
+// precise that set is — this is where Dir_iB pays its broadcasts and
+// Dir_iCV_r its regions), replies with the invalidation count, and the
+// acknowledgements flow directly to the writer. Under release consistency
+// the write completes at the ownership reply; the acks drain
+// asynchronously and are fenced at the next synchronization operation.
+//
+// # Serialization and races
+//
+// Directory state updates are atomic at the home and serialized per block
+// by a Gate; transactions that move ownership hold the gate until the
+// requester's reply lands. Races that reach beyond the gate are handled
+// by the requester-side RAC functions: read merging, MSHR parking behind
+// outstanding writes, poisoning of reads overtaken by invalidations, and
+// expectation counting for writebacks superseded by an ownership
+// re-grant. CheckCoherence validates the global invariants at quiescence;
+// the soak tests drive random traffic through every scheme, cluster
+// arrangement and directory organization.
+//
+// # Sparse replacement
+//
+// When a sparse directory must reclaim an entry, the victim block's
+// cached copies are invalidated; the home's RAC counts the
+// acknowledgements and the block's gate stays locked until they arrive,
+// so racing requests queue rather than observe half-dead state. The
+// reclaimed entry's sharer set decides the invalidation fan-out — a
+// broadcast-mode Dir_iB entry costs N-1 messages where a coarse vector
+// costs a few regions, which is exactly the Figure 11 effect.
+package machine

@@ -1,0 +1,35 @@
+package machine_test
+
+import (
+	"fmt"
+
+	"dircoh/internal/apps"
+	"dircoh/internal/machine"
+)
+
+// Build the paper's machine, run a workload, and read the measurements.
+func Example() {
+	cfg := machine.DefaultConfig(machine.CoarseVec2)
+	cfg.Procs = 8
+
+	m, err := machine.New(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	w := apps.Uniform(apps.UniformConfig{Procs: 8, Blocks: 64, Refs: 500, WriteFrac: 2, Seed: 3})
+	r, err := m.Run(w)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := m.CheckCoherence(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("scheme:", r.Scheme)
+	fmt.Println("completed:", r.ExecTime > 0 && r.Msgs.Total() > 0)
+	// Output:
+	// scheme: Dir3CV2
+	// completed: true
+}

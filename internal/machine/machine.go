@@ -1,0 +1,362 @@
+package machine
+
+import (
+	"fmt"
+
+	"dircoh/internal/cache"
+	"dircoh/internal/core"
+	"dircoh/internal/mesh"
+	"dircoh/internal/protocol"
+	"dircoh/internal/sim"
+	"dircoh/internal/sparse"
+	"dircoh/internal/stats"
+	"dircoh/internal/tango"
+)
+
+// Machine is one simulated DASH-style multiprocessor.
+type Machine struct {
+	cfg      Config
+	t        Timing
+	eng      sim.Engine
+	net      *mesh.Mesh
+	scheme   core.Scheme
+	clusters []*clusterNode
+	procs    []*proc
+	locks    *protocol.LockTable
+	barriers *protocol.BarrierTable
+
+	msgs        stats.MsgCounts
+	invalHist   stats.Histogram // invalidations per invalidation event (Figs 3-6)
+	replHist    stats.Histogram // invalidations per sparse replacement
+	lockRetries uint64
+	mergedReads uint64
+	readLat     stats.LatHist // read completion latency
+	writeLat    stats.LatHist // write completion latency (to ownership)
+
+	// debugBlock, when >= 0, records a timeline of events touching that
+	// block (test diagnostics only).
+	debugBlock int64
+	debugLog   []string
+}
+
+// clusterNode is one processing node: processors, bus, memory+directory.
+type clusterNode struct {
+	id      int
+	dir     sparse.Directory
+	gate    *protocol.Gate
+	rac     *protocol.RAC
+	busFree sim.Time
+	dirFree sim.Time
+	busBusy sim.Time // cumulative bus occupancy (utilization accounting)
+	dirBusy sim.Time // cumulative directory occupancy
+	procs   []*proc
+	// pendingReads merges outstanding read misses to the same block from
+	// different processors of the cluster (the RAC's request-merging
+	// function in DASH): followers wait for the leader's reply instead
+	// of sending their own request.
+	pendingReads map[int64][]*proc
+	// poisonedReads marks pending reads whose block was invalidated
+	// while the reply was in flight: the data is delivered to the
+	// processor but must not be cached (the invalidation logically
+	// follows the read) — the RAC's conflict-resolution function.
+	poisonedReads map[int64]bool
+	// pendingWrite marks blocks with an outstanding remote ownership
+	// request from this cluster; writeWaiters holds local accesses that
+	// missed meanwhile and retry when the write completes (MSHR
+	// merging, as the DASH RAC does).
+	pendingWrite map[int64]bool
+	writeWaiters map[int64][]mshrWaiter
+	// treeBarrier tracks this cluster's node of the combining tree:
+	// arrival counts and locally parked processors, per barrier address.
+	treeArrived map[int64]int
+	treeWaiting map[int64][]*proc
+	// wbExpected counts writebacks known to be in flight to this home:
+	// when a request arrives from the very cluster the directory records
+	// as dirty owner, the owner must have evicted its copy, so a
+	// writeback is on the way. The next writeback for the block is then
+	// stale with respect to the re-granted ownership and must be
+	// dropped, not applied.
+	wbExpected map[int64]int
+}
+
+// mshrWaiter is a local access parked behind an outstanding write.
+type mshrWaiter struct {
+	p     *proc
+	write bool
+}
+
+// proc is one simulated processor.
+type proc struct {
+	id            int
+	cl            *clusterNode
+	h             *cache.Hierarchy
+	stream        *tango.Stream
+	pendingAcks   int
+	afterDrain    func()
+	drainToFinish bool
+	done          bool
+	finish        sim.Time
+	opPending     bool // a data reference is in flight (latency accounting)
+	opWrite       bool
+	opStart       sim.Time
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Timing == (Timing{}) {
+		cfg.Timing = DefaultTiming()
+	}
+	if cfg.Cache == (cache.Config{}) {
+		cfg.Cache = cache.DefaultConfig()
+	}
+	cfg.Cache.Block = cfg.Block
+	clusters := cfg.Clusters()
+	if cfg.Mesh.Base == 0 && cfg.Mesh.PerHop == 0 {
+		// Keep a caller-specified PortTime while defaulting latencies.
+		port := cfg.Mesh.PortTime
+		cfg.Mesh = mesh.DefaultConfig(clusters)
+		cfg.Mesh.PortTime = port
+	}
+	cfg.Mesh.Nodes = clusters
+
+	m := &Machine{
+		cfg:        cfg,
+		t:          cfg.Timing,
+		net:        mesh.New(cfg.Mesh),
+		scheme:     cfg.Scheme(clusters),
+		debugBlock: -1,
+	}
+	m.locks = protocol.NewLockTable(m.scheme)
+	m.barriers = protocol.NewBarrierTable(cfg.Procs)
+
+	for c := 0; c < clusters; c++ {
+		var dir sparse.Directory
+		if cfg.Overflow != nil {
+			dir = sparse.NewOverflow(sparse.OverflowConfig{
+				Ptrs:        cfg.Overflow.Ptrs,
+				Nodes:       clusters,
+				WideEntries: cfg.Overflow.WideEntries,
+				Assoc:       cfg.Overflow.Assoc,
+				Policy:      cfg.Overflow.Policy,
+				Seed:        cfg.Seed + int64(c),
+			})
+		} else if cfg.Sparse.Entries > 0 {
+			assoc := cfg.Sparse.Assoc
+			if assoc == 0 {
+				assoc = 4 // the paper's main sparse setting
+			}
+			dir = sparse.New(sparse.Config{
+				Scheme:  m.scheme,
+				Entries: cfg.Sparse.Entries,
+				Assoc:   assoc,
+				Policy:  cfg.Sparse.Policy,
+				Seed:    cfg.Seed + int64(c),
+			})
+		} else {
+			dir = sparse.NewFullMap(m.scheme)
+		}
+		m.clusters = append(m.clusters, &clusterNode{
+			id:            c,
+			dir:           dir,
+			gate:          protocol.NewGate(),
+			rac:           protocol.NewRAC(),
+			pendingReads:  make(map[int64][]*proc),
+			poisonedReads: make(map[int64]bool),
+			pendingWrite:  make(map[int64]bool),
+			writeWaiters:  make(map[int64][]mshrWaiter),
+			treeArrived:   make(map[int64]int),
+			treeWaiting:   make(map[int64][]*proc),
+			wbExpected:    make(map[int64]int),
+		})
+	}
+	for p := 0; p < cfg.Procs; p++ {
+		cl := m.clusters[p/cfg.ProcsPerCluster]
+		pr := &proc{id: p, cl: cl, h: cache.NewHierarchy(cfg.Cache)}
+		cl.procs = append(cl.procs, pr)
+		m.procs = append(m.procs, pr)
+	}
+	return m, nil
+}
+
+// debugf records a diagnostic event for the debugged block.
+func (m *Machine) debugf(b int64, format string, args ...any) {
+	if b != m.debugBlock {
+		return
+	}
+	m.debugLog = append(m.debugLog, fmt.Sprintf("t=%d: ", m.eng.Now())+fmt.Sprintf(format, args...))
+}
+
+// Scheme returns the machine's directory entry scheme.
+func (m *Machine) Scheme() core.Scheme { return m.scheme }
+
+// block converts a byte address to a block number.
+func (m *Machine) block(addr int64) int64 { return addr / int64(m.cfg.Block) }
+
+// home returns the cluster holding block's memory and directory entry.
+// Memory is distributed round-robin by block, as in the paper's simulator.
+func (m *Machine) home(block int64) int {
+	return int(uint64(block) % uint64(len(m.clusters)))
+}
+
+// dirKey converts a global block number to the home-local block index the
+// directory is addressed with. Blocks homed at cluster c are exactly those
+// congruent to c modulo the cluster count, so the low bits carry no
+// information; a sparse directory indexed by the raw block number would
+// alias every local block into one set.
+func (m *Machine) dirKey(block int64) int64 {
+	return block / int64(len(m.clusters))
+}
+
+// keyBlock is the inverse of dirKey for blocks homed at cluster c.
+func (m *Machine) keyBlock(key int64, c int) int64 {
+	return key*int64(len(m.clusters)) + int64(c)
+}
+
+// dirEntry returns the directory entry for a global block number (a
+// convenience for tests and validators).
+func (m *Machine) dirEntry(block int64) core.Entry {
+	h := m.clusters[m.home(block)]
+	return h.dir.Lookup(m.dirKey(block), m.eng.Now())
+}
+
+// busOp reserves cluster c's bus for dur cycles starting no earlier than
+// now, FCFS, and returns the completion time.
+func (m *Machine) busOp(c *clusterNode, dur sim.Time) sim.Time {
+	start := m.eng.Now()
+	if c.busFree > start {
+		start = c.busFree
+	}
+	c.busFree = start + dur
+	c.busBusy += dur
+	return c.busFree
+}
+
+// dirOp reserves cluster c's directory controller, FCFS.
+func (m *Machine) dirOp(c *clusterNode, dur sim.Time) sim.Time {
+	start := m.eng.Now()
+	if c.dirFree > start {
+		start = c.dirFree
+	}
+	c.dirFree = start + dur
+	c.dirBusy += dur
+	return c.dirFree
+}
+
+// occupyDir extends cluster c's directory busy window by dur without
+// waiting for it (used to model the finite invalidation send rate).
+func (m *Machine) occupyDir(c *clusterNode, dur sim.Time) {
+	if c.dirFree < m.eng.Now() {
+		c.dirFree = m.eng.Now()
+	}
+	c.dirFree += dur
+	c.dirBusy += dur
+}
+
+// send counts one protocol message and schedules its arrival.
+func (m *Machine) send(kind protocol.MsgKind, from, to int, arrive func()) {
+	if from == to {
+		panic(fmt.Sprintf("machine: message %v from cluster %d to itself", kind, from))
+	}
+	m.msgs.Add(kind.Class(), 1)
+	m.eng.At(m.net.SendAt(m.eng.Now(), from, to), arrive)
+}
+
+// complete schedules p's next reference at time at.
+func (m *Machine) complete(p *proc, at sim.Time) {
+	m.eng.At(at, func() { m.stepProc(p) })
+}
+
+// stepProc issues p's next reference, or retires p.
+func (m *Machine) stepProc(p *proc) {
+	if p.opPending {
+		p.opPending = false
+		lat := uint64(m.eng.Now() - p.opStart)
+		if p.opWrite {
+			m.writeLat.Add(lat)
+		} else {
+			m.readLat.Add(lat)
+		}
+	}
+	ref, ok := p.stream.Next()
+	if !ok {
+		if p.pendingAcks > 0 {
+			p.drainToFinish = true
+			return
+		}
+		m.finishProc(p)
+		return
+	}
+	switch ref.Op {
+	case tango.Read:
+		m.access(p, false, ref.Addr)
+	case tango.Write:
+		m.access(p, true, ref.Addr)
+	case tango.Lock:
+		m.fence(p, func() { m.lockAcquire(p, ref.Addr, false) })
+	case tango.Unlock:
+		m.fence(p, func() { m.lockRelease(p, ref.Addr) })
+	case tango.Barrier:
+		m.fence(p, func() { m.barrierArrive(p, ref.Addr) })
+	default:
+		panic(fmt.Sprintf("machine: unknown op %v", ref.Op))
+	}
+}
+
+func (m *Machine) finishProc(p *proc) {
+	p.done = true
+	p.finish = m.eng.Now()
+}
+
+// fence runs fn once p's outstanding invalidation acknowledgements have
+// drained — DASH's release-consistency fence at synchronization points.
+func (m *Machine) fence(p *proc, fn func()) {
+	if p.pendingAcks == 0 {
+		fn()
+		return
+	}
+	if p.afterDrain != nil {
+		panic("machine: double fence")
+	}
+	p.afterDrain = fn
+}
+
+// ackArrived records one invalidation acknowledgement for p's oldest write.
+func (m *Machine) ackArrived(p *proc) {
+	p.pendingAcks--
+	if p.pendingAcks < 0 {
+		panic("machine: negative pending acks")
+	}
+	if p.pendingAcks == 0 {
+		if fn := p.afterDrain; fn != nil {
+			p.afterDrain = nil
+			fn()
+		}
+		if p.drainToFinish {
+			p.drainToFinish = false
+			m.finishProc(p)
+		}
+	}
+}
+
+// Run executes workload w to completion and returns the measurements.
+func (m *Machine) Run(w *tango.Workload) (*Result, error) {
+	if w.Procs() != m.cfg.Procs {
+		return nil, fmt.Errorf("machine: workload has %d streams, machine has %d procs", w.Procs(), m.cfg.Procs)
+	}
+	for i, p := range m.procs {
+		p.stream = tango.NewStream(w.Streams[i])
+		p := p
+		m.eng.At(0, func() { m.stepProc(p) })
+	}
+	m.eng.Run()
+	for _, p := range m.procs {
+		if !p.done {
+			return nil, fmt.Errorf("machine: deadlock — proc %d stuck with %d refs remaining, %d acks pending",
+				p.id, p.stream.Remaining(), p.pendingAcks)
+		}
+	}
+	return m.result(), nil
+}

@@ -1,0 +1,458 @@
+package machine
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"dircoh/internal/cache"
+	"dircoh/internal/core"
+	"dircoh/internal/sparse"
+	"dircoh/internal/stats"
+	"dircoh/internal/tango"
+)
+
+// tinyCache is a small hierarchy so tests exercise evictions.
+func tinyCache() cache.Config {
+	return cache.Config{L1Size: 256, L1Assoc: 1, L2Size: 1024, L2Assoc: 2, Block: 16}
+}
+
+func testConfig(procs int, scheme SchemeFactory) Config {
+	return Config{
+		Procs:           procs,
+		ProcsPerCluster: 1,
+		Block:           16,
+		Cache:           tinyCache(),
+		Scheme:          scheme,
+		Timing:          DefaultTiming(),
+	}
+}
+
+// wl builds a workload from explicit per-proc streams.
+func wl(streams ...[]tango.Ref) *tango.Workload {
+	return &tango.Workload{Name: "test", Streams: streams}
+}
+
+// addr returns the byte address of block b (block size 16).
+func addr(b int64) int64 { return b * 16 }
+
+func mustRun(t *testing.T, cfg Config, w *tango.Workload) (*Machine, *Result) {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckCoherence(); err != nil {
+		t.Fatalf("coherence violated: %v", err)
+	}
+	// Global conservation law: every invalidation (including flushes)
+	// produces exactly one acknowledgement.
+	if r.Msgs[stats.Invalidation] != r.Msgs[stats.Ack] {
+		t.Fatalf("invalidations (%d) != acknowledgements (%d)",
+			r.Msgs[stats.Invalidation], r.Msgs[stats.Ack])
+	}
+	return m, r
+}
+
+func TestSingleProcLocalOnly(t *testing.T) {
+	var b tango.Builder
+	b.Read(addr(0))
+	b.Write(addr(0))
+	b.Read(addr(0)) // hit
+	_, r := mustRun(t, testConfig(1, FullVec), wl(b.Refs()))
+	if r.Msgs.Total() != 0 {
+		t.Fatalf("single-cluster run sent %d messages", r.Msgs.Total())
+	}
+	if r.ExecTime == 0 {
+		t.Fatal("zero execution time")
+	}
+	if r.Cache.Reads != 2 || r.Cache.Writes != 1 {
+		t.Fatalf("cache stats = %+v", r.Cache)
+	}
+}
+
+func TestRemoteReadMessagePair(t *testing.T) {
+	// 2 clusters; block 0 homed at cluster 0; proc 1 reads it remotely.
+	var b1 tango.Builder
+	b1.Read(addr(0))
+	_, r := mustRun(t, testConfig(2, FullVec), wl(nil, b1.Refs()))
+	if r.Msgs[stats.Request] != 1 || r.Msgs[stats.Reply] != 1 {
+		t.Fatalf("msgs = %v, want 1 request + 1 reply", r.Msgs)
+	}
+	if r.Msgs.InvalAck() != 0 {
+		t.Fatalf("unexpected invalidations: %v", r.Msgs)
+	}
+}
+
+func TestHomeSnoopInvalidatesWithoutMessages(t *testing.T) {
+	// Proc 0 (home cluster of block 0) caches it; proc 1 writes it.
+	// The home copy is invalidated by bus snooping: no Inval messages.
+	var b0, b1 tango.Builder
+	b0.Read(addr(0))
+	b0.Barrier(addr(100))
+	b1.Barrier(addr(100))
+	b1.Write(addr(0))
+	_, r := mustRun(t, testConfig(2, FullVec), wl(b0.Refs(), b1.Refs()))
+	if r.Msgs.InvalAck() != 0 {
+		t.Fatalf("home snoop should not use network invalidations: %v", r.Msgs)
+	}
+}
+
+func TestRemoteWriteInvalidatesSharer(t *testing.T) {
+	// 3 clusters. Block 0 homed at 0. Proc 1 reads it, then proc 2
+	// writes it: exactly one Inval (to 1) and one Ack (1 -> 2).
+	var b0, b1, b2 tango.Builder
+	b0.Barrier(addr(99))
+	b1.Read(addr(0))
+	b1.Barrier(addr(99))
+	b2.Barrier(addr(99))
+	b2.Write(addr(0))
+	m, r := mustRun(t, testConfig(3, FullVec), wl(b0.Refs(), b1.Refs(), b2.Refs()))
+	if r.Msgs[stats.Invalidation] != 1 || r.Msgs[stats.Ack] != 1 {
+		t.Fatalf("msgs = %v, want 1 inval + 1 ack", r.Msgs)
+	}
+	// Directory must record cluster 2 as dirty owner.
+	e := m.dirEntry(0)
+	if e == nil || !e.Dirty() || e.Owner() != 2 {
+		t.Fatalf("directory entry wrong after remote write: %v", e)
+	}
+	// The histogram recorded a 1-invalidation event.
+	if r.InvalHist.Count(1) == 0 {
+		t.Fatalf("invalidation histogram missing the event: %v", r.InvalHist)
+	}
+}
+
+func TestThreeHopRead(t *testing.T) {
+	// Proc 1 dirties block 0 (home 0); proc 2 then reads it: the home
+	// forwards to cluster 1, which replies to 2 and writes back to 0.
+	var b0, b1, b2 tango.Builder
+	b0.Barrier(addr(99))
+	b1.Write(addr(0))
+	b1.Barrier(addr(99))
+	b2.Barrier(addr(99))
+	b2.Read(addr(0))
+	m, r := mustRun(t, testConfig(3, FullVec), wl(b0.Refs(), b1.Refs(), b2.Refs()))
+	e := m.dirEntry(0)
+	if e == nil || e.Dirty() {
+		t.Fatalf("entry should be clean-shared after 3-hop read: %v", e)
+	}
+	if !e.IsSharer(1) || !e.IsSharer(2) {
+		t.Fatalf("both clusters should be sharers: %v", e.Sharers())
+	}
+	if r.Msgs[stats.Request] < 3 { // ReadReq + FwdReadReq + SharingWB (+ WriteReq + barrier)
+		t.Fatalf("requests = %d, want >= 3", r.Msgs[stats.Request])
+	}
+}
+
+func TestDirtyEvictionWriteback(t *testing.T) {
+	// Proc 1's tiny cache (64 L2 lines) overflows while writing blocks
+	// homed at cluster 0, forcing writebacks.
+	var b1 tango.Builder
+	for i := int64(0); i < 200; i += 2 { // even blocks -> home 0
+		b1.Write(addr(i))
+	}
+	m, r := mustRun(t, testConfig(2, FullVec), wl(nil, b1.Refs()))
+	if r.Cache.DirtyEv == 0 {
+		t.Fatal("expected dirty evictions")
+	}
+	// Writebacks release home directory entries: evicted blocks must no
+	// longer be recorded as dirty at cluster 1.
+	stale := 0
+	for b := int64(0); b < 200; b += 2 {
+		if e := m.dirEntry(b); e != nil && e.Dirty() {
+			if m.procs[1].h.State(b) != cache.Dirty {
+				stale++
+			}
+		}
+	}
+	if stale != 0 {
+		t.Fatalf("%d stale dirty directory entries after writebacks", stale)
+	}
+}
+
+func TestNBPointerOverflowInvalidates(t *testing.T) {
+	// Dir1NB: one pointer. Cluster 1 reads block 0, then cluster 2 reads
+	// it: the directory must evict cluster 1 (Inval + Ack), and the
+	// read-caused invalidation is an invalidation event (Figure 4).
+	nb1 := func(n int) core.Scheme {
+		return core.NewLimitedNoBroadcast(1, n, core.VictimOldest, 1)
+	}
+	var b0, b1, b2 tango.Builder
+	b0.Barrier(addr(99))
+	b1.Read(addr(0))
+	b1.Barrier(addr(99))
+	b2.Barrier(addr(99))
+	b2.Read(addr(0))
+	m, r := mustRun(t, testConfig(3, nb1), wl(b0.Refs(), b1.Refs(), b2.Refs()))
+	if r.Msgs[stats.Invalidation] != 1 || r.Msgs[stats.Ack] != 1 {
+		t.Fatalf("msgs = %v, want exactly 1 inval + 1 ack", r.Msgs)
+	}
+	if m.procs[1].h.State(0) != cache.Invalid {
+		t.Fatal("evicted sharer should have been invalidated")
+	}
+	if m.procs[2].h.State(0) != cache.Shared {
+		t.Fatal("new sharer should hold the block")
+	}
+	if r.InvalHist.Count(1) != 1 {
+		t.Fatalf("read-caused eviction should be one 1-inval event: %v", r.InvalHist)
+	}
+}
+
+func TestBroadcastWriteInvalidatesAll(t *testing.T) {
+	// Dir1B with 4 clusters: clusters 1, 2, 3 read block 0 (overflow to
+	// broadcast at the second read); then proc 0 (home) writes it.
+	// Targets = everyone except home: 3 invalidations.
+	b1scheme := func(n int) core.Scheme { return core.NewLimitedBroadcast(1, n) }
+	var b0, b1, b2, b3 tango.Builder
+	for _, b := range []*tango.Builder{&b1, &b2, &b3} {
+		b.Read(addr(0))
+		b.Barrier(addr(99))
+	}
+	b0.Barrier(addr(99))
+	b0.Write(addr(0))
+	_, r := mustRun(t, testConfig(4, b1scheme), wl(b0.Refs(), b1.Refs(), b2.Refs(), b3.Refs()))
+	if r.Msgs[stats.Invalidation] != 3 || r.Msgs[stats.Ack] != 3 {
+		t.Fatalf("msgs = %v, want 3 invals + 3 acks (broadcast minus home)", r.Msgs)
+	}
+	if r.InvalHist.Count(3) != 1 {
+		t.Fatalf("expected one 3-invalidation event: %v", r.InvalHist)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *Result {
+		rng := rand.New(rand.NewSource(7))
+		streams := make([][]tango.Ref, 4)
+		for p := range streams {
+			var b tango.Builder
+			for i := 0; i < 200; i++ {
+				blk := int64(rng.Intn(32))
+				if rng.Intn(3) == 0 {
+					b.Write(addr(blk))
+				} else {
+					b.Read(addr(blk))
+				}
+			}
+			streams[p] = b.Refs()
+		}
+		_, r := mustRun(t, testConfig(4, CoarseVec2), wl(streams...))
+		return r
+	}
+	r1, r2 := mk(), mk()
+	if r1.ExecTime != r2.ExecTime || r1.Msgs != r2.Msgs {
+		t.Fatalf("nondeterministic: %v/%v vs %v/%v", r1.ExecTime, r1.Msgs, r2.ExecTime, r2.Msgs)
+	}
+}
+
+func TestLocksAllSchemesComplete(t *testing.T) {
+	schemes := map[string]SchemeFactory{
+		"full":  FullVec,
+		"cv":    CoarseVec2,
+		"bcast": Broadcast,
+		"nb":    NoBroadcast,
+		"super": SupersetX,
+	}
+	for name, s := range schemes {
+		t.Run(name, func(t *testing.T) {
+			const procs = 8
+			streams := make([][]tango.Ref, procs)
+			for p := range streams {
+				var b tango.Builder
+				for i := 0; i < 5; i++ {
+					b.Lock(addr(1000))
+					b.Read(addr(500))
+					b.Write(addr(500))
+					b.Unlock(addr(1000))
+				}
+				streams[p] = b.Refs()
+			}
+			_, r := mustRun(t, testConfig(procs, s), wl(streams...))
+			if r.ExecTime == 0 {
+				t.Fatal("no work done")
+			}
+		})
+	}
+}
+
+func TestCoarseLockRegionWakeRetries(t *testing.T) {
+	// Many contenders force the coarse waiter vector to overflow; region
+	// wakes cause retries.
+	const procs = 12
+	streams := make([][]tango.Ref, procs)
+	for p := range streams {
+		var b tango.Builder
+		b.Lock(addr(1000))
+		b.Write(addr(2000))
+		b.Unlock(addr(1000))
+		streams[p] = b.Refs()
+	}
+	_, r := mustRun(t, testConfig(procs, CoarseVec2), wl(streams...))
+	if r.LockRetries == 0 {
+		t.Fatal("expected coarse-vector lock wakes to cause retries")
+	}
+}
+
+func TestBarrierAligns(t *testing.T) {
+	// Proc 0 does lots of work before the barrier; proc 1 none. Both
+	// finish after proc 0's work.
+	var b0, b1 tango.Builder
+	for i := int64(0); i < 100; i++ {
+		b0.Write(addr(i*2 + 1)) // odd blocks homed at cluster 1: remote traffic
+	}
+	b0.Barrier(addr(99))
+	b1.Barrier(addr(99))
+	b1.Read(addr(3))
+	m, _ := mustRun(t, testConfig(2, FullVec), wl(b0.Refs(), b1.Refs()))
+	if m.procs[1].finish <= m.procs[0].finish/2 {
+		t.Fatalf("proc 1 finished at %d, long before proc 0 at %d — barrier ignored?",
+			m.procs[1].finish, m.procs[0].finish)
+	}
+}
+
+func TestSparseReplacementFlow(t *testing.T) {
+	// One-entry directory per cluster: two remotely-shared blocks with
+	// the same home must knock each other out, invalidating sharers.
+	var b1 tango.Builder
+	b1.Read(addr(0)) // home 0, allocates entry
+	b1.Read(addr(2)) // home 0, replaces it -> Inval+Ack for block 0
+	cfg := testConfig(2, FullVec)
+	cfg.Sparse = SparseConfig{Entries: 1, Assoc: 1, Policy: sparse.LRU}
+	m, r := mustRun(t, cfg, wl(nil, b1.Refs()))
+	if r.Replacements == 0 {
+		t.Fatal("expected a sparse replacement")
+	}
+	if r.Msgs[stats.Invalidation] == 0 || r.Msgs[stats.Ack] == 0 {
+		t.Fatalf("replacement should invalidate sharers: %v", r.Msgs)
+	}
+	// Block 0 must be gone from proc 1's cache.
+	if m.procs[1].h.State(0) != cache.Invalid {
+		t.Fatal("replaced block still cached")
+	}
+	if r.ReplHist.Events() == 0 {
+		t.Fatal("replacement histogram empty")
+	}
+}
+
+func TestSparseDirtyReplacementFlush(t *testing.T) {
+	var b1 tango.Builder
+	b1.Write(addr(0)) // dirty at cluster 1
+	b1.Read(addr(2))  // replaces entry -> Flush to cluster 1
+	cfg := testConfig(2, FullVec)
+	cfg.Sparse = SparseConfig{Entries: 1, Assoc: 1, Policy: sparse.LRU}
+	m, r := mustRun(t, cfg, wl(nil, b1.Refs()))
+	if r.Replacements == 0 {
+		t.Fatal("expected a replacement")
+	}
+	if m.procs[1].h.State(0) != cache.Invalid {
+		t.Fatal("flushed block still cached")
+	}
+	if r.RACPeak == 0 {
+		t.Fatal("RAC never tracked the replacement")
+	}
+}
+
+func TestResultSummary(t *testing.T) {
+	var b tango.Builder
+	b.Read(addr(0))
+	_, r := mustRun(t, testConfig(1, FullVec), wl(b.Refs()))
+	s := r.Summary()
+	if !strings.Contains(s, "Dir1") || !strings.Contains(s, "messages") {
+		t.Fatalf("summary missing fields:\n%s", s)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Procs: 0, ProcsPerCluster: 1, Block: 16, Scheme: FullVec},
+		{Procs: 5, ProcsPerCluster: 2, Block: 16, Scheme: FullVec},
+		{Procs: 4, ProcsPerCluster: 1, Block: 0, Scheme: FullVec},
+		{Procs: 4, ProcsPerCluster: 1, Block: 16, Scheme: nil},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestWorkloadProcMismatch(t *testing.T) {
+	m, err := New(testConfig(2, FullVec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(wl(nil)); err == nil {
+		t.Fatal("expected proc-count mismatch error")
+	}
+}
+
+// TestCoherenceSoak runs random workloads across every scheme and both
+// directory organizations and validates the machine-wide coherence
+// invariants at quiescence. This is the system's main property test.
+func TestCoherenceSoak(t *testing.T) {
+	schemes := []SchemeFactory{FullVec, CoarseVec2, Broadcast, NoBroadcast, SupersetX}
+	for si, schemeF := range schemes {
+		for _, sparseEntries := range []int{0, 4, 16} {
+			for seed := int64(0); seed < 3; seed++ {
+				rng := rand.New(rand.NewSource(seed*100 + int64(si)))
+				const procs = 6
+				streams := make([][]tango.Ref, procs)
+				for p := range streams {
+					var b tango.Builder
+					for i := 0; i < 400; i++ {
+						blk := int64(rng.Intn(48))
+						switch rng.Intn(10) {
+						case 0, 1, 2:
+							b.Write(addr(blk))
+						default:
+							b.Read(addr(blk))
+						}
+					}
+					streams[p] = b.Refs()
+				}
+				cfg := testConfig(procs, schemeF)
+				cfg.Seed = seed
+				if sparseEntries > 0 {
+					cfg.Sparse = SparseConfig{Entries: sparseEntries, Assoc: 2, Policy: sparse.Random}
+				}
+				mustRun(t, cfg, wl(streams...))
+				// And the same traffic on a clustered machine (3
+				// clusters of 2), exercising bus snooping, request
+				// merging and the writeback-epoch races.
+				ccfg := cfg
+				ccfg.ProcsPerCluster = 2
+				cw := wl(streams...)
+				mustRun(t, ccfg, cw)
+			}
+		}
+	}
+}
+
+// TestClustered runs with 4 processors per cluster, exercising the snoopy
+// bus paths (local supply, local invalidation, cache-to-cache transfer).
+func TestClustered(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const procs = 8 // 2 clusters of 4
+	streams := make([][]tango.Ref, procs)
+	for p := range streams {
+		var b tango.Builder
+		for i := 0; i < 300; i++ {
+			blk := int64(rng.Intn(24))
+			if rng.Intn(4) == 0 {
+				b.Write(addr(blk))
+			} else {
+				b.Read(addr(blk))
+			}
+		}
+		streams[p] = b.Refs()
+	}
+	cfg := testConfig(procs, CoarseVec2)
+	cfg.ProcsPerCluster = 4
+	_, r := mustRun(t, cfg, wl(streams...))
+	if r.Msgs.Total() == 0 {
+		t.Fatal("expected inter-cluster traffic")
+	}
+}

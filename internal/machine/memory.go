@@ -1,0 +1,621 @@
+package machine
+
+import (
+	"dircoh/internal/bitset"
+	"dircoh/internal/cache"
+	"dircoh/internal/core"
+	"dircoh/internal/protocol"
+	"dircoh/internal/sim"
+	"dircoh/internal/sparse"
+)
+
+// access handles one read or write reference by p.
+func (m *Machine) access(p *proc, write bool, addr int64) {
+	m.accessBlock(p, write, m.block(addr))
+}
+
+// accessBlock runs one access by block number (used directly when MSHR
+// waiters retry).
+func (m *Machine) accessBlock(p *proc, write bool, b int64) {
+	if !p.opPending {
+		p.opPending = true
+		p.opWrite = write
+		p.opStart = m.eng.Now()
+	}
+	switch p.h.Access(b, write, m.eng.Now()) {
+	case cache.Hit:
+		m.complete(p, m.eng.Now()+m.t.Hit)
+	case cache.MissUpgrade:
+		done := m.busOp(p.cl, m.t.Bus)
+		m.eng.At(done, func() { m.busMiss(p, write, b, true) })
+	default: // Miss
+		done := m.busOp(p.cl, m.t.Bus)
+		m.eng.At(done, func() { m.busMiss(p, write, b, false) })
+	}
+}
+
+// fill installs block b in p's caches and handles any writeback the fill
+// displaces.
+func (m *Machine) fill(p *proc, b int64, st cache.State) {
+	m.debugf(b, "fill p%d/c%d %v", p.id, p.cl.id, st)
+	v := p.h.Fill(b, st, m.eng.Now())
+	m.handleVictim(p, v)
+}
+
+// handleVictim sends a writeback for a dirty cache victim; shared victims
+// are dropped silently (the directory keeps a stale, superset sharer bit,
+// as DASH does).
+func (m *Machine) handleVictim(p *proc, v cache.Victim) {
+	if !v.Valid || !v.Dirty {
+		return
+	}
+	vb := v.Block
+	home := m.home(vb)
+	if home == p.cl.id {
+		return // local memory updated over the bus; no network traffic
+	}
+	hc := m.clusters[home]
+	from := p.cl.id
+	m.send(protocol.WritebackReq, from, home, func() {
+		// A writeback superseded by a re-grant of ownership to the same
+		// cluster (the home counted it when serving that request) is
+		// stale: drop it.
+		if n := hc.wbExpected[vb]; n > 0 {
+			if n == 1 {
+				delete(hc.wbExpected, vb)
+			} else {
+				hc.wbExpected[vb] = n - 1
+			}
+			return
+		}
+		// Guarded update: only clear ownership if the directory still
+		// believes we own the block (a racing transaction may already
+		// have moved ownership; its forwarded request found no copy).
+		if e := hc.dir.Lookup(m.dirKey(vb), m.eng.Now()); e != nil && e.Dirty() && e.Owner() == from {
+			e.Reset()
+			hc.dir.Release(m.dirKey(vb))
+		}
+	})
+}
+
+// busMiss runs after p's local bus transaction: snoop the cluster's other
+// caches, then involve the home directory if the cluster cannot satisfy
+// the access by itself.
+func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
+	now := m.eng.Now()
+	c := p.cl
+	home := m.home(b)
+	if write {
+		localDirty := false
+		for _, q := range c.procs {
+			if q == p {
+				continue
+			}
+			if _, d := q.h.Invalidate(b); d {
+				localDirty = true
+			}
+		}
+		// A sibling's outstanding read must not install a copy after
+		// this write: poison it (bus-order serialization).
+		if _, ok := c.pendingReads[b]; ok {
+			c.poisonedReads[b] = true
+		}
+		if localDirty {
+			// Cache-to-cache ownership transfer within the cluster; the
+			// directory state (dirty at this cluster, or home-local) is
+			// unchanged.
+			m.debugf(b, "localDirty transfer to p%d/c%d", p.id, p.cl.id)
+			m.fill(p, b, cache.Dirty)
+			m.complete(p, now+m.t.Fill)
+			return
+		}
+		if home == c.id {
+			m.homeLocalWrite(p, b)
+			return
+		}
+		if c.pendingWrite[b] {
+			// Another local processor's ownership request is in flight;
+			// retry over the bus when it completes.
+			c.writeWaiters[b] = append(c.writeWaiters[b], mshrWaiter{p: p, write: true})
+			m.mergedReads++
+			return
+		}
+		c.pendingWrite[b] = true
+		kind := protocol.WriteReq
+		if upgrade {
+			kind = protocol.UpgradeReq
+		}
+		m.send(kind, c.id, home, func() { m.remoteWriteAtHome(p, b, upgrade) })
+		return
+	}
+	// Read. An ownership request in flight from this cluster wins the
+	// MSHR check before any bus supply: the sibling's copy is about to
+	// be superseded, so park and retry once the write lands.
+	if c.pendingWrite[b] {
+		c.writeWaiters[b] = append(c.writeWaiters[b], mshrWaiter{p: p})
+		m.mergedReads++
+		return
+	}
+	// Another local cache can supply the data directly.
+	for _, q := range c.procs {
+		if q == p {
+			continue
+		}
+		switch q.h.State(b) {
+		case cache.Dirty:
+			m.debugf(b, "local dirty supply q%d -> p%d (c%d)", q.id, p.id, c.id)
+			q.h.Downgrade(b)
+			m.fill(p, b, cache.Shared)
+			if home != c.id {
+				m.sendSharingWB(c.id, home, b)
+			}
+			m.complete(p, now+m.t.Fill)
+			return
+		case cache.Shared:
+			m.fill(p, b, cache.Shared)
+			m.complete(p, now+m.t.Fill)
+			return
+		}
+	}
+	if home == c.id {
+		m.homeLocalRead(p, b)
+		return
+	}
+	// RAC request merging: if another local processor already has a read
+	// outstanding for this block, ride its reply instead of sending a
+	// second request.
+	if followers, ok := c.pendingReads[b]; ok {
+		c.pendingReads[b] = append(followers, p)
+		m.mergedReads++
+		return
+	}
+	c.pendingReads[b] = nil
+	m.send(protocol.ReadReq, c.id, home, func() { m.remoteReadAtHome(p, b) })
+}
+
+// remoteReadDone fills p and every merged follower, completing them all.
+// A poisoned read delivers its data without caching it.
+func (m *Machine) remoteReadDone(p *proc, b int64) {
+	now := m.eng.Now()
+	poisoned := p.cl.poisonedReads[b]
+	m.debugf(b, "remoteReadDone p%d/c%d poisoned=%v followers=%d", p.id, p.cl.id, poisoned, len(p.cl.pendingReads[b]))
+	procs := append([]*proc{p}, p.cl.pendingReads[b]...)
+	delete(p.cl.pendingReads, b)
+	delete(p.cl.poisonedReads, b)
+	for _, q := range procs {
+		if !poisoned {
+			m.fill(q, b, cache.Shared)
+		}
+		m.complete(q, now+m.t.Fill)
+	}
+}
+
+// invalidateCluster removes block b from every cache of cluster c and, if
+// c has a read outstanding for b, poisons it so the in-flight reply is
+// consumed without caching (the invalidation logically follows the read).
+func (m *Machine) invalidateCluster(c *clusterNode, b int64) {
+	m.debugf(b, "invalidateCluster c%d", c.id)
+	for _, q := range c.procs {
+		q.h.Invalidate(b)
+	}
+	if _, ok := c.pendingReads[b]; ok {
+		c.poisonedReads[b] = true
+	}
+}
+
+// sendSharingWB tells the home that cluster `from` downgraded its dirty
+// copy and memory is current again.
+func (m *Machine) sendSharingWB(from, home int, b int64) {
+	hc := m.clusters[home]
+	m.send(protocol.SharingWB, from, home, func() {
+		// Stale with respect to a re-granted ownership (see wbExpected)?
+		if n := hc.wbExpected[b]; n > 0 {
+			if n == 1 {
+				delete(hc.wbExpected, b)
+			} else {
+				hc.wbExpected[b] = n - 1
+			}
+			return
+		}
+		if e := hc.dir.Lookup(m.dirKey(b), m.eng.Now()); e != nil && e.Dirty() && e.Owner() == from {
+			e.ClearDirty()
+		}
+	})
+}
+
+// homeLocalRead serves a read whose home is the requester's own cluster.
+func (m *Machine) homeLocalRead(p *proc, b int64) {
+	h := p.cl
+	if h.gate.Busy(b) {
+		h.gate.Wait(b, func() { m.homeLocalRead(p, b) })
+		return
+	}
+	now := m.eng.Now()
+	// Re-snoop: a sibling may have obtained a copy while this request
+	// waited on the gate; the bus supplies it directly.
+	for _, q := range h.procs {
+		if q == p {
+			continue
+		}
+		switch q.h.State(b) {
+		case cache.Dirty:
+			q.h.Downgrade(b)
+			m.fill(p, b, cache.Shared)
+			m.complete(p, now+m.t.Fill)
+			return
+		case cache.Shared:
+			m.fill(p, b, cache.Shared)
+			m.complete(p, now+m.t.Fill)
+			return
+		}
+	}
+	e := h.dir.Lookup(m.dirKey(b), now)
+	if e == nil || !e.Dirty() {
+		m.fill(p, b, cache.Shared)
+		m.complete(p, now+m.t.Fill)
+		return
+	}
+	// Dirty in a remote cluster: forward there; the reply to the home
+	// doubles as the sharing writeback.
+	owner := e.Owner()
+	e.ClearDirty()
+	h.gate.Lock(b)
+	m.send(protocol.FwdReadReq, h.id, owner, func() {
+		oc := m.clusters[owner]
+		done := m.busOp(oc, m.t.Fwd)
+		m.eng.At(done, func() {
+			for _, q := range oc.procs {
+				q.h.Downgrade(b)
+			}
+			m.send(protocol.DataReply, owner, h.id, func() {
+				m.fill(p, b, cache.Shared)
+				m.complete(p, m.eng.Now()+m.t.Fill)
+				h.gate.Unlock(b)
+			})
+		})
+	})
+}
+
+// homeLocalWrite serves a write whose home is the requester's own cluster.
+// The local bus snoop has already invalidated other local copies.
+func (m *Machine) homeLocalWrite(p *proc, b int64) {
+	h := p.cl
+	if h.gate.Busy(b) {
+		h.gate.Wait(b, func() { m.homeLocalWrite(p, b) })
+		return
+	}
+	now := m.eng.Now()
+	// Re-snoop: siblings may have picked up copies while this request
+	// waited on the gate; a sibling's dirty copy transfers ownership
+	// over the bus, shared copies are invalidated.
+	localDirty := false
+	for _, q := range h.procs {
+		if q == p {
+			continue
+		}
+		if _, d := q.h.Invalidate(b); d {
+			localDirty = true
+		}
+	}
+	if localDirty {
+		m.fill(p, b, cache.Dirty)
+		m.complete(p, now+m.t.Fill)
+		return
+	}
+	e := h.dir.Lookup(m.dirKey(b), now)
+	if e == nil || e.Empty() {
+		if e != nil {
+			h.dir.Release(m.dirKey(b))
+		}
+		m.invalHist.Add(0)
+		m.fill(p, b, cache.Dirty)
+		m.complete(p, now+m.t.Fill)
+		return
+	}
+	if e.Dirty() {
+		// Recall from the remote owner; afterwards the block is dirty in
+		// the home cluster and needs no directory entry.
+		owner := e.Owner()
+		e.Reset()
+		h.dir.Release(m.dirKey(b))
+		h.gate.Lock(b)
+		m.send(protocol.FwdWriteReq, h.id, owner, func() {
+			oc := m.clusters[owner]
+			done := m.busOp(oc, m.t.InvalBus)
+			m.eng.At(done, func() {
+				m.invalidateCluster(oc, b)
+				m.send(protocol.OwnershipReply, owner, h.id, func() {
+					m.fill(p, b, cache.Dirty)
+					m.complete(p, m.eng.Now()+m.t.Fill)
+					h.gate.Unlock(b)
+				})
+			})
+		})
+		return
+	}
+	// Remote sharers: invalidate them; ownership is granted immediately
+	// (acknowledgements drain asynchronously under release consistency).
+	targets := e.Sharers()
+	targets.Remove(h.id)
+	n := targets.Count()
+	m.invalHist.Add(n)
+	e.Reset()
+	h.dir.Release(m.dirKey(b))
+	p.pendingAcks += n
+	m.fill(p, b, cache.Dirty)
+	m.complete(p, now+m.t.Fill)
+	m.sendInvals(h, b, targets, p)
+}
+
+// sendInvals sends invalidations for block b to every cluster in targets;
+// each target acknowledges to ackTo's cluster and the ack is credited to
+// ackTo. The requester's own cluster is never a target (callers exclude
+// it), so acknowledgements always travel the network, as in DASH.
+func (m *Machine) sendInvals(h *clusterNode, b int64, targets bitset.Set, ackTo *proc) {
+	// The directory injects invalidations at a finite rate; a broadcast
+	// keeps the controller busy and delays requests queued behind it.
+	m.occupyDir(h, m.t.InvalSend*sim.Time(targets.Count()))
+	targets.ForEach(func(t int) {
+		tc := m.clusters[t]
+		m.send(protocol.Inval, h.id, t, func() {
+			done := m.busOp(tc, m.t.InvalBus)
+			m.eng.At(done, func() {
+				m.invalidateCluster(tc, b)
+				m.send(protocol.AckMsg, t, ackTo.cl.id, func() { m.ackArrived(ackTo) })
+			})
+		})
+	})
+}
+
+// remoteReadAtHome runs when a ReadReq arrives at the home cluster.
+func (m *Machine) remoteReadAtHome(p *proc, b int64) {
+	h := m.clusters[m.home(b)]
+	done := m.dirOp(h, m.t.Dir)
+	m.eng.At(done, func() { m.serveRemoteRead(p, b, h) })
+}
+
+func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode) {
+	m.debugf(b, "serveRemoteRead p%d/c%d gateBusy=%v", p.id, p.cl.id, h.gate.Busy(b))
+	if h.gate.Busy(b) {
+		h.gate.Wait(b, func() { m.serveRemoteRead(p, b, h) })
+		return
+	}
+	now := m.eng.Now()
+	rc := p.cl.id
+	e := h.dir.Lookup(m.dirKey(b), now)
+	if e != nil && e.Dirty() && e.Owner() != rc {
+		// Three-cluster read: forward to the owner, which replies to the
+		// requester and sends a sharing writeback home.
+		owner := e.Owner()
+		e.ClearDirty()
+		m.handleNBEvictions(h, b, e.AddSharer(rc))
+		m.drainDirVictims(h)
+		h.gate.Lock(b)
+		m.send(protocol.FwdReadReq, h.id, owner, func() {
+			oc := m.clusters[owner]
+			done := m.busOp(oc, m.t.Fwd)
+			m.eng.At(done, func() {
+				for _, q := range oc.procs {
+					q.h.Downgrade(b)
+				}
+				m.send(protocol.DataReply, owner, rc, func() {
+					m.remoteReadDone(p, b)
+					h.gate.Unlock(b)
+				})
+				m.send(protocol.SharingWB, owner, h.id, func() {})
+			})
+		})
+		return
+	}
+	// Clean at home (or owned by the requester after a writeback race).
+	e2, victim := h.dir.Allocate(m.dirKey(b), now)
+	if victim != nil {
+		m.replaceEntry(h, victim)
+	}
+	if e2.Dirty() && e2.Owner() == rc {
+		// The owner itself is asking: its copy was evicted, so a
+		// writeback is in flight and now stale.
+		e2.ClearDirty()
+		h.wbExpected[b]++
+	}
+	// Home-bus snoop: a home cache may hold the block dirty with no
+	// directory entry; downgrade it so memory supplies current data.
+	for _, q := range h.procs {
+		q.h.Downgrade(b)
+	}
+	m.handleNBEvictions(h, b, e2.AddSharer(rc))
+	m.drainDirVictims(h)
+	m.send(protocol.DataReply, h.id, rc, func() {
+		m.remoteReadDone(p, b)
+	})
+}
+
+// remoteWriteAtHome runs when a WriteReq/UpgradeReq arrives at the home.
+func (m *Machine) remoteWriteAtHome(p *proc, b int64, upgrade bool) {
+	h := m.clusters[m.home(b)]
+	done := m.dirOp(h, m.t.Dir)
+	m.eng.At(done, func() { m.serveRemoteWrite(p, b, h, upgrade) })
+}
+
+func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade bool) {
+	m.debugf(b, "serveRemoteWrite p%d/c%d upgrade=%v gateBusy=%v", p.id, p.cl.id, upgrade, h.gate.Busy(b))
+	if h.gate.Busy(b) {
+		h.gate.Wait(b, func() { m.serveRemoteWrite(p, b, h, upgrade) })
+		return
+	}
+	now := m.eng.Now()
+	rc := p.cl.id
+	e, victim := h.dir.Allocate(m.dirKey(b), now)
+	if victim != nil {
+		m.replaceEntry(h, victim)
+	}
+	if e.Dirty() && e.Owner() != rc {
+		// Ownership transfer between two remote clusters.
+		owner := e.Owner()
+		e.SetDirty(rc)
+		h.gate.Lock(b)
+		m.send(protocol.FwdWriteReq, h.id, owner, func() {
+			oc := m.clusters[owner]
+			done := m.busOp(oc, m.t.InvalBus)
+			m.eng.At(done, func() {
+				m.invalidateCluster(oc, b)
+				m.send(protocol.OwnershipReply, owner, rc, func() {
+					m.remoteWriteDone(p, b, upgrade)
+					h.gate.Unlock(b)
+				})
+			})
+		})
+		return
+	}
+	if e.Dirty() && e.Owner() == rc {
+		// Re-granting to the recorded owner: its in-flight writeback is
+		// stale (see wbExpected).
+		h.wbExpected[b]++
+	}
+	// Clean (or requester-owned): invalidate the sharers. The ownership
+	// reply carries the invalidation count; acknowledgements go straight
+	// to the requester.
+	targets := e.Sharers()
+	targets.Remove(rc)
+	targets.Remove(h.id)
+	// Home-bus snoop invalidates home-cluster copies without messages.
+	m.invalidateCluster(h, b)
+	n := targets.Count()
+	m.invalHist.Add(n)
+	e.SetDirty(rc)
+	m.drainDirVictims(h)
+	p.pendingAcks += n
+	h.gate.Lock(b)
+	m.send(protocol.OwnershipReply, h.id, rc, func() {
+		m.remoteWriteDone(p, b, upgrade)
+		h.gate.Unlock(b)
+	})
+	m.sendInvals(h, b, targets, p)
+}
+
+// fillExclusive installs an exclusive copy after an ownership reply.
+func (m *Machine) fillExclusive(p *proc, b int64, upgrade bool) {
+	if upgrade && p.h.State(b) != cache.Invalid {
+		p.h.Upgrade(b, m.eng.Now())
+		return
+	}
+	m.fill(p, b, cache.Dirty)
+}
+
+// remoteWriteDone completes p's outstanding write and retries any local
+// accesses that were parked behind it (they now hit the fresh dirty copy
+// over the bus).
+func (m *Machine) remoteWriteDone(p *proc, b int64, upgrade bool) {
+	m.debugf(b, "remoteWriteDone p%d/c%d waiters=%d", p.id, p.cl.id, len(p.cl.writeWaiters[b]))
+	m.fillExclusive(p, b, upgrade)
+	m.complete(p, m.eng.Now()+m.t.Fill)
+	c := p.cl
+	delete(c.pendingWrite, b)
+	waiters := c.writeWaiters[b]
+	delete(c.writeWaiters, b)
+	for _, w := range waiters {
+		w := w
+		m.eng.After(m.t.Fill, func() { m.accessBlock(w.p, w.write, b) })
+	}
+}
+
+// handleNBEvictions invalidates sharers dropped by a Dir_iNB pointer
+// overflow. These are the paper's read-caused invalidation events (Fig 4).
+func (m *Machine) handleNBEvictions(h *clusterNode, b int64, ev []core.NodeID) {
+	if len(ev) == 0 {
+		return
+	}
+	m.invalHist.Add(len(ev))
+	m.occupyDir(h, m.t.InvalSend*sim.Time(len(ev)))
+	for _, v := range ev {
+		if v == h.id {
+			continue
+		}
+		vc := m.clusters[v]
+		v := v
+		m.send(protocol.Inval, h.id, v, func() {
+			done := m.busOp(vc, m.t.InvalBus)
+			m.eng.At(done, func() {
+				m.invalidateCluster(vc, b)
+				m.send(protocol.AckMsg, v, h.id, func() {})
+			})
+		})
+	}
+}
+
+// drainDirVictims collects wide-entry victims an Overflow directory
+// produced during entry migrations and runs the replacement-invalidation
+// flow for each.
+func (m *Machine) drainDirVictims(h *clusterNode) {
+	src, ok := h.dir.(interface{ TakeVictims() []*sparse.Victim })
+	if !ok {
+		return
+	}
+	for _, v := range src.TakeVictims() {
+		m.replaceEntry(h, v)
+	}
+}
+
+// replaceEntry handles a sparse-directory replacement: the victim block's
+// cached copies are invalidated, tracked by the home's RAC; requests for
+// the victim block are gated until all acknowledgements arrive (§7).
+func (m *Machine) replaceEntry(h *clusterNode, victim *sparse.Victim) {
+	// The directory stores home-local keys; recover the global block.
+	vb, ve := m.keyBlock(victim.Block, h.id), victim.Entry
+	act := func() { m.sendReplacementInvals(h, vb, ve) }
+	if h.gate.Busy(vb) {
+		// The victim block has a transaction in flight; its state keeps
+		// evolving in ve, so run the replacement when the gate clears.
+		h.gate.Wait(vb, act)
+		return
+	}
+	act()
+}
+
+func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry) {
+	if ve.Empty() {
+		return
+	}
+	if ve.Dirty() {
+		owner := ve.Owner()
+		m.replHist.Add(1)
+		m.occupyDir(h, m.t.InvalSend)
+		h.gate.Lock(vb)
+		h.rac.Start(vb, 1)
+		oc := m.clusters[owner]
+		m.send(protocol.Flush, h.id, owner, func() {
+			done := m.busOp(oc, m.t.InvalBus)
+			m.eng.At(done, func() {
+				m.invalidateCluster(oc, vb)
+				m.send(protocol.AckMsg, owner, h.id, func() { m.racAck(h, vb) })
+			})
+		})
+		return
+	}
+	targets := ve.Sharers()
+	targets.Remove(h.id)
+	n := targets.Count()
+	if n == 0 {
+		return
+	}
+	m.replHist.Add(n)
+	m.occupyDir(h, m.t.InvalSend*sim.Time(n))
+	h.gate.Lock(vb)
+	h.rac.Start(vb, n)
+	targets.ForEach(func(t int) {
+		tc := m.clusters[t]
+		m.send(protocol.Inval, h.id, t, func() {
+			done := m.busOp(tc, m.t.InvalBus)
+			m.eng.At(done, func() {
+				m.invalidateCluster(tc, vb)
+				m.send(protocol.AckMsg, t, h.id, func() { m.racAck(h, vb) })
+			})
+		})
+	})
+}
+
+func (m *Machine) racAck(h *clusterNode, vb int64) {
+	if h.rac.Ack(vb) {
+		h.gate.Unlock(vb)
+	}
+}

@@ -1,0 +1,143 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"dircoh/internal/cache"
+	"dircoh/internal/sparse"
+	"dircoh/internal/stats"
+	"dircoh/internal/tango"
+)
+
+func overflowConfig(procs int) Config {
+	cfg := testConfig(procs, FullVec)
+	cfg.Overflow = &OverflowDirConfig{Ptrs: 2, WideEntries: 4, Assoc: 2, Policy: sparse.LRU}
+	return cfg
+}
+
+func TestOverflowDirectoryBasicRun(t *testing.T) {
+	// Four remote clusters read one block: 2 pointers overflow into a
+	// wide entry; a write then invalidates everyone precisely.
+	const procs = 6
+	streams := make([][]tango.Ref, procs)
+	for p := 1; p <= 4; p++ {
+		var b tango.Builder
+		b.Read(addr(0))
+		b.Barrier(addr(99))
+		streams[p] = b.Refs()
+	}
+	var b0, b5 tango.Builder
+	b0.Barrier(addr(99))
+	b5.Barrier(addr(99))
+	b5.Write(addr(0))
+	streams[0] = b0.Refs()
+	streams[5] = b5.Refs()
+	m, r := mustRun(t, overflowConfig(procs), wl(streams...))
+	// All four readers must have been invalidated (precise wide entry:
+	// exactly 4 invals, no broadcast).
+	if r.Msgs[stats.Invalidation] != 4 {
+		t.Fatalf("invalidations = %d, want exactly 4 (precise wide entry)", r.Msgs[stats.Invalidation])
+	}
+	for p := 1; p <= 4; p++ {
+		if m.procs[p].h.State(0) != cache.Invalid {
+			t.Fatalf("proc %d still caches the block", p)
+		}
+	}
+}
+
+func TestOverflowDirectoryWideVictimInvalidates(t *testing.T) {
+	// One wide slot; two blocks overflow in turn. The first block's
+	// sharers must be invalidated when the second migration steals the
+	// slot.
+	cfg := testConfig(6, FullVec)
+	cfg.Overflow = &OverflowDirConfig{Ptrs: 1, WideEntries: 1, Assoc: 1, Policy: sparse.LRU}
+	streams := make([][]tango.Ref, 6)
+	// Blocks 0 and 6 are both homed at cluster 0 (6 clusters).
+	var b1, b2, b3, b4 tango.Builder
+	b1.Read(addr(0))
+	b1.Barrier(addr(97))
+	b2.Read(addr(0)) // overflow: block 0 -> wide slot
+	b2.Barrier(addr(97))
+	b3.Barrier(addr(97))
+	b3.Read(addr(6))
+	b3.Barrier(addr(95))
+	b4.Barrier(addr(97))
+	b4.Read(addr(6)) // overflow: block 6 steals the slot -> invalidate block 0's sharers
+	b4.Barrier(addr(95))
+	var rest tango.Builder
+	rest.Barrier(addr(97))
+	rest.Barrier(addr(95))
+	var b1f, b2f tango.Builder
+	b1f.Read(addr(0))
+	b1f.Barrier(addr(97))
+	b1f.Barrier(addr(95))
+	b2f.Read(addr(0))
+	b2f.Barrier(addr(97))
+	b2f.Barrier(addr(95))
+	streams[0] = rest.Refs()
+	streams[1] = b1f.Refs()
+	streams[2] = b2f.Refs()
+	var b3f, b4f tango.Builder
+	b3f.Barrier(addr(97))
+	b3f.Read(addr(6))
+	b3f.Barrier(addr(95))
+	b4f.Barrier(addr(97))
+	b4f.Read(addr(6))
+	b4f.Barrier(addr(95))
+	streams[3] = b3f.Refs()
+	streams[4] = b4f.Refs()
+	var b5 tango.Builder
+	b5.Barrier(addr(97))
+	b5.Barrier(addr(95))
+	streams[5] = b5.Refs()
+
+	m, r := mustRun(t, cfg, wl(streams...))
+	if r.Replacements == 0 {
+		t.Fatal("expected a wide-cache replacement")
+	}
+	// Block 0's remote copies must be gone (invalidated by the victim
+	// flow) — coherence was already checked in mustRun; verify teeth:
+	if m.procs[1].h.State(0) != cache.Invalid || m.procs[2].h.State(0) != cache.Invalid {
+		t.Fatal("victim block's sharers were not invalidated")
+	}
+}
+
+// TestOverflowSoak runs random traffic against the overflow directory and
+// checks machine-wide coherence at quiescence.
+func TestOverflowSoak(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		const procs = 6
+		streams := make([][]tango.Ref, procs)
+		for p := range streams {
+			var b tango.Builder
+			for i := 0; i < 500; i++ {
+				blk := int64(rng.Intn(36))
+				if rng.Intn(4) == 0 {
+					b.Write(addr(blk))
+				} else {
+					b.Read(addr(blk))
+				}
+			}
+			streams[p] = b.Refs()
+		}
+		cfg := overflowConfig(procs)
+		cfg.Seed = seed
+		mustRun(t, cfg, wl(streams...))
+	}
+}
+
+func TestOverflowConfigValidation(t *testing.T) {
+	cfg := testConfig(4, FullVec)
+	cfg.Overflow = &OverflowDirConfig{Ptrs: 0, WideEntries: 4}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("want error for zero pointers")
+	}
+	cfg = testConfig(4, FullVec)
+	cfg.Overflow = &OverflowDirConfig{Ptrs: 2, WideEntries: 4}
+	cfg.Sparse = SparseConfig{Entries: 8}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("want error for sparse+overflow")
+	}
+}

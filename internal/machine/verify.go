@@ -1,0 +1,84 @@
+package machine
+
+import (
+	"fmt"
+
+	"dircoh/internal/cache"
+)
+
+// CheckCoherence validates the machine's coherence invariants. It must be
+// called at quiescence (after Run returns): in-flight messages may
+// transiently violate the invariants, exactly as release consistency
+// permits on real DASH hardware.
+//
+// Invariants checked:
+//  1. A block is dirty in at most one cache machine-wide.
+//  2. A block dirty in a cluster other than its home is recorded as dirty
+//     with that owner in the home directory.
+//  3. Every remote cluster holding a copy is covered by the home
+//     directory entry's candidate sharer set (the superset property that
+//     makes invalidation-based coherence correct).
+func (m *Machine) CheckCoherence() error {
+	type holder struct {
+		cluster int
+		state   cache.State
+	}
+	blocks := make(map[int64][]holder)
+	for _, p := range m.procs {
+		cl := p.cl.id
+		p.h.ForEach(func(b int64, st cache.State) {
+			blocks[b] = append(blocks[b], holder{cluster: cl, state: st})
+		})
+	}
+	for b, hs := range blocks {
+		dirty := 0
+		var dirtyCluster int
+		for _, h := range hs {
+			if h.state == cache.Dirty {
+				dirty++
+				dirtyCluster = h.cluster
+			}
+		}
+		if dirty > 1 {
+			return fmt.Errorf("block %d dirty in %d caches", b, dirty)
+		}
+		if dirty == 1 {
+			for _, h := range hs {
+				if h.state != cache.Dirty {
+					return fmt.Errorf("block %d dirty in cluster %d but also cached in cluster %d", b, dirtyCluster, h.cluster)
+				}
+			}
+		}
+		home := m.home(b)
+		needEntry := false
+		for _, h := range hs {
+			if h.cluster != home {
+				needEntry = true
+			}
+		}
+		if !needEntry {
+			continue // blocks cached only at home need no directory entry
+		}
+		e := m.clusters[home].dir.Lookup(m.dirKey(b), m.eng.Now())
+		if e == nil {
+			return fmt.Errorf("block %d cached remotely but home %d has no directory entry", b, home)
+		}
+		for _, h := range hs {
+			if h.cluster == home {
+				continue
+			}
+			if h.state == cache.Dirty {
+				if !e.Dirty() || e.Owner() != h.cluster {
+					return fmt.Errorf("block %d dirty in cluster %d but directory says dirty=%v owner=%d",
+						b, h.cluster, e.Dirty(), e.Owner())
+				}
+				continue
+			}
+			if !e.IsSharer(h.cluster) {
+				return fmt.Errorf("block %d cached in cluster %d but not in directory sharer set %v",
+					b, h.cluster, e.Sharers())
+			}
+		}
+	}
+	return nil
+}

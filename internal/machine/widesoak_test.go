@@ -1,0 +1,58 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"dircoh/internal/sparse"
+	"dircoh/internal/tango"
+)
+
+// TestWideSoak crosses every scheme, cluster arrangement and directory
+// organization with mixed read/write/lock traffic and validates machine-wide
+// coherence at quiescence.
+func TestWideSoak(t *testing.T) {
+	schemes := []SchemeFactory{FullVec, CoarseVec2, Broadcast, NoBroadcast, SupersetX}
+	for si, schemeF := range schemes {
+		for _, ppc := range []int{1, 2, 4} {
+			for _, dir := range []string{"full", "sparse", "overflow"} {
+				for seed := int64(0); seed < 8; seed++ {
+					rng := rand.New(rand.NewSource(seed*1000 + int64(si*10)))
+					const procs = 8
+					streams := make([][]tango.Ref, procs)
+					for p := range streams {
+						var b tango.Builder
+						for i := 0; i < 600; i++ {
+							blk := int64(rng.Intn(40))
+							switch rng.Intn(10) {
+							case 0, 1, 2:
+								b.Write(addr(blk))
+							case 3:
+								if rng.Intn(20) == 0 {
+									b.Lock(addr(900))
+									b.Write(addr(800))
+									b.Unlock(addr(900))
+									continue
+								}
+								b.Read(addr(blk))
+							default:
+								b.Read(addr(blk))
+							}
+						}
+						streams[p] = b.Refs()
+					}
+					cfg := testConfig(procs, schemeF)
+					cfg.ProcsPerCluster = ppc
+					cfg.Seed = seed
+					switch dir {
+					case "sparse":
+						cfg.Sparse = SparseConfig{Entries: 6, Assoc: 2, Policy: sparse.Random}
+					case "overflow":
+						cfg.Overflow = &OverflowDirConfig{Ptrs: 2, WideEntries: 4, Assoc: 2, Policy: sparse.LRU}
+					}
+					mustRun(t, cfg, wl(streams...))
+				}
+			}
+		}
+	}
+}

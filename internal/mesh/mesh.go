@@ -1,0 +1,141 @@
+// Package mesh models the DASH-style 2-D mesh interconnection network:
+// dimension-ordered (X then Y) routing with a fixed per-message overhead
+// plus a per-hop latency. Bandwidth contention inside the network is not
+// modeled (the paper's traffic results count messages; its latency
+// constants already include average network transit).
+package mesh
+
+import (
+	"fmt"
+
+	"dircoh/internal/sim"
+)
+
+// Config sets the latency model.
+type Config struct {
+	Nodes  int      // number of network endpoints (clusters)
+	Base   sim.Time // fixed cost per message (send+receive overhead)
+	PerHop sim.Time // cost per mesh hop
+	// PortTime, when non-zero, models finite ejection bandwidth: each
+	// delivery occupies the destination's network port for PortTime
+	// cycles, so bursts (e.g. broadcast invalidations) queue up.
+	PortTime sim.Time
+}
+
+// DefaultConfig returns latencies calibrated so that, combined with the
+// machine's bus timing, a two-cluster remote access costs ≈60 cycles and a
+// three-cluster access ≈80, matching the paper's §5 constants.
+func DefaultConfig(nodes int) Config {
+	return Config{Nodes: nodes, Base: 10, PerHop: 2}
+}
+
+// Mesh is a 2-D mesh network. Endpoints are numbered row-major.
+type Mesh struct {
+	cfg      Config
+	w, h     int
+	msgs     uint64
+	hops     uint64
+	maxHop   int
+	portFree []sim.Time // per-endpoint ejection port availability
+	stalls   uint64     // deliveries delayed by port contention
+}
+
+// New builds the most nearly square mesh that holds cfg.Nodes endpoints.
+func New(cfg Config) *Mesh {
+	if cfg.Nodes <= 0 {
+		panic("mesh: Nodes must be positive")
+	}
+	w := 1
+	for w*w < cfg.Nodes {
+		w++
+	}
+	// Shrink width while the grid still fits, to get the tightest box.
+	h := (cfg.Nodes + w - 1) / w
+	for (w-1)*h >= cfg.Nodes {
+		w--
+	}
+	return &Mesh{cfg: cfg, w: w, h: h, portFree: make([]sim.Time, cfg.Nodes)}
+}
+
+// Dims returns the mesh width and height.
+func (m *Mesh) Dims() (w, h int) { return m.w, m.h }
+
+// Nodes returns the number of endpoints.
+func (m *Mesh) Nodes() int { return m.cfg.Nodes }
+
+func (m *Mesh) coord(n int) (x, y int) {
+	if n < 0 || n >= m.cfg.Nodes {
+		panic(fmt.Sprintf("mesh: node %d out of range [0,%d)", n, m.cfg.Nodes))
+	}
+	return n % m.w, n / m.w
+}
+
+// Hops returns the dimension-ordered route length between a and b.
+func (m *Mesh) Hops(a, b int) int {
+	ax, ay := m.coord(a)
+	bx, by := m.coord(b)
+	dx := ax - bx
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := ay - by
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Latency returns the transit time of one message from a to b without
+// recording it.
+func (m *Mesh) Latency(a, b int) sim.Time {
+	return m.cfg.Base + sim.Time(m.Hops(a, b))*m.cfg.PerHop
+}
+
+// Send records one message from a to b and returns its transit time.
+func (m *Mesh) Send(a, b int) sim.Time {
+	h := m.Hops(a, b)
+	m.msgs++
+	m.hops += uint64(h)
+	if h > m.maxHop {
+		m.maxHop = h
+	}
+	return m.cfg.Base + sim.Time(h)*m.cfg.PerHop
+}
+
+// SendAt records one message from a to b injected at time now and returns
+// its delivery time. With Config.PortTime > 0, the destination's ejection
+// port serializes arrivals FCFS (in event order); otherwise delivery is
+// purely latency-based, identical to now + Send's return.
+func (m *Mesh) SendAt(now sim.Time, a, b int) sim.Time {
+	arrive := now + m.Send(a, b)
+	if m.cfg.PortTime == 0 {
+		return arrive
+	}
+	if m.portFree[b] > arrive {
+		arrive = m.portFree[b]
+		m.stalls++
+	}
+	m.portFree[b] = arrive + m.cfg.PortTime
+	return arrive
+}
+
+// Stats reports cumulative network accounting.
+type Stats struct {
+	Messages uint64
+	Hops     uint64
+	MaxHops  int
+	Stalls   uint64 // deliveries delayed by ejection-port contention
+}
+
+// Stats returns cumulative counters.
+func (m *Mesh) Stats() Stats {
+	return Stats{Messages: m.msgs, Hops: m.hops, MaxHops: m.maxHop, Stalls: m.stalls}
+}
+
+// AvgHops returns the mean hops per message (0 if no messages were sent).
+func (m *Mesh) AvgHops() float64 {
+	if m.msgs == 0 {
+		return 0
+	}
+	return float64(m.hops) / float64(m.msgs)
+}

@@ -1,0 +1,125 @@
+package protocol
+
+// Gate serializes conflicting transactions on the same memory block at its
+// home. A transaction that moves ownership (or a sparse-directory
+// replacement with outstanding invalidations) locks the block; requests
+// arriving meanwhile are queued and replayed, in order, when the gate
+// unlocks. This models DASH's pending/RAC-based serialization without its
+// NAK-and-retry traffic.
+type Gate struct {
+	m map[int64]*gateState
+}
+
+type gateState struct {
+	busy bool
+	q    []func()
+}
+
+// NewGate returns an empty gate table.
+func NewGate() *Gate { return &Gate{m: make(map[int64]*gateState)} }
+
+// Busy reports whether block is currently locked.
+func (g *Gate) Busy(block int64) bool {
+	st, ok := g.m[block]
+	return ok && st.busy
+}
+
+// Lock marks block busy. It panics if already busy — callers must check
+// Busy (or be running as the replayed head of the queue).
+func (g *Gate) Lock(block int64) {
+	st := g.m[block]
+	if st == nil {
+		st = &gateState{}
+		g.m[block] = st
+	}
+	if st.busy {
+		panic("protocol: Gate.Lock on busy block")
+	}
+	st.busy = true
+}
+
+// Wait enqueues fn to be replayed when block unlocks.
+func (g *Gate) Wait(block int64, fn func()) {
+	st := g.m[block]
+	if st == nil || !st.busy {
+		panic("protocol: Gate.Wait on non-busy block")
+	}
+	st.q = append(st.q, fn)
+}
+
+// Unlock clears the busy state and replays queued transactions in order
+// until one of them re-locks the block (or the queue drains).
+func (g *Gate) Unlock(block int64) {
+	st := g.m[block]
+	if st == nil || !st.busy {
+		panic("protocol: Gate.Unlock on non-busy block")
+	}
+	st.busy = false
+	for !st.busy && len(st.q) > 0 {
+		fn := st.q[0]
+		st.q = st.q[1:]
+		fn()
+	}
+	if !st.busy && len(st.q) == 0 {
+		delete(g.m, block)
+	}
+}
+
+// Pending returns the number of queued transactions for block.
+func (g *Gate) Pending(block int64) int {
+	if st, ok := g.m[block]; ok {
+		return len(st.q)
+	}
+	return 0
+}
+
+// RAC is the Remote Access Cache bookkeeping used when a sparse directory
+// replaces an entry (§7): it tracks, per block, how many invalidation
+// acknowledgements are still outstanding before the replacement completes.
+type RAC struct {
+	pending map[int64]int
+	peak    int
+}
+
+// NewRAC returns an empty RAC.
+func NewRAC() *RAC { return &RAC{pending: make(map[int64]int)} }
+
+// Start begins tracking n outstanding acknowledgements for block. n must
+// be positive and the block must not already be tracked.
+func (r *RAC) Start(block int64, n int) {
+	if n <= 0 {
+		panic("protocol: RAC.Start needs a positive count")
+	}
+	if _, ok := r.pending[block]; ok {
+		panic("protocol: RAC.Start on already-tracked block")
+	}
+	r.pending[block] = n
+	if len(r.pending) > r.peak {
+		r.peak = len(r.pending)
+	}
+}
+
+// Ack records one acknowledgement; it reports whether the block's
+// replacement is now complete.
+func (r *RAC) Ack(block int64) (done bool) {
+	n, ok := r.pending[block]
+	if !ok {
+		panic("protocol: RAC.Ack on untracked block")
+	}
+	n--
+	if n == 0 {
+		delete(r.pending, block)
+		return true
+	}
+	r.pending[block] = n
+	return false
+}
+
+// Tracking reports whether block has outstanding acknowledgements.
+func (r *RAC) Tracking(block int64) bool {
+	_, ok := r.pending[block]
+	return ok
+}
+
+// Peak returns the maximum number of simultaneously tracked blocks.
+func (r *RAC) Peak() int { return r.peak }

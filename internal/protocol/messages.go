@@ -1,0 +1,93 @@
+// Package protocol holds the building blocks of the DASH-style directory
+// protocol that are independent of event scheduling: the message taxonomy
+// and its mapping onto the paper's four accounting classes, per-block
+// serialization gates, the Remote Access Cache (RAC) bookkeeping used for
+// sparse-directory replacement, and the queued lock and barrier tables.
+//
+// The machine package drives these structures from the event simulator.
+package protocol
+
+import (
+	"fmt"
+
+	"dircoh/internal/stats"
+)
+
+// MsgKind is a fine-grained protocol message type.
+type MsgKind int
+
+const (
+	// ReadReq asks the home for a shared copy.
+	ReadReq MsgKind = iota
+	// WriteReq asks the home for an exclusive copy (data + ownership).
+	WriteReq
+	// UpgradeReq asks the home for ownership of an already-shared copy.
+	UpgradeReq
+	// WritebackReq returns a dirty victim's data to the home.
+	WritebackReq
+	// SharingWB returns dirty data to the home while keeping a shared
+	// copy (sent by a dirty cluster serving a remote read).
+	SharingWB
+	// FwdReadReq is a read forwarded by the home to the dirty cluster.
+	FwdReadReq
+	// FwdWriteReq is a write forwarded by the home to the dirty cluster.
+	FwdWriteReq
+	// LockReq asks the lock's home for acquisition.
+	LockReq
+	// UnlockReq releases a lock at its home.
+	UnlockReq
+	// BarrierArrive announces arrival at a barrier.
+	BarrierArrive
+
+	// DataReply carries a shared copy to the requester.
+	DataReply
+	// OwnershipReply carries data/ownership and the invalidation count.
+	OwnershipReply
+	// LockGrant informs a waiter it now holds the lock.
+	LockGrant
+	// LockWake tells a region of waiters to retry acquisition.
+	LockWake
+	// BarrierRelease releases a barrier participant.
+	BarrierRelease
+
+	// Inval invalidates cached copies of a block at one cluster.
+	Inval
+	// Flush recalls a dirty block (sparse-directory victim).
+	Flush
+
+	// AckMsg acknowledges an Inval or Flush.
+	AckMsg
+
+	numMsgKinds
+)
+
+var msgKindNames = [numMsgKinds]string{
+	"ReadReq", "WriteReq", "UpgradeReq", "WritebackReq", "SharingWB",
+	"FwdReadReq", "FwdWriteReq", "LockReq", "UnlockReq", "BarrierArrive",
+	"DataReply", "OwnershipReply", "LockGrant", "LockWake", "BarrierRelease",
+	"Inval", "Flush", "AckMsg",
+}
+
+func (k MsgKind) String() string {
+	if k < 0 || k >= numMsgKinds {
+		return fmt.Sprintf("MsgKind(%d)", int(k))
+	}
+	return msgKindNames[k]
+}
+
+// Class maps a message kind to the paper's §5 accounting class.
+func (k MsgKind) Class() stats.MsgClass {
+	switch k {
+	case ReadReq, WriteReq, UpgradeReq, WritebackReq, SharingWB,
+		FwdReadReq, FwdWriteReq, LockReq, UnlockReq, BarrierArrive:
+		return stats.Request
+	case DataReply, OwnershipReply, LockGrant, LockWake, BarrierRelease:
+		return stats.Reply
+	case Inval, Flush:
+		return stats.Invalidation
+	case AckMsg:
+		return stats.Ack
+	default:
+		panic(fmt.Sprintf("protocol: unknown message kind %d", int(k)))
+	}
+}

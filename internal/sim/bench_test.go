@@ -1,0 +1,31 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineThroughput measures raw event throughput with a steady
+// queue depth, the dominant cost of large simulations.
+func BenchmarkEngineThroughput(b *testing.B) {
+	var e Engine
+	const depth = 1024
+	fire := func() {}
+	for i := 0; i < depth; i++ {
+		e.At(Time(i), fire)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(depth, fire) // keep the queue at constant depth
+		e.Step()
+	}
+}
+
+func BenchmarkEngineBurst(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var e Engine
+		for j := 0; j < 1000; j++ {
+			e.At(Time(j%17), func() {})
+		}
+		e.Run()
+	}
+}

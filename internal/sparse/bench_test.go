@@ -1,0 +1,35 @@
+package sparse
+
+import (
+	"testing"
+
+	"dircoh/internal/core"
+)
+
+func BenchmarkSparseAllocate(b *testing.B) {
+	d := New(Config{Scheme: core.NewFullVector(32), Entries: 1024, Assoc: 4, Policy: LRU})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Allocate(int64(i%4096), uint64(i))
+	}
+}
+
+func BenchmarkSparseLookupHit(b *testing.B) {
+	d := New(Config{Scheme: core.NewFullVector(32), Entries: 1024, Assoc: 4, Policy: LRU})
+	for i := int64(0); i < 1024; i++ {
+		d.Allocate(i, 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Lookup(int64(i%1024), uint64(i))
+	}
+}
+
+func BenchmarkFullMapAllocate(b *testing.B) {
+	d := NewFullMap(core.NewFullVector(32))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Allocate(int64(i%4096), uint64(i))
+	}
+}

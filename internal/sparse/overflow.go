@@ -1,0 +1,230 @@
+package sparse
+
+import (
+	"dircoh/internal/bitset"
+	"dircoh/internal/core"
+)
+
+// Overflow implements the §7 alternative the paper sketches for future
+// work ("associate small directory entries with each memory block and
+// allow these to overflow into a small cache of much wider entries"):
+// every memory block owns a small limited-pointer entry; a block whose
+// sharer set outgrows the pointers migrates into a small set-associative
+// cache of full-bit-vector entries. If the wide cache must evict a victim
+// to make room, the victim block's cached copies are invalidated exactly
+// like a sparse-directory replacement — the victims surface through
+// TakeVictims, which the machine drains after every directory operation.
+type Overflow struct {
+	smallScheme core.Scheme // limited-pointer representation (per block)
+	wideScheme  core.Scheme // full-vector representation (cached)
+	ptrs        int
+	entries     map[int64]*ovEntry
+	wide        *Sparse
+	pending     []*Victim
+	now         uint64
+	peak        int
+	stats       Stats
+	overflows   uint64
+	demotions   uint64
+}
+
+// OverflowConfig configures an Overflow directory.
+type OverflowConfig struct {
+	Ptrs        int // pointers in each small per-block entry
+	Nodes       int // directory width (clusters)
+	WideEntries int // slots in the wide-entry cache
+	Assoc       int // wide cache associativity
+	Policy      ReplacePolicy
+	Seed        int64
+}
+
+// NewOverflow builds the two-level directory.
+func NewOverflow(cfg OverflowConfig) *Overflow {
+	if cfg.Ptrs <= 0 || cfg.Nodes <= 0 || cfg.WideEntries <= 0 {
+		panic("sparse: OverflowConfig needs positive Ptrs, Nodes and WideEntries")
+	}
+	wideScheme := core.NewFullVector(cfg.Nodes)
+	return &Overflow{
+		smallScheme: core.NewLimitedNoBroadcast(cfg.Ptrs, cfg.Nodes, core.VictimOldest, cfg.Seed),
+		wideScheme:  wideScheme,
+		ptrs:        cfg.Ptrs,
+		entries:     make(map[int64]*ovEntry),
+		wide: New(Config{
+			Scheme:  wideScheme,
+			Entries: cfg.WideEntries,
+			Assoc:   max(cfg.Assoc, 1),
+			Policy:  cfg.Policy,
+			Seed:    cfg.Seed,
+		}),
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Lookup implements Directory.
+func (d *Overflow) Lookup(block int64, now uint64) core.Entry {
+	d.now = now
+	d.stats.Lookups++
+	e, ok := d.entries[block]
+	if !ok {
+		return nil
+	}
+	d.stats.Hits++
+	if e.wideE != nil {
+		d.wide.Lookup(block, now) // refresh recency in the wide cache
+	}
+	return e
+}
+
+// Allocate implements Directory. Small entries are backed by main memory,
+// so allocation never evicts directly; wide-cache victims appear later via
+// TakeVictims when a migration displaces one.
+func (d *Overflow) Allocate(block int64, now uint64) (core.Entry, *Victim) {
+	d.now = now
+	d.stats.Lookups++
+	if e, ok := d.entries[block]; ok {
+		d.stats.Hits++
+		if e.wideE != nil {
+			d.wide.Lookup(block, now)
+		}
+		return e, nil
+	}
+	d.stats.Allocations++
+	e := &ovEntry{d: d, block: block, small: d.smallScheme.NewEntry()}
+	d.entries[block] = e
+	if len(d.entries) > d.peak {
+		d.peak = len(d.entries)
+	}
+	return e, nil
+}
+
+// Release implements Directory.
+func (d *Overflow) Release(block int64) {
+	if e, ok := d.entries[block]; ok {
+		if e.wideE != nil {
+			d.wide.Release(block)
+		}
+		delete(d.entries, block)
+	}
+}
+
+// Entries implements Directory: the bounded storage is the wide cache.
+func (d *Overflow) Entries() int { return d.wide.Entries() }
+
+// PeakEntries implements Directory: peak live per-block entries.
+func (d *Overflow) PeakEntries() int { return d.peak }
+
+// Stats implements Directory.
+func (d *Overflow) Stats() Stats {
+	s := d.stats
+	s.Replacements = d.wide.Stats().Replacements
+	return s
+}
+
+// Overflows returns how many small entries migrated to wide entries.
+func (d *Overflow) Overflows() uint64 { return d.overflows }
+
+// Demotions returns how many wide entries collapsed back to small ones
+// (on writes, when the sharer set shrinks to one owner).
+func (d *Overflow) Demotions() uint64 { return d.demotions }
+
+// TakeVictims returns and clears the wide-cache victims produced by
+// migrations since the last call. The caller must invalidate their cached
+// copies, exactly as for sparse-directory replacements.
+func (d *Overflow) TakeVictims() []*Victim {
+	v := d.pending
+	d.pending = nil
+	return v
+}
+
+// ovEntry is the per-block view: a small limited-pointer representation
+// that transparently migrates to a wide cached entry on pointer overflow.
+type ovEntry struct {
+	d     *Overflow
+	block int64
+	small core.Entry // active when wideE == nil
+	wideE core.Entry
+}
+
+func (e *ovEntry) active() core.Entry {
+	if e.wideE != nil {
+		return e.wideE
+	}
+	return e.small
+}
+
+func (e *ovEntry) AddSharer(n core.NodeID) []core.NodeID {
+	if e.wideE != nil {
+		return e.wideE.AddSharer(n)
+	}
+	if e.small.IsSharer(n) || e.small.Count() < e.d.ptrs {
+		return e.small.AddSharer(n)
+	}
+	// Pointer overflow: migrate into the wide cache.
+	e.d.overflows++
+	w, victim := e.d.wide.Allocate(e.block, e.d.now)
+	if victim != nil {
+		// A different block lost its wide entry; its whole sharing
+		// state is discarded after invalidation, like a sparse victim.
+		if ve, ok := e.d.entries[victim.Block]; ok && ve.wideE == victim.Entry {
+			delete(e.d.entries, victim.Block)
+		}
+		e.d.pending = append(e.d.pending, victim)
+	}
+	e.small.Sharers().ForEach(func(s int) { w.AddSharer(s) })
+	w.AddSharer(n)
+	e.wideE = w
+	e.small = nil
+	return nil
+}
+
+func (e *ovEntry) RemoveSharer(n core.NodeID) { e.active().RemoveSharer(n) }
+
+func (e *ovEntry) Sharers() bitset.Set { return e.active().Sharers() }
+
+func (e *ovEntry) IsSharer(n core.NodeID) bool { return e.active().IsSharer(n) }
+
+func (e *ovEntry) Count() int { return e.active().Count() }
+
+func (e *ovEntry) Dirty() bool { return e.active().Dirty() }
+
+func (e *ovEntry) Owner() core.NodeID { return e.active().Owner() }
+
+// SetDirty demotes a wide entry back to a small one: a single owner always
+// fits the pointers, freeing the precious wide slot.
+func (e *ovEntry) SetDirty(owner core.NodeID) {
+	if e.wideE != nil {
+		e.d.demotions++
+		e.d.wide.Release(e.block)
+		e.wideE = nil
+		e.small = e.d.smallScheme.NewEntry()
+	}
+	e.small.SetDirty(owner)
+}
+
+func (e *ovEntry) ClearDirty() { e.active().ClearDirty() }
+
+// Reset empties the entry, releasing any wide slot.
+func (e *ovEntry) Reset() {
+	if e.wideE != nil {
+		e.d.wide.Release(e.block)
+		e.wideE = nil
+		e.small = e.d.smallScheme.NewEntry()
+		return
+	}
+	e.small.Reset()
+}
+
+func (e *ovEntry) Empty() bool { return e.active().Empty() }
+
+func (e *ovEntry) Precise() bool { return e.active().Precise() }
+
+func (e *ovEntry) PopGrant() []core.NodeID { return e.active().PopGrant() }
+
+var _ core.Entry = (*ovEntry)(nil)
+var _ Directory = (*Overflow)(nil)

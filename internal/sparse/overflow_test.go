@@ -1,0 +1,232 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dircoh/internal/bitset"
+	"dircoh/internal/core"
+)
+
+func overflowDir() *Overflow {
+	return NewOverflow(OverflowConfig{Ptrs: 2, Nodes: 16, WideEntries: 2, Assoc: 1, Policy: LRU})
+}
+
+func TestOverflowSmallEntryLifecycle(t *testing.T) {
+	d := overflowDir()
+	if d.Lookup(5, 0) != nil {
+		t.Fatal("empty directory should miss")
+	}
+	e, v := d.Allocate(5, 1)
+	if e == nil || v != nil {
+		t.Fatal("allocate should create a small entry without victims")
+	}
+	e.AddSharer(3)
+	e.AddSharer(7)
+	if !e.Precise() || e.Count() != 2 {
+		t.Fatalf("small entry state wrong: count=%d", e.Count())
+	}
+	if d.Overflows() != 0 {
+		t.Fatal("no overflow expected")
+	}
+	if got := d.Lookup(5, 2); got != e {
+		t.Fatal("lookup should return the same entry")
+	}
+	d.Release(5)
+	if d.Lookup(5, 3) != nil {
+		t.Fatal("release should remove the entry")
+	}
+}
+
+func TestOverflowMigration(t *testing.T) {
+	d := overflowDir()
+	e, _ := d.Allocate(5, 1)
+	e.AddSharer(1)
+	e.AddSharer(2)
+	e.AddSharer(3) // third sharer: overflow into the wide cache
+	if d.Overflows() != 1 {
+		t.Fatalf("Overflows = %d, want 1", d.Overflows())
+	}
+	want := bitset.FromSlice(16, []int{1, 2, 3})
+	if got := e.Sharers(); !got.Equal(want) {
+		t.Fatalf("Sharers = %v, want %v", got, want)
+	}
+	// Wide entries are full vectors: still precise, removals work.
+	if !e.Precise() {
+		t.Fatal("wide entry should be precise")
+	}
+	e.AddSharer(9)
+	e.RemoveSharer(2)
+	if e.IsSharer(2) || !e.IsSharer(9) {
+		t.Fatal("wide entry mutation broken")
+	}
+	if len(d.TakeVictims()) != 0 {
+		t.Fatal("no victims while the wide cache has room")
+	}
+}
+
+func TestOverflowWideVictim(t *testing.T) {
+	// Wide cache has 2 direct-mapped slots; three overflowing blocks with
+	// colliding slots produce a victim.
+	d := NewOverflow(OverflowConfig{Ptrs: 1, Nodes: 8, WideEntries: 1, Assoc: 1, Policy: LRU})
+	a, _ := d.Allocate(10, 1)
+	a.AddSharer(1)
+	a.AddSharer(2) // overflows into the only wide slot
+	b, _ := d.Allocate(11, 2)
+	b.AddSharer(3)
+	b.AddSharer(4) // overflow evicts block 10's wide entry
+	victims := d.TakeVictims()
+	if len(victims) != 1 || victims[0].Block != 10 {
+		t.Fatalf("victims = %+v, want block 10", victims)
+	}
+	if !victims[0].Entry.IsSharer(1) || !victims[0].Entry.IsSharer(2) {
+		t.Fatal("victim entry lost its sharer state")
+	}
+	// Block 10 is gone from the directory entirely (its state will be
+	// discarded after the invalidations, like any sparse victim).
+	if d.Lookup(10, 3) != nil {
+		t.Fatal("victim block should have been dropped")
+	}
+	if d.Lookup(11, 3) == nil {
+		t.Fatal("block 11 should hold the wide slot now")
+	}
+	// Victims are drained exactly once.
+	if len(d.TakeVictims()) != 0 {
+		t.Fatal("victims should clear after TakeVictims")
+	}
+}
+
+func TestOverflowDemotionOnWrite(t *testing.T) {
+	d := overflowDir()
+	e, _ := d.Allocate(5, 1)
+	for _, n := range []int{1, 2, 3, 4} {
+		e.AddSharer(n)
+	}
+	if d.Overflows() != 1 {
+		t.Fatal("expected overflow")
+	}
+	e.SetDirty(7)
+	if d.Demotions() != 1 {
+		t.Fatalf("Demotions = %d, want 1", d.Demotions())
+	}
+	if !e.Dirty() || e.Owner() != 7 || e.Count() != 1 {
+		t.Fatal("dirty state wrong after demotion")
+	}
+	// The freed wide slot is reusable without victims.
+	f, _ := d.Allocate(6, 2)
+	for _, n := range []int{1, 2, 3} {
+		f.AddSharer(n)
+	}
+	g, _ := d.Allocate(7, 3)
+	for _, n := range []int{4, 5, 6} {
+		g.AddSharer(n)
+	}
+	if len(d.TakeVictims()) != 0 {
+		t.Fatalf("two wide slots should fit both overflows")
+	}
+}
+
+func TestOverflowResetReleasesWideSlot(t *testing.T) {
+	d := NewOverflow(OverflowConfig{Ptrs: 1, Nodes: 8, WideEntries: 1, Assoc: 1, Policy: LRU})
+	e, _ := d.Allocate(10, 1)
+	e.AddSharer(1)
+	e.AddSharer(2)
+	e.Reset()
+	if !e.Empty() {
+		t.Fatal("entry should be empty after Reset")
+	}
+	// The wide slot must be free again.
+	f, _ := d.Allocate(11, 2)
+	f.AddSharer(3)
+	f.AddSharer(4)
+	if len(d.TakeVictims()) != 0 {
+		t.Fatal("Reset should have freed the wide slot")
+	}
+}
+
+func TestOverflowPopGrant(t *testing.T) {
+	d := overflowDir()
+	e, _ := d.Allocate(5, 1)
+	for _, n := range []int{1, 2, 3, 4} {
+		e.AddSharer(n)
+	}
+	seen := map[int]bool{}
+	for {
+		g := e.PopGrant()
+		if g == nil {
+			break
+		}
+		for _, n := range g {
+			seen[n] = true
+		}
+	}
+	for _, n := range []int{1, 2, 3, 4} {
+		if !seen[n] {
+			t.Fatalf("sharer %d never granted", n)
+		}
+	}
+}
+
+func TestOverflowStats(t *testing.T) {
+	d := overflowDir()
+	d.Allocate(1, 1)
+	d.Lookup(1, 2)
+	d.Lookup(2, 2)
+	st := d.Stats()
+	if st.Lookups != 3 || st.Hits != 1 || st.Allocations != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if d.Entries() != 2 {
+		t.Fatalf("Entries = %d, want wide capacity 2", d.Entries())
+	}
+}
+
+func TestOverflowConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewOverflow(OverflowConfig{Ptrs: 0, Nodes: 8, WideEntries: 1})
+}
+
+// Property: the overflow directory never loses a sharer — every node added
+// since the entry's creation (without intervening SetDirty/Reset or a
+// wide-cache eviction of that block) is reported by Sharers.
+func TestQuickOverflowSupersetInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d := NewOverflow(OverflowConfig{Ptrs: 2, Nodes: 16, WideEntries: 4, Assoc: 2, Policy: LRU})
+		tracked := map[int64]bitset.Set{}
+		now := uint64(0)
+		for _, op := range ops {
+			now++
+			block := int64(op % 8)
+			node := core.NodeID((op >> 3) % 16)
+			e, _ := d.Allocate(block, now)
+			e.AddSharer(node)
+			set, ok := tracked[block]
+			if !ok {
+				set = bitset.New(16)
+				tracked[block] = set
+			}
+			set.Add(node)
+			// Wide-cache victims lose their state legitimately.
+			for _, v := range d.TakeVictims() {
+				delete(tracked, v.Block)
+			}
+			for b, want := range tracked {
+				le := d.Lookup(b, now)
+				if le == nil {
+					return false
+				}
+				if !le.Sharers().SupersetOf(want) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

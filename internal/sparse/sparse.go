@@ -1,0 +1,309 @@
+// Package sparse implements the paper's second contribution (§4.2): the
+// sparse directory, a set-associative directory cache with no backing
+// store. One directory entry serves many memory blocks; when an entry must
+// be reclaimed, the protocol invalidates every cached copy of the victim
+// block, after which the state can safely be discarded.
+//
+// The package also provides FullMap, a conventional one-entry-per-block
+// directory used as the non-sparse baseline.
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dircoh/internal/core"
+)
+
+// Victim describes a directory entry that was reclaimed to make room.
+// The protocol layer must send invalidations to Entry's sharers (or the
+// dirty owner) for block Block before reusing the slot.
+type Victim struct {
+	Block int64
+	Entry core.Entry
+}
+
+// Directory is the storage abstraction the directory controller talks to.
+// now is the current simulation cycle, used for recency bookkeeping.
+type Directory interface {
+	// Lookup returns the live entry for block, or nil if none is present.
+	Lookup(block int64, now uint64) core.Entry
+
+	// Allocate returns the entry for block, creating one if necessary.
+	// If creating one required reclaiming a different block's entry, the
+	// reclaimed state is returned as victim.
+	Allocate(block int64, now uint64) (e core.Entry, victim *Victim)
+
+	// Release informs the directory that block's entry is empty and its
+	// slot may be reused without invalidations.
+	Release(block int64)
+
+	// Entries returns the total number of entry slots (0 = unbounded).
+	Entries() int
+
+	// PeakEntries returns the maximum number of simultaneously live
+	// entries observed — the quantity behind §4.2's observation that a
+	// full directory is almost entirely empty at any instant.
+	PeakEntries() int
+
+	// Stats returns cumulative counters.
+	Stats() Stats
+}
+
+// Stats counts directory storage events.
+type Stats struct {
+	Lookups      uint64 // Lookup + Allocate calls
+	Hits         uint64 // calls that found a live entry
+	Allocations  uint64 // entries created
+	Replacements uint64 // allocations that reclaimed a live victim
+}
+
+// ReplacePolicy selects the victim within a set.
+type ReplacePolicy int
+
+const (
+	// LRU replaces the least-recently-used entry (best, hardest to build).
+	LRU ReplacePolicy = iota
+	// Random replaces a uniformly random entry (easiest in hardware; the
+	// paper shows it beats LRA).
+	Random
+	// LRA replaces the least-recently-allocated entry.
+	LRA
+)
+
+func (p ReplacePolicy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case Random:
+		return "Rand"
+	case LRA:
+		return "LRA"
+	default:
+		return fmt.Sprintf("ReplacePolicy(%d)", int(p))
+	}
+}
+
+// FullMap is the non-sparse baseline: one (lazily materialized) entry per
+// memory block, never any replacement.
+type FullMap struct {
+	scheme  core.Scheme
+	entries map[int64]core.Entry
+	peak    int
+	stats   Stats
+}
+
+// NewFullMap returns an unbounded directory using the given entry scheme.
+func NewFullMap(scheme core.Scheme) *FullMap {
+	return &FullMap{scheme: scheme, entries: make(map[int64]core.Entry)}
+}
+
+// Lookup implements Directory.
+func (d *FullMap) Lookup(block int64, _ uint64) core.Entry {
+	d.stats.Lookups++
+	if e, ok := d.entries[block]; ok {
+		d.stats.Hits++
+		return e
+	}
+	return nil
+}
+
+// Allocate implements Directory.
+func (d *FullMap) Allocate(block int64, _ uint64) (core.Entry, *Victim) {
+	d.stats.Lookups++
+	if e, ok := d.entries[block]; ok {
+		d.stats.Hits++
+		return e, nil
+	}
+	e := d.scheme.NewEntry()
+	d.entries[block] = e
+	if len(d.entries) > d.peak {
+		d.peak = len(d.entries)
+	}
+	d.stats.Allocations++
+	return e, nil
+}
+
+// Release implements Directory.
+func (d *FullMap) Release(block int64) { delete(d.entries, block) }
+
+// Entries implements Directory: a full map is unbounded.
+func (d *FullMap) Entries() int { return 0 }
+
+// PeakEntries implements Directory.
+func (d *FullMap) PeakEntries() int { return d.peak }
+
+// Stats implements Directory.
+func (d *FullMap) Stats() Stats { return d.stats }
+
+// Sparse is the set-associative sparse directory.
+type Sparse struct {
+	scheme core.Scheme
+	sets   int
+	assoc  int
+	policy ReplacePolicy
+	rng    *rand.Rand
+	lines  []line // sets*assoc lines; set i occupies lines[i*assoc : (i+1)*assoc]
+	live   int
+	peak   int
+	stats  Stats
+}
+
+type line struct {
+	valid     bool
+	block     int64
+	entry     core.Entry
+	lastUse   uint64
+	allocTime uint64
+}
+
+// Config configures a sparse directory.
+type Config struct {
+	Scheme  core.Scheme
+	Entries int           // total entry slots; rounded up to a multiple of Assoc
+	Assoc   int           // associativity (1 = direct mapped)
+	Policy  ReplacePolicy // victim selection within a set
+	Seed    int64         // drives the Random policy
+}
+
+// New returns a sparse directory with cfg.Entries slots.
+func New(cfg Config) *Sparse {
+	if cfg.Scheme == nil {
+		panic("sparse: nil scheme")
+	}
+	if cfg.Entries <= 0 {
+		panic("sparse: Entries must be positive")
+	}
+	if cfg.Assoc <= 0 {
+		cfg.Assoc = 1
+	}
+	sets := (cfg.Entries + cfg.Assoc - 1) / cfg.Assoc
+	return &Sparse{
+		scheme: cfg.Scheme,
+		sets:   sets,
+		assoc:  cfg.Assoc,
+		policy: cfg.Policy,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		lines:  make([]line, sets*cfg.Assoc),
+	}
+}
+
+// Entries implements Directory.
+func (d *Sparse) Entries() int { return d.sets * d.assoc }
+
+// Assoc returns the directory's associativity.
+func (d *Sparse) Assoc() int { return d.assoc }
+
+// Stats implements Directory.
+func (d *Sparse) Stats() Stats { return d.stats }
+
+func (d *Sparse) set(block int64) []line {
+	si := int(uint64(block) % uint64(d.sets))
+	return d.lines[si*d.assoc : (si+1)*d.assoc]
+}
+
+// Lookup implements Directory.
+func (d *Sparse) Lookup(block int64, now uint64) core.Entry {
+	d.stats.Lookups++
+	set := d.set(block)
+	for i := range set {
+		if set[i].valid && set[i].block == block {
+			d.stats.Hits++
+			set[i].lastUse = now
+			return set[i].entry
+		}
+	}
+	return nil
+}
+
+// Allocate implements Directory.
+func (d *Sparse) Allocate(block int64, now uint64) (core.Entry, *Victim) {
+	d.stats.Lookups++
+	set := d.set(block)
+	free := -1
+	for i := range set {
+		if set[i].valid && set[i].block == block {
+			d.stats.Hits++
+			set[i].lastUse = now
+			return set[i].entry, nil
+		}
+		if !set[i].valid && free < 0 {
+			free = i
+		}
+	}
+	d.stats.Allocations++
+	if free >= 0 {
+		return d.install(&set[free], block, now), nil
+	}
+	// All ways live: reclaim one according to policy.
+	vi := d.pickVictim(set)
+	d.stats.Replacements++
+	victim := &Victim{Block: set[vi].block, Entry: set[vi].entry}
+	d.install(&set[vi], block, now)
+	return set[vi].entry, victim
+}
+
+func (d *Sparse) install(l *line, block int64, now uint64) core.Entry {
+	if !l.valid {
+		d.live++
+		if d.live > d.peak {
+			d.peak = d.live
+		}
+	}
+	l.valid = true
+	l.block = block
+	l.entry = d.scheme.NewEntry()
+	l.lastUse = now
+	l.allocTime = now
+	return l.entry
+}
+
+func (d *Sparse) pickVictim(set []line) int {
+	switch d.policy {
+	case Random:
+		return d.rng.Intn(len(set))
+	case LRA:
+		best := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].allocTime < set[best].allocTime {
+				best = i
+			}
+		}
+		return best
+	default: // LRU
+		best := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < set[best].lastUse {
+				best = i
+			}
+		}
+		return best
+	}
+}
+
+// Release implements Directory.
+func (d *Sparse) Release(block int64) {
+	set := d.set(block)
+	for i := range set {
+		if set[i].valid && set[i].block == block {
+			set[i].valid = false
+			set[i].entry = nil
+			d.live--
+			return
+		}
+	}
+}
+
+// PeakEntries implements Directory.
+func (d *Sparse) PeakEntries() int { return d.peak }
+
+// Occupancy returns the number of live entries (for tests and reports).
+func (d *Sparse) Occupancy() int {
+	n := 0
+	for i := range d.lines {
+		if d.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}

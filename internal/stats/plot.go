@@ -1,0 +1,136 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders multiple y-series over a shared integer x-axis as an ASCII
+// chart, used to draw the paper's figure curves (e.g. Figure 2's
+// invalidations-vs-sharers lines) in terminal output.
+type Plot struct {
+	title  string
+	xlabel string
+	ylabel string
+	series []series
+}
+
+type series struct {
+	name string
+	mark byte
+	xs   []int
+	ys   []float64
+}
+
+var plotMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// NewPlot creates an empty plot.
+func NewPlot(title, xlabel, ylabel string) *Plot {
+	return &Plot{title: title, xlabel: xlabel, ylabel: ylabel}
+}
+
+// AddSeries adds one named curve. xs and ys must have equal lengths.
+func (p *Plot) AddSeries(name string, xs []int, ys []float64) {
+	if len(xs) != len(ys) {
+		panic("stats: series length mismatch")
+	}
+	mark := plotMarks[len(p.series)%len(plotMarks)]
+	p.series = append(p.series, series{name: name, mark: mark, xs: xs, ys: ys})
+}
+
+// Render draws the chart with the given dimensions (columns × rows of the
+// plotting area, borders excluded).
+func (p *Plot) Render(width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX := math.MaxInt, math.MinInt
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		for i := range s.xs {
+			if s.xs[i] < minX {
+				minX = s.xs[i]
+			}
+			if s.xs[i] > maxX {
+				maxX = s.xs[i]
+			}
+			if s.ys[i] < minY {
+				minY = s.ys[i]
+			}
+			if s.ys[i] > maxY {
+				maxY = s.ys[i]
+			}
+		}
+	}
+	var b strings.Builder
+	if p.title != "" {
+		fmt.Fprintf(&b, "%s\n", p.title)
+	}
+	if len(p.series) == 0 || minX > maxX {
+		b.WriteString("  (no data)\n")
+		return b.String()
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+	if minY > 0 && minY < (maxY-minY) {
+		minY = 0 // anchor at zero when it is close, like the paper's axes
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x int) int {
+		if maxX == minX {
+			return 0
+		}
+		return (x - minX) * (width - 1) / (maxX - minX)
+	}
+	row := func(y float64) int {
+		fr := (y - minY) / (maxY - minY)
+		r := height - 1 - int(math.Round(fr*float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for _, s := range p.series {
+		for i := range s.xs {
+			grid[row(s.ys[i])][col(s.xs[i])] = s.mark
+		}
+	}
+
+	yHi := fmt.Sprintf("%.4g", maxY)
+	yLo := fmt.Sprintf("%.4g", minY)
+	margin := len(yHi)
+	if len(yLo) > margin {
+		margin = len(yLo)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", margin)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", margin, yHi)
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%*s", margin, yLo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*d%*d  (%s)\n", strings.Repeat(" ", margin), width/2, minX, width-width/2, maxX, p.xlabel)
+	if p.ylabel != "" {
+		fmt.Fprintf(&b, "y: %s\n", p.ylabel)
+	}
+	for _, s := range p.series {
+		fmt.Fprintf(&b, "  %c %s\n", s.mark, s.name)
+	}
+	return b.String()
+}

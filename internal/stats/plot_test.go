@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasics(t *testing.T) {
+	p := NewPlot("curves", "sharers", "invals")
+	p.AddSeries("diag", []int{1, 2, 3, 4}, []float64{1, 2, 3, 4})
+	p.AddSeries("flat", []int{1, 2, 3, 4}, []float64{4, 4, 4, 4})
+	out := p.Render(40, 10)
+	if !strings.Contains(out, "curves") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* diag") || !strings.Contains(out, "+ flat") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "sharers") {
+		t.Fatal("missing x label")
+	}
+	// The diagonal's max and the flat line share the top row.
+	lines := strings.Split(out, "\n")
+	top := lines[1]
+	if !strings.Contains(top, "*") && !strings.Contains(top, "+") {
+		t.Fatalf("top row empty:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := NewPlot("empty", "x", "y")
+	if out := p.Render(20, 5); !strings.Contains(out, "no data") {
+		t.Fatalf("expected no-data marker:\n%s", out)
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	p := NewPlot("", "x", "")
+	p.AddSeries("c", []int{0, 1}, []float64{5, 5})
+	out := p.Render(10, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not drawn:\n%s", out)
+	}
+}
+
+func TestPlotSinglePoint(t *testing.T) {
+	p := NewPlot("", "x", "")
+	p.AddSeries("pt", []int{3}, []float64{2})
+	out := p.Render(10, 5)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestPlotMismatchedLengthsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPlot("", "", "").AddSeries("bad", []int{1}, []float64{1, 2})
+}
+
+func TestPlotMinimumDimensions(t *testing.T) {
+	p := NewPlot("", "x", "")
+	p.AddSeries("s", []int{0, 10}, []float64{0, 10})
+	out := p.Render(1, 1) // clamped up internally
+	if len(strings.Split(out, "\n")) < 5 {
+		t.Fatalf("render too small:\n%s", out)
+	}
+}
+
+func TestPlotAnchorsZero(t *testing.T) {
+	// Values near zero should anchor the y-axis at 0 like paper figures.
+	p := NewPlot("", "x", "")
+	p.AddSeries("s", []int{0, 1, 2}, []float64{1, 5, 9})
+	out := p.Render(20, 6)
+	if !strings.Contains(out, " 0 +") && !strings.Contains(out, "0 |") {
+		t.Fatalf("y-axis should anchor at zero:\n%s", out)
+	}
+}

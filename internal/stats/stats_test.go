@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMsgCounts(t *testing.T) {
+	var m MsgCounts
+	m.Add(Request, 3)
+	m.Add(Reply, 2)
+	m.Add(Invalidation, 5)
+	m.Add(Ack, 5)
+	if m.Total() != 15 {
+		t.Fatalf("Total = %d, want 15", m.Total())
+	}
+	if m.InvalAck() != 10 {
+		t.Fatalf("InvalAck = %d, want 10", m.InvalAck())
+	}
+}
+
+func TestMsgClassString(t *testing.T) {
+	names := map[MsgClass]string{
+		Request:      "request",
+		Reply:        "reply",
+		Invalidation: "invalidation",
+		Ack:          "acknowledgement",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+	if MsgClass(99).String() == "" {
+		t.Error("unknown class should render")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Events() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.Add(0)
+	h.Add(2)
+	h.Add(2)
+	h.Add(5)
+	if h.Events() != 4 {
+		t.Fatalf("Events = %d", h.Events())
+	}
+	if h.Total() != 9 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Mean() != 2.25 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Count(2) != 2 || h.Count(3) != 0 || h.Count(100) != 0 {
+		t.Fatal("Count wrong")
+	}
+	if h.Max() != 5 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if h.Percent(2) != 50 {
+		t.Fatalf("Percent(2) = %v", h.Percent(2))
+	}
+}
+
+func TestHistogramNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var h Histogram
+	h.Add(-1)
+}
+
+func TestHistogramRender(t *testing.T) {
+	var h Histogram
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	out := h.Render("Fig X")
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "events: 3") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("render missing bars")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22", "extra-dropped")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator wrong: %q", lines[1])
+	}
+	if strings.Contains(out, "extra-dropped") {
+		t.Fatal("extra cell should be dropped")
+	}
+}
+
+// Property: Mean * Events == Total for any sequence of adds.
+func TestQuickHistogramAccounting(t *testing.T) {
+	f := func(vals []uint8) bool {
+		var h Histogram
+		var total, events uint64
+		for _, v := range vals {
+			h.Add(int(v % 64))
+			total += uint64(v % 64)
+			events++
+		}
+		if h.Total() != total || h.Events() != events {
+			return false
+		}
+		// Sum of counts equals events.
+		var sum uint64
+		for k := 0; k <= h.Max(); k++ {
+			sum += h.Count(k)
+		}
+		return sum == events
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatHist(t *testing.T) {
+	var h LatHist
+	if h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty LatHist not zero")
+	}
+	h.Add(1)
+	h.Add(23)
+	h.Add(60)
+	h.Add(80)
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Max() != 80 {
+		t.Fatalf("Max = %d", h.Max())
+	}
+	if h.Mean() != 41 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	// 23 lands in bucket [16,32): index 4.
+	if h.Bucket(4) != 1 {
+		t.Fatalf("Bucket(4) = %d, want 1", h.Bucket(4))
+	}
+	if h.Bucket(-1) != 0 || h.Bucket(99) != 0 {
+		t.Fatal("out-of-range buckets must be 0")
+	}
+	out := h.Render("latencies")
+	if !strings.Contains(out, "4 samples") || !strings.Contains(out, "mean 41.0") {
+		t.Fatalf("render wrong:\n%s", out)
+	}
+}
