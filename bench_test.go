@@ -15,6 +15,8 @@
 package dircoh
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"dircoh/internal/analytic"
@@ -230,6 +232,35 @@ func BenchmarkAblateBlockSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		runs, _ := exp.BlockSizeStudy("MP3D", exp.Procs, []int{16, 64})
 		b.ReportMetric(float64(runs[1].Result.Msgs.InvalAck())/float64(runs[0].Result.Msgs.InvalAck()), "invack-64B-vs-16B")
+	}
+}
+
+// BenchmarkSweepParallel measures the experiment orchestrator's scaling
+// on the Figure 7–10 grid (4 applications × 4 schemes) at 8 processors.
+// Sub-benchmarks sweep the pool width from 1 to GOMAXPROCS; on a
+// multi-core host the reported speedup metric approaches the worker
+// count until the grid's 16 jobs stop covering the pool.
+func BenchmarkSweepParallel(b *testing.B) {
+	widths := []int{1}
+	for w := 2; w <= runtime.GOMAXPROCS(0); w *= 2 {
+		widths = append(widths, w)
+	}
+	for _, par := range widths {
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			exp.SetParallelism(par)
+			defer exp.SetParallelism(0)
+			for i := 0; i < b.N; i++ {
+				exp.Meter().Reset()
+				start := b.Elapsed()
+				for _, app := range []string{"LU", "DWF", "MP3D", "LocusRoute"} {
+					runs, _ := exp.SchemeComparison(app, 8)
+					if len(runs) != 4 {
+						b.Fatalf("%s: %d runs", app, len(runs))
+					}
+				}
+				b.ReportMetric(exp.Meter().Summary().Speedup(b.Elapsed()-start), "speedup")
+			}
+		})
 	}
 }
 

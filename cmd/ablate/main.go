@@ -14,11 +14,13 @@ import (
 
 func main() {
 	var (
-		app    = flag.String("app", "LocusRoute", "application for the sweeps")
-		procs  = flag.Int("procs", exp.Procs, "processors")
-		rounds = flag.Int("rounds", 8, "lock acquisitions per processor in the contention study")
+		app      = flag.String("app", "LocusRoute", "application for the sweeps")
+		procs    = flag.Int("procs", exp.Procs, "processors")
+		rounds   = flag.Int("rounds", 8, "lock acquisitions per processor in the contention study")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = one per core)")
 	)
 	flag.Parse()
+	exp.SetParallelism(*parallel)
 
 	fmt.Printf("Region-size sweep (Dir3CV_r on %s):\n\n", *app)
 	_, tb := exp.RegionSweep(*app, *procs)

@@ -22,8 +22,10 @@ func main() {
 		trials    = flag.Int("trials", 2000, "Monte-Carlo trials for Figure 2")
 		sparse    = flag.Bool("sparse", true, "include the sparse-directory sweeps (slow)")
 		ablations = flag.Bool("ablations", true, "include the ablation studies")
+		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = one per core)")
 	)
 	flag.Parse()
+	exp.SetParallelism(*parallel)
 
 	w := bufio.NewWriter(os.Stdout)
 	if *out != "" {

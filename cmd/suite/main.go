@@ -1,5 +1,6 @@
 // Command suite runs a JSON-specified list of experiments and prints a
-// comparison table. Example suite file:
+// comparison table. Runs execute concurrently on a worker pool; the
+// table keeps the suite file's order. Example suite file:
 //
 //	{
 //	  "runs": [
@@ -20,6 +21,7 @@ import (
 	"dircoh/internal/apps"
 	"dircoh/internal/config"
 	"dircoh/internal/machine"
+	"dircoh/internal/runner"
 	"dircoh/internal/stats"
 	"dircoh/internal/trace"
 )
@@ -29,10 +31,53 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// outcome is one run's result or its first error.
+type outcome struct {
+	r   *machine.Result
+	err error
+}
+
+// execute builds and runs one suite entry end to end.
+func execute(run config.RunSpec) outcome {
+	fail := func(err error) outcome {
+		return outcome{err: fmt.Errorf("%s: %w", run.Name, err)}
+	}
+	cfg, err := run.Machine.Build()
+	if err != nil {
+		return fail(err)
+	}
+	m, err := machine.New(cfg)
+	if err != nil {
+		return fail(err)
+	}
+	w := apps.ByName(run.App, cfg.Procs)
+	if w == nil {
+		// Fall back to a trace file path.
+		tf, err := os.Open(run.App)
+		if err != nil {
+			return fail(fmt.Errorf("unknown app or trace %q", run.App))
+		}
+		w, err = trace.Read(tf)
+		tf.Close()
+		if err != nil {
+			return fail(err)
+		}
+	}
+	r, err := m.Run(w)
+	if err != nil {
+		return fail(err)
+	}
+	if err := m.CheckCoherence(); err != nil {
+		return fail(fmt.Errorf("coherence: %w", err))
+	}
+	return outcome{r: r}
+}
+
 func main() {
 	var (
-		file    = flag.String("f", "", "suite JSON file (required)")
-		verbose = flag.Bool("v", false, "print per-run summaries")
+		file     = flag.String("f", "", "suite JSON file (required)")
+		verbose  = flag.Bool("v", false, "print per-run summaries")
+		parallel = flag.Int("parallel", 0, "concurrent runs (0 = one per core)")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -48,36 +93,15 @@ func main() {
 		fatal(err)
 	}
 
+	results := runner.Map(runner.New(*parallel), s.Runs, execute)
+
 	tb := stats.NewTable("run", "scheme", "exec", "msgs", "requests", "replies", "inval+ack", "repl")
-	for _, run := range s.Runs {
-		cfg, err := run.Machine.Build()
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", run.Name, err))
+	for i, run := range s.Runs {
+		out := results[i]
+		if out.err != nil {
+			fatal(out.err)
 		}
-		m, err := machine.New(cfg)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", run.Name, err))
-		}
-		var w = apps.ByName(run.App, cfg.Procs)
-		if w == nil {
-			// Fall back to a trace file path.
-			tf, err := os.Open(run.App)
-			if err != nil {
-				fatal(fmt.Errorf("%s: unknown app or trace %q", run.Name, run.App))
-			}
-			w, err = trace.Read(tf)
-			tf.Close()
-			if err != nil {
-				fatal(fmt.Errorf("%s: %w", run.Name, err))
-			}
-		}
-		r, err := m.Run(w)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", run.Name, err))
-		}
-		if err := m.CheckCoherence(); err != nil {
-			fatal(fmt.Errorf("%s: coherence: %w", run.Name, err))
-		}
+		r := out.r
 		if *verbose {
 			fmt.Printf("%s:\n%s\n", run.Name, r.Summary())
 		}

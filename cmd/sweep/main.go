@@ -1,91 +1,37 @@
 // Command sweep runs the paper's complete experiment suite and prints
 // every table and figure of the evaluation section. This is the program
-// that produced EXPERIMENTS.md.
+// that produced EXPERIMENTS.md. Independent simulations are sharded
+// across a worker pool; output is byte-identical at any parallelism.
 //
-//	sweep            # everything (several minutes)
-//	sweep -only 7-10 # just the scheme-comparison figures
+//	sweep             # everything, using all cores
+//	sweep -only 7-10  # just the scheme-comparison figures
+//	sweep -parallel 1 # serial baseline
 package main
 
 import (
 	"flag"
 	"fmt"
-	"strings"
+	"os"
 	"time"
 
-	"dircoh/internal/analytic"
 	"dircoh/internal/exp"
 )
 
-func want(only, key string) bool {
-	if only == "" || only == "all" {
-		return true
-	}
-	for _, k := range strings.Split(only, ",") {
-		if strings.TrimSpace(k) == key {
-			return true
-		}
-	}
-	return false
-}
-
-func section(title string) {
-	fmt.Printf("\n===== %s =====\n\n", title)
-}
-
 func main() {
 	var (
-		only   = flag.String("only", "all", "comma list of: 2, t1, t2, 3-6, 7-10, 11-12, 13, 14")
-		procs  = flag.Int("procs", exp.Procs, "processors for the simulation experiments")
-		trials = flag.Int("trials", 2000, "Monte-Carlo trials for Figure 2")
+		only     = flag.String("only", "all", "comma list of: 2, t1, t2, 3-6, 7-10, 11-12, 13, 14")
+		procs    = flag.Int("procs", exp.Procs, "processors for the simulation experiments")
+		trials   = flag.Int("trials", 2000, "Monte-Carlo trials for Figure 2")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = one per core)")
 	)
 	flag.Parse()
+	exp.SetParallelism(*parallel)
+	exp.Meter().Reset()
 	start := time.Now()
 
-	if want(*only, "2") {
-		section("Figure 2(a): average invalidations vs sharers, 32 processors")
-		fmt.Println(analytic.Fig2Table(32, *trials, 1))
-		section("Figure 2(b): average invalidations vs sharers, 64 processors")
-		fmt.Println(analytic.Fig2Table(64, *trials, 1))
-	}
-	if want(*only, "t1") {
-		section("Table 1: sample machine configurations")
-		fmt.Println(analytic.Table1())
-	}
-	if want(*only, "t2") {
-		section("Table 2: general application characteristics")
-		fmt.Println(exp.Table2(*procs))
-	}
-	if want(*only, "3-6") {
-		section("Figures 3-6: invalidation distributions, LocusRoute")
-		for _, run := range exp.Figs3to6(*procs) {
-			fmt.Print(run.Result.InvalHist.Render(run.Label))
-			fmt.Println()
-		}
-	}
-	if want(*only, "7-10") {
-		for i, app := range []string{"LU", "DWF", "MP3D", "LocusRoute"} {
-			section(fmt.Sprintf("Figure %d: performance for %s", 7+i, app))
-			_, tb := exp.SchemeComparison(app, *procs)
-			fmt.Println(tb)
-		}
-	}
-	if want(*only, "11-12") {
-		section("Figure 11: sparse directory performance for LU")
-		_, tb := exp.SparsePerformance("LU", *procs)
-		fmt.Println(tb)
-		section("Figure 12: sparse directory performance for DWF")
-		_, tb = exp.SparsePerformance("DWF", *procs)
-		fmt.Println(tb)
-	}
-	if want(*only, "13") {
-		section("Figure 13: effect of associativity in sparse directory (LU)")
-		_, tb := exp.AssocSweep("LU", *procs)
-		fmt.Println(tb)
-	}
-	if want(*only, "14") {
-		section("Figure 14: effect of replacement policy in sparse directory (LU)")
-		_, tb := exp.PolicySweep("LU", *procs)
-		fmt.Println(tb)
-	}
-	fmt.Printf("\nsweep completed in %s\n", time.Since(start).Round(time.Second))
+	runSweep(os.Stdout, *only, *procs, *trials)
+
+	elapsed := time.Since(start)
+	fmt.Printf("\nsweep completed in %s with %d workers\n", elapsed.Round(time.Second), exp.Parallelism())
+	fmt.Println(exp.Meter().Summary().Footer(elapsed))
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dircoh/internal/exp"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (rerun with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s (rerun with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestSweepGoldenAnalytic locks the `sweep -only t1,2` output: Table 1's
+// overhead arithmetic and Figure 2's Monte-Carlo curves at a small trial
+// count with the fixed seed the sweep always uses.
+func TestSweepGoldenAnalytic(t *testing.T) {
+	var buf bytes.Buffer
+	runSweep(&buf, "t1,2", 8, 64)
+	checkGolden(t, "sweep_t1_2.golden", buf.Bytes())
+}
+
+// TestSweepGoldenTable2 locks the Table 2 formatting at a small machine
+// size (workload characterization only — no simulation).
+func TestSweepGoldenTable2(t *testing.T) {
+	var buf bytes.Buffer
+	runSweep(&buf, "t2", 8, 1)
+	checkGolden(t, "sweep_t2.golden", buf.Bytes())
+}
+
+// TestSweepParallelismInvariant renders a simulation-backed section at
+// several pool widths and requires byte-identical output.
+func TestSweepParallelismInvariant(t *testing.T) {
+	defer exp.SetParallelism(0)
+	render := func(par int) []byte {
+		exp.SetParallelism(par)
+		var buf bytes.Buffer
+		runSweep(&buf, "3-6", 8, 1)
+		return buf.Bytes()
+	}
+	want := render(1)
+	if len(want) == 0 {
+		t.Fatal("empty sweep output")
+	}
+	for _, par := range []int{2, 4} {
+		if got := render(par); !bytes.Equal(got, want) {
+			t.Fatalf("-parallel %d output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				par, want, got)
+		}
+	}
+}
+
+func TestWant(t *testing.T) {
+	cases := []struct {
+		only, key string
+		want      bool
+	}{
+		{"", "7-10", true},
+		{"all", "13", true},
+		{"t1,2", "t1", true},
+		{"t1,2", "2", true},
+		{"t1, 2", "2", true},
+		{"t1,2", "t2", false},
+		{"7-10", "7", false},
+	}
+	for _, c := range cases {
+		if got := want(c.only, c.key); got != c.want {
+			t.Errorf("want(%q, %q) = %v, want %v", c.only, c.key, got, c.want)
+		}
+	}
+}

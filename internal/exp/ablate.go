@@ -19,20 +19,24 @@ import (
 // full bit vector. Larger regions approach the broadcast scheme; region
 // size 1 matches the full vector's precision at overflow.
 func RegionSweep(app string, procs int) ([]Run, *stats.Table) {
-	base := RunApp(app, procs, "full vector", machine.FullVec)
-	runs := []Run{base}
+	regions := []int{1, 2, 4, 8, 16, 32}
+	runs := collectRuns(len(regions)+1, func(i int) Run {
+		if i == 0 {
+			return RunApp(app, procs, "full vector", machine.FullVec)
+		}
+		r := regions[i-1]
+		return RunApp(app, procs, fmt.Sprintf("Dir3CV%d", r),
+			func(n int) core.Scheme { return core.NewCoarseVector(3, r, n) })
+	})
+	base := runs[0]
 	tb := stats.NewTable("scheme", "region", "msgs(norm)", "inval+ack", "avg invals/event")
 	tb.AddRow("Dir32", "-", "1.000",
 		fmt.Sprintf("%d", base.Result.Msgs.InvalAck()),
 		fmt.Sprintf("%.2f", base.Result.InvalHist.Mean()))
-	for _, r := range []int{1, 2, 4, 8, 16, 32} {
-		r := r
-		f := func(n int) core.Scheme { return core.NewCoarseVector(3, r, n) }
-		run := RunApp(app, procs, fmt.Sprintf("Dir3CV%d", r), f)
-		runs = append(runs, run)
+	for i, run := range runs[1:] {
 		tb.AddRow(
 			run.Label,
-			fmt.Sprintf("%d", r),
+			fmt.Sprintf("%d", regions[i]),
 			fmt.Sprintf("%.3f", float64(run.Result.Msgs.Total())/float64(base.Result.Msgs.Total())),
 			fmt.Sprintf("%d", run.Result.Msgs.InvalAck()),
 			fmt.Sprintf("%.2f", run.Result.InvalHist.Mean()),
@@ -45,9 +49,6 @@ func RegionSweep(app string, procs int) ([]Run, *stats.Table) {
 // and coarse vector schemes on one application. It quantifies the paper's
 // §5 choice of three pointers under a ~13% storage budget.
 func PointerSweep(app string, procs int) ([]Run, *stats.Table) {
-	base := RunApp(app, procs, "full vector", machine.FullVec)
-	runs := []Run{base}
-	tb := stats.NewTable("scheme", "pointers", "msgs(norm)", "exec(norm)")
 	kinds := []struct {
 		name string
 		f    func(i, n int) core.Scheme
@@ -56,20 +57,34 @@ func PointerSweep(app string, procs int) ([]Run, *stats.Table) {
 		{"Dir_iNB", func(i, n int) core.Scheme { return core.NewLimitedNoBroadcast(i, n, core.VictimRandom, 11) }},
 		{"Dir_iCV2", func(i, n int) core.Scheme { return core.NewCoarseVector(i, 2, n) }},
 	}
-	for _, k := range kinds {
+	type spec struct {
+		kind int // -1: the full-vector baseline
+		ptrs int
+	}
+	specs := []spec{{kind: -1}}
+	for k := range kinds {
 		for _, i := range []int{1, 2, 3, 4, 6} {
-			i := i
-			k := k
-			run := RunApp(app, procs, fmt.Sprintf("%s i=%d", k.name, i),
-				func(n int) core.Scheme { return k.f(i, n) })
-			runs = append(runs, run)
-			tb.AddRow(
-				k.name,
-				fmt.Sprintf("%d", i),
-				fmt.Sprintf("%.3f", float64(run.Result.Msgs.Total())/float64(base.Result.Msgs.Total())),
-				fmt.Sprintf("%.3f", float64(run.Result.ExecTime)/float64(base.Result.ExecTime)),
-			)
+			specs = append(specs, spec{kind: k, ptrs: i})
 		}
+	}
+	runs := collectRuns(len(specs), func(j int) Run {
+		sp := specs[j]
+		if sp.kind < 0 {
+			return RunApp(app, procs, "full vector", machine.FullVec)
+		}
+		k := kinds[sp.kind]
+		return RunApp(app, procs, fmt.Sprintf("%s i=%d", k.name, sp.ptrs),
+			func(n int) core.Scheme { return k.f(sp.ptrs, n) })
+	})
+	base := runs[0]
+	tb := stats.NewTable("scheme", "pointers", "msgs(norm)", "exec(norm)")
+	for j, run := range runs[1:] {
+		tb.AddRow(
+			kinds[specs[j+1].kind].name,
+			fmt.Sprintf("%d", specs[j+1].ptrs),
+			fmt.Sprintf("%.3f", float64(run.Result.Msgs.Total())/float64(base.Result.Msgs.Total())),
+			fmt.Sprintf("%.3f", float64(run.Result.ExecTime)/float64(base.Result.ExecTime)),
+		)
 	}
 	return runs, tb
 }
@@ -106,18 +121,15 @@ func DirectoryComparison(app string, procs int) ([]Run, *stats.Table) {
 		{"overflow, Dir2 + 64 wide", ovCfg},
 		{"overflow, Dir2 + 8 wide", ovTight},
 	}
-	var runs []Run
+	runs := collectRuns(len(rows), func(i int) Run {
+		return runWorkload(app, Workload(app, procs), rows[i].cfg, rows[i].label)
+	})
 	tb := stats.NewTable("directory", "exec(norm)", "msgs(norm)", "inval+ack", "replacements")
-	var baseExec, baseMsgs float64
-	for i, row := range rows {
-		r := runWorkload(app, Workload(app, procs), row.cfg, row.label)
-		runs = append(runs, r)
-		if i == 0 {
-			baseExec = float64(r.Result.ExecTime)
-			baseMsgs = float64(r.Result.Msgs.Total())
-		}
+	baseExec := float64(runs[0].Result.ExecTime)
+	baseMsgs := float64(runs[0].Result.Msgs.Total())
+	for i, r := range runs {
 		tb.AddRow(
-			row.label,
+			rows[i].label,
 			fmt.Sprintf("%.3f", float64(r.Result.ExecTime)/baseExec),
 			fmt.Sprintf("%.3f", float64(r.Result.Msgs.Total())/baseMsgs),
 			fmt.Sprintf("%d", r.Result.Msgs.InvalAck()),
@@ -156,33 +168,26 @@ func lockStorm(procs, rounds int) *tango.Workload {
 // re-contend (extra LockWake/LockReq traffic but no global hot spot); a
 // broadcast waiter set wakes everyone.
 func LockContention(procs, rounds int) ([]Run, *stats.Table) {
-	tb := stats.NewTable("waiter scheme", "exec", "msgs", "lock retries")
-	var runs []Run
-	for _, s := range []struct {
+	schemes := []struct {
 		label string
 		f     machine.SchemeFactory
 	}{
 		{"Full Vector", machine.FullVec},
 		{"Coarse Vector", machine.CoarseVec2},
 		{"Broadcast", machine.Broadcast},
-	} {
-		cfg := machine.DefaultConfig(s.f)
+	}
+	runs := collectRuns(len(schemes), func(i int) Run {
+		cfg := machine.DefaultConfig(schemes[i].f)
 		cfg.Procs = procs
-		m, err := machine.New(cfg)
-		if err != nil {
-			panic(err)
-		}
-		r, err := m.Run(lockStorm(procs, rounds))
-		if err != nil {
-			panic(fmt.Sprintf("exp: lock contention %s: %v", s.label, err))
-		}
-		run := Run{App: "lock-storm", Label: s.label, Result: r}
-		runs = append(runs, run)
+		return runWorkload("lock-storm", lockStorm(procs, rounds), cfg, schemes[i].label)
+	})
+	tb := stats.NewTable("waiter scheme", "exec", "msgs", "lock retries")
+	for _, run := range runs {
 		tb.AddRow(
-			s.label,
-			fmt.Sprintf("%d", r.ExecTime),
-			fmt.Sprintf("%d", r.Msgs.Total()),
-			fmt.Sprintf("%d", r.LockRetries),
+			run.Label,
+			fmt.Sprintf("%d", run.Result.ExecTime),
+			fmt.Sprintf("%d", run.Result.Msgs.Total()),
+			fmt.Sprintf("%d", run.Result.LockRetries),
 		)
 	}
 	return runs, tb

@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+)
+
+// snapshot captures everything an experiment driver can leak ordering or
+// shared-state bugs through: the raw Result structs, the rendered table,
+// and the rendered invalidation histograms.
+type snapshot struct {
+	runs   []Run
+	tables []string
+	hists  []string
+}
+
+func capture(procs int) snapshot {
+	var s snapshot
+	runs, tb := SchemeComparison("MP3D", procs)
+	s.runs = append(s.runs, runs...)
+	s.tables = append(s.tables, tb.String())
+	sruns, stb := SparsePerformance("MP3D", procs)
+	s.runs = append(s.runs, sruns...)
+	s.tables = append(s.tables, stb.String())
+	figs := Figs3to6(procs)
+	s.runs = append(s.runs, figs...)
+	for _, r := range figs {
+		s.hists = append(s.hists, r.Result.InvalHist.Render(r.Label))
+	}
+	s.tables = append(s.tables, Table2(procs).String())
+	return s
+}
+
+// TestPoolDeterminism runs the same experiment grid serially and under
+// the pool at several widths and asserts the results are identical: the
+// machine.Result structs deeply equal and every rendered table and
+// histogram byte-for-byte the same. Any ordering bug in the orchestrator
+// or shared state between concurrent simulations fails this test.
+func TestPoolDeterminism(t *testing.T) {
+	defer SetParallelism(0)
+	const procs = 8
+
+	SetParallelism(1)
+	want := capture(procs)
+
+	widths := []int{2, 3, 8}
+	if testing.Short() {
+		widths = []int{4}
+	}
+	for _, par := range widths {
+		SetParallelism(par)
+		if got := Parallelism(); got != par {
+			t.Fatalf("Parallelism() = %d, want %d", got, par)
+		}
+		got := capture(procs)
+		for i := range want.runs {
+			if got.runs[i].App != want.runs[i].App || got.runs[i].Label != want.runs[i].Label {
+				t.Fatalf("parallel=%d: run %d is (%s, %s), serial had (%s, %s) — submission order broken",
+					par, i, got.runs[i].App, got.runs[i].Label, want.runs[i].App, want.runs[i].Label)
+			}
+			if !reflect.DeepEqual(got.runs[i].Result, want.runs[i].Result) {
+				t.Errorf("parallel=%d: run %d (%s/%s) Result differs from serial run",
+					par, i, want.runs[i].App, want.runs[i].Label)
+			}
+		}
+		for i := range want.tables {
+			if got.tables[i] != want.tables[i] {
+				t.Errorf("parallel=%d: table %d differs from serial output:\n--- serial ---\n%s--- parallel ---\n%s",
+					par, i, want.tables[i], got.tables[i])
+			}
+		}
+		for i := range want.hists {
+			if got.hists[i] != want.hists[i] {
+				t.Errorf("parallel=%d: histogram %d differs from serial output", par, i)
+			}
+		}
+	}
+}
+
+// TestSetParallelismBounds checks the auto default and floor.
+func TestSetParallelismBounds(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(3)
+	if got := Parallelism(); got != 3 {
+		t.Fatalf("Parallelism() = %d, want 3", got)
+	}
+	SetParallelism(0)
+	if got := Parallelism(); got < 1 {
+		t.Fatalf("auto parallelism = %d, want >= 1", got)
+	}
+}
+
+// TestMeterCountsRuns checks that every simulation is metered exactly
+// once with a non-zero cycle count.
+func TestMeterCountsRuns(t *testing.T) {
+	defer SetParallelism(0)
+	SetParallelism(2)
+	Meter().Reset()
+	runs, _ := SchemeComparison("MP3D", 8)
+	s := Meter().Summary()
+	if s.Jobs != len(runs) {
+		t.Fatalf("meter recorded %d jobs, want %d", s.Jobs, len(runs))
+	}
+	if s.Cycles == 0 || s.Busy <= 0 {
+		t.Fatalf("meter summary %+v should have non-zero cycles and busy time", s)
+	}
+	Meter().Reset()
+	if s := Meter().Summary(); s.Jobs != 0 {
+		t.Fatalf("reset failed: %+v", s)
+	}
+}

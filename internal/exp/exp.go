@@ -7,10 +7,12 @@ package exp
 
 import (
 	"fmt"
+	"time"
 
 	"dircoh/internal/apps"
 	"dircoh/internal/cache"
 	"dircoh/internal/machine"
+	"dircoh/internal/runner"
 	"dircoh/internal/sparse"
 	"dircoh/internal/stats"
 	"dircoh/internal/tango"
@@ -78,6 +80,7 @@ func SparseWorkload(app string, procs int) *tango.Workload {
 }
 
 func runWorkload(app string, w *tango.Workload, cfg machine.Config, label string) Run {
+	start := time.Now()
 	m, err := machine.New(cfg)
 	if err != nil {
 		panic(err)
@@ -89,6 +92,7 @@ func runWorkload(app string, w *tango.Workload, cfg machine.Config, label string
 	if err := m.CheckCoherence(); err != nil {
 		panic(fmt.Sprintf("exp: %s/%s coherence: %v", app, label, err))
 	}
+	meter.Record(time.Since(start), uint64(r.ExecTime))
 	return Run{App: app, Label: label, Result: r}
 }
 
@@ -97,16 +101,19 @@ func runWorkload(app string, w *tango.Workload, cfg machine.Config, label string
 // the paper's full-size runs report millions and MB).
 func Table2(procs int) *stats.Table {
 	tb := stats.NewTable("application", "shared refs(k)", "reads(k)", "writes(k)", "sync ops", "shared KB")
-	for _, name := range apps.Names() {
+	rows := runner.Map(currentPool(), apps.Names(), func(name string) []string {
 		c := Workload(name, procs).Characterize()
-		tb.AddRow(
+		return []string{
 			name,
 			fmt.Sprintf("%.1f", float64(c.SharedRefs)/1000),
 			fmt.Sprintf("%.1f", float64(c.SharedReads)/1000),
 			fmt.Sprintf("%.1f", float64(c.SharedWrites)/1000),
 			fmt.Sprintf("%d", c.SyncOps),
 			fmt.Sprintf("%.1f", float64(c.SharedBytes)/1024),
-		)
+		}
+	})
+	for _, row := range rows {
+		tb.AddRow(row...)
 	}
 	return tb
 }
@@ -124,22 +131,19 @@ func Figs3to6(procs int) []Run {
 		{"Figure 5", "Dir3B", machine.Broadcast},
 		{"Figure 6", "Dir3CV2", machine.CoarseVec2},
 	}
-	var out []Run
-	for _, o := range order {
-		r := RunApp("LocusRoute", procs, o.fig+": "+o.label, o.f)
-		out = append(out, r)
-	}
-	return out
+	return collectRuns(len(order), func(i int) Run {
+		o := order[i]
+		return RunApp("LocusRoute", procs, o.fig+": "+o.label, o.f)
+	})
 }
 
 // SchemeComparison reproduces one of Figures 7–10: one application under
 // all four schemes, reporting execution time and message counts
 // normalized to the full bit vector.
 func SchemeComparison(app string, procs int) ([]Run, *stats.Table) {
-	var runs []Run
-	for _, s := range Schemes {
-		runs = append(runs, RunApp(app, procs, s.Label, s.Factory))
-	}
+	runs := collectRuns(len(Schemes), func(i int) Run {
+		return RunApp(app, procs, Schemes[i].Label, Schemes[i].Factory)
+	})
 	base := runs[0].Result
 	tb := stats.NewTable("scheme", "exec", "exec(norm)", "msgs", "msgs(norm)", "requests", "replies", "inval+ack")
 	for _, r := range runs {
@@ -200,25 +204,37 @@ func SparseConfigFor(app string, f machine.SchemeFactory, procs, sizeFactor, ass
 // replacement, normalized to the non-sparse full-vector run.
 func SparsePerformance(app string, procs int) ([]Run, *stats.Table) {
 	schemes := Schemes[:3] // full, coarse, broadcast — as in the figures
-	var runs []Run
-	base := runSparse(app, SparseConfigFor(app, machine.FullVec, procs, 0, 0, sparse.Random), "non-sparse full vector")
-	runs = append(runs, base)
-	tb := stats.NewTable("scheme", "size factor", "exec", "exec(norm)", "msgs(norm)", "replacements")
-	tb.AddRow("Full Vector", "non-sparse", fmt.Sprintf("%d", base.Result.ExecTime), "1.000", "1.000", "0")
+	type spec struct {
+		scheme  string
+		factory machine.SchemeFactory
+		sf      int
+	}
+	specs := []spec{{"Full Vector", machine.FullVec, 0}} // job 0: the non-sparse baseline
 	for _, s := range schemes {
 		for _, sf := range []int{1, 2, 4} {
-			label := fmt.Sprintf("%s sf=%d", s.Label, sf)
-			r := runSparse(app, SparseConfigFor(app, s.Factory, procs, sf, 4, sparse.Random), label)
-			runs = append(runs, r)
-			tb.AddRow(
-				s.Label,
-				fmt.Sprintf("%d", sf),
-				fmt.Sprintf("%d", r.Result.ExecTime),
-				fmt.Sprintf("%.3f", float64(r.Result.ExecTime)/float64(base.Result.ExecTime)),
-				fmt.Sprintf("%.3f", float64(r.Result.Msgs.Total())/float64(base.Result.Msgs.Total())),
-				fmt.Sprintf("%d", r.Result.Replacements),
-			)
+			specs = append(specs, spec{s.Label, s.Factory, sf})
 		}
+	}
+	runs := collectRuns(len(specs), func(i int) Run {
+		sp := specs[i]
+		if sp.sf == 0 {
+			return runSparse(app, SparseConfigFor(app, sp.factory, procs, 0, 0, sparse.Random), "non-sparse full vector")
+		}
+		return runSparse(app, SparseConfigFor(app, sp.factory, procs, sp.sf, 4, sparse.Random),
+			fmt.Sprintf("%s sf=%d", sp.scheme, sp.sf))
+	})
+	base := runs[0]
+	tb := stats.NewTable("scheme", "size factor", "exec", "exec(norm)", "msgs(norm)", "replacements")
+	tb.AddRow("Full Vector", "non-sparse", fmt.Sprintf("%d", base.Result.ExecTime), "1.000", "1.000", "0")
+	for i, r := range runs[1:] {
+		tb.AddRow(
+			specs[i+1].scheme,
+			fmt.Sprintf("%d", specs[i+1].sf),
+			fmt.Sprintf("%d", r.Result.ExecTime),
+			fmt.Sprintf("%.3f", float64(r.Result.ExecTime)/float64(base.Result.ExecTime)),
+			fmt.Sprintf("%.3f", float64(r.Result.Msgs.Total())/float64(base.Result.Msgs.Total())),
+			fmt.Sprintf("%d", r.Result.Replacements),
+		)
 	}
 	return runs, tb
 }
@@ -227,22 +243,31 @@ func SparsePerformance(app string, procs int) ([]Run, *stats.Table) {
 // associativity (1, 2, 4) for size factors 1, 2, 4, LU, full bit vector,
 // normalized to the non-sparse run with the same scaled caches.
 func AssocSweep(app string, procs int) ([]Run, *stats.Table) {
-	base := runSparse(app, SparseConfigFor(app, machine.FullVec, procs, 0, 0, sparse.Random), "non-sparse")
-	tb := stats.NewTable("size factor", "assoc", "msgs", "msgs(norm)", "replacements")
-	runs := []Run{base}
+	type spec struct{ sf, assoc int }
+	specs := []spec{{0, 0}} // job 0: the non-sparse baseline
 	for _, sf := range []int{1, 2, 4} {
 		for _, assoc := range []int{1, 2, 4} {
-			label := fmt.Sprintf("sf=%d assoc=%d", sf, assoc)
-			r := runSparse(app, SparseConfigFor(app, machine.FullVec, procs, sf, assoc, sparse.Random), label)
-			runs = append(runs, r)
-			tb.AddRow(
-				fmt.Sprintf("%d", sf),
-				fmt.Sprintf("%d", assoc),
-				fmt.Sprintf("%d", r.Result.Msgs.Total()),
-				fmt.Sprintf("%.3f", float64(r.Result.Msgs.Total())/float64(base.Result.Msgs.Total())),
-				fmt.Sprintf("%d", r.Result.Replacements),
-			)
+			specs = append(specs, spec{sf, assoc})
 		}
+	}
+	runs := collectRuns(len(specs), func(i int) Run {
+		sp := specs[i]
+		if sp.sf == 0 {
+			return runSparse(app, SparseConfigFor(app, machine.FullVec, procs, 0, 0, sparse.Random), "non-sparse")
+		}
+		return runSparse(app, SparseConfigFor(app, machine.FullVec, procs, sp.sf, sp.assoc, sparse.Random),
+			fmt.Sprintf("sf=%d assoc=%d", sp.sf, sp.assoc))
+	})
+	base := runs[0]
+	tb := stats.NewTable("size factor", "assoc", "msgs", "msgs(norm)", "replacements")
+	for i, r := range runs[1:] {
+		tb.AddRow(
+			fmt.Sprintf("%d", specs[i+1].sf),
+			fmt.Sprintf("%d", specs[i+1].assoc),
+			fmt.Sprintf("%d", r.Result.Msgs.Total()),
+			fmt.Sprintf("%.3f", float64(r.Result.Msgs.Total())/float64(base.Result.Msgs.Total())),
+			fmt.Sprintf("%d", r.Result.Replacements),
+		)
 	}
 	return runs, tb
 }
@@ -251,23 +276,35 @@ func AssocSweep(app string, procs int) ([]Run, *stats.Table) {
 // policy (LRU, Random, LRA) for size factors 1, 2, 4, LU, associativity 4,
 // full bit vector.
 func PolicySweep(app string, procs int) ([]Run, *stats.Table) {
-	base := runSparse(app, SparseConfigFor(app, machine.FullVec, procs, 0, 0, sparse.Random), "non-sparse")
 	policies := []sparse.ReplacePolicy{sparse.LRU, sparse.Random, sparse.LRA}
-	tb := stats.NewTable("size factor", "policy", "msgs", "msgs(norm)", "replacements")
-	runs := []Run{base}
+	type spec struct {
+		sf  int
+		pol sparse.ReplacePolicy
+	}
+	specs := []spec{{0, sparse.Random}} // job 0: the non-sparse baseline
 	for _, sf := range []int{1, 2, 4} {
 		for _, pol := range policies {
-			label := fmt.Sprintf("sf=%d %v", sf, pol)
-			r := runSparse(app, SparseConfigFor(app, machine.FullVec, procs, sf, 4, pol), label)
-			runs = append(runs, r)
-			tb.AddRow(
-				fmt.Sprintf("%d", sf),
-				pol.String(),
-				fmt.Sprintf("%d", r.Result.Msgs.Total()),
-				fmt.Sprintf("%.3f", float64(r.Result.Msgs.Total())/float64(base.Result.Msgs.Total())),
-				fmt.Sprintf("%d", r.Result.Replacements),
-			)
+			specs = append(specs, spec{sf, pol})
 		}
+	}
+	runs := collectRuns(len(specs), func(i int) Run {
+		sp := specs[i]
+		if sp.sf == 0 {
+			return runSparse(app, SparseConfigFor(app, machine.FullVec, procs, 0, 0, sparse.Random), "non-sparse")
+		}
+		return runSparse(app, SparseConfigFor(app, machine.FullVec, procs, sp.sf, 4, sp.pol),
+			fmt.Sprintf("sf=%d %v", sp.sf, sp.pol))
+	})
+	base := runs[0]
+	tb := stats.NewTable("size factor", "policy", "msgs", "msgs(norm)", "replacements")
+	for i, r := range runs[1:] {
+		tb.AddRow(
+			fmt.Sprintf("%d", specs[i+1].sf),
+			specs[i+1].pol.String(),
+			fmt.Sprintf("%d", r.Result.Msgs.Total()),
+			fmt.Sprintf("%.3f", float64(r.Result.Msgs.Total())/float64(base.Result.Msgs.Total())),
+			fmt.Sprintf("%d", r.Result.Replacements),
+		)
 	}
 	return runs, tb
 }
@@ -294,11 +331,9 @@ func WorkloadSeeded(app string, procs int, seed int64) *tango.Workload {
 // used to check that the paper's conclusions are not artifacts of one
 // random input.
 func SchemeComparisonSeeded(app string, procs int, seed int64) []Run {
-	var runs []Run
-	for _, s := range Schemes {
-		cfg := machine.DefaultConfig(s.Factory)
+	return collectRuns(len(Schemes), func(i int) Run {
+		cfg := machine.DefaultConfig(Schemes[i].Factory)
 		cfg.Procs = procs
-		runs = append(runs, runWorkload(app, WorkloadSeeded(app, procs, seed), cfg, s.Label))
-	}
-	return runs
+		return runWorkload(app, WorkloadSeeded(app, procs, seed), cfg, Schemes[i].Label)
+	})
 }

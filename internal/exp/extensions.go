@@ -17,11 +17,13 @@ import (
 // provision (one entry per block of 16 MB memory per processor).
 func OccupancyStudy(procs int) ([]Run, *stats.Table) {
 	const memPerProc = 16 << 20 // the paper's Table 1 machines
+	apps := []string{"LU", "DWF", "MP3D", "LocusRoute"}
+	runs := collectRuns(len(apps), func(i int) Run {
+		return RunApp(apps[i], procs, "occupancy "+apps[i], machine.FullVec)
+	})
 	tb := stats.NewTable("application", "peak live entries", "cache blocks", "memory blocks", "live fraction")
-	var runs []Run
-	for _, app := range []string{"LU", "DWF", "MP3D", "LocusRoute"} {
-		r := RunApp(app, procs, "occupancy "+app, machine.FullVec)
-		runs = append(runs, r)
+	for i, r := range runs {
+		app := apps[i]
 		cfg := machine.DefaultConfig(machine.FullVec)
 		cacheBlocks := cfg.Cache.L2Size / cfg.Block * procs
 		memBlocks := int64(memPerProc) / int64(cfg.Block) * int64(procs)
@@ -42,20 +44,21 @@ func OccupancyStudy(procs int) ([]Run, *stats.Table) {
 // traffic ("increasing the block size increases the chances of
 // false-sharing and may significantly increase the coherence traffic").
 func BlockSizeStudy(app string, procs int, blockSizes []int) ([]Run, *stats.Table) {
-	tb := stats.NewTable("block", "overhead", "exec(norm)", "msgs(norm)", "inval+ack", "misses")
-	var runs []Run
-	var base *machine.Result
-	for _, bs := range blockSizes {
+	cfgFor := func(bs int) machine.Config {
 		cfg := machine.DefaultConfig(machine.FullVec)
 		cfg.Procs = procs
 		cfg.Block = bs
 		cfg.Cache.Block = bs
-		label := fmt.Sprintf("block=%d", bs)
-		r := runWorkload(app, Workload(app, procs), cfg, label)
-		runs = append(runs, r)
-		if base == nil {
-			base = r.Result
-		}
+		return cfg
+	}
+	runs := collectRuns(len(blockSizes), func(i int) Run {
+		return runWorkload(app, Workload(app, procs), cfgFor(blockSizes[i]), fmt.Sprintf("block=%d", blockSizes[i]))
+	})
+	tb := stats.NewTable("block", "overhead", "exec(norm)", "msgs(norm)", "inval+ack", "misses")
+	base := runs[0].Result
+	for i, r := range runs {
+		bs := blockSizes[i]
+		cfg := cfgFor(bs)
 		overheadBits := cfg.Clusters() + 1 // full vector + dirty, per entry
 		tb.AddRow(
 			fmt.Sprintf("%dB", bs),
@@ -76,35 +79,43 @@ func BlockSizeStudy(app string, procs int, blockSizes []int) ([]Run, *stats.Tabl
 // remark anticipates ("we consequently expect the performance degradation
 // due to an increased number of messages to be larger than shown here").
 func NetworkContention(app string, procs int, portTimes []sim.Time) ([]Run, *stats.Table) {
-	tb := stats.NewTable("port time", "scheme", "exec", "exec(norm)", "net stalls")
-	var runs []Run
+	schemes := []struct {
+		label string
+		f     machine.SchemeFactory
+	}{
+		{"Full Vector", machine.FullVec},
+		{"Coarse Vector", machine.CoarseVec2},
+		{"Broadcast", machine.Broadcast},
+	}
+	type spec struct {
+		pt     sim.Time
+		scheme int
+	}
+	var specs []spec
 	for _, pt := range portTimes {
-		var base *machine.Result
-		for _, s := range []struct {
-			label string
-			f     machine.SchemeFactory
-		}{
-			{"Full Vector", machine.FullVec},
-			{"Coarse Vector", machine.CoarseVec2},
-			{"Broadcast", machine.Broadcast},
-		} {
-			cfg := machine.DefaultConfig(s.f)
-			cfg.Procs = procs
-			cfg.Mesh.PortTime = pt
-			label := fmt.Sprintf("%s port=%d", s.label, pt)
-			r := runWorkload(app, Workload(app, procs), cfg, label)
-			runs = append(runs, r)
-			if base == nil {
-				base = r.Result
-			}
-			tb.AddRow(
-				fmt.Sprintf("%d", pt),
-				s.label,
-				fmt.Sprintf("%d", r.Result.ExecTime),
-				fmt.Sprintf("%.3f", float64(r.Result.ExecTime)/float64(base.ExecTime)),
-				fmt.Sprintf("%d", r.Result.Net.Stalls),
-			)
+		for si := range schemes {
+			specs = append(specs, spec{pt, si})
 		}
+	}
+	runs := collectRuns(len(specs), func(i int) Run {
+		sp := specs[i]
+		cfg := machine.DefaultConfig(schemes[sp.scheme].f)
+		cfg.Procs = procs
+		cfg.Mesh.PortTime = sp.pt
+		return runWorkload(app, Workload(app, procs), cfg,
+			fmt.Sprintf("%s port=%d", schemes[sp.scheme].label, sp.pt))
+	})
+	tb := stats.NewTable("port time", "scheme", "exec", "exec(norm)", "net stalls")
+	for i, r := range runs {
+		sp := specs[i]
+		base := runs[i-sp.scheme].Result // each port-time group normalizes to its full vector
+		tb.AddRow(
+			fmt.Sprintf("%d", sp.pt),
+			schemes[sp.scheme].label,
+			fmt.Sprintf("%d", r.Result.ExecTime),
+			fmt.Sprintf("%.3f", float64(r.Result.ExecTime)/float64(base.ExecTime)),
+			fmt.Sprintf("%d", r.Result.Net.Stalls),
+		)
 	}
 	return runs, tb
 }
@@ -129,32 +140,34 @@ func barrierStorm(procs, rounds int) *tango.Workload {
 // ejection-port contention. The central barrier funnels every arrival and
 // release through one cluster — a hot spot the tree avoids.
 func BarrierStudy(procs, rounds int, portTimes []sim.Time) ([]Run, *stats.Table) {
-	tb := stats.NewTable("barrier", "port time", "exec", "msgs", "net stalls")
-	var runs []Run
+	type spec struct {
+		pt   sim.Time
+		kind machine.BarrierKind
+	}
+	var specs []spec
 	for _, pt := range portTimes {
 		for _, kind := range []machine.BarrierKind{machine.CentralBarrier, machine.TreeBarrier} {
-			cfg := machine.DefaultConfig(machine.FullVec)
-			cfg.Procs = procs
-			cfg.Barrier = kind
-			cfg.Mesh.PortTime = pt
-			m, err := machine.New(cfg)
-			if err != nil {
-				panic(err)
-			}
-			r, err := m.Run(barrierStorm(procs, rounds))
-			if err != nil {
-				panic(fmt.Sprintf("exp: barrier study %v: %v", kind, err))
-			}
-			label := fmt.Sprintf("%v port=%d", kind, pt)
-			runs = append(runs, Run{App: "barrier-storm", Label: label, Result: r})
-			tb.AddRow(
-				kind.String(),
-				fmt.Sprintf("%d", pt),
-				fmt.Sprintf("%d", r.ExecTime),
-				fmt.Sprintf("%d", r.Msgs.Total()),
-				fmt.Sprintf("%d", r.Net.Stalls),
-			)
+			specs = append(specs, spec{pt, kind})
 		}
+	}
+	runs := collectRuns(len(specs), func(i int) Run {
+		sp := specs[i]
+		cfg := machine.DefaultConfig(machine.FullVec)
+		cfg.Procs = procs
+		cfg.Barrier = sp.kind
+		cfg.Mesh.PortTime = sp.pt
+		return runWorkload("barrier-storm", barrierStorm(procs, rounds), cfg,
+			fmt.Sprintf("%v port=%d", sp.kind, sp.pt))
+	})
+	tb := stats.NewTable("barrier", "port time", "exec", "msgs", "net stalls")
+	for i, r := range runs {
+		tb.AddRow(
+			specs[i].kind.String(),
+			fmt.Sprintf("%d", specs[i].pt),
+			fmt.Sprintf("%d", r.Result.ExecTime),
+			fmt.Sprintf("%d", r.Result.Msgs.Total()),
+			fmt.Sprintf("%d", r.Result.Net.Stalls),
+		)
 	}
 	return runs, tb
 }

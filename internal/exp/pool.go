@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"sync"
+
+	"dircoh/internal/runner"
+	"dircoh/internal/stats"
+)
+
+// The experiment drivers submit their independent machine runs to a
+// shared worker pool. Every driver first lays out its run grid as an
+// indexed job list, collects the results in submission order, and only
+// then renders tables — so output is byte-identical at any parallelism.
+
+var (
+	poolMu sync.RWMutex
+	pool   = runner.New(0) // GOMAXPROCS workers by default
+)
+
+// SetParallelism bounds the number of simulations run concurrently;
+// n <= 0 selects GOMAXPROCS.
+func SetParallelism(n int) {
+	poolMu.Lock()
+	pool = runner.New(n)
+	poolMu.Unlock()
+}
+
+// Parallelism returns the current concurrency bound.
+func Parallelism() int {
+	poolMu.RLock()
+	defer poolMu.RUnlock()
+	return pool.Workers()
+}
+
+func currentPool() *runner.Pool {
+	poolMu.RLock()
+	defer poolMu.RUnlock()
+	return pool
+}
+
+// collectRuns executes n independent simulations on the shared pool and
+// returns them indexed by job number.
+func collectRuns(n int, job func(i int) Run) []Run {
+	return runner.Collect(currentPool(), n, job)
+}
+
+// meter aggregates per-run wall-clock and cycle counts for the sweep
+// footer's speedup line.
+var meter stats.JobMeter
+
+// Meter exposes the package's job metrics; callers Reset() it before a
+// sweep and Summary() it after.
+func Meter() *stats.JobMeter { return &meter }

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestReportOptionsDefaults(t *testing.T) {
+	got := (ReportOptions{}).withDefaults()
+	if got.Procs != Procs || got.Trials != 2000 {
+		t.Fatalf("withDefaults() = %+v", got)
+	}
+	// Explicit values survive.
+	kept := (ReportOptions{Procs: 8, Trials: 50}).withDefaults()
+	if kept.Procs != 8 || kept.Trials != 50 {
+		t.Fatalf("withDefaults clobbered explicit values: %+v", kept)
+	}
+	def := DefaultReportOptions()
+	if !def.Sparse || !def.Ablations || def.Procs != Procs {
+		t.Fatalf("DefaultReportOptions() = %+v", def)
+	}
+}
+
+func TestWriteReportCore(t *testing.T) {
+	var b strings.Builder
+	opt := ReportOptions{Procs: 8, Trials: 32, Sparse: false, Ablations: false}
+	if err := WriteReport(&b, opt); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# Evaluation report (8 processors)",
+		"## Figure 2",
+		"## Table 1",
+		"## Table 2",
+		"## Figures 3–6",
+		"## Figure 7 — performance for LU",
+		"## Figure 10 — performance for LocusRoute",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	for _, absent := range []string{"## Figure 11", "## Ablations"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("report should not contain %q with Sparse/Ablations off", absent)
+		}
+	}
+}
+
+func TestWriteReportSections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sparse and ablation studies")
+	}
+	var b strings.Builder
+	opt := ReportOptions{Procs: 8, Trials: 32, Sparse: true, Ablations: true}
+	if err := WriteReport(&b, opt); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"## Figure 11", "## Figure 14",
+		"## Ablations", "Queued-lock hot spot", "Block-size tradeoff",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("full report missing %q", want)
+		}
+	}
+}
+
+// failAfter errors every write past a byte budget — the disk-full case.
+type failAfter struct {
+	n int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errDiskFull
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriteReportPropagatesWriteError(t *testing.T) {
+	err := WriteReport(&failAfter{n: 64}, ReportOptions{Procs: 8, Trials: 16})
+	if !errors.Is(err, errDiskFull) {
+		t.Fatalf("WriteReport error = %v, want %v", err, errDiskFull)
+	}
+}

@@ -1,0 +1,111 @@
+package runner
+
+import (
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCollectOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 33} {
+		p := New(workers)
+		got := Collect(p, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestCollectRunsEveryJobOnce(t *testing.T) {
+	var counts [257]atomic.Int32
+	p := New(8)
+	Collect(p, len(counts), func(i int) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Fatalf("job %d ran %d times", i, n)
+		}
+	}
+}
+
+// TestCollectSkewedJobs makes the first worker's span far heavier than
+// the rest: without stealing the run would serialize behind it.
+func TestCollectSkewedJobs(t *testing.T) {
+	p := New(4)
+	got := Collect(p, 32, func(i int) int {
+		if i < 8 { // the first span: slow jobs
+			time.Sleep(2 * time.Millisecond)
+		}
+		return i + 1
+	})
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+func TestCollectZeroJobs(t *testing.T) {
+	if got := Collect(New(4), 0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("want empty result, got %v", got)
+	}
+}
+
+func TestCollectNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", p.Workers())
+	}
+	order := make([]int, 0, 5)
+	Collect(p, 5, func(i int) int {
+		order = append(order, i) // safe: serial execution
+		return i
+	})
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("nil pool did not run serially in order: %v", order)
+	}
+}
+
+func TestNewDefaultsToGOMAXPROCS(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("New(0).Workers() = %d, want %d", got, want)
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("New(-3).Workers() = %d", got)
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Fatalf("New(5).Workers() = %d, want 5", got)
+	}
+}
+
+func TestCollectPropagatesPanic(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		if s, ok := r.(string); !ok || s != "boom 7" {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	Collect(New(4), 16, func(i int) int {
+		if i == 7 {
+			panic("boom 7")
+		}
+		return i
+	})
+}
+
+func TestMap(t *testing.T) {
+	items := []string{"a", "bb", "ccc", "dddd"}
+	got := Map(New(3), items, func(s string) int { return len(s) })
+	if !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("Map = %v", got)
+	}
+}

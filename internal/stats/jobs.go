@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobMeter aggregates per-job wall-clock and cycles-simulated metrics
+// across concurrent simulation runs. The experiment drivers record one
+// sample per machine run; the sweep footer compares the aggregate busy
+// time against elapsed wall time to report the orchestrator's speedup.
+// All methods are safe for concurrent use.
+type JobMeter struct {
+	mu     sync.Mutex
+	jobs   int
+	busy   time.Duration
+	cycles uint64
+}
+
+// Record adds one finished job: its wall-clock duration and the number
+// of machine cycles it simulated.
+func (m *JobMeter) Record(wall time.Duration, cycles uint64) {
+	m.mu.Lock()
+	m.jobs++
+	m.busy += wall
+	m.cycles += cycles
+	m.mu.Unlock()
+}
+
+// Reset clears all recorded samples.
+func (m *JobMeter) Reset() {
+	m.mu.Lock()
+	m.jobs, m.busy, m.cycles = 0, 0, 0
+	m.mu.Unlock()
+}
+
+// Summary returns a consistent snapshot of the recorded totals.
+func (m *JobMeter) Summary() JobSummary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return JobSummary{Jobs: m.jobs, Busy: m.busy, Cycles: m.cycles}
+}
+
+// JobSummary is a point-in-time copy of a JobMeter's totals.
+type JobSummary struct {
+	Jobs   int           // simulations recorded
+	Busy   time.Duration // aggregate per-job wall-clock time
+	Cycles uint64        // machine cycles simulated across all jobs
+}
+
+// Speedup is the ratio of aggregate job time to elapsed wall time: the
+// factor by which the pool beat a serial sweep (1.0 when serial, 0 when
+// nothing ran or elapsed is non-positive).
+func (s JobSummary) Speedup(elapsed time.Duration) float64 {
+	if elapsed <= 0 || s.Busy <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(elapsed)
+}
+
+// Footer renders the one-line summary the sweep commands print after
+// their tables.
+func (s JobSummary) Footer(elapsed time.Duration) string {
+	if s.Jobs == 0 {
+		return fmt.Sprintf("no simulations run in %s", elapsed.Round(time.Millisecond))
+	}
+	return fmt.Sprintf("%d simulations, %.3g cycles simulated, %s aggregate sim time in %s wall (%.2fx speedup)",
+		s.Jobs, float64(s.Cycles), s.Busy.Round(time.Millisecond),
+		elapsed.Round(time.Millisecond), s.Speedup(elapsed))
+}

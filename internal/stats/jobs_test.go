@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJobMeterRecordAndSummary(t *testing.T) {
+	var m JobMeter
+	m.Record(2*time.Second, 100)
+	m.Record(3*time.Second, 250)
+	s := m.Summary()
+	if s.Jobs != 2 || s.Busy != 5*time.Second || s.Cycles != 350 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if got := s.Speedup(2500 * time.Millisecond); got != 2.0 {
+		t.Fatalf("speedup = %v, want 2.0", got)
+	}
+	m.Reset()
+	if s := m.Summary(); s.Jobs != 0 || s.Busy != 0 || s.Cycles != 0 {
+		t.Fatalf("after reset: %+v", s)
+	}
+}
+
+func TestJobMeterConcurrent(t *testing.T) {
+	var m JobMeter
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.Record(time.Millisecond, 10)
+		}()
+	}
+	wg.Wait()
+	if s := m.Summary(); s.Jobs != 50 || s.Cycles != 500 || s.Busy != 50*time.Millisecond {
+		t.Fatalf("concurrent summary = %+v", s)
+	}
+}
+
+func TestJobSummarySpeedupEdges(t *testing.T) {
+	var s JobSummary
+	if got := s.Speedup(time.Second); got != 0 {
+		t.Fatalf("empty speedup = %v, want 0", got)
+	}
+	s.Busy = time.Second
+	if got := s.Speedup(0); got != 0 {
+		t.Fatalf("zero-elapsed speedup = %v, want 0", got)
+	}
+}
+
+func TestJobSummaryFooter(t *testing.T) {
+	s := JobSummary{Jobs: 4, Busy: 8 * time.Second, Cycles: 1_500_000}
+	out := s.Footer(2 * time.Second)
+	for _, want := range []string{"4 simulations", "4.00x speedup", "8s aggregate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("footer missing %q:\n%s", want, out)
+		}
+	}
+	if out := (JobSummary{}).Footer(time.Second); !strings.Contains(out, "no simulations") {
+		t.Fatalf("empty footer: %s", out)
+	}
+}

@@ -70,6 +70,42 @@ func TestPlotMinimumDimensions(t *testing.T) {
 	}
 }
 
+func TestPlotNegativeValues(t *testing.T) {
+	p := NewPlot("", "x", "")
+	p.AddSeries("s", []int{0, 1, 2}, []float64{-3, 0, 3})
+	out := p.Render(20, 6)
+	if !strings.Contains(out, "-3") {
+		t.Fatalf("negative minimum missing from y labels:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("points not drawn:\n%s", out)
+	}
+}
+
+func TestPlotZeroValuedSeries(t *testing.T) {
+	// An all-zero series (e.g. a zero-message result) must render without
+	// dividing by a zero range.
+	p := NewPlot("zeros", "x", "msgs")
+	p.AddSeries("none", []int{0, 1, 2}, []float64{0, 0, 0})
+	out := p.Render(20, 5)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "zeros") {
+		t.Fatalf("zero series not drawn:\n%s", out)
+	}
+}
+
+func TestPlotMarkCycle(t *testing.T) {
+	// More series than distinct marks: the mark assignment wraps around
+	// instead of running out.
+	p := NewPlot("", "x", "")
+	for i := 0; i < len(plotMarks)+2; i++ {
+		p.AddSeries(string(rune('a'+i)), []int{i}, []float64{float64(i)})
+	}
+	out := p.Render(30, 8)
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "* i") {
+		t.Fatalf("mark cycle broken:\n%s", out)
+	}
+}
+
 func TestPlotAnchorsZero(t *testing.T) {
 	// Values near zero should anchor the y-axis at 0 like paper figures.
 	p := NewPlot("", "x", "")

@@ -110,6 +110,56 @@ func TestTable(t *testing.T) {
 	}
 }
 
+func TestTableEmptyAndSingleRow(t *testing.T) {
+	// A header-only table (an empty run set) renders header + separator.
+	empty := NewTable("a", "bb")
+	lines := strings.Split(strings.TrimRight(empty.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("empty table: want 2 lines, got %d:\n%s", len(lines), empty.String())
+	}
+	// A single-row table keeps column alignment with a short header.
+	one := NewTable("x", "longheader")
+	one.AddRow("wider-cell", "1")
+	out := one.String()
+	rows := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(rows) != 3 {
+		t.Fatalf("single-row table: want 3 lines, got %d:\n%s", len(rows), out)
+	}
+	if len(rows[0]) != len(rows[2]) {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+	// A short row pads missing trailing cells.
+	short := NewTable("a", "b", "c")
+	short.AddRow("only")
+	if got := short.String(); !strings.Contains(got, "only") {
+		t.Fatalf("short row dropped:\n%s", got)
+	}
+}
+
+func TestZeroMessageResult(t *testing.T) {
+	// A run with no traffic at all must render cleanly everywhere it can
+	// appear: counters, ratios' numerators, and histograms.
+	var m MsgCounts
+	if m.Total() != 0 || m.InvalAck() != 0 {
+		t.Fatal("zero counts not zero")
+	}
+	var h Histogram
+	if h.Mean() != 0 || h.Max() != 0 || h.Percent(0) != 0 || h.Count(5) != 0 {
+		t.Fatal("empty histogram stats not zero")
+	}
+	out := h.Render("empty run")
+	if !strings.Contains(out, "events: 0") {
+		t.Fatalf("empty histogram render:\n%s", out)
+	}
+	var l LatHist
+	if l.Mean() != 0 || l.Count() != 0 || l.Max() != 0 {
+		t.Fatal("empty latency histogram stats not zero")
+	}
+	if got := l.Render("empty"); !strings.Contains(got, "0 samples") {
+		t.Fatalf("empty latency render:\n%s", got)
+	}
+}
+
 // Property: Mean * Events == Total for any sequence of adds.
 func TestQuickHistogramAccounting(t *testing.T) {
 	f := func(vals []uint8) bool {
