@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 
+	"dircoh/internal/cli"
 	"dircoh/internal/exp"
 	"dircoh/internal/sim"
 )
@@ -19,7 +20,11 @@ func main() {
 		rounds   = flag.Int("rounds", 8, "lock acquisitions per processor in the contention study")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = one per core)")
 	)
+	obsFlags := cli.NewObs("ablate")
 	flag.Parse()
+	cli.Check("ablate", obsFlags.Start())
+	defer obsFlags.Stop()
+	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Metrics: obsFlags.WriteMetrics})
 	exp.SetParallelism(*parallel)
 
 	fmt.Printf("Region-size sweep (Dir3CV_r on %s):\n\n", *app)

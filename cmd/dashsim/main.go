@@ -6,8 +6,8 @@
 // Examples:
 //
 //	dashsim -app LocusRoute -scheme cv
-//	dashsim -app LU -scheme b -sparse 64 -assoc 4 -policy rand -hist
-//	dashsim -app MP3D -procs 64 -ppc 4 -scheme full
+//	dashsim -app LU -scheme Dir4CV8 -sparse 64 -assoc 4 -policy rand -hist
+//	dashsim -app MP3D -procs 64 -ppc 4 -scheme full -trace-out mp3d.jsonl
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 
 	"dircoh/internal/apps"
 	"dircoh/internal/cache"
+	"dircoh/internal/cli"
 	"dircoh/internal/core"
 	"dircoh/internal/machine"
 	"dircoh/internal/sparse"
@@ -26,24 +27,7 @@ import (
 	"dircoh/internal/trace"
 )
 
-func schemeFactory(name string, ptrs, region int) (machine.SchemeFactory, error) {
-	switch strings.ToLower(name) {
-	case "full", "dir", "fullvec":
-		return machine.FullVec, nil
-	case "cv", "coarse":
-		return func(n int) core.Scheme { return core.NewCoarseVector(ptrs, region, n) }, nil
-	case "b", "broadcast":
-		return func(n int) core.Scheme { return core.NewLimitedBroadcast(ptrs, n) }, nil
-	case "nb", "nobroadcast":
-		return func(n int) core.Scheme {
-			return core.NewLimitedNoBroadcast(ptrs, n, core.VictimRandom, 11)
-		}, nil
-	case "x", "superset":
-		return func(n int) core.Scheme { return core.NewSuperset(ptrs, n) }, nil
-	default:
-		return nil, fmt.Errorf("unknown scheme %q (want full|cv|b|nb|x)", name)
-	}
-}
+const tool = "dashsim"
 
 func policy(name string) (sparse.ReplacePolicy, error) {
 	switch strings.ToLower(name) {
@@ -60,10 +44,10 @@ func policy(name string) (sparse.ReplacePolicy, error) {
 
 func main() {
 	var (
-		app     = flag.String("app", "LocusRoute", "application: LU, DWF, MP3D, LocusRoute")
+		app     = flag.String("app", "LocusRoute", "application: "+strings.Join(apps.All(), ", "))
 		procs   = flag.Int("procs", 32, "total processors")
 		ppc     = flag.Int("ppc", 1, "processors per cluster")
-		scheme  = flag.String("scheme", "full", "directory scheme: full, cv, b, nb, x")
+		scheme  = flag.String("scheme", "full", "directory scheme: full, cv, b, nb, x, or notation like Dir3CV2")
 		ptrs    = flag.Int("ptrs", 3, "pointers for limited schemes")
 		region  = flag.Int("region", 2, "coarse vector region size")
 		sparseN = flag.Int("sparse", 0, "sparse directory entries per cluster (0 = full map)")
@@ -76,39 +60,38 @@ func main() {
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		traceIn = flag.String("trace", "", "replay a trace file (see cmd/tracegen) instead of generating -app")
 	)
+	obsFlags := cli.NewObs(tool).EnableServer()
 	flag.Parse()
 
-	f, err := schemeFactory(*scheme, *ptrs, *region)
+	f, err := core.ParseSpec(*scheme, *ptrs, *region)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dashsim:", err)
-		os.Exit(2)
+		cli.Usagef(tool, "%v", err)
 	}
 	pol, err := policy(*polName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dashsim:", err)
-		os.Exit(2)
+		cli.Usagef(tool, "%v", err)
 	}
 	var w *tango.Workload
 	if *traceIn != "" {
 		tf, err := os.Open(*traceIn)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dashsim:", err)
-			os.Exit(1)
+			cli.Fatalf(tool, "%v", err)
 		}
 		w, err = trace.Read(tf)
 		tf.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "dashsim:", err)
-			os.Exit(1)
+			cli.Fatalf(tool, "%v", err)
 		}
 		*procs = w.Procs()
 	} else {
-		w = apps.ByName(*app, *procs)
-		if w == nil {
-			fmt.Fprintf(os.Stderr, "dashsim: unknown app %q (want %s)\n", *app, strings.Join(apps.Names(), ", "))
-			os.Exit(2)
+		build, err := apps.Lookup(*app)
+		if err != nil {
+			cli.Usagef(tool, "%v", err)
 		}
+		w = build(*procs)
 	}
+	cli.Check(tool, obsFlags.Start())
+	defer obsFlags.Stop()
 
 	cfg := machine.DefaultConfig(f)
 	cfg.Procs = *procs
@@ -118,10 +101,10 @@ func main() {
 	if *sparseN > 0 {
 		cfg.Sparse = machine.SparseConfig{Entries: *sparseN, Assoc: *assoc, Policy: pol}
 	}
+	cfg.Trace = obsFlags.Tracer(w.Name)
 	m, err := machine.New(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dashsim:", err)
-		os.Exit(1)
+		cli.Fatalf(tool, "%v", err)
 	}
 
 	c := w.Characterize()
@@ -131,13 +114,13 @@ func main() {
 
 	r, err := m.Run(w)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dashsim:", err)
-		os.Exit(1)
+		cli.Fatalf(tool, "%v", err)
 	}
 	if err := m.CheckCoherence(); err != nil {
-		fmt.Fprintln(os.Stderr, "dashsim: coherence check failed:", err)
-		os.Exit(1)
+		cli.Fatalf(tool, "coherence check failed: %v", err)
 	}
+	cli.Check(tool, m.FlushTrace())
+	obsFlags.WriteMetrics(w.Name, m.MetricsSnapshot())
 
 	fmt.Println()
 	fmt.Print(r.Summary())

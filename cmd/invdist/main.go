@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"dircoh/internal/analytic"
+	"dircoh/internal/cli"
 	"dircoh/internal/core"
 	"dircoh/internal/exp"
 	"dircoh/internal/stats"
@@ -45,7 +46,11 @@ func main() {
 		procs  = flag.Int("procs", 32, "processors for the LocusRoute runs")
 		seed   = flag.Int64("seed", 1, "Monte-Carlo seed")
 	)
+	obsFlags := cli.NewObs("invdist")
 	flag.Parse()
+	cli.Check("invdist", obsFlags.Start())
+	defer obsFlags.Stop()
+	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Metrics: obsFlags.WriteMetrics})
 
 	if *fig2 {
 		if *plot {

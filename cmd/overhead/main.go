@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"dircoh/internal/analytic"
+	"dircoh/internal/cli"
 	"dircoh/internal/core"
 )
 
@@ -18,7 +19,10 @@ func main() {
 		ppc      = flag.Int("ppc", 4, "custom: processors per cluster")
 		sparsity = flag.Int("sparsity", 4, "custom: memory blocks per directory entry")
 	)
+	obsFlags := cli.NewObs("overhead")
 	flag.Parse()
+	cli.Check("overhead", obsFlags.Start())
+	defer obsFlags.Stop()
 
 	fmt.Println("Table 1: sample machine configurations (16 MB memory + 256 KB cache per processor)")
 	fmt.Println(analytic.Table1())

@@ -12,6 +12,7 @@ import (
 	"os"
 	"time"
 
+	"dircoh/internal/cli"
 	"dircoh/internal/exp"
 )
 
@@ -24,28 +25,25 @@ func main() {
 		ablations = flag.Bool("ablations", true, "include the ablation studies")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = one per core)")
 	)
+	obsFlags := cli.NewObs("report")
 	flag.Parse()
+	cli.Check("report", obsFlags.Start())
+	defer obsFlags.Stop()
+	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Metrics: obsFlags.WriteMetrics})
 	exp.SetParallelism(*parallel)
 
 	w := bufio.NewWriter(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "report:", err)
-			os.Exit(1)
+			cli.Fatalf("report", "%v", err)
 		}
 		defer f.Close()
 		w = bufio.NewWriter(f)
 	}
 	start := time.Now()
 	opt := exp.ReportOptions{Procs: *procs, Trials: *trials, Sparse: *sparse, Ablations: *ablations}
-	if err := exp.WriteReport(w, opt); err != nil {
-		fmt.Fprintln(os.Stderr, "report:", err)
-		os.Exit(1)
-	}
-	if err := w.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, "report:", err)
-		os.Exit(1)
-	}
+	cli.Check("report", exp.WriteReport(w, opt))
+	cli.Check("report", w.Flush())
 	fmt.Fprintf(os.Stderr, "report generated in %s\n", time.Since(start).Round(time.Second))
 }

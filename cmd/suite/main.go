@@ -14,27 +14,48 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"dircoh/internal/apps"
+	"dircoh/internal/cli"
 	"dircoh/internal/config"
 	"dircoh/internal/machine"
 	"dircoh/internal/runner"
 	"dircoh/internal/stats"
+	"dircoh/internal/tango"
 	"dircoh/internal/trace"
 )
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "suite:", err)
-	os.Exit(1)
-}
+const tool = "suite"
+
+var obsFlags *cli.Obs
 
 // outcome is one run's result or its first error.
 type outcome struct {
 	r   *machine.Result
 	err error
+}
+
+// loadWorkload resolves a suite entry's app field: a registered
+// application name, or (for unknown names) a trace file path.
+func loadWorkload(name string, procs int) (*tango.Workload, error) {
+	build, lookupErr := apps.Lookup(name)
+	if lookupErr == nil {
+		return build(procs), nil
+	}
+	tf, err := os.Open(name)
+	if err != nil {
+		var unknown *apps.UnknownAppError
+		if errors.As(lookupErr, &unknown) {
+			return nil, fmt.Errorf("%w and no such trace file", lookupErr)
+		}
+		return nil, err
+	}
+	defer tf.Close()
+	return trace.Read(tf)
 }
 
 // execute builds and runs one suite entry end to end.
@@ -46,22 +67,14 @@ func execute(run config.RunSpec) outcome {
 	if err != nil {
 		return fail(err)
 	}
-	m, err := machine.New(cfg)
+	w, err := loadWorkload(run.App, cfg.Procs)
 	if err != nil {
 		return fail(err)
 	}
-	w := apps.ByName(run.App, cfg.Procs)
-	if w == nil {
-		// Fall back to a trace file path.
-		tf, err := os.Open(run.App)
-		if err != nil {
-			return fail(fmt.Errorf("unknown app or trace %q", run.App))
-		}
-		w, err = trace.Read(tf)
-		tf.Close()
-		if err != nil {
-			return fail(err)
-		}
+	cfg.Trace = obsFlags.Tracer(run.Name)
+	m, err := machine.New(cfg)
+	if err != nil {
+		return fail(err)
 	}
 	r, err := m.Run(w)
 	if err != nil {
@@ -70,6 +83,10 @@ func execute(run config.RunSpec) outcome {
 	if err := m.CheckCoherence(); err != nil {
 		return fail(fmt.Errorf("coherence: %w", err))
 	}
+	if err := m.FlushTrace(); err != nil {
+		return fail(fmt.Errorf("trace: %w", err))
+	}
+	obsFlags.WriteMetrics(run.Name, m.MetricsSnapshot())
 	return outcome{r: r}
 }
 
@@ -79,19 +96,22 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-run summaries")
 		parallel = flag.Int("parallel", 0, "concurrent runs (0 = one per core)")
 	)
+	obsFlags = cli.NewObs(tool)
 	flag.Parse()
 	if *file == "" {
-		fatal(fmt.Errorf("-f suite file required"))
+		cli.Usagef(tool, "-f suite file required")
 	}
 	f, err := os.Open(*file)
 	if err != nil {
-		fatal(err)
+		cli.Fatalf(tool, "%v", err)
 	}
 	s, err := config.Load(f)
 	f.Close()
 	if err != nil {
-		fatal(err)
+		cli.Fatalf(tool, "%v", err)
 	}
+	cli.Check(tool, obsFlags.Start())
+	defer obsFlags.Stop()
 
 	results := runner.Map(runner.New(*parallel), s.Runs, execute)
 
@@ -99,7 +119,7 @@ func main() {
 	for i, run := range s.Runs {
 		out := results[i]
 		if out.err != nil {
-			fatal(out.err)
+			cli.Fatalf(tool, "%v", out.err)
 		}
 		r := out.r
 		if *verbose {

@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"dircoh/internal/cli"
 	"dircoh/internal/exp"
 )
 
@@ -24,7 +25,11 @@ func main() {
 		trials   = flag.Int("trials", 2000, "Monte-Carlo trials for Figure 2")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = one per core)")
 	)
+	obsFlags := cli.NewObs("sweep")
 	flag.Parse()
+	cli.Check("sweep", obsFlags.Start())
+	defer obsFlags.Stop()
+	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Metrics: obsFlags.WriteMetrics})
 	exp.SetParallelism(*parallel)
 	exp.Meter().Reset()
 	start := time.Now()

@@ -15,29 +15,36 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dircoh/internal/apps"
+	"dircoh/internal/cli"
 	"dircoh/internal/trace"
 )
 
+const tool = "tracegen"
+
 func main() {
 	var (
-		app   = flag.String("app", "LU", "application to trace")
+		app   = flag.String("app", "LU", "application to trace: "+strings.Join(apps.All(), ", "))
 		procs = flag.Int("procs", 32, "processors")
 		out   = flag.String("o", "", "output trace file")
 		info  = flag.String("info", "", "print characteristics of an existing trace file")
 	)
+	obsFlags := cli.NewObs(tool)
 	flag.Parse()
+	cli.Check(tool, obsFlags.Start())
+	defer obsFlags.Stop()
 
 	if *info != "" {
 		f, err := os.Open(*info)
 		if err != nil {
-			fatal(err)
+			cli.Fatalf(tool, "%v", err)
 		}
 		defer f.Close()
 		wl, err := trace.Read(f)
 		if err != nil {
-			fatal(err)
+			cli.Fatalf(tool, "%v", err)
 		}
 		c := wl.Characterize()
 		fmt.Printf("%s: %d processors\n", wl.Name, wl.Procs())
@@ -47,31 +54,27 @@ func main() {
 	}
 
 	if *out == "" {
-		fatal(fmt.Errorf("-o output file required (or use -info)"))
+		cli.Usagef(tool, "-o output file required (or use -info)")
 	}
-	wl := apps.ByName(*app, *procs)
-	if wl == nil {
-		fatal(fmt.Errorf("unknown app %q", *app))
+	build, err := apps.Lookup(*app)
+	if err != nil {
+		cli.Usagef(tool, "%v", err)
 	}
+	wl := build(*procs)
 	f, err := os.Create(*out)
 	if err != nil {
-		fatal(err)
+		cli.Fatalf(tool, "%v", err)
 	}
 	if err := trace.Write(f, wl); err != nil {
 		f.Close()
-		fatal(err)
+		cli.Fatalf(tool, "%v", err)
 	}
 	if err := f.Close(); err != nil {
-		fatal(err)
+		cli.Fatalf(tool, "%v", err)
 	}
 	st, _ := os.Stat(*out)
 	c := wl.Characterize()
 	fmt.Printf("wrote %s: %d refs from %d procs, %d bytes (%.2f bytes/ref)\n",
 		*out, c.SharedRefs+c.SyncOps, wl.Procs(), st.Size(),
 		float64(st.Size())/float64(c.SharedRefs+c.SyncOps))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tracegen:", err)
-	os.Exit(1)
 }

@@ -374,27 +374,3 @@ func workload(name string, builders []tango.Builder, alloc *tango.Allocator) *ta
 	}
 	return &tango.Workload{Name: name, Streams: streams, SharedBytes: alloc.TotalBytes()}
 }
-
-// ByName builds a default-sized workload by its paper name. It returns
-// nil for unknown names.
-func ByName(name string, procs int) *tango.Workload {
-	switch name {
-	case "LU", "lu":
-		return LU(DefaultLU(procs))
-	case "DWF", "dwf":
-		return DWF(DefaultDWF(procs))
-	case "MP3D", "mp3d":
-		return MP3D(DefaultMP3D(procs))
-	case "LocusRoute", "locusroute", "locus":
-		return LocusRoute(DefaultLocusRoute(procs))
-	case "FFT", "fft":
-		return FFT(DefaultFFT(procs))
-	default:
-		return nil
-	}
-}
-
-// Names lists the four applications in the paper's order. FFT, an
-// extension workload, is available via ByName but is not part of the
-// paper's evaluation set.
-func Names() []string { return []string{"LU", "DWF", "MP3D", "LocusRoute"} }

@@ -1,0 +1,68 @@
+package apps
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestNamesIsPaperOrder(t *testing.T) {
+	want := []string{"LU", "DWF", "MP3D", "LocusRoute"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+}
+
+func TestAllIncludesExtensions(t *testing.T) {
+	all := All()
+	found := false
+	for _, n := range all {
+		if n == "FFT" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("All() = %v, want FFT included", all)
+	}
+	if len(all) != len(Names())+1 {
+		t.Fatalf("All() = %v: want paper set plus FFT", all)
+	}
+}
+
+func TestLookupRoundTrip(t *testing.T) {
+	for _, name := range All() {
+		f, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		w := f(4)
+		if w == nil || w.Procs() != 4 {
+			t.Fatalf("%s: factory built %v", name, w)
+		}
+		if w.Name != name {
+			t.Errorf("%s: workload reports Name %q", name, w.Name)
+		}
+	}
+}
+
+func TestLookupAliasesAndCase(t *testing.T) {
+	for _, alias := range []string{"lu", "locus", "locusroute", "fft", "mp3d"} {
+		if _, err := Lookup(alias); err != nil {
+			t.Errorf("Lookup(%q): %v", alias, err)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	var unknown *UnknownAppError
+	_, err := Lookup("Water")
+	if !errors.As(err, &unknown) {
+		t.Fatalf("Lookup(Water) = %v, want *UnknownAppError", err)
+	}
+	if len(unknown.Valid) == 0 {
+		t.Fatal("UnknownAppError lists no valid names")
+	}
+	if ByName("Water", 4) != nil {
+		t.Fatal("ByName(Water) != nil")
+	}
+}

@@ -1,0 +1,171 @@
+// Package cli holds the plumbing shared by every command: uniform error
+// reporting and the observability flag set (-trace, -metrics, -cpuprofile,
+// -memprofile, and optionally a -pprof server) with its start/stop
+// lifecycle. Commands declare their own flags, add Obs, parse, then wrap
+// the run in Start/Stop.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+
+	"dircoh/internal/obs"
+)
+
+// Fatalf prints "tool: message" to stderr and exits with status 1 — the
+// one way commands report runtime failures.
+func Fatalf(tool, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+// Usagef is Fatalf for bad flag values; it exits with status 2, the
+// convention flag.ExitOnError uses.
+func Usagef(tool, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, fmt.Sprintf(format, args...))
+	os.Exit(2)
+}
+
+// Check is Fatalf(tool, "%v", err) when err is non-nil, a no-op otherwise.
+func Check(tool string, err error) {
+	if err != nil {
+		Fatalf(tool, "%v", err)
+	}
+}
+
+// Obs bundles the observability flags every simulation command shares.
+type Obs struct {
+	tool string
+
+	tracePath   string
+	metricsPath string
+	cpuPath     string
+	memPath     string
+	pprofAddr   string
+
+	sink *obs.JSONLSink
+
+	mu      sync.Mutex // serializes metrics blocks from concurrent runs
+	metrics *os.File
+	cpu     *os.File
+}
+
+// NewObs registers the shared observability flags on the default flag set
+// and returns the handle the command drives them through. Call before
+// flag.Parse.
+func NewObs(tool string) *Obs {
+	o := &Obs{tool: tool}
+	flag.StringVar(&o.tracePath, "trace-out", "", "write a JSONL coherence-event trace to this file")
+	flag.StringVar(&o.metricsPath, "metrics", "", "write per-run metrics dumps (name value lines) to this file")
+	flag.StringVar(&o.cpuPath, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memPath, "memprofile", "", "write a heap profile to this file on exit")
+	return o
+}
+
+// EnableServer additionally registers -pprof, which serves
+// net/http/pprof's /debug/pprof endpoints while the command runs. Call
+// before flag.Parse.
+func (o *Obs) EnableServer() *Obs {
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve /debug/pprof on this address (e.g. localhost:6060)")
+	return o
+}
+
+// Start opens the requested outputs and starts profiling. Call after
+// flag.Parse; pair with a deferred Stop.
+func (o *Obs) Start() error {
+	if o.cpuPath != "" {
+		f, err := os.Create(o.cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		o.cpu = f
+	}
+	if o.tracePath != "" {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			return err
+		}
+		o.sink = obs.NewJSONLSink(f)
+	}
+	if o.metricsPath != "" {
+		f, err := os.Create(o.metricsPath)
+		if err != nil {
+			return err
+		}
+		o.metrics = f
+	}
+	if o.pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: pprof server: %v\n", o.tool, err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "%s: pprof listening on http://%s/debug/pprof\n", o.tool, o.pprofAddr)
+	}
+	return nil
+}
+
+// Stop flushes and closes everything Start opened and writes the heap
+// profile if one was requested. Errors are fatal: a truncated trace or
+// profile silently accepted would defeat the point of asking for one.
+func (o *Obs) Stop() {
+	if o.cpu != nil {
+		pprof.StopCPUProfile()
+		Check(o.tool, o.cpu.Close())
+		o.cpu = nil
+	}
+	if o.sink != nil {
+		Check(o.tool, o.sink.Close())
+		o.sink = nil
+	}
+	if o.metrics != nil {
+		Check(o.tool, o.metrics.Close())
+		o.metrics = nil
+	}
+	if o.memPath != "" {
+		f, err := os.Create(o.memPath)
+		Check(o.tool, err)
+		runtime.GC() // materialize the final live set
+		Check(o.tool, pprof.WriteHeapProfile(f))
+		Check(o.tool, f.Close())
+	}
+}
+
+// Tracing reports whether -trace-out was given.
+func (o *Obs) Tracing() bool { return o.sink != nil }
+
+// Tracer returns a fresh tracer tagging its events with the given run
+// label, or nil when tracing is off. Each concurrently running machine
+// needs its own tracer; the shared sink serializes their batches.
+func (o *Obs) Tracer(run string) *obs.Tracer {
+	if o.sink == nil {
+		return nil
+	}
+	return obs.NewTracer(o.sink.Sub(run), 0)
+}
+
+// WriteMetrics appends one run's metrics snapshot to the -metrics file
+// (no-op when the flag is unset). Blocks are "# run <label>" headers
+// followed by sorted "name value" lines; concurrent runs are serialized.
+func (o *Obs) WriteMetrics(run string, snap obs.Snapshot) {
+	if o.metrics == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	_, err := fmt.Fprintf(o.metrics, "# run %s\n", run)
+	if err == nil {
+		err = snap.WriteText(o.metrics)
+	}
+	Check(o.tool, err)
+}

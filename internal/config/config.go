@@ -19,46 +19,19 @@ import (
 
 // SchemeSpec selects a directory entry scheme.
 type SchemeSpec struct {
-	Kind   string `json:"kind"`   // full | cv | b | nb | x (default full)
+	Kind   string `json:"kind"`   // full | cv | b | nb | x or notation like Dir3CV2 (default full)
 	Ptrs   int    `json:"ptrs"`   // pointers for limited schemes (default 3; 2 for x)
 	Region int    `json:"region"` // coarse vector region size (default 2)
 }
 
-// Factory resolves the spec to a machine.SchemeFactory.
+// Factory resolves the spec to a machine.SchemeFactory via the core
+// scheme registry.
 func (s SchemeSpec) Factory() (machine.SchemeFactory, error) {
-	ptrs := s.Ptrs
-	region := s.Region
-	if region <= 0 {
-		region = 2
+	f, err := core.ParseSpec(s.Kind, s.Ptrs, s.Region)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
 	}
-	switch strings.ToLower(s.Kind) {
-	case "", "full", "fullvec", "dir":
-		return machine.FullVec, nil
-	case "cv", "coarse":
-		if ptrs <= 0 {
-			ptrs = 3
-		}
-		return func(n int) core.Scheme { return core.NewCoarseVector(ptrs, region, n) }, nil
-	case "b", "broadcast":
-		if ptrs <= 0 {
-			ptrs = 3
-		}
-		return func(n int) core.Scheme { return core.NewLimitedBroadcast(ptrs, n) }, nil
-	case "nb", "nobroadcast":
-		if ptrs <= 0 {
-			ptrs = 3
-		}
-		return func(n int) core.Scheme {
-			return core.NewLimitedNoBroadcast(ptrs, n, core.VictimRandom, 11)
-		}, nil
-	case "x", "superset":
-		if ptrs <= 0 {
-			ptrs = 2
-		}
-		return func(n int) core.Scheme { return core.NewSuperset(ptrs, n) }, nil
-	default:
-		return nil, fmt.Errorf("config: unknown scheme kind %q", s.Kind)
-	}
+	return f, nil
 }
 
 // CacheSpec sizes the processor cache hierarchy (bytes).

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Factory builds a Scheme for a machine with the given node count.
+type Factory func(nodes int) Scheme
+
+// UnknownSchemeError reports a scheme name that is neither registered nor
+// valid paper notation. Valid lists the registered names so flag errors
+// can enumerate the choices.
+type UnknownSchemeError struct {
+	Name  string
+	Valid []string
+}
+
+func (e *UnknownSchemeError) Error() string {
+	return fmt.Sprintf("unknown scheme %q (want one of %s, or paper notation like Dir3CV2, Dir3B, Dir3NB, Dir2X, Dir32)",
+		e.Name, strings.Join(e.Valid, ", "))
+}
+
+// NotationError reports paper notation that parsed structurally but has
+// invalid parameters.
+type NotationError struct {
+	Name   string
+	Reason string
+}
+
+func (e *NotationError) Error() string {
+	return fmt.Sprintf("bad scheme notation %q: %s", e.Name, e.Reason)
+}
+
+// The package registry maps canonical names and aliases to factories.
+// Registration happens at init time; lookups after that are read-only, so
+// no locking is needed.
+var (
+	schemeNames     []string // canonical names, registration order
+	schemeFactories = make(map[string]Factory)
+)
+
+// Register adds a scheme factory under a canonical name plus optional
+// aliases. Lookups are case-insensitive. Register panics on an empty or
+// duplicate name — registration is a program-integrity matter, not input
+// validation.
+func Register(name string, f Factory, aliases ...string) {
+	if f == nil {
+		panic("core: Register with nil factory")
+	}
+	canon := strings.ToLower(name)
+	if canon == "" {
+		panic("core: Register with empty name")
+	}
+	if _, dup := schemeFactories[canon]; dup {
+		panic(fmt.Sprintf("core: scheme %q registered twice", name))
+	}
+	schemeFactories[canon] = f
+	schemeNames = append(schemeNames, name)
+	for _, a := range aliases {
+		a = strings.ToLower(a)
+		if _, dup := schemeFactories[a]; dup {
+			panic(fmt.Sprintf("core: scheme alias %q registered twice", a))
+		}
+		schemeFactories[a] = f
+	}
+}
+
+// SchemeNames returns the canonical registered scheme names in
+// registration order (aliases are not listed).
+func SchemeNames() []string {
+	return append([]string(nil), schemeNames...)
+}
+
+// Parse resolves a scheme name to its factory. It accepts registered
+// names and aliases ("full", "cv", ...) and the paper's notation:
+//
+//	Dir<P>       full bit vector (Dir32; P is fixed by the machine size)
+//	Dir<i>B      i pointers, broadcast on overflow
+//	Dir<i>NB     i pointers, never broadcast
+//	Dir<i>X      superset / composite pointers
+//	Dir<i>CV<r>  i pointers degrading to a coarse vector of region r
+//
+// Unknown names return *UnknownSchemeError; structurally valid notation
+// with bad parameters returns *NotationError.
+func Parse(name string) (Factory, error) {
+	if f, ok := schemeFactories[strings.ToLower(name)]; ok {
+		return f, nil
+	}
+	if f, ok, err := parseNotation(name); ok {
+		return f, err
+	}
+	valid := SchemeNames()
+	sort.Strings(valid)
+	return nil, &UnknownSchemeError{Name: name, Valid: valid}
+}
+
+// MustParse is Parse for statically known names; it panics on error.
+func MustParse(name string) Factory {
+	f, err := Parse(name)
+	if err != nil {
+		panic(fmt.Sprintf("core: MustParse(%q): %v", name, err))
+	}
+	return f
+}
+
+// parseNotation recognizes the paper's Dir... notation. ok reports
+// whether name is structurally notation (so the caller can fall back to
+// an unknown-name error when it is not).
+func parseNotation(name string) (f Factory, ok bool, err error) {
+	rest, found := cutPrefixFold(name, "Dir")
+	if !found || rest == "" {
+		return nil, false, nil
+	}
+	digits := rest
+	suffix := ""
+	for i := 0; i < len(rest); i++ {
+		if rest[i] < '0' || rest[i] > '9' {
+			digits, suffix = rest[:i], rest[i:]
+			break
+		}
+	}
+	if digits == "" {
+		return nil, false, nil
+	}
+	i, convErr := strconv.Atoi(digits)
+	if convErr != nil {
+		return nil, false, nil
+	}
+	bad := func(reason string) (Factory, bool, error) {
+		return nil, true, &NotationError{Name: name, Reason: reason}
+	}
+	if i < 1 {
+		return bad("pointer count must be at least 1")
+	}
+	switch strings.ToUpper(suffix) {
+	case "":
+		// DirP: the full bit vector. P documents the machine size; the
+		// actual width always follows the machine the factory builds for.
+		return func(n int) Scheme { return NewFullVector(n) }, true, nil
+	case "B":
+		return func(n int) Scheme { return NewLimitedBroadcast(i, n) }, true, nil
+	case "NB":
+		return func(n int) Scheme { return NewLimitedNoBroadcast(i, n, VictimRandom, 11) }, true, nil
+	case "X":
+		return func(n int) Scheme { return NewSuperset(i, n) }, true, nil
+	}
+	cvRest, isCV := cutPrefixFold(suffix, "CV")
+	if !isCV {
+		return bad(fmt.Sprintf("unknown suffix %q", suffix))
+	}
+	r, convErr := strconv.Atoi(cvRest)
+	if convErr != nil {
+		return bad(fmt.Sprintf("coarse vector region %q is not a number", cvRest))
+	}
+	if r < 1 {
+		return bad("coarse vector region must be at least 1")
+	}
+	return func(n int) Scheme { return NewCoarseVector(i, r, n) }, true, nil
+}
+
+// cutPrefixFold is strings.CutPrefix with ASCII case folding.
+func cutPrefixFold(s, prefix string) (rest string, ok bool) {
+	if len(s) < len(prefix) || !strings.EqualFold(s[:len(prefix)], prefix) {
+		return s, false
+	}
+	return s[len(prefix):], true
+}
+
+// ParseSpec resolves a scheme from a short kind plus explicit parameters
+// — the form command-line flags and JSON specs use. Full notation names
+// are also accepted (the parameters are then ignored). Non-positive
+// parameters select the paper's defaults: 3 pointers (2 for Dir_iX) and
+// region 2.
+func ParseSpec(kind string, ptrs, region int) (Factory, error) {
+	if region < 1 {
+		region = 2
+	}
+	defPtrs := func(def int) int {
+		if ptrs < 1 {
+			return def
+		}
+		return ptrs
+	}
+	switch strings.ToLower(kind) {
+	case "", "full", "fullvec", "dir":
+		return Parse("full")
+	case "cv", "coarse":
+		return Parse(fmt.Sprintf("Dir%dCV%d", defPtrs(3), region))
+	case "b", "broadcast":
+		return Parse(fmt.Sprintf("Dir%dB", defPtrs(3)))
+	case "nb", "nobroadcast":
+		return Parse(fmt.Sprintf("Dir%dNB", defPtrs(3)))
+	case "x", "superset":
+		return Parse(fmt.Sprintf("Dir%dX", defPtrs(2)))
+	default:
+		return Parse(kind)
+	}
+}
+
+func init() {
+	// The §5 roster under its short names. The parameterized families are
+	// reachable through notation (Dir4CV8, Dir5B, ...) via Parse.
+	Register("full", func(n int) Scheme { return NewFullVector(n) }, "fullvec", "dir")
+	Register("cv", func(n int) Scheme { return NewCoarseVector(3, 2, n) }, "coarse")
+	Register("b", func(n int) Scheme { return NewLimitedBroadcast(3, n) }, "broadcast")
+	Register("nb", func(n int) Scheme { return NewLimitedNoBroadcast(3, n, VictimRandom, 11) }, "nobroadcast")
+	Register("x", func(n int) Scheme { return NewSuperset(2, n) }, "superset")
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestRegistryRoundTrip checks that every registered scheme parses back
+// from the name it reports: Parse(f(n).Name()) rebuilds an identical
+// configuration.
+func TestRegistryRoundTrip(t *testing.T) {
+	const nodes = 32
+	for _, name := range SchemeNames() {
+		f, err := Parse(name)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", name, err)
+		}
+		s := f(nodes)
+		f2, err := Parse(s.Name())
+		if err != nil {
+			t.Fatalf("%s: Parse(%q) failed round trip: %v", name, s.Name(), err)
+		}
+		s2 := f2(nodes)
+		if s2.Name() != s.Name() {
+			t.Errorf("%s: round trip %q -> %q", name, s.Name(), s2.Name())
+		}
+		if s2.BitsPerEntry() != s.BitsPerEntry() {
+			t.Errorf("%s: round trip changed BitsPerEntry %d -> %d", name, s.BitsPerEntry(), s2.BitsPerEntry())
+		}
+	}
+}
+
+func TestParseNotation(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string // Name() at 32 nodes
+	}{
+		{"Dir32", "Dir32"},
+		{"Dir64", "Dir32"}, // width follows the machine, not the label
+		{"dir4b", "Dir4B"},
+		{"Dir4NB", "Dir4NB"},
+		{"Dir3X", "Dir3X"},
+		{"Dir4CV8", "Dir4CV8"},
+		{"full", "Dir32"},
+		{"CV", "Dir3CV2"},
+		{"broadcast", "Dir3B"},
+	}
+	for _, c := range cases {
+		f, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if got := f(32).Name(); got != c.name {
+			t.Errorf("Parse(%q)(32).Name() = %q, want %q", c.in, got, c.name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	var unknown *UnknownSchemeError
+	if _, err := Parse("bogus"); !errors.As(err, &unknown) {
+		t.Fatalf("Parse(bogus) = %v, want *UnknownSchemeError", err)
+	} else if len(unknown.Valid) == 0 {
+		t.Fatal("UnknownSchemeError lists no valid names")
+	}
+	var notation *NotationError
+	for _, bad := range []string{"Dir3CVx", "Dir0B", "Dir3CV0", "Dir3Q"} {
+		if _, err := Parse(bad); !errors.As(err, &notation) {
+			t.Errorf("Parse(%q) = %v, want *NotationError", bad, err)
+		}
+	}
+	// "Dirty" is not notation: no digits after Dir — unknown, not malformed.
+	if _, err := Parse("Dirty"); !errors.As(err, &unknown) {
+		t.Errorf("Parse(Dirty) = %v, want *UnknownSchemeError", err)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		kind         string
+		ptrs, region int
+		name         string
+	}{
+		{"full", 5, 9, "Dir32"},
+		{"", 0, 0, "Dir32"},
+		{"cv", 0, 0, "Dir3CV2"},
+		{"cv", 4, 8, "Dir4CV8"},
+		{"b", 5, 0, "Dir5B"},
+		{"nb", 0, 0, "Dir3NB"},
+		{"x", 0, 0, "Dir2X"},
+		{"Dir6B", 3, 2, "Dir6B"}, // full notation passes through
+	}
+	for _, c := range cases {
+		f, err := ParseSpec(c.kind, c.ptrs, c.region)
+		if err != nil {
+			t.Errorf("ParseSpec(%q,%d,%d): %v", c.kind, c.ptrs, c.region, err)
+			continue
+		}
+		if got := f(32).Name(); got != c.name {
+			t.Errorf("ParseSpec(%q,%d,%d) = %q, want %q", c.kind, c.ptrs, c.region, got, c.name)
+		}
+	}
+	if _, err := ParseSpec("nope", 0, 0); err == nil {
+		t.Fatal("ParseSpec(nope) did not error")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse(bogus) did not panic")
+		}
+	}()
+	MustParse("bogus")
+}

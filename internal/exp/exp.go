@@ -12,6 +12,7 @@ import (
 	"dircoh/internal/apps"
 	"dircoh/internal/cache"
 	"dircoh/internal/machine"
+	"dircoh/internal/obs"
 	"dircoh/internal/runner"
 	"dircoh/internal/sparse"
 	"dircoh/internal/stats"
@@ -44,11 +45,11 @@ type Run struct {
 
 // Workload builds the named application at its default experiment size.
 func Workload(app string, procs int) *tango.Workload {
-	w := apps.ByName(app, procs)
-	if w == nil {
-		panic(fmt.Sprintf("exp: unknown application %q", app))
+	f, err := apps.Lookup(app)
+	if err != nil {
+		panic(fmt.Sprintf("exp: %v", err))
 	}
-	return w
+	return f(procs)
 }
 
 // RunApp simulates one application under one scheme with the prototype's
@@ -81,6 +82,13 @@ func SparseWorkload(app string, procs int) *tango.Workload {
 
 func runWorkload(app string, w *tango.Workload, cfg machine.Config, label string) Run {
 	start := time.Now()
+	ob := currentObserver()
+	name := app + "/" + label
+	var tr *obs.Tracer
+	if ob.Tracer != nil {
+		tr = ob.Tracer(name)
+		cfg.Trace = tr
+	}
 	m, err := machine.New(cfg)
 	if err != nil {
 		panic(err)
@@ -91,6 +99,12 @@ func runWorkload(app string, w *tango.Workload, cfg machine.Config, label string
 	}
 	if err := m.CheckCoherence(); err != nil {
 		panic(fmt.Sprintf("exp: %s/%s coherence: %v", app, label, err))
+	}
+	if err := tr.Flush(); err != nil {
+		panic(fmt.Sprintf("exp: %s trace: %v", name, err))
+	}
+	if ob.Metrics != nil {
+		ob.Metrics(name, m.MetricsSnapshot())
 	}
 	meter.Record(time.Since(start), uint64(r.ExecTime))
 	return Run{App: app, Label: label, Result: r}

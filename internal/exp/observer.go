@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"sync"
+
+	"dircoh/internal/obs"
+)
+
+// Observer supplies per-run observability to the experiment drivers.
+// Tracer, when non-nil, is called before each machine is built and must
+// return a tracer private to that run (runs execute concurrently on the
+// pool) or nil to leave that run untraced. Metrics, when non-nil,
+// receives each finished run's metrics snapshot. The run label is
+// "app/label", matching the figures' row captions.
+type Observer struct {
+	Tracer  func(run string) *obs.Tracer
+	Metrics func(run string, snap obs.Snapshot)
+}
+
+var (
+	observerMu sync.RWMutex
+	observer   Observer
+)
+
+// SetObserver installs the hooks used by every subsequent run. Call it
+// before starting a sweep; the zero Observer disables both hooks.
+func SetObserver(o Observer) {
+	observerMu.Lock()
+	observer = o
+	observerMu.Unlock()
+}
+
+func currentObserver() Observer {
+	observerMu.RLock()
+	defer observerMu.RUnlock()
+	return observer
+}

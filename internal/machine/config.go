@@ -6,27 +6,29 @@ import (
 	"dircoh/internal/cache"
 	"dircoh/internal/core"
 	"dircoh/internal/mesh"
+	"dircoh/internal/obs"
 	"dircoh/internal/sim"
 	"dircoh/internal/sparse"
 )
 
 // SchemeFactory builds a directory entry scheme for a given cluster count.
-type SchemeFactory func(clusters int) core.Scheme
+// It is the registry's factory type, so anything core.Parse returns plugs
+// straight into Config.Scheme.
+type SchemeFactory = core.Factory
 
-// Standard scheme factories matching the paper's §5 roster.
+// Standard scheme factories matching the paper's §5 roster, resolved
+// through the core registry.
 var (
 	// FullVec is Dir_P, the full bit vector.
-	FullVec SchemeFactory = func(n int) core.Scheme { return core.NewFullVector(n) }
+	FullVec = core.MustParse("full")
 	// CoarseVec2 is Dir3CV2, the paper's coarse vector configuration.
-	CoarseVec2 SchemeFactory = func(n int) core.Scheme { return core.NewCoarseVector(3, 2, n) }
+	CoarseVec2 = core.MustParse("cv")
 	// Broadcast is Dir3B.
-	Broadcast SchemeFactory = func(n int) core.Scheme { return core.NewLimitedBroadcast(3, n) }
+	Broadcast = core.MustParse("b")
 	// NoBroadcast is Dir3NB with random victim pointers.
-	NoBroadcast SchemeFactory = func(n int) core.Scheme {
-		return core.NewLimitedNoBroadcast(3, n, core.VictimRandom, 11)
-	}
+	NoBroadcast = core.MustParse("nb")
 	// SupersetX is Dir2X.
-	SupersetX SchemeFactory = func(n int) core.Scheme { return core.NewSuperset(2, n) }
+	SupersetX = core.MustParse("x")
 )
 
 // SparseConfig enables the sparse directory when Entries > 0.
@@ -95,6 +97,18 @@ type Config struct {
 	Mesh            mesh.Config // zero value -> mesh.DefaultConfig
 	Timing          Timing      // zero value -> DefaultTiming
 	Seed            int64
+
+	// Metrics, when non-nil, is the registry the machine (and its mesh,
+	// directories, gates and RACs) records into; a private registry is
+	// created when nil, readable via Machine.MetricsSnapshot. A machine is
+	// single-writer and reads its own counters back into Result, so a
+	// registry must not be shared between machines.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives structured coherence events (request
+	// issues, directory lookups, invalidation fan-outs, overflow bursts,
+	// directory evictions, lock retries). nil disables tracing at the cost
+	// of one pointer test per would-be event.
+	Trace *obs.Tracer
 }
 
 // DefaultConfig returns the paper's main experimental setup: 32 processors
@@ -114,7 +128,10 @@ func DefaultConfig(scheme SchemeFactory) Config {
 // Clusters returns the cluster count implied by the configuration.
 func (c *Config) Clusters() int { return c.Procs / c.ProcsPerCluster }
 
-func (c *Config) validate() error {
+// Validate checks the configuration for every error New would otherwise
+// trip over, so drivers can report bad flag combinations before building
+// anything.
+func (c *Config) Validate() error {
 	if c.Procs <= 0 || c.ProcsPerCluster <= 0 {
 		return fmt.Errorf("machine: Procs and ProcsPerCluster must be positive")
 	}
@@ -132,6 +149,12 @@ func (c *Config) validate() error {
 	}
 	if c.Overflow != nil && (c.Overflow.Ptrs <= 0 || c.Overflow.WideEntries <= 0) {
 		return fmt.Errorf("machine: Overflow needs positive Ptrs and WideEntries")
+	}
+	if c.Sparse.Entries < 0 {
+		return fmt.Errorf("machine: Sparse.Entries must not be negative")
+	}
+	if c.Sparse.Entries > 0 && c.Sparse.Assoc < 0 {
+		return fmt.Errorf("machine: Sparse.Assoc must not be negative")
 	}
 	if c.Cache.Block != 0 && c.Cache.Block != c.Block {
 		return fmt.Errorf("machine: cache block (%d) differs from machine block (%d)", c.Cache.Block, c.Block)

@@ -6,6 +6,7 @@ import (
 	"dircoh/internal/cache"
 	"dircoh/internal/core"
 	"dircoh/internal/mesh"
+	"dircoh/internal/obs"
 	"dircoh/internal/protocol"
 	"dircoh/internal/sim"
 	"dircoh/internal/sparse"
@@ -25,13 +26,21 @@ type Machine struct {
 	locks    *protocol.LockTable
 	barriers *protocol.BarrierTable
 
-	msgs        stats.MsgCounts
-	invalHist   stats.Histogram // invalidations per invalidation event (Figs 3-6)
-	replHist    stats.Histogram // invalidations per sparse replacement
-	lockRetries uint64
-	mergedReads uint64
-	readLat     stats.LatHist // read completion latency
-	writeLat    stats.LatHist // write completion latency (to ownership)
+	// Observability. Metric handles are resolved once in New; recording
+	// is a plain increment. The tracer is nil when tracing is off.
+	reg         *obs.Registry
+	tr          *obs.Tracer
+	kindCtr     [protocol.NumMsgKinds]*obs.Counter // per-message-kind counters ("msg.<kind>")
+	lockRetries *obs.Counter                       // "lock.retries"
+	mergedReads *obs.Counter                       // "rac.merged.reads": misses merged onto an outstanding request
+	extraInval  *obs.Counter                       // "dir.inval.extraneous": invalidations that found no copy
+	invalFan    *obs.Histogram                     // "dir.inval.fanout"
+	replFan     *obs.Histogram                     // "dir.repl.fanout"
+
+	invalHist stats.Histogram // invalidations per invalidation event (Figs 3-6)
+	replHist  stats.Histogram // invalidations per sparse replacement
+	readLat   stats.LatHist   // read completion latency
+	writeLat  stats.LatHist   // write completion latency (to ownership)
 
 	// debugBlock, when >= 0, records a timeline of events touching that
 	// block (test diagnostics only).
@@ -101,9 +110,10 @@ type proc struct {
 	opStart       sim.Time
 }
 
-// New builds a machine from cfg.
+// New builds a machine from cfg. Configurations that fail Validate are
+// reported as errors, never panics.
 func New(cfg Config) (*Machine, error) {
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.Timing == (Timing{}) {
@@ -122,16 +132,34 @@ func New(cfg Config) (*Machine, error) {
 	}
 	cfg.Mesh.Nodes = clusters
 
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	cfg.Mesh.Metrics = reg
+
 	m := &Machine{
-		cfg:        cfg,
-		t:          cfg.Timing,
-		net:        mesh.New(cfg.Mesh),
-		scheme:     cfg.Scheme(clusters),
-		debugBlock: -1,
+		cfg:         cfg,
+		t:           cfg.Timing,
+		net:         mesh.New(cfg.Mesh),
+		scheme:      cfg.Scheme(clusters),
+		reg:         reg,
+		tr:          cfg.Trace,
+		lockRetries: reg.Counter("lock.retries"),
+		mergedReads: reg.Counter("rac.merged.reads"),
+		extraInval:  reg.Counter("dir.inval.extraneous"),
+		invalFan:    reg.Histogram("dir.inval.fanout", nil),
+		replFan:     reg.Histogram("dir.repl.fanout", nil),
+		debugBlock:  -1,
+	}
+	for k := range m.kindCtr {
+		m.kindCtr[k] = reg.Counter(protocol.MsgKind(k).MetricName())
 	}
 	m.locks = protocol.NewLockTable(m.scheme)
 	m.barriers = protocol.NewBarrierTable(cfg.Procs)
 
+	gateWaits := reg.Counter("gate.waits")
+	racPending := reg.Gauge("rac.pending")
 	for c := 0; c < clusters; c++ {
 		var dir sparse.Directory
 		if cfg.Overflow != nil {
@@ -142,6 +170,7 @@ func New(cfg Config) (*Machine, error) {
 				Assoc:       cfg.Overflow.Assoc,
 				Policy:      cfg.Overflow.Policy,
 				Seed:        cfg.Seed + int64(c),
+				Metrics:     reg,
 			})
 		} else if cfg.Sparse.Entries > 0 {
 			assoc := cfg.Sparse.Assoc
@@ -154,15 +183,20 @@ func New(cfg Config) (*Machine, error) {
 				Assoc:   assoc,
 				Policy:  cfg.Sparse.Policy,
 				Seed:    cfg.Seed + int64(c),
+				Metrics: reg,
 			})
 		} else {
-			dir = sparse.NewFullMap(m.scheme)
+			dir = sparse.NewFullMap(m.scheme, reg)
 		}
+		gate := protocol.NewGate()
+		gate.Waits = gateWaits
+		rac := protocol.NewRAC()
+		rac.Pend = racPending
 		m.clusters = append(m.clusters, &clusterNode{
 			id:            c,
 			dir:           dir,
-			gate:          protocol.NewGate(),
-			rac:           protocol.NewRAC(),
+			gate:          gate,
+			rac:           rac,
 			pendingReads:  make(map[int64][]*proc),
 			poisonedReads: make(map[int64]bool),
 			pendingWrite:  make(map[int64]bool),
@@ -260,9 +294,26 @@ func (m *Machine) send(kind protocol.MsgKind, from, to int, arrive func()) {
 	if from == to {
 		panic(fmt.Sprintf("machine: message %v from cluster %d to itself", kind, from))
 	}
-	m.msgs.Add(kind.Class(), 1)
+	m.kindCtr[kind].Inc()
 	m.eng.At(m.net.SendAt(m.eng.Now(), from, to), arrive)
 }
+
+// trace emits one structured event when tracing is on. The nil test is the
+// whole disabled-path cost.
+func (m *Machine) trace(kind obs.EventKind, node int, block, arg int64) {
+	if m.tr == nil {
+		return
+	}
+	m.tr.Emit(obs.Event{T: m.eng.Now(), Node: int32(node), Kind: kind, Block: block, Arg: arg})
+}
+
+// MetricsSnapshot freezes the machine's metrics registry — every named
+// counter, gauge and histogram the run recorded.
+func (m *Machine) MetricsSnapshot() obs.Snapshot { return m.reg.Snapshot() }
+
+// FlushTrace drains the tracer's pending events to its sink and reports
+// the first sink error. It is safe to call with tracing disabled.
+func (m *Machine) FlushTrace() error { return m.tr.Flush() }
 
 // complete schedules p's next reference at time at.
 func (m *Machine) complete(p *proc, at sim.Time) {

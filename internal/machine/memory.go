@@ -4,6 +4,7 @@ import (
 	"dircoh/internal/bitset"
 	"dircoh/internal/cache"
 	"dircoh/internal/core"
+	"dircoh/internal/obs"
 	"dircoh/internal/protocol"
 	"dircoh/internal/sim"
 	"dircoh/internal/sparse"
@@ -117,7 +118,7 @@ func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
 			// Another local processor's ownership request is in flight;
 			// retry over the bus when it completes.
 			c.writeWaiters[b] = append(c.writeWaiters[b], mshrWaiter{p: p, write: true})
-			m.mergedReads++
+			m.mergedReads.Inc()
 			return
 		}
 		c.pendingWrite[b] = true
@@ -125,6 +126,7 @@ func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
 		if upgrade {
 			kind = protocol.UpgradeReq
 		}
+		m.trace(obs.EvReqIssue, c.id, b, int64(kind))
 		m.send(kind, c.id, home, func() { m.remoteWriteAtHome(p, b, upgrade) })
 		return
 	}
@@ -133,7 +135,7 @@ func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
 	// be superseded, so park and retry once the write lands.
 	if c.pendingWrite[b] {
 		c.writeWaiters[b] = append(c.writeWaiters[b], mshrWaiter{p: p})
-		m.mergedReads++
+		m.mergedReads.Inc()
 		return
 	}
 	// Another local cache can supply the data directly.
@@ -166,10 +168,11 @@ func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
 	// second request.
 	if followers, ok := c.pendingReads[b]; ok {
 		c.pendingReads[b] = append(followers, p)
-		m.mergedReads++
+		m.mergedReads.Inc()
 		return
 	}
 	c.pendingReads[b] = nil
+	m.trace(obs.EvReqIssue, c.id, b, int64(protocol.ReadReq))
 	m.send(protocol.ReadReq, c.id, home, func() { m.remoteReadAtHome(p, b) })
 }
 
@@ -193,13 +196,25 @@ func (m *Machine) remoteReadDone(p *proc, b int64) {
 // invalidateCluster removes block b from every cache of cluster c and, if
 // c has a read outstanding for b, poisons it so the in-flight reply is
 // consumed without caching (the invalidation logically follows the read).
-func (m *Machine) invalidateCluster(c *clusterNode, b int64) {
+// A directed invalidation that finds neither a cached copy nor a pending
+// read was extraneous — sent only because the directory's sharer
+// information is imprecise (coarse regions, broadcasts, stale bits).
+// directed is false for the home-bus snoop, which is issued
+// unconditionally and so says nothing about directory precision.
+func (m *Machine) invalidateCluster(c *clusterNode, b int64, directed bool) {
 	m.debugf(b, "invalidateCluster c%d", c.id)
+	hit := false
 	for _, q := range c.procs {
-		q.h.Invalidate(b)
+		if present, _ := q.h.Invalidate(b); present {
+			hit = true
+		}
 	}
 	if _, ok := c.pendingReads[b]; ok {
 		c.poisonedReads[b] = true
+		hit = true
+	}
+	if directed && !hit {
+		m.extraInval.Inc()
 	}
 }
 
@@ -308,6 +323,7 @@ func (m *Machine) homeLocalWrite(p *proc, b int64) {
 			h.dir.Release(m.dirKey(b))
 		}
 		m.invalHist.Add(0)
+		m.invalFan.Observe(0)
 		m.fill(p, b, cache.Dirty)
 		m.complete(p, now+m.t.Fill)
 		return
@@ -323,7 +339,7 @@ func (m *Machine) homeLocalWrite(p *proc, b int64) {
 			oc := m.clusters[owner]
 			done := m.busOp(oc, m.t.InvalBus)
 			m.eng.At(done, func() {
-				m.invalidateCluster(oc, b)
+				m.invalidateCluster(oc, b, true)
 				m.send(protocol.OwnershipReply, owner, h.id, func() {
 					m.fill(p, b, cache.Dirty)
 					m.complete(p, m.eng.Now()+m.t.Fill)
@@ -339,6 +355,10 @@ func (m *Machine) homeLocalWrite(p *proc, b int64) {
 	targets.Remove(h.id)
 	n := targets.Count()
 	m.invalHist.Add(n)
+	m.invalFan.Observe(uint64(n))
+	if n > 0 && !e.Precise() {
+		m.trace(obs.EvOverflow, h.id, b, int64(n))
+	}
 	e.Reset()
 	h.dir.Release(m.dirKey(b))
 	p.pendingAcks += n
@@ -352,6 +372,9 @@ func (m *Machine) homeLocalWrite(p *proc, b int64) {
 // ackTo. The requester's own cluster is never a target (callers exclude
 // it), so acknowledgements always travel the network, as in DASH.
 func (m *Machine) sendInvals(h *clusterNode, b int64, targets bitset.Set, ackTo *proc) {
+	if n := targets.Count(); n > 0 {
+		m.trace(obs.EvInvalFanout, h.id, b, int64(n))
+	}
 	// The directory injects invalidations at a finite rate; a broadcast
 	// keeps the controller busy and delays requests queued behind it.
 	m.occupyDir(h, m.t.InvalSend*sim.Time(targets.Count()))
@@ -360,7 +383,7 @@ func (m *Machine) sendInvals(h *clusterNode, b int64, targets bitset.Set, ackTo 
 		m.send(protocol.Inval, h.id, t, func() {
 			done := m.busOp(tc, m.t.InvalBus)
 			m.eng.At(done, func() {
-				m.invalidateCluster(tc, b)
+				m.invalidateCluster(tc, b, true)
 				m.send(protocol.AckMsg, t, ackTo.cl.id, func() { m.ackArrived(ackTo) })
 			})
 		})
@@ -370,6 +393,7 @@ func (m *Machine) sendInvals(h *clusterNode, b int64, targets bitset.Set, ackTo 
 // remoteReadAtHome runs when a ReadReq arrives at the home cluster.
 func (m *Machine) remoteReadAtHome(p *proc, b int64) {
 	h := m.clusters[m.home(b)]
+	m.trace(obs.EvDirLookup, h.id, b, 0)
 	done := m.dirOp(h, m.t.Dir)
 	m.eng.At(done, func() { m.serveRemoteRead(p, b, h) })
 }
@@ -433,6 +457,7 @@ func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode) {
 // remoteWriteAtHome runs when a WriteReq/UpgradeReq arrives at the home.
 func (m *Machine) remoteWriteAtHome(p *proc, b int64, upgrade bool) {
 	h := m.clusters[m.home(b)]
+	m.trace(obs.EvDirLookup, h.id, b, 1)
 	done := m.dirOp(h, m.t.Dir)
 	m.eng.At(done, func() { m.serveRemoteWrite(p, b, h, upgrade) })
 }
@@ -458,7 +483,7 @@ func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade boo
 			oc := m.clusters[owner]
 			done := m.busOp(oc, m.t.InvalBus)
 			m.eng.At(done, func() {
-				m.invalidateCluster(oc, b)
+				m.invalidateCluster(oc, b, true)
 				m.send(protocol.OwnershipReply, owner, rc, func() {
 					m.remoteWriteDone(p, b, upgrade)
 					h.gate.Unlock(b)
@@ -479,9 +504,13 @@ func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade boo
 	targets.Remove(rc)
 	targets.Remove(h.id)
 	// Home-bus snoop invalidates home-cluster copies without messages.
-	m.invalidateCluster(h, b)
+	m.invalidateCluster(h, b, false)
 	n := targets.Count()
 	m.invalHist.Add(n)
+	m.invalFan.Observe(uint64(n))
+	if n > 0 && !e.Precise() {
+		m.trace(obs.EvOverflow, h.id, b, int64(n))
+	}
 	e.SetDirty(rc)
 	m.drainDirVictims(h)
 	p.pendingAcks += n
@@ -526,6 +555,8 @@ func (m *Machine) handleNBEvictions(h *clusterNode, b int64, ev []core.NodeID) {
 		return
 	}
 	m.invalHist.Add(len(ev))
+	m.invalFan.Observe(uint64(len(ev)))
+	m.trace(obs.EvInvalFanout, h.id, b, int64(len(ev)))
 	m.occupyDir(h, m.t.InvalSend*sim.Time(len(ev)))
 	for _, v := range ev {
 		if v == h.id {
@@ -536,7 +567,7 @@ func (m *Machine) handleNBEvictions(h *clusterNode, b int64, ev []core.NodeID) {
 		m.send(protocol.Inval, h.id, v, func() {
 			done := m.busOp(vc, m.t.InvalBus)
 			m.eng.At(done, func() {
-				m.invalidateCluster(vc, b)
+				m.invalidateCluster(vc, b, true)
 				m.send(protocol.AckMsg, v, h.id, func() {})
 			})
 		})
@@ -579,6 +610,8 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 	if ve.Dirty() {
 		owner := ve.Owner()
 		m.replHist.Add(1)
+		m.replFan.Observe(1)
+		m.trace(obs.EvDirEvict, h.id, vb, 1)
 		m.occupyDir(h, m.t.InvalSend)
 		h.gate.Lock(vb)
 		h.rac.Start(vb, 1)
@@ -586,7 +619,7 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 		m.send(protocol.Flush, h.id, owner, func() {
 			done := m.busOp(oc, m.t.InvalBus)
 			m.eng.At(done, func() {
-				m.invalidateCluster(oc, vb)
+				m.invalidateCluster(oc, vb, true)
 				m.send(protocol.AckMsg, owner, h.id, func() { m.racAck(h, vb) })
 			})
 		})
@@ -599,6 +632,8 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 		return
 	}
 	m.replHist.Add(n)
+	m.replFan.Observe(uint64(n))
+	m.trace(obs.EvDirEvict, h.id, vb, int64(n))
 	m.occupyDir(h, m.t.InvalSend*sim.Time(n))
 	h.gate.Lock(vb)
 	h.rac.Start(vb, n)
@@ -607,7 +642,7 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 		m.send(protocol.Inval, h.id, t, func() {
 			done := m.busOp(tc, m.t.InvalBus)
 			m.eng.At(done, func() {
-				m.invalidateCluster(tc, vb)
+				m.invalidateCluster(tc, vb, true)
 				m.send(protocol.AckMsg, t, h.id, func() { m.racAck(h, vb) })
 			})
 		})

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"dircoh/internal/core"
+	"dircoh/internal/obs"
 	"dircoh/internal/protocol"
 )
 
@@ -11,7 +12,8 @@ import (
 // regions that then re-contend.
 func (m *Machine) lockAcquire(p *proc, addr int64, retry bool) {
 	if retry {
-		m.lockRetries++
+		m.lockRetries.Inc()
+		m.trace(obs.EvRetry, p.cl.id, addr, 0)
 	}
 	home := m.home(m.block(addr))
 	if home == p.cl.id {

@@ -6,6 +6,7 @@ import (
 
 	"dircoh/internal/cache"
 	"dircoh/internal/mesh"
+	"dircoh/internal/protocol"
 	"dircoh/internal/sim"
 	"dircoh/internal/sparse"
 	"dircoh/internal/stats"
@@ -32,17 +33,35 @@ type Result struct {
 	DirPeak      int // peak simultaneously-live directory entries, machine-wide
 }
 
+// result builds the Result from the machine's metrics-registry snapshot
+// plus the exact per-count histograms the figures need. The paper's four
+// message classes are sums of the per-kind "msg.<kind>" counters; the
+// directory aggregate reads the shared "dir.*" counters (summing the
+// per-cluster directories' Stats() would double-count, since they all
+// record into the machine registry).
 func (m *Machine) result() *Result {
+	snap := m.reg.Snapshot()
+	var msgs stats.MsgCounts
+	for k := 0; k < protocol.NumMsgKinds; k++ {
+		kind := protocol.MsgKind(k)
+		msgs[kind.Class()] += snap.Counter(kind.MetricName())
+	}
 	r := &Result{
 		Scheme:      m.scheme.Name(),
-		Msgs:        m.msgs,
+		Msgs:        msgs,
 		InvalHist:   m.invalHist,
 		ReplHist:    m.replHist,
 		Net:         m.net.Stats(),
-		LockRetries: m.lockRetries,
-		MergedReads: m.mergedReads,
+		LockRetries: snap.Counter("lock.retries"),
+		MergedReads: snap.Counter("rac.merged.reads"),
 		ReadLat:     m.readLat,
 		WriteLat:    m.writeLat,
+		Dir: sparse.Stats{
+			Lookups:      snap.Counter("dir.lookup"),
+			Hits:         snap.Counter("dir.hit"),
+			Allocations:  snap.Counter("dir.alloc"),
+			Replacements: snap.Counter("sparse.evict"),
+		},
 	}
 	for _, p := range m.procs {
 		if p.finish > r.ExecTime {
@@ -59,11 +78,6 @@ func (m *Machine) result() *Result {
 		r.Cache.DirtyEv += cs.DirtyEv
 	}
 	for _, c := range m.clusters {
-		ds := c.dir.Stats()
-		r.Dir.Lookups += ds.Lookups
-		r.Dir.Hits += ds.Hits
-		r.Dir.Allocations += ds.Allocations
-		r.Dir.Replacements += ds.Replacements
 		if peak := c.rac.Peak(); peak > r.RACPeak {
 			r.RACPeak = peak
 		}

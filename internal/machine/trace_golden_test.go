@@ -1,0 +1,71 @@
+package machine
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dircoh/internal/apps"
+	"dircoh/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestTraceGoldenLU runs a small LU decomposition under Dir3CV2 and
+// compares the JSONL event trace byte-for-byte against the checked-in
+// golden. The simulator is deterministic, so any drift in event content,
+// ordering or encoding is a real behavior change. Regenerate with:
+//
+//	go test ./internal/machine -run TraceGoldenLU -update
+func TestTraceGoldenLU(t *testing.T) {
+	w := apps.LU(apps.LUConfig{Procs: 4, N: 16})
+	var buf bytes.Buffer
+	sink := obs.NewJSONLSink(&buf)
+	cfg := testConfig(4, CoarseVec2)
+	cfg.Trace = obs.NewTracer(sink.Sub("LU/"+CoarseVec2(4).Name()), 64)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.FlushTrace(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "trace_lu4.jsonl")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", golden, buf.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	got := buf.Bytes()
+	if bytes.Equal(got, want) {
+		return
+	}
+	gotLines := bytes.Split(got, []byte("\n"))
+	wantLines := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if !bytes.Equal(gotLines[i], wantLines[i]) {
+			t.Fatalf("trace differs from golden at line %d:\n got: %s\nwant: %s",
+				i+1, gotLines[i], wantLines[i])
+		}
+	}
+	t.Fatalf("trace differs from golden in length: got %d lines, want %d",
+		len(gotLines), len(wantLines))
+}

@@ -8,6 +8,7 @@ package mesh
 import (
 	"fmt"
 
+	"dircoh/internal/obs"
 	"dircoh/internal/sim"
 )
 
@@ -20,6 +21,11 @@ type Config struct {
 	// delivery occupies the destination's network port for PortTime
 	// cycles, so bursts (e.g. broadcast invalidations) queue up.
 	PortTime sim.Time
+	// Metrics, when non-nil, is the registry the mesh records into
+	// (mesh.msgs, mesh.hops, mesh.maxhops, mesh.stalls). A private
+	// registry is created when nil. The mesh is single-writer; do not
+	// share one registry between meshes driven from different goroutines.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns latencies calibrated so that, combined with the
@@ -29,15 +35,18 @@ func DefaultConfig(nodes int) Config {
 	return Config{Nodes: nodes, Base: 10, PerHop: 2}
 }
 
-// Mesh is a 2-D mesh network. Endpoints are numbered row-major.
+// Mesh is a 2-D mesh network. Endpoints are numbered row-major. The
+// traffic counters live in a metrics registry (see Config.Metrics); the
+// handles below are resolved once at construction so recording is a plain
+// increment.
 type Mesh struct {
 	cfg      Config
 	w, h     int
-	msgs     uint64
-	hops     uint64
-	maxHop   int
-	portFree []sim.Time // per-endpoint ejection port availability
-	stalls   uint64     // deliveries delayed by port contention
+	msgs     *obs.Counter
+	hops     *obs.Counter
+	maxHop   *obs.Gauge
+	portFree []sim.Time   // per-endpoint ejection port availability
+	stalls   *obs.Counter // deliveries delayed by port contention
 }
 
 // New builds the most nearly square mesh that holds cfg.Nodes endpoints.
@@ -51,10 +60,18 @@ func New(cfg Config) *Mesh {
 	}
 	// Shrink width while the grid still fits, to get the tightest box.
 	h := (cfg.Nodes + w - 1) / w
-	for (w-1)*h >= cfg.Nodes {
-		w--
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
-	return &Mesh{cfg: cfg, w: w, h: h, portFree: make([]sim.Time, cfg.Nodes)}
+	return &Mesh{
+		cfg: cfg, w: w, h: h,
+		msgs:     reg.Counter("mesh.msgs"),
+		hops:     reg.Counter("mesh.hops"),
+		maxHop:   reg.Gauge("mesh.maxhops"),
+		stalls:   reg.Counter("mesh.stalls"),
+		portFree: make([]sim.Time, cfg.Nodes),
+	}
 }
 
 // Dims returns the mesh width and height.
@@ -94,11 +111,9 @@ func (m *Mesh) Latency(a, b int) sim.Time {
 // Send records one message from a to b and returns its transit time.
 func (m *Mesh) Send(a, b int) sim.Time {
 	h := m.Hops(a, b)
-	m.msgs++
-	m.hops += uint64(h)
-	if h > m.maxHop {
-		m.maxHop = h
-	}
+	m.msgs.Inc()
+	m.hops.Add(uint64(h))
+	m.maxHop.Set(int64(h)) // the gauge's high-water mark tracks the max
 	return m.cfg.Base + sim.Time(h)*m.cfg.PerHop
 }
 
@@ -113,7 +128,7 @@ func (m *Mesh) SendAt(now sim.Time, a, b int) sim.Time {
 	}
 	if m.portFree[b] > arrive {
 		arrive = m.portFree[b]
-		m.stalls++
+		m.stalls.Inc()
 	}
 	m.portFree[b] = arrive + m.cfg.PortTime
 	return arrive
@@ -129,13 +144,18 @@ type Stats struct {
 
 // Stats returns cumulative counters.
 func (m *Mesh) Stats() Stats {
-	return Stats{Messages: m.msgs, Hops: m.hops, MaxHops: m.maxHop, Stalls: m.stalls}
+	return Stats{
+		Messages: m.msgs.Value(),
+		Hops:     m.hops.Value(),
+		MaxHops:  int(m.maxHop.Max()),
+		Stalls:   m.stalls.Value(),
+	}
 }
 
 // AvgHops returns the mean hops per message (0 if no messages were sent).
 func (m *Mesh) AvgHops() float64 {
-	if m.msgs == 0 {
+	if m.msgs.Value() == 0 {
 		return 0
 	}
-	return float64(m.hops) / float64(m.msgs)
+	return float64(m.hops.Value()) / float64(m.msgs.Value())
 }

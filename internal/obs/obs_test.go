@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("msg.request")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("msg.request").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("rac.pending")
+	g.Add(3)
+	g.Add(-1)
+	g.Set(7)
+	g.Add(-7)
+	if g.Value() != 0 || g.Max() != 7 {
+		t.Fatalf("gauge = %d max %d, want 0 max 7", g.Value(), g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("inval.fanout", []uint64{0, 2, 8})
+	for _, v := range []uint64{0, 1, 2, 3, 8, 9, 100} {
+		h.Observe(v)
+	}
+	want := []uint64{1, 2, 2, 2} // <=0, <=2, <=8, overflow
+	for i, w := range want {
+		if h.Bucket(i) != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Bucket(i), w)
+		}
+	}
+	if h.Count() != 7 || h.Sum() != 123 {
+		t.Fatalf("count %d sum %d, want 7, 123", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("same name returned different counters")
+	}
+	if r.Histogram("h", nil) != r.Histogram("h", []uint64{1}) {
+		t.Fatal("existing histogram was replaced")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad metric name did not panic")
+		}
+	}()
+	r.Counter("has space")
+}
+
+func TestSnapshotText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.two").Add(2)
+	r.Counter("a.one").Inc()
+	r.Gauge("g").Set(3)
+	r.Histogram("h", []uint64{1}).Observe(1)
+	s := r.Snapshot()
+	text := s.String()
+	want := "a.one 1\nb.two 2\ng 3 (max 3)\nh count 1 sum 1 mean 1.00\n"
+	if text != want {
+		t.Fatalf("snapshot text:\n%s\nwant:\n%s", text, want)
+	}
+	if s.Counter("a.one") != 1 || s.Counter("missing") != 0 {
+		t.Fatal("snapshot counter lookup wrong")
+	}
+	// The snapshot is frozen: later increments must not leak in.
+	r.Counter("a.one").Add(10)
+	if s.Counter("a.one") != 1 {
+		t.Fatal("snapshot not isolated from registry")
+	}
+}
+
+func TestTracerRingFlush(t *testing.T) {
+	mem := &MemSink{}
+	tr := NewTracer(mem, 4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{T: uint64(i), Kind: EvReqIssue})
+	}
+	if len(mem.Events) != 8 {
+		t.Fatalf("sink saw %d events before Flush, want 8 (two full rings)", len(mem.Events))
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Events) != 10 {
+		t.Fatalf("sink saw %d events after Flush, want 10", len(mem.Events))
+	}
+	for i, ev := range mem.Events {
+		if ev.T != uint64(i) {
+			t.Fatalf("event %d has T=%d; order not preserved", i, ev.T)
+		}
+	}
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	sub := sink.Sub("LU/Dir32")
+	tr := NewTracer(sub, 2)
+	tr.Emit(Event{T: 5, Node: 1, Kind: EvInvalFanout, Block: 9, Arg: 3})
+	tr.Emit(Event{T: 6, Node: 2, Kind: EvRetry, Block: 64})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var rec struct {
+		Run   string `json:"run"`
+		T     uint64 `json:"t"`
+		Node  int32  `json:"node"`
+		Ev    string `json:"ev"`
+		Block int64  `json:"block"`
+		N     int64  `json:"n"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line not valid JSON: %v\n%s", err, lines[0])
+	}
+	if rec.Run != "LU/Dir32" || rec.T != 5 || rec.Node != 1 || rec.Ev != "inval.fanout" || rec.Block != 9 || rec.N != 3 {
+		t.Fatalf("decoded %+v", rec)
+	}
+	kind, err := ParseEventKind(rec.Ev)
+	if err != nil || kind != EvInvalFanout {
+		t.Fatalf("ParseEventKind(%q) = %v, %v", rec.Ev, kind, err)
+	}
+}
+
+func TestEventKindNamesRoundTrip(t *testing.T) {
+	for k := EventKind(0); k < numEventKinds; k++ {
+		got, err := ParseEventKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("round trip %v: got %v, %v", k, got, err)
+		}
+	}
+	if _, err := ParseEventKind("nope"); err == nil {
+		t.Fatal("unknown kind did not error")
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkTracerEmitDiscard(b *testing.B) {
+	tr := NewTracer(Discard, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{T: uint64(i), Kind: EvDirLookup, Block: int64(i)})
+	}
+}

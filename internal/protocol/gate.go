@@ -1,5 +1,7 @@
 package protocol
 
+import "dircoh/internal/obs"
+
 // Gate serializes conflicting transactions on the same memory block at its
 // home. A transaction that moves ownership (or a sparse-directory
 // replacement with outstanding invalidations) locks the block; requests
@@ -8,6 +10,10 @@ package protocol
 // NAK-and-retry traffic.
 type Gate struct {
 	m map[int64]*gateState
+
+	// Waits, when non-nil, counts transactions queued behind a busy
+	// block ("gate.waits" in the machine registry).
+	Waits *obs.Counter
 }
 
 type gateState struct {
@@ -44,6 +50,9 @@ func (g *Gate) Wait(block int64, fn func()) {
 	if st == nil || !st.busy {
 		panic("protocol: Gate.Wait on non-busy block")
 	}
+	if g.Waits != nil {
+		g.Waits.Inc()
+	}
 	st.q = append(st.q, fn)
 }
 
@@ -79,6 +88,11 @@ func (g *Gate) Pending(block int64) int {
 type RAC struct {
 	pending map[int64]int
 	peak    int
+
+	// Pend, when non-nil, mirrors the number of tracked blocks
+	// ("rac.pending" in the machine registry); its high-water mark
+	// equals Peak.
+	Pend *obs.Gauge
 }
 
 // NewRAC returns an empty RAC.
@@ -97,6 +111,9 @@ func (r *RAC) Start(block int64, n int) {
 	if len(r.pending) > r.peak {
 		r.peak = len(r.pending)
 	}
+	if r.Pend != nil {
+		r.Pend.Set(int64(len(r.pending)))
+	}
 }
 
 // Ack records one acknowledgement; it reports whether the block's
@@ -109,6 +126,9 @@ func (r *RAC) Ack(block int64) (done bool) {
 	n--
 	if n == 0 {
 		delete(r.pending, block)
+		if r.Pend != nil {
+			r.Pend.Set(int64(len(r.pending)))
+		}
 		return true
 	}
 	r.pending[block] = n

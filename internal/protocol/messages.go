@@ -9,6 +9,7 @@ package protocol
 
 import (
 	"fmt"
+	"strings"
 
 	"dircoh/internal/stats"
 )
@@ -61,6 +62,10 @@ const (
 	numMsgKinds
 )
 
+// NumMsgKinds is the number of fine-grained message kinds; kinds are the
+// contiguous range [0, NumMsgKinds), so callers can build per-kind tables.
+const NumMsgKinds = int(numMsgKinds)
+
 var msgKindNames = [numMsgKinds]string{
 	"ReadReq", "WriteReq", "UpgradeReq", "WritebackReq", "SharingWB",
 	"FwdReadReq", "FwdWriteReq", "LockReq", "UnlockReq", "BarrierArrive",
@@ -73,6 +78,25 @@ func (k MsgKind) String() string {
 		return fmt.Sprintf("MsgKind(%d)", int(k))
 	}
 	return msgKindNames[k]
+}
+
+// msgMetricNames caches the per-kind registry counter names so hot paths
+// never build strings.
+var msgMetricNames = func() [numMsgKinds]string {
+	var names [numMsgKinds]string
+	for k := range names {
+		names[k] = "msg." + strings.ToLower(msgKindNames[k])
+	}
+	return names
+}()
+
+// MetricName returns the kind's metrics-registry counter name, e.g.
+// "msg.readreq" for ReadReq.
+func (k MsgKind) MetricName() string {
+	if k < 0 || k >= numMsgKinds {
+		panic(fmt.Sprintf("protocol: unknown message kind %d", int(k)))
+	}
+	return msgMetricNames[k]
 }
 
 // Class maps a message kind to the paper's §5 accounting class.

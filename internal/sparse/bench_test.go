@@ -27,7 +27,7 @@ func BenchmarkSparseLookupHit(b *testing.B) {
 }
 
 func BenchmarkFullMapAllocate(b *testing.B) {
-	d := NewFullMap(core.NewFullVector(32))
+	d := NewFullMap(core.NewFullVector(32), nil)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d.Allocate(int64(i%4096), uint64(i))

@@ -3,6 +3,7 @@ package sparse
 import (
 	"dircoh/internal/bitset"
 	"dircoh/internal/core"
+	"dircoh/internal/obs"
 )
 
 // Overflow implements the §7 alternative the paper sketches for future
@@ -23,9 +24,9 @@ type Overflow struct {
 	pending     []*Victim
 	now         uint64
 	peak        int
-	stats       Stats
-	overflows   uint64
-	demotions   uint64
+	m           dirMetrics
+	overflows   *obs.Counter
+	demotions   *obs.Counter
 }
 
 // OverflowConfig configures an Overflow directory.
@@ -36,6 +37,7 @@ type OverflowConfig struct {
 	Assoc       int // wide cache associativity
 	Policy      ReplacePolicy
 	Seed        int64
+	Metrics     *obs.Registry // nil creates a private registry
 }
 
 // NewOverflow builds the two-level directory.
@@ -44,19 +46,33 @@ func NewOverflow(cfg OverflowConfig) *Overflow {
 		panic("sparse: OverflowConfig needs positive Ptrs, Nodes and WideEntries")
 	}
 	wideScheme := core.NewFullVector(cfg.Nodes)
-	return &Overflow{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	d := &Overflow{
 		smallScheme: core.NewLimitedNoBroadcast(cfg.Ptrs, cfg.Nodes, core.VictimOldest, cfg.Seed),
 		wideScheme:  wideScheme,
 		ptrs:        cfg.Ptrs,
 		entries:     make(map[int64]*ovEntry),
+		m:           newDirMetrics(reg),
+		overflows:   reg.Counter("dir.overflow"),
+		demotions:   reg.Counter("dir.demotion"),
 		wide: New(Config{
 			Scheme:  wideScheme,
 			Entries: cfg.WideEntries,
 			Assoc:   max(cfg.Assoc, 1),
 			Policy:  cfg.Policy,
 			Seed:    cfg.Seed,
+			// The wide cache keeps a private registry: its recency
+			// refreshes are internal bookkeeping, not directory lookups,
+			// and must not pollute the shared dir.* counters.
 		}),
 	}
+	// Wide-cache evictions ARE this directory's replacements, though: route
+	// them to the shared "sparse.evict" counter.
+	d.wide.m.evicts = d.m.evicts
+	return d
 }
 
 func max(a, b int) int {
@@ -69,12 +85,12 @@ func max(a, b int) int {
 // Lookup implements Directory.
 func (d *Overflow) Lookup(block int64, now uint64) core.Entry {
 	d.now = now
-	d.stats.Lookups++
+	d.m.lookups.Inc()
 	e, ok := d.entries[block]
 	if !ok {
 		return nil
 	}
-	d.stats.Hits++
+	d.m.hits.Inc()
 	if e.wideE != nil {
 		d.wide.Lookup(block, now) // refresh recency in the wide cache
 	}
@@ -86,15 +102,15 @@ func (d *Overflow) Lookup(block int64, now uint64) core.Entry {
 // TakeVictims when a migration displaces one.
 func (d *Overflow) Allocate(block int64, now uint64) (core.Entry, *Victim) {
 	d.now = now
-	d.stats.Lookups++
+	d.m.lookups.Inc()
 	if e, ok := d.entries[block]; ok {
-		d.stats.Hits++
+		d.m.hits.Inc()
 		if e.wideE != nil {
 			d.wide.Lookup(block, now)
 		}
 		return e, nil
 	}
-	d.stats.Allocations++
+	d.m.allocs.Inc()
 	e := &ovEntry{d: d, block: block, small: d.smallScheme.NewEntry()}
 	d.entries[block] = e
 	if len(d.entries) > d.peak {
@@ -119,19 +135,16 @@ func (d *Overflow) Entries() int { return d.wide.Entries() }
 // PeakEntries implements Directory: peak live per-block entries.
 func (d *Overflow) PeakEntries() int { return d.peak }
 
-// Stats implements Directory.
-func (d *Overflow) Stats() Stats {
-	s := d.stats
-	s.Replacements = d.wide.Stats().Replacements
-	return s
-}
+// Stats implements Directory. Replacements are the wide cache's evictions,
+// which route to this directory's "sparse.evict" counter.
+func (d *Overflow) Stats() Stats { return d.m.stats() }
 
 // Overflows returns how many small entries migrated to wide entries.
-func (d *Overflow) Overflows() uint64 { return d.overflows }
+func (d *Overflow) Overflows() uint64 { return d.overflows.Value() }
 
 // Demotions returns how many wide entries collapsed back to small ones
 // (on writes, when the sharer set shrinks to one owner).
-func (d *Overflow) Demotions() uint64 { return d.demotions }
+func (d *Overflow) Demotions() uint64 { return d.demotions.Value() }
 
 // TakeVictims returns and clears the wide-cache victims produced by
 // migrations since the last call. The caller must invalidate their cached
@@ -166,7 +179,7 @@ func (e *ovEntry) AddSharer(n core.NodeID) []core.NodeID {
 		return e.small.AddSharer(n)
 	}
 	// Pointer overflow: migrate into the wide cache.
-	e.d.overflows++
+	e.d.overflows.Inc()
 	w, victim := e.d.wide.Allocate(e.block, e.d.now)
 	if victim != nil {
 		// A different block lost its wide entry; its whole sharing
@@ -199,7 +212,7 @@ func (e *ovEntry) Owner() core.NodeID { return e.active().Owner() }
 // fits the pointers, freeing the precious wide slot.
 func (e *ovEntry) SetDirty(owner core.NodeID) {
 	if e.wideE != nil {
-		e.d.demotions++
+		e.d.demotions.Inc()
 		e.d.wide.Release(e.block)
 		e.wideE = nil
 		e.small = e.d.smallScheme.NewEntry()

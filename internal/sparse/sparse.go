@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"dircoh/internal/core"
+	"dircoh/internal/obs"
 )
 
 // Victim describes a directory entry that was reclaimed to make room.
@@ -58,6 +59,39 @@ type Stats struct {
 	Replacements uint64 // allocations that reclaimed a live victim
 }
 
+// dirMetrics holds a directory's registry-backed counter handles, resolved
+// once at construction ("dir.lookup", "dir.hit", "dir.alloc",
+// "sparse.evict"). With a shared registry the counters aggregate over every
+// directory wired to it (the machine's per-cluster directories); Stats()
+// then reports that aggregate, not a per-instance count.
+type dirMetrics struct {
+	lookups *obs.Counter
+	hits    *obs.Counter
+	allocs  *obs.Counter
+	evicts  *obs.Counter
+}
+
+func newDirMetrics(reg *obs.Registry) dirMetrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return dirMetrics{
+		lookups: reg.Counter("dir.lookup"),
+		hits:    reg.Counter("dir.hit"),
+		allocs:  reg.Counter("dir.alloc"),
+		evicts:  reg.Counter("sparse.evict"),
+	}
+}
+
+func (m dirMetrics) stats() Stats {
+	return Stats{
+		Lookups:      m.lookups.Value(),
+		Hits:         m.hits.Value(),
+		Allocations:  m.allocs.Value(),
+		Replacements: m.evicts.Value(),
+	}
+}
+
 // ReplacePolicy selects the victim within a set.
 type ReplacePolicy int
 
@@ -90,19 +124,20 @@ type FullMap struct {
 	scheme  core.Scheme
 	entries map[int64]core.Entry
 	peak    int
-	stats   Stats
+	m       dirMetrics
 }
 
-// NewFullMap returns an unbounded directory using the given entry scheme.
-func NewFullMap(scheme core.Scheme) *FullMap {
-	return &FullMap{scheme: scheme, entries: make(map[int64]core.Entry)}
+// NewFullMap returns an unbounded directory using the given entry scheme,
+// recording into reg (nil creates a private registry).
+func NewFullMap(scheme core.Scheme, reg *obs.Registry) *FullMap {
+	return &FullMap{scheme: scheme, entries: make(map[int64]core.Entry), m: newDirMetrics(reg)}
 }
 
 // Lookup implements Directory.
 func (d *FullMap) Lookup(block int64, _ uint64) core.Entry {
-	d.stats.Lookups++
+	d.m.lookups.Inc()
 	if e, ok := d.entries[block]; ok {
-		d.stats.Hits++
+		d.m.hits.Inc()
 		return e
 	}
 	return nil
@@ -110,9 +145,9 @@ func (d *FullMap) Lookup(block int64, _ uint64) core.Entry {
 
 // Allocate implements Directory.
 func (d *FullMap) Allocate(block int64, _ uint64) (core.Entry, *Victim) {
-	d.stats.Lookups++
+	d.m.lookups.Inc()
 	if e, ok := d.entries[block]; ok {
-		d.stats.Hits++
+		d.m.hits.Inc()
 		return e, nil
 	}
 	e := d.scheme.NewEntry()
@@ -120,7 +155,7 @@ func (d *FullMap) Allocate(block int64, _ uint64) (core.Entry, *Victim) {
 	if len(d.entries) > d.peak {
 		d.peak = len(d.entries)
 	}
-	d.stats.Allocations++
+	d.m.allocs.Inc()
 	return e, nil
 }
 
@@ -134,7 +169,7 @@ func (d *FullMap) Entries() int { return 0 }
 func (d *FullMap) PeakEntries() int { return d.peak }
 
 // Stats implements Directory.
-func (d *FullMap) Stats() Stats { return d.stats }
+func (d *FullMap) Stats() Stats { return d.m.stats() }
 
 // Sparse is the set-associative sparse directory.
 type Sparse struct {
@@ -146,7 +181,7 @@ type Sparse struct {
 	lines  []line // sets*assoc lines; set i occupies lines[i*assoc : (i+1)*assoc]
 	live   int
 	peak   int
-	stats  Stats
+	m      dirMetrics
 }
 
 type line struct {
@@ -164,6 +199,7 @@ type Config struct {
 	Assoc   int           // associativity (1 = direct mapped)
 	Policy  ReplacePolicy // victim selection within a set
 	Seed    int64         // drives the Random policy
+	Metrics *obs.Registry // nil creates a private registry
 }
 
 // New returns a sparse directory with cfg.Entries slots.
@@ -185,6 +221,7 @@ func New(cfg Config) *Sparse {
 		policy: cfg.Policy,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		lines:  make([]line, sets*cfg.Assoc),
+		m:      newDirMetrics(cfg.Metrics),
 	}
 }
 
@@ -195,7 +232,7 @@ func (d *Sparse) Entries() int { return d.sets * d.assoc }
 func (d *Sparse) Assoc() int { return d.assoc }
 
 // Stats implements Directory.
-func (d *Sparse) Stats() Stats { return d.stats }
+func (d *Sparse) Stats() Stats { return d.m.stats() }
 
 func (d *Sparse) set(block int64) []line {
 	si := int(uint64(block) % uint64(d.sets))
@@ -204,11 +241,11 @@ func (d *Sparse) set(block int64) []line {
 
 // Lookup implements Directory.
 func (d *Sparse) Lookup(block int64, now uint64) core.Entry {
-	d.stats.Lookups++
+	d.m.lookups.Inc()
 	set := d.set(block)
 	for i := range set {
 		if set[i].valid && set[i].block == block {
-			d.stats.Hits++
+			d.m.hits.Inc()
 			set[i].lastUse = now
 			return set[i].entry
 		}
@@ -218,12 +255,12 @@ func (d *Sparse) Lookup(block int64, now uint64) core.Entry {
 
 // Allocate implements Directory.
 func (d *Sparse) Allocate(block int64, now uint64) (core.Entry, *Victim) {
-	d.stats.Lookups++
+	d.m.lookups.Inc()
 	set := d.set(block)
 	free := -1
 	for i := range set {
 		if set[i].valid && set[i].block == block {
-			d.stats.Hits++
+			d.m.hits.Inc()
 			set[i].lastUse = now
 			return set[i].entry, nil
 		}
@@ -231,13 +268,13 @@ func (d *Sparse) Allocate(block int64, now uint64) (core.Entry, *Victim) {
 			free = i
 		}
 	}
-	d.stats.Allocations++
+	d.m.allocs.Inc()
 	if free >= 0 {
 		return d.install(&set[free], block, now), nil
 	}
 	// All ways live: reclaim one according to policy.
 	vi := d.pickVictim(set)
-	d.stats.Replacements++
+	d.m.evicts.Inc()
 	victim := &Victim{Block: set[vi].block, Entry: set[vi].entry}
 	d.install(&set[vi], block, now)
 	return set[vi].entry, victim

@@ -10,7 +10,7 @@ import (
 func scheme() core.Scheme { return core.NewFullVector(16) }
 
 func TestFullMapLookupAllocate(t *testing.T) {
-	d := NewFullMap(scheme())
+	d := NewFullMap(scheme(), nil)
 	if d.Lookup(5, 0) != nil {
 		t.Fatal("Lookup on empty map should return nil")
 	}
