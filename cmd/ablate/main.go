@@ -24,7 +24,7 @@ func main() {
 	flag.Parse()
 	cli.Check("ablate", obsFlags.Start())
 	defer obsFlags.Stop()
-	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Metrics: obsFlags.WriteMetrics})
+	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery()})
 	exp.SetParallelism(*parallel)
 
 	fmt.Printf("Region-size sweep (Dir3CV_r on %s):\n\n", *app)

@@ -102,6 +102,8 @@ func main() {
 		cfg.Sparse = machine.SparseConfig{Entries: *sparseN, Assoc: *assoc, Policy: pol}
 	}
 	cfg.Trace = obsFlags.Tracer(w.Name)
+	cfg.Spans = obsFlags.Spans(w.Name)
+	cfg.SampleEvery = obsFlags.SampleEvery()
 	m, err := machine.New(cfg)
 	if err != nil {
 		cli.Fatalf(tool, "%v", err)
@@ -120,6 +122,7 @@ func main() {
 		cli.Fatalf(tool, "coherence check failed: %v", err)
 	}
 	cli.Check(tool, m.FlushTrace())
+	cli.Check(tool, m.FlushSpans())
 	obsFlags.WriteMetrics(w.Name, m.MetricsSnapshot())
 
 	fmt.Println()

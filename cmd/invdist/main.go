@@ -50,7 +50,7 @@ func main() {
 	flag.Parse()
 	cli.Check("invdist", obsFlags.Start())
 	defer obsFlags.Stop()
-	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Metrics: obsFlags.WriteMetrics})
+	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery()})
 
 	if *fig2 {
 		if *plot {

@@ -29,7 +29,7 @@ func main() {
 	flag.Parse()
 	cli.Check("report", obsFlags.Start())
 	defer obsFlags.Stop()
-	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Metrics: obsFlags.WriteMetrics})
+	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery()})
 	exp.SetParallelism(*parallel)
 
 	w := bufio.NewWriter(os.Stdout)

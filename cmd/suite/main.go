@@ -72,6 +72,8 @@ func execute(run config.RunSpec) outcome {
 		return fail(err)
 	}
 	cfg.Trace = obsFlags.Tracer(run.Name)
+	cfg.Spans = obsFlags.Spans(run.Name)
+	cfg.SampleEvery = obsFlags.SampleEvery()
 	m, err := machine.New(cfg)
 	if err != nil {
 		return fail(err)
@@ -85,6 +87,9 @@ func execute(run config.RunSpec) outcome {
 	}
 	if err := m.FlushTrace(); err != nil {
 		return fail(fmt.Errorf("trace: %w", err))
+	}
+	if err := m.FlushSpans(); err != nil {
+		return fail(fmt.Errorf("spans: %w", err))
 	}
 	obsFlags.WriteMetrics(run.Name, m.MetricsSnapshot())
 	return outcome{r: r}

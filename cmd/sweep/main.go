@@ -29,7 +29,7 @@ func main() {
 	flag.Parse()
 	cli.Check("sweep", obsFlags.Start())
 	defer obsFlags.Stop()
-	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Metrics: obsFlags.WriteMetrics})
+	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery()})
 	exp.SetParallelism(*parallel)
 	exp.Meter().Reset()
 	start := time.Now()

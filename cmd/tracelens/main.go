@@ -1,0 +1,78 @@
+// Command tracelens analyzes a transaction-span trace written by the
+// simulator's -span-out flag (dashsim, sweep, suite, ...). It
+// reconstructs every transaction's span tree, verifies it (parented
+// children, synchronous phases tiling the root), and prints per-class
+// latency percentiles, phase breakdowns, the slowest transactions with
+// their critical paths, and the latency-vs-fanout distribution.
+//
+// Usage:
+//
+//	tracelens [-run label] [-top n] trace.jsonl
+//	dashsim -app LU -span-out - | tracelens -
+//
+// Coherence-event lines (-trace-out) may share the file; they are
+// skipped. Exit status is nonzero on any parse or structural error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dircoh/internal/cli"
+)
+
+const tool = "tracelens"
+
+func main() {
+	var (
+		runLabel = flag.String("run", "", "analyze only this run label (default: all runs in the file)")
+		top      = flag.Int("top", 10, "number of slowest transactions to list")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		cli.Usagef(tool, "usage: %s [-run label] [-top n] <trace.jsonl | ->", tool)
+	}
+	var in io.Reader = os.Stdin
+	if path := flag.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			cli.Fatalf(tool, "%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	analyses, err := parse(in)
+	if err != nil {
+		cli.Fatalf(tool, "%v", err)
+	}
+	matched := false
+	for _, a := range analyses {
+		if *runLabel != "" && a.run != *runLabel {
+			continue
+		}
+		matched = true
+		a.report(os.Stdout, *top)
+	}
+	if !matched {
+		if *runLabel != "" {
+			cli.Fatalf(tool, "no spans for run %q (have %s)", *runLabel, runNames(analyses))
+		}
+		cli.Fatalf(tool, "no spans in input (was the trace written with -span-out?)")
+	}
+}
+
+func runNames(analyses []*analysis) string {
+	if len(analyses) == 0 {
+		return "none"
+	}
+	s := ""
+	for i, a := range analyses {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%q", a.run)
+	}
+	return s
+}

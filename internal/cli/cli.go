@@ -8,6 +8,7 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
@@ -16,6 +17,7 @@ import (
 	"sync"
 
 	"dircoh/internal/obs"
+	"dircoh/internal/sim"
 )
 
 // Fatalf prints "tool: message" to stderr and exits with status 1 — the
@@ -44,12 +46,15 @@ type Obs struct {
 	tool string
 
 	tracePath   string
+	spanPath    string
+	sampleEvery uint64
 	metricsPath string
 	cpuPath     string
 	memPath     string
 	pprofAddr   string
 
-	sink *obs.JSONLSink
+	sink     *obs.JSONLSink
+	spanSink *obs.JSONLSink
 
 	mu      sync.Mutex // serializes metrics blocks from concurrent runs
 	metrics *os.File
@@ -61,7 +66,9 @@ type Obs struct {
 // flag.Parse.
 func NewObs(tool string) *Obs {
 	o := &Obs{tool: tool}
-	flag.StringVar(&o.tracePath, "trace-out", "", "write a JSONL coherence-event trace to this file")
+	flag.StringVar(&o.tracePath, "trace-out", "", "write a JSONL coherence-event trace to this file ('-' for stdout)")
+	flag.StringVar(&o.spanPath, "span-out", "", "write JSONL transaction spans to this file ('-' for stdout; may equal -trace-out to interleave both streams)")
+	flag.Uint64Var(&o.sampleEvery, "sample-every", 0, "sample queue depths every N cycles into histograms (0 disables)")
 	flag.StringVar(&o.metricsPath, "metrics", "", "write per-run metrics dumps (name value lines) to this file")
 	flag.StringVar(&o.cpuPath, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memPath, "memprofile", "", "write a heap profile to this file on exit")
@@ -91,11 +98,24 @@ func (o *Obs) Start() error {
 		o.cpu = f
 	}
 	if o.tracePath != "" {
-		f, err := os.Create(o.tracePath)
+		w, err := openOut(o.tracePath)
 		if err != nil {
 			return err
 		}
-		o.sink = obs.NewJSONLSink(f)
+		o.sink = obs.NewJSONLSink(w)
+	}
+	if o.spanPath != "" {
+		if o.spanPath == o.tracePath {
+			// Same file: share the writer and its lock so span and event
+			// lines interleave without tearing.
+			o.spanSink = o.sink
+		} else {
+			w, err := openOut(o.spanPath)
+			if err != nil {
+				return err
+			}
+			o.spanSink = obs.NewJSONLSink(w)
+		}
 	}
 	if o.metricsPath != "" {
 		f, err := os.Create(o.metricsPath)
@@ -124,6 +144,10 @@ func (o *Obs) Stop() {
 		Check(o.tool, o.cpu.Close())
 		o.cpu = nil
 	}
+	if o.spanSink != nil && o.spanSink != o.sink {
+		Check(o.tool, o.spanSink.Close())
+	}
+	o.spanSink = nil
 	if o.sink != nil {
 		Check(o.tool, o.sink.Close())
 		o.sink = nil
@@ -153,6 +177,36 @@ func (o *Obs) Tracer(run string) *obs.Tracer {
 	}
 	return obs.NewTracer(o.sink.Sub(run), 0)
 }
+
+// Spanning reports whether -span-out was given.
+func (o *Obs) Spanning() bool { return o.spanSink != nil }
+
+// Spans returns a fresh span recorder tagging its spans with the given
+// run label, or nil when -span-out is unset. Each concurrently running
+// machine needs its own recorder; the shared sink serializes their
+// batches.
+func (o *Obs) Spans(run string) *obs.SpanRecorder {
+	if o.spanSink == nil {
+		return nil
+	}
+	return obs.NewSpanRecorder(o.spanSink.Sub(run), 0)
+}
+
+// SampleEvery returns the -sample-every period in cycles (0 = disabled).
+func (o *Obs) SampleEvery() sim.Time { return sim.Time(o.sampleEvery) }
+
+// openOut opens path for writing; "-" selects stdout, wrapped so the sink
+// flushes on Close without closing the process's stdout.
+func openOut(path string) (io.Writer, error) {
+	if path == "-" {
+		return stdoutWriter{}, nil
+	}
+	return os.Create(path)
+}
+
+type stdoutWriter struct{}
+
+func (stdoutWriter) Write(p []byte) (int, error) { return os.Stdout.Write(p) }
 
 // WriteMetrics appends one run's metrics snapshot to the -metrics file
 // (no-op when the flag is unset). Blocks are "# run <label>" headers

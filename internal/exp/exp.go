@@ -89,6 +89,12 @@ func runWorkload(app string, w *tango.Workload, cfg machine.Config, label string
 		tr = ob.Tracer(name)
 		cfg.Trace = tr
 	}
+	var sp *obs.SpanRecorder
+	if ob.Spans != nil {
+		sp = ob.Spans(name)
+		cfg.Spans = sp
+	}
+	cfg.SampleEvery = ob.SampleEvery
 	m, err := machine.New(cfg)
 	if err != nil {
 		panic(err)
@@ -102,6 +108,9 @@ func runWorkload(app string, w *tango.Workload, cfg machine.Config, label string
 	}
 	if err := tr.Flush(); err != nil {
 		panic(fmt.Sprintf("exp: %s trace: %v", name, err))
+	}
+	if err := sp.Flush(); err != nil {
+		panic(fmt.Sprintf("exp: %s spans: %v", name, err))
 	}
 	if ob.Metrics != nil {
 		ob.Metrics(name, m.MetricsSnapshot())

@@ -4,17 +4,22 @@ import (
 	"sync"
 
 	"dircoh/internal/obs"
+	"dircoh/internal/sim"
 )
 
 // Observer supplies per-run observability to the experiment drivers.
-// Tracer, when non-nil, is called before each machine is built and must
-// return a tracer private to that run (runs execute concurrently on the
-// pool) or nil to leave that run untraced. Metrics, when non-nil,
-// receives each finished run's metrics snapshot. The run label is
-// "app/label", matching the figures' row captions.
+// Tracer and Spans, when non-nil, are called before each machine is built
+// and must return a tracer / span recorder private to that run (runs
+// execute concurrently on the pool) or nil to leave that run
+// uninstrumented. Metrics, when non-nil, receives each finished run's
+// metrics snapshot. SampleEvery, when > 0, enables queue-depth sampling
+// at that period on every run. The run label is "app/label", matching the
+// figures' row captions.
 type Observer struct {
-	Tracer  func(run string) *obs.Tracer
-	Metrics func(run string, snap obs.Snapshot)
+	Tracer      func(run string) *obs.Tracer
+	Spans       func(run string) *obs.SpanRecorder
+	Metrics     func(run string, snap obs.Snapshot)
+	SampleEvery sim.Time
 }
 
 var (

@@ -109,6 +109,22 @@ type Config struct {
 	// directory evictions, lock retries). nil disables tracing at the cost
 	// of one pointer test per would-be event.
 	Trace *obs.Tracer
+	// Spans, when non-nil, receives parented transaction spans: every
+	// remote memory transaction (read miss, write miss, upgrade, lock
+	// round, directory-eviction recall) gets a TxID at issue, a root span
+	// covering issue to completion, and child spans for each latency
+	// phase (request travel, directory wait, fanout, ack gather, reply
+	// travel). Enabling spans also fills the tx.lat.<class> latency
+	// histograms. nil disables span tracing at the cost of one pointer
+	// test per would-be transaction.
+	Spans *obs.SpanRecorder
+	// SampleEvery, when > 0, samples queue depths every SampleEvery
+	// cycles into the dir.queue.depth, dir.entries.live and
+	// mesh.port.backlog histograms: per-cluster directory-controller
+	// backlog, live directory entries, and network ejection-port backlog.
+	// Sampling reads simulator state without mutating it, so results are
+	// identical with sampling on or off.
+	SampleEvery sim.Time
 }
 
 // DefaultConfig returns the paper's main experimental setup: 32 processors

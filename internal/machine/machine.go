@@ -37,6 +37,18 @@ type Machine struct {
 	invalFan    *obs.Histogram                     // "dir.inval.fanout"
 	replFan     *obs.Histogram                     // "dir.repl.fanout"
 
+	// Transaction tracing (nil/empty when Config.Spans is nil). txLat
+	// holds the per-class latency histograms ("tx.lat.<class>"); lockTx
+	// maps a processor to its open lock-round transaction.
+	spans  *obs.SpanRecorder
+	txLat  [obs.NumTxClasses]*obs.Histogram
+	lockTx map[int]*txState
+
+	// Queue-depth sampling handles (nil when Config.SampleEvery is 0).
+	dirDepth  *obs.Histogram // "dir.queue.depth"
+	dirLive   *obs.Histogram // "dir.entries.live"
+	portDepth *obs.Histogram // "mesh.port.backlog"
+
 	invalHist stats.Histogram // invalidations per invalidation event (Figs 3-6)
 	replHist  stats.Histogram // invalidations per sparse replacement
 	readLat   stats.LatHist   // read completion latency
@@ -154,6 +166,18 @@ func New(cfg Config) (*Machine, error) {
 	}
 	for k := range m.kindCtr {
 		m.kindCtr[k] = reg.Counter(protocol.MsgKind(k).MetricName())
+	}
+	if cfg.Spans != nil {
+		m.spans = cfg.Spans
+		m.lockTx = make(map[int]*txState)
+		for c := range m.txLat {
+			m.txLat[c] = reg.Histogram("tx.lat."+obs.TxClass(c).String(), obs.LatBuckets)
+		}
+	}
+	if cfg.SampleEvery > 0 {
+		m.dirDepth = reg.Histogram("dir.queue.depth", obs.QueueBuckets)
+		m.dirLive = reg.Histogram("dir.entries.live", obs.QueueBuckets)
+		m.portDepth = reg.Histogram("mesh.port.backlog", obs.QueueBuckets)
 	}
 	m.locks = protocol.NewLockTable(m.scheme)
 	m.barriers = protocol.NewBarrierTable(cfg.Procs)
@@ -315,6 +339,10 @@ func (m *Machine) MetricsSnapshot() obs.Snapshot { return m.reg.Snapshot() }
 // the first sink error. It is safe to call with tracing disabled.
 func (m *Machine) FlushTrace() error { return m.tr.Flush() }
 
+// FlushSpans drains the span recorder's pending spans to its sink and
+// reports the first sink error. It is safe to call with spans disabled.
+func (m *Machine) FlushSpans() error { return m.spans.Flush() }
+
 // complete schedules p's next reference at time at.
 func (m *Machine) complete(p *proc, at sim.Time) {
 	m.eng.At(at, func() { m.stepProc(p) })
@@ -401,6 +429,9 @@ func (m *Machine) Run(w *tango.Workload) (*Result, error) {
 		p.stream = tango.NewStream(w.Streams[i])
 		p := p
 		m.eng.At(0, func() { m.stepProc(p) })
+	}
+	if m.cfg.SampleEvery > 0 {
+		m.eng.At(m.cfg.SampleEvery, m.sampleQueues)
 	}
 	m.eng.Run()
 	for _, p := range m.procs {

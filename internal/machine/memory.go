@@ -123,11 +123,14 @@ func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
 		}
 		c.pendingWrite[b] = true
 		kind := protocol.WriteReq
+		class := obs.TxWrite
 		if upgrade {
 			kind = protocol.UpgradeReq
+			class = obs.TxUpgrade
 		}
+		tx := m.txStart(class, c.id, b)
 		m.trace(obs.EvReqIssue, c.id, b, int64(kind))
-		m.send(kind, c.id, home, func() { m.remoteWriteAtHome(p, b, upgrade) })
+		m.send(kind, c.id, home, func() { m.remoteWriteAtHome(p, b, upgrade, tx) })
 		return
 	}
 	// Read. An ownership request in flight from this cluster wins the
@@ -172,13 +175,16 @@ func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
 		return
 	}
 	c.pendingReads[b] = nil
+	tx := m.txStart(obs.TxRead, c.id, b)
 	m.trace(obs.EvReqIssue, c.id, b, int64(protocol.ReadReq))
-	m.send(protocol.ReadReq, c.id, home, func() { m.remoteReadAtHome(p, b) })
+	m.send(protocol.ReadReq, c.id, home, func() { m.remoteReadAtHome(p, b, tx) })
 }
 
 // remoteReadDone fills p and every merged follower, completing them all.
 // A poisoned read delivers its data without caching it.
-func (m *Machine) remoteReadDone(p *proc, b int64) {
+func (m *Machine) remoteReadDone(p *proc, b int64, tx *txState) {
+	m.txPhase(tx, obs.PhReplyTravel)
+	m.txEnd(tx)
 	now := m.eng.Now()
 	poisoned := p.cl.poisonedReads[b]
 	m.debugf(b, "remoteReadDone p%d/c%d poisoned=%v followers=%d", p.id, p.cl.id, poisoned, len(p.cl.pendingReads[b]))
@@ -364,17 +370,18 @@ func (m *Machine) homeLocalWrite(p *proc, b int64) {
 	p.pendingAcks += n
 	m.fill(p, b, cache.Dirty)
 	m.complete(p, now+m.t.Fill)
-	m.sendInvals(h, b, targets, p)
+	m.sendInvals(h, b, targets, p, nil)
 }
 
 // sendInvals sends invalidations for block b to every cluster in targets;
 // each target acknowledges to ackTo's cluster and the ack is credited to
 // ackTo. The requester's own cluster is never a target (callers exclude
 // it), so acknowledgements always travel the network, as in DASH.
-func (m *Machine) sendInvals(h *clusterNode, b int64, targets bitset.Set, ackTo *proc) {
+func (m *Machine) sendInvals(h *clusterNode, b int64, targets bitset.Set, ackTo *proc, tx *txState) {
 	if n := targets.Count(); n > 0 {
 		m.trace(obs.EvInvalFanout, h.id, b, int64(n))
 	}
+	m.txFanout(tx, targets.Count(), false)
 	// The directory injects invalidations at a finite rate; a broadcast
 	// keeps the controller busy and delays requests queued behind it.
 	m.occupyDir(h, m.t.InvalSend*sim.Time(targets.Count()))
@@ -384,24 +391,28 @@ func (m *Machine) sendInvals(h *clusterNode, b int64, targets bitset.Set, ackTo 
 			done := m.busOp(tc, m.t.InvalBus)
 			m.eng.At(done, func() {
 				m.invalidateCluster(tc, b, true)
-				m.send(protocol.AckMsg, t, ackTo.cl.id, func() { m.ackArrived(ackTo) })
+				m.send(protocol.AckMsg, t, ackTo.cl.id, func() {
+					m.ackArrived(ackTo)
+					m.txAck(tx)
+				})
 			})
 		})
 	})
 }
 
 // remoteReadAtHome runs when a ReadReq arrives at the home cluster.
-func (m *Machine) remoteReadAtHome(p *proc, b int64) {
+func (m *Machine) remoteReadAtHome(p *proc, b int64, tx *txState) {
 	h := m.clusters[m.home(b)]
+	m.txPhase(tx, obs.PhReqTravel)
 	m.trace(obs.EvDirLookup, h.id, b, 0)
 	done := m.dirOp(h, m.t.Dir)
-	m.eng.At(done, func() { m.serveRemoteRead(p, b, h) })
+	m.eng.At(done, func() { m.serveRemoteRead(p, b, h, tx) })
 }
 
-func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode) {
+func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode, tx *txState) {
 	m.debugf(b, "serveRemoteRead p%d/c%d gateBusy=%v", p.id, p.cl.id, h.gate.Busy(b))
 	if h.gate.Busy(b) {
-		h.gate.Wait(b, func() { m.serveRemoteRead(p, b, h) })
+		h.gate.Wait(b, func() { m.serveRemoteRead(p, b, h, tx) })
 		return
 	}
 	now := m.eng.Now()
@@ -412,9 +423,10 @@ func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode) {
 		// requester and sends a sharing writeback home.
 		owner := e.Owner()
 		e.ClearDirty()
-		m.handleNBEvictions(h, b, e.AddSharer(rc))
+		m.handleNBEvictions(h, b, e.AddSharer(rc), tx)
 		m.drainDirVictims(h)
 		h.gate.Lock(b)
+		m.txPhase(tx, obs.PhDirWait)
 		m.send(protocol.FwdReadReq, h.id, owner, func() {
 			oc := m.clusters[owner]
 			done := m.busOp(oc, m.t.Fwd)
@@ -422,8 +434,9 @@ func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode) {
 				for _, q := range oc.procs {
 					q.h.Downgrade(b)
 				}
+				m.txPhase(tx, obs.PhFanout)
 				m.send(protocol.DataReply, owner, rc, func() {
-					m.remoteReadDone(p, b)
+					m.remoteReadDone(p, b, tx)
 					h.gate.Unlock(b)
 				})
 				m.send(protocol.SharingWB, owner, h.id, func() {})
@@ -447,25 +460,27 @@ func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode) {
 	for _, q := range h.procs {
 		q.h.Downgrade(b)
 	}
-	m.handleNBEvictions(h, b, e2.AddSharer(rc))
+	m.handleNBEvictions(h, b, e2.AddSharer(rc), tx)
 	m.drainDirVictims(h)
+	m.txPhase(tx, obs.PhDirWait)
 	m.send(protocol.DataReply, h.id, rc, func() {
-		m.remoteReadDone(p, b)
+		m.remoteReadDone(p, b, tx)
 	})
 }
 
 // remoteWriteAtHome runs when a WriteReq/UpgradeReq arrives at the home.
-func (m *Machine) remoteWriteAtHome(p *proc, b int64, upgrade bool) {
+func (m *Machine) remoteWriteAtHome(p *proc, b int64, upgrade bool, tx *txState) {
 	h := m.clusters[m.home(b)]
+	m.txPhase(tx, obs.PhReqTravel)
 	m.trace(obs.EvDirLookup, h.id, b, 1)
 	done := m.dirOp(h, m.t.Dir)
-	m.eng.At(done, func() { m.serveRemoteWrite(p, b, h, upgrade) })
+	m.eng.At(done, func() { m.serveRemoteWrite(p, b, h, upgrade, tx) })
 }
 
-func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade bool) {
+func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade bool, tx *txState) {
 	m.debugf(b, "serveRemoteWrite p%d/c%d upgrade=%v gateBusy=%v", p.id, p.cl.id, upgrade, h.gate.Busy(b))
 	if h.gate.Busy(b) {
-		h.gate.Wait(b, func() { m.serveRemoteWrite(p, b, h, upgrade) })
+		h.gate.Wait(b, func() { m.serveRemoteWrite(p, b, h, upgrade, tx) })
 		return
 	}
 	now := m.eng.Now()
@@ -479,13 +494,15 @@ func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade boo
 		owner := e.Owner()
 		e.SetDirty(rc)
 		h.gate.Lock(b)
+		m.txPhase(tx, obs.PhDirWait)
 		m.send(protocol.FwdWriteReq, h.id, owner, func() {
 			oc := m.clusters[owner]
 			done := m.busOp(oc, m.t.InvalBus)
 			m.eng.At(done, func() {
 				m.invalidateCluster(oc, b, true)
+				m.txPhase(tx, obs.PhFanout)
 				m.send(protocol.OwnershipReply, owner, rc, func() {
-					m.remoteWriteDone(p, b, upgrade)
+					m.remoteWriteDone(p, b, upgrade, tx)
 					h.gate.Unlock(b)
 				})
 			})
@@ -515,11 +532,12 @@ func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade boo
 	m.drainDirVictims(h)
 	p.pendingAcks += n
 	h.gate.Lock(b)
+	m.txPhase(tx, obs.PhDirWait)
 	m.send(protocol.OwnershipReply, h.id, rc, func() {
-		m.remoteWriteDone(p, b, upgrade)
+		m.remoteWriteDone(p, b, upgrade, tx)
 		h.gate.Unlock(b)
 	})
-	m.sendInvals(h, b, targets, p)
+	m.sendInvals(h, b, targets, p, tx)
 }
 
 // fillExclusive installs an exclusive copy after an ownership reply.
@@ -534,7 +552,9 @@ func (m *Machine) fillExclusive(p *proc, b int64, upgrade bool) {
 // remoteWriteDone completes p's outstanding write and retries any local
 // accesses that were parked behind it (they now hit the fresh dirty copy
 // over the bus).
-func (m *Machine) remoteWriteDone(p *proc, b int64, upgrade bool) {
+func (m *Machine) remoteWriteDone(p *proc, b int64, upgrade bool, tx *txState) {
+	m.txPhase(tx, obs.PhReplyTravel)
+	m.txEnd(tx)
 	m.debugf(b, "remoteWriteDone p%d/c%d waiters=%d", p.id, p.cl.id, len(p.cl.writeWaiters[b]))
 	m.fillExclusive(p, b, upgrade)
 	m.complete(p, m.eng.Now()+m.t.Fill)
@@ -550,13 +570,22 @@ func (m *Machine) remoteWriteDone(p *proc, b int64, upgrade bool) {
 
 // handleNBEvictions invalidates sharers dropped by a Dir_iNB pointer
 // overflow. These are the paper's read-caused invalidation events (Fig 4).
-func (m *Machine) handleNBEvictions(h *clusterNode, b int64, ev []core.NodeID) {
+func (m *Machine) handleNBEvictions(h *clusterNode, b int64, ev []core.NodeID, tx *txState) {
 	if len(ev) == 0 {
 		return
 	}
 	m.invalHist.Add(len(ev))
 	m.invalFan.Observe(uint64(len(ev)))
 	m.trace(obs.EvInvalFanout, h.id, b, int64(len(ev)))
+	if tx != nil {
+		sent := 0
+		for _, v := range ev {
+			if v != h.id {
+				sent++
+			}
+		}
+		m.txFanout(tx, sent, false)
+	}
 	m.occupyDir(h, m.t.InvalSend*sim.Time(len(ev)))
 	for _, v := range ev {
 		if v == h.id {
@@ -568,7 +597,7 @@ func (m *Machine) handleNBEvictions(h *clusterNode, b int64, ev []core.NodeID) {
 			done := m.busOp(vc, m.t.InvalBus)
 			m.eng.At(done, func() {
 				m.invalidateCluster(vc, b, true)
-				m.send(protocol.AckMsg, v, h.id, func() {})
+				m.send(protocol.AckMsg, v, h.id, func() { m.txAck(tx) })
 			})
 		})
 	}
@@ -612,6 +641,8 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 		m.replHist.Add(1)
 		m.replFan.Observe(1)
 		m.trace(obs.EvDirEvict, h.id, vb, 1)
+		tx := m.txStart(obs.TxEvict, h.id, vb)
+		m.txFanout(tx, 1, true)
 		m.occupyDir(h, m.t.InvalSend)
 		h.gate.Lock(vb)
 		h.rac.Start(vb, 1)
@@ -620,7 +651,10 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 			done := m.busOp(oc, m.t.InvalBus)
 			m.eng.At(done, func() {
 				m.invalidateCluster(oc, vb, true)
-				m.send(protocol.AckMsg, owner, h.id, func() { m.racAck(h, vb) })
+				m.send(protocol.AckMsg, owner, h.id, func() {
+					m.racAck(h, vb)
+					m.txAck(tx)
+				})
 			})
 		})
 		return
@@ -634,6 +668,8 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 	m.replHist.Add(n)
 	m.replFan.Observe(uint64(n))
 	m.trace(obs.EvDirEvict, h.id, vb, int64(n))
+	tx := m.txStart(obs.TxEvict, h.id, vb)
+	m.txFanout(tx, n, true)
 	m.occupyDir(h, m.t.InvalSend*sim.Time(n))
 	h.gate.Lock(vb)
 	h.rac.Start(vb, n)
@@ -643,7 +679,10 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 			done := m.busOp(tc, m.t.InvalBus)
 			m.eng.At(done, func() {
 				m.invalidateCluster(tc, vb, true)
-				m.send(protocol.AckMsg, t, h.id, func() { m.racAck(h, vb) })
+				m.send(protocol.AckMsg, t, h.id, func() {
+					m.racAck(h, vb)
+					m.txAck(tx)
+				})
 			})
 		})
 	})

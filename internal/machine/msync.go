@@ -25,14 +25,22 @@ func (m *Machine) lockAcquire(p *proc, addr int64, retry bool) {
 		// Otherwise p blocks until granted or woken.
 		return
 	}
+	// One lock transaction per remote acquisition round: it ends at the
+	// grant (or the wake that triggers a retry, which opens a new round).
+	tx := m.txStart(obs.TxLock, p.cl.id, addr)
+	m.lockTxSet(p, tx)
 	m.send(protocol.LockReq, p.cl.id, home, func() {
+		m.txPhase(tx, obs.PhReqTravel)
 		hc := m.clusters[home]
 		done := m.dirOp(hc, m.t.Dir)
 		m.eng.At(done, func() {
 			granted, woken := m.locks.Acquire(addr, p.cl.id, p.id)
 			m.wakeNodes(addr, home, woken)
 			if granted {
+				m.txPhase(tx, obs.PhDirWait)
 				m.send(protocol.LockGrant, home, p.cl.id, func() {
+					m.txPhase(tx, obs.PhReplyTravel)
+					m.lockTxEnd(p)
 					m.complete(p, m.eng.Now()+m.t.Hit)
 				})
 			}
@@ -72,7 +80,11 @@ func (m *Machine) handleGrant(addr int64, home int, g protocol.Grant) {
 			m.complete(q, m.eng.Now()+m.t.Hit)
 			return
 		}
+		tx := m.lockTxOf(q)
+		m.txPhase(tx, obs.PhDirWait)
 		m.send(protocol.LockGrant, home, g.Node, func() {
+			m.txPhase(tx, obs.PhReplyTravel)
+			m.lockTxEnd(q)
 			m.complete(q, m.eng.Now()+m.t.Hit)
 		})
 		return
@@ -96,7 +108,14 @@ func (m *Machine) wakeNodes(addr int64, home int, nodes []core.NodeID) {
 
 func (m *Machine) wakeLocalWaiters(addr int64, node int) {
 	for _, procID := range m.locks.TakeWaiters(addr, node) {
-		m.lockAcquire(m.procs[procID], addr, true)
+		q := m.procs[procID]
+		// A wake ends the waiter's current lock round (the retry opens a
+		// fresh transaction, linked by the lock.retry trace event).
+		if tx := m.lockTxOf(q); tx != nil {
+			m.txPhase(tx, obs.PhDirWait)
+			m.lockTxEnd(q)
+		}
+		m.lockAcquire(q, addr, true)
 	}
 }
 

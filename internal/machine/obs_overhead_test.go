@@ -33,7 +33,8 @@ func overheadWorkload() *tango.Workload {
 }
 
 // TestTraceOverheadDisabled guards the observability layer's zero-cost
-// claim: simulating with tracing enabled on the discard sink must stay
+// claim: simulating with event tracing AND span recording enabled on the
+// discard sinks must stay
 // within 25% of the nil-tracer run (the acceptance budget is 2% on the
 // long benchmarks; the slack here absorbs timer noise on a short run).
 // Runs are interleaved and the minimum of several rounds is compared, so
@@ -43,9 +44,10 @@ func TestTraceOverheadDisabled(t *testing.T) {
 		t.Skip("timing test")
 	}
 	w := overheadWorkload()
-	run := func(tr *obs.Tracer) time.Duration {
+	run := func(tr *obs.Tracer, sp *obs.SpanRecorder) time.Duration {
 		cfg := testConfig(16, CoarseVec2)
 		cfg.Trace = tr
+		cfg.Spans = sp
 		m, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -56,15 +58,15 @@ func TestTraceOverheadDisabled(t *testing.T) {
 		}
 		return time.Since(start)
 	}
-	run(nil) // warm up caches and the allocator
+	run(nil, nil) // warm up caches and the allocator
 
 	minOff := time.Duration(1<<63 - 1)
 	minOn := minOff
 	for round := 0; round < 5; round++ {
-		if d := run(nil); d < minOff {
+		if d := run(nil, nil); d < minOff {
 			minOff = d
 		}
-		if d := run(obs.NewTracer(obs.Discard, 0)); d < minOn {
+		if d := run(obs.NewTracer(obs.Discard, 0), obs.NewSpanRecorder(obs.DiscardSpans, 0)); d < minOn {
 			minOn = d
 		}
 	}
@@ -85,6 +87,7 @@ func BenchmarkMachineTraceDiscard(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := testConfig(16, CoarseVec2)
 		cfg.Trace = obs.NewTracer(obs.Discard, 0)
+		cfg.Spans = obs.NewSpanRecorder(obs.DiscardSpans, 0)
 		m, err := New(cfg)
 		if err != nil {
 			b.Fatal(err)

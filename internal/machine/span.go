@@ -1,0 +1,161 @@
+package machine
+
+import (
+	"dircoh/internal/obs"
+	"dircoh/internal/sim"
+)
+
+// txState tracks one in-flight remote transaction for span emission. It
+// exists only while span tracing is enabled (Config.Spans non-nil); every
+// helper below treats a nil receiver argument as tracing-off and costs one
+// branch, so the simulation hot path is untouched when spans are disabled.
+//
+// The machine emits child spans as the transaction crosses phase
+// boundaries: mark carries the start of the phase currently in progress, so
+// the synchronous children tile [start, end of root] exactly — the
+// invariant tracelens verifies. Acknowledgement gathering is the one
+// exception: it overlaps the reply (release consistency), so its span is
+// emitted when the last ack arrives, possibly after the root.
+type txState struct {
+	id    uint64
+	class obs.TxClass
+	node  int32
+	block int64
+	start sim.Time
+	mark  sim.Time
+
+	// Invalidation fan-out bookkeeping: acks counts outstanding
+	// acknowledgements, ackStart the dispatch time. endOnAcks marks
+	// transactions (evictions) whose root ends with the last ack.
+	acks      int
+	ackStart  sim.Time
+	fanout    int64
+	endOnAcks bool
+}
+
+// txStart opens a transaction at the current cycle, or returns nil when
+// span tracing is off.
+func (m *Machine) txStart(class obs.TxClass, node int, block int64) *txState {
+	if m.spans == nil {
+		return nil
+	}
+	now := m.eng.Now()
+	return &txState{id: m.spans.NextID(), class: class, node: int32(node), block: block, start: now, mark: now}
+}
+
+// txPhase closes the phase that began at tx.mark, emitting its child span,
+// and starts the next phase at the current cycle.
+func (m *Machine) txPhase(tx *txState, ph obs.Phase) {
+	if tx == nil {
+		return
+	}
+	now := m.eng.Now()
+	m.spans.Emit(obs.Span{
+		Tx: tx.id, ID: m.spans.NextID(), Parent: tx.id,
+		Class: tx.class, Phase: ph, Node: tx.node, Block: tx.block,
+		Start: uint64(tx.mark), End: uint64(now),
+	})
+	tx.mark = now
+}
+
+// txFanout registers n outstanding invalidation acknowledgements dispatched
+// at the current cycle. When endOnAcks is set the transaction's root span
+// ends at the last ack (eviction recalls); otherwise the acks drain
+// asynchronously and only the ack.gather child depends on them.
+func (m *Machine) txFanout(tx *txState, n int, endOnAcks bool) {
+	if tx == nil || n <= 0 {
+		return
+	}
+	tx.acks += n
+	tx.fanout += int64(n)
+	tx.ackStart = m.eng.Now()
+	tx.endOnAcks = endOnAcks
+}
+
+// txAck records one acknowledgement; the last one emits the ack.gather span
+// and, for endOnAcks transactions, the root.
+func (m *Machine) txAck(tx *txState) {
+	if tx == nil {
+		return
+	}
+	tx.acks--
+	if tx.acks > 0 {
+		return
+	}
+	now := m.eng.Now()
+	m.spans.Emit(obs.Span{
+		Tx: tx.id, ID: m.spans.NextID(), Parent: tx.id,
+		Class: tx.class, Phase: obs.PhAckGather, Node: tx.node, Block: tx.block,
+		Start: uint64(tx.ackStart), End: uint64(now), N: tx.fanout,
+	})
+	if tx.endOnAcks {
+		tx.mark = now
+		m.txEnd(tx)
+	}
+}
+
+// txEnd emits the transaction's root span and records its latency in the
+// class histogram.
+func (m *Machine) txEnd(tx *txState) {
+	if tx == nil {
+		return
+	}
+	now := m.eng.Now()
+	m.spans.Emit(obs.Span{
+		Tx: tx.id, ID: tx.id, Parent: 0,
+		Class: tx.class, Phase: obs.PhTotal, Node: tx.node, Block: tx.block,
+		Start: uint64(tx.start), End: uint64(now), N: tx.fanout,
+	})
+	m.txLat[tx.class].Observe(uint64(now - tx.start))
+}
+
+// lockTxSet remembers p's open lock-round transaction so the grant or wake
+// path (which reaches p through the lock table, not a closure) can close
+// it. A processor has at most one lock acquisition in flight.
+func (m *Machine) lockTxSet(p *proc, tx *txState) {
+	if tx != nil {
+		m.lockTx[p.id] = tx
+	}
+}
+
+// lockTxOf returns p's open lock-round transaction, or nil.
+func (m *Machine) lockTxOf(p *proc) *txState {
+	if m.spans == nil {
+		return nil
+	}
+	return m.lockTx[p.id]
+}
+
+// lockTxEnd closes p's open lock-round transaction, if any.
+func (m *Machine) lockTxEnd(p *proc) {
+	if m.spans == nil {
+		return
+	}
+	if tx := m.lockTx[p.id]; tx != nil {
+		delete(m.lockTx, p.id)
+		m.txEnd(tx)
+	}
+}
+
+// sampleQueues is the periodic queue-depth sampler (Config.SampleEvery). It
+// only reads simulator state — directory-controller backlog, live directory
+// entries, network ejection-port backlog — so enabling it never changes
+// simulation results. It reschedules itself while the machine still has
+// work pending and falls silent when the event queue drains.
+func (m *Machine) sampleQueues() {
+	now := m.eng.Now()
+	for _, c := range m.clusters {
+		var backlog sim.Time
+		if c.dirFree > now {
+			backlog = c.dirFree - now
+		}
+		m.dirDepth.Observe(uint64(backlog))
+		m.dirLive.Observe(uint64(c.dir.LiveEntries()))
+	}
+	for n := 0; n < m.net.Nodes(); n++ {
+		m.portDepth.Observe(uint64(m.net.PortBacklog(n, now)))
+	}
+	if m.eng.Pending() > 0 {
+		m.eng.After(m.cfg.SampleEvery, m.sampleQueues)
+	}
+}

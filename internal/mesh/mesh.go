@@ -134,6 +134,17 @@ func (m *Mesh) SendAt(now sim.Time, a, b int) sim.Time {
 	return arrive
 }
 
+// PortBacklog returns how far past now node n's ejection port is already
+// booked, in cycles — the input-queue depth a message arriving at now would
+// wait behind. It is 0 when port modeling is off (PortTime == 0) or the
+// port is idle. Reading the backlog does not record anything.
+func (m *Mesh) PortBacklog(n int, now sim.Time) sim.Time {
+	if m.cfg.PortTime == 0 || m.portFree[n] <= now {
+		return 0
+	}
+	return m.portFree[n] - now
+}
+
 // Stats reports cumulative network accounting.
 type Stats struct {
 	Messages uint64

@@ -18,6 +18,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -67,6 +68,7 @@ type Histogram struct {
 	counts []uint64 // len(bounds)+1; last is the overflow bucket
 	n      uint64
 	sum    uint64
+	max    uint64
 }
 
 // Observe records one sample.
@@ -78,6 +80,9 @@ func (h *Histogram) Observe(v uint64) {
 	h.counts[i]++
 	h.n++
 	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
 }
 
 // Count returns the number of samples.
@@ -101,10 +106,63 @@ func (h *Histogram) Bucket(i int) uint64 { return h.counts[i] }
 // Bounds returns the bucket upper bounds.
 func (h *Histogram) Bounds() []uint64 { return h.bounds }
 
+// Max returns the largest sample observed (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns an upper bound on the q-quantile sample (q in [0,1]):
+// the bound of the bucket holding the ceil(q*n)-th sample, tightened to the
+// maximum observed sample. An empty histogram returns 0; samples in the
+// overflow bucket report the maximum.
+func (h *Histogram) Quantile(q float64) uint64 {
+	return bucketQuantile(h.bounds, h.counts, h.n, h.max, q)
+}
+
+// bucketQuantile is the shared quantile estimator for Histogram and
+// HistSnapshot.
+func bucketQuantile(bounds, counts []uint64, n, max uint64, q float64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(n)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i < len(bounds) && bounds[i] < max {
+				return bounds[i]
+			}
+			return max
+		}
+	}
+	return max
+}
+
 // DefBuckets is the default histogram layout: power-of-two-ish bounds
 // suited to invalidation fan-outs and hop counts on machines up to a few
 // thousand nodes.
 var DefBuckets = []uint64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// LatBuckets is the histogram layout for transaction latencies in cycles:
+// fine around the calibrated remote-access constants (~60-80 cycles) and
+// geometric above, so contended locks and queued directories still resolve.
+var LatBuckets = []uint64{
+	16, 32, 48, 64, 80, 96, 128, 160, 192, 256, 384, 512,
+	768, 1024, 2048, 4096, 8192, 16384, 32768, 65536,
+}
+
+// QueueBuckets is the histogram layout for queue-depth samples (cycles of
+// backlog at a directory controller or network ejection port, or live
+// directory entries).
+var QueueBuckets = []uint64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
 
 // Registry holds named metrics. Lookup is get-or-create; the returned
 // handles stay valid for the registry's lifetime, so hot paths resolve
@@ -180,6 +238,7 @@ type HistSnapshot struct {
 	Counts []uint64
 	N      uint64
 	Sum    uint64
+	Max    uint64
 }
 
 // Snapshot is a frozen, read-only copy of a registry's metrics.
@@ -211,6 +270,7 @@ func (r *Registry) Snapshot() Snapshot {
 			Counts: append([]uint64(nil), h.counts...),
 			N:      h.n,
 			Sum:    h.sum,
+			Max:    h.max,
 		}
 	}
 	return s
@@ -230,7 +290,8 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		lines = append(lines, fmt.Sprintf("%s %d (max %d)", name, v, s.GaugeMax[name]))
 	}
 	for name, h := range s.Hists {
-		lines = append(lines, fmt.Sprintf("%s count %d sum %d mean %.2f", name, h.N, h.Sum, h.Mean()))
+		lines = append(lines, fmt.Sprintf("%s count %d sum %d mean %.2f p50 %d p95 %d p99 %d max %d",
+			name, h.N, h.Sum, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Max))
 	}
 	sort.Strings(lines)
 	for _, l := range lines {
@@ -247,6 +308,12 @@ func (h HistSnapshot) Mean() float64 {
 		return 0
 	}
 	return float64(h.Sum) / float64(h.N)
+}
+
+// Quantile returns an upper bound on the q-quantile sample, as
+// Histogram.Quantile does.
+func (h HistSnapshot) Quantile(q float64) uint64 {
+	return bucketQuantile(h.Bounds, h.Counts, h.N, h.Max, q)
 }
 
 // String renders the snapshot as WriteText does.

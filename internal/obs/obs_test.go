@@ -42,6 +42,65 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEdges covers the percentile estimator's corner
+// cases: empty histogram, a single sample, every sample in the overflow
+// bucket, and samples landing exactly on bucket boundaries.
+func TestHistogramQuantileEdges(t *testing.T) {
+	r := NewRegistry()
+
+	empty := r.Histogram("empty", []uint64{1, 2})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty.Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+
+	// A single sample is every quantile, even though its bucket bound (4)
+	// is looser than the sample itself.
+	single := r.Histogram("single", []uint64{0, 1, 2, 4, 8})
+	single.Observe(3)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := single.Quantile(q); got != 3 {
+			t.Errorf("single.Quantile(%v) = %d, want 3", q, got)
+		}
+	}
+	if single.Max() != 3 {
+		t.Errorf("single.Max() = %d, want 3", single.Max())
+	}
+
+	// All samples beyond the last bound land in the overflow bucket; the
+	// only honest answer there is the maximum observed.
+	over := r.Histogram("over", []uint64{1, 2})
+	over.Observe(100)
+	over.Observe(200)
+	over.Observe(300)
+	if got := over.Quantile(0.5); got != 300 {
+		t.Errorf("over.Quantile(0.5) = %d, want 300 (max)", got)
+	}
+	if got := over.Quantile(1); got != 300 {
+		t.Errorf("over.Quantile(1) = %d, want 300", got)
+	}
+
+	// Boundary values: a sample equal to a bound counts inside that
+	// bucket, so the quantile reports the bound exactly.
+	edge := r.Histogram("edge", []uint64{10, 20, 30})
+	for _, v := range []uint64{10, 20, 30} {
+		edge.Observe(v)
+	}
+	for i, want := range []uint64{10, 20, 30} {
+		q := float64(i+1) / 3
+		if got := edge.Quantile(q); got != want {
+			t.Errorf("edge.Quantile(%v) = %d, want %d", q, got, want)
+		}
+	}
+
+	// Quantiles survive the snapshot.
+	snap := r.Snapshot().Hists["edge"]
+	if snap.Max != 30 || snap.Quantile(0.5) != 20 {
+		t.Errorf("snapshot: max %d quantile(0.5) %d, want 30, 20", snap.Max, snap.Quantile(0.5))
+	}
+}
+
 func TestRegistryGetOrCreate(t *testing.T) {
 	r := NewRegistry()
 	if r.Counter("a") != r.Counter("a") {
@@ -66,7 +125,7 @@ func TestSnapshotText(t *testing.T) {
 	r.Histogram("h", []uint64{1}).Observe(1)
 	s := r.Snapshot()
 	text := s.String()
-	want := "a.one 1\nb.two 2\ng 3 (max 3)\nh count 1 sum 1 mean 1.00\n"
+	want := "a.one 1\nb.two 2\ng 3 (max 3)\nh count 1 sum 1 mean 1.00 p50 1 p95 1 p99 1 max 1\n"
 	if text != want {
 		t.Fatalf("snapshot text:\n%s\nwant:\n%s", text, want)
 	}

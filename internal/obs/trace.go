@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 )
 
@@ -45,14 +46,39 @@ func (k EventKind) String() string {
 	return eventKindNames[k]
 }
 
+// unknownNameMessage renders the registry-style unknown-name message shared
+// by the package's typed parse errors (matching core.UnknownSchemeError and
+// apps.UnknownAppError).
+func unknownNameMessage(what, name string, valid []string) string {
+	return fmt.Sprintf("unknown %s %q (want one of %s)", what, name, strings.Join(valid, ", "))
+}
+
+// UnknownEventKindError reports an event-kind name that ParseEventKind does
+// not recognize. Valid lists the accepted names so flag and file errors can
+// enumerate the choices.
+type UnknownEventKindError struct {
+	Name  string
+	Valid []string
+}
+
+func (e *UnknownEventKindError) Error() string {
+	return unknownNameMessage("event kind", e.Name, e.Valid)
+}
+
+// EventKindNames returns every event-kind name, in kind order.
+func EventKindNames() []string {
+	return append([]string(nil), eventKindNames[:]...)
+}
+
 // ParseEventKind resolves an event-kind name as rendered by String.
+// Unknown names return *UnknownEventKindError.
 func ParseEventKind(name string) (EventKind, error) {
 	for i, n := range eventKindNames {
 		if n == name {
 			return EventKind(i), nil
 		}
 	}
-	return 0, fmt.Errorf("obs: unknown event kind %q", name)
+	return 0, &UnknownEventKindError{Name: name, Valid: eventKindNames[:]}
 }
 
 // Event is one structured trace record.

@@ -135,6 +135,9 @@ func (d *Overflow) Entries() int { return d.wide.Entries() }
 // PeakEntries implements Directory: peak live per-block entries.
 func (d *Overflow) PeakEntries() int { return d.peak }
 
+// LiveEntries implements Directory: currently live per-block entries.
+func (d *Overflow) LiveEntries() int { return len(d.entries) }
+
 // Stats implements Directory. Replacements are the wide cache's evictions,
 // which route to this directory's "sparse.evict" counter.
 func (d *Overflow) Stats() Stats { return d.m.stats() }

@@ -47,6 +47,10 @@ type Directory interface {
 	// full directory is almost entirely empty at any instant.
 	PeakEntries() int
 
+	// LiveEntries returns the number of currently live entries, cheap
+	// enough to call from a periodic occupancy sampler.
+	LiveEntries() int
+
 	// Stats returns cumulative counters.
 	Stats() Stats
 }
@@ -167,6 +171,9 @@ func (d *FullMap) Entries() int { return 0 }
 
 // PeakEntries implements Directory.
 func (d *FullMap) PeakEntries() int { return d.peak }
+
+// LiveEntries implements Directory.
+func (d *FullMap) LiveEntries() int { return len(d.entries) }
 
 // Stats implements Directory.
 func (d *FullMap) Stats() Stats { return d.m.stats() }
@@ -333,6 +340,9 @@ func (d *Sparse) Release(block int64) {
 
 // PeakEntries implements Directory.
 func (d *Sparse) PeakEntries() int { return d.peak }
+
+// LiveEntries implements Directory.
+func (d *Sparse) LiveEntries() int { return d.live }
 
 // Occupancy returns the number of live entries (for tests and reports).
 func (d *Sparse) Occupancy() int {
