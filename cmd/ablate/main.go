@@ -24,7 +24,11 @@ func main() {
 	flag.Parse()
 	cli.Check("ablate", obsFlags.Start())
 	defer obsFlags.Stop()
-	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery()})
+	ob := exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery()}
+	if obsFlags.Checking() {
+		ob.Check = obsFlags.CheckSink
+	}
+	exp.SetObserver(ob)
 	exp.SetParallelism(*parallel)
 
 	fmt.Printf("Region-size sweep (Dir3CV_r on %s):\n\n", *app)

@@ -104,6 +104,10 @@ func main() {
 	cfg.Trace = obsFlags.Tracer(w.Name)
 	cfg.Spans = obsFlags.Spans(w.Name)
 	cfg.SampleEvery = obsFlags.SampleEvery()
+	if obsFlags.Checking() {
+		cfg.Check = true
+		cfg.CheckSink = obsFlags.CheckSink(w.Name)
+	}
 	m, err := machine.New(cfg)
 	if err != nil {
 		cli.Fatalf(tool, "%v", err)
@@ -120,6 +124,9 @@ func main() {
 	}
 	if err := m.CheckCoherence(); err != nil {
 		cli.Fatalf(tool, "coherence check failed: %v", err)
+	}
+	if err := m.CheckErr(); err != nil {
+		cli.Fatalf(tool, "%v (%d total; see -check-out for records)", err, m.ViolationCount())
 	}
 	cli.Check(tool, m.FlushTrace())
 	cli.Check(tool, m.FlushSpans())

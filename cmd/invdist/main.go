@@ -48,9 +48,16 @@ func main() {
 	)
 	obsFlags := cli.NewObs("invdist")
 	flag.Parse()
+	if err := analytic.ValidateTrials(*trials); err != nil {
+		cli.Usagef("invdist", "%v", err)
+	}
 	cli.Check("invdist", obsFlags.Start())
 	defer obsFlags.Stop()
-	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery()})
+	ob := exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery()}
+	if obsFlags.Checking() {
+		ob.Check = obsFlags.CheckSink
+	}
+	exp.SetObserver(ob)
 
 	if *fig2 {
 		if *plot {

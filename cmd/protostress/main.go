@@ -1,0 +1,297 @@
+// Command protostress hammers the coherence protocol with seeded
+// adversarial workloads across a randomized grid of machine
+// configurations — scheme × processor count × clustering × replacement
+// policy × tiny-directory geometry — with the runtime invariant checker
+// on for every run. Tiny sparse directories force constant recalls;
+// short reference streams over a small block pool maximize ownership
+// migration and gate contention. Any invariant violation fails the
+// command and prints the trial's seed and an exact replay line.
+//
+// With -fault the command becomes a self-test of the checker: it injects
+// the named protocol mutation and exits zero only if at least one trial
+// catches it.
+//
+//	protostress                        # 64 clean trials, all cores
+//	protostress -trials 8 -seed 42     # quick bounded smoke
+//	protostress -fault drop-inval      # the mutation must be caught
+//	protostress -trials 1 -seed 7 -v   # replay one trial, verbose
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"dircoh/internal/cache"
+	"dircoh/internal/check"
+	"dircoh/internal/cli"
+	"dircoh/internal/machine"
+	"dircoh/internal/runner"
+	"dircoh/internal/sparse"
+	"dircoh/internal/tango"
+)
+
+const tool = "protostress"
+
+// options is everything one stress campaign needs; tests drive
+// runTrials with a literal instead of flags.
+type options struct {
+	trials   int
+	seed     int64
+	procs    []int
+	refs     int
+	blocks   int
+	fault    machine.Fault
+	parallel int
+	verbose  bool
+}
+
+// schemeNames mirrors the roster in machine's scheme factories; the
+// trial rng indexes into it so a replayed seed picks the same scheme.
+var schemeNames = []string{"full", "cv", "b", "nb", "x"}
+
+var schemes = []machine.SchemeFactory{
+	machine.FullVec, machine.CoarseVec2, machine.Broadcast,
+	machine.NoBroadcast, machine.SupersetX,
+}
+
+var policies = []sparse.ReplacePolicy{sparse.LRU, sparse.Random, sparse.LRA}
+var policyNames = []string{"lru", "rand", "lra"}
+
+// trial is one randomized configuration plus its outcome.
+type trial struct {
+	id       int
+	seed     int64
+	desc     string
+	err      error
+	caught   []check.Violation
+	cohErr   error
+	execTime uint64
+}
+
+// failed reports whether the trial found anything wrong — a run error,
+// an invariant violation, or a quiescence-sweep failure.
+func (t *trial) failed() bool {
+	return t.err != nil || len(t.caught) > 0 || t.cohErr != nil
+}
+
+// stress builds the adversarial workload: per-proc streams mixing reads,
+// writes, lock-protected writes and a closing barrier over a small block
+// pool. Identical in spirit to the machine package's checker tests, but
+// parameterized by the trial rng so every trial stresses a different
+// sharing pattern.
+func stress(rng *rand.Rand, procs, refs, blocks int, sync bool) *tango.Workload {
+	addr := func(b int64) int64 { return b * 16 }
+	streams := make([][]tango.Ref, procs)
+	for p := range streams {
+		var b tango.Builder
+		for i := 0; i < refs; i++ {
+			blk := int64(rng.Intn(blocks))
+			switch rng.Intn(12) {
+			case 0, 1, 2, 3:
+				b.Write(addr(blk))
+			case 4:
+				if sync {
+					lock := addr(int64(blocks) + int64(rng.Intn(4)))
+					b.Lock(lock)
+					b.Write(addr(blk))
+					b.Unlock(lock)
+				} else {
+					b.Write(addr(blk))
+				}
+			default:
+				b.Read(addr(blk))
+			}
+		}
+		if sync {
+			b.Barrier(addr(int64(blocks) + 8))
+		}
+		streams[p] = b.Refs()
+	}
+	return &tango.Workload{Name: "stress", Streams: streams}
+}
+
+// runTrial derives one configuration from the trial seed, runs it with
+// the checker on, and records everything the checker flagged.
+func runTrial(id int, campaignSeed int64, o options) trial {
+	seed := campaignSeed + int64(id)
+	rng := rand.New(rand.NewSource(seed))
+	t := trial{id: id, seed: seed}
+
+	si := rng.Intn(len(schemes))
+	procs := o.procs[rng.Intn(len(o.procs))]
+	ppc := 1
+	if procs%2 == 0 && rng.Intn(2) == 1 {
+		ppc = 2
+	}
+	sync := rng.Intn(3) > 0
+
+	cfg := machine.Config{
+		Procs:           procs,
+		ProcsPerCluster: ppc,
+		Block:           16,
+		Cache:           cache.Config{L1Size: 256, L1Assoc: 1, L2Size: 1024, L2Assoc: 2, Block: 16},
+		Scheme:          schemes[si],
+		Timing:          machine.DefaultTiming(),
+		Seed:            seed,
+		Check:           true,
+		Fault:           o.fault,
+	}
+	dir := "fullmap"
+	switch rng.Intn(4) {
+	case 0: // full map
+	case 1, 2: // tiny sparse directory: constant replacement recalls
+		pi := rng.Intn(len(policies))
+		cfg.Sparse = machine.SparseConfig{
+			Entries: 4 << rng.Intn(3),
+			Assoc:   1 << rng.Intn(3),
+			Policy:  policies[pi],
+		}
+		dir = fmt.Sprintf("sparse%d/a%d/%s", cfg.Sparse.Entries, cfg.Sparse.Assoc, policyNames[pi])
+	case 3: // two-level overflow directory
+		cfg.Overflow = &machine.OverflowDirConfig{Ptrs: 1, WideEntries: 4, Assoc: 2}
+		dir = "overflow"
+	}
+	t.desc = fmt.Sprintf("scheme=%s procs=%d ppc=%d dir=%s sync=%v",
+		schemeNames[si], procs, ppc, dir, sync)
+
+	w := stress(rng, procs, o.refs, o.blocks, sync)
+	m, err := machine.New(cfg)
+	if err != nil {
+		t.err = err
+		return t
+	}
+	r, err := m.Run(w)
+	if err != nil {
+		t.err = err
+		return t
+	}
+	t.execTime = r.ExecTime
+	t.caught = m.Violations()
+	t.cohErr = m.CheckCoherence()
+	return t
+}
+
+// runTrials executes the campaign and returns the trials plus whether
+// anything was caught. It is the testable core of the command.
+func runTrials(o options) ([]trial, bool) {
+	pool := runner.New(o.parallel)
+	trials := runner.Collect(pool, o.trials, func(i int) trial {
+		return runTrial(i, o.seed, o)
+	})
+	caught := false
+	for i := range trials {
+		if trials[i].failed() {
+			caught = true
+		}
+	}
+	return trials, caught
+}
+
+func report(w *os.File, trials []trial, o options) {
+	for i := range trials {
+		t := &trials[i]
+		if o.verbose || t.failed() {
+			fmt.Fprintf(w, "trial %3d seed=%-12d %s  exec=%d cycles\n", t.id, t.seed, t.desc, t.execTime)
+		}
+		if t.err != nil {
+			fmt.Fprintf(w, "  run error: %v\n", t.err)
+		}
+		for _, v := range t.caught {
+			fmt.Fprintf(w, "  violation: %s\n", v)
+		}
+		if t.cohErr != nil {
+			fmt.Fprintf(w, "  quiescence sweep: %v\n", t.cohErr)
+		}
+		if t.failed() {
+			fmt.Fprintf(w, "  replay: protostress -trials 1 -seed %d -procs %s -refs %d -blocks %d -fault %s -v\n",
+				t.seed, joinInts(o.procs), o.refs, o.blocks, o.fault)
+		}
+	}
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -procs entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		trialsN  = flag.Int("trials", 64, "randomized configurations to run")
+		seed     = flag.Int64("seed", 1, "campaign seed; trial i runs with seed+i")
+		procsStr = flag.String("procs", "4,6,8", "comma list of processor counts to draw from")
+		refs     = flag.Int("refs", 300, "shared references per processor")
+		blocks   = flag.Int("blocks", 24, "shared data blocks in the contended pool")
+		faultStr = flag.String("fault", "none", "inject a protocol mutation (none, drop-inval, skip-recall); the checker must catch it")
+		parallel = flag.Int("parallel", 0, "concurrent trials (0 = one per core)")
+		verbose  = flag.Bool("v", false, "print every trial, not just failures")
+	)
+	flag.Parse()
+
+	fault, err := machine.ParseFault(*faultStr)
+	if err != nil {
+		cli.Usagef(tool, "%v", err)
+	}
+	procs, err := parseProcs(*procsStr)
+	if err != nil {
+		cli.Usagef(tool, "%v", err)
+	}
+	if *trialsN <= 0 || *refs <= 0 || *blocks <= 0 {
+		cli.Usagef(tool, "-trials, -refs and -blocks must be positive")
+	}
+
+	o := options{
+		trials: *trialsN, seed: *seed, procs: procs, refs: *refs,
+		blocks: *blocks, fault: fault, parallel: *parallel, verbose: *verbose,
+	}
+	trials, caught := runTrials(o)
+	report(os.Stdout, trials, o)
+
+	nviol := 0
+	for i := range trials {
+		nviol += len(trials[i].caught)
+	}
+	fmt.Printf("%d trials, %d with findings, %d violations total, fault=%s\n",
+		len(trials), countFailed(trials), nviol, fault)
+
+	if fault == machine.FaultNone {
+		if caught {
+			cli.Fatalf(tool, "protocol invariant violations on an unmutated protocol")
+		}
+		fmt.Println("clean: no invariant violations")
+		return
+	}
+	// Self-test mode: the injected mutation must be detected.
+	if !caught {
+		cli.Fatalf(tool, "injected fault %s went undetected", fault)
+	}
+	fmt.Printf("checker caught injected fault %s\n", fault)
+}
+
+func countFailed(trials []trial) int {
+	n := 0
+	for i := range trials {
+		if trials[i].failed() {
+			n++
+		}
+	}
+	return n
+}

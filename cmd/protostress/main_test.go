@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"dircoh/internal/machine"
+)
+
+func smallOpts() options {
+	return options{trials: 6, seed: 21, procs: []int{4, 6}, refs: 150, blocks: 16}
+}
+
+// TestCleanCampaign: an unmutated protocol must survive the stress grid
+// with zero findings.
+func TestCleanCampaign(t *testing.T) {
+	trials, caught := runTrials(smallOpts())
+	if caught {
+		for _, tr := range trials {
+			if tr.failed() {
+				t.Errorf("trial %d (%s): err=%v violations=%v coherence=%v",
+					tr.id, tr.desc, tr.err, tr.caught, tr.cohErr)
+			}
+		}
+		t.Fatal("clean protocol produced findings")
+	}
+}
+
+// TestFaultsCaught: each injected mutation must be detected by at least
+// one trial — the harness's self-test obligation.
+func TestFaultsCaught(t *testing.T) {
+	for _, f := range []machine.Fault{machine.FaultDropInval, machine.FaultSkipRecallInval} {
+		o := smallOpts()
+		o.trials = 16
+		o.fault = f
+		_, caught := runTrials(o)
+		if !caught {
+			t.Errorf("fault %s went undetected in %d trials", f, o.trials)
+		}
+	}
+}
+
+// TestReplayDeterminism: rerunning a single trial with its printed seed
+// reproduces the identical configuration and execution time.
+func TestReplayDeterminism(t *testing.T) {
+	o := smallOpts()
+	first := runTrial(3, o.seed, o)
+	replay := runTrial(0, first.seed, o)
+	if replay.desc != first.desc || replay.execTime != first.execTime {
+		t.Fatalf("replay diverged: %q exec=%d vs %q exec=%d",
+			first.desc, first.execTime, replay.desc, replay.execTime)
+	}
+}

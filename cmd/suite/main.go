@@ -74,6 +74,10 @@ func execute(run config.RunSpec) outcome {
 	cfg.Trace = obsFlags.Tracer(run.Name)
 	cfg.Spans = obsFlags.Spans(run.Name)
 	cfg.SampleEvery = obsFlags.SampleEvery()
+	if obsFlags.Checking() {
+		cfg.Check = true
+		cfg.CheckSink = obsFlags.CheckSink(run.Name)
+	}
 	m, err := machine.New(cfg)
 	if err != nil {
 		return fail(err)
@@ -84,6 +88,9 @@ func execute(run config.RunSpec) outcome {
 	}
 	if err := m.CheckCoherence(); err != nil {
 		return fail(fmt.Errorf("coherence: %w", err))
+	}
+	if err := m.CheckErr(); err != nil {
+		return fail(err)
 	}
 	if err := m.FlushTrace(); err != nil {
 		return fail(fmt.Errorf("trace: %w", err))

@@ -14,6 +14,7 @@ import (
 	"os"
 	"time"
 
+	"dircoh/internal/analytic"
 	"dircoh/internal/cli"
 	"dircoh/internal/exp"
 )
@@ -27,9 +28,16 @@ func main() {
 	)
 	obsFlags := cli.NewObs("sweep")
 	flag.Parse()
+	if err := analytic.ValidateTrials(*trials); err != nil {
+		cli.Usagef("sweep", "%v", err)
+	}
 	cli.Check("sweep", obsFlags.Start())
 	defer obsFlags.Stop()
-	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery()})
+	ob := exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery()}
+	if obsFlags.Checking() {
+		ob.Check = obsFlags.CheckSink
+	}
+	exp.SetObserver(ob)
 	exp.SetParallelism(*parallel)
 	exp.Meter().Reset()
 	start := time.Now()

@@ -25,7 +25,7 @@ import (
 func InvalCurve(scheme core.Scheme, trials int, seed int64) []float64 {
 	n := scheme.Nodes()
 	if trials <= 0 {
-		panic("analytic: trials must be positive")
+		panic(&ArgError{Name: "trials", Value: trials})
 	}
 	rng := rand.New(rand.NewSource(seed))
 	out := make([]float64, n) // out[s] = average invals with s sharers

@@ -33,7 +33,7 @@ func ExpectedCandidatesBroadcast(ptrs, n, s int) float64 {
 func ExpectedCandidatesCV(ptrs, region, n, s int) float64 {
 	checkNS(n, s)
 	if region <= 0 {
-		panic("analytic: region must be positive")
+		panic(&ArgError{Name: "region", Value: region})
 	}
 	if s <= ptrs {
 		return float64(s)

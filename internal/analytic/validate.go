@@ -1,0 +1,34 @@
+package analytic
+
+import "fmt"
+
+// ArgError reports a non-positive model parameter — the typed form of the
+// package's argument panics, so command-line drivers can validate trials
+// and region sizes at the flag boundary and print a usage message instead
+// of a stack trace. The model functions themselves still panic (carrying
+// an *ArgError as the panic value): direct library misuse is a programming
+// error.
+type ArgError struct {
+	Name  string
+	Value int
+}
+
+func (e *ArgError) Error() string {
+	return fmt.Sprintf("analytic: %s must be positive (got %d)", e.Name, e.Value)
+}
+
+// ValidateTrials checks a Monte-Carlo trial count.
+func ValidateTrials(trials int) error {
+	if trials <= 0 {
+		return &ArgError{Name: "trials", Value: trials}
+	}
+	return nil
+}
+
+// ValidateRegion checks a coarse-vector region size.
+func ValidateRegion(region int) error {
+	if region <= 0 {
+		return &ArgError{Name: "region", Value: region}
+	}
+	return nil
+}

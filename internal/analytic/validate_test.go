@@ -1,0 +1,33 @@
+package analytic
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidateTrials(t *testing.T) {
+	if err := ValidateTrials(1); err != nil {
+		t.Fatalf("1 trial is legal: %v", err)
+	}
+	for _, n := range []int{0, -5} {
+		err := ValidateTrials(n)
+		var ae *ArgError
+		if !errors.As(err, &ae) || ae.Name != "trials" || ae.Value != n {
+			t.Fatalf("ValidateTrials(%d) = %v, want *ArgError{trials,%d}", n, err, n)
+		}
+		if !strings.Contains(err.Error(), "trials") {
+			t.Fatalf("error should name the parameter: %v", err)
+		}
+	}
+}
+
+func TestValidateRegion(t *testing.T) {
+	if err := ValidateRegion(2); err != nil {
+		t.Fatalf("region 2 is legal: %v", err)
+	}
+	var ae *ArgError
+	if err := ValidateRegion(0); !errors.As(err, &ae) || ae.Name != "region" {
+		t.Fatalf("ValidateRegion(0) = %v, want *ArgError{region,0}", err)
+	}
+}

@@ -49,6 +49,40 @@ type Cache struct {
 	lines []line
 }
 
+// GeometryError reports an impossible cache geometry — the typed form of
+// the constructor panics, returned by Config.Validate so user-supplied
+// sizes fail with a message instead of a stack trace.
+type GeometryError struct {
+	Level  string // "L1" or "L2" (empty for a bare cache)
+	Size   int
+	Block  int
+	Assoc  int
+	Reason string
+}
+
+func (e *GeometryError) Error() string {
+	if e.Level != "" {
+		return fmt.Sprintf("cache: %s: %s", e.Level, e.Reason)
+	}
+	return "cache: " + e.Reason
+}
+
+// checkGeometry validates one cache level's geometry, mirroring the
+// NewCache panic conditions.
+func checkGeometry(level string, sizeBytes, blockBytes, assoc int) error {
+	bad := func(reason string) error {
+		return &GeometryError{Level: level, Size: sizeBytes, Block: blockBytes, Assoc: assoc, Reason: reason}
+	}
+	if sizeBytes <= 0 || blockBytes <= 0 || assoc <= 0 {
+		return bad(fmt.Sprintf("size (%d), block (%d) and associativity (%d) must all be positive", sizeBytes, blockBytes, assoc))
+	}
+	nlines := sizeBytes / blockBytes
+	if nlines == 0 || nlines%assoc != 0 {
+		return bad(fmt.Sprintf("%d bytes / %d-byte blocks not divisible into %d-way sets", sizeBytes, blockBytes, assoc))
+	}
+	return nil
+}
+
 // NewCache builds a cache of sizeBytes with blockBytes lines and the given
 // associativity. sizeBytes must be a multiple of blockBytes*assoc.
 func NewCache(sizeBytes, blockBytes, assoc int) *Cache {

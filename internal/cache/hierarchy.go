@@ -1,5 +1,7 @@
 package cache
 
+import "fmt"
+
 // Config sizes a two-level hierarchy. Sizes are in bytes.
 type Config struct {
 	L1Size  int
@@ -13,6 +15,25 @@ type Config struct {
 // secondary caches with 16-byte blocks.
 func DefaultConfig() Config {
 	return Config{L1Size: 64 << 10, L1Assoc: 1, L2Size: 256 << 10, L2Assoc: 1, Block: 16}
+}
+
+// Validate checks the geometry for every error NewHierarchy (and the
+// NewCache calls under it) would otherwise panic over, so flag-derived
+// configurations can be rejected with a message instead of a stack trace.
+// Constructors still panic on invalid input: direct library misuse is a
+// programming error.
+func (c Config) Validate() error {
+	if err := checkGeometry("L1", c.L1Size, c.Block, c.L1Assoc); err != nil {
+		return err
+	}
+	if err := checkGeometry("L2", c.L2Size, c.Block, c.L2Assoc); err != nil {
+		return err
+	}
+	if c.L2Size < c.L1Size {
+		return &GeometryError{Level: "L2", Size: c.L2Size, Block: c.Block, Assoc: c.L2Assoc,
+			Reason: fmt.Sprintf("L2 (%d bytes) smaller than L1 (%d bytes) violates inclusion", c.L2Size, c.L1Size)}
+	}
+	return nil
 }
 
 // Stats counts hierarchy accesses.

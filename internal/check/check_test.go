@@ -1,0 +1,305 @@
+package check
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dircoh/internal/obs"
+)
+
+func TestRuleNamesAndMetrics(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < NumRules; i++ {
+		r := Rule(i)
+		name := r.String()
+		if name == "" || strings.HasPrefix(name, "Rule(") {
+			t.Errorf("rule %d has no name", i)
+		}
+		if seen[name] {
+			t.Errorf("duplicate rule name %q", name)
+		}
+		seen[name] = true
+		if got, want := r.MetricName(), "check.violation."+name; got != want {
+			t.Errorf("MetricName() = %q, want %q", got, want)
+		}
+	}
+	if got := Rule(200).String(); got != "Rule(200)" {
+		t.Errorf("out-of-range rule: %q", got)
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := Violation{Rule: RuleCoverage, Tx: 12, Block: 97, Node: 3, Cycle: 412, Detail: "stale copy"}
+	msg := v.Error()
+	for _, want := range []string{"dir.coverage", "t=412", "node=3", "block=97", "tx=12", "stale copy"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+}
+
+// lineBuf implements LineWriter, collecting lines.
+type lineBuf struct {
+	lines []string
+	err   error
+}
+
+func (b *lineBuf) WriteLine(line string) error {
+	if b.err != nil {
+		return b.err
+	}
+	b.lines = append(b.lines, line)
+	return nil
+}
+
+func TestJSONLSink(t *testing.T) {
+	buf := &lineBuf{}
+	s := NewJSONLSink(buf, "LU/Dir32")
+	v := Violation{Rule: RuleRecall, Tx: 7, Block: 5, Node: 1, Cycle: 99, Detail: `quoted "detail"`}
+	if err := s.WriteViolation(v); err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		Run    string `json:"run"`
+		Check  string `json:"check"`
+		T      uint64 `json:"t"`
+		Node   int32  `json:"node"`
+		Block  int64  `json:"block"`
+		Tx     uint64 `json:"tx"`
+		Detail string `json:"detail"`
+	}
+	if err := json.Unmarshal([]byte(buf.lines[0]), &rec); err != nil {
+		t.Fatalf("record is not valid JSON: %v\n%s", err, buf.lines[0])
+	}
+	if rec.Run != "LU/Dir32" || rec.Check != "recall" || rec.T != 99 ||
+		rec.Node != 1 || rec.Block != 5 || rec.Tx != 7 || rec.Detail != `quoted "detail"` {
+		t.Fatalf("bad record: %+v", rec)
+	}
+
+	// Empty run label omits the field entirely.
+	buf2 := &lineBuf{}
+	if err := NewJSONLSink(buf2, "").WriteViolation(v); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf2.lines[0], `"run"`) {
+		t.Fatalf("empty run label should omit the field: %s", buf2.lines[0])
+	}
+}
+
+func TestWriterSink(t *testing.T) {
+	var sb strings.Builder
+	s := NewWriterSink(&sb, "MP3D/full")
+	if err := s.WriteViolation(Violation{Rule: RuleAck, Detail: "lost ack"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sb.String(); !strings.HasPrefix(got, "MP3D/full: check: ack") || !strings.Contains(got, "lost ack") {
+		t.Fatalf("writer sink line: %q", got)
+	}
+}
+
+func TestRecorderCountersAndCap(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := NewRecorder(reg, nil)
+	for i := 0; i < maxStored+10; i++ {
+		r.Violationf(RuleSingleWriter, 0, int64(i), uint64(i), "v%d", i)
+	}
+	if r.Count() != uint64(maxStored+10) {
+		t.Fatalf("Count = %d, want %d", r.Count(), maxStored+10)
+	}
+	if len(r.Violations()) != maxStored {
+		t.Fatalf("stored %d violations, cap is %d", len(r.Violations()), maxStored)
+	}
+	if got := reg.Counter(RuleSingleWriter.MetricName()).Value(); got != uint64(maxStored+10) {
+		t.Fatalf("registry counter = %d, want %d", got, maxStored+10)
+	}
+}
+
+func TestRecorderStickySinkErr(t *testing.T) {
+	buf := &lineBuf{err: errors.New("disk full")}
+	r := NewRecorder(nil, NewJSONLSink(buf, ""))
+	r.Violationf(RuleProtocol, -1, -1, 0, "first")
+	buf.err = fmt.Errorf("second error")
+	r.Violationf(RuleProtocol, -1, -1, 0, "second")
+	if r.SinkErr() == nil || r.SinkErr().Error() != "disk full" {
+		t.Fatalf("SinkErr = %v, want the first error to stick", r.SinkErr())
+	}
+}
+
+func TestInvalBookkeeping(t *testing.T) {
+	r := NewRecorder(nil, nil)
+	r.InvalSent(9, 2)
+	if r.Inflight(9) != 2 {
+		t.Fatalf("Inflight = %d, want 2", r.Inflight(9))
+	}
+	r.InvalApplied(9, 10)
+	r.InvalApplied(9, 11)
+	if r.Inflight(9) != 0 || r.Count() != 0 {
+		t.Fatalf("drain should be clean: inflight=%d count=%d", r.Inflight(9), r.Count())
+	}
+	// An application with none in flight is an ack-conservation violation.
+	r.InvalApplied(9, 12)
+	if r.Count() != 1 || r.Violations()[0].Rule != RuleAck {
+		t.Fatalf("unexpected violations: %v", r.Violations())
+	}
+	// Non-positive sends are ignored, not stored as zero entries.
+	r.InvalSent(10, 0)
+	if r.Inflight(10) != 0 {
+		t.Fatal("zero send must not track")
+	}
+}
+
+func TestAckBookkeeping(t *testing.T) {
+	r := NewRecorder(nil, nil)
+	r.AckExpect(2, 2)
+	r.AckArrived(2, 5)
+	r.Drained(2, 6) // one still outstanding: violation
+	if r.Count() != 1 || !strings.Contains(r.Violations()[0].Detail, "1 acknowledgements") {
+		t.Fatalf("expected a premature-drain violation, got %v", r.Violations())
+	}
+	// Drained resets the shadow count; a further ack is now a double-ack.
+	r.AckArrived(2, 7)
+	if r.Count() != 2 || !strings.Contains(r.Violations()[1].Detail, "more invalidations than were sent") {
+		t.Fatalf("expected a double-ack violation, got %v", r.Violations())
+	}
+}
+
+func TestFinishChecks(t *testing.T) {
+	r := NewRecorder(nil, nil)
+	r.InvalSent(3, 1) // never applied
+	r.AckExpect(1, 2) // never acknowledged
+	r.ExtraInval()    // checker counted 1, machine will claim 5
+	r.Finish(5, 1000)
+	var rules []Rule
+	for _, v := range r.Violations() {
+		rules = append(rules, v.Rule)
+	}
+	want := map[Rule]int{RuleAck: 2, RuleAccounting: 1}
+	got := map[Rule]int{}
+	for _, ru := range rules {
+		got[ru]++
+	}
+	for ru, n := range want {
+		if got[ru] != n {
+			t.Fatalf("Finish violations by rule: got %v, want %v (all: %v)", got, want, r.Violations())
+		}
+	}
+}
+
+func TestOpenTxContext(t *testing.T) {
+	r := NewRecorder(nil, nil)
+	r.OpenTx(4, 17)
+	r.Violationf(RuleCoverage, 0, 4, 50, "while tx open")
+	if r.Violations()[0].Tx != 17 {
+		t.Fatalf("violation should carry the open tx, got %d", r.Violations()[0].Tx)
+	}
+	r.CloseTx(4, 16) // stale close: must not clear tx 17
+	if r.TxOf(4) != 17 {
+		t.Fatal("stale CloseTx cleared a newer transaction")
+	}
+	r.CloseTx(4, 17)
+	if r.TxOf(4) != 0 {
+		t.Fatal("CloseTx did not clear")
+	}
+}
+
+// span returns a well-formed span for the tiling tests.
+func span(tx uint64, parent uint64, phase obs.Phase, start, end uint64) obs.Span {
+	return obs.Span{Tx: tx, ID: tx*10 + uint64(phase), Parent: parent, Class: obs.TxWrite,
+		Phase: phase, Start: start, End: end}
+}
+
+func TestSpanTilingClean(t *testing.T) {
+	r := NewRecorder(nil, nil)
+	r.Span(span(1, 0o1, obs.PhReqTravel, 10, 14))
+	r.Span(span(1, 0o1, obs.PhDirWait, 14, 20))
+	r.Span(span(1, 0o1, obs.PhReplyTravel, 20, 26))
+	root := span(1, 0, obs.PhTotal, 10, 26)
+	r.Span(root)
+	r.Finish(0, 100)
+	if r.Count() != 0 {
+		t.Fatalf("clean tiling flagged: %v", r.Violations())
+	}
+}
+
+func TestSpanViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		feed func(r *Recorder)
+		want string
+	}{
+		{"end before start", func(r *Recorder) {
+			r.Span(span(1, 0, obs.PhTotal, 10, 5))
+		}, "before it starts"},
+		{"gap between children", func(r *Recorder) {
+			r.Span(span(1, 01, obs.PhReqTravel, 10, 14))
+			r.Span(span(1, 01, obs.PhDirWait, 16, 20)) // gap at 14..16
+		}, "gap or overlap"},
+		{"children don't tile root", func(r *Recorder) {
+			r.Span(span(1, 01, obs.PhReqTravel, 10, 14))
+			r.Span(span(1, 0, obs.PhTotal, 10, 26))
+		}, "children tile"},
+		// A completed tree is forgotten, so duplicate-root and
+		// child-after-root are only detectable while the tx still owes its
+		// asynchronous ack.gather child (root.N > 0).
+		{"two roots", func(r *Recorder) {
+			root := span(1, 0, obs.PhTotal, 10, 26)
+			root.N = 2
+			r.Span(root)
+			r.Span(root)
+		}, "two root spans"},
+		{"sync child after root", func(r *Recorder) {
+			root := span(1, 0, obs.PhTotal, 10, 26)
+			root.N = 2
+			r.Span(root)
+			r.Span(span(1, 01, obs.PhReqTravel, 10, 26))
+		}, "after its root"},
+		{"orphaned children", func(r *Recorder) {
+			r.Span(span(1, 01, obs.PhReqTravel, 10, 14))
+			r.Finish(0, 100)
+		}, "no root"},
+		{"lost ack.gather", func(r *Recorder) {
+			root := span(1, 0, obs.PhTotal, 10, 26)
+			root.N = 2 // fan-out: owes an async ack.gather child
+			r.Span(root)
+			r.Finish(0, 100)
+		}, "without its ack.gather"},
+	}
+	for _, tc := range cases {
+		r := NewRecorder(nil, nil)
+		tc.feed(r)
+		found := false
+		for _, v := range r.Violations() {
+			if v.Rule == RuleSpan && strings.Contains(v.Detail, tc.want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: no span violation containing %q (got %v)", tc.name, tc.want, r.Violations())
+		}
+	}
+}
+
+// TestSpanAckGatherOrder: the asynchronous ack.gather child may land
+// before or after the root; both orders complete the tree cleanly.
+func TestSpanAckGatherOrder(t *testing.T) {
+	for _, ackFirst := range []bool{true, false} {
+		r := NewRecorder(nil, nil)
+		root := span(1, 0, obs.PhTotal, 10, 26)
+		root.N = 2
+		ack := span(1, 01, obs.PhAckGather, 12, 40)
+		if ackFirst {
+			r.Span(ack)
+			r.Span(root)
+		} else {
+			r.Span(root)
+			r.Span(ack)
+		}
+		r.Finish(0, 100)
+		if r.Count() != 0 {
+			t.Fatalf("ackFirst=%v: clean ack.gather flagged: %v", ackFirst, r.Violations())
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package check
+
+import "dircoh/internal/obs"
+
+// txSpans accumulates one transaction's span tree for the tiling check:
+// the synchronous children must partition [root.Start, root.End] exactly,
+// in emission order, and every child needs a root — the same contract
+// cmd/tracelens verifies offline, re-checked here live so a span-emission
+// bug is caught in the run that introduces it.
+type txSpans struct {
+	class      obs.TxClass
+	rootSeen   bool
+	firstStart uint64 // start of the first synchronous child
+	cursor     uint64 // end of the last synchronous child
+	sync       int    // synchronous children seen
+	ackSeen    bool   // an asynchronous ack.gather child already arrived
+	waitAck    bool   // an asynchronous ack.gather child is still due
+}
+
+// Span feeds one emitted span to the tiling verifier. The machine funnels
+// every span through here (including when span output is discarded), so
+// the cross-check runs whenever the checker is enabled.
+func (r *Recorder) Span(s obs.Span) {
+	if s.End < s.Start {
+		r.Violationf(RuleSpan, s.Node, s.Block, s.End,
+			"span %d (%s/%s) ends at %d before it starts at %d", s.ID, s.Class, s.Phase, s.End, s.Start)
+		return
+	}
+	tx := r.spanTx[s.Tx]
+	if tx == nil {
+		tx = &txSpans{class: s.Class}
+		r.spanTx[s.Tx] = tx
+	}
+	if s.Parent == 0 { // root span
+		if tx.rootSeen {
+			r.Violationf(RuleSpan, s.Node, s.Block, s.End, "transaction %d emitted two root spans", s.Tx)
+			return
+		}
+		tx.rootSeen = true
+		if tx.sync > 0 && (tx.firstStart != s.Start || tx.cursor != s.End) {
+			r.Violationf(RuleSpan, s.Node, s.Block, s.End,
+				"transaction %d (%s) children tile [%d,%d] but root covers [%d,%d]",
+				s.Tx, s.Class, tx.firstStart, tx.cursor, s.Start, s.End)
+		}
+		// Non-eviction transactions with fan-out owe an asynchronous
+		// ack.gather child that may land after the root.
+		if s.N > 0 && s.Class != obs.TxEvict && !tx.ackSeen {
+			tx.waitAck = true
+			return
+		}
+		delete(r.spanTx, s.Tx)
+		return
+	}
+	if s.Phase.Async(s.Class) {
+		// Asynchronous child: it overlaps the root rather than tiling it.
+		if tx.rootSeen {
+			delete(r.spanTx, s.Tx) // the awaited ack.gather arrived
+		} else {
+			tx.ackSeen = true // arrived before the root; nothing more owed
+		}
+		return
+	}
+	if tx.rootSeen {
+		r.Violationf(RuleSpan, s.Node, s.Block, s.End,
+			"transaction %d emitted a synchronous %s child after its root", s.Tx, s.Phase)
+		return
+	}
+	if tx.sync == 0 {
+		tx.firstStart = s.Start
+	} else if s.Start != tx.cursor {
+		r.Violationf(RuleSpan, s.Node, s.Block, s.End,
+			"transaction %d phase %s starts at %d but the previous phase ended at %d (gap or overlap)",
+			s.Tx, s.Phase, s.Start, tx.cursor)
+	}
+	tx.cursor = s.End
+	tx.sync++
+}
+
+// finishSpans reports transactions whose span trees never completed.
+func (r *Recorder) finishSpans(cycle uint64) {
+	for id, tx := range r.spanTx {
+		switch {
+		case !tx.rootSeen:
+			r.Violationf(RuleSpan, -1, -1, cycle,
+				"transaction %d (%s) emitted %d child spans but no root (orphaned transaction)", id, tx.class, tx.sync)
+		case tx.waitAck:
+			r.Violationf(RuleSpan, -1, -1, cycle,
+				"transaction %d (%s) ended without its ack.gather span (lost acknowledgements)", id, tx.class)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"runtime/pprof"
 	"sync"
 
+	"dircoh/internal/check"
 	"dircoh/internal/obs"
 	"dircoh/internal/sim"
 )
@@ -47,14 +48,17 @@ type Obs struct {
 
 	tracePath   string
 	spanPath    string
+	checkOn     bool
+	checkPath   string
 	sampleEvery uint64
 	metricsPath string
 	cpuPath     string
 	memPath     string
 	pprofAddr   string
 
-	sink     *obs.JSONLSink
-	spanSink *obs.JSONLSink
+	sink      *obs.JSONLSink
+	spanSink  *obs.JSONLSink
+	checkSink *obs.JSONLSink
 
 	mu      sync.Mutex // serializes metrics blocks from concurrent runs
 	metrics *os.File
@@ -68,6 +72,8 @@ func NewObs(tool string) *Obs {
 	o := &Obs{tool: tool}
 	flag.StringVar(&o.tracePath, "trace-out", "", "write a JSONL coherence-event trace to this file ('-' for stdout)")
 	flag.StringVar(&o.spanPath, "span-out", "", "write JSONL transaction spans to this file ('-' for stdout; may equal -trace-out to interleave both streams)")
+	flag.BoolVar(&o.checkOn, "check", false, "run the coherence invariant checker alongside the simulation; violations go to stderr (or -check-out) and fail the command")
+	flag.StringVar(&o.checkPath, "check-out", "", "write JSONL invariant-violation records to this file ('-' for stdout; may equal -trace-out/-span-out to interleave; implies -check)")
 	flag.Uint64Var(&o.sampleEvery, "sample-every", 0, "sample queue depths every N cycles into histograms (0 disables)")
 	flag.StringVar(&o.metricsPath, "metrics", "", "write per-run metrics dumps (name value lines) to this file")
 	flag.StringVar(&o.cpuPath, "cpuprofile", "", "write a CPU profile to this file")
@@ -117,6 +123,20 @@ func (o *Obs) Start() error {
 			o.spanSink = obs.NewJSONLSink(w)
 		}
 	}
+	if o.checkPath != "" {
+		switch {
+		case o.checkPath == o.tracePath:
+			o.checkSink = o.sink
+		case o.checkPath == o.spanPath:
+			o.checkSink = o.spanSink
+		default:
+			w, err := openOut(o.checkPath)
+			if err != nil {
+				return err
+			}
+			o.checkSink = obs.NewJSONLSink(w)
+		}
+	}
 	if o.metricsPath != "" {
 		f, err := os.Create(o.metricsPath)
 		if err != nil {
@@ -144,6 +164,10 @@ func (o *Obs) Stop() {
 		Check(o.tool, o.cpu.Close())
 		o.cpu = nil
 	}
+	if o.checkSink != nil && o.checkSink != o.sink && o.checkSink != o.spanSink {
+		Check(o.tool, o.checkSink.Close())
+	}
+	o.checkSink = nil
 	if o.spanSink != nil && o.spanSink != o.sink {
 		Check(o.tool, o.spanSink.Close())
 	}
@@ -190,6 +214,24 @@ func (o *Obs) Spans(run string) *obs.SpanRecorder {
 		return nil
 	}
 	return obs.NewSpanRecorder(o.spanSink.Sub(run), 0)
+}
+
+// Checking reports whether -check or -check-out was given.
+func (o *Obs) Checking() bool { return o.checkOn || o.checkPath != "" }
+
+// CheckSink returns the violation sink for one run, tagged with the run
+// label: JSONL records when -check-out is set (sharing the trace/span
+// writer when the paths coincide), stderr lines under bare -check, nil
+// when checking is off. A nil sink still lets the machine count and store
+// violations; the caller reports them via Machine.CheckErr.
+func (o *Obs) CheckSink(run string) check.Sink {
+	if o.checkSink != nil {
+		return check.NewJSONLSink(o.checkSink, run)
+	}
+	if o.checkOn {
+		return check.NewWriterSink(os.Stderr, run)
+	}
+	return nil
 }
 
 // SampleEvery returns the -sample-every period in cycles (0 = disabled).

@@ -94,6 +94,10 @@ func runWorkload(app string, w *tango.Workload, cfg machine.Config, label string
 		sp = ob.Spans(name)
 		cfg.Spans = sp
 	}
+	if ob.Check != nil {
+		cfg.Check = true
+		cfg.CheckSink = ob.Check(name)
+	}
 	cfg.SampleEvery = ob.SampleEvery
 	m, err := machine.New(cfg)
 	if err != nil {
@@ -105,6 +109,9 @@ func runWorkload(app string, w *tango.Workload, cfg machine.Config, label string
 	}
 	if err := m.CheckCoherence(); err != nil {
 		panic(fmt.Sprintf("exp: %s/%s coherence: %v", app, label, err))
+	}
+	if err := m.CheckErr(); err != nil {
+		panic(fmt.Sprintf("exp: %s/%s: %v", app, label, err))
 	}
 	if err := tr.Flush(); err != nil {
 		panic(fmt.Sprintf("exp: %s trace: %v", name, err))

@@ -3,6 +3,7 @@ package exp
 import (
 	"sync"
 
+	"dircoh/internal/check"
 	"dircoh/internal/obs"
 	"dircoh/internal/sim"
 )
@@ -13,12 +14,16 @@ import (
 // execute concurrently on the pool) or nil to leave that run
 // uninstrumented. Metrics, when non-nil, receives each finished run's
 // metrics snapshot. SampleEvery, when > 0, enables queue-depth sampling
-// at that period on every run. The run label is "app/label", matching the
-// figures' row captions.
+// at that period on every run. Check, when non-nil, enables the runtime
+// coherence invariant checker on every run, with the returned sink (which
+// may be nil) receiving that run's violation records; any violation fails
+// the run. The run label is "app/label", matching the figures' row
+// captions.
 type Observer struct {
 	Tracer      func(run string) *obs.Tracer
 	Spans       func(run string) *obs.SpanRecorder
 	Metrics     func(run string, snap obs.Snapshot)
+	Check       func(run string) check.Sink
 	SampleEvery sim.Time
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dircoh/internal/cache"
+	"dircoh/internal/check"
 	"dircoh/internal/core"
 	"dircoh/internal/mesh"
 	"dircoh/internal/obs"
@@ -125,6 +126,24 @@ type Config struct {
 	// Sampling reads simulator state without mutating it, so results are
 	// identical with sampling on or off.
 	SampleEvery sim.Time
+	// Check enables the runtime coherence invariant checker: a shadow
+	// oracle asserting single-writer/multiple-reader, directory coverage,
+	// recall completeness, acknowledgement conservation and span tiling at
+	// every protocol transition. Violations are counted in the
+	// check.violation.* registry counters and reported through
+	// Machine.Violations / Machine.CheckErr. Enabling the checker forces
+	// the transaction-span machinery on (with a discarding sink when Spans
+	// is nil) but never alters protocol decisions; disabled, its entire
+	// cost is one nil test per would-be assertion.
+	Check bool
+	// CheckSink, when non-nil (and Check is set), additionally receives
+	// every violation as a structured record — typically a
+	// check.NewJSONLSink over the same writer as the trace or span sink.
+	CheckSink check.Sink
+	// Fault selects a deliberate protocol mutation for exercising the
+	// checker and the stress harness (see the Fault constants). FaultNone
+	// for every real measurement.
+	Fault Fault
 }
 
 // DefaultConfig returns the paper's main experimental setup: 32 processors
@@ -174,6 +193,17 @@ func (c *Config) Validate() error {
 	}
 	if c.Cache.Block != 0 && c.Cache.Block != c.Block {
 		return fmt.Errorf("machine: cache block (%d) differs from machine block (%d)", c.Cache.Block, c.Block)
+	}
+	if c.Cache != (cache.Config{}) {
+		// Pre-check the cache geometry so a bad flag combination is an
+		// error here rather than a panic inside cache.NewHierarchy.
+		cc := c.Cache
+		if cc.Block == 0 {
+			cc.Block = c.Block
+		}
+		if err := cc.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

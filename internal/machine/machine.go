@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dircoh/internal/cache"
+	"dircoh/internal/check"
 	"dircoh/internal/core"
 	"dircoh/internal/mesh"
 	"dircoh/internal/obs"
@@ -53,6 +54,20 @@ type Machine struct {
 	replHist  stats.Histogram // invalidations per sparse replacement
 	readLat   stats.LatHist   // read completion latency
 	writeLat  stats.LatHist   // write completion latency (to ownership)
+
+	// chk is the runtime invariant checker (nil when Config.Check is off;
+	// the nil test is the whole disabled-path cost). faultFired latches the
+	// single-shot fault injection (Config.Fault).
+	chk        *check.Recorder
+	faultFired bool
+
+	// recallsPending counts replacement recalls queued or in flight per
+	// global block (checker bookkeeping only, nil when Check is off). A
+	// block whose directory entry is reclaimed, re-allocated by a request
+	// replayed off the gate, and reclaimed again can owe two recalls at
+	// once; the first to complete must not be blamed for copies the second
+	// snapshotted and will invalidate.
+	recallsPending map[int64]int
 
 	// debugBlock, when >= 0, records a timeline of events touching that
 	// block (test diagnostics only).
@@ -149,6 +164,11 @@ func New(cfg Config) (*Machine, error) {
 		reg = obs.NewRegistry()
 	}
 	cfg.Mesh.Metrics = reg
+	if cfg.Check && cfg.Spans == nil {
+		// The checker cross-checks span tiling, so the transaction
+		// machinery must run even when the caller wants no span output.
+		cfg.Spans = obs.NewSpanRecorder(obs.DiscardSpans, 0)
+	}
 
 	m := &Machine{
 		cfg:         cfg,
@@ -166,6 +186,10 @@ func New(cfg Config) (*Machine, error) {
 	}
 	for k := range m.kindCtr {
 		m.kindCtr[k] = reg.Counter(protocol.MsgKind(k).MetricName())
+	}
+	if cfg.Check {
+		m.chk = check.NewRecorder(reg, cfg.CheckSink)
+		m.recallsPending = make(map[int64]int)
 	}
 	if cfg.Spans != nil {
 		m.spans = cfg.Spans
@@ -216,6 +240,11 @@ func New(cfg Config) (*Machine, error) {
 		gate.Waits = gateWaits
 		rac := protocol.NewRAC()
 		rac.Pend = racPending
+		if m.chk != nil {
+			cid := c
+			gate.Anomaly = func(op string, block int64) { m.protoAnomaly(cid, op, block) }
+			rac.Anomaly = func(op string, block int64) { m.protoAnomaly(cid, op, block) }
+		}
 		m.clusters = append(m.clusters, &clusterNode{
 			id:            c,
 			dir:           dir,
@@ -274,10 +303,11 @@ func (m *Machine) keyBlock(key int64, c int) int64 {
 }
 
 // dirEntry returns the directory entry for a global block number (a
-// convenience for tests and validators).
+// convenience for tests and validators). It peeks: recency state and the
+// dir.* counters are untouched, so validators never perturb the run.
 func (m *Machine) dirEntry(block int64) core.Entry {
 	h := m.clusters[m.home(block)]
-	return h.dir.Lookup(m.dirKey(block), m.eng.Now())
+	return h.dir.Peek(m.dirKey(block))
 }
 
 // busOp reserves cluster c's bus for dur cycles starting no earlier than
@@ -352,11 +382,10 @@ func (m *Machine) complete(p *proc, at sim.Time) {
 func (m *Machine) stepProc(p *proc) {
 	if p.opPending {
 		p.opPending = false
-		lat := uint64(m.eng.Now() - p.opStart)
 		if p.opWrite {
-			m.writeLat.Add(lat)
+			m.writeLat.Add(m.cycleDelta(m.eng.Now(), p.opStart, "write latency"))
 		} else {
-			m.readLat.Add(lat)
+			m.readLat.Add(m.cycleDelta(m.eng.Now(), p.opStart, "read latency"))
 		}
 	}
 	ref, ok := p.stream.Next()
@@ -393,11 +422,18 @@ func (m *Machine) finishProc(p *proc) {
 // drained — DASH's release-consistency fence at synchronization points.
 func (m *Machine) fence(p *proc, fn func()) {
 	if p.pendingAcks == 0 {
+		if m.chk != nil {
+			m.chk.Drained(p.id, uint64(m.eng.Now()))
+		}
 		fn()
 		return
 	}
 	if p.afterDrain != nil {
-		panic("machine: double fence")
+		if m.chk != nil {
+			m.chk.Violationf(check.RuleProtocol, int32(p.cl.id), -1, uint64(m.eng.Now()),
+				"double fence: proc %d reached a second synchronization point with one already pending", p.id)
+		}
+		panic(fmt.Sprintf("machine: double fence at proc %d", p.id))
 	}
 	p.afterDrain = fn
 }
@@ -405,10 +441,16 @@ func (m *Machine) fence(p *proc, fn func()) {
 // ackArrived records one invalidation acknowledgement for p's oldest write.
 func (m *Machine) ackArrived(p *proc) {
 	p.pendingAcks--
+	if m.chk != nil {
+		m.chk.AckArrived(p.id, uint64(m.eng.Now()))
+	}
 	if p.pendingAcks < 0 {
-		panic("machine: negative pending acks")
+		panic(fmt.Sprintf("machine: negative pending acks at proc %d", p.id))
 	}
 	if p.pendingAcks == 0 {
+		if m.chk != nil {
+			m.chk.Drained(p.id, uint64(m.eng.Now()))
+		}
 		if fn := p.afterDrain; fn != nil {
 			p.afterDrain = nil
 			fn()
@@ -440,5 +482,6 @@ func (m *Machine) Run(w *tango.Workload) (*Result, error) {
 				p.id, p.stream.Remaining(), p.pendingAcks)
 		}
 	}
+	m.finishChecks()
 	return m.result(), nil
 }

@@ -76,6 +76,7 @@ func (m *Machine) handleVictim(p *proc, v cache.Victim) {
 			e.Reset()
 			hc.dir.Release(m.dirKey(vb))
 		}
+		m.checkBlock(vb)
 	})
 }
 
@@ -197,6 +198,7 @@ func (m *Machine) remoteReadDone(p *proc, b int64, tx *txState) {
 		}
 		m.complete(q, now+m.t.Fill)
 	}
+	m.checkBlock(b)
 }
 
 // invalidateCluster removes block b from every cache of cluster c and, if
@@ -241,6 +243,7 @@ func (m *Machine) sendSharingWB(from, home int, b int64) {
 		if e := hc.dir.Lookup(m.dirKey(b), m.eng.Now()); e != nil && e.Dirty() && e.Owner() == from {
 			e.ClearDirty()
 		}
+		m.checkBlock(b)
 	})
 }
 
@@ -292,6 +295,7 @@ func (m *Machine) homeLocalRead(p *proc, b int64) {
 				m.fill(p, b, cache.Shared)
 				m.complete(p, m.eng.Now()+m.t.Fill)
 				h.gate.Unlock(b)
+				m.checkBlock(b)
 			})
 		})
 	})
@@ -345,11 +349,12 @@ func (m *Machine) homeLocalWrite(p *proc, b int64) {
 			oc := m.clusters[owner]
 			done := m.busOp(oc, m.t.InvalBus)
 			m.eng.At(done, func() {
-				m.invalidateCluster(oc, b, true)
+				m.applyInval(oc, b, false)
 				m.send(protocol.OwnershipReply, owner, h.id, func() {
 					m.fill(p, b, cache.Dirty)
 					m.complete(p, m.eng.Now()+m.t.Fill)
 					h.gate.Unlock(b)
+					m.checkBlock(b)
 				})
 			})
 		})
@@ -368,9 +373,13 @@ func (m *Machine) homeLocalWrite(p *proc, b int64) {
 	e.Reset()
 	h.dir.Release(m.dirKey(b))
 	p.pendingAcks += n
+	if m.chk != nil {
+		m.chk.AckExpect(p.id, n)
+	}
 	m.fill(p, b, cache.Dirty)
 	m.complete(p, now+m.t.Fill)
 	m.sendInvals(h, b, targets, p, nil)
+	m.checkBlock(b)
 }
 
 // sendInvals sends invalidations for block b to every cluster in targets;
@@ -382,6 +391,9 @@ func (m *Machine) sendInvals(h *clusterNode, b int64, targets bitset.Set, ackTo 
 		m.trace(obs.EvInvalFanout, h.id, b, int64(n))
 	}
 	m.txFanout(tx, targets.Count(), false)
+	if m.chk != nil {
+		m.chk.InvalSent(b, targets.Count())
+	}
 	// The directory injects invalidations at a finite rate; a broadcast
 	// keeps the controller busy and delays requests queued behind it.
 	m.occupyDir(h, m.t.InvalSend*sim.Time(targets.Count()))
@@ -390,7 +402,8 @@ func (m *Machine) sendInvals(h *clusterNode, b int64, targets bitset.Set, ackTo 
 		m.send(protocol.Inval, h.id, t, func() {
 			done := m.busOp(tc, m.t.InvalBus)
 			m.eng.At(done, func() {
-				m.invalidateCluster(tc, b, true)
+				m.applyInval(tc, b, false)
+				m.invalApplied(b)
 				m.send(protocol.AckMsg, t, ackTo.cl.id, func() {
 					m.ackArrived(ackTo)
 					m.txAck(tx)
@@ -438,6 +451,7 @@ func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode, tx *txState)
 				m.send(protocol.DataReply, owner, rc, func() {
 					m.remoteReadDone(p, b, tx)
 					h.gate.Unlock(b)
+					m.checkBlock(b)
 				})
 				m.send(protocol.SharingWB, owner, h.id, func() {})
 			})
@@ -499,11 +513,12 @@ func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade boo
 			oc := m.clusters[owner]
 			done := m.busOp(oc, m.t.InvalBus)
 			m.eng.At(done, func() {
-				m.invalidateCluster(oc, b, true)
+				m.applyInval(oc, b, false)
 				m.txPhase(tx, obs.PhFanout)
 				m.send(protocol.OwnershipReply, owner, rc, func() {
 					m.remoteWriteDone(p, b, upgrade, tx)
 					h.gate.Unlock(b)
+					m.checkBlock(b)
 				})
 			})
 		})
@@ -531,11 +546,15 @@ func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade boo
 	e.SetDirty(rc)
 	m.drainDirVictims(h)
 	p.pendingAcks += n
+	if m.chk != nil {
+		m.chk.AckExpect(p.id, n)
+	}
 	h.gate.Lock(b)
 	m.txPhase(tx, obs.PhDirWait)
 	m.send(protocol.OwnershipReply, h.id, rc, func() {
 		m.remoteWriteDone(p, b, upgrade, tx)
 		h.gate.Unlock(b)
+		m.checkBlock(b)
 	})
 	m.sendInvals(h, b, targets, p, tx)
 }
@@ -577,14 +596,15 @@ func (m *Machine) handleNBEvictions(h *clusterNode, b int64, ev []core.NodeID, t
 	m.invalHist.Add(len(ev))
 	m.invalFan.Observe(uint64(len(ev)))
 	m.trace(obs.EvInvalFanout, h.id, b, int64(len(ev)))
-	if tx != nil {
-		sent := 0
-		for _, v := range ev {
-			if v != h.id {
-				sent++
-			}
+	sent := 0
+	for _, v := range ev {
+		if v != h.id {
+			sent++
 		}
-		m.txFanout(tx, sent, false)
+	}
+	m.txFanout(tx, sent, false)
+	if m.chk != nil {
+		m.chk.InvalSent(b, sent)
 	}
 	m.occupyDir(h, m.t.InvalSend*sim.Time(len(ev)))
 	for _, v := range ev {
@@ -596,7 +616,8 @@ func (m *Machine) handleNBEvictions(h *clusterNode, b int64, ev []core.NodeID, t
 		m.send(protocol.Inval, h.id, v, func() {
 			done := m.busOp(vc, m.t.InvalBus)
 			m.eng.At(done, func() {
-				m.invalidateCluster(vc, b, true)
+				m.applyInval(vc, b, false)
+				m.invalApplied(b)
 				m.send(protocol.AckMsg, v, h.id, func() { m.txAck(tx) })
 			})
 		})
@@ -622,6 +643,7 @@ func (m *Machine) drainDirVictims(h *clusterNode) {
 func (m *Machine) replaceEntry(h *clusterNode, victim *sparse.Victim) {
 	// The directory stores home-local keys; recover the global block.
 	vb, ve := m.keyBlock(victim.Block, h.id), victim.Entry
+	m.recallPending(vb, +1)
 	act := func() { m.sendReplacementInvals(h, vb, ve) }
 	if h.gate.Busy(vb) {
 		// The victim block has a transaction in flight; its state keeps
@@ -634,6 +656,7 @@ func (m *Machine) replaceEntry(h *clusterNode, victim *sparse.Victim) {
 
 func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry) {
 	if ve.Empty() {
+		m.recallPending(vb, -1)
 		return
 	}
 	if ve.Dirty() {
@@ -650,7 +673,7 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 		m.send(protocol.Flush, h.id, owner, func() {
 			done := m.busOp(oc, m.t.InvalBus)
 			m.eng.At(done, func() {
-				m.invalidateCluster(oc, vb, true)
+				m.applyInval(oc, vb, true)
 				m.send(protocol.AckMsg, owner, h.id, func() {
 					m.racAck(h, vb)
 					m.txAck(tx)
@@ -663,6 +686,7 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 	targets.Remove(h.id)
 	n := targets.Count()
 	if n == 0 {
+		m.recallPending(vb, -1)
 		return
 	}
 	m.replHist.Add(n)
@@ -678,7 +702,7 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 		m.send(protocol.Inval, h.id, t, func() {
 			done := m.busOp(tc, m.t.InvalBus)
 			m.eng.At(done, func() {
-				m.invalidateCluster(tc, vb, true)
+				m.applyInval(tc, vb, true)
 				m.send(protocol.AckMsg, t, h.id, func() {
 					m.racAck(h, vb)
 					m.txAck(tx)
@@ -690,6 +714,22 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 
 func (m *Machine) racAck(h *clusterNode, vb int64) {
 	if h.rac.Ack(vb) {
+		m.recallPending(vb, -1)
+		m.checkRecallClean(h, vb)
 		h.gate.Unlock(vb)
+		m.checkBlock(vb)
+	}
+}
+
+// recallPending adjusts the per-block count of replacement recalls queued
+// or in flight. Checker bookkeeping only: it feeds checkRecallClean's
+// exemption for blocks that owe a second recall (see recallsPending).
+func (m *Machine) recallPending(vb int64, d int) {
+	if m.chk == nil {
+		return
+	}
+	m.recallsPending[vb] += d
+	if m.recallsPending[vb] <= 0 {
+		delete(m.recallsPending, vb)
 	}
 }

@@ -40,7 +40,20 @@ func (m *Machine) txStart(class obs.TxClass, node int, block int64) *txState {
 		return nil
 	}
 	now := m.eng.Now()
-	return &txState{id: m.spans.NextID(), class: class, node: int32(node), block: block, start: now, mark: now}
+	tx := &txState{id: m.spans.NextID(), class: class, node: int32(node), block: block, start: now, mark: now}
+	if m.chk != nil {
+		m.chk.OpenTx(block, tx.id)
+	}
+	return tx
+}
+
+// emitSpan hands one span to the recorder and, when checking is on, to the
+// checker's span-tiling verifier.
+func (m *Machine) emitSpan(s obs.Span) {
+	m.spans.Emit(s)
+	if m.chk != nil {
+		m.chk.Span(s)
+	}
 }
 
 // txPhase closes the phase that began at tx.mark, emitting its child span,
@@ -50,7 +63,7 @@ func (m *Machine) txPhase(tx *txState, ph obs.Phase) {
 		return
 	}
 	now := m.eng.Now()
-	m.spans.Emit(obs.Span{
+	m.emitSpan(obs.Span{
 		Tx: tx.id, ID: m.spans.NextID(), Parent: tx.id,
 		Class: tx.class, Phase: ph, Node: tx.node, Block: tx.block,
 		Start: uint64(tx.mark), End: uint64(now),
@@ -83,7 +96,7 @@ func (m *Machine) txAck(tx *txState) {
 		return
 	}
 	now := m.eng.Now()
-	m.spans.Emit(obs.Span{
+	m.emitSpan(obs.Span{
 		Tx: tx.id, ID: m.spans.NextID(), Parent: tx.id,
 		Class: tx.class, Phase: obs.PhAckGather, Node: tx.node, Block: tx.block,
 		Start: uint64(tx.ackStart), End: uint64(now), N: tx.fanout,
@@ -101,12 +114,15 @@ func (m *Machine) txEnd(tx *txState) {
 		return
 	}
 	now := m.eng.Now()
-	m.spans.Emit(obs.Span{
+	m.emitSpan(obs.Span{
 		Tx: tx.id, ID: tx.id, Parent: 0,
 		Class: tx.class, Phase: obs.PhTotal, Node: tx.node, Block: tx.block,
 		Start: uint64(tx.start), End: uint64(now), N: tx.fanout,
 	})
-	m.txLat[tx.class].Observe(uint64(now - tx.start))
+	m.txLat[tx.class].Observe(m.cycleDelta(now, tx.start, "tx.lat."+tx.class.String()))
+	if m.chk != nil {
+		m.chk.CloseTx(tx.block, tx.id)
+	}
 }
 
 // lockTxSet remembers p's open lock-round transaction so the grant or wake

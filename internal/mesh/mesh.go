@@ -35,6 +35,17 @@ func DefaultConfig(nodes int) Config {
 	return Config{Nodes: nodes, Base: 10, PerHop: 2}
 }
 
+// Validate checks the configuration for every error New would otherwise
+// panic over, so flag-derived node counts can be rejected with a message
+// instead of a stack trace. New still panics: direct library misuse is a
+// programming error.
+func (c Config) Validate() error {
+	if c.Nodes <= 0 {
+		return fmt.Errorf("mesh: node count must be positive (got %d)", c.Nodes)
+	}
+	return nil
+}
+
 // Mesh is a 2-D mesh network. Endpoints are numbered row-major. The
 // traffic counters live in a metrics registry (see Config.Metrics); the
 // handles below are resolved once at construction so recording is a plain

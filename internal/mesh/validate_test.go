@@ -1,0 +1,22 @@
+package mesh
+
+import "testing"
+
+// TestConfigValidate: Validate must reject exactly what New panics over.
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Nodes: 16}).Validate(); err != nil {
+		t.Fatalf("16 nodes is legal: %v", err)
+	}
+	for _, n := range []int{0, -3} {
+		if err := (Config{Nodes: n}).Validate(); err == nil {
+			t.Fatalf("Validate accepted %d nodes", n)
+		}
+	}
+	// The constructor still panics on the same input (library misuse).
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero nodes should panic")
+		}
+	}()
+	New(Config{})
+}

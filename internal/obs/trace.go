@@ -180,6 +180,27 @@ func (s *JSONLSink) Write(batch []Event) error {
 	return nil
 }
 
+// WriteLine appends one pre-rendered line to the sink's output under its
+// shared lock, so foreign record streams (e.g. check-violation records)
+// can interleave with event and span lines without tearing. The line must
+// not contain a newline; one is appended.
+func (s *JSONLSink) WriteLine(line string) error {
+	sh := s.shared
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.err != nil {
+		return sh.err
+	}
+	if _, err := sh.w.WriteString(line); err != nil {
+		sh.err = err
+		return err
+	}
+	if err := sh.w.WriteByte('\n'); err != nil {
+		sh.err = err
+	}
+	return sh.err
+}
+
 // Close flushes buffered output and closes the underlying writer if the
 // sink owns it. Closing any Sub view closes the shared writer.
 func (s *JSONLSink) Close() error {

@@ -1,6 +1,10 @@
 package protocol
 
-import "dircoh/internal/obs"
+import (
+	"fmt"
+
+	"dircoh/internal/obs"
+)
 
 // Gate serializes conflicting transactions on the same memory block at its
 // home. A transaction that moves ownership (or a sparse-directory
@@ -14,6 +18,14 @@ type Gate struct {
 	// Waits, when non-nil, counts transactions queued behind a busy
 	// block ("gate.waits" in the machine registry).
 	Waits *obs.Counter
+
+	// Anomaly, when non-nil, is called just before the gate panics on a
+	// state-machine violation (locking a busy block, waiting on or
+	// unlocking a non-busy one), giving the owner a chance to record a
+	// structured check.Violation with transaction context before the
+	// abort. The panic still happens: an inconsistent gate cannot
+	// continue.
+	Anomaly func(op string, block int64)
 }
 
 type gateState struct {
@@ -39,7 +51,7 @@ func (g *Gate) Lock(block int64) {
 		g.m[block] = st
 	}
 	if st.busy {
-		panic("protocol: Gate.Lock on busy block")
+		g.anomaly("Gate.Lock on busy block", block)
 	}
 	st.busy = true
 }
@@ -48,7 +60,7 @@ func (g *Gate) Lock(block int64) {
 func (g *Gate) Wait(block int64, fn func()) {
 	st := g.m[block]
 	if st == nil || !st.busy {
-		panic("protocol: Gate.Wait on non-busy block")
+		g.anomaly("Gate.Wait on non-busy block", block)
 	}
 	if g.Waits != nil {
 		g.Waits.Inc()
@@ -61,7 +73,7 @@ func (g *Gate) Wait(block int64, fn func()) {
 func (g *Gate) Unlock(block int64) {
 	st := g.m[block]
 	if st == nil || !st.busy {
-		panic("protocol: Gate.Unlock on non-busy block")
+		g.anomaly("Gate.Unlock on non-busy block", block)
 	}
 	st.busy = false
 	for !st.busy && len(st.q) > 0 {
@@ -72,6 +84,14 @@ func (g *Gate) Unlock(block int64) {
 	if !st.busy && len(st.q) == 0 {
 		delete(g.m, block)
 	}
+}
+
+// anomaly reports a gate state-machine violation and aborts.
+func (g *Gate) anomaly(op string, block int64) {
+	if g.Anomaly != nil {
+		g.Anomaly(op, block)
+	}
+	panic(fmt.Sprintf("protocol: %s %d", op, block))
 }
 
 // Pending returns the number of queued transactions for block.
@@ -93,6 +113,11 @@ type RAC struct {
 	// ("rac.pending" in the machine registry); its high-water mark
 	// equals Peak.
 	Pend *obs.Gauge
+
+	// Anomaly, when non-nil, is called just before the RAC panics on a
+	// state-machine violation (starting a non-positive or duplicate
+	// tracking, acknowledging an untracked block), mirroring Gate.Anomaly.
+	Anomaly func(op string, block int64)
 }
 
 // NewRAC returns an empty RAC.
@@ -102,10 +127,10 @@ func NewRAC() *RAC { return &RAC{pending: make(map[int64]int)} }
 // be positive and the block must not already be tracked.
 func (r *RAC) Start(block int64, n int) {
 	if n <= 0 {
-		panic("protocol: RAC.Start needs a positive count")
+		r.anomaly("RAC.Start needs a positive count for block", block)
 	}
 	if _, ok := r.pending[block]; ok {
-		panic("protocol: RAC.Start on already-tracked block")
+		r.anomaly("RAC.Start on already-tracked block", block)
 	}
 	r.pending[block] = n
 	if len(r.pending) > r.peak {
@@ -121,7 +146,7 @@ func (r *RAC) Start(block int64, n int) {
 func (r *RAC) Ack(block int64) (done bool) {
 	n, ok := r.pending[block]
 	if !ok {
-		panic("protocol: RAC.Ack on untracked block")
+		r.anomaly("RAC.Ack on untracked block", block)
 	}
 	n--
 	if n == 0 {
@@ -133,6 +158,14 @@ func (r *RAC) Ack(block int64) (done bool) {
 	}
 	r.pending[block] = n
 	return false
+}
+
+// anomaly reports a RAC state-machine violation and aborts.
+func (r *RAC) anomaly(op string, block int64) {
+	if r.Anomaly != nil {
+		r.Anomaly(op, block)
+	}
+	panic(fmt.Sprintf("protocol: %s %d", op, block))
 }
 
 // Tracking reports whether block has outstanding acknowledgements.

@@ -1,0 +1,220 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"dircoh/internal/core"
+)
+
+// refDir is an independently written brute-force model of the sparse
+// directory's storage semantics: per-set slot arrays, first-free-slot
+// installation, and the three victim policies with lowest-index
+// tie-breaking. The differential tests drive it in lockstep with Sparse
+// and require every observable — hit/miss, victim identity, occupancy —
+// to agree. For Random it consumes an identically seeded rng, which
+// stays in sync exactly when the eviction decisions coincide.
+type refDir struct {
+	sets, assoc int
+	policy      ReplacePolicy
+	rng         *rand.Rand
+	slots       [][]refSlot
+	live, peak  int
+}
+
+type refSlot struct {
+	valid          bool
+	block          int64
+	lastUse, birth uint64
+}
+
+func newRefDir(entries, assoc int, policy ReplacePolicy, seed int64) *refDir {
+	if assoc <= 0 {
+		assoc = 1
+	}
+	sets := (entries + assoc - 1) / assoc
+	d := &refDir{sets: sets, assoc: assoc, policy: policy, rng: rand.New(rand.NewSource(seed))}
+	d.slots = make([][]refSlot, sets)
+	for i := range d.slots {
+		d.slots[i] = make([]refSlot, assoc)
+	}
+	return d
+}
+
+func (d *refDir) set(block int64) []refSlot {
+	return d.slots[int(uint64(block)%uint64(d.sets))]
+}
+
+func (d *refDir) find(block int64) *refSlot {
+	set := d.set(block)
+	for i := range set {
+		if set[i].valid && set[i].block == block {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// lookup returns whether block is live, touching recency like Lookup.
+func (d *refDir) lookup(block int64, now uint64) bool {
+	if s := d.find(block); s != nil {
+		s.lastUse = now
+		return true
+	}
+	return false
+}
+
+// allocate returns (hit, evicted victim block or -1).
+func (d *refDir) allocate(block int64, now uint64) (bool, int64) {
+	if s := d.find(block); s != nil {
+		s.lastUse = now
+		return true, -1
+	}
+	set := d.set(block)
+	slot := -1
+	for i := range set {
+		if !set[i].valid {
+			slot = i
+			break
+		}
+	}
+	victim := int64(-1)
+	if slot < 0 {
+		slot = 0
+		for i := 1; i < len(set); i++ {
+			switch d.policy {
+			case LRA:
+				if set[i].birth < set[slot].birth {
+					slot = i
+				}
+			case LRU:
+				if set[i].lastUse < set[slot].lastUse {
+					slot = i
+				}
+			}
+		}
+		if d.policy == Random {
+			slot = d.rng.Intn(len(set))
+		}
+		victim = set[slot].block
+	} else {
+		d.live++
+		if d.live > d.peak {
+			d.peak = d.live
+		}
+	}
+	set[slot] = refSlot{valid: true, block: block, lastUse: now, birth: now}
+	return false, victim
+}
+
+func (d *refDir) release(block int64) {
+	if s := d.find(block); s != nil {
+		s.valid = false
+		d.live--
+	}
+}
+
+// step drives one operation against both directories and fails on any
+// observable divergence. Returns the evicted block (or -1).
+func step(t *testing.T, d *Sparse, ref *refDir, op int, block int64, now uint64) int64 {
+	t.Helper()
+	switch op {
+	case 0: // Lookup
+		got := d.Lookup(block, now) != nil
+		want := ref.lookup(block, now)
+		if got != want {
+			t.Fatalf("t=%d Lookup(%d): hit=%v, reference says %v", now, block, got, want)
+		}
+	case 1: // Allocate
+		gotHit := d.Peek(block) != nil
+		e, v := d.Allocate(block, now)
+		wantHit, wantVictim := ref.allocate(block, now)
+		if gotHit != wantHit {
+			t.Fatalf("t=%d Allocate(%d): hit=%v, reference says %v", now, block, gotHit, wantHit)
+		}
+		if e == nil {
+			t.Fatalf("t=%d Allocate(%d) returned nil entry", now, block)
+		}
+		gotVictim := int64(-1)
+		if v != nil {
+			gotVictim = v.Block
+		}
+		if gotVictim != wantVictim {
+			t.Fatalf("t=%d Allocate(%d) policy=%v: evicted %d, reference evicts %d",
+				now, block, d.policy, gotVictim, wantVictim)
+		}
+		if v != nil && d.Peek(v.Block) != nil {
+			t.Fatalf("t=%d evicted block %d still present", now, v.Block)
+		}
+		if d.Peek(block) == nil {
+			t.Fatalf("t=%d Allocate(%d) left the block absent", now, block)
+		}
+		return gotVictim
+	default: // Release
+		d.Release(block)
+		ref.release(block)
+	}
+	if got, want := d.Peek(block) != nil, ref.find(block) != nil; got != want {
+		t.Fatalf("t=%d Peek(%d)=%v, reference says %v", now, block, got, want)
+	}
+	if d.LiveEntries() != ref.live {
+		t.Fatalf("t=%d live=%d, reference says %d", now, d.LiveEntries(), ref.live)
+	}
+	return -1
+}
+
+// TestDifferentialVictimSelection runs long random op streams against
+// every policy × geometry and requires Sparse and the brute-force
+// reference to agree on every hit, miss, victim, and occupancy count.
+// Repeated timestamps force lastUse/allocTime ties, exercising the
+// lowest-index tie-break.
+func TestDifferentialVictimSelection(t *testing.T) {
+	for _, pol := range []ReplacePolicy{LRU, Random, LRA} {
+		for _, geo := range []struct{ entries, assoc int }{{4, 1}, {8, 2}, {16, 4}, {6, 4}} {
+			for seed := int64(0); seed < 4; seed++ {
+				d := New(Config{Scheme: scheme(), Entries: geo.entries, Assoc: geo.assoc, Policy: pol, Seed: seed})
+				ref := newRefDir(geo.entries, geo.assoc, pol, seed)
+				rng := rand.New(rand.NewSource(seed*977 + int64(pol)))
+				now := uint64(0)
+				for i := 0; i < 4000; i++ {
+					if rng.Intn(3) > 0 { // ties on ~1/3 of steps
+						now++
+					}
+					block := int64(rng.Intn(5 * geo.entries))
+					step(t, d, ref, rng.Intn(4)%3, block, now)
+				}
+				if d.PeakEntries() != ref.peak {
+					t.Fatalf("policy=%v geo=%+v seed=%d: peak=%d, reference says %d",
+						pol, geo, seed, d.PeakEntries(), ref.peak)
+				}
+			}
+		}
+	}
+}
+
+// FuzzSparseAlloc feeds byte-driven op streams through the same
+// differential harness, letting the fuzzer hunt for sequences where
+// Sparse and the reference model disagree.
+func FuzzSparseAlloc(f *testing.F) {
+	f.Add([]byte{0x01, 0x42, 0x87, 0x13, 0xff, 0x00, 0x55, 0xaa}, uint8(0), uint8(7))
+	f.Add([]byte{0x10, 0x20, 0x30, 0x40}, uint8(1), uint8(3))
+	f.Add([]byte{0xee, 0xdd, 0xcc}, uint8(2), uint8(0))
+	f.Fuzz(func(t *testing.T, ops []byte, polByte, geoByte uint8) {
+		pol := ReplacePolicy(polByte % 3)
+		entries := 2 + int(geoByte%15)
+		assoc := 1 << (geoByte % 3)
+		d := New(Config{Scheme: core.NewFullVector(8), Entries: entries, Assoc: assoc, Policy: pol, Seed: 1})
+		ref := newRefDir(entries, assoc, pol, 1)
+		now := uint64(0)
+		for i, b := range ops {
+			if b&0x80 != 0 {
+				now++
+			}
+			block := int64(b & 0x1f)
+			step(t, d, ref, (int(b)>>5)&0x3, block, now)
+			if d.LiveEntries() > d.Entries() {
+				t.Fatalf("op %d: live %d exceeds capacity %d", i, d.LiveEntries(), d.Entries())
+			}
+		}
+	})
+}

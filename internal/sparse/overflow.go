@@ -1,6 +1,8 @@
 package sparse
 
 import (
+	"fmt"
+
 	"dircoh/internal/bitset"
 	"dircoh/internal/core"
 	"dircoh/internal/obs"
@@ -38,6 +40,21 @@ type OverflowConfig struct {
 	Policy      ReplacePolicy
 	Seed        int64
 	Metrics     *obs.Registry // nil creates a private registry
+}
+
+// Validate checks the configuration for every error NewOverflow would
+// otherwise panic over, mirroring Config.Validate.
+func (cfg OverflowConfig) Validate() error {
+	if cfg.Ptrs <= 0 {
+		return fmt.Errorf("sparse: Overflow Ptrs must be positive (got %d)", cfg.Ptrs)
+	}
+	if cfg.Nodes <= 0 {
+		return fmt.Errorf("sparse: Overflow Nodes must be positive (got %d)", cfg.Nodes)
+	}
+	if cfg.WideEntries <= 0 {
+		return fmt.Errorf("sparse: Overflow WideEntries must be positive (got %d)", cfg.WideEntries)
+	}
+	return nil
 }
 
 // NewOverflow builds the two-level directory.
@@ -95,6 +112,14 @@ func (d *Overflow) Lookup(block int64, now uint64) core.Entry {
 		d.wide.Lookup(block, now) // refresh recency in the wide cache
 	}
 	return e
+}
+
+// Peek implements Directory.
+func (d *Overflow) Peek(block int64) core.Entry {
+	if e, ok := d.entries[block]; ok {
+		return e
+	}
+	return nil
 }
 
 // Allocate implements Directory. Small entries are backed by main memory,

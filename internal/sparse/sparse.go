@@ -30,6 +30,11 @@ type Directory interface {
 	// Lookup returns the live entry for block, or nil if none is present.
 	Lookup(block int64, now uint64) core.Entry
 
+	// Peek returns the live entry for block without touching recency
+	// state or metrics — the read-only lookup validators and samplers
+	// use, guaranteed not to perturb replacement decisions.
+	Peek(block int64) core.Entry
+
 	// Allocate returns the entry for block, creating one if necessary.
 	// If creating one required reclaiming a different block's entry, the
 	// reclaimed state is returned as victim.
@@ -163,6 +168,9 @@ func (d *FullMap) Allocate(block int64, _ uint64) (core.Entry, *Victim) {
 	return e, nil
 }
 
+// Peek implements Directory.
+func (d *FullMap) Peek(block int64) core.Entry { return d.entries[block] }
+
 // Release implements Directory.
 func (d *FullMap) Release(block int64) { delete(d.entries, block) }
 
@@ -207,6 +215,23 @@ type Config struct {
 	Policy  ReplacePolicy // victim selection within a set
 	Seed    int64         // drives the Random policy
 	Metrics *obs.Registry // nil creates a private registry
+}
+
+// Validate checks the configuration for every error New would otherwise
+// panic over, so flag-derived entry counts fail with a message instead of
+// a stack trace. New still panics: direct library misuse is a programming
+// error.
+func (cfg Config) Validate() error {
+	if cfg.Scheme == nil {
+		return fmt.Errorf("sparse: a directory entry scheme is required")
+	}
+	if cfg.Entries <= 0 {
+		return fmt.Errorf("sparse: Entries must be positive (got %d)", cfg.Entries)
+	}
+	if cfg.Assoc < 0 {
+		return fmt.Errorf("sparse: Assoc must not be negative (got %d)", cfg.Assoc)
+	}
+	return nil
 }
 
 // New returns a sparse directory with cfg.Entries slots.
@@ -254,6 +279,17 @@ func (d *Sparse) Lookup(block int64, now uint64) core.Entry {
 		if set[i].valid && set[i].block == block {
 			d.m.hits.Inc()
 			set[i].lastUse = now
+			return set[i].entry
+		}
+	}
+	return nil
+}
+
+// Peek implements Directory.
+func (d *Sparse) Peek(block int64) core.Entry {
+	set := d.set(block)
+	for i := range set {
+		if set[i].valid && set[i].block == block {
 			return set[i].entry
 		}
 	}

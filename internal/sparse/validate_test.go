@@ -1,0 +1,51 @@
+package sparse
+
+import "testing"
+
+func TestConfigValidate(t *testing.T) {
+	ok := Config{Scheme: scheme(), Entries: 8, Assoc: 2}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("legal config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"nil scheme", Config{Entries: 8}},
+		{"zero entries", Config{Scheme: scheme()}},
+		{"negative entries", Config{Scheme: scheme(), Entries: -4}},
+		{"negative assoc", Config{Scheme: scheme(), Entries: 8, Assoc: -1}},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.cfg)
+		}
+	}
+}
+
+func TestOverflowConfigValidate(t *testing.T) {
+	ok := OverflowConfig{Ptrs: 2, Nodes: 8, WideEntries: 4}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("legal config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		cfg  OverflowConfig
+	}{
+		{"zero ptrs", OverflowConfig{Nodes: 8, WideEntries: 4}},
+		{"zero nodes", OverflowConfig{Ptrs: 2, WideEntries: 4}},
+		{"zero wide entries", OverflowConfig{Ptrs: 2, Nodes: 8}},
+	}
+	for _, tc := range cases {
+		if err := tc.cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.cfg)
+		}
+	}
+	// The constructor still panics on the same input.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewOverflow with zero Ptrs should panic")
+		}
+	}()
+	NewOverflow(OverflowConfig{Nodes: 8, WideEntries: 4})
+}
