@@ -104,6 +104,8 @@ func main() {
 	cfg.Trace = obsFlags.Tracer(w.Name)
 	cfg.Spans = obsFlags.Spans(w.Name)
 	cfg.SampleEvery = obsFlags.SampleEvery()
+	cfg.Mesh.Faults = obsFlags.Faults()
+	cfg.Deadline = obsFlags.Deadline()
 	if obsFlags.Checking() {
 		cfg.Check = true
 		cfg.CheckSink = obsFlags.CheckSink(w.Name)

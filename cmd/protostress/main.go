@@ -11,13 +11,26 @@
 // the named protocol mutation and exits zero only if at least one trial
 // catches it.
 //
+// With -faults the mesh fault-injection layer runs under every trial: a
+// fixed spec (see mesh.ParseFaults) applies one fault mix to all trials,
+// while the literal "campaign" draws a different seeded mix per trial —
+// drop/dup/delay/outage rates sampled from the trial rng — and the
+// recovery machinery must still complete every transaction with zero
+// violations. With -wedge the command becomes a self-test of the liveness
+// watchdog: every message is dropped and the retry budget cut, so it
+// exits zero only if every trial aborts with the watchdog's diagnostic
+// dump.
+//
 //	protostress                        # 64 clean trials, all cores
 //	protostress -trials 8 -seed 42     # quick bounded smoke
 //	protostress -fault drop-inval      # the mutation must be caught
+//	protostress -trials 50 -faults campaign  # seeded fault-mix sweep
+//	protostress -trials 2 -wedge       # the watchdog must trip
 //	protostress -trials 1 -seed 7 -v   # replay one trial, verbose
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -29,7 +42,10 @@ import (
 	"dircoh/internal/check"
 	"dircoh/internal/cli"
 	"dircoh/internal/machine"
+	"dircoh/internal/mesh"
+	"dircoh/internal/rng"
 	"dircoh/internal/runner"
+	"dircoh/internal/sim"
 	"dircoh/internal/sparse"
 	"dircoh/internal/tango"
 )
@@ -45,8 +61,21 @@ type options struct {
 	refs     int
 	blocks   int
 	fault    machine.Fault
+	faults   string // "", a mesh.ParseFaults spec, or "campaign"
+	wedge    bool
 	parallel int
 	verbose  bool
+}
+
+// seedFor derives trial i's seed from the campaign seed: a single-trial
+// campaign runs the seed exactly (so printed replay lines reproduce),
+// while multi-trial campaigns decorrelate the trials with a splitmix64
+// mix.
+func seedFor(campaign int64, i, trials int) int64 {
+	if trials == 1 {
+		return campaign
+	}
+	return rng.Mix(campaign, int64(i))
 }
 
 // schemeNames mirrors the roster in machine's scheme factories; the
@@ -76,6 +105,14 @@ type trial struct {
 // an invariant violation, or a quiescence-sweep failure.
 func (t *trial) failed() bool {
 	return t.err != nil || len(t.caught) > 0 || t.cohErr != nil
+}
+
+// stuck reports whether the trial was aborted by the liveness watchdog
+// (or the undeliverable-message sweep) with a diagnostic dump — the
+// outcome -wedge demands from every trial.
+func (t *trial) stuck() bool {
+	var se *machine.StuckError
+	return errors.As(t.err, &se) && se.Dump != ""
 }
 
 // stress builds the adversarial workload: per-proc streams mixing reads,
@@ -114,10 +151,38 @@ func stress(rng *rand.Rand, procs, refs, blocks int, sync bool) *tango.Workload 
 	return &tango.Workload{Name: "stress", Streams: streams}
 }
 
+// drawFaults samples one per-trial fault mix for "-faults campaign":
+// drop/dup/delay/outage rates spanning none to aggressive, re-drawn until
+// at least one dimension is live.
+func drawFaults(rng *rand.Rand) mesh.FaultConfig {
+	rates := []float64{0, 1e-4, 1e-3, 1e-2}
+	delayPs := []float64{0, 0.01, 0.05, 0.2}
+	delayMax := []sim.Time{8, 32, 128}
+	outPs := []float64{0, 0.02, 0.1}
+	outLens := []sim.Time{64, 256}
+	for {
+		fc := mesh.FaultConfig{
+			Drop:   rates[rng.Intn(len(rates))],
+			Dup:    rates[rng.Intn(len(rates))],
+			DelayP: delayPs[rng.Intn(len(delayPs))],
+		}
+		if fc.DelayP > 0 {
+			fc.DelayMax = delayMax[rng.Intn(len(delayMax))]
+		}
+		if p := outPs[rng.Intn(len(outPs))]; p > 0 {
+			fc.OutageP = p
+			fc.OutageLen = outLens[rng.Intn(len(outLens))]
+			fc.OutageEvery = 2048
+		}
+		if fc.Enabled() {
+			return fc
+		}
+	}
+}
+
 // runTrial derives one configuration from the trial seed, runs it with
 // the checker on, and records everything the checker flagged.
-func runTrial(id int, campaignSeed int64, o options) trial {
-	seed := campaignSeed + int64(id)
+func runTrial(id int, seed int64, o options) trial {
 	rng := rand.New(rand.NewSource(seed))
 	t := trial{id: id, seed: seed}
 
@@ -158,6 +223,27 @@ func runTrial(id int, campaignSeed int64, o options) trial {
 	t.desc = fmt.Sprintf("scheme=%s procs=%d ppc=%d dir=%s sync=%v",
 		schemeNames[si], procs, ppc, dir, sync)
 
+	switch {
+	case o.wedge:
+		// Unrecoverable: every message dropped, tiny retry budget. The
+		// liveness watchdog must abort with its diagnostic dump.
+		cfg.Mesh.Faults = mesh.FaultConfig{Drop: 1}
+		cfg.Retry = machine.RetryConfig{MaxRetries: 2}
+		cfg.StuckBudget = 1 << 16
+	case o.faults == "campaign":
+		cfg.Mesh.Faults = drawFaults(rng)
+	case o.faults != "":
+		fc, err := mesh.ParseFaults(o.faults)
+		if err != nil {
+			t.err = err
+			return t
+		}
+		cfg.Mesh.Faults = fc
+	}
+	if cfg.Mesh.Faults.Enabled() {
+		t.desc += " faults=" + cfg.Mesh.Faults.String()
+	}
+
 	w := stress(rng, procs, o.refs, o.blocks, sync)
 	m, err := machine.New(cfg)
 	if err != nil {
@@ -180,7 +266,7 @@ func runTrial(id int, campaignSeed int64, o options) trial {
 func runTrials(o options) ([]trial, bool) {
 	pool := runner.New(o.parallel)
 	trials := runner.Collect(pool, o.trials, func(i int) trial {
-		return runTrial(i, o.seed, o)
+		return runTrial(i, seedFor(o.seed, i, o.trials), o)
 	})
 	caught := false
 	for i := range trials {
@@ -207,8 +293,15 @@ func report(w *os.File, trials []trial, o options) {
 			fmt.Fprintf(w, "  quiescence sweep: %v\n", t.cohErr)
 		}
 		if t.failed() {
-			fmt.Fprintf(w, "  replay: protostress -trials 1 -seed %d -procs %s -refs %d -blocks %d -fault %s -v\n",
-				t.seed, joinInts(o.procs), o.refs, o.blocks, o.fault)
+			extra := ""
+			if o.faults != "" {
+				extra = fmt.Sprintf(" -faults %s", o.faults)
+			}
+			if o.wedge {
+				extra += " -wedge"
+			}
+			fmt.Fprintf(w, "  replay: protostress -trials 1 -seed %d -procs %s -refs %d -blocks %d -fault %s%s -v\n",
+				t.seed, joinInts(o.procs), o.refs, o.blocks, o.fault, extra)
 		}
 	}
 }
@@ -235,14 +328,16 @@ func parseProcs(s string) ([]int, error) {
 
 func main() {
 	var (
-		trialsN  = flag.Int("trials", 64, "randomized configurations to run")
-		seed     = flag.Int64("seed", 1, "campaign seed; trial i runs with seed+i")
-		procsStr = flag.String("procs", "4,6,8", "comma list of processor counts to draw from")
-		refs     = flag.Int("refs", 300, "shared references per processor")
-		blocks   = flag.Int("blocks", 24, "shared data blocks in the contended pool")
-		faultStr = flag.String("fault", "none", "inject a protocol mutation (none, drop-inval, skip-recall); the checker must catch it")
-		parallel = flag.Int("parallel", 0, "concurrent trials (0 = one per core)")
-		verbose  = flag.Bool("v", false, "print every trial, not just failures")
+		trialsN   = flag.Int("trials", 64, "randomized configurations to run")
+		seed      = flag.Int64("seed", 1, "campaign seed; trial seeds derive from it (-trials 1 runs it exactly, for replays)")
+		procsStr  = flag.String("procs", "4,6,8", "comma list of processor counts to draw from")
+		refs      = flag.Int("refs", 300, "shared references per processor")
+		blocks    = flag.Int("blocks", 24, "shared data blocks in the contended pool")
+		faultStr  = flag.String("fault", "none", "inject a protocol mutation (none, drop-inval, skip-recall); the checker must catch it")
+		faultsStr = flag.String("faults", "", "inject network faults under every trial: a mesh.ParseFaults spec, or 'campaign' for a seeded per-trial mix; recovery must keep every trial clean")
+		wedge     = flag.Bool("wedge", false, "watchdog self-test: drop every message with a tiny retry budget; every trial must abort with a diagnostic dump")
+		parallel  = flag.Int("parallel", 0, "concurrent trials (0 = one per core)")
+		verbose   = flag.Bool("v", false, "print every trial, not just failures")
 	)
 	flag.Parse()
 
@@ -257,10 +352,19 @@ func main() {
 	if *trialsN <= 0 || *refs <= 0 || *blocks <= 0 {
 		cli.Usagef(tool, "-trials, -refs and -blocks must be positive")
 	}
+	if *faultsStr != "" && *faultsStr != "campaign" {
+		if _, err := mesh.ParseFaults(*faultsStr); err != nil {
+			cli.Usagef(tool, "-faults: %v", err)
+		}
+	}
+	if *wedge && (*faultsStr != "" || fault != machine.FaultNone) {
+		cli.Usagef(tool, "-wedge is exclusive with -fault and -faults")
+	}
 
 	o := options{
 		trials: *trialsN, seed: *seed, procs: procs, refs: *refs,
-		blocks: *blocks, fault: fault, parallel: *parallel, verbose: *verbose,
+		blocks: *blocks, fault: fault, faults: *faultsStr, wedge: *wedge,
+		parallel: *parallel, verbose: *verbose,
 	}
 	trials, caught := runTrials(o)
 	report(os.Stdout, trials, o)
@@ -272,9 +376,24 @@ func main() {
 	fmt.Printf("%d trials, %d with findings, %d violations total, fault=%s\n",
 		len(trials), countFailed(trials), nviol, fault)
 
+	if o.wedge {
+		// Self-test mode: the liveness watchdog must catch every wedged
+		// trial and produce its diagnostic dump.
+		for i := range trials {
+			if !trials[i].stuck() {
+				cli.Fatalf(tool, "trial %d did not trip the liveness watchdog (err=%v)", trials[i].id, trials[i].err)
+			}
+		}
+		fmt.Printf("watchdog caught all %d wedged trials with diagnostic dumps\n", len(trials))
+		return
+	}
 	if fault == machine.FaultNone {
 		if caught {
 			cli.Fatalf(tool, "protocol invariant violations on an unmutated protocol")
+		}
+		if o.faults != "" {
+			fmt.Printf("clean: every transaction recovered under fault injection (-faults %s)\n", o.faults)
+			return
 		}
 		fmt.Println("clean: no invariant violations")
 		return

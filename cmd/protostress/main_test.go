@@ -1,6 +1,8 @@
 package main
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"dircoh/internal/machine"
@@ -43,10 +45,95 @@ func TestFaultsCaught(t *testing.T) {
 // reproduces the identical configuration and execution time.
 func TestReplayDeterminism(t *testing.T) {
 	o := smallOpts()
-	first := runTrial(3, o.seed, o)
+	first := runTrial(3, seedFor(o.seed, 3, o.trials), o)
 	replay := runTrial(0, first.seed, o)
 	if replay.desc != first.desc || replay.execTime != first.execTime {
 		t.Fatalf("replay diverged: %q exec=%d vs %q exec=%d",
 			first.desc, first.execTime, replay.desc, replay.execTime)
+	}
+}
+
+// TestFaultCampaignClean: under randomized per-trial network fault mixes
+// the recovery machinery must still complete every trial with zero
+// invariant violations.
+func TestFaultCampaignClean(t *testing.T) {
+	o := smallOpts()
+	o.trials = 8
+	o.faults = "campaign"
+	trials, caught := runTrials(o)
+	if caught {
+		for _, tr := range trials {
+			if tr.failed() {
+				t.Errorf("trial %d (%s): err=%v violations=%v coherence=%v",
+					tr.id, tr.desc, tr.err, tr.caught, tr.cohErr)
+			}
+		}
+		t.Fatal("fault campaign produced findings")
+	}
+	for _, tr := range trials {
+		if tr.desc == "" || !strings.Contains(tr.desc, "faults=") {
+			t.Fatalf("trial %d desc lacks fault spec: %q", tr.id, tr.desc)
+		}
+	}
+}
+
+// TestFaultCampaignReplay: a fault-campaign trial replayed by its seed
+// draws the identical fault mix and execution time.
+func TestFaultCampaignReplay(t *testing.T) {
+	o := smallOpts()
+	o.trials = 4
+	o.faults = "campaign"
+	first := runTrial(2, seedFor(o.seed, 2, o.trials), o)
+	o.trials = 1
+	replay := runTrial(0, first.seed, o)
+	if replay.desc != first.desc || replay.execTime != first.execTime {
+		t.Fatalf("replay diverged: %q exec=%d vs %q exec=%d",
+			first.desc, first.execTime, replay.desc, replay.execTime)
+	}
+}
+
+// TestFaultCampaignRegressions replays the exact campaign seeds that once
+// produced invariant violations — stale owner reads overtaken by a
+// sibling's re-acquisition, write fan-out invalidations outliving a
+// recall, and SharingWBs stale after an ownership bounce through a third
+// cluster. Each must now run clean.
+func TestFaultCampaignRegressions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size campaign replays")
+	}
+	seeds := []int64{
+		-4627371582388691390, -8194201985949301919, -1806040232980855993,
+		-5937789379458223177, 4026922237021176607, 7232921342214546856,
+		8478203652574459302, -4260178708525722724, 6942937328743600961,
+		-2631691874271825767,
+	}
+	o := options{trials: 1, seed: 0, procs: []int{4, 6, 8}, refs: 300,
+		blocks: 24, faults: "campaign"}
+	for _, seed := range seeds {
+		tr := runTrial(0, seed, o)
+		if tr.failed() {
+			t.Errorf("seed %d (%s): err=%v violations=%v coherence=%v",
+				seed, tr.desc, tr.err, tr.caught, tr.cohErr)
+		}
+	}
+}
+
+// TestWedgeTripsWatchdog: with every message dropped and the retry budget
+// cut, every trial must abort via *machine.StuckError carrying a
+// diagnostic dump.
+func TestWedgeTripsWatchdog(t *testing.T) {
+	o := smallOpts()
+	o.trials = 3
+	o.wedge = true
+	trials, _ := runTrials(o)
+	for _, tr := range trials {
+		if !tr.stuck() {
+			t.Fatalf("trial %d not stuck: err=%v", tr.id, tr.err)
+		}
+		var se *machine.StuckError
+		errors.As(tr.err, &se)
+		if !strings.Contains(se.Dump, "refs remaining") || !strings.Contains(se.Dump, "msg ") {
+			t.Fatalf("trial %d dump lacks proc/envelope detail:\n%s", tr.id, se.Dump)
+		}
 	}
 }

@@ -29,7 +29,7 @@ func main() {
 	flag.Parse()
 	cli.Check("report", obsFlags.Start())
 	defer obsFlags.Stop()
-	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery()})
+	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery(), Faults: obsFlags.Faults(), Deadline: obsFlags.Deadline()})
 	exp.SetParallelism(*parallel)
 
 	w := bufio.NewWriter(os.Stdout)

@@ -74,6 +74,8 @@ func execute(run config.RunSpec) outcome {
 	cfg.Trace = obsFlags.Tracer(run.Name)
 	cfg.Spans = obsFlags.Spans(run.Name)
 	cfg.SampleEvery = obsFlags.SampleEvery()
+	cfg.Mesh.Faults = obsFlags.Faults()
+	cfg.Deadline = obsFlags.Deadline()
 	if obsFlags.Checking() {
 		cfg.Check = true
 		cfg.CheckSink = obsFlags.CheckSink(run.Name)

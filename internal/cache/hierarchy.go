@@ -57,8 +57,8 @@ type Hierarchy struct {
 // NewHierarchy builds the two levels from cfg. L2 must be at least as
 // large as L1 (inclusion).
 func NewHierarchy(cfg Config) *Hierarchy {
-	if cfg.L2Size < cfg.L1Size {
-		panic("cache: L2 smaller than L1 violates inclusion")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	return &Hierarchy{
 		l1: NewCache(cfg.L1Size, cfg.Block, cfg.L1Assoc),

@@ -54,6 +54,11 @@ const (
 	// precedes its start (uint64 underflow on a tx.lat.* or read/write
 	// latency pair).
 	RuleLatency
+	// RuleLiveness is forward progress: the liveness watchdog found a
+	// processor stuck beyond its cycle budget (a transaction the recovery
+	// machinery could not complete), or a run's event queue drained with
+	// work remaining.
+	RuleLiveness
 
 	numRules
 )
@@ -64,7 +69,7 @@ const NumRules = int(numRules)
 
 var ruleNames = [numRules]string{
 	"single.writer", "dir.coverage", "recall", "ack",
-	"protocol", "span.tiling", "accounting", "latency",
+	"protocol", "span.tiling", "accounting", "latency", "liveness",
 }
 
 func (r Rule) String() string {

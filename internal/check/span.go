@@ -26,6 +26,13 @@ func (r *Recorder) Span(s obs.Span) {
 			"span %d (%s/%s) ends at %d before it starts at %d", s.ID, s.Class, s.Phase, s.End, s.Start)
 		return
 	}
+	if s.Phase == obs.PhRecovery {
+		// Recovery episodes are free-floating annotations under the fault
+		// model: any number may occur per transaction, before or after the
+		// root, so they take no part in the tiling or the async-ack
+		// bookkeeping below (which assumes exactly one owed ack.gather).
+		return
+	}
 	tx := r.spanTx[s.Tx]
 	if tx == nil {
 		tx = &txSpans{class: s.Class}

@@ -15,8 +15,10 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sync"
+	"time"
 
 	"dircoh/internal/check"
+	"dircoh/internal/mesh"
 	"dircoh/internal/obs"
 	"dircoh/internal/sim"
 )
@@ -55,6 +57,8 @@ type Obs struct {
 	cpuPath     string
 	memPath     string
 	pprofAddr   string
+	faultSpec   string
+	deadline    time.Duration
 
 	sink      *obs.JSONLSink
 	spanSink  *obs.JSONLSink
@@ -78,6 +82,8 @@ func NewObs(tool string) *Obs {
 	flag.StringVar(&o.metricsPath, "metrics", "", "write per-run metrics dumps (name value lines) to this file")
 	flag.StringVar(&o.cpuPath, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memPath, "memprofile", "", "write a heap profile to this file on exit")
+	flag.StringVar(&o.faultSpec, "faults", "", "inject network faults: drop=P,dup=P,delay=P:MAX,outage=P:LEN:EVERY[,seed=N] (see mesh.ParseFaults; empty disables)")
+	flag.DurationVar(&o.deadline, "deadline", 0, "abort a run still going after this wall-clock duration, with the liveness watchdog's diagnostic dump (0 disables)")
 	return o
 }
 
@@ -236,6 +242,23 @@ func (o *Obs) CheckSink(run string) check.Sink {
 
 // SampleEvery returns the -sample-every period in cycles (0 = disabled).
 func (o *Obs) SampleEvery() sim.Time { return sim.Time(o.sampleEvery) }
+
+// Faults parses the -faults spec, exiting with a usage error on a bad
+// value. The zero FaultConfig (faults disabled) is returned when the flag
+// is unset.
+func (o *Obs) Faults() mesh.FaultConfig {
+	if o.faultSpec == "" {
+		return mesh.FaultConfig{}
+	}
+	fc, err := mesh.ParseFaults(o.faultSpec)
+	if err != nil {
+		Usagef(o.tool, "-faults: %v", err)
+	}
+	return fc
+}
+
+// Deadline returns the -deadline wall-clock bound (0 = disabled).
+func (o *Obs) Deadline() time.Duration { return o.deadline }
 
 // openOut opens path for writing; "-" selects stdout, wrapped so the sink
 // flushes on Close without closing the process's stdout.

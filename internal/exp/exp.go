@@ -99,6 +99,10 @@ func runWorkload(app string, w *tango.Workload, cfg machine.Config, label string
 		cfg.CheckSink = ob.Check(name)
 	}
 	cfg.SampleEvery = ob.SampleEvery
+	if ob.Faults.Enabled() {
+		cfg.Mesh.Faults = ob.Faults
+	}
+	cfg.Deadline = ob.Deadline
 	m, err := machine.New(cfg)
 	if err != nil {
 		panic(err)

@@ -2,8 +2,10 @@ package exp
 
 import (
 	"sync"
+	"time"
 
 	"dircoh/internal/check"
+	"dircoh/internal/mesh"
 	"dircoh/internal/obs"
 	"dircoh/internal/sim"
 )
@@ -25,6 +27,13 @@ type Observer struct {
 	Metrics     func(run string, snap obs.Snapshot)
 	Check       func(run string) check.Sink
 	SampleEvery sim.Time
+	// Faults, when enabled, injects the same network fault mix into every
+	// run (the per-machine fault stream still derives from each run's
+	// seed, so runs stay independent and reproducible).
+	Faults mesh.FaultConfig
+	// Deadline, when > 0, bounds each run in wall-clock time via the
+	// machine's watchdog abort.
+	Deadline time.Duration
 }
 
 var (

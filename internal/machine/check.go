@@ -259,6 +259,13 @@ func (m *Machine) checkRecallClean(h *clusterNode, vb int64) {
 	if m.recallsPending[vb] > 0 {
 		return
 	}
+	if chk.Inflight(vb) > 0 {
+		// A directed invalidation for the block is still traveling (a
+		// write fan-out acknowledged to the requester, not the home, or
+		// a fault-delayed retry) and will collect the surviving copy;
+		// invalApplied re-checks when the last one lands.
+		return
+	}
 	e := h.dir.Peek(m.dirKey(vb))
 	now := uint64(m.eng.Now())
 	for _, p := range m.procs {

@@ -2,6 +2,7 @@ package machine
 
 import (
 	"fmt"
+	"time"
 
 	"dircoh/internal/cache"
 	"dircoh/internal/check"
@@ -68,6 +69,23 @@ func (k BarrierKind) String() string {
 	return "central"
 }
 
+// RetryConfig tunes the end-to-end delivery recovery that runs when the
+// mesh fault model (Config.Mesh.Faults) is enabled. With faults off it
+// is ignored entirely.
+type RetryConfig struct {
+	// Timeout is the first-attempt retransmit timeout in cycles. 0
+	// derives a per-destination default of several one-way latencies
+	// plus directory service slack, so a merely-queued reply rarely
+	// triggers a spurious retry.
+	Timeout sim.Time
+	// MaxRetries bounds the retransmit attempts per message (0 selects
+	// DefaultMaxRetries). Each retry doubles the timeout, capped at 64x
+	// the base; a message still undelivered after the last retry is
+	// abandoned (net.retry.giveup) and the liveness watchdog reports the
+	// stuck transaction.
+	MaxRetries int
+}
+
 // Timing holds the latency model in processor cycles, calibrated to the
 // paper's §5 constants (local ≈23, 2-cluster ≈60, 3-cluster ≈80).
 type Timing struct {
@@ -98,6 +116,22 @@ type Config struct {
 	Mesh            mesh.Config // zero value -> mesh.DefaultConfig
 	Timing          Timing      // zero value -> DefaultTiming
 	Seed            int64
+
+	// Retry tunes the timeout/retry delivery recovery active while
+	// Mesh.Faults is enabled.
+	Retry RetryConfig
+	// StuckBudget, when > 0, arms the liveness watchdog: any unfinished
+	// processor that makes no forward progress for StuckBudget cycles
+	// aborts the run with a *StuckError carrying a full diagnostic dump
+	// (and a liveness violation when the checker is on). 0 disables the
+	// watchdog unless Mesh.Faults is enabled, which defaults it to
+	// DefaultStuckBudget.
+	StuckBudget sim.Time
+	// Deadline, when > 0, bounds the run in wall-clock time: a run still
+	// going after Deadline aborts with the same diagnostic dump instead
+	// of hanging the caller. Checked between events only, so it never
+	// perturbs simulation results.
+	Deadline time.Duration
 
 	// Metrics, when non-nil, is the registry the machine (and its mesh,
 	// directories, gates and RACs) records into; a private registry is
@@ -193,6 +227,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Cache.Block != 0 && c.Cache.Block != c.Block {
 		return fmt.Errorf("machine: cache block (%d) differs from machine block (%d)", c.Cache.Block, c.Block)
+	}
+	if err := c.Mesh.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.Retry.MaxRetries < 0 {
+		return fmt.Errorf("machine: Retry.MaxRetries must not be negative")
 	}
 	if c.Cache != (cache.Config{}) {
 		// Pre-check the cache geometry so a bad flag combination is an

@@ -9,6 +9,7 @@ import (
 	"dircoh/internal/mesh"
 	"dircoh/internal/obs"
 	"dircoh/internal/protocol"
+	"dircoh/internal/rng"
 	"dircoh/internal/sim"
 	"dircoh/internal/sparse"
 	"dircoh/internal/stats"
@@ -60,6 +61,19 @@ type Machine struct {
 	// single-shot fault injection (Config.Fault).
 	chk        *check.Recorder
 	faultFired bool
+
+	// Delivery recovery, active only when the mesh fault model is on
+	// (faultsOn): every message becomes a sequence-numbered netMsg envelope
+	// in inflight until delivered, with retry and duplicate-suppression
+	// counters; aborted carries the watchdog's or deadline's verdict and
+	// stops the run loop. See net.go.
+	faultsOn      bool
+	msgSeq        uint64
+	inflight      map[uint64]*netMsg
+	retryCnt      *obs.Counter // "net.retry.count"
+	retryGiveup   *obs.Counter // "net.retry.giveup"
+	dupSuppressed *obs.Counter // "net.dup.suppressed"
+	aborted       *StuckError
 
 	// recallsPending counts replacement recalls queued or in flight per
 	// global block (checker bookkeeping only, nil when Check is off). A
@@ -135,6 +149,7 @@ type proc struct {
 	opPending     bool // a data reference is in flight (latency accounting)
 	opWrite       bool
 	opStart       sim.Time
+	lastProgress  sim.Time // last cycle this processor advanced (liveness watchdog)
 }
 
 // New builds a machine from cfg. Configurations that fail Validate are
@@ -152,10 +167,12 @@ func New(cfg Config) (*Machine, error) {
 	cfg.Cache.Block = cfg.Block
 	clusters := cfg.Clusters()
 	if cfg.Mesh.Base == 0 && cfg.Mesh.PerHop == 0 {
-		// Keep a caller-specified PortTime while defaulting latencies.
-		port := cfg.Mesh.PortTime
+		// Keep a caller-specified PortTime and fault model while
+		// defaulting latencies.
+		port, faults := cfg.Mesh.PortTime, cfg.Mesh.Faults
 		cfg.Mesh = mesh.DefaultConfig(clusters)
 		cfg.Mesh.PortTime = port
+		cfg.Mesh.Faults = faults
 	}
 	cfg.Mesh.Nodes = clusters
 
@@ -164,6 +181,12 @@ func New(cfg Config) (*Machine, error) {
 		reg = obs.NewRegistry()
 	}
 	cfg.Mesh.Metrics = reg
+	if cfg.Mesh.Faults.Enabled() && cfg.Mesh.Faults.Seed == 0 {
+		// Derive the fault stream from the machine seed (stream -1 keeps it
+		// clear of the per-cluster directory streams) so one -seed flag
+		// still pins the whole run.
+		cfg.Mesh.Faults.Seed = rng.Mix(cfg.Seed, -1)
+	}
 	if cfg.Check && cfg.Spans == nil {
 		// The checker cross-checks span tiling, so the transaction
 		// machinery must run even when the caller wants no span output.
@@ -217,7 +240,7 @@ func New(cfg Config) (*Machine, error) {
 				WideEntries: cfg.Overflow.WideEntries,
 				Assoc:       cfg.Overflow.Assoc,
 				Policy:      cfg.Overflow.Policy,
-				Seed:        cfg.Seed + int64(c),
+				Seed:        rng.Mix(cfg.Seed, int64(c)),
 				Metrics:     reg,
 			})
 		} else if cfg.Sparse.Entries > 0 {
@@ -230,7 +253,7 @@ func New(cfg Config) (*Machine, error) {
 				Entries: cfg.Sparse.Entries,
 				Assoc:   assoc,
 				Policy:  cfg.Sparse.Policy,
-				Seed:    cfg.Seed + int64(c),
+				Seed:    rng.Mix(cfg.Seed, int64(c)),
 				Metrics: reg,
 			})
 		} else {
@@ -264,6 +287,19 @@ func New(cfg Config) (*Machine, error) {
 		pr := &proc{id: p, cl: cl, h: cache.NewHierarchy(cfg.Cache)}
 		cl.procs = append(cl.procs, pr)
 		m.procs = append(m.procs, pr)
+	}
+	if m.net.FaultsEnabled() {
+		m.faultsOn = true
+		m.inflight = make(map[uint64]*netMsg)
+		m.retryCnt = reg.Counter("net.retry.count")
+		m.retryGiveup = reg.Counter("net.retry.giveup")
+		m.dupSuppressed = reg.Counter("net.dup.suppressed")
+		if m.cfg.Retry.MaxRetries == 0 {
+			m.cfg.Retry.MaxRetries = DefaultMaxRetries
+		}
+		if m.cfg.StuckBudget == 0 {
+			m.cfg.StuckBudget = DefaultStuckBudget
+		}
 	}
 	return m, nil
 }
@@ -345,11 +381,24 @@ func (m *Machine) occupyDir(c *clusterNode, dur sim.Time) {
 
 // send counts one protocol message and schedules its arrival.
 func (m *Machine) send(kind protocol.MsgKind, from, to int, arrive func()) {
+	m.sendTx(kind, from, to, nil, arrive)
+}
+
+// sendTx is send with transaction context: under the fault model the
+// message travels as a recoverable envelope (see net.go) whose retries are
+// annotated onto tx as net.recovery spans. With faults off it is exactly
+// the pre-fault-layer path — no envelope, no extra state, no RNG draws —
+// so fault-free runs stay byte-identical.
+func (m *Machine) sendTx(kind protocol.MsgKind, from, to int, tx *txState, arrive func()) {
 	if from == to {
 		panic(fmt.Sprintf("machine: message %v from cluster %d to itself", kind, from))
 	}
 	m.kindCtr[kind].Inc()
-	m.eng.At(m.net.SendAt(m.eng.Now(), from, to), arrive)
+	if !m.faultsOn {
+		m.eng.At(m.net.SendAt(m.eng.Now(), from, to), arrive)
+		return
+	}
+	m.sendReliable(kind, from, to, tx, arrive)
 }
 
 // trace emits one structured event when tracing is on. The nil test is the
@@ -380,6 +429,7 @@ func (m *Machine) complete(p *proc, at sim.Time) {
 
 // stepProc issues p's next reference, or retires p.
 func (m *Machine) stepProc(p *proc) {
+	p.lastProgress = m.eng.Now()
 	if p.opPending {
 		p.opPending = false
 		if p.opWrite {
@@ -440,6 +490,7 @@ func (m *Machine) fence(p *proc, fn func()) {
 
 // ackArrived records one invalidation acknowledgement for p's oldest write.
 func (m *Machine) ackArrived(p *proc) {
+	p.lastProgress = m.eng.Now()
 	p.pendingAcks--
 	if m.chk != nil {
 		m.chk.AckArrived(p.id, uint64(m.eng.Now()))
@@ -475,9 +526,20 @@ func (m *Machine) Run(w *tango.Workload) (*Result, error) {
 	if m.cfg.SampleEvery > 0 {
 		m.eng.At(m.cfg.SampleEvery, m.sampleQueues)
 	}
-	m.eng.Run()
+	if err := m.runEngine(); err != nil {
+		return nil, err
+	}
 	for _, p := range m.procs {
 		if !p.done {
+			if m.faultsOn || m.cfg.StuckBudget > 0 {
+				// The event queue drained with work remaining: a message was
+				// abandoned after its retry budget, so the dependent
+				// transaction can never complete. Report it like a watchdog
+				// catch, with the full dump.
+				m.abort(fmt.Sprintf("event queue drained with proc %d unfinished (%d refs remaining, %d acks pending) — undeliverable message",
+					p.id, p.stream.Remaining(), p.pendingAcks))
+				return nil, m.aborted
+			}
 			return nil, fmt.Errorf("machine: deadlock — proc %d stuck with %d refs remaining, %d acks pending",
 				p.id, p.stream.Remaining(), p.pendingAcks)
 		}

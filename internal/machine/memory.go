@@ -71,8 +71,12 @@ func (m *Machine) handleVictim(p *proc, v cache.Victim) {
 		}
 		// Guarded update: only clear ownership if the directory still
 		// believes we own the block (a racing transaction may already
-		// have moved ownership; its forwarded request found no copy).
-		if e := hc.dir.Lookup(m.dirKey(vb), m.eng.Now()); e != nil && e.Dirty() && e.Owner() == from {
+		// have moved ownership; its forwarded request found no copy) and
+		// the cluster has not re-acquired the block dirty meanwhile
+		// (ownership bouncing away and back via a third cluster arms no
+		// wbExpected, so a fault-delayed writeback can arrive here stale).
+		if e := hc.dir.Lookup(m.dirKey(vb), m.eng.Now()); e != nil && e.Dirty() && e.Owner() == from &&
+			!m.clusterHoldsDirty(m.clusters[from], vb) {
 			e.Reset()
 			hc.dir.Release(m.dirKey(vb))
 		}
@@ -131,7 +135,7 @@ func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
 		}
 		tx := m.txStart(class, c.id, b)
 		m.trace(obs.EvReqIssue, c.id, b, int64(kind))
-		m.send(kind, c.id, home, func() { m.remoteWriteAtHome(p, b, upgrade, tx) })
+		m.sendTx(kind, c.id, home, tx, func() { m.remoteWriteAtHome(p, b, upgrade, tx) })
 		return
 	}
 	// Read. An ownership request in flight from this cluster wins the
@@ -178,7 +182,7 @@ func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
 	c.pendingReads[b] = nil
 	tx := m.txStart(obs.TxRead, c.id, b)
 	m.trace(obs.EvReqIssue, c.id, b, int64(protocol.ReadReq))
-	m.send(protocol.ReadReq, c.id, home, func() { m.remoteReadAtHome(p, b, tx) })
+	m.sendTx(protocol.ReadReq, c.id, home, tx, func() { m.remoteReadAtHome(p, b, tx) })
 }
 
 // remoteReadDone fills p and every merged follower, completing them all.
@@ -240,7 +244,12 @@ func (m *Machine) sendSharingWB(from, home int, b int64) {
 			}
 			return
 		}
-		if e := hc.dir.Lookup(m.dirKey(b), m.eng.Now()); e != nil && e.Dirty() && e.Owner() == from {
+		// Guarded downgrade: ownership may have moved away and back since
+		// this writeback was sent (delay or retry reordering via a third
+		// cluster arms no wbExpected). If the cluster holds the block
+		// dirty again, the downgrade this message reports is ancient.
+		if e := hc.dir.Lookup(m.dirKey(b), m.eng.Now()); e != nil && e.Dirty() && e.Owner() == from &&
+			!m.clusterHoldsDirty(m.clusters[from], b) {
 			e.ClearDirty()
 		}
 		m.checkBlock(b)
@@ -399,12 +408,12 @@ func (m *Machine) sendInvals(h *clusterNode, b int64, targets bitset.Set, ackTo 
 	m.occupyDir(h, m.t.InvalSend*sim.Time(targets.Count()))
 	targets.ForEach(func(t int) {
 		tc := m.clusters[t]
-		m.send(protocol.Inval, h.id, t, func() {
+		m.sendTx(protocol.Inval, h.id, t, tx, func() {
 			done := m.busOp(tc, m.t.InvalBus)
 			m.eng.At(done, func() {
 				m.applyInval(tc, b, false)
 				m.invalApplied(b)
-				m.send(protocol.AckMsg, t, ackTo.cl.id, func() {
+				m.sendTx(protocol.AckMsg, t, ackTo.cl.id, tx, func() {
 					m.ackArrived(ackTo)
 					m.txAck(tx)
 				})
@@ -440,7 +449,7 @@ func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode, tx *txState)
 		m.drainDirVictims(h)
 		h.gate.Lock(b)
 		m.txPhase(tx, obs.PhDirWait)
-		m.send(protocol.FwdReadReq, h.id, owner, func() {
+		m.sendTx(protocol.FwdReadReq, h.id, owner, tx, func() {
 			oc := m.clusters[owner]
 			done := m.busOp(oc, m.t.Fwd)
 			m.eng.At(done, func() {
@@ -448,12 +457,12 @@ func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode, tx *txState)
 					q.h.Downgrade(b)
 				}
 				m.txPhase(tx, obs.PhFanout)
-				m.send(protocol.DataReply, owner, rc, func() {
+				m.sendTx(protocol.DataReply, owner, rc, tx, func() {
 					m.remoteReadDone(p, b, tx)
 					h.gate.Unlock(b)
 					m.checkBlock(b)
 				})
-				m.send(protocol.SharingWB, owner, h.id, func() {})
+				m.sendTx(protocol.SharingWB, owner, h.id, tx, func() {})
 			})
 		})
 		return
@@ -464,6 +473,20 @@ func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode, tx *txState)
 		m.replaceEntry(h, victim)
 	}
 	if e2.Dirty() && e2.Owner() == rc {
+		if m.clusterHoldsDirty(p.cl, b) {
+			// Stale request: fault-injected delay (or a retry) let the
+			// cluster's own later write overtake this read, and ownership
+			// has already been granted back. A real home would NAK;
+			// here the entry is left untouched and the reply merely
+			// completes the read, which the overtaking write poisoned.
+			m.debugf(b, "stale read from owner c%d, entry untouched", rc)
+			p.cl.poisonedReads[b] = true
+			m.txPhase(tx, obs.PhDirWait)
+			m.sendTx(protocol.DataReply, h.id, rc, tx, func() {
+				m.remoteReadDone(p, b, tx)
+			})
+			return
+		}
 		// The owner itself is asking: its copy was evicted, so a
 		// writeback is in flight and now stale.
 		e2.ClearDirty()
@@ -477,7 +500,7 @@ func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode, tx *txState)
 	m.handleNBEvictions(h, b, e2.AddSharer(rc), tx)
 	m.drainDirVictims(h)
 	m.txPhase(tx, obs.PhDirWait)
-	m.send(protocol.DataReply, h.id, rc, func() {
+	m.sendTx(protocol.DataReply, h.id, rc, tx, func() {
 		m.remoteReadDone(p, b, tx)
 	})
 }
@@ -509,13 +532,13 @@ func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade boo
 		e.SetDirty(rc)
 		h.gate.Lock(b)
 		m.txPhase(tx, obs.PhDirWait)
-		m.send(protocol.FwdWriteReq, h.id, owner, func() {
+		m.sendTx(protocol.FwdWriteReq, h.id, owner, tx, func() {
 			oc := m.clusters[owner]
 			done := m.busOp(oc, m.t.InvalBus)
 			m.eng.At(done, func() {
 				m.applyInval(oc, b, false)
 				m.txPhase(tx, obs.PhFanout)
-				m.send(protocol.OwnershipReply, owner, rc, func() {
+				m.sendTx(protocol.OwnershipReply, owner, rc, tx, func() {
 					m.remoteWriteDone(p, b, upgrade, tx)
 					h.gate.Unlock(b)
 					m.checkBlock(b)
@@ -524,9 +547,11 @@ func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade boo
 		})
 		return
 	}
-	if e.Dirty() && e.Owner() == rc {
+	if e.Dirty() && e.Owner() == rc && !m.clusterHoldsDirty(p.cl, b) {
 		// Re-granting to the recorded owner: its in-flight writeback is
-		// stale (see wbExpected).
+		// stale (see wbExpected). If the cluster still holds the block
+		// dirty the request itself is the stale artifact (delay or retry
+		// reordering) and no writeback is coming — don't expect one.
 		h.wbExpected[b]++
 	}
 	// Clean (or requester-owned): invalidate the sharers. The ownership
@@ -551,12 +576,28 @@ func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade boo
 	}
 	h.gate.Lock(b)
 	m.txPhase(tx, obs.PhDirWait)
-	m.send(protocol.OwnershipReply, h.id, rc, func() {
+	m.sendTx(protocol.OwnershipReply, h.id, rc, tx, func() {
 		m.remoteWriteDone(p, b, upgrade, tx)
 		h.gate.Unlock(b)
 		m.checkBlock(b)
 	})
 	m.sendInvals(h, b, targets, p, tx)
+}
+
+// clusterHoldsDirty reports whether any cache in c currently holds b
+// dirty. The home uses it to tell a genuine eviction race (owner's copy
+// gone, writeback in flight) from a stale request that message delay or
+// retransmission let the cluster's own later ownership acquisition
+// overtake — the case a real protocol rejects with a NAK. Impossible
+// without fault injection: the fault-free mesh never reorders requests
+// on a pair.
+func (m *Machine) clusterHoldsDirty(c *clusterNode, b int64) bool {
+	for _, q := range c.procs {
+		if q.h.State(b) == cache.Dirty {
+			return true
+		}
+	}
+	return false
 }
 
 // fillExclusive installs an exclusive copy after an ownership reply.
@@ -613,12 +654,12 @@ func (m *Machine) handleNBEvictions(h *clusterNode, b int64, ev []core.NodeID, t
 		}
 		vc := m.clusters[v]
 		v := v
-		m.send(protocol.Inval, h.id, v, func() {
+		m.sendTx(protocol.Inval, h.id, v, tx, func() {
 			done := m.busOp(vc, m.t.InvalBus)
 			m.eng.At(done, func() {
 				m.applyInval(vc, b, false)
 				m.invalApplied(b)
-				m.send(protocol.AckMsg, v, h.id, func() { m.txAck(tx) })
+				m.sendTx(protocol.AckMsg, v, h.id, tx, func() { m.txAck(tx) })
 			})
 		})
 	}
@@ -655,6 +696,7 @@ func (m *Machine) replaceEntry(h *clusterNode, victim *sparse.Victim) {
 }
 
 func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry) {
+	m.debugf(vb, "recall start h=c%d empty=%v dirty=%v", h.id, ve.Empty(), ve.Dirty())
 	if ve.Empty() {
 		m.recallPending(vb, -1)
 		return
@@ -670,11 +712,11 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 		h.gate.Lock(vb)
 		h.rac.Start(vb, 1)
 		oc := m.clusters[owner]
-		m.send(protocol.Flush, h.id, owner, func() {
+		m.sendTx(protocol.Flush, h.id, owner, tx, func() {
 			done := m.busOp(oc, m.t.InvalBus)
 			m.eng.At(done, func() {
 				m.applyInval(oc, vb, true)
-				m.send(protocol.AckMsg, owner, h.id, func() {
+				m.sendTx(protocol.AckMsg, owner, h.id, tx, func() {
 					m.racAck(h, vb)
 					m.txAck(tx)
 				})
@@ -699,11 +741,11 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 	h.rac.Start(vb, n)
 	targets.ForEach(func(t int) {
 		tc := m.clusters[t]
-		m.send(protocol.Inval, h.id, t, func() {
+		m.sendTx(protocol.Inval, h.id, t, tx, func() {
 			done := m.busOp(tc, m.t.InvalBus)
 			m.eng.At(done, func() {
 				m.applyInval(tc, vb, true)
-				m.send(protocol.AckMsg, t, h.id, func() {
+				m.sendTx(protocol.AckMsg, t, h.id, tx, func() {
 					m.racAck(h, vb)
 					m.txAck(tx)
 				})
@@ -714,6 +756,7 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 
 func (m *Machine) racAck(h *clusterNode, vb int64) {
 	if h.rac.Ack(vb) {
+		m.debugf(vb, "recall complete h=c%d", h.id)
 		m.recallPending(vb, -1)
 		m.checkRecallClean(h, vb)
 		h.gate.Unlock(vb)

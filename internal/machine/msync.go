@@ -29,7 +29,7 @@ func (m *Machine) lockAcquire(p *proc, addr int64, retry bool) {
 	// grant (or the wake that triggers a retry, which opens a new round).
 	tx := m.txStart(obs.TxLock, p.cl.id, addr)
 	m.lockTxSet(p, tx)
-	m.send(protocol.LockReq, p.cl.id, home, func() {
+	m.sendTx(protocol.LockReq, p.cl.id, home, tx, func() {
 		m.txPhase(tx, obs.PhReqTravel)
 		hc := m.clusters[home]
 		done := m.dirOp(hc, m.t.Dir)
@@ -38,7 +38,7 @@ func (m *Machine) lockAcquire(p *proc, addr int64, retry bool) {
 			m.wakeNodes(addr, home, woken)
 			if granted {
 				m.txPhase(tx, obs.PhDirWait)
-				m.send(protocol.LockGrant, home, p.cl.id, func() {
+				m.sendTx(protocol.LockGrant, home, p.cl.id, tx, func() {
 					m.txPhase(tx, obs.PhReplyTravel)
 					m.lockTxEnd(p)
 					m.complete(p, m.eng.Now()+m.t.Hit)
@@ -82,7 +82,7 @@ func (m *Machine) handleGrant(addr int64, home int, g protocol.Grant) {
 		}
 		tx := m.lockTxOf(q)
 		m.txPhase(tx, obs.PhDirWait)
-		m.send(protocol.LockGrant, home, g.Node, func() {
+		m.sendTx(protocol.LockGrant, home, g.Node, tx, func() {
 			m.txPhase(tx, obs.PhReplyTravel)
 			m.lockTxEnd(q)
 			m.complete(q, m.eng.Now()+m.t.Hit)

@@ -1,0 +1,308 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"dircoh/internal/check"
+	"dircoh/internal/obs"
+	"dircoh/internal/protocol"
+	"dircoh/internal/sim"
+)
+
+// End-to-end delivery recovery over the unreliable mesh (Mesh.Faults).
+// Every protocol message becomes a sequence-numbered envelope: the sender
+// schedules the copies the fault model lets through plus a retransmit
+// timer, the receiver's delivered latch makes the handler idempotent
+// (duplicates are counted, not executed), and a message whose timer fires
+// undelivered is re-sent with exponential backoff until the retry budget
+// runs out. A transaction the recovery machinery still cannot complete is
+// caught by the liveness watchdog below. With faults off none of this
+// exists: send takes the exact pre-fault-layer path.
+
+const (
+	// DefaultMaxRetries is the retransmit budget per message when
+	// Config.Retry.MaxRetries is 0.
+	DefaultMaxRetries = 8
+	// DefaultStuckBudget is the watchdog's no-progress budget (in cycles)
+	// when faults are enabled and Config.StuckBudget is 0. Generous: the
+	// full backoff sequence of a congested message plus heavy lock
+	// contention stays well inside it.
+	DefaultStuckBudget sim.Time = 1 << 20
+	// backoffCap bounds the retransmit timeout at backoffCap times the
+	// base timeout.
+	backoffCap = 64
+)
+
+// netMsg is one logical protocol message in flight under the fault model.
+// id is the machine-wide sequence number duplicates are recognized by.
+type netMsg struct {
+	id        uint64
+	kind      protocol.MsgKind
+	from, to  int
+	attempt   int      // send attempts so far (1 = the original)
+	first     sim.Time // injection time of the first attempt
+	sent      sim.Time // injection time of the latest attempt
+	timeout   sim.Time // current retransmit timeout
+	delivered bool     // receiver-side dedup latch: the handler ran
+	failed    bool     // retry budget exhausted, message abandoned
+	deliver   func()
+	tx        *txState // transaction for net.recovery spans, may be nil
+}
+
+// sendReliable wraps arrive in an envelope and dispatches the first
+// attempt.
+func (m *Machine) sendReliable(kind protocol.MsgKind, from, to int, tx *txState, arrive func()) {
+	now := m.eng.Now()
+	m.msgSeq++
+	env := &netMsg{
+		id: m.msgSeq, kind: kind, from: from, to: to,
+		first: now, timeout: m.baseTimeout(from, to),
+		deliver: arrive, tx: tx,
+	}
+	m.inflight[env.id] = env
+	m.dispatch(env)
+}
+
+// baseTimeout is the first-attempt retransmit timeout toward to: several
+// one-way latencies plus directory service slack, so queueing alone
+// rarely triggers a spurious (but harmless) retry.
+func (m *Machine) baseTimeout(from, to int) sim.Time {
+	if m.cfg.Retry.Timeout > 0 {
+		return m.cfg.Retry.Timeout
+	}
+	return 4*m.net.Latency(from, to) + 4*m.t.Dir + 16
+}
+
+// dispatch injects one attempt of env into the faulty mesh: the copies
+// that survive are scheduled for delivery, and a retransmit timer guards
+// the attempt. Stale timers (the attempt was superseded or the message
+// delivered) fall through timeoutMsg as no-ops.
+func (m *Machine) dispatch(env *netMsg) {
+	env.attempt++
+	env.sent = m.eng.Now()
+	arrivals, n := m.net.SendFaulty(env.sent, env.from, env.to)
+	for i := 0; i < n; i++ {
+		m.eng.At(arrivals[i], func() { m.deliverMsg(env) })
+	}
+	att := env.attempt
+	m.eng.At(env.sent+env.timeout, func() { m.timeoutMsg(env, att) })
+}
+
+// deliverMsg runs env's handler exactly once; every further copy (a
+// duplicate, or a retry racing a delayed original) is suppressed.
+func (m *Machine) deliverMsg(env *netMsg) {
+	if env.delivered {
+		m.dupSuppressed.Inc()
+		return
+	}
+	env.delivered = true
+	delete(m.inflight, env.id)
+	env.deliver()
+}
+
+// timeoutMsg handles attempt att's retransmit timer: re-send with doubled
+// timeout while the budget lasts, then abandon the message for the
+// watchdog to report.
+func (m *Machine) timeoutMsg(env *netMsg, att int) {
+	if env.delivered || env.failed || att != env.attempt {
+		return
+	}
+	if env.attempt > m.cfg.Retry.MaxRetries {
+		env.failed = true
+		m.retryGiveup.Inc()
+		return
+	}
+	m.retryCnt.Inc()
+	m.emitRecovery(env)
+	if next := env.timeout * 2; next <= m.baseTimeout(env.from, env.to)*backoffCap {
+		env.timeout = next
+	}
+	m.dispatch(env)
+}
+
+// emitRecovery annotates env.tx with one recovery episode: an async child
+// span covering the lost attempt's injection to the retry, its N carrying
+// the attempt number so tracelens can show retry-inflated tails.
+func (m *Machine) emitRecovery(env *netMsg) {
+	tx := env.tx
+	if tx == nil || m.spans == nil {
+		return
+	}
+	m.emitSpan(obs.Span{
+		Tx: tx.id, ID: m.spans.NextID(), Parent: tx.id,
+		Class: tx.class, Phase: obs.PhRecovery, Node: tx.node, Block: tx.block,
+		Start: uint64(env.sent), End: uint64(m.eng.Now()), N: int64(env.attempt),
+	})
+}
+
+// StuckError reports a run aborted without completing: the liveness
+// watchdog found stuck processors, the wall-clock deadline expired, or
+// the event queue drained with work remaining (undeliverable messages).
+// Dump carries the full diagnostic: per-processor state and pending
+// acknowledgements, gate/RAC/MSHR occupancy per cluster, and every
+// in-flight or abandoned network envelope with its transaction context.
+type StuckError struct {
+	Reason string
+	Dump   string
+}
+
+func (e *StuckError) Error() string {
+	return "machine: " + e.Reason + "\n" + e.Dump
+}
+
+// watchdogEnabled reports whether the liveness watchdog runs (armed
+// explicitly, or defaulted on by the fault model).
+func (m *Machine) watchdogEnabled() bool { return m.cfg.StuckBudget > 0 }
+
+// watchdogScan is the periodic forward-progress check: any unfinished
+// processor idle past the budget aborts the run via m.aborted. It
+// rescans at a quarter of the budget while unfinished work remains, and
+// falls silent when every processor is done so it cannot keep the event
+// queue alive on its own.
+func (m *Machine) watchdogScan() {
+	if m.aborted != nil {
+		return
+	}
+	now := m.eng.Now()
+	budget := m.cfg.StuckBudget
+	allDone := true
+	stuck := -1
+	for _, p := range m.procs {
+		if p.done {
+			continue
+		}
+		allDone = false
+		if now-p.lastProgress > budget && stuck < 0 {
+			stuck = p.id
+		}
+	}
+	if stuck >= 0 {
+		m.abort(fmt.Sprintf("liveness watchdog: proc %d made no progress for over %d cycles (budget exceeded at t=%d)",
+			stuck, budget, now))
+		return
+	}
+	if !allDone && m.eng.Pending() > 0 {
+		step := budget / 4
+		if step == 0 {
+			step = 1
+		}
+		m.eng.After(step, m.watchdogScan)
+	}
+}
+
+// abort records the liveness failure (as a checker violation when the
+// checker is on) and arms m.aborted so the run loop stops after the
+// current event.
+func (m *Machine) abort(reason string) {
+	if m.chk != nil {
+		m.chk.Violationf(check.RuleLiveness, -1, -1, uint64(m.eng.Now()), "%s", reason)
+	}
+	m.aborted = &StuckError{Reason: reason, Dump: m.diagnosticDump()}
+}
+
+// runEngine drives the event loop, honoring watchdog aborts and the
+// wall-clock deadline. The deadline is sampled every few thousand events
+// so the time syscall never shows up in profiles; it cannot change
+// simulation results, only cut them short.
+func (m *Machine) runEngine() error {
+	if m.watchdogEnabled() {
+		m.eng.After(m.cfg.StuckBudget, m.watchdogScan)
+	}
+	deadline := m.cfg.Deadline
+	var start time.Time
+	if deadline > 0 {
+		start = time.Now()
+	}
+	var n uint64
+	for m.aborted == nil && m.eng.Step() {
+		if deadline > 0 {
+			if n++; n&0x3FFF == 0 && time.Since(start) > deadline {
+				m.abort(fmt.Sprintf("wall-clock deadline %s exceeded at t=%d", deadline, m.eng.Now()))
+			}
+		}
+	}
+	if m.aborted != nil {
+		return m.aborted
+	}
+	return nil
+}
+
+// diagnosticDump renders the machine's stuck state for StuckError.
+func (m *Machine) diagnosticDump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  t=%d events_fired=%d events_pending=%d\n", m.eng.Now(), m.eng.Fired(), m.eng.Pending())
+	for _, p := range m.procs {
+		if p.done {
+			continue
+		}
+		fmt.Fprintf(&b, "  proc %d (cluster %d): %d refs remaining, %d acks pending, last progress t=%d",
+			p.id, p.cl.id, p.stream.Remaining(), p.pendingAcks, p.lastProgress)
+		if p.opPending {
+			op := "read"
+			if p.opWrite {
+				op = "write"
+			}
+			fmt.Fprintf(&b, ", %s in flight since t=%d", op, p.opStart)
+		}
+		if p.afterDrain != nil {
+			b.WriteString(", fenced")
+		}
+		if p.drainToFinish {
+			b.WriteString(", draining to finish")
+		}
+		if tx := m.lockTxOf(p); tx != nil {
+			fmt.Fprintf(&b, ", lock tx %d on addr %d open since t=%d", tx.id, tx.block, tx.start)
+		}
+		b.WriteByte('\n')
+	}
+	for _, c := range m.clusters {
+		var parts []string
+		for _, blk := range c.gate.BusyBlocks() {
+			parts = append(parts, fmt.Sprintf("gate@%d(+%d queued)", blk, c.gate.Pending(blk)))
+		}
+		for _, blk := range c.rac.TrackedBlocks() {
+			parts = append(parts, fmt.Sprintf("rac@%d(%d acks owed)", blk, c.rac.Outstanding(blk)))
+		}
+		for _, blk := range sortedKeys(c.pendingReads) {
+			parts = append(parts, fmt.Sprintf("pendingRead@%d(%d merged)", blk, len(c.pendingReads[blk])))
+		}
+		for _, blk := range sortedKeys(c.pendingWrite) {
+			parts = append(parts, fmt.Sprintf("pendingWrite@%d", blk))
+		}
+		if len(parts) > 0 {
+			fmt.Fprintf(&b, "  cluster %d: %s\n", c.id, strings.Join(parts, " "))
+		}
+	}
+	if m.faultsOn {
+		ids := sortedKeys(m.inflight)
+		for _, id := range ids {
+			env := m.inflight[id]
+			status := "in flight"
+			if env.failed {
+				status = "given up"
+			}
+			fmt.Fprintf(&b, "  msg %d %v %d->%d: %s, attempt %d, first sent t=%d, last sent t=%d, timeout %d",
+				id, env.kind, env.from, env.to, status, env.attempt, env.first, env.sent, env.timeout)
+			if tx := env.tx; tx != nil {
+				fmt.Fprintf(&b, " [tx %d %v block %d, open since t=%d, in phase since t=%d, %d acks outstanding]",
+					tx.id, tx.class, tx.block, tx.start, tx.mark, tx.acks)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// sortedKeys returns m's keys in ascending order (diagnostics must render
+// deterministically).
+func sortedKeys[K int64 | uint64, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

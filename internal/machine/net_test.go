@@ -1,0 +1,225 @@
+package machine
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dircoh/internal/check"
+	"dircoh/internal/mesh"
+	"dircoh/internal/tango"
+)
+
+// faultWorkload builds a deterministic pseudo-random mix of reads and
+// writes over a small shared block set, sized to keep plenty of remote
+// traffic (and therefore recovery machinery) in flight.
+func faultWorkload(procs, refs, blocks int, seed int64) *tango.Workload {
+	rng := rand.New(rand.NewSource(seed))
+	streams := make([][]tango.Ref, procs)
+	for p := 0; p < procs; p++ {
+		var b tango.Builder
+		for i := 0; i < refs; i++ {
+			a := addr(int64(rng.Intn(blocks)))
+			if rng.Intn(3) == 0 {
+				b.Write(a)
+			} else {
+				b.Read(a)
+			}
+		}
+		streams[p] = b.Refs()
+	}
+	return &tango.Workload{Name: "faults", Streams: streams}
+}
+
+// runFaulty runs cfg against w without mustRun's invalidation==ack
+// conservation assertion, which retransmitted messages legitimately break.
+func runFaulty(t *testing.T, cfg Config, w *tango.Workload) (*Machine, *Result) {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Run(w)
+	if err != nil {
+		t.Fatalf("run under faults failed: %v", err)
+	}
+	return m, r
+}
+
+// TestFaultRecoveryClean: under every class of injected fault the
+// retry/dedup recovery must finish the workload with the invariant
+// checker silent and final coherence intact.
+func TestFaultRecoveryClean(t *testing.T) {
+	mixes := []mesh.FaultConfig{
+		{Drop: 0.05},
+		{Dup: 0.1},
+		{DelayP: 0.3, DelayMax: 200},
+		{OutageP: 0.5, OutageLen: 256, OutageEvery: 4096},
+		{Drop: 0.02, Dup: 0.05, DelayP: 0.1, DelayMax: 100, OutageP: 0.2, OutageLen: 128, OutageEvery: 8192},
+	}
+	for i, f := range mixes {
+		f := f
+		t.Run(f.String(), func(t *testing.T) {
+			cfg := testConfig(4, FullVec)
+			cfg.ProcsPerCluster = 2
+			cfg.Seed = int64(100 + i)
+			cfg.Mesh.Faults = f
+			cfg.Check = true
+			m, r := runFaulty(t, cfg, faultWorkload(4, 200, 12, int64(7+i)))
+			if err := m.CheckCoherence(); err != nil {
+				t.Fatalf("final coherence violated: %v", err)
+			}
+			if n := m.ViolationCount(); n != 0 {
+				t.Fatalf("%d invariant violations under faults (first: %v)", n, m.Violations()[0])
+			}
+			if r.ExecTime == 0 {
+				t.Fatal("zero execution time")
+			}
+		})
+	}
+}
+
+// TestFaultRecoveryCounters: the recovery layer's own telemetry must show
+// the machinery actually exercised — duplicates suppressed under dup
+// faults, retries fired under drop faults — and never a give-up.
+func TestFaultRecoveryCounters(t *testing.T) {
+	cfg := testConfig(4, FullVec)
+	cfg.Seed = 11
+	cfg.Mesh.Faults = mesh.FaultConfig{Drop: 0.1, Dup: 0.3}
+	cfg.Check = true
+	m, _ := runFaulty(t, cfg, faultWorkload(4, 200, 10, 3))
+	snap := m.MetricsSnapshot()
+	if snap.Counter("net.dup.suppressed") == 0 {
+		t.Error("dup=0.3 run suppressed no duplicates")
+	}
+	if snap.Counter("net.retry.count") == 0 {
+		t.Error("drop=0.1 run retransmitted nothing")
+	}
+	if n := snap.Counter("net.retry.giveup"); n != 0 {
+		t.Errorf("%d messages abandoned despite the default retry budget", n)
+	}
+	if snap.Counter("mesh.fault.drop") == 0 || snap.Counter("mesh.fault.dup") == 0 {
+		t.Error("mesh fault counters silent under nonzero rates")
+	}
+	if n := m.ViolationCount(); n != 0 {
+		t.Fatalf("%d invariant violations (first: %v)", n, m.Violations()[0])
+	}
+}
+
+// TestFaultDeterminism: the same configuration and seed must replay the
+// identical run — execution time and every metric — and a different seed
+// must not.
+func TestFaultDeterminism(t *testing.T) {
+	run := func(seed int64) (*Result, map[string]uint64) {
+		cfg := testConfig(6, CoarseVec2)
+		cfg.ProcsPerCluster = 2
+		cfg.Seed = seed
+		cfg.Mesh.Faults = mesh.FaultConfig{Drop: 0.05, Dup: 0.05, DelayP: 0.2, DelayMax: 150}
+		m, r := runFaulty(t, cfg, faultWorkload(6, 150, 12, 19))
+		return r, m.MetricsSnapshot().Counters
+	}
+	r1, c1 := run(5)
+	r2, c2 := run(5)
+	if r1.ExecTime != r2.ExecTime {
+		t.Fatalf("same seed, different exec time: %d vs %d", r1.ExecTime, r2.ExecTime)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatal("same seed, different metric counters")
+	}
+	r3, _ := run(6)
+	if r1.ExecTime == r3.ExecTime && reflect.DeepEqual(r1.Msgs, r3.Msgs) {
+		t.Fatal("different fault seeds replayed an identical run")
+	}
+}
+
+// TestWatchdogNoPerturbation: arming the liveness watchdog on a
+// fault-free run must not change a single simulated outcome — its scans
+// ride the event queue but touch no protocol state.
+func TestWatchdogNoPerturbation(t *testing.T) {
+	w := faultWorkload(4, 150, 10, 23)
+	base := testConfig(4, FullVec)
+	_, r1 := mustRun(t, base, w)
+
+	guarded := testConfig(4, FullVec)
+	guarded.StuckBudget = 1 << 14
+	_, r2 := mustRun(t, guarded, w)
+
+	if r1.ExecTime != r2.ExecTime {
+		t.Fatalf("watchdog changed exec time: %d vs %d", r1.ExecTime, r2.ExecTime)
+	}
+	if !reflect.DeepEqual(r1.Msgs, r2.Msgs) {
+		t.Fatalf("watchdog changed message counts: %+v vs %+v", r1.Msgs, r2.Msgs)
+	}
+	if r1.Net != r2.Net {
+		t.Fatalf("watchdog changed network stats: %+v vs %+v", r1.Net, r2.Net)
+	}
+}
+
+// TestWedgeStuckError: a link that never delivers must wedge the run,
+// and the wedge must surface as a StuckError carrying the diagnostic
+// dump (stuck procs, in-flight messages) plus a liveness violation.
+func TestWedgeStuckError(t *testing.T) {
+	var b tango.Builder
+	b.Read(addr(0)) // block 0 homes at cluster 0; this is a remote read
+	cfg := testConfig(2, FullVec)
+	cfg.Seed = 2
+	cfg.Mesh.Faults = mesh.FaultConfig{Drop: 1}
+	cfg.Retry = RetryConfig{Timeout: 64, MaxRetries: 2}
+	cfg.StuckBudget = 1 << 12
+	cfg.Check = true
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(wl(nil, b.Refs()))
+	if err == nil {
+		t.Fatal("drop=1 run completed")
+	}
+	var stuck *StuckError
+	if !errors.As(err, &stuck) {
+		t.Fatalf("error is %T, want *StuckError: %v", err, err)
+	}
+	if !strings.Contains(stuck.Dump, "refs remaining") {
+		t.Errorf("dump lacks stuck-processor lines:\n%s", stuck.Dump)
+	}
+	if !strings.Contains(stuck.Dump, "msg ") {
+		t.Errorf("dump lacks in-flight message lines:\n%s", stuck.Dump)
+	}
+	found := false
+	for _, v := range m.Violations() {
+		if v.Rule == check.RuleLiveness {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("wedge recorded no liveness violation")
+	}
+}
+
+// TestDeadlineAborts: a wall-clock deadline the run cannot meet must cut
+// it short with the same StuckError/dump reporting as a watchdog catch.
+func TestDeadlineAborts(t *testing.T) {
+	cfg := testConfig(8, FullVec)
+	cfg.ProcsPerCluster = 2
+	cfg.Seed = 3
+	cfg.Deadline = time.Nanosecond
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(faultWorkload(8, 2500, 64, 31))
+	if err == nil {
+		t.Fatal("1ns deadline did not abort the run")
+	}
+	var stuck *StuckError
+	if !errors.As(err, &stuck) {
+		t.Fatalf("error is %T, want *StuckError: %v", err, err)
+	}
+	if !strings.Contains(stuck.Reason, "deadline") {
+		t.Errorf("abort reason %q does not mention the deadline", stuck.Reason)
+	}
+}

@@ -1,0 +1,271 @@
+package mesh
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dircoh/internal/obs"
+	"dircoh/internal/rng"
+	"dircoh/internal/sim"
+)
+
+// FaultConfig describes the unreliable-interconnect model: each message
+// copy is independently dropped, duplicated or delayed, and whole links
+// suffer transient outage windows. All draws come from one splitmix64
+// stream seeded by Seed (outage decisions are stateless hashes of the
+// link and window), so a run is exactly reproducible from its seed and
+// two runs with different seeds are decorrelated.
+//
+// The zero value disables the model entirely: Enabled() is false, the
+// mesh takes the reliable delivery path, draws nothing, and registers no
+// fault counters — byte-identical to a build without the fault layer.
+type FaultConfig struct {
+	// Drop is the per-copy loss probability.
+	Drop float64
+	// Dup is the probability a message is sent as two independent copies.
+	Dup float64
+	// DelayP is the probability a surviving copy is jittered by an extra
+	// uniform 1..DelayMax cycles (enough to reorder it behind later
+	// traffic on the same link).
+	DelayP   float64
+	DelayMax sim.Time
+	// OutageP is the probability a given (link, window) pair is down.
+	// Time is cut into windows of OutageEvery cycles; a down window
+	// swallows every copy injected during its first OutageLen cycles.
+	OutageP     float64
+	OutageLen   sim.Time
+	OutageEvery sim.Time
+	// Seed drives every probabilistic draw. 0 lets the machine derive one
+	// from its own seed.
+	Seed int64
+}
+
+// Enabled reports whether any fault class has a nonzero rate.
+func (c FaultConfig) Enabled() bool {
+	return c.Drop > 0 || c.Dup > 0 || (c.DelayP > 0 && c.DelayMax > 0) || c.OutageP > 0
+}
+
+// Validate checks rates and window geometry.
+func (c FaultConfig) Validate() error {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"drop", c.Drop}, {"dup", c.Dup}, {"delay", c.DelayP}, {"outage", c.OutageP}} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("mesh: fault %s probability %v outside [0,1]", p.name, p.v)
+		}
+	}
+	if c.DelayP > 0 && c.DelayMax == 0 {
+		return fmt.Errorf("mesh: delay probability %v needs a positive max jitter (delay=P:MAX)", c.DelayP)
+	}
+	if c.OutageP > 0 {
+		if c.OutageEvery == 0 || c.OutageLen == 0 {
+			return fmt.Errorf("mesh: outage probability %v needs positive LEN and EVERY (outage=P:LEN:EVERY)", c.OutageP)
+		}
+		if c.OutageLen > c.OutageEvery {
+			return fmt.Errorf("mesh: outage length %d exceeds its window period %d", c.OutageLen, c.OutageEvery)
+		}
+	}
+	return nil
+}
+
+// String renders the configuration in ParseFaults' grammar, canonically
+// ordered, so a replay line round-trips. The zero value renders "none".
+func (c FaultConfig) String() string {
+	var parts []string
+	if c.Drop > 0 {
+		parts = append(parts, "drop="+formatRate(c.Drop))
+	}
+	if c.Dup > 0 {
+		parts = append(parts, "dup="+formatRate(c.Dup))
+	}
+	if c.DelayP > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%s:%d", formatRate(c.DelayP), c.DelayMax))
+	}
+	if c.OutageP > 0 {
+		parts = append(parts, fmt.Sprintf("outage=%s:%d:%d", formatRate(c.OutageP), c.OutageLen, c.OutageEvery))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	if c.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", c.Seed))
+	}
+	return strings.Join(parts, ",")
+}
+
+func formatRate(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ParseFaults parses the -faults flag grammar: a comma-separated list of
+//
+//	drop=P                per-copy loss probability
+//	dup=P                 duplication probability
+//	delay=P:MAX           jitter probability and max extra cycles
+//	outage=P:LEN:EVERY    per-(link,window) outage probability, outage
+//	                      length and window period in cycles
+//	seed=N                fault-stream seed (default: derived from -seed)
+//
+// "" and "none" return the zero (disabled) configuration.
+func ParseFaults(s string) (FaultConfig, error) {
+	var c FaultConfig
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return c, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return c, fmt.Errorf("mesh: fault field %q is not key=value", field)
+		}
+		bad := func() error {
+			return fmt.Errorf("mesh: bad fault value %q for %s", val, key)
+		}
+		switch key {
+		case "drop", "dup":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return c, bad()
+			}
+			if key == "drop" {
+				c.Drop = p
+			} else {
+				c.Dup = p
+			}
+		case "delay":
+			p, rest, ok := cutRate(val)
+			if !ok || len(rest) != 1 {
+				return c, bad()
+			}
+			c.DelayP, c.DelayMax = p, rest[0]
+		case "outage":
+			p, rest, ok := cutRate(val)
+			if !ok || len(rest) != 2 {
+				return c, bad()
+			}
+			c.OutageP, c.OutageLen, c.OutageEvery = p, rest[0], rest[1]
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return c, bad()
+			}
+			c.Seed = n
+		default:
+			return c, fmt.Errorf("mesh: unknown fault class %q (want drop, dup, delay, outage or seed)", key)
+		}
+	}
+	return c, c.Validate()
+}
+
+// cutRate parses "P:T1[:T2...]" into the probability and the cycle
+// arguments.
+func cutRate(val string) (p float64, times []sim.Time, ok bool) {
+	fields := strings.Split(val, ":")
+	if len(fields) < 2 {
+		return 0, nil, false
+	}
+	p, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return 0, nil, false
+	}
+	for _, f := range fields[1:] {
+		t, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			return 0, nil, false
+		}
+		times = append(times, sim.Time(t))
+	}
+	return p, times, true
+}
+
+// faultState is the mesh's live fault machinery, nil when the model is
+// disabled so the reliable path pays exactly one pointer test.
+type faultState struct {
+	cfg    FaultConfig
+	stream *rng.Stream
+	drops  *obs.Counter // "mesh.fault.drop"
+	dups   *obs.Counter // "mesh.fault.dup"
+	delays *obs.Counter // "mesh.fault.delay"
+	outage *obs.Counter // "mesh.fault.outage"
+}
+
+// FaultsEnabled reports whether the unreliable-interconnect model is
+// active on this mesh.
+func (m *Mesh) FaultsEnabled() bool { return m.faults != nil }
+
+// FaultSpec returns the active fault configuration ("none" via String
+// when disabled).
+func (m *Mesh) FaultSpec() FaultConfig {
+	if m.faults == nil {
+		return FaultConfig{}
+	}
+	return m.faults.cfg
+}
+
+// linkDown reports whether the a->b link is inside an outage window at
+// time now. The decision is a stateless hash of (seed, link, window), so
+// it is identical no matter how many other draws preceded it — both
+// endpoints of a retry sequence observe the same outage.
+func (f *faultState) linkDown(now sim.Time, a, b, nodes int) bool {
+	if f.cfg.OutageP == 0 {
+		return false
+	}
+	window := now / f.cfg.OutageEvery
+	if now-window*f.cfg.OutageEvery >= f.cfg.OutageLen {
+		return false
+	}
+	link := uint64(a*nodes+b) + 1
+	key := link*0x100000001B3 + uint64(window)
+	return rng.Hash01(f.cfg.Seed, key) < f.cfg.OutageP
+}
+
+// SendFaulty injects one message from a to b at time now under the fault
+// model and returns the delivery times of the copies that survive
+// (0, 1 or 2 of them). Every attempt — delivered or not — is recorded in
+// the mesh.msgs/mesh.hops traffic counters, because the wire carried it;
+// only surviving copies book the destination's ejection port. Draw order
+// is fixed (dup, then per-copy drop, then per-copy delay) so a seeded run
+// replays exactly. Panics if the fault model is disabled: callers switch
+// on FaultsEnabled.
+func (m *Mesh) SendFaulty(now sim.Time, a, b int) (arrivals [2]sim.Time, n int) {
+	f := m.faults
+	copies := 1
+	if f.cfg.Dup > 0 && f.stream.Float64() < f.cfg.Dup {
+		copies = 2
+		f.dups.Inc()
+	}
+	down := f.linkDown(now, a, b, m.cfg.Nodes)
+	for i := 0; i < copies; i++ {
+		// The wire carried the copy whether or not it survives.
+		lat := m.Send(a, b)
+		if down {
+			f.outage.Inc()
+			continue
+		}
+		if f.cfg.Drop > 0 && f.stream.Float64() < f.cfg.Drop {
+			f.drops.Inc()
+			continue
+		}
+		arrive := now + lat
+		if f.cfg.DelayP > 0 && f.stream.Float64() < f.cfg.DelayP {
+			arrive += 1 + sim.Time(f.stream.Uint64n(uint64(f.cfg.DelayMax)))
+			f.delays.Inc()
+		}
+		if m.cfg.PortTime > 0 {
+			if m.portFree[b] > arrive {
+				arrive = m.portFree[b]
+				m.stalls.Inc()
+			}
+			m.portFree[b] = arrive + m.cfg.PortTime
+		}
+		arrivals[n] = arrive
+		n++
+	}
+	return arrivals, n
+}
+
+// FaultCounterNames lists the counters the fault model registers, in
+// the order reporting code renders them.
+func FaultCounterNames() []string {
+	return []string{"mesh.fault.drop", "mesh.fault.dup", "mesh.fault.delay", "mesh.fault.outage"}
+}

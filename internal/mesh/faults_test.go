@@ -1,0 +1,222 @@
+package mesh
+
+import (
+	"testing"
+
+	"dircoh/internal/sim"
+)
+
+// TestOneNodeMesh: the degenerate 1x1 mesh must route self-traffic at
+// base latency with zero hops, through both the reliable and the faulty
+// send paths.
+func TestOneNodeMesh(t *testing.T) {
+	m := New(Config{Nodes: 1, Base: 7, PerHop: 3})
+	if w, h := m.Dims(); w != 1 || h != 1 {
+		t.Fatalf("dims = %dx%d, want 1x1", w, h)
+	}
+	if got := m.Send(0, 0); got != 7 {
+		t.Fatalf("Send(0,0) = %d, want base 7", got)
+	}
+	if st := m.Stats(); st.Messages != 1 || st.Hops != 0 || st.MaxHops != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	mf := New(Config{Nodes: 1, Base: 7, PerHop: 3, Faults: FaultConfig{DelayP: 1, DelayMax: 4, Seed: 9}})
+	arrivals, n := mf.SendFaulty(100, 0, 0)
+	if n != 1 {
+		t.Fatalf("SendFaulty copies = %d, want 1", n)
+	}
+	if arrivals[0] < 100+7+1 || arrivals[0] > 100+7+4 {
+		t.Fatalf("arrival = %d, want base+jitter in [108,111]", arrivals[0])
+	}
+}
+
+// TestNonSquareSendAt: routing and latency on a grid that does not fill
+// its bounding box (12 nodes in 4x3, 15 in 4x4) must stay consistent
+// with the hop metric for every pair.
+func TestNonSquareSendAt(t *testing.T) {
+	for _, nodes := range []int{2, 3, 12, 15} {
+		m := New(Config{Nodes: nodes, Base: 5, PerHop: 2})
+		for a := 0; a < nodes; a++ {
+			for b := 0; b < nodes; b++ {
+				want := sim.Time(5) + sim.Time(m.Hops(a, b))*2
+				if got := m.SendAt(50, a, b); got != 50+want {
+					t.Fatalf("nodes=%d SendAt(%d,%d) = %d, want %d", nodes, a, b, got, 50+want)
+				}
+			}
+		}
+	}
+}
+
+// TestPortBurstQueueing: a burst of simultaneous deliveries to one node
+// must serialize on its ejection port, one PortTime apart, and report
+// the backlog a later arrival would wait behind.
+func TestPortBurstQueueing(t *testing.T) {
+	m := New(Config{Nodes: 4, Base: 10, PerHop: 2, PortTime: 3})
+	const burst = 5
+	var prev sim.Time
+	for i := 0; i < burst; i++ {
+		got := m.SendAt(200, 0, 1) // 1 hop: raw arrival 212
+		want := sim.Time(212 + i*3)
+		if got != want {
+			t.Fatalf("burst copy %d arrives %d, want %d", i, got, want)
+		}
+		if i > 0 && got != prev+3 {
+			t.Fatalf("burst spacing %d, want PortTime 3", got-prev)
+		}
+		prev = got
+	}
+	if st := m.Stats(); st.Stalls != burst-1 {
+		t.Fatalf("stalls = %d, want %d", st.Stalls, burst-1)
+	}
+	// The port is booked through the last arrival + PortTime.
+	if got := m.PortBacklog(1, 212); got != sim.Time((burst-1)*3+3) {
+		t.Fatalf("backlog = %d, want %d", got, (burst-1)*3+3)
+	}
+	if got := m.PortBacklog(1, 10_000); got != 0 {
+		t.Fatalf("idle backlog = %d, want 0", got)
+	}
+}
+
+// TestMaxHopsReorderedDelivery: mesh.maxhops is a topological high-water
+// mark of routes carried, independent of the order fault jitter delivers
+// (or drops) the copies.
+func TestMaxHopsReorderedDelivery(t *testing.T) {
+	m := New(Config{Nodes: 16, Base: 10, PerHop: 2,
+		Faults: FaultConfig{Drop: 0.5, DelayP: 1, DelayMax: 200, Seed: 4}})
+	// Corner-to-corner (6 hops) then a flood of neighbor traffic whose
+	// delayed arrivals interleave arbitrarily with it.
+	m.SendFaulty(0, 0, 15)
+	for i := 0; i < 50; i++ {
+		m.SendFaulty(sim.Time(i), 0, 1)
+	}
+	st := m.Stats()
+	if st.MaxHops != 6 {
+		t.Fatalf("MaxHops = %d, want 6 (corner route, even if its copy was dropped or overtaken)", st.MaxHops)
+	}
+	// Every attempt was carried by the wire: 51 sends plus any duplicates
+	// (none here, Dup=0) regardless of drops.
+	if st.Messages != 51 {
+		t.Fatalf("Messages = %d, want 51 (drops still count as traffic)", st.Messages)
+	}
+}
+
+// TestSendFaultyDeterminism: identical seeds must replay the identical
+// arrival sequence; a different seed must decorrelate it.
+func TestSendFaultyDeterminism(t *testing.T) {
+	mk := func(seed int64) []sim.Time {
+		m := New(Config{Nodes: 9, Base: 8, PerHop: 2,
+			Faults: FaultConfig{Drop: 0.2, Dup: 0.2, DelayP: 0.5, DelayMax: 64, Seed: seed}})
+		var out []sim.Time
+		for i := 0; i < 200; i++ {
+			arr, n := m.SendFaulty(sim.Time(i*10), i%9, (i*5)%9)
+			out = append(out, arr[:n]...)
+		}
+		return out
+	}
+	a, b, c := mk(42), mk(42), mk(43)
+	if len(a) != len(b) {
+		t.Fatalf("same seed produced %d vs %d arrivals", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds replayed the identical arrival sequence")
+	}
+}
+
+// TestSendFaultyDropAndDup: rate-1 drop loses every copy but still books
+// the traffic; rate-1 dup doubles the copies.
+func TestSendFaultyDropAndDup(t *testing.T) {
+	m := New(Config{Nodes: 4, Base: 10, PerHop: 2, Faults: FaultConfig{Drop: 1, Seed: 1}})
+	if _, n := m.SendFaulty(0, 0, 1); n != 0 {
+		t.Fatalf("drop=1 delivered %d copies", n)
+	}
+	if st := m.Stats(); st.Messages != 1 || st.Hops != 1 {
+		t.Fatalf("dropped copy not counted as traffic: %+v", st)
+	}
+
+	d := New(Config{Nodes: 4, Base: 10, PerHop: 2, Faults: FaultConfig{Dup: 1, Seed: 1}})
+	arr, n := d.SendFaulty(0, 0, 1)
+	if n != 2 {
+		t.Fatalf("dup=1 delivered %d copies, want 2", n)
+	}
+	if arr[0] != 12 || arr[1] != 12 {
+		t.Fatalf("dup arrivals = %v, want both at 12", arr[:n])
+	}
+	if st := d.Stats(); st.Messages != 2 {
+		t.Fatalf("dup traffic = %d messages, want 2", st.Messages)
+	}
+}
+
+// TestOutageWindowStateless: outage decisions are stateless hashes of
+// (link, window), so a retry of the same send observes the same window —
+// swallowed inside it, delivered beyond it — no matter how many other
+// draws happened in between.
+func TestOutageWindowStateless(t *testing.T) {
+	cfg := Config{Nodes: 4, Base: 10, PerHop: 2,
+		Faults: FaultConfig{OutageP: 1, OutageLen: 64, OutageEvery: 1024, Seed: 7}}
+	m := New(cfg)
+	if _, n := m.SendFaulty(10, 0, 1); n != 0 {
+		t.Fatal("send inside an outage window (P=1) must be swallowed")
+	}
+	// Burn unrelated draws; the same (link, window) must still be down.
+	for i := 0; i < 100; i++ {
+		m.SendFaulty(2000, 2, 3)
+	}
+	if _, n := m.SendFaulty(20, 0, 1); n != 0 {
+		t.Fatal("retry inside the same window must observe the same outage")
+	}
+	if _, n := m.SendFaulty(200, 0, 1); n != 1 {
+		t.Fatal("send past OutageLen must be delivered")
+	}
+}
+
+// TestParseFaultsRoundTrip: String renders the canonical grammar and
+// ParseFaults reads it back to the identical configuration.
+func TestParseFaultsRoundTrip(t *testing.T) {
+	specs := []string{
+		"none",
+		"drop=0.0001",
+		"drop=0.001,dup=0.0001",
+		"delay=0.2:128",
+		"drop=0.01,dup=0.001,delay=0.05:32,outage=0.1:64:2048",
+		"drop=0.5,seed=99",
+	}
+	for _, s := range specs {
+		c, err := ParseFaults(s)
+		if err != nil {
+			t.Fatalf("ParseFaults(%q): %v", s, err)
+		}
+		c2, err := ParseFaults(c.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", c.String(), s, err)
+		}
+		if c != c2 {
+			t.Fatalf("round trip of %q: %+v != %+v", s, c, c2)
+		}
+	}
+	if c, _ := ParseFaults(""); c.Enabled() {
+		t.Fatal("empty spec must disable the model")
+	}
+	for _, bad := range []string{
+		"drop", "drop=x", "delay=0.5", "delay=0.5:0",
+		"outage=0.5:64", "outage=0.5:128:64", "warp=0.5", "drop=1.5",
+	} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Fatalf("ParseFaults(%q) accepted a bad spec", bad)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"dircoh/internal/obs"
+	"dircoh/internal/rng"
 	"dircoh/internal/sim"
 )
 
@@ -21,6 +22,13 @@ type Config struct {
 	// delivery occupies the destination's network port for PortTime
 	// cycles, so bursts (e.g. broadcast invalidations) queue up.
 	PortTime sim.Time
+	// Faults, when any rate is nonzero, enables the unreliable-
+	// interconnect model: SendFaulty drops, duplicates and delays
+	// message copies and blacks out links for transient windows, all
+	// deterministically from Faults.Seed, counting each injected fault
+	// under mesh.fault.*. The zero value disables the model and
+	// registers nothing.
+	Faults FaultConfig
 	// Metrics, when non-nil, is the registry the mesh records into
 	// (mesh.msgs, mesh.hops, mesh.maxhops, mesh.stalls). A private
 	// registry is created when nil. The mesh is single-writer; do not
@@ -43,7 +51,7 @@ func (c Config) Validate() error {
 	if c.Nodes <= 0 {
 		return fmt.Errorf("mesh: node count must be positive (got %d)", c.Nodes)
 	}
-	return nil
+	return c.Faults.Validate()
 }
 
 // Mesh is a 2-D mesh network. Endpoints are numbered row-major. The
@@ -58,12 +66,16 @@ type Mesh struct {
 	maxHop   *obs.Gauge
 	portFree []sim.Time   // per-endpoint ejection port availability
 	stalls   *obs.Counter // deliveries delayed by port contention
+	faults   *faultState  // nil when the fault model is disabled
 }
 
 // New builds the most nearly square mesh that holds cfg.Nodes endpoints.
+// Invalid configurations panic with Validate's error: New delegates to
+// Validate so the constructor's checks can never drift from it; callers
+// with flag-derived input validate first.
 func New(cfg Config) *Mesh {
-	if cfg.Nodes <= 0 {
-		panic("mesh: Nodes must be positive")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	w := 1
 	for w*w < cfg.Nodes {
@@ -75,7 +87,7 @@ func New(cfg Config) *Mesh {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	return &Mesh{
+	m := &Mesh{
 		cfg: cfg, w: w, h: h,
 		msgs:     reg.Counter("mesh.msgs"),
 		hops:     reg.Counter("mesh.hops"),
@@ -83,6 +95,20 @@ func New(cfg Config) *Mesh {
 		stalls:   reg.Counter("mesh.stalls"),
 		portFree: make([]sim.Time, cfg.Nodes),
 	}
+	if cfg.Faults.Enabled() {
+		// The fault counters are registered only when the model is on, so
+		// a faults-off run's metrics output is byte-identical to a build
+		// without the fault layer.
+		m.faults = &faultState{
+			cfg:    cfg.Faults,
+			stream: rng.NewStream(cfg.Faults.Seed),
+			drops:  reg.Counter("mesh.fault.drop"),
+			dups:   reg.Counter("mesh.fault.dup"),
+			delays: reg.Counter("mesh.fault.delay"),
+			outage: reg.Counter("mesh.fault.outage"),
+		}
+	}
+	return m
 }
 
 // Dims returns the mesh width and height.

@@ -83,6 +83,13 @@ const (
 	PhAckGather
 	// PhReplyTravel is the reply's network transit back to the requester.
 	PhReplyTravel
+	// PhRecovery marks one delivery-recovery episode under the fault
+	// model: a message of the transaction timed out and was re-sent, and
+	// the span covers from the lost attempt's injection to the retry.
+	// Recovery spans are always asynchronous — retries for different
+	// messages of one transaction overlap its other phases freely — and
+	// exist only when network fault injection is enabled.
+	PhRecovery
 
 	numPhases
 )
@@ -93,6 +100,7 @@ const NumPhases = int(numPhases)
 
 var phaseNames = [numPhases]string{
 	"total", "req.travel", "dir.wait", "fanout", "ack.gather", "reply.travel",
+	"net.recovery",
 }
 
 func (p Phase) String() string {
@@ -127,10 +135,11 @@ func ParsePhase(name string) (Phase, error) {
 // Async reports whether the phase overlaps the parent span instead of
 // tiling it: acknowledgement gathering runs concurrently with the reply for
 // every class except evictions, where the recall is not complete (and the
-// block stays gated) until the last ack arrives. Analyzers use this to
-// decide which child spans must partition the root exactly.
+// block stays gated) until the last ack arrives, and recovery episodes
+// overlap whatever phase the lost message belonged to. Analyzers use this
+// to decide which child spans must partition the root exactly.
 func (p Phase) Async(c TxClass) bool {
-	return p == PhAckGather && c != TxEvict
+	return p == PhRecovery || (p == PhAckGather && c != TxEvict)
 }
 
 // Span is one timed segment of a transaction. The root span (Parent == 0,

@@ -102,6 +102,19 @@ func (g *Gate) Pending(block int64) int {
 	return 0
 }
 
+// BusyBlocks returns every currently locked block, sorted — diagnostic
+// introspection for the liveness watchdog's dump.
+func (g *Gate) BusyBlocks() []int64 {
+	var out []int64
+	for b, st := range g.m {
+		if st.busy {
+			out = append(out, b)
+		}
+	}
+	sortInt64s(out)
+	return out
+}
+
 // RAC is the Remote Access Cache bookkeeping used when a sparse directory
 // replaces an entry (§7): it tracks, per block, how many invalidation
 // acknowledgements are still outstanding before the replacement completes.
@@ -176,3 +189,28 @@ func (r *RAC) Tracking(block int64) bool {
 
 // Peak returns the maximum number of simultaneously tracked blocks.
 func (r *RAC) Peak() int { return r.peak }
+
+// Outstanding returns the acknowledgements still owed for block (0 when
+// untracked).
+func (r *RAC) Outstanding(block int64) int { return r.pending[block] }
+
+// TrackedBlocks returns every block with outstanding acknowledgements,
+// sorted — diagnostic introspection for the liveness watchdog's dump.
+func (r *RAC) TrackedBlocks() []int64 {
+	var out []int64
+	for b := range r.pending {
+		out = append(out, b)
+	}
+	sortInt64s(out)
+	return out
+}
+
+// sortInt64s is an allocation-free insertion sort: the diagnostic lists
+// it orders are tiny.
+func sortInt64s(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package rng provides deterministic seed derivation and a small
+// splitmix64 generator for the simulator's randomized components.
+//
+// The machine derives one sub-seed per cluster from a single campaign
+// seed. Deriving them additively (seed + cluster) makes adjacent runs
+// share overlapping streams: run seed 1's cluster 2 is run seed 2's
+// cluster 1. Mix finalizes the combination through splitmix64's output
+// permutation, so every (seed, stream) pair lands on a decorrelated
+// point of the sequence.
+package rng
+
+// Mix derives a decorrelated sub-seed for the given stream index. It is
+// the splitmix64 step: the golden-gamma increment separates streams, the
+// xor-shift-multiply finalizer scatters them. Mix(seed, a) and
+// Mix(seed+1, a-1) share nothing, unlike the additive derivation.
+func Mix(seed, stream int64) int64 {
+	z := uint64(seed) + uint64(stream)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
+}
+
+// Stream is a splitmix64 sequence: tiny state, full 64-bit output, and
+// cheap enough to draw several values per simulated message. It is not
+// cryptographic; it exists to make fault injection deterministic and
+// replayable from one int64 seed.
+type Stream struct {
+	state uint64
+}
+
+// NewStream returns a generator whose sequence is fully determined by
+// seed.
+func NewStream(seed int64) *Stream {
+	return &Stream{state: uint64(seed)}
+}
+
+// Uint64 returns the next value of the sequence.
+func (s *Stream) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns the next value mapped uniformly onto [0, 1).
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Uint64n returns the next value mapped onto [0, n). n must be positive.
+func (s *Stream) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	return s.Uint64() % n
+}
+
+// Hash01 maps an arbitrary (seed, key) pair onto [0, 1) without any
+// state — the stateless draw behind per-link outage windows, where the
+// decision for (link, window) must not depend on how many other draws
+// the run made before asking.
+func Hash01(seed int64, key uint64) float64 {
+	z := uint64(seed) ^ (key+0x9E3779B97F4A7C15)*0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

@@ -59,8 +59,8 @@ func (cfg OverflowConfig) Validate() error {
 
 // NewOverflow builds the two-level directory.
 func NewOverflow(cfg OverflowConfig) *Overflow {
-	if cfg.Ptrs <= 0 || cfg.Nodes <= 0 || cfg.WideEntries <= 0 {
-		panic("sparse: OverflowConfig needs positive Ptrs, Nodes and WideEntries")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	wideScheme := core.NewFullVector(cfg.Nodes)
 	reg := cfg.Metrics

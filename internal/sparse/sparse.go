@@ -236,11 +236,8 @@ func (cfg Config) Validate() error {
 
 // New returns a sparse directory with cfg.Entries slots.
 func New(cfg Config) *Sparse {
-	if cfg.Scheme == nil {
-		panic("sparse: nil scheme")
-	}
-	if cfg.Entries <= 0 {
-		panic("sparse: Entries must be positive")
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	if cfg.Assoc <= 0 {
 		cfg.Assoc = 1
