@@ -43,6 +43,7 @@ import (
 	"dircoh/internal/cli"
 	"dircoh/internal/machine"
 	"dircoh/internal/mesh"
+	"dircoh/internal/replay"
 	"dircoh/internal/rng"
 	"dircoh/internal/runner"
 	"dircoh/internal/sim"
@@ -293,25 +294,12 @@ func report(w *os.File, trials []trial, o options) {
 			fmt.Fprintf(w, "  quiescence sweep: %v\n", t.cohErr)
 		}
 		if t.failed() {
-			extra := ""
-			if o.faults != "" {
-				extra = fmt.Sprintf(" -faults %s", o.faults)
-			}
-			if o.wedge {
-				extra += " -wedge"
-			}
-			fmt.Fprintf(w, "  replay: protostress -trials 1 -seed %d -procs %s -refs %d -blocks %d -fault %s%s -v\n",
-				t.seed, joinInts(o.procs), o.refs, o.blocks, o.fault, extra)
+			fmt.Fprintf(w, "  replay: %s\n", replay.Line{
+				Trials: 1, Seed: t.seed, Procs: o.procs, Refs: o.refs, Blocks: o.blocks,
+				Fault: o.fault.String(), Faults: o.faults, Wedge: o.wedge, Verbose: true,
+			})
 		}
 	}
-}
-
-func joinInts(xs []int) string {
-	parts := make([]string, len(xs))
-	for i, x := range xs {
-		parts[i] = strconv.Itoa(x)
-	}
-	return strings.Join(parts, ",")
 }
 
 func parseProcs(s string) ([]int, error) {

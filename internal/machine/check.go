@@ -191,51 +191,48 @@ func (m *Machine) checkBlock(b int64) {
 		return
 	}
 	now := uint64(m.eng.Now())
-	dirty, dirtyCl, copies := -1, -1, 0
-	for _, p := range m.procs {
-		st := p.h.State(b)
-		if st == cache.Invalid {
-			continue
-		}
-		copies++
-		if st == cache.Dirty {
-			if dirty >= 0 {
-				chk.Violationf(check.RuleSingleWriter, int32(p.cl.id), b, now,
-					"block dirty in procs %d and %d at once", dirty, p.id)
-			}
-			dirty, dirtyCl = p.id, p.cl.id
-		}
-	}
-	if dirty >= 0 && copies > 1 {
-		chk.Violationf(check.RuleSingleWriter, int32(dirtyCl), b, now,
-			"proc %d holds the block dirty while %d other caches keep copies", dirty, copies-1)
-	}
-	if copies == 0 {
+	copies := m.blockCopies(b)
+	check.SingleWriter(copies, func(cl int, detail string) {
+		chk.Violationf(check.RuleSingleWriter, int32(cl), b, now, "%s", detail)
+	})
+	if len(copies) == 0 {
 		return
 	}
-	e := h.dir.Peek(m.dirKey(b))
+	check.Coverage(h.id, copies, m.entryView(h, b), func(cl int, detail string) {
+		chk.Violationf(check.RuleCoverage, int32(cl), b, now, "%s", detail)
+	})
+}
+
+// blockCopies collects every live cached copy of block b into the pure
+// view the check predicates consume, reusing a scratch buffer.
+func (m *Machine) blockCopies(b int64) []check.Copy {
+	m.copyBuf = m.copyBuf[:0]
 	for _, p := range m.procs {
-		c := p.cl.id
-		if c == h.id {
-			continue
-		}
 		st := p.h.State(b)
 		if st == cache.Invalid {
 			continue
 		}
-		if e == nil {
-			chk.Violationf(check.RuleCoverage, int32(c), b, now,
-				"proc %d (cluster %d) caches the block but the home directory has no entry", p.id, c)
-			continue
+		cs := check.CopyShared
+		if st == cache.Dirty {
+			cs = check.CopyDirty
 		}
-		if !e.IsSharer(c) && !(e.Dirty() && e.Owner() == c) {
-			chk.Violationf(check.RuleCoverage, int32(c), b, now,
-				"proc %d (cluster %d) caches the block but is neither a recorded sharer nor the dirty owner", p.id, c)
-		}
-		if st == cache.Dirty && !(e.Dirty() && e.Owner() == c) {
-			chk.Violationf(check.RuleCoverage, int32(c), b, now,
-				"proc %d holds the block dirty but the directory does not record cluster %d as owner", p.id, c)
-		}
+		m.copyBuf = append(m.copyBuf, check.Copy{Proc: p.id, Cluster: p.cl.id, State: cs})
+	}
+	return m.copyBuf
+}
+
+// entryView projects block b's home directory entry into the predicates'
+// observable form. It peeks, so building the view never perturbs the run.
+func (m *Machine) entryView(h *clusterNode, b int64) check.EntryView {
+	e := h.dir.Peek(m.dirKey(b))
+	if e == nil {
+		return check.EntryView{}
+	}
+	return check.EntryView{
+		Present:  true,
+		Dirty:    e.Dirty(),
+		Owner:    e.Owner(),
+		IsSharer: e.IsSharer,
 	}
 }
 
@@ -266,23 +263,10 @@ func (m *Machine) checkRecallClean(h *clusterNode, vb int64) {
 		// invalApplied re-checks when the last one lands.
 		return
 	}
-	e := h.dir.Peek(m.dirKey(vb))
 	now := uint64(m.eng.Now())
-	for _, p := range m.procs {
-		c := p.cl.id
-		if c == h.id {
-			continue
-		}
-		st := p.h.State(vb)
-		if st == cache.Invalid {
-			continue
-		}
-		if e != nil && (e.IsSharer(c) || (e.Dirty() && e.Owner() == c)) {
-			continue
-		}
-		chk.Violationf(check.RuleRecall, int32(c), vb, now,
-			"replacement recall completed but proc %d (cluster %d) still caches the victim (%v) with no covering entry or pending recall", p.id, c, st)
-	}
+	check.RecallClean(h.id, m.blockCopies(vb), m.entryView(h, vb), func(cl int, detail string) {
+		chk.Violationf(check.RuleRecall, int32(cl), vb, now, "%s", detail)
+	})
 }
 
 // finishChecks runs the end-of-run conservation audits (no invalidation in

@@ -1,0 +1,50 @@
+package machine
+
+import (
+	"testing"
+
+	"dircoh/internal/model"
+)
+
+// FuzzModelMachineConformance decodes an arbitrary byte string into a
+// conformance script — geometry, scheme and up to 12 steps — and demands
+// the model and the machine agree on the quiescent view. See
+// conformance_test.go for why the oracle is full-map, <= 3 clusters.
+func FuzzModelMachineConformance(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 5, 2})                         // 2 clusters, 1 block, full: write/read bounce
+	f.Add([]byte{1, 1, 1, 0, 2, 4, 9, 3})                   // 3 clusters, 2 blocks, cv
+	f.Add([]byte{2, 2, 2, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9})    // 3 clusters, 3 blocks, b
+	f.Add([]byte{3, 1, 0, 7, 7, 1})                         // nb, repeated writes
+	f.Add([]byte{4, 0, 2, 11, 6, 0, 3, 10, 2, 8, 5, 1, 12}) // x, 3 clusters
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			t.Skip("too short to encode a script")
+		}
+		schemes := []struct {
+			name    string
+			factory SchemeFactory
+		}{
+			{"full", FullVec}, {"cv", CoarseVec2}, {"b", Broadcast},
+			{"nb", NoBroadcast}, {"x", SupersetX},
+		}
+		s := schemes[int(data[0])%len(schemes)]
+		clusters := 2 + int(data[1])%2
+		blocks := 1 + int(data[2])%3
+		raw := data[3:]
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		steps := make([]model.Step, len(raw))
+		for i, b := range raw {
+			// One byte per step: cluster x block x read/write.
+			steps[i] = model.Step{
+				Cluster: int(b) % clusters,
+				Block:   int(b/2) % blocks,
+				Write:   (b/uint8(2*blocks))%2 == 1,
+			}
+		}
+		if err := conformanceDiff(s.factory, clusters, blocks, steps); err != nil {
+			t.Fatalf("scheme %s clusters=%d blocks=%d steps=%+v: %v", s.name, clusters, blocks, steps, err)
+		}
+	})
+}

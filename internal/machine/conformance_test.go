@@ -1,0 +1,179 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dircoh/internal/cache"
+	"dircoh/internal/check"
+	"dircoh/internal/model"
+	"dircoh/internal/tango"
+)
+
+// Model/machine conformance: the same strictly sequential script runs on
+// internal/model's transition rules and on the full machine (one proc per
+// cluster, every step separated by a global barrier so the machine
+// executes it serially too), and the quiescent views must be identical —
+// every cache state and every directory entry. This is the fidelity
+// argument for cmd/modelcheck: the rules it explores are the machine's.
+//
+// The oracle is exact only for full-map directories on <= 3 clusters:
+// sparse replacement recalls and Dir_iNB pointer-eviction invalidations
+// are not fenced by any proc's barrier arrival, so their traffic can
+// straddle a barrier and land after a later step's local hit. Sparse
+// geometries are covered by the model's own exploration and RunScript
+// tests.
+
+// confCache is large enough that scripts never evict, since the model's
+// scripted steps have no spontaneous evictions either.
+func confCache() cache.Config {
+	return cache.Config{L1Size: 4096, L1Assoc: 4, L2Size: 16384, L2Assoc: 8, Block: 16}
+}
+
+// confSchemes pairs every registered scheme with itself: SchemeFactory is
+// core.Factory, so one factory drives both the machine and the model.
+var confSchemes = map[string]SchemeFactory{
+	"full": FullVec, "cv": CoarseVec2, "b": Broadcast, "nb": NoBroadcast, "x": SupersetX,
+}
+
+// barrierBase keeps barrier words far from the scripted data blocks.
+const barrierBase = 1 << 20
+
+// conformanceDiff runs steps on model and machine and returns the first
+// divergence (or any error either side reports).
+func conformanceDiff(scheme SchemeFactory, clusters, blocks int, steps []model.Step) error {
+	mod, err := model.New(model.Config{Clusters: clusters, Blocks: blocks, Scheme: scheme})
+	if err != nil {
+		return err
+	}
+	view, err := mod.RunScript(steps)
+	if err != nil {
+		return fmt.Errorf("model: %v", err)
+	}
+
+	streams := make([][]tango.Ref, clusters)
+	for p := 0; p < clusters; p++ {
+		var b tango.Builder
+		for k, st := range steps {
+			if st.Cluster == p {
+				if st.Write {
+					b.Write(int64(st.Block) * 16)
+				} else {
+					b.Read(int64(st.Block) * 16)
+				}
+			}
+			b.Barrier(int64(barrierBase+k) * 16)
+		}
+		streams[p] = b.Refs()
+	}
+	m, err := New(Config{
+		Procs: clusters, ProcsPerCluster: 1, Block: 16,
+		Cache: confCache(), Scheme: scheme, Timing: DefaultTiming(), Check: true,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := m.Run(&tango.Workload{Name: "conformance", Streams: streams}); err != nil {
+		return fmt.Errorf("machine: %v", err)
+	}
+	if vs := m.Violations(); len(vs) > 0 {
+		return fmt.Errorf("machine: runtime checker: %v", vs[0])
+	}
+	if err := m.CheckCoherence(); err != nil {
+		return fmt.Errorf("machine: %v", err)
+	}
+
+	for _, p := range m.procs {
+		c := p.cl.id
+		for b := 0; b < blocks; b++ {
+			var got check.CopyState
+			switch p.h.State(int64(b)) {
+			case cache.Shared:
+				got = check.CopyShared
+			case cache.Dirty:
+				got = check.CopyDirty
+			}
+			if want := view.Cache[c][b]; got != want {
+				return fmt.Errorf("cluster %d block %d: machine cache %v, model %v", c, b, got, want)
+			}
+		}
+	}
+	for b := 0; b < blocks; b++ {
+		e := m.dirEntry(int64(b))
+		want := view.Entry[b]
+		if (e != nil) != want.Present {
+			return fmt.Errorf("block %d: machine entry present=%v, model present=%v", b, e != nil, want.Present)
+		}
+		if e == nil {
+			continue
+		}
+		if e.Dirty() != want.Dirty {
+			return fmt.Errorf("block %d: machine dirty=%v, model dirty=%v", b, e.Dirty(), want.Dirty)
+		}
+		if want.Dirty && e.Owner() != want.Owner {
+			return fmt.Errorf("block %d: machine owner=%d, model owner=%d", b, e.Owner(), want.Owner)
+		}
+		for c := 0; c < clusters; c++ {
+			if got, wantS := e.IsSharer(c), want.Sharers&(1<<c) != 0; got != wantS {
+				return fmt.Errorf("block %d cluster %d: machine sharer=%v, model sharer=%v", b, c, got, wantS)
+			}
+		}
+	}
+	return nil
+}
+
+func TestModelMachineConformanceScripts(t *testing.T) {
+	w := func(c, b int) model.Step { return model.Step{Cluster: c, Write: true, Block: b} }
+	r := func(c, b int) model.Step { return model.Step{Cluster: c, Block: b} }
+	cases := []struct {
+		name     string
+		clusters int
+		blocks   int
+		steps    []model.Step
+	}{
+		{"ping-pong", 2, 1, []model.Step{w(0, 0), w(1, 0), w(0, 0), r(1, 0)}},
+		{"read-share-inval", 3, 2, []model.Step{
+			r(0, 0), r(1, 0), r(2, 0), w(1, 0), r(2, 1), w(2, 1), r(0, 1),
+		}},
+		{"home-local", 2, 2, []model.Step{
+			w(0, 0), r(1, 0), w(0, 0), w(1, 1), r(1, 1), r(0, 1), w(1, 1),
+		}},
+		{"migratory", 3, 3, []model.Step{
+			w(0, 0), w(1, 0), w(2, 0), r(0, 0),
+			w(1, 1), r(2, 1), r(0, 1), w(2, 2), w(0, 2), r(1, 2),
+		}},
+		{"upgrade", 3, 1, []model.Step{r(0, 0), r(1, 0), r(2, 0), w(0, 0), w(2, 0)}},
+	}
+	for name, scheme := range confSchemes {
+		for _, tc := range cases {
+			t.Run(name+"/"+tc.name, func(t *testing.T) {
+				if err := conformanceDiff(scheme, tc.clusters, tc.blocks, tc.steps); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestModelMachineConformanceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for name, scheme := range confSchemes {
+		for trial := 0; trial < 10; trial++ {
+			clusters := 2 + rng.Intn(2)
+			blocks := 1 + rng.Intn(3)
+			steps := make([]model.Step, 4+rng.Intn(9))
+			for i := range steps {
+				steps[i] = model.Step{
+					Cluster: rng.Intn(clusters),
+					Write:   rng.Intn(2) == 1,
+					Block:   rng.Intn(blocks),
+				}
+			}
+			if err := conformanceDiff(scheme, clusters, blocks, steps); err != nil {
+				t.Fatalf("scheme %s trial %d (clusters=%d blocks=%d steps=%+v): %v",
+					name, trial, clusters, blocks, steps, err)
+			}
+		}
+	}
+}

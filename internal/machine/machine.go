@@ -58,9 +58,11 @@ type Machine struct {
 
 	// chk is the runtime invariant checker (nil when Config.Check is off;
 	// the nil test is the whole disabled-path cost). faultFired latches the
-	// single-shot fault injection (Config.Fault).
+	// single-shot fault injection (Config.Fault). copyBuf is the scratch
+	// slice blockCopies reuses to build predicate views.
 	chk        *check.Recorder
 	faultFired bool
+	copyBuf    []check.Copy
 
 	// Delivery recovery, active only when the mesh fault model is on
 	// (faultsOn): every message becomes a sequence-numbered netMsg envelope

@@ -75,8 +75,11 @@ func (m *Machine) handleVictim(p *proc, v cache.Victim) {
 		// the cluster has not re-acquired the block dirty meanwhile
 		// (ownership bouncing away and back via a third cluster arms no
 		// wbExpected, so a fault-delayed writeback can arrive here stale).
+		// A busy gate with the entry dirty-owned by the sender can only
+		// mean an undelivered ownership grant back to the sender, which
+		// this writeback predates — treat it as stale too.
 		if e := hc.dir.Lookup(m.dirKey(vb), m.eng.Now()); e != nil && e.Dirty() && e.Owner() == from &&
-			!m.clusterHoldsDirty(m.clusters[from], vb) {
+			!m.clusterHoldsDirty(m.clusters[from], vb) && !hc.gate.Busy(vb) {
 			e.Reset()
 			hc.dir.Release(m.dirKey(vb))
 		}
@@ -247,9 +250,11 @@ func (m *Machine) sendSharingWB(from, home int, b int64) {
 		// Guarded downgrade: ownership may have moved away and back since
 		// this writeback was sent (delay or retry reordering via a third
 		// cluster arms no wbExpected). If the cluster holds the block
-		// dirty again, the downgrade this message reports is ancient.
+		// dirty again — or a grant back to it is still in flight (gate
+		// busy with the entry dirty-owned by the sender) — the downgrade
+		// this message reports is ancient.
 		if e := hc.dir.Lookup(m.dirKey(b), m.eng.Now()); e != nil && e.Dirty() && e.Owner() == from &&
-			!m.clusterHoldsDirty(m.clusters[from], b) {
+			!m.clusterHoldsDirty(m.clusters[from], b) && !hc.gate.Busy(b) {
 			e.ClearDirty()
 		}
 		m.checkBlock(b)

@@ -1,0 +1,319 @@
+// Package model is an exhaustive, guarded-action model checker for the
+// directory protocol implemented by internal/machine. States are small
+// comparable values — per-cluster cache state and operation slots, home
+// directory entries, gate/RAC bookkeeping and the in-flight message
+// multiset — and transitions are guarded rules transliterated from
+// internal/machine's memory path, including the stale-message recovery
+// guards. A breadth-first explorer enumerates every interleaving on tiny
+// configurations (2–4 clusters, 1–4 blocks, full-map or tiny sparse
+// directories), checks the same invariant predicates as the runtime
+// checker (internal/check) plus deadlock-freedom in every reachable
+// state, and reports a minimal counterexample trace on violation.
+//
+// The model is deliberately coarser than the machine in ways that do not
+// affect protocol correctness: one virtual processor per cluster (the
+// intra-cluster bus is atomic in the machine), no timing, locks and
+// barriers elided (their tables are independent of the memory protocol),
+// and Dir_iNB pointer eviction fixed to the deterministic FIFO policy.
+// Fidelity of everything else is pinned by differential tests: the entry
+// mirror against internal/core, and whole sequential runs against the
+// real machine (internal/machine's conformance tests).
+package model
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dircoh/internal/core"
+)
+
+// maxClusters bounds the cluster count so directory entries pack into
+// fixed-size comparable values.
+const maxClusters = 4
+
+// maxBlocks bounds the block count; exhaustive exploration is only
+// tractable on tiny geometries anyway.
+const maxBlocks = 4
+
+// schemeKind enumerates the directory-entry families of internal/core.
+type schemeKind uint8
+
+const (
+	kindFull schemeKind = iota
+	kindBroadcast
+	kindNoBroadcast
+	kindCoarse
+	kindSuperset
+)
+
+// entryScheme describes a directory scheme's entry semantics, recovered
+// from the core scheme's paper notation (Name()), so the model mirrors
+// exactly the scheme a machine built from the same factory would use.
+type entryScheme struct {
+	kind   schemeKind
+	nodes  int
+	ptrs   int // pointer capacity (== nodes for kindFull)
+	region int // kindCoarse region size r
+	name   string
+}
+
+// parseScheme recovers entry semantics from a core scheme. The notation
+// grammar is core.Parse's: Dir<P>, Dir<i>B, Dir<i>NB, Dir<i>X,
+// Dir<i>CV<r>.
+func parseScheme(s core.Scheme) (*entryScheme, error) {
+	name, nodes := s.Name(), s.Nodes()
+	if nodes < 2 || nodes > maxClusters {
+		return nil, fmt.Errorf("model: scheme %s tracks %d nodes, want 2..%d", name, nodes, maxClusters)
+	}
+	rest, ok := strings.CutPrefix(name, "Dir")
+	if !ok {
+		return nil, fmt.Errorf("model: scheme name %q is not paper notation", name)
+	}
+	digits := rest
+	suffix := ""
+	for i := 0; i < len(rest); i++ {
+		if rest[i] < '0' || rest[i] > '9' {
+			digits, suffix = rest[:i], rest[i:]
+			break
+		}
+	}
+	i, err := strconv.Atoi(digits)
+	if err != nil || i < 1 {
+		return nil, fmt.Errorf("model: scheme name %q has no pointer count", name)
+	}
+	es := &entryScheme{nodes: nodes, ptrs: i, name: name}
+	switch {
+	case suffix == "":
+		es.kind, es.ptrs = kindFull, nodes
+	case suffix == "B":
+		es.kind = kindBroadcast
+	case suffix == "NB":
+		es.kind = kindNoBroadcast
+	case suffix == "X":
+		es.kind = kindSuperset
+	case strings.HasPrefix(suffix, "CV"):
+		r, err := strconv.Atoi(suffix[2:])
+		if err != nil || r < 1 {
+			return nil, fmt.Errorf("model: scheme name %q has a bad region size", name)
+		}
+		es.kind, es.region = kindCoarse, r
+	default:
+		return nil, fmt.Errorf("model: scheme name %q has unknown suffix %q", name, suffix)
+	}
+	if es.ptrs > maxClusters && es.kind != kindFull {
+		es.ptrs = maxClusters // capacity beyond the cluster count never overflows
+	}
+	return es, nil
+}
+
+// symOK reports whether entries of this scheme are equivariant under
+// cluster relabeling, so cluster-symmetry reduction is sound. Pointer
+// lists and broadcast bits always are; a coarse vector only when regions
+// coincide with clusters (r = 1) or collapse to one region (r >= nodes);
+// a composite pointer's value/X-mask bits are not permutation-equivariant
+// at all, so Dir_iX qualifies only when it can never go composite.
+func (s *entryScheme) symOK() bool {
+	switch s.kind {
+	case kindCoarse:
+		return s.region == 1 || s.region >= s.nodes
+	case kindSuperset:
+		return s.ptrs >= s.nodes
+	default:
+		return true
+	}
+}
+
+// Entry representation modes.
+const (
+	emPtr       uint8 = iota // exact pointer list (all schemes start here)
+	emBcast                  // Dir_iB after overflow
+	emCoarse                 // Dir_iCV_r after overflow
+	emComposite              // Dir_iX after overflow
+)
+
+// dirEntry mirrors the observable state of one core.Entry as a fixed-size
+// comparable value. Invariants keeping equal states byte-identical:
+// unused ptrs slots are zero, nptr counts live slots, owner is -1 unless
+// dirty, and order-free kinds keep the pointer list sorted (only Dir_iNB's
+// FIFO eviction makes insertion order observable).
+type dirEntry struct {
+	dirty bool
+	owner int8
+	mode  uint8
+	nptr  uint8
+	ptrs  [maxClusters]int8
+	vec   uint8 // emCoarse: region bits
+	val   uint8 // emComposite: pattern bits
+	x     uint8 // emComposite: bits in the X ("both") state
+}
+
+// emptyEntry returns the canonical empty entry.
+func emptyEntry() dirEntry { return dirEntry{owner: -1} }
+
+func (e *dirEntry) hasPtr(n int) bool {
+	for i := uint8(0); i < e.nptr; i++ {
+		if int(e.ptrs[i]) == n {
+			return true
+		}
+	}
+	return false
+}
+
+// normalize sorts the pointer list for order-free kinds (everything but
+// Dir_iNB, whose FIFO victim choice makes insertion order semantic).
+func (e *dirEntry) normalize(s *entryScheme) {
+	if s.kind == kindNoBroadcast {
+		return
+	}
+	for i := uint8(1); i < e.nptr; i++ {
+		for j := i; j > 0 && e.ptrs[j] < e.ptrs[j-1]; j-- {
+			e.ptrs[j], e.ptrs[j-1] = e.ptrs[j-1], e.ptrs[j]
+		}
+	}
+}
+
+func (e *dirEntry) clearPtrs() {
+	e.ptrs = [maxClusters]int8{}
+	e.nptr = 0
+}
+
+// addSharer mirrors core.Entry.AddSharer: records n as a sharer and
+// returns the evicted node (Dir_iNB pointer overflow) or -1.
+func (e *dirEntry) addSharer(s *entryScheme, n int) int {
+	switch e.mode {
+	case emBcast:
+		return -1
+	case emCoarse:
+		e.vec |= 1 << uint(n/s.region)
+		return -1
+	case emComposite:
+		e.x |= e.val ^ uint8(n)
+		return -1
+	}
+	if e.hasPtr(n) {
+		return -1
+	}
+	if int(e.nptr) < s.ptrs {
+		e.ptrs[e.nptr] = int8(n)
+		e.nptr++
+		e.normalize(s)
+		return -1
+	}
+	switch s.kind {
+	case kindBroadcast:
+		e.mode = emBcast
+		e.clearPtrs()
+		return -1
+	case kindNoBroadcast:
+		// FIFO (VictimOldest): drop the oldest pointer, shift, append.
+		v := int(e.ptrs[0])
+		copy(e.ptrs[:e.nptr-1], e.ptrs[1:e.nptr])
+		e.ptrs[e.nptr-1] = int8(n)
+		return v
+	case kindCoarse:
+		var vec uint8 = 1 << uint(n/s.region)
+		for i := uint8(0); i < e.nptr; i++ {
+			vec |= 1 << uint(int(e.ptrs[i])/s.region)
+		}
+		e.mode, e.vec = emCoarse, vec
+		e.clearPtrs()
+		return -1
+	case kindSuperset:
+		val, x := uint8(n), uint8(0)
+		for i := uint8(0); i < e.nptr; i++ {
+			x |= val ^ uint8(e.ptrs[i])
+		}
+		e.mode, e.val, e.x = emComposite, val, x
+		e.clearPtrs()
+		return -1
+	}
+	panic("model: full-vector entry overflowed")
+}
+
+// setDirty mirrors core.Entry.SetDirty: owner becomes the sole sharer.
+func (e *dirEntry) setDirty(owner int) {
+	*e = emptyEntry()
+	e.dirty = true
+	e.owner = int8(owner)
+	e.ptrs[0] = int8(owner)
+	e.nptr = 1
+}
+
+// clearDirty mirrors core.Entry.ClearDirty: the former owner stays a
+// sharer.
+func (e *dirEntry) clearDirty() {
+	e.dirty = false
+	e.owner = -1
+}
+
+// reset mirrors core.Entry.Reset.
+func (e *dirEntry) reset() { *e = emptyEntry() }
+
+// empty mirrors core.Entry.Empty.
+func (e *dirEntry) empty() bool { return !e.dirty && e.mode == emPtr && e.nptr == 0 }
+
+// mask returns the candidate sharer set as a cluster bitmask, mirroring
+// core.Entry.Sharers.
+func (e *dirEntry) mask(s *entryScheme) uint8 {
+	switch e.mode {
+	case emBcast:
+		return uint8(1)<<uint(s.nodes) - 1
+	case emCoarse:
+		var m uint8
+		for n := 0; n < s.nodes; n++ {
+			if e.vec&(1<<uint(n/s.region)) != 0 {
+				m |= 1 << uint(n)
+			}
+		}
+		return m
+	case emComposite:
+		var m uint8
+		for n := 0; n < s.nodes; n++ {
+			if (uint8(n)^e.val)&^e.x == 0 {
+				m |= 1 << uint(n)
+			}
+		}
+		return m
+	}
+	var m uint8
+	for i := uint8(0); i < e.nptr; i++ {
+		m |= 1 << uint(e.ptrs[i])
+	}
+	return m
+}
+
+// relabel rewrites every cluster reference through perm. Callers gate on
+// symOK, so the representation bits not rewritten here (broadcast flag,
+// single-region coarse vector) are invariant by construction.
+func (e *dirEntry) relabel(s *entryScheme, perm []int) {
+	if e.owner >= 0 {
+		e.owner = int8(perm[e.owner])
+	}
+	for i := uint8(0); i < e.nptr; i++ {
+		e.ptrs[i] = int8(perm[e.ptrs[i]])
+	}
+	e.normalize(s)
+	if e.mode == emCoarse && s.region == 1 {
+		var v uint8
+		for n := 0; n < s.nodes; n++ {
+			if e.vec&(1<<uint(n)) != 0 {
+				v |= 1 << uint(perm[n])
+			}
+		}
+		e.vec = v
+	}
+}
+
+// encode appends the entry's canonical bytes to buf.
+func (e *dirEntry) encode(buf []byte) []byte {
+	b := e.mode
+	if e.dirty {
+		b |= 1 << 6
+	}
+	buf = append(buf, b, byte(e.owner+1), e.nptr)
+	for _, p := range e.ptrs {
+		buf = append(buf, byte(p+1))
+	}
+	return append(buf, e.vec, e.val, e.x)
+}

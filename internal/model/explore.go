@@ -1,0 +1,310 @@
+package model
+
+import (
+	"fmt"
+
+	"dircoh/internal/check"
+	"dircoh/internal/protocol"
+)
+
+// DefaultMaxStates bounds exploration when the caller does not.
+const DefaultMaxStates = 400_000
+
+// Spontaneous action kinds.
+const (
+	aRead uint8 = iota
+	aWrite
+	aEvict
+	aDowngrade
+)
+
+var aNames = [...]string{"read", "write", "evict", "downgrade"}
+
+// action is one enabled transition out of a state: deliver a specific
+// in-flight message, or spend one unit of a cluster's operation budget.
+type action struct {
+	deliver bool
+	idx     int // index into the canonical state's msgs
+	msg     msg // copy, for the trace description
+	kind    uint8
+	cluster int
+	block   int
+}
+
+func (m *Model) describe(a action) string {
+	if !a.deliver {
+		return fmt.Sprintf("c%d: %s b%d", a.cluster, aNames[a.kind], a.block)
+	}
+	g := a.msg
+	s := fmt.Sprintf("deliver %v c%d->c%d b%d", protocol.MsgKind(g.kind), g.from, g.to, g.block)
+	if g.req >= 0 {
+		s += fmt.Sprintf(" (req c%d)", g.req)
+	}
+	return s
+}
+
+// enumerate lists the enabled actions of canonical state s in a fixed
+// order: deliverable messages first (FIFO: the head of each channel; any:
+// each distinct message), then spontaneous operations.
+func (m *Model) enumerate(s *state) []action {
+	var acts []action
+	for i, g := range s.msgs {
+		if m.cfg.Order == OrderFIFO {
+			if i > 0 && s.msgs[i-1].from == g.from && s.msgs[i-1].to == g.to {
+				continue // behind the channel head
+			}
+		} else if i > 0 && s.msgs[i-1] == g {
+			continue // identical to the previous in-flight message
+		}
+		acts = append(acts, action{deliver: true, idx: i, msg: g})
+	}
+	for c := 0; c < m.n; c++ {
+		if s.budget[c] == 0 {
+			continue
+		}
+		for b := 0; b < m.nb; b++ {
+			st := s.cache[c*m.nb+b]
+			if st == cacheI && !s.rd[c].active && !(s.wr[c].active && int(s.wr[c].block) == b) {
+				acts = append(acts, action{kind: aRead, cluster: c, block: b})
+			}
+			if st != cacheD && !s.wr[c].active {
+				acts = append(acts, action{kind: aWrite, cluster: c, block: b})
+			}
+			if st != cacheI {
+				acts = append(acts, action{kind: aEvict, cluster: c, block: b})
+			}
+			if st == cacheD {
+				acts = append(acts, action{kind: aDowngrade, cluster: c, block: b})
+			}
+		}
+	}
+	return acts
+}
+
+// apply runs one action on s (which the caller owns), returning any
+// violations the transition itself raised.
+func (m *Model) apply(s *state, act action) []violation {
+	a := &applier{m: m, s: s}
+	if act.deliver {
+		a.deliver(act.idx)
+	} else {
+		s.budget[act.cluster]--
+		switch act.kind {
+		case aRead:
+			a.issueRead(act.cluster, act.block)
+		case aWrite:
+			a.issueWrite(act.cluster, act.block)
+		case aEvict:
+			a.evictOp(act.cluster, act.block)
+		case aDowngrade:
+			a.downgradeOp(act.cluster, act.block)
+		}
+	}
+	return a.viol
+}
+
+// pendingWork reports whether anything in s is still waiting to complete.
+func (m *Model) pendingWork(s *state) bool {
+	for c := 0; c < m.n; c++ {
+		if s.rd[c].active || s.wr[c].active || s.acks[c] > 0 {
+			return true
+		}
+	}
+	for b := 0; b < m.nb; b++ {
+		if s.gate[b] || len(s.gateQ[b]) > 0 || s.rac[b] > 0 || s.recalls[b] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Counterexample is a minimal (BFS-shortest) action sequence from the
+// initial state to a violation.
+type Counterexample struct {
+	Rule    string
+	Cluster int
+	Block   int
+	Detail  string
+	Trace   []string // one action per line, in execution order
+}
+
+// Result summarizes one exploration.
+type Result struct {
+	Scheme         string
+	States         uint64 // distinct canonical states reached
+	Transitions    uint64 // actions applied
+	Depth          int    // BFS depth of the deepest state explored
+	Truncated      bool   // stopped at the state bound before exhausting
+	Counterexample *Counterexample
+}
+
+type edge struct {
+	parent string
+	act    action // the transition, de-relabeled into original-run coordinates
+	depth  int
+	cum    []int // composed relabeling: original-run coords -> this state's coords (nil = identity)
+}
+
+// derelabelAction rewrites act's cluster fields from a canonical state's
+// coordinates back to the original run's via inv (nil = identity), so
+// printed traces form one executable run.
+func derelabelAction(act action, inv []int) action {
+	if inv == nil {
+		return act
+	}
+	if act.deliver {
+		act.msg.from = int8(inv[act.msg.from])
+		act.msg.to = int8(inv[act.msg.to])
+		if act.msg.req >= 0 {
+			act.msg.req = int8(inv[act.msg.req])
+		}
+	} else {
+		act.cluster = inv[act.cluster]
+	}
+	return act
+}
+
+func derelabelViolation(v violation, inv []int) violation {
+	if inv != nil && v.cluster >= 0 {
+		v.cluster = inv[v.cluster]
+	}
+	return v
+}
+
+// replayActions re-executes a de-relabeled counterexample from the
+// initial state, symmetry-free, so the reported violation (including the
+// cluster ids its detail text embeds) is in the same coordinates as the
+// printed trace. Exploration found the violation on a canonical orbit
+// representative; the replay reproduces it on the literal run, falling
+// back to the orbit's verdict if the trace somehow diverges (a deadlock
+// fallback is normal: it is detected on the final state, not an action).
+func (m *Model) replayActions(acts []action, fallback violation) (violation, []string) {
+	s := m.initState()
+	trace := make([]string, 0, len(acts))
+	for _, act := range acts {
+		a := &applier{m: m, s: s}
+		if act.deliver {
+			m.sortMsgs(s)
+			idx := -1
+			for i, g := range s.msgs {
+				if g == act.msg {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				return fallback, trace
+			}
+			a.deliver(idx)
+		} else {
+			if s.budget[act.cluster] == 0 {
+				return fallback, trace
+			}
+			s.budget[act.cluster]--
+			switch act.kind {
+			case aRead:
+				a.issueRead(act.cluster, act.block)
+			case aWrite:
+				a.issueWrite(act.cluster, act.block)
+			case aEvict:
+				a.evictOp(act.cluster, act.block)
+			case aDowngrade:
+				a.downgradeOp(act.cluster, act.block)
+			}
+		}
+		trace = append(trace, m.describe(act))
+		if len(a.viol) > 0 {
+			return a.viol[0], trace
+		}
+	}
+	a := &applier{m: m, s: s}
+	a.checkState()
+	if len(a.viol) > 0 {
+		return a.viol[0], trace
+	}
+	return fallback, trace
+}
+
+// Explore enumerates every reachable state up to maxStates (<= 0 uses
+// DefaultMaxStates), checking invariants in each and deadlock-freedom at
+// every quiescent-network state. It stops at the first violation,
+// returning its shortest trace. The search is deterministic: same model,
+// same result.
+func (m *Model) Explore(maxStates int) Result {
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	res := Result{Scheme: m.es.name}
+	k0, s0, p0 := m.canonicalize(m.initState())
+	visited := map[string]edge{k0: {cum: p0}}
+	type item struct {
+		key string
+		st  *state
+	}
+	queue := []item{{k0, s0}}
+
+	fail := func(key string, last *action, fallback violation) Result {
+		var acts []action
+		for key != k0 {
+			e := visited[key]
+			acts = append(acts, e.act)
+			key = e.parent
+		}
+		for i, j := 0, len(acts)-1; i < j; i, j = i+1, j-1 {
+			acts[i], acts[j] = acts[j], acts[i]
+		}
+		if last != nil {
+			acts = append(acts, *last)
+		}
+		v, trace := m.replayActions(acts, fallback)
+		res.States = uint64(len(visited))
+		res.Counterexample = &Counterexample{
+			Rule: v.rule.String(), Cluster: v.cluster, Block: v.block,
+			Detail: v.detail, Trace: trace,
+		}
+		return res
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		curEdge := visited[cur.key]
+		depth := curEdge.depth
+		curInv := invPerm(curEdge.cum)
+		if depth > res.Depth {
+			res.Depth = depth
+		}
+		if len(cur.st.msgs) == 0 && m.pendingWork(cur.st) {
+			return fail(cur.key, nil, violation{rule: check.RuleLiveness, cluster: -1, block: -1,
+				detail: "deadlock: no messages in flight but operations, gates or recalls are still pending"})
+		}
+		for _, act := range m.enumerate(cur.st) {
+			ns := cur.st.clone()
+			viol := m.apply(ns, act)
+			res.Transitions++
+			dAct := derelabelAction(act, curInv)
+			if len(viol) > 0 {
+				return fail(cur.key, &dAct, derelabelViolation(viol[0], curInv))
+			}
+			nk, cs, p := m.canonicalize(ns)
+			if _, ok := visited[nk]; ok {
+				continue
+			}
+			cum := composePerm(p, curEdge.cum, m.n)
+			a := &applier{m: m, s: cs}
+			a.checkState()
+			visited[nk] = edge{parent: cur.key, act: dAct, depth: depth + 1, cum: cum}
+			if len(a.viol) > 0 {
+				return fail(nk, nil, derelabelViolation(a.viol[0], invPerm(cum)))
+			}
+			if len(visited) >= maxStates {
+				res.States = uint64(len(visited))
+				res.Truncated = true
+				return res
+			}
+			queue = append(queue, item{nk, cs})
+		}
+	}
+	res.States = uint64(len(visited))
+	return res
+}

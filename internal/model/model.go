@@ -1,0 +1,570 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"dircoh/internal/core"
+)
+
+// Order selects the network-delivery semantics explored.
+type Order uint8
+
+const (
+	// OrderFIFO delivers messages in order per (source, destination) pair,
+	// matching the machine's default point-to-point channels.
+	OrderFIFO Order = iota
+	// OrderAny delivers any in-flight message next, modeling the adaptive
+	// mesh reorderings that motivated the stale-message recovery rules.
+	OrderAny
+)
+
+func (o Order) String() string {
+	if o == OrderAny {
+		return "any"
+	}
+	return "fifo"
+}
+
+// ParseOrder parses "fifo" or "any".
+func ParseOrder(s string) (Order, error) {
+	switch s {
+	case "fifo":
+		return OrderFIFO, nil
+	case "any":
+		return OrderAny, nil
+	}
+	return 0, fmt.Errorf("model: unknown order %q (want fifo or any)", s)
+}
+
+// Bug selects one deliberately re-injected protocol bug — each a fixed
+// defect from the repo's history, kept behind a knob so the checker's
+// ability to find it stays regression-tested.
+type Bug uint8
+
+const (
+	// BugNone checks the protocol as implemented.
+	BugNone Bug = iota
+	// BugRecallGateRace makes a replacement recall skip the gate-busy
+	// wait, racing the recall's invalidations against an in-flight
+	// transaction on the victim block.
+	BugRecallGateRace
+	// BugStaleReadReq drops the stale-ReadReq recovery: a reordered read
+	// from the current dirty owner is served as if the owner had written
+	// the block back.
+	BugStaleReadReq
+	// BugStaleSharingWB drops the stale-SharingWB guard: a reordered
+	// sharing writeback from a cluster that has since re-acquired
+	// ownership clears the dirty bit anyway.
+	BugStaleSharingWB
+	// BugStaleWritebackReq drops the stale-WritebackReq guard: a reordered
+	// writeback from the current dirty owner resets the entry anyway.
+	BugStaleWritebackReq
+)
+
+var bugNames = [...]string{"none", "recall-gate-race", "stale-readreq", "stale-sharingwb", "stale-writebackreq"}
+
+func (b Bug) String() string {
+	if int(b) < len(bugNames) {
+		return bugNames[b]
+	}
+	return fmt.Sprintf("Bug(%d)", uint8(b))
+}
+
+// ParseBug parses a bug knob name.
+func ParseBug(s string) (Bug, error) {
+	for i, n := range bugNames {
+		if n == s {
+			return Bug(i), nil
+		}
+	}
+	return 0, fmt.Errorf("model: unknown bug %q", s)
+}
+
+// Config describes one model-checking instance.
+type Config struct {
+	Clusters int          // 2..4
+	Blocks   int          // 1..4
+	Scheme   core.Factory // directory scheme, e.g. a registry entry
+
+	// Ops is the per-cluster budget of spontaneous operations (reads,
+	// writes, evictions, downgrades). Budgets, when non-nil, overrides it
+	// per cluster.
+	Ops     int
+	Budgets []int
+
+	// SparseEntries > 0 models a sparse directory with that many entries
+	// and SparseAssoc ways (default 1) per home, LRU-replaced; 0 models a
+	// full map.
+	SparseEntries int
+	SparseAssoc   int
+
+	Order Order
+	Bug   Bug
+
+	// NoSymmetry disables cluster-symmetry reduction (it is also disabled
+	// automatically for schemes whose entries are not relabeling-
+	// equivariant).
+	NoSymmetry bool
+}
+
+// Model is a checkable instance: the geometry, the parsed scheme
+// semantics and the symmetry group.
+type Model struct {
+	cfg   Config
+	es    *entryScheme
+	n, nb int
+	sets  int // sparse sets per home, 0 = full map
+	assoc int
+	perms [][]int // non-identity cluster relabelings fixing every home
+}
+
+// New builds a model from cfg.
+func New(cfg Config) (*Model, error) {
+	if cfg.Clusters < 2 || cfg.Clusters > maxClusters {
+		return nil, fmt.Errorf("model: clusters = %d, want 2..%d", cfg.Clusters, maxClusters)
+	}
+	if cfg.Blocks < 1 || cfg.Blocks > maxBlocks {
+		return nil, fmt.Errorf("model: blocks = %d, want 1..%d", cfg.Blocks, maxBlocks)
+	}
+	if cfg.Scheme == nil {
+		return nil, fmt.Errorf("model: no scheme factory")
+	}
+	es, err := parseScheme(cfg.Scheme(cfg.Clusters))
+	if err != nil {
+		return nil, err
+	}
+	if es.nodes != cfg.Clusters {
+		return nil, fmt.Errorf("model: scheme %s tracks %d nodes for %d clusters", es.name, es.nodes, cfg.Clusters)
+	}
+	if cfg.Budgets != nil && len(cfg.Budgets) != cfg.Clusters {
+		return nil, fmt.Errorf("model: %d budgets for %d clusters", len(cfg.Budgets), cfg.Clusters)
+	}
+	for _, b := range cfg.Budgets {
+		if b < 0 || b > 255 {
+			return nil, fmt.Errorf("model: budget %d out of range", b)
+		}
+	}
+	if cfg.Ops < 0 || cfg.Ops > 255 {
+		return nil, fmt.Errorf("model: ops = %d out of range", cfg.Ops)
+	}
+	m := &Model{cfg: cfg, es: es, n: cfg.Clusters, nb: cfg.Blocks}
+	if cfg.SparseEntries > 0 {
+		m.assoc = cfg.SparseAssoc
+		if m.assoc <= 0 {
+			m.assoc = 1
+		}
+		m.sets = (cfg.SparseEntries + m.assoc - 1) / m.assoc
+	}
+	if !cfg.NoSymmetry && es.symOK() {
+		m.perms = homeFixingPerms(m.n, m.nb)
+	}
+	return m, nil
+}
+
+// Scheme returns the paper notation of the modeled scheme.
+func (m *Model) Scheme() string { return m.es.name }
+
+// home, dirKey and keyBlock mirror the machine's block-to-home
+// interleaving and per-home directory keying.
+func (m *Model) home(b int) int          { return b % m.n }
+func (m *Model) dirKey(b int) int        { return b / m.n }
+func (m *Model) keyBlock(key, h int) int { return key*m.n + h }
+
+// homeFixingPerms returns the non-identity permutations of the clusters
+// that fix every cluster serving as a home, so relabeled states describe
+// the same block-to-home geometry.
+func homeFixingPerms(n, nb int) [][]int {
+	isHome := make([]bool, n)
+	for b := 0; b < nb; b++ {
+		isHome[b%n] = true
+	}
+	var out [][]int
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			id := true
+			for j, p := range perm {
+				if p != j {
+					id = false
+					break
+				}
+			}
+			if !id {
+				out = append(out, append([]int(nil), perm...))
+			}
+			return
+		}
+		if isHome[i] {
+			perm[i] = i
+			rec(i + 1)
+			return
+		}
+		for c := 0; c < n; c++ {
+			if !used[c] && !isHome[c] {
+				used[c], perm[i] = true, c
+				rec(i + 1)
+				used[c] = false
+			}
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Cache states (one combined state per cluster and block: the machine's
+// per-processor states within a cluster collapse onto the cluster bus).
+const (
+	cacheI uint8 = iota
+	cacheS
+	cacheD
+)
+
+// opSlot is one outstanding processor operation of a cluster. Cleared
+// slots are the zero value so equal states encode identically.
+type opSlot struct {
+	active   bool
+	block    int8
+	local    bool // served at the home cluster's own memory
+	poisoned bool // reads only: reply must not install a copy
+}
+
+// Gate-queue item kinds.
+const (
+	qRead uint8 = iota
+	qWrite
+	qLocalRead
+	qLocalWrite
+	qRecall
+)
+
+var qNames = [...]string{"read", "write", "local-read", "local-write", "recall"}
+
+// qItem is one closure parked on a block's gate: a deferred request
+// (from = requester) or a deferred replacement recall carrying the
+// victim's entry snapshot.
+type qItem struct {
+	kind uint8
+	from int8
+	ve   dirEntry
+}
+
+// dline is one sparse-directory way. rank is the normalized LRU position
+// among the set's valid lines (0 = least recent), mirroring the
+// machine's lastUse ordering without unbounded timestamps.
+type dline struct {
+	valid bool
+	key   int8
+	rank  uint8
+	ent   dirEntry
+}
+
+// Message flavors: protocol.MsgKind identifies the wire kind; the flavor
+// distinguishes delivery closures the machine attaches to the same kind.
+const (
+	fNone       uint8 = iota
+	fUnlock           // DataReply that also unlocks the home gate
+	fAckToReq         // Inval acked to the requesting cluster (write path)
+	fAckToRAC         // Inval acked to the home RAC (replacement recall)
+	fAckInert         // Inval acked with no effect (Dir_iNB pointer eviction)
+	fAckProc          // AckMsg consuming a requester's pending-ack credit
+	fAckRAC           // AckMsg feeding the home RAC
+	fAckNone          // AckMsg with no effect
+	fMeaningful       // SharingWB from a real downgrade
+	fInert            // SharingWB with an empty closure (3-hop read traffic)
+)
+
+// msg is one in-flight network message.
+type msg struct {
+	kind     uint8 // protocol.MsgKind
+	from, to int8
+	block    int8
+	req      int8 // requester (FwdReadReq/FwdWriteReq/Inval fAckToReq), else -1
+	flavor   uint8
+}
+
+// state is the full global state. All slices are dense and fixed-size
+// for a given Model, so encode yields a canonical byte string.
+type state struct {
+	cache  []uint8  // n*nb
+	rd, wr []opSlot // n
+	acks   []uint8  // n: outstanding invalidation acks owed to the cluster
+	budget []uint8  // n: remaining spontaneous operations
+
+	wbExp   []uint8   // nb: writebacks expected (stale-owner recovery)
+	recalls []uint8   // nb: replacement recalls pending on the block
+	rac     []uint8   // nb: outstanding recall acks
+	gate    []bool    // nb: gate busy
+	gateQ   [][]qItem // nb
+
+	present []bool     // full map: nb
+	ent     []dirEntry // full map: nb
+	lines   []dline    // sparse: n*sets*assoc
+
+	msgs []msg
+}
+
+func (m *Model) initState() *state {
+	s := &state{
+		cache:   make([]uint8, m.n*m.nb),
+		rd:      make([]opSlot, m.n),
+		wr:      make([]opSlot, m.n),
+		acks:    make([]uint8, m.n),
+		budget:  make([]uint8, m.n),
+		wbExp:   make([]uint8, m.nb),
+		recalls: make([]uint8, m.nb),
+		rac:     make([]uint8, m.nb),
+		gate:    make([]bool, m.nb),
+		gateQ:   make([][]qItem, m.nb),
+	}
+	for c := 0; c < m.n; c++ {
+		if m.cfg.Budgets != nil {
+			s.budget[c] = uint8(m.cfg.Budgets[c])
+		} else {
+			s.budget[c] = uint8(m.cfg.Ops)
+		}
+	}
+	if m.sets > 0 {
+		s.lines = make([]dline, m.n*m.sets*m.assoc)
+		for i := range s.lines {
+			s.lines[i].ent = emptyEntry()
+		}
+	} else {
+		s.present = make([]bool, m.nb)
+		s.ent = make([]dirEntry, m.nb)
+		for i := range s.ent {
+			s.ent[i] = emptyEntry()
+		}
+	}
+	return s
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		cache:   append([]uint8(nil), s.cache...),
+		rd:      append([]opSlot(nil), s.rd...),
+		wr:      append([]opSlot(nil), s.wr...),
+		acks:    append([]uint8(nil), s.acks...),
+		budget:  append([]uint8(nil), s.budget...),
+		wbExp:   append([]uint8(nil), s.wbExp...),
+		recalls: append([]uint8(nil), s.recalls...),
+		rac:     append([]uint8(nil), s.rac...),
+		gate:    append([]bool(nil), s.gate...),
+		gateQ:   make([][]qItem, len(s.gateQ)),
+		msgs:    append([]msg(nil), s.msgs...),
+	}
+	for i, q := range s.gateQ {
+		if len(q) > 0 {
+			c.gateQ[i] = append([]qItem(nil), q...)
+		}
+	}
+	if s.lines != nil {
+		c.lines = append([]dline(nil), s.lines...)
+	} else {
+		c.present = append([]bool(nil), s.present...)
+		c.ent = append([]dirEntry(nil), s.ent...)
+	}
+	return c
+}
+
+// sortMsgs brings the message multiset into canonical order. Under FIFO
+// the per-pair order is the channel contents and must be preserved, so
+// the sort is stable on (from, to) only; under OrderAny the multiset has
+// no order and sorts on every field.
+func (m *Model) sortMsgs(s *state) {
+	if m.cfg.Order == OrderFIFO {
+		sort.SliceStable(s.msgs, func(i, j int) bool {
+			a, b := s.msgs[i], s.msgs[j]
+			if a.from != b.from {
+				return a.from < b.from
+			}
+			return a.to < b.to
+		})
+		return
+	}
+	sort.Slice(s.msgs, func(i, j int) bool { return msgLess(s.msgs[i], s.msgs[j]) })
+}
+
+func msgLess(a, b msg) bool {
+	if a.from != b.from {
+		return a.from < b.from
+	}
+	if a.to != b.to {
+		return a.to < b.to
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	if a.block != b.block {
+		return a.block < b.block
+	}
+	if a.req != b.req {
+		return a.req < b.req
+	}
+	return a.flavor < b.flavor
+}
+
+// normalizeLines sorts each sparse set's ways by (!valid, key). Way
+// position is not semantic — invalid ways are interchangeable and valid
+// lines are selected by key or rank — so a fixed order canonicalizes it.
+func (m *Model) normalizeLines(s *state) {
+	if m.sets == 0 {
+		return
+	}
+	for base := 0; base < len(s.lines); base += m.assoc {
+		set := s.lines[base : base+m.assoc]
+		sort.Slice(set, func(i, j int) bool {
+			if set[i].valid != set[j].valid {
+				return set[i].valid
+			}
+			return set[i].key < set[j].key
+		})
+	}
+}
+
+// encode appends the state's canonical bytes. The layout only has to be
+// injective for a fixed Model, not self-describing.
+func (m *Model) encode(s *state, buf []byte) []byte {
+	buf = append(buf, s.cache...)
+	for _, slots := range [][]opSlot{s.rd, s.wr} {
+		for _, o := range slots {
+			buf = append(buf, boolByte(o.active)|boolByte(o.local)<<1|boolByte(o.poisoned)<<2, byte(o.block))
+		}
+	}
+	buf = append(buf, s.acks...)
+	buf = append(buf, s.budget...)
+	buf = append(buf, s.wbExp...)
+	buf = append(buf, s.recalls...)
+	buf = append(buf, s.rac...)
+	for _, g := range s.gate {
+		buf = append(buf, boolByte(g))
+	}
+	for _, q := range s.gateQ {
+		buf = append(buf, byte(len(q)))
+		for _, it := range q {
+			buf = append(buf, it.kind, byte(it.from+1))
+			buf = it.ve.encode(buf)
+		}
+	}
+	if s.lines != nil {
+		for i := range s.lines {
+			l := &s.lines[i]
+			buf = append(buf, boolByte(l.valid), byte(l.key), l.rank)
+			buf = l.ent.encode(buf)
+		}
+	} else {
+		for b := range s.ent {
+			buf = append(buf, boolByte(s.present[b]))
+			buf = s.ent[b].encode(buf)
+		}
+	}
+	buf = append(buf, byte(len(s.msgs)))
+	for _, g := range s.msgs {
+		buf = append(buf, g.kind, byte(g.from+1), byte(g.to+1), byte(g.block), byte(g.req+1), g.flavor)
+	}
+	return buf
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// relabeled returns a copy of s with every cluster reference rewritten
+// through perm (which fixes all homes, so per-block and per-home data
+// stay in place).
+func (m *Model) relabeled(s *state, perm []int) *state {
+	r := s.clone()
+	for c := 0; c < m.n; c++ {
+		p := perm[c]
+		copy(r.cache[p*m.nb:(p+1)*m.nb], s.cache[c*m.nb:(c+1)*m.nb])
+		r.rd[p], r.wr[p] = s.rd[c], s.wr[c]
+		r.acks[p], r.budget[p] = s.acks[c], s.budget[c]
+	}
+	for _, q := range r.gateQ {
+		for i := range q {
+			if q[i].from >= 0 {
+				q[i].from = int8(perm[q[i].from])
+			}
+			q[i].ve.relabel(m.es, perm)
+		}
+	}
+	if r.lines != nil {
+		// Homes are fixed by perm, so each home's lines stay in its own
+		// rows; only entry contents relabel.
+		for i := range r.lines {
+			if r.lines[i].valid {
+				r.lines[i].ent.relabel(m.es, perm)
+			}
+		}
+	} else {
+		for b := range r.ent {
+			if r.present[b] {
+				r.ent[b].relabel(m.es, perm)
+			}
+		}
+	}
+	for i := range r.msgs {
+		g := &r.msgs[i]
+		g.from = int8(perm[g.from])
+		g.to = int8(perm[g.to])
+		if g.req >= 0 {
+			g.req = int8(perm[g.req])
+		}
+	}
+	m.sortMsgs(r)
+	return r
+}
+
+// canonicalize sorts the clone-owned s into canonical form, applies the
+// symmetry group and returns the lexicographically minimal
+// representative with its key and the relabeling that produced it (nil
+// when s itself is minimal). The explorer composes these relabelings to
+// report counterexample traces in the original run's coordinates.
+func (m *Model) canonicalize(s *state) (string, *state, []int) {
+	m.sortMsgs(s)
+	m.normalizeLines(s)
+	best := s
+	bestKey := m.encode(s, nil)
+	var bestPerm []int
+	for _, perm := range m.perms {
+		r := m.relabeled(s, perm)
+		m.normalizeLines(r)
+		k := m.encode(r, nil)
+		if string(k) < string(bestKey) {
+			best, bestKey, bestPerm = r, k, perm
+		}
+	}
+	return string(bestKey), best, bestPerm
+}
+
+// composePerm returns p∘q (apply q, then p); nil is the identity.
+func composePerm(p, q []int, n int) []int {
+	if p == nil {
+		return q
+	}
+	if q == nil {
+		return append([]int(nil), p...)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = p[q[i]]
+	}
+	return out
+}
+
+// invPerm inverts a permutation; nil stays the identity.
+func invPerm(p []int) []int {
+	if p == nil {
+		return nil
+	}
+	inv := make([]int, len(p))
+	for i, v := range p {
+		inv[v] = i
+	}
+	return inv
+}

@@ -1,0 +1,342 @@
+package model
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dircoh/internal/check"
+	"dircoh/internal/core"
+)
+
+// TestEntryMirrorsCore drives random operation sequences through each
+// core entry implementation and the model's dirEntry mirror in lockstep,
+// comparing every observable after every operation. This is the fidelity
+// proof for the mirror: the model checker's directory semantics are
+// exactly internal/core's.
+func TestEntryMirrorsCore(t *testing.T) {
+	var schemes []core.Scheme
+	for n := 2; n <= 4; n++ {
+		schemes = append(schemes, core.NewFullVector(n))
+		for i := 1; i <= n; i++ {
+			schemes = append(schemes,
+				core.NewLimitedBroadcast(i, n),
+				core.NewLimitedNoBroadcast(i, n, core.VictimOldest, 0),
+				core.NewSuperset(i, n))
+			for r := 1; r <= n; r++ {
+				schemes = append(schemes, core.NewCoarseVector(i, r, n))
+			}
+		}
+	}
+	for _, sch := range schemes {
+		es, err := parseScheme(sch)
+		if err != nil {
+			t.Fatalf("parseScheme(%s): %v", sch.Name(), err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		for trial := 0; trial < 50; trial++ {
+			ce := sch.NewEntry()
+			me := emptyEntry()
+			for op := 0; op < 30; op++ {
+				n := rng.Intn(es.nodes)
+				var desc string
+				switch k := rng.Intn(10); {
+				case k < 5:
+					desc = "AddSharer"
+					evicted := ce.AddSharer(n)
+					got := me.addSharer(es, n)
+					want := -1
+					if len(evicted) == 1 {
+						want = evicted[0]
+					} else if len(evicted) > 1 {
+						t.Fatalf("%s: core evicted %v, model handles at most one", sch.Name(), evicted)
+					}
+					if got != want {
+						t.Fatalf("%s trial %d op %d: AddSharer(%d) evicted %d, core evicted %d",
+							sch.Name(), trial, op, n, got, want)
+					}
+				case k < 7:
+					desc = "SetDirty"
+					ce.SetDirty(n)
+					me.setDirty(n)
+				case k < 9:
+					if !ce.Dirty() {
+						continue
+					}
+					desc = "ClearDirty"
+					ce.ClearDirty()
+					me.clearDirty()
+				default:
+					desc = "Reset"
+					ce.Reset()
+					me.reset()
+				}
+				if ce.Dirty() != me.dirty || int(me.owner) != ce.Owner() || ce.Empty() != me.empty() {
+					t.Fatalf("%s trial %d op %d (%s %d): dirty/owner/empty diverged: core (%v,%d,%v) model (%v,%d,%v)",
+						sch.Name(), trial, op, desc, n,
+						ce.Dirty(), ce.Owner(), ce.Empty(), me.dirty, me.owner, me.empty())
+				}
+				mask := me.mask(es)
+				for node := 0; node < es.nodes; node++ {
+					if ce.IsSharer(node) != (mask&(1<<uint(node)) != 0) {
+						t.Fatalf("%s trial %d op %d (%s %d): IsSharer(%d) diverged: core %v, model mask %04b",
+							sch.Name(), trial, op, desc, n, node, ce.IsSharer(node), mask)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	for _, c := range []struct {
+		scheme core.Scheme
+		kind   schemeKind
+		ptrs   int
+		region int
+	}{
+		{core.NewFullVector(3), kindFull, 3, 0},
+		{core.NewLimitedBroadcast(2, 4), kindBroadcast, 2, 0},
+		{core.NewLimitedNoBroadcast(1, 3, core.VictimOldest, 0), kindNoBroadcast, 1, 0},
+		{core.NewSuperset(2, 4), kindSuperset, 2, 0},
+		{core.NewCoarseVector(3, 2, 4), kindCoarse, 3, 2},
+	} {
+		es, err := parseScheme(c.scheme)
+		if err != nil {
+			t.Fatalf("parseScheme(%s): %v", c.scheme.Name(), err)
+		}
+		if es.kind != c.kind || es.ptrs != c.ptrs || es.region != c.region {
+			t.Errorf("parseScheme(%s) = kind %d ptrs %d region %d, want %d/%d/%d",
+				c.scheme.Name(), es.kind, es.ptrs, es.region, c.kind, c.ptrs, c.region)
+		}
+	}
+	if _, err := parseScheme(core.NewFullVector(8)); err == nil {
+		t.Errorf("parseScheme accepted 8 nodes")
+	}
+}
+
+// registrySchemes returns every scheme registered in internal/core.
+func registrySchemes() map[string]core.Factory {
+	return map[string]core.Factory{
+		"full": core.MustParse("full"),
+		"cv":   core.MustParse("cv"),
+		"b":    core.MustParse("b"),
+		"nb":   core.MustParse("nb"),
+		"x":    core.MustParse("x"),
+	}
+}
+
+// TestExploreCleanTinyConfigs exhaustively checks every registered scheme
+// on the smallest interesting geometry and expects zero violations, plus
+// deterministic state counts across repeated runs.
+func TestExploreCleanTinyConfigs(t *testing.T) {
+	for name, f := range registrySchemes() {
+		m, err := New(Config{Clusters: 2, Blocks: 1, Scheme: f, Ops: 2})
+		if err != nil {
+			t.Fatalf("%s: New: %v", name, err)
+		}
+		r1 := m.Explore(0)
+		if r1.Counterexample != nil {
+			t.Fatalf("%s: unexpected violation: %+v", name, r1.Counterexample)
+		}
+		if r1.Truncated {
+			t.Fatalf("%s: truncated at %d states", name, r1.States)
+		}
+		r2 := m.Explore(0)
+		if r1.States != r2.States || r1.Transitions != r2.Transitions || r1.Depth != r2.Depth {
+			t.Errorf("%s: nondeterministic exploration: %+v vs %+v", name, r1, r2)
+		}
+		if r1.States < 10 {
+			t.Errorf("%s: suspiciously few states (%d)", name, r1.States)
+		}
+	}
+}
+
+// TestExploreCleanReordered checks the stale-message recovery rules: with
+// arbitrary message reordering the fixed protocol must still satisfy
+// every invariant.
+func TestExploreCleanReordered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space")
+	}
+	m, err := New(Config{Clusters: 2, Blocks: 1, Scheme: core.MustParse("full"), Ops: 3, Order: OrderAny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Explore(0)
+	if r.Counterexample != nil {
+		t.Fatalf("unexpected violation: %+v", r.Counterexample)
+	}
+	if r.Truncated {
+		t.Fatalf("truncated at %d states", r.States)
+	}
+}
+
+// TestExploreCleanSparse covers the replacement-recall machinery: a
+// one-entry directory per home with three blocks forces continuous
+// recalls.
+func TestExploreCleanSparse(t *testing.T) {
+	m, err := New(Config{Clusters: 2, Blocks: 3, Scheme: core.MustParse("full"), Ops: 2,
+		SparseEntries: 1, SparseAssoc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := m.Explore(0)
+	if r.Counterexample != nil {
+		t.Fatalf("unexpected violation: %+v", r.Counterexample)
+	}
+	if r.Truncated {
+		t.Fatalf("truncated at %d states", r.States)
+	}
+}
+
+// TestSymmetryReduction verifies that cluster-symmetry reduction shrinks
+// the state space without changing the verdict.
+func TestSymmetryReduction(t *testing.T) {
+	base := Config{Clusters: 3, Blocks: 1, Scheme: core.MustParse("full"), Ops: 2}
+	sym, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sym.perms) == 0 {
+		t.Fatalf("expected non-trivial symmetry group for 3 clusters, 1 block")
+	}
+	nosym := base
+	nosym.NoSymmetry = true
+	full, err := New(nosym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := sym.Explore(0)
+	rf := full.Explore(0)
+	if rs.Counterexample != nil || rf.Counterexample != nil {
+		t.Fatalf("unexpected violation: sym %+v, full %+v", rs.Counterexample, rf.Counterexample)
+	}
+	if rs.States >= rf.States {
+		t.Errorf("symmetry reduction did not help: %d reduced vs %d full states", rs.States, rf.States)
+	}
+}
+
+// bugConfigs returns, for each re-injected bug, a configuration in which
+// the model checker must find it.
+func bugConfigs() map[Bug]Config {
+	full := core.MustParse("full")
+	return map[Bug]Config{
+		BugRecallGateRace: {Clusters: 2, Blocks: 3, Scheme: full, Ops: 3,
+			SparseEntries: 1, SparseAssoc: 1, Order: OrderFIFO},
+		BugStaleReadReq: {Clusters: 2, Blocks: 1, Scheme: full,
+			Budgets: []int{0, 2}, Order: OrderAny},
+		BugStaleSharingWB: {Clusters: 3, Blocks: 1, Scheme: full,
+			Budgets: []int{0, 3, 1}, Order: OrderAny},
+		BugStaleWritebackReq: {Clusters: 3, Blocks: 1, Scheme: full,
+			Budgets: []int{0, 3, 1}, Order: OrderAny},
+	}
+}
+
+// TestBugsCaught re-injects each fixed protocol bug and requires the
+// checker to find a counterexample within the default state budget —
+// and the same configuration to verify clean without the bug.
+func TestBugsCaught(t *testing.T) {
+	for bug, cfg := range bugConfigs() {
+		bug, cfg := bug, cfg
+		t.Run(bug.String(), func(t *testing.T) {
+			clean := cfg
+			m, err := New(clean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r := m.Explore(0); r.Counterexample != nil {
+				t.Fatalf("config is not clean without the bug: %+v", r.Counterexample)
+			} else if r.Truncated {
+				t.Fatalf("clean run truncated at %d states", r.States)
+			}
+			cfg.Bug = bug
+			mb, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := mb.Explore(0)
+			if r.Counterexample == nil {
+				t.Fatalf("bug not found in %d states", r.States)
+			}
+			if len(r.Counterexample.Trace) == 0 {
+				t.Fatalf("counterexample has no trace: %+v", r.Counterexample)
+			}
+			t.Logf("%s: %s at c%d b%d after %d states, %d-step trace",
+				bug, r.Counterexample.Rule, r.Counterexample.Cluster, r.Counterexample.Block,
+				r.States, len(r.Counterexample.Trace))
+		})
+	}
+}
+
+// TestRunScript pins the sequential semantics against hand-computed
+// protocol outcomes.
+func TestRunScript(t *testing.T) {
+	m, err := New(Config{Clusters: 2, Blocks: 2, Scheme: core.MustParse("full"), Ops: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// c1 writes b0 (home c0): entry dirty, owner c1.
+	v, err := m.RunScript([]Step{{Cluster: 1, Write: true, Block: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cache[1][0] != check.CopyDirty || !v.Entry[0].Dirty || v.Entry[0].Owner != 1 {
+		t.Fatalf("after remote write: %+v", v)
+	}
+	// ... then c0 reads b0 (home-local): dirty copy recalled, both shared.
+	v, err = m.RunScript([]Step{
+		{Cluster: 1, Write: true, Block: 0},
+		{Cluster: 0, Write: false, Block: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &View{
+		Cache: [][]check.CopyState{{check.CopyShared, 0}, {check.CopyShared, 0}},
+		Entry: []EntryState{{Present: true, Owner: -1, Sharers: 1 << 1}, {Owner: -1}},
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("after write+local read:\n got %+v\nwant %+v", v, want)
+	}
+	// Write-after-share invalidates the other sharer and drops the entry
+	// when the writer is the home.
+	v, err = m.RunScript([]Step{
+		{Cluster: 1, Write: true, Block: 0},
+		{Cluster: 0, Write: false, Block: 0},
+		{Cluster: 0, Write: true, Block: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cache[0][0] != check.CopyDirty || v.Cache[1][0] != check.CopyInvalid || v.Entry[0].Present {
+		t.Fatalf("after home write over sharers: %+v", v)
+	}
+}
+
+// TestRunScriptSparseRecall exercises a replacement recall in sequential
+// mode: with one directory way at home c0, touching b2 (same home as b0)
+// must recall b0's sharer.
+func TestRunScriptSparseRecall(t *testing.T) {
+	m, err := New(Config{Clusters: 2, Blocks: 3, Scheme: core.MustParse("full"), Ops: 0,
+		SparseEntries: 1, SparseAssoc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.RunScript([]Step{
+		{Cluster: 1, Write: false, Block: 0}, // c1 shares b0 (home c0)
+		{Cluster: 1, Write: false, Block: 2}, // b2 has home c0 too: b0's entry recalled
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Cache[1][0] != check.CopyInvalid {
+		t.Fatalf("recall did not invalidate c1's copy of b0: %+v", v)
+	}
+	if v.Cache[1][2] != check.CopyShared || !v.Entry[2].Present {
+		t.Fatalf("b2 not installed after recall: %+v", v)
+	}
+	if v.Entry[0].Present {
+		t.Fatalf("b0 entry still present after recall: %+v", v)
+	}
+}

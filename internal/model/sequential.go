@@ -1,0 +1,100 @@
+package model
+
+import (
+	"fmt"
+
+	"dircoh/internal/check"
+)
+
+// Step is one scripted processor operation for RunScript.
+type Step struct {
+	Cluster int
+	Write   bool
+	Block   int
+}
+
+// EntryState is the externally observable state of one directory entry
+// after a sequential run.
+type EntryState struct {
+	Present bool
+	Dirty   bool
+	Owner   int // -1 when not dirty
+	Sharers uint8
+}
+
+// View is the quiescent machine-visible state after a sequential run:
+// the per-cluster cache state of every block and every home entry. The
+// conformance tests diff it against the real machine's state after
+// replaying the same script.
+type View struct {
+	Cache [][]check.CopyState // [cluster][block]
+	Entry []EntryState        // [block]
+}
+
+// RunScript executes the steps strictly sequentially — each operation is
+// issued and the network fully drained (FIFO order) before the next —
+// and returns the quiescent view. Operation hits (read with a copy,
+// write on a dirty copy) are bus-local no-ops, as in the machine. Any
+// invariant violation, non-quiescence or unexpected model state is an
+// error. Budgets do not apply; the script is the workload.
+func (m *Model) RunScript(steps []Step) (*View, error) {
+	if m.cfg.Order != OrderFIFO {
+		return nil, fmt.Errorf("model: RunScript requires OrderFIFO")
+	}
+	s := m.initState()
+	a := &applier{m: m, s: s}
+	for i, st := range steps {
+		if st.Cluster < 0 || st.Cluster >= m.n || st.Block < 0 || st.Block >= m.nb {
+			return nil, fmt.Errorf("model: step %d out of range: %+v", i, st)
+		}
+		c, b := st.Cluster, st.Block
+		if st.Write {
+			if a.cacheAt(c, b) == cacheD {
+				continue // write hit
+			}
+			a.issueWrite(c, b)
+		} else {
+			if a.cacheAt(c, b) != cacheI {
+				continue // read hit
+			}
+			a.issueRead(c, b)
+		}
+		for iter := 0; len(s.msgs) > 0; iter++ {
+			if iter > 10000 {
+				return nil, fmt.Errorf("model: step %d did not quiesce", i)
+			}
+			m.sortMsgs(s)
+			a.deliver(0)
+			if len(a.viol) > 0 {
+				return nil, fmt.Errorf("model: step %d: %v", i, a.viol[0])
+			}
+		}
+		if m.pendingWork(s) {
+			return nil, fmt.Errorf("model: step %d left pending work with no messages in flight", i)
+		}
+		a.checkState()
+		if len(a.viol) > 0 {
+			return nil, fmt.Errorf("model: step %d: %v", i, a.viol[0])
+		}
+	}
+	v := &View{Cache: make([][]check.CopyState, m.n), Entry: make([]EntryState, m.nb)}
+	for c := 0; c < m.n; c++ {
+		v.Cache[c] = make([]check.CopyState, m.nb)
+		for b := 0; b < m.nb; b++ {
+			switch a.cacheAt(c, b) {
+			case cacheS:
+				v.Cache[c][b] = check.CopyShared
+			case cacheD:
+				v.Cache[c][b] = check.CopyDirty
+			}
+		}
+	}
+	for b := 0; b < m.nb; b++ {
+		if e := a.dirPeek(b); e != nil {
+			v.Entry[b] = EntryState{Present: true, Dirty: e.dirty, Owner: int(e.owner), Sharers: e.mask(m.es)}
+		} else {
+			v.Entry[b] = EntryState{Owner: -1}
+		}
+	}
+	return v, nil
+}

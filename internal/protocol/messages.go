@@ -80,6 +80,18 @@ func (k MsgKind) String() string {
 	return msgKindNames[k]
 }
 
+// ParseMsgKind parses a MsgKind's String form ("ReadReq", "AckMsg", ...).
+// It is the inverse of String over the valid range, so message names in
+// stored traces and model-checker counterexamples stay loadable.
+func ParseMsgKind(s string) (MsgKind, error) {
+	for k, name := range msgKindNames {
+		if name == s {
+			return MsgKind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("protocol: unknown message kind %q", s)
+}
+
 // msgMetricNames caches the per-kind registry counter names so hot paths
 // never build strings.
 var msgMetricNames = func() [numMsgKinds]string {

@@ -1,0 +1,23 @@
+package protocol
+
+import "testing"
+
+func TestParseMsgKindRoundTrip(t *testing.T) {
+	for k := MsgKind(0); k < numMsgKinds; k++ {
+		got, err := ParseMsgKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseMsgKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseMsgKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+}
+
+func TestParseMsgKindUnknown(t *testing.T) {
+	for _, s := range []string{"", "readreq", "MsgKind(3)", "Nak"} {
+		if k, err := ParseMsgKind(s); err == nil {
+			t.Errorf("ParseMsgKind(%q) = %v, want error", s, k)
+		}
+	}
+}

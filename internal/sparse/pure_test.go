@@ -1,0 +1,63 @@
+package sparse
+
+import "testing"
+
+func TestSetIndex(t *testing.T) {
+	cases := []struct {
+		block int64
+		sets  int
+		want  int
+	}{
+		{0, 4, 0}, {3, 4, 3}, {4, 4, 0}, {7, 4, 3},
+		{5, 1, 0}, {9, 2, 1}, {10, 3, 1},
+	}
+	for _, c := range cases {
+		if got := SetIndex(c.block, c.sets); got != c.want {
+			t.Errorf("SetIndex(%d, %d) = %d, want %d", c.block, c.sets, got, c.want)
+		}
+	}
+}
+
+func TestPickVictimIndex(t *testing.T) {
+	cases := []struct {
+		name string
+		keys []uint64
+		want int
+	}{
+		{"single", []uint64{7}, 0},
+		{"min in middle", []uint64{5, 2, 9}, 1},
+		{"min last", []uint64{5, 4, 3}, 2},
+		{"tie takes first", []uint64{4, 2, 2, 7}, 1},
+		{"all equal", []uint64{6, 6, 6}, 0},
+	}
+	for _, c := range cases {
+		if got := PickVictimIndex(len(c.keys), func(i int) uint64 { return c.keys[i] }); got != c.want {
+			t.Errorf("%s: PickVictimIndex(%v) = %d, want %d", c.name, c.keys, got, c.want)
+		}
+	}
+}
+
+// TestPickVictimMatchesDirectory pins the refactor: the directory's LRU
+// and LRA victims must be exactly what the pure rule selects over the
+// corresponding recency keys.
+func TestPickVictimMatchesDirectory(t *testing.T) {
+	for _, pol := range []ReplacePolicy{LRU, LRA} {
+		d := New(Config{Scheme: scheme(), Entries: 2, Assoc: 2, Policy: pol})
+		// Fill both ways of the single set with keys 0 and 2, touching 0
+		// last so LRU and LRA disagree about the victim.
+		d.Allocate(0, 1)
+		d.Allocate(2, 2)
+		d.Lookup(0, 3)
+		_, v := d.Allocate(4, 4)
+		if v == nil {
+			t.Fatalf("%v: expected a victim", pol)
+		}
+		want := int64(2) // LRU: key 2 was used least recently
+		if pol == LRA {
+			want = 0 // LRA: key 0 was allocated first
+		}
+		if v.Block != want {
+			t.Errorf("%v victim = block %d, want %d", pol, v.Block, want)
+		}
+	}
+}

@@ -263,9 +263,29 @@ func (d *Sparse) Assoc() int { return d.assoc }
 // Stats implements Directory.
 func (d *Sparse) Stats() Stats { return d.m.stats() }
 
+// SetIndex returns the set a directory key maps to in a directory with
+// sets sets — the pure indexing rule behind Sparse, shared with the model
+// checker's directory mirror.
+func SetIndex(block int64, sets int) int {
+	return int(uint64(block) % uint64(sets))
+}
+
+// PickVictimIndex returns the index in [0, n) whose recency key is
+// smallest, the first index winning ties — the pure victim-selection rule
+// behind the LRU (lastUse keys) and LRA (allocTime keys) policies, shared
+// with the model checker's normalized-rank directory.
+func PickVictimIndex(n int, key func(int) uint64) int {
+	best := 0
+	for i := 1; i < n; i++ {
+		if key(i) < key(best) {
+			best = i
+		}
+	}
+	return best
+}
+
 func (d *Sparse) set(block int64) []line {
-	si := int(uint64(block) % uint64(d.sets))
-	return d.lines[si*d.assoc : (si+1)*d.assoc]
+	return d.lines[SetIndex(block, d.sets)*d.assoc : (SetIndex(block, d.sets)+1)*d.assoc]
 }
 
 // Lookup implements Directory.
@@ -340,21 +360,9 @@ func (d *Sparse) pickVictim(set []line) int {
 	case Random:
 		return d.rng.Intn(len(set))
 	case LRA:
-		best := 0
-		for i := 1; i < len(set); i++ {
-			if set[i].allocTime < set[best].allocTime {
-				best = i
-			}
-		}
-		return best
+		return PickVictimIndex(len(set), func(i int) uint64 { return set[i].allocTime })
 	default: // LRU
-		best := 0
-		for i := 1; i < len(set); i++ {
-			if set[i].lastUse < set[best].lastUse {
-				best = i
-			}
-		}
-		return best
+		return PickVictimIndex(len(set), func(i int) uint64 { return set[i].lastUse })
 	}
 }
 
