@@ -28,41 +28,40 @@ func main() {
 	if obsFlags.Checking() {
 		ob.Check = obsFlags.CheckSink
 	}
-	exp.SetObserver(ob)
-	exp.SetParallelism(*parallel)
+	s := exp.NewSession(ob, *parallel, obsFlags.Shards())
 
 	fmt.Printf("Region-size sweep (Dir3CV_r on %s):\n\n", *app)
-	_, tb := exp.RegionSweep(*app, *procs)
+	_, tb := s.RegionSweep(*app, *procs)
 	fmt.Println(tb)
 
 	fmt.Printf("Pointer-count sweep (on %s):\n\n", *app)
-	_, tb = exp.PointerSweep(*app, *procs)
+	_, tb = s.PointerSweep(*app, *procs)
 	fmt.Println(tb)
 
 	fmt.Printf("Directory organizations (§7 alternatives, on %s):\n\n", *app)
-	_, tb = exp.DirectoryComparison(*app, *procs)
+	_, tb = s.DirectoryComparison(*app, *procs)
 	fmt.Println(tb)
 
 	fmt.Printf("Queued-lock contention (%d procs x %d acquisitions of one lock):\n\n", *procs, *rounds)
-	_, tb = exp.LockContention(*procs, *rounds)
+	_, tb = s.LockContention(*procs, *rounds)
 	fmt.Println(tb)
 
 	fmt.Println("Directory occupancy (§4.2 motivation — full directories are nearly empty):")
 	fmt.Println()
-	_, tb = exp.OccupancyStudy(*procs)
+	_, tb = s.OccupancyStudy(*procs)
 	fmt.Println(tb)
 
 	fmt.Printf("Network ejection-port contention (on %s):\n\n", *app)
-	_, tb = exp.NetworkContention(*app, *procs, []sim.Time{0, 4, 8})
+	_, tb = s.NetworkContention(*app, *procs, []sim.Time{0, 4, 8})
 	fmt.Println(tb)
 
 	fmt.Println("Block-size tradeoff (§3.1, on MP3D):")
 	fmt.Println()
-	_, tb = exp.BlockSizeStudy("MP3D", *procs, []int{16, 32, 64})
+	_, tb = s.BlockSizeStudy("MP3D", *procs, []int{16, 32, 64})
 	fmt.Println(tb)
 
 	fmt.Println("Barrier implementations under repeated global synchronization:")
 	fmt.Println()
-	_, tb = exp.BarrierStudy(*procs, 8, []sim.Time{0, 8})
+	_, tb = s.BarrierStudy(*procs, 8, []sim.Time{0, 8})
 	fmt.Println(tb)
 }

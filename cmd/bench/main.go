@@ -1,0 +1,197 @@
+// Command bench records the simulator's performance trajectory: a pinned
+// workload matrix (scheme × processor count × application), each cell run
+// at a fixed set of machine-core shard widths, measuring wall time,
+// cycles simulated per second and heap allocations. Results go to a JSON
+// file (BENCH_7.json by default) so successive PRs can diff throughput on
+// the same matrix.
+//
+// Shard width 0 is the legacy serial heap engine — the baseline every
+// other width's speedup is computed against. Widths >= 1 run the sharded
+// event-wheel core (width 1 isolates the wheel's per-event cost from
+// parallelism). Speedups are reported per matrix cell; on a single-CPU
+// host the widths > 1 cannot beat width 1, and the recorded host.cpus
+// says so.
+//
+//	bench                   # full matrix, ~2 minutes
+//	bench -quick            # one cell, one repetition, for CI
+//	bench -o BENCH_7.json   # output path
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"dircoh/internal/cli"
+	"dircoh/internal/exp"
+	"dircoh/internal/machine"
+	"dircoh/internal/tango"
+)
+
+const tool = "bench"
+
+// cell is one point of the pinned matrix.
+type cell struct {
+	App    string `json:"app"`
+	Scheme string `json:"scheme"`
+	Procs  int    `json:"procs"`
+}
+
+// result is one measured run of a cell at one shard width.
+type result struct {
+	cell
+	Shards       int     `json:"shards"`
+	Reps         int     `json:"reps"`
+	WallSeconds  float64 `json:"wall_seconds"` // best repetition
+	Cycles       uint64  `json:"cycles"`       // simulated cycles (ExecTime)
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	AllocObjs    uint64  `json:"alloc_objs"`  // heap objects per run
+	AllocBytes   uint64  `json:"alloc_bytes"` // heap bytes per run
+}
+
+// speedup summarizes one cell: cycles/sec at each width over the serial
+// heap engine (width 0).
+type speedup struct {
+	cell
+	OverSerial map[string]float64 `json:"over_serial"` // width -> cps(width)/cps(0)
+}
+
+type report struct {
+	Version    int       `json:"version"`
+	Tool       string    `json:"tool"`
+	Quick      bool      `json:"quick"`
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	CPUs       int       `json:"cpus"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Widths     []int     `json:"shard_widths"`
+	Results    []result  `json:"results"`
+	Speedups   []speedup `json:"speedups"`
+}
+
+var schemes = []struct {
+	name string
+	f    machine.SchemeFactory
+}{
+	{"Dir32", machine.FullVec},
+	{"Dir3CV2", machine.CoarseVec2},
+}
+
+// matrix returns the pinned cells. The 32-processor figure workloads are
+// the paper's own experiment grid; -quick keeps one representative cell.
+func matrix(quick bool) []cell {
+	if quick {
+		return []cell{{App: "LocusRoute", Scheme: "Dir3CV2", Procs: 32}}
+	}
+	var cells []cell
+	for _, app := range []string{"LU", "MP3D", "LocusRoute"} {
+		for _, s := range schemes {
+			cells = append(cells, cell{App: app, Scheme: s.name, Procs: 32})
+		}
+	}
+	return cells
+}
+
+func factory(name string) machine.SchemeFactory {
+	for _, s := range schemes {
+		if s.name == name {
+			return s.f
+		}
+	}
+	cli.Fatalf(tool, "unknown scheme %q", name)
+	return nil
+}
+
+// measure runs one cell at one width reps times and keeps the best wall
+// time; allocations come from the final repetition.
+func measure(c cell, w *tango.Workload, shards, reps int) result {
+	cfg := machine.DefaultConfig(factory(c.Scheme))
+	cfg.Procs = c.Procs
+	cfg.Shards = shards
+	res := result{cell: c, Shards: shards, Reps: reps}
+	for rep := 0; rep < reps; rep++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		m, err := machine.New(cfg)
+		if err != nil {
+			cli.Fatalf(tool, "%s/%s: %v", c.App, c.Scheme, err)
+		}
+		if shards > 0 && m.Shards() == 0 {
+			cli.Fatalf(tool, "%s/%s: -shards %d fell back to serial: %s", c.App, c.Scheme, shards, m.FallbackReason())
+		}
+		r, err := m.Run(w)
+		if err != nil {
+			cli.Fatalf(tool, "%s/%s: %v", c.App, c.Scheme, err)
+		}
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&after)
+		res.Cycles = uint64(r.ExecTime)
+		res.AllocObjs = after.Mallocs - before.Mallocs
+		res.AllocBytes = after.TotalAlloc - before.TotalAlloc
+		if rep == 0 || wall < res.WallSeconds {
+			res.WallSeconds = wall
+		}
+	}
+	res.CyclesPerSec = float64(res.Cycles) / res.WallSeconds
+	return res
+}
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "one cell, one repetition (CI smoke)")
+		reps  = flag.Int("reps", 3, "repetitions per point (best wall time wins)")
+		out   = flag.String("o", "BENCH_7.json", "output JSON path ('-' for stdout)")
+	)
+	flag.Parse()
+	if *quick {
+		*reps = 1
+	}
+	if *reps <= 0 {
+		cli.Usagef(tool, "-reps must be positive")
+	}
+
+	widths := []int{0, 1, 2, 4}
+	rep := report{
+		Version: 1, Tool: tool, Quick: *quick,
+		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
+		Widths: widths,
+	}
+
+	for _, c := range matrix(*quick) {
+		w := exp.Workload(c.App, c.Procs)
+		sp := speedup{cell: c, OverSerial: map[string]float64{}}
+		var serial float64
+		for _, width := range widths {
+			r := measure(c, w, width, *reps)
+			rep.Results = append(rep.Results, r)
+			if width == 0 {
+				serial = r.CyclesPerSec
+			} else if serial > 0 {
+				sp.OverSerial[fmt.Sprintf("%d", width)] = r.CyclesPerSec / serial
+			}
+			fmt.Fprintf(os.Stderr, "%s %s procs=%d shards=%d: %.2fs wall, %.0f cycles/s, %d allocs\n",
+				c.App, c.Scheme, c.Procs, width, r.WallSeconds, r.CyclesPerSec, r.AllocObjs)
+		}
+		rep.Speedups = append(rep.Speedups, sp)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		cli.Fatalf(tool, "%v", err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		cli.Fatalf(tool, "%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: wrote %s\n", tool, *out)
+}

@@ -106,6 +106,7 @@ func main() {
 	cfg.SampleEvery = obsFlags.SampleEvery()
 	cfg.Mesh.Faults = obsFlags.Faults()
 	cfg.Deadline = obsFlags.Deadline()
+	cfg.Shards = obsFlags.Shards()
 	if obsFlags.Checking() {
 		cfg.Check = true
 		cfg.CheckSink = obsFlags.CheckSink(w.Name)
@@ -113,6 +114,9 @@ func main() {
 	m, err := machine.New(cfg)
 	if err != nil {
 		cli.Fatalf(tool, "%v", err)
+	}
+	if obsFlags.Shards() > 0 && m.Shards() == 0 {
+		fmt.Fprintf(os.Stderr, "%s: -shards %d ignored, serial fallback: %s\n", tool, obsFlags.Shards(), m.FallbackReason())
 	}
 
 	c := w.Characterize()

@@ -57,7 +57,7 @@ func main() {
 	if obsFlags.Checking() {
 		ob.Check = obsFlags.CheckSink
 	}
-	exp.SetObserver(ob)
+	s := exp.NewSession(ob, 0, obsFlags.Shards())
 
 	if *fig2 {
 		if *plot {
@@ -72,7 +72,7 @@ func main() {
 		}
 	}
 	if *hist {
-		for _, run := range exp.Figs3to6(*procs) {
+		for _, run := range s.Figs3to6(*procs) {
 			fmt.Print(run.Result.InvalHist.Render(
 				fmt.Sprintf("%s — invalidation distribution, LocusRoute", run.Label)))
 			fmt.Println()

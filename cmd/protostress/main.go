@@ -64,6 +64,8 @@ type options struct {
 	fault    machine.Fault
 	faults   string // "", a mesh.ParseFaults spec, or "campaign"
 	wedge    bool
+	check    bool // run the invariant checker (forces the serial engine)
+	shards   int  // sharded machine core width; effective only with check off
 	parallel int
 	verbose  bool
 }
@@ -203,7 +205,8 @@ func runTrial(id int, seed int64, o options) trial {
 		Scheme:          schemes[si],
 		Timing:          machine.DefaultTiming(),
 		Seed:            seed,
-		Check:           true,
+		Check:           o.check,
+		Shards:          o.shards,
 		Fault:           o.fault,
 	}
 	dir := "fullmap"
@@ -296,7 +299,8 @@ func report(w *os.File, trials []trial, o options) {
 		if t.failed() {
 			fmt.Fprintf(w, "  replay: %s\n", replay.Line{
 				Trials: 1, Seed: t.seed, Procs: o.procs, Refs: o.refs, Blocks: o.blocks,
-				Fault: o.fault.String(), Faults: o.faults, Wedge: o.wedge, Verbose: true,
+				Fault: o.fault.String(), Faults: o.faults, Wedge: o.wedge,
+				NoCheck: !o.check, Shards: o.shards, Verbose: true,
 			})
 		}
 	}
@@ -324,6 +328,8 @@ func main() {
 		faultStr  = flag.String("fault", "none", "inject a protocol mutation (none, drop-inval, skip-recall); the checker must catch it")
 		faultsStr = flag.String("faults", "", "inject network faults under every trial: a mesh.ParseFaults spec, or 'campaign' for a seeded per-trial mix; recovery must keep every trial clean")
 		wedge     = flag.Bool("wedge", false, "watchdog self-test: drop every message with a tiny retry budget; every trial must abort with a diagnostic dump")
+		checkOn   = flag.Bool("check", true, "run the invariant checker on every trial (the checker forces the serial engine; disable it to exercise -shards)")
+		shards    = flag.Int("shards", 0, "run each trial on N parallel event-wheel shards (serial-vs-sharded differential runs use -check=false -shards N)")
 		parallel  = flag.Int("parallel", 0, "concurrent trials (0 = one per core)")
 		verbose   = flag.Bool("v", false, "print every trial, not just failures")
 	)
@@ -348,10 +354,17 @@ func main() {
 	if *wedge && (*faultsStr != "" || fault != machine.FaultNone) {
 		cli.Usagef(tool, "-wedge is exclusive with -fault and -faults")
 	}
+	if !*checkOn && fault != machine.FaultNone {
+		cli.Usagef(tool, "-fault self-tests need the checker; drop -check=false")
+	}
+	if *shards > 0 && *checkOn {
+		fmt.Fprintf(os.Stderr, "%s: note: -shards %d has no effect while the checker is on (serial fallback); add -check=false\n", tool, *shards)
+	}
 
 	o := options{
 		trials: *trialsN, seed: *seed, procs: procs, refs: *refs,
 		blocks: *blocks, fault: fault, faults: *faultsStr, wedge: *wedge,
+		check: *checkOn, shards: *shards,
 		parallel: *parallel, verbose: *verbose,
 	}
 	trials, caught := runTrials(o)

@@ -9,7 +9,7 @@ import (
 )
 
 func smallOpts() options {
-	return options{trials: 6, seed: 21, procs: []int{4, 6}, refs: 150, blocks: 16}
+	return options{trials: 6, seed: 21, procs: []int{4, 6}, refs: 150, blocks: 16, check: true}
 }
 
 // TestCleanCampaign: an unmutated protocol must survive the stress grid
@@ -108,12 +108,40 @@ func TestFaultCampaignRegressions(t *testing.T) {
 		-2631691874271825767,
 	}
 	o := options{trials: 1, seed: 0, procs: []int{4, 6, 8}, refs: 300,
-		blocks: 24, faults: "campaign"}
+		blocks: 24, faults: "campaign", check: true}
 	for _, seed := range seeds {
 		tr := runTrial(0, seed, o)
 		if tr.failed() {
 			t.Errorf("seed %d (%s): err=%v violations=%v coherence=%v",
 				seed, tr.desc, tr.err, tr.caught, tr.cohErr)
+		}
+	}
+}
+
+// TestShardedDifferential: the same seeded stress campaign run on the
+// sharded machine core at widths 1, 2 and 4 must reproduce identical
+// configurations and execution times trial for trial (the checker is off:
+// it forces the serial engine).
+func TestShardedDifferential(t *testing.T) {
+	base := smallOpts()
+	base.check = false
+	base.shards = 1
+	want, caught := runTrials(base)
+	if caught {
+		t.Fatal("clean protocol produced findings at -shards 1")
+	}
+	for _, shards := range []int{2, 4} {
+		o := base
+		o.shards = shards
+		got, caught := runTrials(o)
+		if caught {
+			t.Fatalf("clean protocol produced findings at -shards %d", shards)
+		}
+		for i := range want {
+			if got[i].desc != want[i].desc || got[i].execTime != want[i].execTime {
+				t.Errorf("trial %d diverged at -shards %d: %q exec=%d vs %q exec=%d",
+					i, shards, want[i].desc, want[i].execTime, got[i].desc, got[i].execTime)
+			}
 		}
 	}
 }

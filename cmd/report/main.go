@@ -29,8 +29,8 @@ func main() {
 	flag.Parse()
 	cli.Check("report", obsFlags.Start())
 	defer obsFlags.Stop()
-	exp.SetObserver(exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery(), Faults: obsFlags.Faults(), Deadline: obsFlags.Deadline()})
-	exp.SetParallelism(*parallel)
+	ob := exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery(), Faults: obsFlags.Faults(), Deadline: obsFlags.Deadline()}
+	s := exp.NewSession(ob, *parallel, obsFlags.Shards())
 
 	w := bufio.NewWriter(os.Stdout)
 	if *out != "" {
@@ -43,7 +43,7 @@ func main() {
 	}
 	start := time.Now()
 	opt := exp.ReportOptions{Procs: *procs, Trials: *trials, Sparse: *sparse, Ablations: *ablations}
-	cli.Check("report", exp.WriteReport(w, opt))
+	cli.Check("report", s.WriteReport(w, opt))
 	cli.Check("report", w.Flush())
 	fmt.Fprintf(os.Stderr, "report generated in %s\n", time.Since(start).Round(time.Second))
 }

@@ -76,6 +76,7 @@ func execute(run config.RunSpec) outcome {
 	cfg.SampleEvery = obsFlags.SampleEvery()
 	cfg.Mesh.Faults = obsFlags.Faults()
 	cfg.Deadline = obsFlags.Deadline()
+	cfg.Shards = obsFlags.Shards()
 	if obsFlags.Checking() {
 		cfg.Check = true
 		cfg.CheckSink = obsFlags.CheckSink(run.Name)

@@ -6,6 +6,7 @@
 //	sweep             # everything, using all cores
 //	sweep -only 7-10  # just the scheme-comparison figures
 //	sweep -parallel 1 # serial baseline
+//	sweep -shards 4   # sharded machine core, bit-identical output
 package main
 
 import (
@@ -37,14 +38,12 @@ func main() {
 	if obsFlags.Checking() {
 		ob.Check = obsFlags.CheckSink
 	}
-	exp.SetObserver(ob)
-	exp.SetParallelism(*parallel)
-	exp.Meter().Reset()
+	s := exp.NewSession(ob, *parallel, obsFlags.Shards())
 	start := time.Now()
 
-	runSweep(os.Stdout, *only, *procs, *trials)
+	runSweep(s, os.Stdout, *only, *procs, *trials)
 
 	elapsed := time.Since(start)
-	fmt.Printf("\nsweep completed in %s with %d workers\n", elapsed.Round(time.Second), exp.Parallelism())
-	fmt.Println(exp.Meter().Summary().Footer(elapsed))
+	fmt.Printf("\nsweep completed in %s with %d workers\n", elapsed.Round(time.Second), s.Parallelism())
+	fmt.Println(s.Meter().Summary().Footer(elapsed))
 }

@@ -36,7 +36,7 @@ func checkGolden(t *testing.T, name string, got []byte) {
 // count with the fixed seed the sweep always uses.
 func TestSweepGoldenAnalytic(t *testing.T) {
 	var buf bytes.Buffer
-	runSweep(&buf, "t1,2", 8, 64)
+	runSweep(exp.NewSession(exp.Observer{}, 0, 0), &buf, "t1,2", 8, 64)
 	checkGolden(t, "sweep_t1_2.golden", buf.Bytes())
 }
 
@@ -44,18 +44,16 @@ func TestSweepGoldenAnalytic(t *testing.T) {
 // size (workload characterization only — no simulation).
 func TestSweepGoldenTable2(t *testing.T) {
 	var buf bytes.Buffer
-	runSweep(&buf, "t2", 8, 1)
+	runSweep(exp.NewSession(exp.Observer{}, 0, 0), &buf, "t2", 8, 1)
 	checkGolden(t, "sweep_t2.golden", buf.Bytes())
 }
 
 // TestSweepParallelismInvariant renders a simulation-backed section at
 // several pool widths and requires byte-identical output.
 func TestSweepParallelismInvariant(t *testing.T) {
-	defer exp.SetParallelism(0)
 	render := func(par int) []byte {
-		exp.SetParallelism(par)
 		var buf bytes.Buffer
-		runSweep(&buf, "3-6", 8, 1)
+		runSweep(exp.NewSession(exp.Observer{}, par, 0), &buf, "3-6", 8, 1)
 		return buf.Bytes()
 	}
 	want := render(1)
@@ -66,6 +64,31 @@ func TestSweepParallelismInvariant(t *testing.T) {
 		if got := render(par); !bytes.Equal(got, want) {
 			t.Fatalf("-parallel %d output differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
 				par, want, got)
+		}
+	}
+}
+
+// TestSweepShardsInvariant renders a simulation-backed section with the
+// sharded machine core at several widths and requires byte-identical
+// output — the end-to-end form of the sharded engine's equivalence
+// guarantee. Width 1 is the reference: every width >= 1 shares the
+// canonical (time, origin cluster, sequence) event order. The legacy
+// serial engine (-shards 0) keeps its own heap-insertion tie-breaking
+// and is locked by the other golden tests, not this one.
+func TestSweepShardsInvariant(t *testing.T) {
+	render := func(shards int) []byte {
+		var buf bytes.Buffer
+		runSweep(exp.NewSession(exp.Observer{}, 0, shards), &buf, "7-10", 8, 1)
+		return buf.Bytes()
+	}
+	want := render(1)
+	if len(want) == 0 {
+		t.Fatal("empty sweep output")
+	}
+	for _, shards := range []int{2, 4} {
+		if got := render(shards); !bytes.Equal(got, want) {
+			t.Fatalf("-shards %d output differs from -shards 1:\n--- shards 1 ---\n%s\n--- shards %d ---\n%s",
+				shards, want, shards, got)
 		}
 	}
 }

@@ -25,7 +25,7 @@ func want(only, key string) bool {
 // fixed (only, procs, trials) triple at any parallelism, which the
 // golden-file and determinism tests rely on — keep wall-clock output out
 // of here (the footer lives in main).
-func runSweep(w io.Writer, only string, procs, trials int) {
+func runSweep(s *exp.Session, w io.Writer, only string, procs, trials int) {
 	section := func(title string) {
 		fmt.Fprintf(w, "\n===== %s =====\n\n", title)
 	}
@@ -42,11 +42,11 @@ func runSweep(w io.Writer, only string, procs, trials int) {
 	}
 	if want(only, "t2") {
 		section("Table 2: general application characteristics")
-		fmt.Fprintln(w, exp.Table2(procs))
+		fmt.Fprintln(w, s.Table2(procs))
 	}
 	if want(only, "3-6") {
 		section("Figures 3-6: invalidation distributions, LocusRoute")
-		for _, run := range exp.Figs3to6(procs) {
+		for _, run := range s.Figs3to6(procs) {
 			fmt.Fprint(w, run.Result.InvalHist.Render(run.Label))
 			fmt.Fprintln(w)
 		}
@@ -54,26 +54,26 @@ func runSweep(w io.Writer, only string, procs, trials int) {
 	if want(only, "7-10") {
 		for i, app := range []string{"LU", "DWF", "MP3D", "LocusRoute"} {
 			section(fmt.Sprintf("Figure %d: performance for %s", 7+i, app))
-			_, tb := exp.SchemeComparison(app, procs)
+			_, tb := s.SchemeComparison(app, procs)
 			fmt.Fprintln(w, tb)
 		}
 	}
 	if want(only, "11-12") {
 		section("Figure 11: sparse directory performance for LU")
-		_, tb := exp.SparsePerformance("LU", procs)
+		_, tb := s.SparsePerformance("LU", procs)
 		fmt.Fprintln(w, tb)
 		section("Figure 12: sparse directory performance for DWF")
-		_, tb = exp.SparsePerformance("DWF", procs)
+		_, tb = s.SparsePerformance("DWF", procs)
 		fmt.Fprintln(w, tb)
 	}
 	if want(only, "13") {
 		section("Figure 13: effect of associativity in sparse directory (LU)")
-		_, tb := exp.AssocSweep("LU", procs)
+		_, tb := s.AssocSweep("LU", procs)
 		fmt.Fprintln(w, tb)
 	}
 	if want(only, "14") {
 		section("Figure 14: effect of replacement policy in sparse directory (LU)")
-		_, tb := exp.PolicySweep("LU", procs)
+		_, tb := s.PolicySweep("LU", procs)
 		fmt.Fprintln(w, tb)
 	}
 }

@@ -18,14 +18,14 @@ import (
 // (with i = 3 pointers, as in the paper) and reports traffic against the
 // full bit vector. Larger regions approach the broadcast scheme; region
 // size 1 matches the full vector's precision at overflow.
-func RegionSweep(app string, procs int) ([]Run, *stats.Table) {
+func (s *Session) RegionSweep(app string, procs int) ([]Run, *stats.Table) {
 	regions := []int{1, 2, 4, 8, 16, 32}
-	runs := collectRuns(len(regions)+1, func(i int) Run {
+	runs := s.collectRuns(len(regions)+1, func(i int) Run {
 		if i == 0 {
-			return RunApp(app, procs, "full vector", machine.FullVec)
+			return s.RunApp(app, procs, "full vector", machine.FullVec)
 		}
 		r := regions[i-1]
-		return RunApp(app, procs, fmt.Sprintf("Dir3CV%d", r),
+		return s.RunApp(app, procs, fmt.Sprintf("Dir3CV%d", r),
 			func(n int) core.Scheme { return core.NewCoarseVector(3, r, n) })
 	})
 	base := runs[0]
@@ -48,7 +48,7 @@ func RegionSweep(app string, procs int) ([]Run, *stats.Table) {
 // PointerSweep varies the pointer count i for the broadcast, no-broadcast
 // and coarse vector schemes on one application. It quantifies the paper's
 // §5 choice of three pointers under a ~13% storage budget.
-func PointerSweep(app string, procs int) ([]Run, *stats.Table) {
+func (s *Session) PointerSweep(app string, procs int) ([]Run, *stats.Table) {
 	kinds := []struct {
 		name string
 		f    func(i, n int) core.Scheme
@@ -67,13 +67,13 @@ func PointerSweep(app string, procs int) ([]Run, *stats.Table) {
 			specs = append(specs, spec{kind: k, ptrs: i})
 		}
 	}
-	runs := collectRuns(len(specs), func(j int) Run {
+	runs := s.collectRuns(len(specs), func(j int) Run {
 		sp := specs[j]
 		if sp.kind < 0 {
-			return RunApp(app, procs, "full vector", machine.FullVec)
+			return s.RunApp(app, procs, "full vector", machine.FullVec)
 		}
 		k := kinds[sp.kind]
-		return RunApp(app, procs, fmt.Sprintf("%s i=%d", k.name, sp.ptrs),
+		return s.RunApp(app, procs, fmt.Sprintf("%s i=%d", k.name, sp.ptrs),
 			func(n int) core.Scheme { return k.f(sp.ptrs, n) })
 	})
 	base := runs[0]
@@ -93,7 +93,7 @@ func PointerSweep(app string, procs int) ([]Run, *stats.Table) {
 // the paper leaves for future work — small per-block entries overflowing
 // into a cache of wide entries — against the full-map and sparse
 // organizations, on one application.
-func DirectoryComparison(app string, procs int) ([]Run, *stats.Table) {
+func (s *Session) DirectoryComparison(app string, procs int) ([]Run, *stats.Table) {
 	type cfgRow struct {
 		label string
 		cfg   machine.Config
@@ -121,8 +121,8 @@ func DirectoryComparison(app string, procs int) ([]Run, *stats.Table) {
 		{"overflow, Dir2 + 64 wide", ovCfg},
 		{"overflow, Dir2 + 8 wide", ovTight},
 	}
-	runs := collectRuns(len(rows), func(i int) Run {
-		return runWorkload(app, Workload(app, procs), rows[i].cfg, rows[i].label)
+	runs := s.collectRuns(len(rows), func(i int) Run {
+		return s.runWorkload(app, Workload(app, procs), rows[i].cfg, rows[i].label)
 	})
 	tb := stats.NewTable("directory", "exec(norm)", "msgs(norm)", "inval+ack", "replacements")
 	baseExec := float64(runs[0].Result.ExecTime)
@@ -167,7 +167,7 @@ func lockStorm(procs, rounds int) *tango.Workload {
 // one node per release; a coarse vector wakes a region whose nodes
 // re-contend (extra LockWake/LockReq traffic but no global hot spot); a
 // broadcast waiter set wakes everyone.
-func LockContention(procs, rounds int) ([]Run, *stats.Table) {
+func (s *Session) LockContention(procs, rounds int) ([]Run, *stats.Table) {
 	schemes := []struct {
 		label string
 		f     machine.SchemeFactory
@@ -176,10 +176,10 @@ func LockContention(procs, rounds int) ([]Run, *stats.Table) {
 		{"Coarse Vector", machine.CoarseVec2},
 		{"Broadcast", machine.Broadcast},
 	}
-	runs := collectRuns(len(schemes), func(i int) Run {
+	runs := s.collectRuns(len(schemes), func(i int) Run {
 		cfg := machine.DefaultConfig(schemes[i].f)
 		cfg.Procs = procs
-		return runWorkload("lock-storm", lockStorm(procs, rounds), cfg, schemes[i].label)
+		return s.runWorkload("lock-storm", lockStorm(procs, rounds), cfg, schemes[i].label)
 	})
 	tb := stats.NewTable("waiter scheme", "exec", "msgs", "lock retries")
 	for _, run := range runs {

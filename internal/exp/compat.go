@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"io"
+	"sync"
+
+	"dircoh/internal/machine"
+	"dircoh/internal/sim"
+	"dircoh/internal/stats"
+)
+
+// This file is the deprecated process-global surface kept for one release
+// while callers migrate to Session. Every function delegates to a single
+// package default session; the Session API is the one to use — it makes
+// the instrumentation, parallelism and shard width explicit per campaign
+// instead of ambient mutable state.
+
+var (
+	defaultMu      sync.RWMutex
+	defaultSession = NewSession(Observer{}, 0, 0)
+)
+
+// Default returns the process-wide session the deprecated package-level
+// drivers run on.
+//
+// Deprecated: build a Session with NewSession instead.
+func Default() *Session {
+	defaultMu.RLock()
+	defer defaultMu.RUnlock()
+	return defaultSession
+}
+
+// SetObserver installs the hooks used by every subsequent run on the
+// default session.
+//
+// Deprecated: pass the Observer to NewSession instead.
+func SetObserver(o Observer) { Default().setObserver(o) }
+
+// SetParallelism bounds the number of simulations the default session
+// runs concurrently; n <= 0 selects GOMAXPROCS.
+//
+// Deprecated: pass the bound to NewSession instead.
+func SetParallelism(n int) { Default().setParallelism(n) }
+
+// Parallelism returns the default session's concurrency bound.
+//
+// Deprecated: use Session.Parallelism.
+func Parallelism() int { return Default().Parallelism() }
+
+// Meter exposes the default session's job metrics.
+//
+// Deprecated: use Session.Meter.
+func Meter() *stats.JobMeter { return Default().Meter() }
+
+// Deprecated: use Session.RunApp.
+func RunApp(app string, procs int, label string, f machine.SchemeFactory) Run {
+	return Default().RunApp(app, procs, label, f)
+}
+
+// Deprecated: use Session.Table2.
+func Table2(procs int) *stats.Table { return Default().Table2(procs) }
+
+// Deprecated: use Session.Figs3to6.
+func Figs3to6(procs int) []Run { return Default().Figs3to6(procs) }
+
+// Deprecated: use Session.SchemeComparison.
+func SchemeComparison(app string, procs int) ([]Run, *stats.Table) {
+	return Default().SchemeComparison(app, procs)
+}
+
+// Deprecated: use Session.SchemeComparisonSeeded.
+func SchemeComparisonSeeded(app string, procs int, seed int64) []Run {
+	return Default().SchemeComparisonSeeded(app, procs, seed)
+}
+
+// Deprecated: use Session.SparsePerformance.
+func SparsePerformance(app string, procs int) ([]Run, *stats.Table) {
+	return Default().SparsePerformance(app, procs)
+}
+
+// Deprecated: use Session.AssocSweep.
+func AssocSweep(app string, procs int) ([]Run, *stats.Table) {
+	return Default().AssocSweep(app, procs)
+}
+
+// Deprecated: use Session.PolicySweep.
+func PolicySweep(app string, procs int) ([]Run, *stats.Table) {
+	return Default().PolicySweep(app, procs)
+}
+
+// Deprecated: use Session.OccupancyStudy.
+func OccupancyStudy(procs int) ([]Run, *stats.Table) { return Default().OccupancyStudy(procs) }
+
+// Deprecated: use Session.BlockSizeStudy.
+func BlockSizeStudy(app string, procs int, blockSizes []int) ([]Run, *stats.Table) {
+	return Default().BlockSizeStudy(app, procs, blockSizes)
+}
+
+// Deprecated: use Session.NetworkContention.
+func NetworkContention(app string, procs int, portTimes []sim.Time) ([]Run, *stats.Table) {
+	return Default().NetworkContention(app, procs, portTimes)
+}
+
+// Deprecated: use Session.BarrierStudy.
+func BarrierStudy(procs, rounds int, portTimes []sim.Time) ([]Run, *stats.Table) {
+	return Default().BarrierStudy(procs, rounds, portTimes)
+}
+
+// Deprecated: use Session.RegionSweep.
+func RegionSweep(app string, procs int) ([]Run, *stats.Table) {
+	return Default().RegionSweep(app, procs)
+}
+
+// Deprecated: use Session.PointerSweep.
+func PointerSweep(app string, procs int) ([]Run, *stats.Table) {
+	return Default().PointerSweep(app, procs)
+}
+
+// Deprecated: use Session.DirectoryComparison.
+func DirectoryComparison(app string, procs int) ([]Run, *stats.Table) {
+	return Default().DirectoryComparison(app, procs)
+}
+
+// Deprecated: use Session.LockContention.
+func LockContention(procs, rounds int) ([]Run, *stats.Table) {
+	return Default().LockContention(procs, rounds)
+}
+
+// Deprecated: use Session.WriteReport.
+func WriteReport(w io.Writer, opt ReportOptions) error { return Default().WriteReport(w, opt) }

@@ -54,21 +54,21 @@ func Workload(app string, procs int) *tango.Workload {
 
 // RunApp simulates one application under one scheme with the prototype's
 // full-size caches and a non-sparse directory (the Figures 7–10 setup).
-func RunApp(app string, procs int, label string, f machine.SchemeFactory) Run {
+func (s *Session) RunApp(app string, procs int, label string, f machine.SchemeFactory) Run {
 	cfg := machine.DefaultConfig(f)
 	cfg.Procs = procs
-	return runWith(app, cfg, label)
+	return s.runWith(app, cfg, label)
 }
 
-func runWith(app string, cfg machine.Config, label string) Run {
-	return runWorkload(app, Workload(app, cfg.Procs), cfg, label)
+func (s *Session) runWith(app string, cfg machine.Config, label string) Run {
+	return s.runWorkload(app, Workload(app, cfg.Procs), cfg, label)
 }
 
 // runSparse runs a sparse-study configuration with the sparse-study
 // problem size (LU is enlarged so the data set pressures the directory
 // the way the paper's full-size problems pressured theirs).
-func runSparse(app string, cfg machine.Config, label string) Run {
-	return runWorkload(app, SparseWorkload(app, cfg.Procs), cfg, label)
+func (s *Session) runSparse(app string, cfg machine.Config, label string) Run {
+	return s.runWorkload(app, SparseWorkload(app, cfg.Procs), cfg, label)
 }
 
 // SparseWorkload builds the problem size used by the sparse-directory
@@ -80,9 +80,9 @@ func SparseWorkload(app string, procs int) *tango.Workload {
 	return Workload(app, procs)
 }
 
-func runWorkload(app string, w *tango.Workload, cfg machine.Config, label string) Run {
+func (s *Session) runWorkload(app string, w *tango.Workload, cfg machine.Config, label string) Run {
 	start := time.Now()
-	ob := currentObserver()
+	ob := s.Observer()
 	name := app + "/" + label
 	var tr *obs.Tracer
 	if ob.Tracer != nil {
@@ -103,6 +103,7 @@ func runWorkload(app string, w *tango.Workload, cfg machine.Config, label string
 		cfg.Mesh.Faults = ob.Faults
 	}
 	cfg.Deadline = ob.Deadline
+	cfg.Shards = s.Shards()
 	m, err := machine.New(cfg)
 	if err != nil {
 		panic(err)
@@ -126,16 +127,16 @@ func runWorkload(app string, w *tango.Workload, cfg machine.Config, label string
 	if ob.Metrics != nil {
 		ob.Metrics(name, m.MetricsSnapshot())
 	}
-	meter.Record(time.Since(start), uint64(r.ExecTime))
+	s.meter.Record(time.Since(start), uint64(r.ExecTime))
 	return Run{App: app, Label: label, Result: r}
 }
 
 // Table2 reproduces Table 2: general application characteristics at the
 // experiment problem sizes (counts are in thousands, data set in KB —
 // the paper's full-size runs report millions and MB).
-func Table2(procs int) *stats.Table {
+func (s *Session) Table2(procs int) *stats.Table {
 	tb := stats.NewTable("application", "shared refs(k)", "reads(k)", "writes(k)", "sync ops", "shared KB")
-	rows := runner.Map(currentPool(), apps.Names(), func(name string) []string {
+	rows := runner.Map(s.runPool(), apps.Names(), func(name string) []string {
 		c := Workload(name, procs).Characterize()
 		return []string{
 			name,
@@ -154,7 +155,7 @@ func Table2(procs int) *stats.Table {
 
 // Figs3to6 reproduces the invalidation distributions of Figures 3–6:
 // LocusRoute under Dir32, Dir3NB, Dir3B and Dir3CV2.
-func Figs3to6(procs int) []Run {
+func (s *Session) Figs3to6(procs int) []Run {
 	order := []struct {
 		fig   string
 		label string
@@ -165,18 +166,18 @@ func Figs3to6(procs int) []Run {
 		{"Figure 5", "Dir3B", machine.Broadcast},
 		{"Figure 6", "Dir3CV2", machine.CoarseVec2},
 	}
-	return collectRuns(len(order), func(i int) Run {
+	return s.collectRuns(len(order), func(i int) Run {
 		o := order[i]
-		return RunApp("LocusRoute", procs, o.fig+": "+o.label, o.f)
+		return s.RunApp("LocusRoute", procs, o.fig+": "+o.label, o.f)
 	})
 }
 
 // SchemeComparison reproduces one of Figures 7–10: one application under
 // all four schemes, reporting execution time and message counts
 // normalized to the full bit vector.
-func SchemeComparison(app string, procs int) ([]Run, *stats.Table) {
-	runs := collectRuns(len(Schemes), func(i int) Run {
-		return RunApp(app, procs, Schemes[i].Label, Schemes[i].Factory)
+func (s *Session) SchemeComparison(app string, procs int) ([]Run, *stats.Table) {
+	runs := s.collectRuns(len(Schemes), func(i int) Run {
+		return s.RunApp(app, procs, Schemes[i].Label, Schemes[i].Factory)
 	})
 	base := runs[0].Result
 	tb := stats.NewTable("scheme", "exec", "exec(norm)", "msgs", "msgs(norm)", "requests", "replies", "inval+ack")
@@ -236,7 +237,7 @@ func SparseConfigFor(app string, f machine.SchemeFactory, procs, sizeFactor, ass
 // time versus directory size factor for the full-vector, coarse-vector and
 // broadcast schemes with scaled caches, associativity 4 and random
 // replacement, normalized to the non-sparse full-vector run.
-func SparsePerformance(app string, procs int) ([]Run, *stats.Table) {
+func (s *Session) SparsePerformance(app string, procs int) ([]Run, *stats.Table) {
 	schemes := Schemes[:3] // full, coarse, broadcast — as in the figures
 	type spec struct {
 		scheme  string
@@ -249,12 +250,12 @@ func SparsePerformance(app string, procs int) ([]Run, *stats.Table) {
 			specs = append(specs, spec{s.Label, s.Factory, sf})
 		}
 	}
-	runs := collectRuns(len(specs), func(i int) Run {
+	runs := s.collectRuns(len(specs), func(i int) Run {
 		sp := specs[i]
 		if sp.sf == 0 {
-			return runSparse(app, SparseConfigFor(app, sp.factory, procs, 0, 0, sparse.Random), "non-sparse full vector")
+			return s.runSparse(app, SparseConfigFor(app, sp.factory, procs, 0, 0, sparse.Random), "non-sparse full vector")
 		}
-		return runSparse(app, SparseConfigFor(app, sp.factory, procs, sp.sf, 4, sparse.Random),
+		return s.runSparse(app, SparseConfigFor(app, sp.factory, procs, sp.sf, 4, sparse.Random),
 			fmt.Sprintf("%s sf=%d", sp.scheme, sp.sf))
 	})
 	base := runs[0]
@@ -276,7 +277,7 @@ func SparsePerformance(app string, procs int) ([]Run, *stats.Table) {
 // AssocSweep reproduces Figure 13: message traffic versus sparse-directory
 // associativity (1, 2, 4) for size factors 1, 2, 4, LU, full bit vector,
 // normalized to the non-sparse run with the same scaled caches.
-func AssocSweep(app string, procs int) ([]Run, *stats.Table) {
+func (s *Session) AssocSweep(app string, procs int) ([]Run, *stats.Table) {
 	type spec struct{ sf, assoc int }
 	specs := []spec{{0, 0}} // job 0: the non-sparse baseline
 	for _, sf := range []int{1, 2, 4} {
@@ -284,12 +285,12 @@ func AssocSweep(app string, procs int) ([]Run, *stats.Table) {
 			specs = append(specs, spec{sf, assoc})
 		}
 	}
-	runs := collectRuns(len(specs), func(i int) Run {
+	runs := s.collectRuns(len(specs), func(i int) Run {
 		sp := specs[i]
 		if sp.sf == 0 {
-			return runSparse(app, SparseConfigFor(app, machine.FullVec, procs, 0, 0, sparse.Random), "non-sparse")
+			return s.runSparse(app, SparseConfigFor(app, machine.FullVec, procs, 0, 0, sparse.Random), "non-sparse")
 		}
-		return runSparse(app, SparseConfigFor(app, machine.FullVec, procs, sp.sf, sp.assoc, sparse.Random),
+		return s.runSparse(app, SparseConfigFor(app, machine.FullVec, procs, sp.sf, sp.assoc, sparse.Random),
 			fmt.Sprintf("sf=%d assoc=%d", sp.sf, sp.assoc))
 	})
 	base := runs[0]
@@ -309,7 +310,7 @@ func AssocSweep(app string, procs int) ([]Run, *stats.Table) {
 // PolicySweep reproduces Figure 14: message traffic versus replacement
 // policy (LRU, Random, LRA) for size factors 1, 2, 4, LU, associativity 4,
 // full bit vector.
-func PolicySweep(app string, procs int) ([]Run, *stats.Table) {
+func (s *Session) PolicySweep(app string, procs int) ([]Run, *stats.Table) {
 	policies := []sparse.ReplacePolicy{sparse.LRU, sparse.Random, sparse.LRA}
 	type spec struct {
 		sf  int
@@ -321,12 +322,12 @@ func PolicySweep(app string, procs int) ([]Run, *stats.Table) {
 			specs = append(specs, spec{sf, pol})
 		}
 	}
-	runs := collectRuns(len(specs), func(i int) Run {
+	runs := s.collectRuns(len(specs), func(i int) Run {
 		sp := specs[i]
 		if sp.sf == 0 {
-			return runSparse(app, SparseConfigFor(app, machine.FullVec, procs, 0, 0, sparse.Random), "non-sparse")
+			return s.runSparse(app, SparseConfigFor(app, machine.FullVec, procs, 0, 0, sparse.Random), "non-sparse")
 		}
-		return runSparse(app, SparseConfigFor(app, machine.FullVec, procs, sp.sf, 4, sp.pol),
+		return s.runSparse(app, SparseConfigFor(app, machine.FullVec, procs, sp.sf, 4, sp.pol),
 			fmt.Sprintf("sf=%d %v", sp.sf, sp.pol))
 	})
 	base := runs[0]
@@ -364,10 +365,10 @@ func WorkloadSeeded(app string, procs int, seed int64) *tango.Workload {
 // SchemeComparisonSeeded is SchemeComparison with a chosen workload seed,
 // used to check that the paper's conclusions are not artifacts of one
 // random input.
-func SchemeComparisonSeeded(app string, procs int, seed int64) []Run {
-	return collectRuns(len(Schemes), func(i int) Run {
+func (s *Session) SchemeComparisonSeeded(app string, procs int, seed int64) []Run {
+	return s.collectRuns(len(Schemes), func(i int) Run {
 		cfg := machine.DefaultConfig(Schemes[i].Factory)
 		cfg.Procs = procs
-		return runWorkload(app, WorkloadSeeded(app, procs, seed), cfg, Schemes[i].Label)
+		return s.runWorkload(app, WorkloadSeeded(app, procs, seed), cfg, Schemes[i].Label)
 	})
 }

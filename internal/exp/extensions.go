@@ -15,11 +15,11 @@ import (
 // number of simultaneously live entries in a full-map directory for each
 // application, against the directory a real machine would have to
 // provision (one entry per block of 16 MB memory per processor).
-func OccupancyStudy(procs int) ([]Run, *stats.Table) {
+func (s *Session) OccupancyStudy(procs int) ([]Run, *stats.Table) {
 	const memPerProc = 16 << 20 // the paper's Table 1 machines
 	apps := []string{"LU", "DWF", "MP3D", "LocusRoute"}
-	runs := collectRuns(len(apps), func(i int) Run {
-		return RunApp(apps[i], procs, "occupancy "+apps[i], machine.FullVec)
+	runs := s.collectRuns(len(apps), func(i int) Run {
+		return s.RunApp(apps[i], procs, "occupancy "+apps[i], machine.FullVec)
 	})
 	tb := stats.NewTable("application", "peak live entries", "cache blocks", "memory blocks", "live fraction")
 	for i, r := range runs {
@@ -43,7 +43,7 @@ func OccupancyStudy(procs int) ([]Run, *stats.Table) {
 // cost halves with each doubling, but false sharing inflates coherence
 // traffic ("increasing the block size increases the chances of
 // false-sharing and may significantly increase the coherence traffic").
-func BlockSizeStudy(app string, procs int, blockSizes []int) ([]Run, *stats.Table) {
+func (s *Session) BlockSizeStudy(app string, procs int, blockSizes []int) ([]Run, *stats.Table) {
 	cfgFor := func(bs int) machine.Config {
 		cfg := machine.DefaultConfig(machine.FullVec)
 		cfg.Procs = procs
@@ -51,8 +51,8 @@ func BlockSizeStudy(app string, procs int, blockSizes []int) ([]Run, *stats.Tabl
 		cfg.Cache.Block = bs
 		return cfg
 	}
-	runs := collectRuns(len(blockSizes), func(i int) Run {
-		return runWorkload(app, Workload(app, procs), cfgFor(blockSizes[i]), fmt.Sprintf("block=%d", blockSizes[i]))
+	runs := s.collectRuns(len(blockSizes), func(i int) Run {
+		return s.runWorkload(app, Workload(app, procs), cfgFor(blockSizes[i]), fmt.Sprintf("block=%d", blockSizes[i]))
 	})
 	tb := stats.NewTable("block", "overhead", "exec(norm)", "msgs(norm)", "inval+ack", "misses")
 	base := runs[0].Result
@@ -78,7 +78,7 @@ func BlockSizeStudy(app string, procs int, blockSizes []int) ([]Run, *stats.Tabl
 // degrades visibly, which is the regime the paper's "real DASH system"
 // remark anticipates ("we consequently expect the performance degradation
 // due to an increased number of messages to be larger than shown here").
-func NetworkContention(app string, procs int, portTimes []sim.Time) ([]Run, *stats.Table) {
+func (s *Session) NetworkContention(app string, procs int, portTimes []sim.Time) ([]Run, *stats.Table) {
 	schemes := []struct {
 		label string
 		f     machine.SchemeFactory
@@ -97,12 +97,12 @@ func NetworkContention(app string, procs int, portTimes []sim.Time) ([]Run, *sta
 			specs = append(specs, spec{pt, si})
 		}
 	}
-	runs := collectRuns(len(specs), func(i int) Run {
+	runs := s.collectRuns(len(specs), func(i int) Run {
 		sp := specs[i]
 		cfg := machine.DefaultConfig(schemes[sp.scheme].f)
 		cfg.Procs = procs
 		cfg.Mesh.PortTime = sp.pt
-		return runWorkload(app, Workload(app, procs), cfg,
+		return s.runWorkload(app, Workload(app, procs), cfg,
 			fmt.Sprintf("%s port=%d", schemes[sp.scheme].label, sp.pt))
 	})
 	tb := stats.NewTable("port time", "scheme", "exec", "exec(norm)", "net stalls")
@@ -139,7 +139,7 @@ func barrierStorm(procs, rounds int) *tango.Workload {
 // under repeated global synchronization, with and without network
 // ejection-port contention. The central barrier funnels every arrival and
 // release through one cluster — a hot spot the tree avoids.
-func BarrierStudy(procs, rounds int, portTimes []sim.Time) ([]Run, *stats.Table) {
+func (s *Session) BarrierStudy(procs, rounds int, portTimes []sim.Time) ([]Run, *stats.Table) {
 	type spec struct {
 		pt   sim.Time
 		kind machine.BarrierKind
@@ -150,13 +150,13 @@ func BarrierStudy(procs, rounds int, portTimes []sim.Time) ([]Run, *stats.Table)
 			specs = append(specs, spec{pt, kind})
 		}
 	}
-	runs := collectRuns(len(specs), func(i int) Run {
+	runs := s.collectRuns(len(specs), func(i int) Run {
 		sp := specs[i]
 		cfg := machine.DefaultConfig(machine.FullVec)
 		cfg.Procs = procs
 		cfg.Barrier = sp.kind
 		cfg.Mesh.PortTime = sp.pt
-		return runWorkload("barrier-storm", barrierStorm(procs, rounds), cfg,
+		return s.runWorkload("barrier-storm", barrierStorm(procs, rounds), cfg,
 			fmt.Sprintf("%v port=%d", sp.kind, sp.pt))
 	})
 	tb := stats.NewTable("barrier", "port time", "exec", "msgs", "net stalls")

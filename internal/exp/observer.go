@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"sync"
 	"time"
 
 	"dircoh/internal/check"
@@ -34,23 +33,4 @@ type Observer struct {
 	// Deadline, when > 0, bounds each run in wall-clock time via the
 	// machine's watchdog abort.
 	Deadline time.Duration
-}
-
-var (
-	observerMu sync.RWMutex
-	observer   Observer
-)
-
-// SetObserver installs the hooks used by every subsequent run. Call it
-// before starting a sweep; the zero Observer disables both hooks.
-func SetObserver(o Observer) {
-	observerMu.Lock()
-	observer = o
-	observerMu.Unlock()
-}
-
-func currentObserver() Observer {
-	observerMu.RLock()
-	defer observerMu.RUnlock()
-	return observer
 }

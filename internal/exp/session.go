@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"sync"
+
+	"dircoh/internal/runner"
+	"dircoh/internal/stats"
+)
+
+// Session binds one experiment campaign's execution policy: the
+// observability hooks installed on every run, the worker pool independent
+// simulations are sharded across, the machine-core shard width, and the
+// job meter the sweep footer reads. Every driver (SchemeComparison,
+// SparsePerformance, WriteReport, ...) is a Session method; two sessions
+// never share state, so tests and tools can run campaigns concurrently
+// with different instrumentation.
+//
+// Every driver lays out its run grid as an indexed job list, collects
+// results in submission order, and only then renders tables — so output
+// is byte-identical at any Parallelism. The shard width is likewise
+// invisible in the output across widths >= 1, which all share the
+// canonical deterministic event order (the legacy serial engine, width
+// 0, breaks simultaneous-event ties by insertion order instead); runs
+// whose configuration demands serial execution — tracing, checking,
+// faults — silently fall back to the serial engine.
+type Session struct {
+	mu     sync.RWMutex
+	obs    Observer
+	pool   *runner.Pool
+	shards int
+	meter  stats.JobMeter
+}
+
+// NewSession builds a session running at most parallel simulations
+// concurrently (<= 0 selects GOMAXPROCS), each on a machine core with the
+// given shard width (0 = the serial engine), observed by o.
+func NewSession(o Observer, parallel, shards int) *Session {
+	return &Session{obs: o, pool: runner.New(parallel), shards: shards}
+}
+
+// Observer returns the session's observability hooks.
+func (s *Session) Observer() Observer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.obs
+}
+
+// Shards returns the machine-core shard width applied to every run.
+func (s *Session) Shards() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.shards
+}
+
+// Parallelism returns the concurrency bound of the session's pool.
+func (s *Session) Parallelism() int { return s.runPool().Workers() }
+
+// Meter exposes the session's job metrics; callers Reset() it before a
+// campaign and Summary() it after.
+func (s *Session) Meter() *stats.JobMeter { return &s.meter }
+
+func (s *Session) runPool() *runner.Pool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pool
+}
+
+func (s *Session) setObserver(o Observer) {
+	s.mu.Lock()
+	s.obs = o
+	s.mu.Unlock()
+}
+
+func (s *Session) setParallelism(n int) {
+	s.mu.Lock()
+	s.pool = runner.New(n)
+	s.mu.Unlock()
+}
+
+// collectRuns executes n independent simulations on the session's pool
+// and returns them indexed by job number.
+func (s *Session) collectRuns(n int, job func(i int) Run) []Run {
+	return runner.Collect(s.runPool(), n, job)
+}

@@ -117,6 +117,21 @@ type Config struct {
 	Timing          Timing      // zero value -> DefaultTiming
 	Seed            int64
 
+	// Shards, when > 0, runs the machine on the sharded event-wheel core:
+	// clusters are partitioned across Shards worker goroutines, each with
+	// its own timing wheel, advancing in lockstep windows bounded by the
+	// minimum cross-shard mesh latency (conservative lookahead). Results
+	// are byte-identical at every Shards value >= 1, but differ from the
+	// Shards == 0 serial engine in event tie-breaking: the sharded core
+	// orders equal-time events by (scheduling cluster, per-cluster
+	// sequence) instead of global insertion order, the property that makes
+	// the order independent of the shard count. Configurations the sharded
+	// core cannot honor (fault injection, tracing, spans, checking,
+	// sampling, port contention, an external Metrics registry) fall back
+	// to the serial engine; Machine.FallbackReason reports why. 0 is the
+	// serial default.
+	Shards int
+
 	// Retry tunes the timeout/retry delivery recovery active while
 	// Mesh.Faults is enabled.
 	Retry RetryConfig
@@ -233,6 +248,9 @@ func (c *Config) Validate() error {
 	}
 	if c.Retry.MaxRetries < 0 {
 		return fmt.Errorf("machine: Retry.MaxRetries must not be negative")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("machine: Shards must not be negative")
 	}
 	if c.Cache != (cache.Config{}) {
 		// Pre-check the cache geometry so a bad flag combination is an

@@ -20,13 +20,22 @@ import (
 type Machine struct {
 	cfg      Config
 	t        Timing
-	eng      sim.Engine
+	eng      sim.Scheduler
 	net      *mesh.Mesh
 	scheme   core.Scheme
 	clusters []*clusterNode
 	procs    []*proc
 	locks    *protocol.LockTable
 	barriers *protocol.BarrierTable
+
+	// shard is non-nil when the run uses the sharded event-wheel core
+	// (Config.Shards > 0 and nothing blocked it); fallback carries the
+	// reason a requested sharded run fell back to the serial engine.
+	// merged is filled at sharded quiescence with the merge of the
+	// per-cluster metrics registries.
+	shard    *shardedCore
+	fallback string
+	merged   *obs.Snapshot
 
 	// Observability. Metric handles are resolved once in New; recording
 	// is a plain increment. The tracer is nil when tracing is off.
@@ -91,9 +100,39 @@ type Machine struct {
 	debugLog   []string
 }
 
+// clusterRes bundles the machine-wide facilities a cluster's protocol
+// events record into and act through. The serial engine shares ONE
+// clusterRes between all clusters (pointing at the machine-level objects,
+// so behavior and counting are exactly the single-registry machine's); the
+// sharded core gives every cluster its own, making each cluster
+// single-writer so shards never touch each other's state, and merges the
+// per-cluster registries and histograms at quiescence.
+type clusterRes struct {
+	reg      *obs.Registry
+	net      *mesh.Mesh
+	scheme   core.Scheme
+	locks    *protocol.LockTable
+	barriers *protocol.BarrierTable
+
+	kindCtr     [protocol.NumMsgKinds]*obs.Counter
+	lockRetries *obs.Counter
+	mergedReads *obs.Counter
+	extraInval  *obs.Counter
+	invalFan    *obs.Histogram
+	replFan     *obs.Histogram
+
+	invalHist *stats.Histogram
+	replHist  *stats.Histogram
+	readLat   *stats.LatHist
+	writeLat  *stats.LatHist
+}
+
 // clusterNode is one processing node: processors, bus, memory+directory.
 type clusterNode struct {
 	id      int
+	res     *clusterRes
+	shard   int    // owning shard (always 0 on the serial engine)
+	evSeq   uint64 // per-cluster event sequence, the wheel ordering key
 	dir     sparse.Directory
 	gate    *protocol.Gate
 	rac     *protocol.RAC
@@ -143,6 +182,8 @@ type proc struct {
 	cl            *clusterNode
 	h             *cache.Hierarchy
 	stream        *tango.Stream
+	stepFn        func() // pre-bound m.stepProc(p): the hot path schedules it without allocating a closure per event
+	ackFn         func() // pre-bound m.ackArrived(p), for invalidation acks
 	pendingAcks   int
 	afterDrain    func()
 	drainToFinish bool
@@ -198,6 +239,7 @@ func New(cfg Config) (*Machine, error) {
 	m := &Machine{
 		cfg:         cfg,
 		t:           cfg.Timing,
+		eng:         &sim.Engine{},
 		net:         mesh.New(cfg.Mesh),
 		scheme:      cfg.Scheme(clusters),
 		reg:         reg,
@@ -231,9 +273,35 @@ func New(cfg Config) (*Machine, error) {
 	m.locks = protocol.NewLockTable(m.scheme)
 	m.barriers = protocol.NewBarrierTable(cfg.Procs)
 
-	gateWaits := reg.Counter("gate.waits")
-	racPending := reg.Gauge("rac.pending")
+	// The serial engine runs every cluster against one shared clusterRes
+	// wrapping the machine-level objects; the sharded core needs each
+	// cluster single-writer, so each gets a private one.
+	shared := &clusterRes{
+		reg: reg, net: m.net, scheme: m.scheme,
+		locks: m.locks, barriers: m.barriers,
+		kindCtr:     m.kindCtr,
+		lockRetries: m.lockRetries, mergedReads: m.mergedReads, extraInval: m.extraInval,
+		invalFan: m.invalFan, replFan: m.replFan,
+		invalHist: &m.invalHist, replHist: &m.replHist,
+		readLat: &m.readLat, writeLat: &m.writeLat,
+	}
+	shards := 0
+	if cfg.Shards > 0 {
+		if r := shardBlockReason(&cfg); r != "" {
+			m.fallback = r
+		} else {
+			shards = cfg.Shards
+			if shards > clusters {
+				shards = clusters
+			}
+		}
+	}
+
 	for c := 0; c < clusters; c++ {
+		res := shared
+		if shards > 0 {
+			res = newClusterRes(&cfg, clusters)
+		}
 		var dir sparse.Directory
 		if cfg.Overflow != nil {
 			dir = sparse.NewOverflow(sparse.OverflowConfig{
@@ -243,7 +311,7 @@ func New(cfg Config) (*Machine, error) {
 				Assoc:       cfg.Overflow.Assoc,
 				Policy:      cfg.Overflow.Policy,
 				Seed:        rng.Mix(cfg.Seed, int64(c)),
-				Metrics:     reg,
+				Metrics:     res.reg,
 			})
 		} else if cfg.Sparse.Entries > 0 {
 			assoc := cfg.Sparse.Assoc
@@ -251,27 +319,28 @@ func New(cfg Config) (*Machine, error) {
 				assoc = 4 // the paper's main sparse setting
 			}
 			dir = sparse.New(sparse.Config{
-				Scheme:  m.scheme,
+				Scheme:  res.scheme,
 				Entries: cfg.Sparse.Entries,
 				Assoc:   assoc,
 				Policy:  cfg.Sparse.Policy,
 				Seed:    rng.Mix(cfg.Seed, int64(c)),
-				Metrics: reg,
+				Metrics: res.reg,
 			})
 		} else {
-			dir = sparse.NewFullMap(m.scheme, reg)
+			dir = sparse.NewFullMap(res.scheme, res.reg)
 		}
 		gate := protocol.NewGate()
-		gate.Waits = gateWaits
+		gate.Waits = res.reg.Counter("gate.waits")
 		rac := protocol.NewRAC()
-		rac.Pend = racPending
+		rac.Pend = res.reg.Gauge("rac.pending")
 		if m.chk != nil {
 			cid := c
 			gate.Anomaly = func(op string, block int64) { m.protoAnomaly(cid, op, block) }
 			rac.Anomaly = func(op string, block int64) { m.protoAnomaly(cid, op, block) }
 		}
-		m.clusters = append(m.clusters, &clusterNode{
+		cl := &clusterNode{
 			id:            c,
+			res:           res,
 			dir:           dir,
 			gate:          gate,
 			rac:           rac,
@@ -282,13 +351,22 @@ func New(cfg Config) (*Machine, error) {
 			treeArrived:   make(map[int64]int),
 			treeWaiting:   make(map[int64][]*proc),
 			wbExpected:    make(map[int64]int),
-		})
+		}
+		if shards > 0 {
+			cl.shard = c % shards
+		}
+		m.clusters = append(m.clusters, cl)
 	}
 	for p := 0; p < cfg.Procs; p++ {
 		cl := m.clusters[p/cfg.ProcsPerCluster]
 		pr := &proc{id: p, cl: cl, h: cache.NewHierarchy(cfg.Cache)}
+		pr.stepFn = func() { m.stepProc(pr) }
+		pr.ackFn = func() { m.ackArrived(pr) }
 		cl.procs = append(cl.procs, pr)
 		m.procs = append(m.procs, pr)
+	}
+	if shards > 0 {
+		m.shard = newShardedCore(m, shards)
 	}
 	if m.net.FaultsEnabled() {
 		m.faultsOn = true
@@ -316,6 +394,69 @@ func (m *Machine) debugf(b int64, format string, args ...any) {
 
 // Scheme returns the machine's directory entry scheme.
 func (m *Machine) Scheme() core.Scheme { return m.scheme }
+
+// Shards reports the worker count the machine actually runs with (0 = the
+// serial engine).
+func (m *Machine) Shards() int {
+	if m.shard == nil {
+		return 0
+	}
+	return m.shard.n
+}
+
+// FallbackReason reports why a requested sharded run (Config.Shards > 0)
+// fell back to the serial engine, or "" if it did not.
+func (m *Machine) FallbackReason() string { return m.fallback }
+
+// nextKey returns the cluster's next event ordering key: the scheduling
+// cluster in the high bits, its per-cluster sequence below. Keys are unique
+// per cluster and ordered first by cluster id on ties, so the total
+// (time, key) event order depends only on per-cluster scheduling order —
+// never on which shard ran first — which is what makes sharded results
+// independent of the shard count.
+func (c *clusterNode) nextKey() uint64 {
+	c.evSeq++
+	return uint64(c.id)<<40 | c.evSeq
+}
+
+// now returns the current simulation time in cluster c's context: the
+// owning shard's wheel time on the sharded core, the global engine time on
+// the serial engine. Every protocol event runs in the context of exactly
+// one cluster, so passing that cluster is always possible.
+func (m *Machine) now(c *clusterNode) sim.Time {
+	if s := m.shard; s != nil {
+		return s.wheels[c.shard].Now()
+	}
+	return m.eng.Now()
+}
+
+// at schedules fn at absolute time t in cluster c's context.
+func (m *Machine) at(c *clusterNode, t sim.Time, fn sim.Event) {
+	if s := m.shard; s != nil {
+		s.wheels[c.shard].AtKey(t, c.nextKey(), fn)
+		return
+	}
+	m.eng.At(t, fn)
+}
+
+// after schedules fn delay cycles from now in cluster c's context.
+func (m *Machine) after(c *clusterNode, delay sim.Time, fn sim.Event) {
+	m.at(c, m.now(c)+delay, fn)
+}
+
+// xat schedules fn at absolute time t in cluster to's context, from
+// cluster from's context — the one legal way to cross clusters without a
+// counted protocol message (used where the serial engine runs home-side
+// bookkeeping inside a reply closure at the requester). On the sharded
+// core t must be at least the conservative lookahead past from's current
+// time; callers derive t from a mesh latency, which guarantees it.
+func (m *Machine) xat(from, to *clusterNode, t sim.Time, fn sim.Event) {
+	if s := m.shard; s != nil {
+		s.relay(from, to, t, fn)
+		return
+	}
+	m.eng.At(t, fn)
+}
 
 // block converts a byte address to a block number.
 func (m *Machine) block(addr int64) int64 { return addr / int64(m.cfg.Block) }
@@ -351,7 +492,7 @@ func (m *Machine) dirEntry(block int64) core.Entry {
 // busOp reserves cluster c's bus for dur cycles starting no earlier than
 // now, FCFS, and returns the completion time.
 func (m *Machine) busOp(c *clusterNode, dur sim.Time) sim.Time {
-	start := m.eng.Now()
+	start := m.now(c)
 	if c.busFree > start {
 		start = c.busFree
 	}
@@ -362,7 +503,7 @@ func (m *Machine) busOp(c *clusterNode, dur sim.Time) sim.Time {
 
 // dirOp reserves cluster c's directory controller, FCFS.
 func (m *Machine) dirOp(c *clusterNode, dur sim.Time) sim.Time {
-	start := m.eng.Now()
+	start := m.now(c)
 	if c.dirFree > start {
 		start = c.dirFree
 	}
@@ -374,8 +515,8 @@ func (m *Machine) dirOp(c *clusterNode, dur sim.Time) sim.Time {
 // occupyDir extends cluster c's directory busy window by dur without
 // waiting for it (used to model the finite invalidation send rate).
 func (m *Machine) occupyDir(c *clusterNode, dur sim.Time) {
-	if c.dirFree < m.eng.Now() {
-		c.dirFree = m.eng.Now()
+	if now := m.now(c); c.dirFree < now {
+		c.dirFree = now
 	}
 	c.dirFree += dur
 	c.dirBusy += dur
@@ -395,12 +536,18 @@ func (m *Machine) sendTx(kind protocol.MsgKind, from, to int, tx *txState, arriv
 	if from == to {
 		panic(fmt.Sprintf("machine: message %v from cluster %d to itself", kind, from))
 	}
-	m.kindCtr[kind].Inc()
-	if !m.faultsOn {
-		m.eng.At(m.net.SendAt(m.eng.Now(), from, to), arrive)
+	fc := m.clusters[from]
+	fc.res.kindCtr[kind].Inc()
+	if m.faultsOn {
+		m.sendReliable(kind, from, to, tx, arrive)
 		return
 	}
-	m.sendReliable(kind, from, to, tx, arrive)
+	if s := m.shard; s != nil {
+		now := s.wheels[fc.shard].Now()
+		s.relay(fc, m.clusters[to], fc.res.net.SendAt(now, from, to), arrive)
+		return
+	}
+	m.eng.At(m.net.SendAt(m.eng.Now(), from, to), arrive)
 }
 
 // trace emits one structured event when tracing is on. The nil test is the
@@ -413,8 +560,14 @@ func (m *Machine) trace(kind obs.EventKind, node int, block, arg int64) {
 }
 
 // MetricsSnapshot freezes the machine's metrics registry — every named
-// counter, gauge and histogram the run recorded.
-func (m *Machine) MetricsSnapshot() obs.Snapshot { return m.reg.Snapshot() }
+// counter, gauge and histogram the run recorded. After a sharded run it is
+// the merge of the per-cluster registries.
+func (m *Machine) MetricsSnapshot() obs.Snapshot {
+	if m.merged != nil {
+		return *m.merged
+	}
+	return m.reg.Snapshot()
+}
 
 // FlushTrace drains the tracer's pending events to its sink and reports
 // the first sink error. It is safe to call with tracing disabled.
@@ -426,18 +579,19 @@ func (m *Machine) FlushSpans() error { return m.spans.Flush() }
 
 // complete schedules p's next reference at time at.
 func (m *Machine) complete(p *proc, at sim.Time) {
-	m.eng.At(at, func() { m.stepProc(p) })
+	m.at(p.cl, at, p.stepFn)
 }
 
 // stepProc issues p's next reference, or retires p.
 func (m *Machine) stepProc(p *proc) {
-	p.lastProgress = m.eng.Now()
+	now := m.now(p.cl)
+	p.lastProgress = now
 	if p.opPending {
 		p.opPending = false
 		if p.opWrite {
-			m.writeLat.Add(m.cycleDelta(m.eng.Now(), p.opStart, "write latency"))
+			p.cl.res.writeLat.Add(m.cycleDelta(now, p.opStart, "write latency"))
 		} else {
-			m.readLat.Add(m.cycleDelta(m.eng.Now(), p.opStart, "read latency"))
+			p.cl.res.readLat.Add(m.cycleDelta(now, p.opStart, "read latency"))
 		}
 	}
 	ref, ok := p.stream.Next()
@@ -467,7 +621,7 @@ func (m *Machine) stepProc(p *proc) {
 
 func (m *Machine) finishProc(p *proc) {
 	p.done = true
-	p.finish = m.eng.Now()
+	p.finish = m.now(p.cl)
 }
 
 // fence runs fn once p's outstanding invalidation acknowledgements have
@@ -492,7 +646,7 @@ func (m *Machine) fence(p *proc, fn func()) {
 
 // ackArrived records one invalidation acknowledgement for p's oldest write.
 func (m *Machine) ackArrived(p *proc) {
-	p.lastProgress = m.eng.Now()
+	p.lastProgress = m.now(p.cl)
 	p.pendingAcks--
 	if m.chk != nil {
 		m.chk.AckArrived(p.id, uint64(m.eng.Now()))
@@ -522,13 +676,12 @@ func (m *Machine) Run(w *tango.Workload) (*Result, error) {
 	}
 	for i, p := range m.procs {
 		p.stream = tango.NewStream(w.Streams[i])
-		p := p
-		m.eng.At(0, func() { m.stepProc(p) })
+		m.at(p.cl, 0, p.stepFn)
 	}
 	if m.cfg.SampleEvery > 0 {
 		m.eng.At(m.cfg.SampleEvery, m.sampleQueues)
 	}
-	if err := m.runEngine(); err != nil {
+	if err := m.runCore(); err != nil {
 		return nil, err
 	}
 	for _, p := range m.procs {

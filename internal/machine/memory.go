@@ -18,20 +18,21 @@ func (m *Machine) access(p *proc, write bool, addr int64) {
 // accessBlock runs one access by block number (used directly when MSHR
 // waiters retry).
 func (m *Machine) accessBlock(p *proc, write bool, b int64) {
+	now := m.now(p.cl)
 	if !p.opPending {
 		p.opPending = true
 		p.opWrite = write
-		p.opStart = m.eng.Now()
+		p.opStart = now
 	}
-	switch p.h.Access(b, write, m.eng.Now()) {
+	switch p.h.Access(b, write, now) {
 	case cache.Hit:
-		m.complete(p, m.eng.Now()+m.t.Hit)
+		m.complete(p, now+m.t.Hit)
 	case cache.MissUpgrade:
 		done := m.busOp(p.cl, m.t.Bus)
-		m.eng.At(done, func() { m.busMiss(p, write, b, true) })
+		m.at(p.cl, done, func() { m.busMiss(p, write, b, true) })
 	default: // Miss
 		done := m.busOp(p.cl, m.t.Bus)
-		m.eng.At(done, func() { m.busMiss(p, write, b, false) })
+		m.at(p.cl, done, func() { m.busMiss(p, write, b, false) })
 	}
 }
 
@@ -39,7 +40,7 @@ func (m *Machine) accessBlock(p *proc, write bool, b int64) {
 // displaces.
 func (m *Machine) fill(p *proc, b int64, st cache.State) {
 	m.debugf(b, "fill p%d/c%d %v", p.id, p.cl.id, st)
-	v := p.h.Fill(b, st, m.eng.Now())
+	v := p.h.Fill(b, st, m.now(p.cl))
 	m.handleVictim(p, v)
 }
 
@@ -78,7 +79,7 @@ func (m *Machine) handleVictim(p *proc, v cache.Victim) {
 		// A busy gate with the entry dirty-owned by the sender can only
 		// mean an undelivered ownership grant back to the sender, which
 		// this writeback predates — treat it as stale too.
-		if e := hc.dir.Lookup(m.dirKey(vb), m.eng.Now()); e != nil && e.Dirty() && e.Owner() == from &&
+		if e := hc.dir.Lookup(m.dirKey(vb), m.now(hc)); e != nil && e.Dirty() && e.Owner() == from &&
 			!m.clusterHoldsDirty(m.clusters[from], vb) && !hc.gate.Busy(vb) {
 			e.Reset()
 			hc.dir.Release(m.dirKey(vb))
@@ -91,8 +92,8 @@ func (m *Machine) handleVictim(p *proc, v cache.Victim) {
 // caches, then involve the home directory if the cluster cannot satisfy
 // the access by itself.
 func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
-	now := m.eng.Now()
 	c := p.cl
+	now := m.now(c)
 	home := m.home(b)
 	if write {
 		localDirty := false
@@ -126,7 +127,7 @@ func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
 			// Another local processor's ownership request is in flight;
 			// retry over the bus when it completes.
 			c.writeWaiters[b] = append(c.writeWaiters[b], mshrWaiter{p: p, write: true})
-			m.mergedReads.Inc()
+			c.res.mergedReads.Inc()
 			return
 		}
 		c.pendingWrite[b] = true
@@ -146,7 +147,7 @@ func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
 	// be superseded, so park and retry once the write lands.
 	if c.pendingWrite[b] {
 		c.writeWaiters[b] = append(c.writeWaiters[b], mshrWaiter{p: p})
-		m.mergedReads.Inc()
+		c.res.mergedReads.Inc()
 		return
 	}
 	// Another local cache can supply the data directly.
@@ -179,7 +180,7 @@ func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
 	// second request.
 	if followers, ok := c.pendingReads[b]; ok {
 		c.pendingReads[b] = append(followers, p)
-		m.mergedReads.Inc()
+		c.res.mergedReads.Inc()
 		return
 	}
 	c.pendingReads[b] = nil
@@ -193,7 +194,7 @@ func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
 func (m *Machine) remoteReadDone(p *proc, b int64, tx *txState) {
 	m.txPhase(tx, obs.PhReplyTravel)
 	m.txEnd(tx)
-	now := m.eng.Now()
+	now := m.now(p.cl)
 	poisoned := p.cl.poisonedReads[b]
 	m.debugf(b, "remoteReadDone p%d/c%d poisoned=%v followers=%d", p.id, p.cl.id, poisoned, len(p.cl.pendingReads[b]))
 	procs := append([]*proc{p}, p.cl.pendingReads[b]...)
@@ -229,7 +230,7 @@ func (m *Machine) invalidateCluster(c *clusterNode, b int64, directed bool) {
 		hit = true
 	}
 	if directed && !hit {
-		m.extraInval.Inc()
+		c.res.extraInval.Inc()
 	}
 }
 
@@ -253,7 +254,7 @@ func (m *Machine) sendSharingWB(from, home int, b int64) {
 		// dirty again — or a grant back to it is still in flight (gate
 		// busy with the entry dirty-owned by the sender) — the downgrade
 		// this message reports is ancient.
-		if e := hc.dir.Lookup(m.dirKey(b), m.eng.Now()); e != nil && e.Dirty() && e.Owner() == from &&
+		if e := hc.dir.Lookup(m.dirKey(b), m.now(hc)); e != nil && e.Dirty() && e.Owner() == from &&
 			!m.clusterHoldsDirty(m.clusters[from], b) && !hc.gate.Busy(b) {
 			e.ClearDirty()
 		}
@@ -268,7 +269,7 @@ func (m *Machine) homeLocalRead(p *proc, b int64) {
 		h.gate.Wait(b, func() { m.homeLocalRead(p, b) })
 		return
 	}
-	now := m.eng.Now()
+	now := m.now(h)
 	// Re-snoop: a sibling may have obtained a copy while this request
 	// waited on the gate; the bus supplies it directly.
 	for _, q := range h.procs {
@@ -301,13 +302,13 @@ func (m *Machine) homeLocalRead(p *proc, b int64) {
 	m.send(protocol.FwdReadReq, h.id, owner, func() {
 		oc := m.clusters[owner]
 		done := m.busOp(oc, m.t.Fwd)
-		m.eng.At(done, func() {
+		m.at(oc, done, func() {
 			for _, q := range oc.procs {
 				q.h.Downgrade(b)
 			}
 			m.send(protocol.DataReply, owner, h.id, func() {
 				m.fill(p, b, cache.Shared)
-				m.complete(p, m.eng.Now()+m.t.Fill)
+				m.complete(p, m.now(h)+m.t.Fill)
 				h.gate.Unlock(b)
 				m.checkBlock(b)
 			})
@@ -323,7 +324,7 @@ func (m *Machine) homeLocalWrite(p *proc, b int64) {
 		h.gate.Wait(b, func() { m.homeLocalWrite(p, b) })
 		return
 	}
-	now := m.eng.Now()
+	now := m.now(h)
 	// Re-snoop: siblings may have picked up copies while this request
 	// waited on the gate; a sibling's dirty copy transfers ownership
 	// over the bus, shared copies are invalidated.
@@ -346,8 +347,8 @@ func (m *Machine) homeLocalWrite(p *proc, b int64) {
 		if e != nil {
 			h.dir.Release(m.dirKey(b))
 		}
-		m.invalHist.Add(0)
-		m.invalFan.Observe(0)
+		h.res.invalHist.Add(0)
+		h.res.invalFan.Observe(0)
 		m.fill(p, b, cache.Dirty)
 		m.complete(p, now+m.t.Fill)
 		return
@@ -362,11 +363,11 @@ func (m *Machine) homeLocalWrite(p *proc, b int64) {
 		m.send(protocol.FwdWriteReq, h.id, owner, func() {
 			oc := m.clusters[owner]
 			done := m.busOp(oc, m.t.InvalBus)
-			m.eng.At(done, func() {
+			m.at(oc, done, func() {
 				m.applyInval(oc, b, false)
 				m.send(protocol.OwnershipReply, owner, h.id, func() {
 					m.fill(p, b, cache.Dirty)
-					m.complete(p, m.eng.Now()+m.t.Fill)
+					m.complete(p, m.now(h)+m.t.Fill)
 					h.gate.Unlock(b)
 					m.checkBlock(b)
 				})
@@ -379,8 +380,8 @@ func (m *Machine) homeLocalWrite(p *proc, b int64) {
 	targets := e.Sharers()
 	targets.Remove(h.id)
 	n := targets.Count()
-	m.invalHist.Add(n)
-	m.invalFan.Observe(uint64(n))
+	h.res.invalHist.Add(n)
+	h.res.invalFan.Observe(uint64(n))
 	if n > 0 && !e.Precise() {
 		m.trace(obs.EvOverflow, h.id, b, int64(n))
 	}
@@ -415,9 +416,15 @@ func (m *Machine) sendInvals(h *clusterNode, b int64, targets bitset.Set, ackTo 
 		tc := m.clusters[t]
 		m.sendTx(protocol.Inval, h.id, t, tx, func() {
 			done := m.busOp(tc, m.t.InvalBus)
-			m.eng.At(done, func() {
+			m.at(tc, done, func() {
 				m.applyInval(tc, b, false)
 				m.invalApplied(b)
+				if tx == nil {
+					// Hot path: the pre-bound ack handler avoids allocating
+					// a closure per invalidation.
+					m.sendTx(protocol.AckMsg, t, ackTo.cl.id, nil, ackTo.ackFn)
+					return
+				}
 				m.sendTx(protocol.AckMsg, t, ackTo.cl.id, tx, func() {
 					m.ackArrived(ackTo)
 					m.txAck(tx)
@@ -433,7 +440,7 @@ func (m *Machine) remoteReadAtHome(p *proc, b int64, tx *txState) {
 	m.txPhase(tx, obs.PhReqTravel)
 	m.trace(obs.EvDirLookup, h.id, b, 0)
 	done := m.dirOp(h, m.t.Dir)
-	m.eng.At(done, func() { m.serveRemoteRead(p, b, h, tx) })
+	m.at(h, done, func() { m.serveRemoteRead(p, b, h, tx) })
 }
 
 func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode, tx *txState) {
@@ -442,7 +449,7 @@ func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode, tx *txState)
 		h.gate.Wait(b, func() { m.serveRemoteRead(p, b, h, tx) })
 		return
 	}
-	now := m.eng.Now()
+	now := m.now(h)
 	rc := p.cl.id
 	e := h.dir.Lookup(m.dirKey(b), now)
 	if e != nil && e.Dirty() && e.Owner() != rc {
@@ -457,16 +464,29 @@ func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode, tx *txState)
 		m.sendTx(protocol.FwdReadReq, h.id, owner, tx, func() {
 			oc := m.clusters[owner]
 			done := m.busOp(oc, m.t.Fwd)
-			m.eng.At(done, func() {
+			m.at(oc, done, func() {
 				for _, q := range oc.procs {
 					q.h.Downgrade(b)
 				}
 				m.txPhase(tx, obs.PhFanout)
-				m.sendTx(protocol.DataReply, owner, rc, tx, func() {
-					m.remoteReadDone(p, b, tx)
-					h.gate.Unlock(b)
-					m.checkBlock(b)
-				})
+				if m.shard != nil {
+					// The serial engine unlocks the home gate from inside the
+					// reply closure at the requester; a shard must not reach
+					// into another shard's gate, so the home unlocks itself
+					// at the same instant via an uncounted cross-shard event.
+					m.sendTx(protocol.DataReply, owner, rc, tx, func() {
+						m.remoteReadDone(p, b, tx)
+					})
+					m.xat(oc, h, m.now(oc)+m.net.Latency(owner, rc), func() {
+						h.gate.Unlock(b)
+					})
+				} else {
+					m.sendTx(protocol.DataReply, owner, rc, tx, func() {
+						m.remoteReadDone(p, b, tx)
+						h.gate.Unlock(b)
+						m.checkBlock(b)
+					})
+				}
 				m.sendTx(protocol.SharingWB, owner, h.id, tx, func() {})
 			})
 		})
@@ -516,7 +536,7 @@ func (m *Machine) remoteWriteAtHome(p *proc, b int64, upgrade bool, tx *txState)
 	m.txPhase(tx, obs.PhReqTravel)
 	m.trace(obs.EvDirLookup, h.id, b, 1)
 	done := m.dirOp(h, m.t.Dir)
-	m.eng.At(done, func() { m.serveRemoteWrite(p, b, h, upgrade, tx) })
+	m.at(h, done, func() { m.serveRemoteWrite(p, b, h, upgrade, tx) })
 }
 
 func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade bool, tx *txState) {
@@ -525,7 +545,7 @@ func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade boo
 		h.gate.Wait(b, func() { m.serveRemoteWrite(p, b, h, upgrade, tx) })
 		return
 	}
-	now := m.eng.Now()
+	now := m.now(h)
 	rc := p.cl.id
 	e, victim := h.dir.Allocate(m.dirKey(b), now)
 	if victim != nil {
@@ -540,14 +560,26 @@ func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade boo
 		m.sendTx(protocol.FwdWriteReq, h.id, owner, tx, func() {
 			oc := m.clusters[owner]
 			done := m.busOp(oc, m.t.InvalBus)
-			m.eng.At(done, func() {
+			m.at(oc, done, func() {
 				m.applyInval(oc, b, false)
 				m.txPhase(tx, obs.PhFanout)
-				m.sendTx(protocol.OwnershipReply, owner, rc, tx, func() {
-					m.remoteWriteDone(p, b, upgrade, tx)
-					h.gate.Unlock(b)
-					m.checkBlock(b)
-				})
+				if m.shard != nil {
+					// See serveRemoteRead: the home gate unlocks via its own
+					// event at the reply's arrival instant instead of from
+					// the requester-side closure.
+					m.sendTx(protocol.OwnershipReply, owner, rc, tx, func() {
+						m.remoteWriteDone(p, b, upgrade, tx)
+					})
+					m.xat(oc, h, m.now(oc)+m.net.Latency(owner, rc), func() {
+						h.gate.Unlock(b)
+					})
+				} else {
+					m.sendTx(protocol.OwnershipReply, owner, rc, tx, func() {
+						m.remoteWriteDone(p, b, upgrade, tx)
+						h.gate.Unlock(b)
+						m.checkBlock(b)
+					})
+				}
 			})
 		})
 		return
@@ -568,24 +600,40 @@ func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade boo
 	// Home-bus snoop invalidates home-cluster copies without messages.
 	m.invalidateCluster(h, b, false)
 	n := targets.Count()
-	m.invalHist.Add(n)
-	m.invalFan.Observe(uint64(n))
+	h.res.invalHist.Add(n)
+	h.res.invalFan.Observe(uint64(n))
 	if n > 0 && !e.Precise() {
 		m.trace(obs.EvOverflow, h.id, b, int64(n))
 	}
 	e.SetDirty(rc)
 	m.drainDirVictims(h)
-	p.pendingAcks += n
-	if m.chk != nil {
-		m.chk.AckExpect(p.id, n)
-	}
 	h.gate.Lock(b)
 	m.txPhase(tx, obs.PhDirWait)
-	m.sendTx(protocol.OwnershipReply, h.id, rc, tx, func() {
-		m.remoteWriteDone(p, b, upgrade, tx)
-		h.gate.Unlock(b)
-		m.checkBlock(b)
-	})
+	if m.shard != nil {
+		// The requester's ack count is carried by the ownership reply (the
+		// reply strictly precedes every acknowledgement: each ack travels
+		// home->target->requester plus a bus transaction, which the
+		// degenerate-timing fallback keeps strictly longer than the direct
+		// reply), and the home unlocks its own gate at the reply's arrival
+		// instant rather than from the requester-side closure.
+		m.sendTx(protocol.OwnershipReply, h.id, rc, tx, func() {
+			p.pendingAcks += n
+			m.remoteWriteDone(p, b, upgrade, tx)
+		})
+		m.at(h, now+m.net.Latency(h.id, rc), func() {
+			h.gate.Unlock(b)
+		})
+	} else {
+		p.pendingAcks += n
+		if m.chk != nil {
+			m.chk.AckExpect(p.id, n)
+		}
+		m.sendTx(protocol.OwnershipReply, h.id, rc, tx, func() {
+			m.remoteWriteDone(p, b, upgrade, tx)
+			h.gate.Unlock(b)
+			m.checkBlock(b)
+		})
+	}
 	m.sendInvals(h, b, targets, p, tx)
 }
 
@@ -595,8 +643,12 @@ func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade boo
 // retransmission let the cluster's own later ownership acquisition
 // overtake — the case a real protocol rejects with a NAK. Impossible
 // without fault injection: the fault-free mesh never reorders requests
-// on a pair.
+// on a pair, so the fault-free answer is constant false — which also
+// keeps the sharded core from peeking at another shard's caches.
 func (m *Machine) clusterHoldsDirty(c *clusterNode, b int64) bool {
+	if !m.faultsOn {
+		return false
+	}
 	for _, q := range c.procs {
 		if q.h.State(b) == cache.Dirty {
 			return true
@@ -608,7 +660,7 @@ func (m *Machine) clusterHoldsDirty(c *clusterNode, b int64) bool {
 // fillExclusive installs an exclusive copy after an ownership reply.
 func (m *Machine) fillExclusive(p *proc, b int64, upgrade bool) {
 	if upgrade && p.h.State(b) != cache.Invalid {
-		p.h.Upgrade(b, m.eng.Now())
+		p.h.Upgrade(b, m.now(p.cl))
 		return
 	}
 	m.fill(p, b, cache.Dirty)
@@ -622,14 +674,14 @@ func (m *Machine) remoteWriteDone(p *proc, b int64, upgrade bool, tx *txState) {
 	m.txEnd(tx)
 	m.debugf(b, "remoteWriteDone p%d/c%d waiters=%d", p.id, p.cl.id, len(p.cl.writeWaiters[b]))
 	m.fillExclusive(p, b, upgrade)
-	m.complete(p, m.eng.Now()+m.t.Fill)
 	c := p.cl
+	m.complete(p, m.now(c)+m.t.Fill)
 	delete(c.pendingWrite, b)
 	waiters := c.writeWaiters[b]
 	delete(c.writeWaiters, b)
 	for _, w := range waiters {
 		w := w
-		m.eng.After(m.t.Fill, func() { m.accessBlock(w.p, w.write, b) })
+		m.after(c, m.t.Fill, func() { m.accessBlock(w.p, w.write, b) })
 	}
 }
 
@@ -639,8 +691,8 @@ func (m *Machine) handleNBEvictions(h *clusterNode, b int64, ev []core.NodeID, t
 	if len(ev) == 0 {
 		return
 	}
-	m.invalHist.Add(len(ev))
-	m.invalFan.Observe(uint64(len(ev)))
+	h.res.invalHist.Add(len(ev))
+	h.res.invalFan.Observe(uint64(len(ev)))
 	m.trace(obs.EvInvalFanout, h.id, b, int64(len(ev)))
 	sent := 0
 	for _, v := range ev {
@@ -661,7 +713,7 @@ func (m *Machine) handleNBEvictions(h *clusterNode, b int64, ev []core.NodeID, t
 		v := v
 		m.sendTx(protocol.Inval, h.id, v, tx, func() {
 			done := m.busOp(vc, m.t.InvalBus)
-			m.eng.At(done, func() {
+			m.at(vc, done, func() {
 				m.applyInval(vc, b, false)
 				m.invalApplied(b)
 				m.sendTx(protocol.AckMsg, v, h.id, tx, func() { m.txAck(tx) })
@@ -708,8 +760,8 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 	}
 	if ve.Dirty() {
 		owner := ve.Owner()
-		m.replHist.Add(1)
-		m.replFan.Observe(1)
+		h.res.replHist.Add(1)
+		h.res.replFan.Observe(1)
 		m.trace(obs.EvDirEvict, h.id, vb, 1)
 		tx := m.txStart(obs.TxEvict, h.id, vb)
 		m.txFanout(tx, 1, true)
@@ -719,7 +771,7 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 		oc := m.clusters[owner]
 		m.sendTx(protocol.Flush, h.id, owner, tx, func() {
 			done := m.busOp(oc, m.t.InvalBus)
-			m.eng.At(done, func() {
+			m.at(oc, done, func() {
 				m.applyInval(oc, vb, true)
 				m.sendTx(protocol.AckMsg, owner, h.id, tx, func() {
 					m.racAck(h, vb)
@@ -736,8 +788,8 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 		m.recallPending(vb, -1)
 		return
 	}
-	m.replHist.Add(n)
-	m.replFan.Observe(uint64(n))
+	h.res.replHist.Add(n)
+	h.res.replFan.Observe(uint64(n))
 	m.trace(obs.EvDirEvict, h.id, vb, int64(n))
 	tx := m.txStart(obs.TxEvict, h.id, vb)
 	m.txFanout(tx, n, true)
@@ -748,7 +800,7 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 		tc := m.clusters[t]
 		m.sendTx(protocol.Inval, h.id, t, tx, func() {
 			done := m.busOp(tc, m.t.InvalBus)
-			m.eng.At(done, func() {
+			m.at(tc, done, func() {
 				m.applyInval(tc, vb, true)
 				m.sendTx(protocol.AckMsg, t, h.id, tx, func() {
 					m.racAck(h, vb)

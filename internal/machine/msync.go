@@ -6,21 +6,28 @@ import (
 	"dircoh/internal/protocol"
 )
 
+// lockTable returns the lock table holding addr's queue — it lives at the
+// lock's home cluster. The serial engine shares one table between all
+// clusters, so the distinction only matters on the sharded core.
+func (m *Machine) lockTable(addr int64) *protocol.LockTable {
+	return m.clusters[m.home(m.block(addr))].res.locks
+}
+
 // lockAcquire runs a Lock reference (after the release-consistency fence).
 // Locks are queued in the directory (§7): the home records waiters using
 // the machine's directory scheme, so coarse-vector lock grants wake whole
 // regions that then re-contend.
 func (m *Machine) lockAcquire(p *proc, addr int64, retry bool) {
 	if retry {
-		m.lockRetries.Inc()
+		p.cl.res.lockRetries.Inc()
 		m.trace(obs.EvRetry, p.cl.id, addr, 0)
 	}
 	home := m.home(m.block(addr))
 	if home == p.cl.id {
-		granted, woken := m.locks.Acquire(addr, p.cl.id, p.id)
+		granted, woken := p.cl.res.locks.Acquire(addr, p.cl.id, p.id)
 		m.wakeNodes(addr, home, woken)
 		if granted {
-			m.complete(p, m.eng.Now()+m.t.Bus)
+			m.complete(p, m.now(p.cl)+m.t.Bus)
 		}
 		// Otherwise p blocks until granted or woken.
 		return
@@ -33,15 +40,15 @@ func (m *Machine) lockAcquire(p *proc, addr int64, retry bool) {
 		m.txPhase(tx, obs.PhReqTravel)
 		hc := m.clusters[home]
 		done := m.dirOp(hc, m.t.Dir)
-		m.eng.At(done, func() {
-			granted, woken := m.locks.Acquire(addr, p.cl.id, p.id)
+		m.at(hc, done, func() {
+			granted, woken := hc.res.locks.Acquire(addr, p.cl.id, p.id)
 			m.wakeNodes(addr, home, woken)
 			if granted {
 				m.txPhase(tx, obs.PhDirWait)
 				m.sendTx(protocol.LockGrant, home, p.cl.id, tx, func() {
 					m.txPhase(tx, obs.PhReplyTravel)
 					m.lockTxEnd(p)
-					m.complete(p, m.eng.Now()+m.t.Hit)
+					m.complete(p, m.now(p.cl)+m.t.Hit)
 				})
 			}
 		})
@@ -54,20 +61,20 @@ func (m *Machine) lockAcquire(p *proc, addr int64, retry bool) {
 func (m *Machine) lockRelease(p *proc, addr int64) {
 	home := m.home(m.block(addr))
 	if home == p.cl.id {
-		g := m.locks.Release(addr)
+		g := p.cl.res.locks.Release(addr)
 		m.handleGrant(addr, home, g)
-		m.complete(p, m.eng.Now()+m.t.Bus)
+		m.complete(p, m.now(p.cl)+m.t.Bus)
 		return
 	}
 	m.send(protocol.UnlockReq, p.cl.id, home, func() {
 		hc := m.clusters[home]
 		done := m.dirOp(hc, m.t.Dir)
-		m.eng.At(done, func() {
-			g := m.locks.Release(addr)
+		m.at(hc, done, func() {
+			g := hc.res.locks.Release(addr)
 			m.handleGrant(addr, home, g)
 		})
 	})
-	m.complete(p, m.eng.Now()+m.t.Hit)
+	m.complete(p, m.now(p.cl)+m.t.Hit)
 }
 
 // handleGrant delivers the outcome of a lock release: either a direct
@@ -77,7 +84,7 @@ func (m *Machine) handleGrant(addr int64, home int, g protocol.Grant) {
 	if g.Direct {
 		q := m.procs[g.Proc]
 		if g.Node == home {
-			m.complete(q, m.eng.Now()+m.t.Hit)
+			m.complete(q, m.now(q.cl)+m.t.Hit)
 			return
 		}
 		tx := m.lockTxOf(q)
@@ -85,7 +92,7 @@ func (m *Machine) handleGrant(addr int64, home int, g protocol.Grant) {
 		m.sendTx(protocol.LockGrant, home, g.Node, tx, func() {
 			m.txPhase(tx, obs.PhReplyTravel)
 			m.lockTxEnd(q)
-			m.complete(q, m.eng.Now()+m.t.Hit)
+			m.complete(q, m.now(q.cl)+m.t.Hit)
 		})
 		return
 	}
@@ -94,20 +101,36 @@ func (m *Machine) handleGrant(addr int64, home int, g protocol.Grant) {
 
 // wakeNodes tells each node's waiters to retry acquisition. Nodes in a
 // coarse region that never had waiters still receive (and ignore) the
-// message — that traffic is the coarse vector's imprecision at work.
+// message — that traffic is the coarse vector's imprecision at work. It
+// runs at the lock's home; on the sharded core the waiter list for a
+// remote node is snapshotted here (the table lives at the home) and
+// carried inside the wake message, so the remote shard never touches the
+// home's table. A waiter that registers while the wake is in flight misses
+// this round and is woken at the next release — a timing the serial
+// engine can also produce, and identical at every shard count.
 func (m *Machine) wakeNodes(addr int64, home int, nodes []core.NodeID) {
+	hc := m.clusters[home]
 	for _, w := range nodes {
 		w := w
 		if w == home {
-			m.wakeLocalWaiters(addr, w)
+			m.retryWaiters(addr, hc.res.locks.TakeWaiters(addr, w))
 			continue
 		}
-		m.send(protocol.LockWake, home, w, func() { m.wakeLocalWaiters(addr, w) })
+		if m.shard != nil {
+			ws := hc.res.locks.TakeWaiters(addr, w)
+			m.send(protocol.LockWake, home, w, func() { m.retryWaiters(addr, ws) })
+			continue
+		}
+		m.send(protocol.LockWake, home, w, func() {
+			m.retryWaiters(addr, m.lockTable(addr).TakeWaiters(addr, w))
+		})
 	}
 }
 
-func (m *Machine) wakeLocalWaiters(addr int64, node int) {
-	for _, procID := range m.locks.TakeWaiters(addr, node) {
+// retryWaiters re-runs lock acquisition for each woken processor. It runs
+// at the waiters' own cluster.
+func (m *Machine) retryWaiters(addr int64, procIDs []int) {
+	for _, procID := range procIDs {
 		q := m.procs[procID]
 		// A wake ends the waiter's current lock round (the retry opens a
 		// fresh transaction, linked by the lock.retry trace event).
@@ -164,7 +187,7 @@ func (m *Machine) treeArrive(c int, addr int64) {
 func (m *Machine) treeRelease(c int, addr int64) {
 	cl := m.clusters[c]
 	for _, q := range cl.treeWaiting[addr] {
-		m.complete(q, m.eng.Now()+m.t.Hit)
+		m.complete(q, m.now(cl)+m.t.Hit)
 	}
 	delete(cl.treeWaiting, addr)
 	m.treeChildren(c, func(child int) {
@@ -187,15 +210,16 @@ func (m *Machine) barrierArrive(p *proc, addr int64) {
 // centralBarrierArrive implements the default single-home barrier.
 func (m *Machine) centralBarrierArrive(p *proc, addr int64) {
 	home := m.home(m.block(addr))
+	hc := m.clusters[home]
 	deliver := func() {
-		for _, qid := range m.barriers.Arrive(addr, p.id) {
+		for _, qid := range hc.res.barriers.Arrive(addr, p.id) {
 			q := m.procs[qid]
 			if q.cl.id == home {
-				m.complete(q, m.eng.Now()+m.t.Hit)
+				m.complete(q, m.now(hc)+m.t.Hit)
 				continue
 			}
 			m.send(protocol.BarrierRelease, home, q.cl.id, func() {
-				m.complete(q, m.eng.Now()+m.t.Hit)
+				m.complete(q, m.now(q.cl)+m.t.Hit)
 			})
 		}
 	}

@@ -198,7 +198,7 @@ func (m *Machine) watchdogScan() {
 // current event.
 func (m *Machine) abort(reason string) {
 	if m.chk != nil {
-		m.chk.Violationf(check.RuleLiveness, -1, -1, uint64(m.eng.Now()), "%s", reason)
+		m.chk.Violationf(check.RuleLiveness, -1, -1, uint64(m.simNow()), "%s", reason)
 	}
 	m.aborted = &StuckError{Reason: reason, Dump: m.diagnosticDump()}
 }
@@ -233,7 +233,7 @@ func (m *Machine) runEngine() error {
 // diagnosticDump renders the machine's stuck state for StuckError.
 func (m *Machine) diagnosticDump() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "  t=%d events_fired=%d events_pending=%d\n", m.eng.Now(), m.eng.Fired(), m.eng.Pending())
+	fmt.Fprintf(&b, "  t=%d events_fired=%d events_pending=%d\n", m.simNow(), m.simFired(), m.simPending())
 	for _, p := range m.procs {
 		if p.done {
 			continue

@@ -6,6 +6,7 @@ import (
 
 	"dircoh/internal/cache"
 	"dircoh/internal/mesh"
+	"dircoh/internal/obs"
 	"dircoh/internal/protocol"
 	"dircoh/internal/sim"
 	"dircoh/internal/sparse"
@@ -38,9 +39,11 @@ type Result struct {
 // message classes are sums of the per-kind "msg.<kind>" counters; the
 // directory aggregate reads the shared "dir.*" counters (summing the
 // per-cluster directories' Stats() would double-count, since they all
-// record into the machine registry).
+// record into the machine registry). After a sharded run the snapshot is
+// the merge of the per-cluster registries and the histograms were folded
+// together at quiescence, so the same reads work for both cores.
 func (m *Machine) result() *Result {
-	snap := m.reg.Snapshot()
+	snap := m.MetricsSnapshot()
 	var msgs stats.MsgCounts
 	for k := 0; k < protocol.NumMsgKinds; k++ {
 		kind := protocol.MsgKind(k)
@@ -51,7 +54,7 @@ func (m *Machine) result() *Result {
 		Msgs:        msgs,
 		InvalHist:   m.invalHist,
 		ReplHist:    m.replHist,
-		Net:         m.net.Stats(),
+		Net:         m.netStats(snap),
 		LockRetries: snap.Counter("lock.retries"),
 		MergedReads: snap.Counter("rac.merged.reads"),
 		ReadLat:     m.readLat,
@@ -92,6 +95,22 @@ func (m *Machine) result() *Result {
 	}
 	r.Replacements = r.Dir.Replacements
 	return r
+}
+
+// netStats reconstructs the mesh accounting from the metrics snapshot, so
+// a sharded run (where each cluster sent through its own mesh instance)
+// reports the same machine-wide totals the serial engine reads off its
+// single mesh.
+func (m *Machine) netStats(snap obs.Snapshot) mesh.Stats {
+	if m.merged == nil {
+		return m.net.Stats()
+	}
+	return mesh.Stats{
+		Messages: snap.Counter("mesh.msgs"),
+		Hops:     snap.Counter("mesh.hops"),
+		MaxHops:  int(snap.GaugeMax["mesh.maxhops"]),
+		Stalls:   snap.Counter("mesh.stalls"),
+	}
 }
 
 // Summary renders the run in the style of the paper's figures: execution

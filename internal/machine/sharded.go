@@ -1,0 +1,416 @@
+package machine
+
+// The sharded event-wheel core: a conservative-lookahead parallel discrete
+// event simulator for the fault-free machine.
+//
+// Clusters are partitioned round-robin across N worker shards, each owning
+// a timing wheel (sim.Wheel). All shards advance in lockstep windows
+// [W, W+look), where look is the minimum cross-cluster mesh latency: an
+// event at time t can only affect another cluster at t+latency >= t+look,
+// so everything inside the current window is causally independent across
+// shards and can run in parallel. Cross-shard messages are buffered in
+// per-(src,dst) outboxes during a window and exchanged at the barrier; the
+// receiver inserts them keyed by (arrival time, origin cluster, origin
+// sequence), and since the wheel fires equal-time events in ascending key
+// order, the total event order — and therefore every simulation result —
+// is byte-identical at every shard count.
+//
+// Configurations the core cannot honor (anything that shares mutable state
+// across clusters outside this protocol: fault injection, the invariant
+// checker, tracing, spans, sampling, mesh port contention, an external
+// metrics registry, deliberate protocol faults, or a latency model where a
+// reply can tie with the acknowledgements it logically precedes) fall back
+// to the serial heap engine; Machine.FallbackReason says why.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dircoh/internal/mesh"
+	"dircoh/internal/obs"
+	"dircoh/internal/protocol"
+	"dircoh/internal/sim"
+	"dircoh/internal/stats"
+)
+
+// never is the "no pending event" sentinel for window arithmetic.
+const never = ^sim.Time(0)
+
+// shardBlockReason reports why cfg cannot run on the sharded core, or ""
+// when it can. Called after New has applied timing/mesh defaults.
+func shardBlockReason(cfg *Config) string {
+	switch {
+	case cfg.Mesh.Faults.Enabled():
+		return "fault injection"
+	case cfg.Check:
+		return "invariant checker"
+	case cfg.Trace != nil:
+		return "event tracing"
+	case cfg.Spans != nil:
+		return "transaction spans"
+	case cfg.SampleEvery > 0:
+		return "queue-depth sampling"
+	case cfg.Mesh.PortTime > 0:
+		return "mesh port contention"
+	case cfg.Metrics != nil:
+		return "external metrics registry"
+	case cfg.Fault != FaultNone:
+		return "deliberate protocol fault"
+	case cfg.Timing.InvalBus == 0 && cfg.Mesh.Base == 0:
+		// With both zero an ownership reply can tie with an invalidation
+		// acknowledgement, and the reply-carried ack count would go
+		// negative if the ack fires first.
+		return "degenerate timing (InvalBus and Mesh.Base both zero)"
+	}
+	return ""
+}
+
+// newClusterRes builds one cluster's private facility bundle for a sharded
+// run: its own registry, mesh accounting instance, scheme instance (some
+// schemes carry per-instance RNG state), lock and barrier tables, and
+// figure histograms. Names match the shared serial registry exactly so the
+// per-cluster snapshots merge back into the same metric namespace.
+func newClusterRes(cfg *Config, clusters int) *clusterRes {
+	reg := obs.NewRegistry()
+	mc := cfg.Mesh
+	mc.Metrics = reg
+	res := &clusterRes{
+		reg:         reg,
+		net:         mesh.New(mc),
+		scheme:      cfg.Scheme(clusters),
+		lockRetries: reg.Counter("lock.retries"),
+		mergedReads: reg.Counter("rac.merged.reads"),
+		extraInval:  reg.Counter("dir.inval.extraneous"),
+		invalFan:    reg.Histogram("dir.inval.fanout", nil),
+		replFan:     reg.Histogram("dir.repl.fanout", nil),
+		invalHist:   &stats.Histogram{},
+		replHist:    &stats.Histogram{},
+		readLat:     &stats.LatHist{},
+		writeLat:    &stats.LatHist{},
+	}
+	res.locks = protocol.NewLockTable(res.scheme)
+	res.barriers = protocol.NewBarrierTable(cfg.Procs)
+	for k := range res.kindCtr {
+		res.kindCtr[k] = reg.Counter(protocol.MsgKind(k).MetricName())
+	}
+	return res
+}
+
+// relayEv is one cross-shard event in transit through an outbox.
+type relayEv struct {
+	at  sim.Time
+	key uint64
+	fn  sim.Event
+}
+
+// shardedCore drives the parallel run.
+type shardedCore struct {
+	m      *Machine
+	n      int
+	look   sim.Time
+	wheels []*sim.Wheel
+
+	// out[src][dst] buffers events shard src scheduled into shard dst's
+	// clusters during the current window; dst drains its column at the
+	// barrier. Only src appends, only dst drains, and the two phases are
+	// barrier-separated.
+	out [][][]relayEv
+
+	// nextT[s] is shard s's earliest pending event after the exchange;
+	// every worker computes the identical next window from it.
+	nextT []sim.Time
+
+	barrier  spinBarrier
+	deadline time.Duration
+	start    time.Time
+	wallHit  bool // worker 0 samples the wall clock; read after the barrier
+	budget   sim.Time
+
+	// Initial watchdog verdict, computed before the workers start (every
+	// worker seeds its local copy from these, then rescans between the
+	// barriers where no shard is mutating processor state).
+	wdLimit sim.Time
+	wdStuck int
+}
+
+func newShardedCore(m *Machine, n int) *shardedCore {
+	clusters := len(m.clusters)
+	look := never
+	for a := 0; a < clusters; a++ {
+		for b := 0; b < clusters; b++ {
+			if a != b {
+				if l := m.net.Latency(a, b); l < look {
+					look = l
+				}
+			}
+		}
+	}
+	if clusters == 1 {
+		look = 1 // no cross-cluster traffic exists; any positive window works
+	}
+	if look == 0 || look == never {
+		panic("machine: sharded core needs a positive minimum mesh latency")
+	}
+	s := &shardedCore{
+		m:        m,
+		n:        n,
+		look:     look,
+		wheels:   make([]*sim.Wheel, n),
+		out:      make([][][]relayEv, n),
+		nextT:    make([]sim.Time, n),
+		deadline: m.cfg.Deadline,
+		budget:   m.cfg.StuckBudget,
+	}
+	for i := range s.wheels {
+		s.wheels[i] = sim.NewWheel(0)
+		s.out[i] = make([][]relayEv, n)
+	}
+	s.barrier.parties = int32(n)
+	return s
+}
+
+// relay schedules fn at absolute time t in cluster to's context from
+// cluster from's context, with from's next deterministic ordering key.
+// Same-shard targets insert directly; cross-shard targets go through the
+// outbox and must lie beyond the conservative lookahead.
+func (s *shardedCore) relay(from, to *clusterNode, t sim.Time, fn sim.Event) {
+	key := from.nextKey()
+	if to.shard == from.shard {
+		s.wheels[from.shard].AtKey(t, key, fn)
+		return
+	}
+	if t < s.wheels[from.shard].Now()+s.look {
+		panic(fmt.Sprintf("machine: cross-shard event at t=%d inside the lookahead window (now=%d, look=%d)",
+			t, s.wheels[from.shard].Now(), s.look))
+	}
+	s.out[from.shard][to.shard] = append(s.out[from.shard][to.shard], relayEv{at: t, key: key, fn: fn})
+}
+
+// run executes the window loop to completion (or abort) and reports the
+// abort error, if any.
+func (s *shardedCore) run() error {
+	for i, w := range s.wheels {
+		if t, ok := w.NextTime(); ok {
+			s.nextT[i] = t
+		} else {
+			s.nextT[i] = never
+		}
+	}
+	if s.deadline > 0 {
+		s.start = time.Now()
+	}
+	s.wdLimit, s.wdStuck = s.watchdogScan()
+	if s.n == 1 {
+		s.worker(0)
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(s.n)
+		for i := 0; i < s.n; i++ {
+			go func(id int) {
+				defer wg.Done()
+				s.worker(id)
+			}(i)
+		}
+		wg.Wait()
+	}
+	if s.m.aborted != nil {
+		return s.m.aborted
+	}
+	return nil
+}
+
+// worker is one shard's loop. Each iteration: every worker independently
+// computes the identical next window from the shared nextT array (and the
+// identical watchdog verdict, so all workers stop together without any
+// shared decision variable), runs its wheel through the window, then
+// exchanges outboxes and republishes its next event time between two
+// barriers.
+//
+// Memory discipline: processor and cluster state is only written while a
+// shard runs its wheel (between the loop top and the first barrier), and
+// only read machine-wide between the two barriers or at the loop top
+// using values captured there. The watchdog verdict therefore cannot be
+// computed at the loop top (another shard may already be firing events);
+// each worker rescans between the barriers and carries the verdict into
+// the next iteration in locals.
+func (s *shardedCore) worker(id int) {
+	m := s.m
+	limit, stuck := s.wdLimit, s.wdStuck
+	for {
+		window := never
+		for _, t := range s.nextT {
+			if t < window {
+				window = t
+			}
+		}
+		if window == never {
+			return
+		}
+		if s.wallHit {
+			if id == 0 {
+				m.abort(fmt.Sprintf("wall-clock deadline %s exceeded at t=%d", s.deadline, window))
+			}
+			return
+		}
+		if s.budget > 0 && window > limit {
+			// Deterministic liveness watchdog: the next window starting
+			// more than a budget past a processor's last progress is the
+			// sharded equivalent of the serial watchdog's periodic scan
+			// firing during the idle gap.
+			if id == 0 {
+				m.abort(fmt.Sprintf("liveness watchdog: proc %d made no progress for over %d cycles (budget exceeded at t=%d)",
+					stuck, s.budget, window))
+			}
+			return
+		}
+		s.wheels[id].RunUntil(window + s.look - 1)
+		s.barrier.wait()
+		w := s.wheels[id]
+		for src := range s.out {
+			box := s.out[src][id]
+			if len(box) == 0 {
+				continue
+			}
+			for _, r := range box {
+				w.AtKey(r.at, r.key, r.fn)
+			}
+			s.out[src][id] = box[:0]
+		}
+		if t, ok := w.NextTime(); ok {
+			s.nextT[id] = t
+		} else {
+			s.nextT[id] = never
+		}
+		if s.budget > 0 {
+			limit, stuck = s.watchdogScan()
+		}
+		if id == 0 && s.deadline > 0 && time.Since(s.start) > s.deadline {
+			s.wallHit = true
+		}
+		s.barrier.wait()
+	}
+}
+
+// watchdogScan computes the watchdog verdict over every processor: the
+// earliest time an unfinished processor runs out of its no-progress
+// budget, and which processor that is. A window opening strictly past the
+// limit aborts the run. Only called where no shard is mutating processor
+// state (before the workers start, or between the exchange barriers).
+func (s *shardedCore) watchdogScan() (limit sim.Time, stuck int) {
+	limit, stuck = never, -1
+	for _, p := range s.m.procs {
+		if p.done {
+			continue
+		}
+		if l := p.lastProgress + s.budget; l < limit {
+			limit = l
+			stuck = p.id
+		}
+	}
+	return limit, stuck
+}
+
+// runCore drives the machine's event processing to completion on whichever
+// core the configuration selected.
+func (m *Machine) runCore() error {
+	if m.shard != nil {
+		if err := m.shard.run(); err != nil {
+			return err
+		}
+		m.finalizeSharded()
+		return nil
+	}
+	return m.runEngine()
+}
+
+// finalizeSharded folds the per-cluster registries and histograms into the
+// machine-level views Result and MetricsSnapshot read. Counter sums are
+// order-independent, so the merge is deterministic.
+func (m *Machine) finalizeSharded() {
+	snaps := make([]obs.Snapshot, 0, len(m.clusters))
+	for _, c := range m.clusters {
+		snaps = append(snaps, c.res.reg.Snapshot())
+		m.invalHist.Merge(c.res.invalHist)
+		m.replHist.Merge(c.res.replHist)
+		m.readLat.Merge(c.res.readLat)
+		m.writeLat.Merge(c.res.writeLat)
+	}
+	merged := obs.MergeSnapshots(snaps...)
+	m.merged = &merged
+}
+
+// simNow returns the machine's current (or final) simulation time across
+// cores: the serial engine's clock, or the furthest shard wheel.
+func (m *Machine) simNow() sim.Time {
+	if s := m.shard; s != nil {
+		var t sim.Time
+		for _, w := range s.wheels {
+			if w.Now() > t {
+				t = w.Now()
+			}
+		}
+		return t
+	}
+	return m.eng.Now()
+}
+
+// simFired returns total events executed across cores.
+func (m *Machine) simFired() uint64 {
+	if s := m.shard; s != nil {
+		var n uint64
+		for _, w := range s.wheels {
+			n += w.Fired()
+		}
+		return n
+	}
+	return m.eng.Fired()
+}
+
+// simPending returns total scheduled-but-unfired events across cores
+// (outbox events in transit included).
+func (m *Machine) simPending() int {
+	if s := m.shard; s != nil {
+		n := 0
+		for _, w := range s.wheels {
+			n += w.Pending()
+		}
+		for _, row := range s.out {
+			for _, box := range row {
+				n += len(box)
+			}
+		}
+		return n
+	}
+	return m.eng.Pending()
+}
+
+// spinBarrier is a sense-reversing spin barrier. Windows are short (often
+// a handful of events), so parking on a sync primitive per phase would
+// dominate the run; spinning with periodic yields keeps the barrier in the
+// tens-of-nanoseconds range. All operations go through sync/atomic, so the
+// race detector understands the ordering.
+type spinBarrier struct {
+	parties int32
+	count   atomic.Int32
+	sense   atomic.Uint32
+}
+
+func (b *spinBarrier) wait() {
+	if b.parties == 1 {
+		return
+	}
+	s := b.sense.Load()
+	if b.count.Add(1) == b.parties {
+		b.count.Store(0)
+		b.sense.Store(s + 1)
+		return
+	}
+	for spins := 0; b.sense.Load() == s; spins++ {
+		if spins&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+}

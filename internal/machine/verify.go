@@ -59,7 +59,7 @@ func (m *Machine) CheckCoherence() error {
 		if !needEntry {
 			continue // blocks cached only at home need no directory entry
 		}
-		e := m.clusters[home].dir.Lookup(m.dirKey(b), m.eng.Now())
+		e := m.clusters[home].dir.Lookup(m.dirKey(b), m.simNow())
 		if e == nil {
 			return fmt.Errorf("block %d cached remotely but home %d has no directory entry", b, home)
 		}

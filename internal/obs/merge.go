@@ -1,0 +1,61 @@
+package obs
+
+import "fmt"
+
+// MergeSnapshots combines snapshots taken from disjoint single-writer
+// registries — the sharded machine core gives every cluster its own
+// registry and merges at quiescence. Counters and gauge values are summed,
+// gauge maxima take the maximum of the per-registry maxima (note a
+// high-water mark merged this way is the max of per-shard peaks, not the
+// peak of the machine-wide sum), and histograms add bucket counts. Merging
+// the same histogram name with different bucket bounds panics: that is a
+// registration bug, not a runtime condition.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	out := Snapshot{
+		Counters: make(map[string]uint64),
+		Gauges:   make(map[string]int64),
+		GaugeMax: make(map[string]int64),
+		Hists:    make(map[string]HistSnapshot),
+	}
+	for _, s := range snaps {
+		for name, v := range s.Counters {
+			out.Counters[name] += v
+		}
+		for name, v := range s.Gauges {
+			if _, ok := out.Gauges[name]; !ok {
+				out.Gauges[name] = 0
+				out.GaugeMax[name] = s.GaugeMax[name]
+			}
+			out.Gauges[name] += v
+			if m := s.GaugeMax[name]; m > out.GaugeMax[name] {
+				out.GaugeMax[name] = m
+			}
+		}
+		for name, h := range s.Hists {
+			acc, ok := out.Hists[name]
+			if !ok {
+				out.Hists[name] = HistSnapshot{
+					Bounds: append([]uint64(nil), h.Bounds...),
+					Counts: append([]uint64(nil), h.Counts...),
+					N:      h.N,
+					Sum:    h.Sum,
+					Max:    h.Max,
+				}
+				continue
+			}
+			if len(acc.Counts) != len(h.Counts) {
+				panic(fmt.Sprintf("obs: merging histogram %q with mismatched bounds", name))
+			}
+			for i, c := range h.Counts {
+				acc.Counts[i] += c
+			}
+			acc.N += h.N
+			acc.Sum += h.Sum
+			if h.Max > acc.Max {
+				acc.Max = h.Max
+			}
+			out.Hists[name] = acc
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package obs
+
+import "testing"
+
+func TestMergeSnapshots(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	a.Counter("msgs").Add(3)
+	b.Counter("msgs").Add(4)
+	b.Counter("only.b").Inc()
+	ga := a.Gauge("pend")
+	ga.Add(5)
+	ga.Add(-2) // value 3, max 5
+	gb := b.Gauge("pend")
+	gb.Add(9)
+	gb.Add(-9) // value 0, max 9
+	bounds := []uint64{1, 2, 4}
+	a.Histogram("lat", bounds).Observe(1)
+	a.Histogram("lat", bounds).Observe(3)
+	b.Histogram("lat", bounds).Observe(100)
+
+	m := MergeSnapshots(a.Snapshot(), b.Snapshot())
+	if got := m.Counters["msgs"]; got != 7 {
+		t.Fatalf("msgs = %d, want 7", got)
+	}
+	if got := m.Counters["only.b"]; got != 1 {
+		t.Fatalf("only.b = %d, want 1", got)
+	}
+	if got := m.Gauges["pend"]; got != 3 {
+		t.Fatalf("pend value = %d, want 3", got)
+	}
+	if got := m.GaugeMax["pend"]; got != 9 {
+		t.Fatalf("pend max = %d, want 9", got)
+	}
+	h := m.Hists["lat"]
+	if h.N != 3 || h.Sum != 104 || h.Max != 100 {
+		t.Fatalf("hist N=%d Sum=%d Max=%d, want 3/104/100", h.N, h.Sum, h.Max)
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("hist bucket total = %d, want 3", total)
+	}
+
+	// Merging must not alias the inputs.
+	a2 := a.Snapshot()
+	_ = MergeSnapshots(a2, b.Snapshot())
+	if a2.Counters["msgs"] != 3 {
+		t.Fatalf("merge mutated its input: msgs = %d", a2.Counters["msgs"])
+	}
+}
+
+func TestMergeSnapshotsMismatchedBoundsPanics(t *testing.T) {
+	a := NewRegistry()
+	b := NewRegistry()
+	a.Histogram("h", []uint64{1, 2}).Observe(1)
+	b.Histogram("h", []uint64{1, 2, 3}).Observe(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched bounds did not panic")
+		}
+	}()
+	MergeSnapshots(a.Snapshot(), b.Snapshot())
+}

@@ -25,7 +25,9 @@ type Line struct {
 	Fault    string // "none", "drop-inval" or "skip-recall"
 	Faults   string // mesh fault spec or "campaign"; empty omits the flag
 	Wedge    bool
-	Parallel int // 0 omits the flag
+	NoCheck  bool // renders as -check=false; the checker is on by default
+	Shards   int  // 0 omits the flag
+	Parallel int  // 0 omits the flag
 	Verbose  bool
 }
 
@@ -39,6 +41,12 @@ func (l Line) String() string {
 	}
 	if l.Wedge {
 		b.WriteString(" -wedge")
+	}
+	if l.NoCheck {
+		b.WriteString(" -check=false")
+	}
+	if l.Shards > 0 {
+		fmt.Fprintf(&b, " -shards %d", l.Shards)
 	}
 	if l.Parallel > 0 {
 		fmt.Fprintf(&b, " -parallel %d", l.Parallel)
@@ -114,6 +122,12 @@ func Parse(s string) (Line, error) {
 			l.Faults, err = value(flag)
 		case "-wedge":
 			l.Wedge = true
+		case "-check=false":
+			l.NoCheck = true
+		case "-check", "-check=true":
+			l.NoCheck = false
+		case "-shards":
+			l.Shards, err = intValue(flag)
 		case "-parallel":
 			l.Parallel, err = intValue(flag)
 		case "-v":

@@ -1,7 +1,10 @@
-// Package sim provides a deterministic discrete-event simulation engine.
+// Package sim provides deterministic discrete-event simulation engines.
 //
 // Events are callbacks scheduled at integer cycle times. Ties are broken by
-// insertion order, so a simulation run is fully reproducible.
+// insertion order, so a simulation run is fully reproducible. Two
+// implementations of the Scheduler interface are provided: the heap-based
+// Engine (the serial default) and the timing Wheel (see wheel.go), whose
+// explicit ordering keys the sharded machine core builds on.
 package sim
 
 import "container/heap"
@@ -59,9 +62,14 @@ func (e *Engine) At(t Time, fn Event) {
 	heap.Push(&e.events, item{at: t, seq: e.seq, fn: fn})
 }
 
-// After schedules fn to run delay cycles from now.
+// After schedules fn to run delay cycles from now. A delay that would
+// overflow Time panics: wrapping would silently schedule in the past.
 func (e *Engine) After(delay Time, fn Event) {
-	e.At(e.now+delay, fn)
+	t := e.now + delay
+	if t < e.now {
+		panic("sim: After overflows sim.Time")
+	}
+	e.At(t, fn)
 }
 
 // Step fires the next event, advancing time to it. It reports whether an
