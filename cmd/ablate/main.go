@@ -20,11 +20,11 @@ func main() {
 		rounds   = flag.Int("rounds", 8, "lock acquisitions per processor in the contention study")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = one per core)")
 	)
-	obsFlags := cli.NewObs("ablate")
+	obsFlags := cli.NewObs("ablate").EnableServer()
 	flag.Parse()
 	cli.Check("ablate", obsFlags.Start())
 	defer obsFlags.Stop()
-	ob := exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery(), Faults: obsFlags.Faults(), Deadline: obsFlags.Deadline()}
+	ob := exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery(), Faults: obsFlags.Faults(), Deadline: obsFlags.Deadline(), Live: obsFlags.Live()}
 	if obsFlags.Checking() {
 		ob.Check = obsFlags.CheckSink
 	}

@@ -1,8 +1,11 @@
 // Command bench records the simulator's performance trajectory: a pinned
 // workload matrix (scheme × processor count × application), each cell run
 // at a fixed set of machine-core shard widths, measuring wall time,
-// cycles simulated per second and heap allocations. Results go to a JSON
-// file (BENCH_7.json by default) so successive PRs can diff throughput on
+// cycles simulated per second and heap allocations — once with
+// observability off and once with event tracing, span recording, and
+// queue sampling enabled on discard sinks, so the instrumentation's cost
+// is tracked per width alongside raw throughput. Results go to a JSON
+// file (BENCH_8.json by default) so successive PRs can diff throughput on
 // the same matrix.
 //
 // Shard width 0 is the legacy serial heap engine — the baseline every
@@ -14,7 +17,7 @@
 //
 //	bench                   # full matrix, ~2 minutes
 //	bench -quick            # one cell, one repetition, for CI
-//	bench -o BENCH_7.json   # output path
+//	bench -o BENCH_8.json   # output path
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 	"dircoh/internal/cli"
 	"dircoh/internal/exp"
 	"dircoh/internal/machine"
+	"dircoh/internal/obs"
 	"dircoh/internal/tango"
 )
 
@@ -50,6 +54,12 @@ type result struct {
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	AllocObjs    uint64  `json:"alloc_objs"`  // heap objects per run
 	AllocBytes   uint64  `json:"alloc_bytes"` // heap bytes per run
+
+	// The same cell with tracing, spans, and queue sampling enabled on
+	// discard sinks. ObsOverhead is ObsWallSeconds / WallSeconds.
+	ObsWallSeconds  float64 `json:"obs_wall_seconds"`
+	ObsCyclesPerSec float64 `json:"obs_cycles_per_sec"`
+	ObsOverhead     float64 `json:"obs_overhead"`
 }
 
 // speedup summarizes one cell: cycles/sec at each width over the serial
@@ -105,39 +115,58 @@ func factory(name string) machine.SchemeFactory {
 	return nil
 }
 
-// measure runs one cell at one width reps times and keeps the best wall
-// time; allocations come from the final repetition.
-func measure(c cell, w *tango.Workload, shards, reps int) result {
+// runOnce executes one cell once, with or without observability, and
+// returns the wall seconds, simulated cycles, and allocation deltas.
+func runOnce(c cell, w *tango.Workload, shards int, withObs bool) (wall float64, cycles, objs, bytes uint64) {
 	cfg := machine.DefaultConfig(factory(c.Scheme))
 	cfg.Procs = c.Procs
 	cfg.Shards = shards
+	if withObs {
+		cfg.Trace = obs.NewTracer(obs.Discard, 0)
+		cfg.Spans = obs.NewSpanRecorder(obs.DiscardSpans, 0)
+		cfg.SampleEvery = 64
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	m, err := machine.New(cfg)
+	if err != nil {
+		cli.Fatalf(tool, "%s/%s: %v", c.App, c.Scheme, err)
+	}
+	if shards > 0 && m.Shards() == 0 {
+		cli.Fatalf(tool, "%s/%s: -shards %d fell back to serial: %s", c.App, c.Scheme, shards, m.FallbackReason())
+	}
+	r, err := m.Run(w)
+	if err != nil {
+		cli.Fatalf(tool, "%s/%s: %v", c.App, c.Scheme, err)
+	}
+	wall = time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	return wall, uint64(r.ExecTime), after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+}
+
+// measure runs one cell at one width reps times, obs off and on, and
+// keeps each mode's best wall time; allocations come from the final
+// obs-off repetition.
+func measure(c cell, w *tango.Workload, shards, reps int) result {
 	res := result{cell: c, Shards: shards, Reps: reps}
 	for rep := 0; rep < reps; rep++ {
-		runtime.GC()
-		var before, after runtime.MemStats
-		runtime.ReadMemStats(&before)
-		start := time.Now()
-		m, err := machine.New(cfg)
-		if err != nil {
-			cli.Fatalf(tool, "%s/%s: %v", c.App, c.Scheme, err)
-		}
-		if shards > 0 && m.Shards() == 0 {
-			cli.Fatalf(tool, "%s/%s: -shards %d fell back to serial: %s", c.App, c.Scheme, shards, m.FallbackReason())
-		}
-		r, err := m.Run(w)
-		if err != nil {
-			cli.Fatalf(tool, "%s/%s: %v", c.App, c.Scheme, err)
-		}
-		wall := time.Since(start).Seconds()
-		runtime.ReadMemStats(&after)
-		res.Cycles = uint64(r.ExecTime)
-		res.AllocObjs = after.Mallocs - before.Mallocs
-		res.AllocBytes = after.TotalAlloc - before.TotalAlloc
+		wall, cycles, objs, bytes := runOnce(c, w, shards, false)
+		res.Cycles = cycles
+		res.AllocObjs = objs
+		res.AllocBytes = bytes
 		if rep == 0 || wall < res.WallSeconds {
 			res.WallSeconds = wall
 		}
+		obsWall, _, _, _ := runOnce(c, w, shards, true)
+		if rep == 0 || obsWall < res.ObsWallSeconds {
+			res.ObsWallSeconds = obsWall
+		}
 	}
 	res.CyclesPerSec = float64(res.Cycles) / res.WallSeconds
+	res.ObsCyclesPerSec = float64(res.Cycles) / res.ObsWallSeconds
+	res.ObsOverhead = res.ObsWallSeconds / res.WallSeconds
 	return res
 }
 
@@ -145,7 +174,7 @@ func main() {
 	var (
 		quick = flag.Bool("quick", false, "one cell, one repetition (CI smoke)")
 		reps  = flag.Int("reps", 3, "repetitions per point (best wall time wins)")
-		out   = flag.String("o", "BENCH_7.json", "output JSON path ('-' for stdout)")
+		out   = flag.String("o", "BENCH_8.json", "output JSON path ('-' for stdout)")
 	)
 	flag.Parse()
 	if *quick {
@@ -157,7 +186,7 @@ func main() {
 
 	widths := []int{0, 1, 2, 4}
 	rep := report{
-		Version: 1, Tool: tool, Quick: *quick,
+		Version: 2, Tool: tool, Quick: *quick,
 		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 		CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
 		Widths: widths,
@@ -175,8 +204,8 @@ func main() {
 			} else if serial > 0 {
 				sp.OverSerial[fmt.Sprintf("%d", width)] = r.CyclesPerSec / serial
 			}
-			fmt.Fprintf(os.Stderr, "%s %s procs=%d shards=%d: %.2fs wall, %.0f cycles/s, %d allocs\n",
-				c.App, c.Scheme, c.Procs, width, r.WallSeconds, r.CyclesPerSec, r.AllocObjs)
+			fmt.Fprintf(os.Stderr, "%s %s procs=%d shards=%d: %.2fs wall, %.0f cycles/s, %d allocs, obs overhead %.2fx\n",
+				c.App, c.Scheme, c.Procs, width, r.WallSeconds, r.CyclesPerSec, r.AllocObjs, r.ObsOverhead)
 		}
 		rep.Speedups = append(rep.Speedups, sp)
 	}

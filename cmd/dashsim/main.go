@@ -107,6 +107,9 @@ func main() {
 	cfg.Mesh.Faults = obsFlags.Faults()
 	cfg.Deadline = obsFlags.Deadline()
 	cfg.Shards = obsFlags.Shards()
+	if lv := obsFlags.Live(); lv != nil {
+		cfg.Live = lv.Run(w.Name)
+	}
 	if obsFlags.Checking() {
 		cfg.Check = true
 		cfg.CheckSink = obsFlags.CheckSink(w.Name)

@@ -46,14 +46,14 @@ func main() {
 		procs  = flag.Int("procs", 32, "processors for the LocusRoute runs")
 		seed   = flag.Int64("seed", 1, "Monte-Carlo seed")
 	)
-	obsFlags := cli.NewObs("invdist")
+	obsFlags := cli.NewObs("invdist").EnableServer()
 	flag.Parse()
 	if err := analytic.ValidateTrials(*trials); err != nil {
 		cli.Usagef("invdist", "%v", err)
 	}
 	cli.Check("invdist", obsFlags.Start())
 	defer obsFlags.Stop()
-	ob := exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery(), Faults: obsFlags.Faults(), Deadline: obsFlags.Deadline()}
+	ob := exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery(), Faults: obsFlags.Faults(), Deadline: obsFlags.Deadline(), Live: obsFlags.Live()}
 	if obsFlags.Checking() {
 		ob.Check = obsFlags.CheckSink
 	}

@@ -25,11 +25,11 @@ func main() {
 		ablations = flag.Bool("ablations", true, "include the ablation studies")
 		parallel  = flag.Int("parallel", 0, "concurrent simulations (0 = one per core)")
 	)
-	obsFlags := cli.NewObs("report")
+	obsFlags := cli.NewObs("report").EnableServer()
 	flag.Parse()
 	cli.Check("report", obsFlags.Start())
 	defer obsFlags.Stop()
-	ob := exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery(), Faults: obsFlags.Faults(), Deadline: obsFlags.Deadline()}
+	ob := exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery(), Faults: obsFlags.Faults(), Deadline: obsFlags.Deadline(), Live: obsFlags.Live()}
 	s := exp.NewSession(ob, *parallel, obsFlags.Shards())
 
 	w := bufio.NewWriter(os.Stdout)

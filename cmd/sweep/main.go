@@ -27,14 +27,14 @@ func main() {
 		trials   = flag.Int("trials", 2000, "Monte-Carlo trials for Figure 2")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = one per core)")
 	)
-	obsFlags := cli.NewObs("sweep")
+	obsFlags := cli.NewObs("sweep").EnableServer()
 	flag.Parse()
 	if err := analytic.ValidateTrials(*trials); err != nil {
 		cli.Usagef("sweep", "%v", err)
 	}
 	cli.Check("sweep", obsFlags.Start())
 	defer obsFlags.Stop()
-	ob := exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery(), Faults: obsFlags.Faults(), Deadline: obsFlags.Deadline()}
+	ob := exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery(), Faults: obsFlags.Faults(), Deadline: obsFlags.Deadline(), Live: obsFlags.Live()}
 	if obsFlags.Checking() {
 		ob.Check = obsFlags.CheckSink
 	}

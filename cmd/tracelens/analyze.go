@@ -47,7 +47,8 @@ type analysis struct {
 
 // parse reads span JSONL from r, grouping transactions by run label.
 // Coherence-event lines ("ev" key) interleaved in the same file are
-// skipped. Any malformed line, unknown class/phase name, orphan child
+// skipped. Any malformed line, unknown class/phase name, duplicate root
+// transaction id, orphan child
 // span, or synchronous-phase tiling violation is an error: the trace is
 // the analyzer's ground truth and a broken one must not produce silently
 // wrong tables.
@@ -98,6 +99,14 @@ func parse(r io.Reader) ([]*analysis, error) {
 		if s.Parent == 0 {
 			if s.ID != s.Tx || s.Phase != obs.PhTotal {
 				return nil, fmt.Errorf("line %d: malformed root span %d (tx %d, phase %s)", lineNo, s.ID, s.Tx, s.Phase)
+			}
+			if prev := p.roots[s.ID]; prev != nil {
+				// Root TxIDs must be unique within a run: the sharded core
+				// derives them as cluster<<40|seq, so a collision means a
+				// broken merge (or two runs written under one label) and
+				// every table downstream would silently blend the two
+				// transactions.
+				return nil, fmt.Errorf("line %d: duplicate transaction id %d in run %q (first root starts at cycle %d)", lineNo, s.ID, sl.Run, prev.root.Start)
 			}
 			t := &tx{root: s}
 			p.roots[s.ID] = t

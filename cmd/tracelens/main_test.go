@@ -119,12 +119,20 @@ func TestParseErrors(t *testing.T) {
 		{"orphan child", `{"tx":9,"span":10,"parent":9,"class":"read","phase":"req.travel","node":0,"block":2,"start":10,"end":30,"n":0}`},
 		{"bad tiling", root + "\n" + `{"tx":1,"span":2,"parent":1,"class":"read","phase":"req.travel","node":0,"block":2,"start":10,"end":20,"n":0}`},
 		{"end before start", strings.Replace(root, `"start":10`, `"start":99`, 1)},
+		{"duplicate tx id", root + "\n" + root},
 	}
 	for _, tc := range cases {
 		if _, err := parse(strings.NewReader(tc.in + "\n")); err == nil {
 			t.Errorf("%s: parse accepted bad input", tc.name)
 		}
 	}
+	// A colliding root TxID (two transactions claiming id 1) names the id
+	// and the run in the error, so a broken shard merge is diagnosable.
+	_, errDup := parse(strings.NewReader(root + "\n" + root + "\n"))
+	if errDup == nil || !strings.Contains(errDup.Error(), "duplicate transaction id 1") {
+		t.Fatalf("duplicate tx id error = %v", errDup)
+	}
+
 	// Unknown names surface the obs layer's typed errors.
 	_, err := parse(strings.NewReader(strings.Replace(root, `"read"`, `"bogus"`, 1) + "\n"))
 	var uc *obs.UnknownTxClassError

@@ -3,14 +3,23 @@
 // -memprofile, and optionally a -pprof server) with its start/stop
 // lifecycle. Commands declare their own flags, add Obs, parse, then wrap
 // the run in Start/Stop.
+//
+// The -pprof server doubles as the live-observation endpoint: alongside
+// /debug/pprof it serves /metrics and /progress, JSON views over the
+// in-run snapshots that simulations publish into the Live registry
+// (machine.Config.Live), so a long sweep can be watched mid-flight with
+// plain curl.
 package cli
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -65,6 +74,10 @@ type Obs struct {
 	spanSink  *obs.JSONLSink
 	checkSink *obs.JSONLSink
 
+	serverOn bool      // EnableServer was called (the -pprof flag exists)
+	live     *obs.Live // live-run registry the server reads; nil until Start
+	ln       net.Listener
+
 	mu      sync.Mutex // serializes metrics blocks from concurrent runs
 	metrics *os.File
 	cpu     *os.File
@@ -90,11 +103,70 @@ func NewObs(tool string) *Obs {
 }
 
 // EnableServer additionally registers -pprof, which serves
-// net/http/pprof's /debug/pprof endpoints while the command runs. Call
-// before flag.Parse.
+// net/http/pprof's /debug/pprof endpoints plus the live /metrics and
+// /progress JSON views while the command runs. Call before flag.Parse.
 func (o *Obs) EnableServer() *Obs {
-	flag.StringVar(&o.pprofAddr, "pprof", "", "serve /debug/pprof on this address (e.g. localhost:6060)")
+	o.serverOn = true
+	flag.StringVar(&o.pprofAddr, "pprof", "", "serve /debug/pprof, /metrics, and /progress on this address (e.g. localhost:6060)")
 	return o
+}
+
+// Live returns the registry of in-flight runs the -pprof server reads, or
+// nil when the server is off (EnableServer not called, or -pprof unset).
+// Commands hand each simulation a slot via Live().Run(label) wired into
+// machine.Config.Live; valid after Start.
+func (o *Obs) Live() *obs.Live { return o.live }
+
+// ServerAddr returns the address the -pprof server is listening on
+// ("" when it is not running). With "-pprof 127.0.0.1:0" the kernel picks
+// the port; this reports the resolved one.
+func (o *Obs) ServerAddr() string {
+	if o.ln == nil {
+		return ""
+	}
+	return o.ln.Addr().String()
+}
+
+// serveMetrics renders label -> latest published metrics snapshot.
+func (o *Obs) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	out := make(map[string]obs.Snapshot)
+	for _, run := range o.live.Runs() {
+		if s := run.Latest(); s != nil {
+			out[run.Label()] = s.Metrics
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: /metrics: %v\n", o.tool, err)
+	}
+}
+
+// progressEntry is one run's row in the /progress view: the LiveSample
+// minus its metrics payload.
+type progressEntry struct {
+	Cycles uint64   `json:"cycles"`
+	Events uint64   `json:"events"`
+	Shards []uint64 `json:"shards,omitempty"`
+	Done   bool     `json:"done"`
+}
+
+// serveProgress renders label -> how far the run has advanced.
+func (o *Obs) serveProgress(w http.ResponseWriter, _ *http.Request) {
+	out := make(map[string]progressEntry)
+	for _, run := range o.live.Runs() {
+		if s := run.Latest(); s != nil {
+			out[run.Label()] = progressEntry{
+				Cycles: s.Cycles,
+				Events: s.Events,
+				Shards: s.Shards,
+				Done:   s.Done,
+			}
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: /progress: %v\n", o.tool, err)
+	}
 }
 
 // Start opens the requested outputs and starts profiling. Call after
@@ -153,12 +225,26 @@ func (o *Obs) Start() error {
 		o.metrics = f
 	}
 	if o.pprofAddr != "" {
+		o.live = obs.NewLive()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		mux.HandleFunc("/metrics", o.serveMetrics)
+		mux.HandleFunc("/progress", o.serveProgress)
+		ln, err := net.Listen("tcp", o.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("-pprof %s: %w", o.pprofAddr, err)
+		}
+		o.ln = ln
 		go func() {
-			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+			if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
 				fmt.Fprintf(os.Stderr, "%s: pprof server: %v\n", o.tool, err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "%s: pprof listening on http://%s/debug/pprof\n", o.tool, o.pprofAddr)
+		fmt.Fprintf(os.Stderr, "%s: serving /debug/pprof, /metrics, /progress on http://%s\n", o.tool, ln.Addr())
 	}
 	return nil
 }
@@ -167,6 +253,10 @@ func (o *Obs) Start() error {
 // profile if one was requested. Errors are fatal: a truncated trace or
 // profile silently accepted would defeat the point of asking for one.
 func (o *Obs) Stop() {
+	if o.ln != nil {
+		o.ln.Close()
+		o.ln = nil
+	}
 	if o.cpu != nil {
 		pprof.StopCPUProfile()
 		Check(o.tool, o.cpu.Close())

@@ -99,6 +99,9 @@ func (s *Session) runWorkload(app string, w *tango.Workload, cfg machine.Config,
 		cfg.CheckSink = ob.Check(name)
 	}
 	cfg.SampleEvery = ob.SampleEvery
+	if ob.Live != nil {
+		cfg.Live = ob.Live.Run(name)
+	}
 	if ob.Faults.Enabled() {
 		cfg.Mesh.Faults = ob.Faults
 	}

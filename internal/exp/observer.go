@@ -33,4 +33,9 @@ type Observer struct {
 	// Deadline, when > 0, bounds each run in wall-clock time via the
 	// machine's watchdog abort.
 	Deadline time.Duration
+	// Live, when non-nil, registers every run under its "app/label" name
+	// and wires the slot into the machine, which publishes in-run progress
+	// and metrics snapshots into it (read by the -pprof server's /metrics
+	// and /progress endpoints).
+	Live *obs.Live
 }

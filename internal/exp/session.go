@@ -21,8 +21,10 @@ import (
 // invisible in the output across widths >= 1, which all share the
 // canonical deterministic event order (the legacy serial engine, width
 // 0, breaks simultaneous-event ties by insertion order instead); runs
-// whose configuration demands serial execution — tracing, checking,
-// faults — silently fall back to the serial engine.
+// whose configuration demands serial execution — fault injection, the
+// invariant checker, mesh port contention — silently fall back to the
+// serial engine (observability no longer forces the fallback; see
+// machine.Machine.FallbackReason).
 type Session struct {
 	mu     sync.RWMutex
 	obs    Observer

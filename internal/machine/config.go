@@ -120,16 +120,17 @@ type Config struct {
 	// Shards, when > 0, runs the machine on the sharded event-wheel core:
 	// clusters are partitioned across Shards worker goroutines, each with
 	// its own timing wheel, advancing in lockstep windows bounded by the
-	// minimum cross-shard mesh latency (conservative lookahead). Results
-	// are byte-identical at every Shards value >= 1, but differ from the
+	// minimum cross-shard mesh latency (conservative lookahead). Results —
+	// including metrics, traces, spans and queue-depth samples — are
+	// byte-identical at every Shards value >= 1, but differ from the
 	// Shards == 0 serial engine in event tie-breaking: the sharded core
 	// orders equal-time events by (scheduling cluster, per-cluster
 	// sequence) instead of global insertion order, the property that makes
 	// the order independent of the shard count. Configurations the sharded
-	// core cannot honor (fault injection, tracing, spans, checking,
-	// sampling, port contention, an external Metrics registry) fall back
-	// to the serial engine; Machine.FallbackReason reports why. 0 is the
-	// serial default.
+	// core cannot honor (fault injection, the invariant checker, mesh port
+	// contention, deliberate protocol faults, degenerate timing) fall back
+	// to the serial engine; Machine.FallbackReason names the offending
+	// flag and the workaround. 0 is the serial default.
 	Shards int
 
 	// Retry tunes the timeout/retry delivery recovery active while
@@ -152,12 +153,17 @@ type Config struct {
 	// directories, gates and RACs) records into; a private registry is
 	// created when nil, readable via Machine.MetricsSnapshot. A machine is
 	// single-writer and reads its own counters back into Result, so a
-	// registry must not be shared between machines.
+	// registry must not be shared between machines. Sharded runs record
+	// into private per-cluster registries and merge them into Metrics at
+	// quiescence, so external registries see sharded runs exactly as they
+	// see serial ones.
 	Metrics *obs.Registry
 	// Trace, when non-nil, receives structured coherence events (request
 	// issues, directory lookups, invalidation fan-outs, overflow bursts,
 	// directory evictions, lock retries). nil disables tracing at the cost
-	// of one pointer test per would-be event.
+	// of one pointer test per would-be event. Sharded runs buffer events
+	// per shard and flush them in the canonical (time, key) order at
+	// quiescence, so the event stream is byte-identical at every width.
 	Trace *obs.Tracer
 	// Spans, when non-nil, receives parented transaction spans: every
 	// remote memory transaction (read miss, write miss, upgrade, lock
@@ -166,15 +172,24 @@ type Config struct {
 	// phase (request travel, directory wait, fanout, ack gather, reply
 	// travel). Enabling spans also fills the tx.lat.<class> latency
 	// histograms. nil disables span tracing at the cost of one pointer
-	// test per would-be transaction.
+	// test per would-be transaction. Sharded runs allocate width-
+	// independent span IDs and flush buffered spans in canonical order at
+	// quiescence, so span output is byte-identical at every width.
 	Spans *obs.SpanRecorder
 	// SampleEvery, when > 0, samples queue depths every SampleEvery
 	// cycles into the dir.queue.depth, dir.entries.live and
 	// mesh.port.backlog histograms: per-cluster directory-controller
 	// backlog, live directory entries, and network ejection-port backlog.
 	// Sampling reads simulator state without mutating it, so results are
-	// identical with sampling on or off.
+	// identical with sampling on or off, at every shard width.
 	SampleEvery sim.Time
+	// Live, when non-nil, receives atomically-published in-run progress
+	// snapshots (cycles simulated, events fired, per-shard wheel times,
+	// merged metrics) roughly every 100ms of wall clock, plus a final
+	// sample with Done set. Sharded runs publish from the window barriers
+	// where every shard is quiescent; publishing reads simulator state
+	// without mutating it, so results are unchanged.
+	Live *obs.LiveRun
 	// Check enables the runtime coherence invariant checker: a shadow
 	// oracle asserting single-writer/multiple-reader, directory coverage,
 	// recall completeness, acknowledgement conservation and span tiling at

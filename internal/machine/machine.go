@@ -48,17 +48,12 @@ type Machine struct {
 	invalFan    *obs.Histogram                     // "dir.inval.fanout"
 	replFan     *obs.Histogram                     // "dir.repl.fanout"
 
-	// Transaction tracing (nil/empty when Config.Spans is nil). txLat
-	// holds the per-class latency histograms ("tx.lat.<class>"); lockTx
-	// maps a processor to its open lock-round transaction.
-	spans  *obs.SpanRecorder
-	txLat  [obs.NumTxClasses]*obs.Histogram
-	lockTx map[int]*txState
-
-	// Queue-depth sampling handles (nil when Config.SampleEvery is 0).
-	dirDepth  *obs.Histogram // "dir.queue.depth"
-	dirLive   *obs.Histogram // "dir.entries.live"
-	portDepth *obs.Histogram // "mesh.port.backlog"
+	// Transaction tracing (nil when Config.Spans is nil). The per-class
+	// latency histograms and the queue-depth sampling histograms live on
+	// clusterRes — shared across clusters on the serial engine, private
+	// per cluster on the sharded core — and each processor carries its
+	// own open lock-round transaction (proc.lockTx).
+	spans *obs.SpanRecorder
 
 	invalHist stats.Histogram // invalidations per invalidation event (Figs 3-6)
 	replHist  stats.Histogram // invalidations per sparse replacement
@@ -121,6 +116,14 @@ type clusterRes struct {
 	invalFan    *obs.Histogram
 	replFan     *obs.Histogram
 
+	// Transaction latency histograms ("tx.lat.<class>"; entries nil when
+	// Config.Spans is nil) and queue-depth sampling histograms (nil when
+	// Config.SampleEvery is 0).
+	txLat     [obs.NumTxClasses]*obs.Histogram
+	dirDepth  *obs.Histogram // "dir.queue.depth"
+	dirLive   *obs.Histogram // "dir.entries.live"
+	portDepth *obs.Histogram // "mesh.port.backlog"
+
 	invalHist *stats.Histogram
 	replHist  *stats.Histogram
 	readLat   *stats.LatHist
@@ -133,6 +136,7 @@ type clusterNode struct {
 	res     *clusterRes
 	shard   int    // owning shard (always 0 on the serial engine)
 	evSeq   uint64 // per-cluster event sequence, the wheel ordering key
+	spanSeq uint64 // per-cluster span-ID sequence (sharded runs; see spanID)
 	dir     sparse.Directory
 	gate    *protocol.Gate
 	rac     *protocol.RAC
@@ -193,6 +197,7 @@ type proc struct {
 	opWrite       bool
 	opStart       sim.Time
 	lastProgress  sim.Time // last cycle this processor advanced (liveness watchdog)
+	lockTx        *txState // open lock-round transaction (span tracing only)
 }
 
 // New builds a machine from cfg. Configurations that fail Validate are
@@ -260,15 +265,6 @@ func New(cfg Config) (*Machine, error) {
 	}
 	if cfg.Spans != nil {
 		m.spans = cfg.Spans
-		m.lockTx = make(map[int]*txState)
-		for c := range m.txLat {
-			m.txLat[c] = reg.Histogram("tx.lat."+obs.TxClass(c).String(), obs.LatBuckets)
-		}
-	}
-	if cfg.SampleEvery > 0 {
-		m.dirDepth = reg.Histogram("dir.queue.depth", obs.QueueBuckets)
-		m.dirLive = reg.Histogram("dir.entries.live", obs.QueueBuckets)
-		m.portDepth = reg.Histogram("mesh.port.backlog", obs.QueueBuckets)
 	}
 	m.locks = protocol.NewLockTable(m.scheme)
 	m.barriers = protocol.NewBarrierTable(cfg.Procs)
@@ -285,6 +281,7 @@ func New(cfg Config) (*Machine, error) {
 		invalHist: &m.invalHist, replHist: &m.replHist,
 		readLat: &m.readLat, writeLat: &m.writeLat,
 	}
+	shared.initObsHists(&cfg)
 	shards := 0
 	if cfg.Shards > 0 {
 		if r := shardBlockReason(&cfg); r != "" {
@@ -551,12 +548,24 @@ func (m *Machine) sendTx(kind protocol.MsgKind, from, to int, tx *txState, arriv
 }
 
 // trace emits one structured event when tracing is on. The nil test is the
-// whole disabled-path cost.
+// whole disabled-path cost. node is always the executing cluster, so on
+// the sharded core the event is buffered in that cluster's shard, stamped
+// with the firing position, and replayed in canonical order at quiescence
+// (see shardobs.go).
 func (m *Machine) trace(kind obs.EventKind, node int, block, arg int64) {
 	if m.tr == nil {
 		return
 	}
-	m.tr.Emit(obs.Event{T: m.eng.Now(), Node: int32(node), Kind: kind, Block: block, Arg: arg})
+	if s := m.shard; s != nil {
+		c := m.clusters[node]
+		w := s.wheels[c.shard]
+		s.obsBuf[c.shard].pushEv(keyedEvent{
+			key: w.FiringKey(),
+			ev:  obs.Event{T: uint64(w.Now()), Node: int32(node), Kind: kind, Block: block, Arg: arg},
+		})
+		return
+	}
+	m.tr.Emit(obs.Event{T: uint64(m.eng.Now()), Node: int32(node), Kind: kind, Block: block, Arg: arg})
 }
 
 // MetricsSnapshot freezes the machine's metrics registry — every named
@@ -679,7 +688,17 @@ func (m *Machine) Run(w *tango.Workload) (*Result, error) {
 		m.at(p.cl, 0, p.stepFn)
 	}
 	if m.cfg.SampleEvery > 0 {
-		m.eng.At(m.cfg.SampleEvery, m.sampleQueues)
+		if s := m.shard; s != nil {
+			for _, c := range m.clusters {
+				c := c
+				s.wheels[c.shard].AtKey(m.cfg.SampleEvery, uint64(c.id)<<40, func() { m.sampleCluster(c) })
+			}
+		} else {
+			m.eng.At(m.cfg.SampleEvery, m.sampleQueues)
+		}
+	}
+	if m.cfg.Live != nil {
+		defer m.publishLive(true)
 	}
 	if err := m.runCore(); err != nil {
 		return nil, err

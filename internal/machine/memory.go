@@ -137,7 +137,7 @@ func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
 			kind = protocol.UpgradeReq
 			class = obs.TxUpgrade
 		}
-		tx := m.txStart(class, c.id, b)
+		tx := m.txStart(class, c, b)
 		m.trace(obs.EvReqIssue, c.id, b, int64(kind))
 		m.sendTx(kind, c.id, home, tx, func() { m.remoteWriteAtHome(p, b, upgrade, tx) })
 		return
@@ -184,7 +184,7 @@ func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
 		return
 	}
 	c.pendingReads[b] = nil
-	tx := m.txStart(obs.TxRead, c.id, b)
+	tx := m.txStart(obs.TxRead, c, b)
 	m.trace(obs.EvReqIssue, c.id, b, int64(protocol.ReadReq))
 	m.sendTx(protocol.ReadReq, c.id, home, tx, func() { m.remoteReadAtHome(p, b, tx) })
 }
@@ -192,8 +192,8 @@ func (m *Machine) busMiss(p *proc, write bool, b int64, upgrade bool) {
 // remoteReadDone fills p and every merged follower, completing them all.
 // A poisoned read delivers its data without caching it.
 func (m *Machine) remoteReadDone(p *proc, b int64, tx *txState) {
-	m.txPhase(tx, obs.PhReplyTravel)
-	m.txEnd(tx)
+	m.txPhase(p.cl, tx, obs.PhReplyTravel)
+	m.txEnd(p.cl, tx)
 	now := m.now(p.cl)
 	poisoned := p.cl.poisonedReads[b]
 	m.debugf(b, "remoteReadDone p%d/c%d poisoned=%v followers=%d", p.id, p.cl.id, poisoned, len(p.cl.pendingReads[b]))
@@ -405,7 +405,7 @@ func (m *Machine) sendInvals(h *clusterNode, b int64, targets bitset.Set, ackTo 
 	if n := targets.Count(); n > 0 {
 		m.trace(obs.EvInvalFanout, h.id, b, int64(n))
 	}
-	m.txFanout(tx, targets.Count(), false)
+	m.txFanout(h, tx, targets.Count(), false)
 	if m.chk != nil {
 		m.chk.InvalSent(b, targets.Count())
 	}
@@ -427,7 +427,7 @@ func (m *Machine) sendInvals(h *clusterNode, b int64, targets bitset.Set, ackTo 
 				}
 				m.sendTx(protocol.AckMsg, t, ackTo.cl.id, tx, func() {
 					m.ackArrived(ackTo)
-					m.txAck(tx)
+					m.txAck(ackTo.cl, tx)
 				})
 			})
 		})
@@ -437,7 +437,7 @@ func (m *Machine) sendInvals(h *clusterNode, b int64, targets bitset.Set, ackTo 
 // remoteReadAtHome runs when a ReadReq arrives at the home cluster.
 func (m *Machine) remoteReadAtHome(p *proc, b int64, tx *txState) {
 	h := m.clusters[m.home(b)]
-	m.txPhase(tx, obs.PhReqTravel)
+	m.txPhase(h, tx, obs.PhReqTravel)
 	m.trace(obs.EvDirLookup, h.id, b, 0)
 	done := m.dirOp(h, m.t.Dir)
 	m.at(h, done, func() { m.serveRemoteRead(p, b, h, tx) })
@@ -460,7 +460,7 @@ func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode, tx *txState)
 		m.handleNBEvictions(h, b, e.AddSharer(rc), tx)
 		m.drainDirVictims(h)
 		h.gate.Lock(b)
-		m.txPhase(tx, obs.PhDirWait)
+		m.txPhase(h, tx, obs.PhDirWait)
 		m.sendTx(protocol.FwdReadReq, h.id, owner, tx, func() {
 			oc := m.clusters[owner]
 			done := m.busOp(oc, m.t.Fwd)
@@ -468,7 +468,7 @@ func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode, tx *txState)
 				for _, q := range oc.procs {
 					q.h.Downgrade(b)
 				}
-				m.txPhase(tx, obs.PhFanout)
+				m.txPhase(oc, tx, obs.PhFanout)
 				if m.shard != nil {
 					// The serial engine unlocks the home gate from inside the
 					// reply closure at the requester; a shard must not reach
@@ -506,7 +506,7 @@ func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode, tx *txState)
 			// completes the read, which the overtaking write poisoned.
 			m.debugf(b, "stale read from owner c%d, entry untouched", rc)
 			p.cl.poisonedReads[b] = true
-			m.txPhase(tx, obs.PhDirWait)
+			m.txPhase(h, tx, obs.PhDirWait)
 			m.sendTx(protocol.DataReply, h.id, rc, tx, func() {
 				m.remoteReadDone(p, b, tx)
 			})
@@ -524,7 +524,7 @@ func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode, tx *txState)
 	}
 	m.handleNBEvictions(h, b, e2.AddSharer(rc), tx)
 	m.drainDirVictims(h)
-	m.txPhase(tx, obs.PhDirWait)
+	m.txPhase(h, tx, obs.PhDirWait)
 	m.sendTx(protocol.DataReply, h.id, rc, tx, func() {
 		m.remoteReadDone(p, b, tx)
 	})
@@ -533,7 +533,7 @@ func (m *Machine) serveRemoteRead(p *proc, b int64, h *clusterNode, tx *txState)
 // remoteWriteAtHome runs when a WriteReq/UpgradeReq arrives at the home.
 func (m *Machine) remoteWriteAtHome(p *proc, b int64, upgrade bool, tx *txState) {
 	h := m.clusters[m.home(b)]
-	m.txPhase(tx, obs.PhReqTravel)
+	m.txPhase(h, tx, obs.PhReqTravel)
 	m.trace(obs.EvDirLookup, h.id, b, 1)
 	done := m.dirOp(h, m.t.Dir)
 	m.at(h, done, func() { m.serveRemoteWrite(p, b, h, upgrade, tx) })
@@ -556,13 +556,13 @@ func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade boo
 		owner := e.Owner()
 		e.SetDirty(rc)
 		h.gate.Lock(b)
-		m.txPhase(tx, obs.PhDirWait)
+		m.txPhase(h, tx, obs.PhDirWait)
 		m.sendTx(protocol.FwdWriteReq, h.id, owner, tx, func() {
 			oc := m.clusters[owner]
 			done := m.busOp(oc, m.t.InvalBus)
 			m.at(oc, done, func() {
 				m.applyInval(oc, b, false)
-				m.txPhase(tx, obs.PhFanout)
+				m.txPhase(oc, tx, obs.PhFanout)
 				if m.shard != nil {
 					// See serveRemoteRead: the home gate unlocks via its own
 					// event at the reply's arrival instant instead of from
@@ -608,7 +608,7 @@ func (m *Machine) serveRemoteWrite(p *proc, b int64, h *clusterNode, upgrade boo
 	e.SetDirty(rc)
 	m.drainDirVictims(h)
 	h.gate.Lock(b)
-	m.txPhase(tx, obs.PhDirWait)
+	m.txPhase(h, tx, obs.PhDirWait)
 	if m.shard != nil {
 		// The requester's ack count is carried by the ownership reply (the
 		// reply strictly precedes every acknowledgement: each ack travels
@@ -670,8 +670,8 @@ func (m *Machine) fillExclusive(p *proc, b int64, upgrade bool) {
 // accesses that were parked behind it (they now hit the fresh dirty copy
 // over the bus).
 func (m *Machine) remoteWriteDone(p *proc, b int64, upgrade bool, tx *txState) {
-	m.txPhase(tx, obs.PhReplyTravel)
-	m.txEnd(tx)
+	m.txPhase(p.cl, tx, obs.PhReplyTravel)
+	m.txEnd(p.cl, tx)
 	m.debugf(b, "remoteWriteDone p%d/c%d waiters=%d", p.id, p.cl.id, len(p.cl.writeWaiters[b]))
 	m.fillExclusive(p, b, upgrade)
 	c := p.cl
@@ -700,7 +700,7 @@ func (m *Machine) handleNBEvictions(h *clusterNode, b int64, ev []core.NodeID, t
 			sent++
 		}
 	}
-	m.txFanout(tx, sent, false)
+	m.txFanout(h, tx, sent, false)
 	if m.chk != nil {
 		m.chk.InvalSent(b, sent)
 	}
@@ -716,7 +716,7 @@ func (m *Machine) handleNBEvictions(h *clusterNode, b int64, ev []core.NodeID, t
 			m.at(vc, done, func() {
 				m.applyInval(vc, b, false)
 				m.invalApplied(b)
-				m.sendTx(protocol.AckMsg, v, h.id, tx, func() { m.txAck(tx) })
+				m.sendTx(protocol.AckMsg, v, h.id, tx, func() { m.txAck(h, tx) })
 			})
 		})
 	}
@@ -763,8 +763,8 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 		h.res.replHist.Add(1)
 		h.res.replFan.Observe(1)
 		m.trace(obs.EvDirEvict, h.id, vb, 1)
-		tx := m.txStart(obs.TxEvict, h.id, vb)
-		m.txFanout(tx, 1, true)
+		tx := m.txStart(obs.TxEvict, h, vb)
+		m.txFanout(h, tx, 1, true)
 		m.occupyDir(h, m.t.InvalSend)
 		h.gate.Lock(vb)
 		h.rac.Start(vb, 1)
@@ -775,7 +775,7 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 				m.applyInval(oc, vb, true)
 				m.sendTx(protocol.AckMsg, owner, h.id, tx, func() {
 					m.racAck(h, vb)
-					m.txAck(tx)
+					m.txAck(h, tx)
 				})
 			})
 		})
@@ -791,8 +791,8 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 	h.res.replHist.Add(n)
 	h.res.replFan.Observe(uint64(n))
 	m.trace(obs.EvDirEvict, h.id, vb, int64(n))
-	tx := m.txStart(obs.TxEvict, h.id, vb)
-	m.txFanout(tx, n, true)
+	tx := m.txStart(obs.TxEvict, h, vb)
+	m.txFanout(h, tx, n, true)
 	m.occupyDir(h, m.t.InvalSend*sim.Time(n))
 	h.gate.Lock(vb)
 	h.rac.Start(vb, n)
@@ -804,7 +804,7 @@ func (m *Machine) sendReplacementInvals(h *clusterNode, vb int64, ve core.Entry)
 				m.applyInval(tc, vb, true)
 				m.sendTx(protocol.AckMsg, t, h.id, tx, func() {
 					m.racAck(h, vb)
-					m.txAck(tx)
+					m.txAck(h, tx)
 				})
 			})
 		})

@@ -34,19 +34,19 @@ func (m *Machine) lockAcquire(p *proc, addr int64, retry bool) {
 	}
 	// One lock transaction per remote acquisition round: it ends at the
 	// grant (or the wake that triggers a retry, which opens a new round).
-	tx := m.txStart(obs.TxLock, p.cl.id, addr)
+	tx := m.txStart(obs.TxLock, p.cl, addr)
 	m.lockTxSet(p, tx)
 	m.sendTx(protocol.LockReq, p.cl.id, home, tx, func() {
-		m.txPhase(tx, obs.PhReqTravel)
 		hc := m.clusters[home]
+		m.txPhase(hc, tx, obs.PhReqTravel)
 		done := m.dirOp(hc, m.t.Dir)
 		m.at(hc, done, func() {
 			granted, woken := hc.res.locks.Acquire(addr, p.cl.id, p.id)
 			m.wakeNodes(addr, home, woken)
 			if granted {
-				m.txPhase(tx, obs.PhDirWait)
+				m.txPhase(hc, tx, obs.PhDirWait)
 				m.sendTx(protocol.LockGrant, home, p.cl.id, tx, func() {
-					m.txPhase(tx, obs.PhReplyTravel)
+					m.txPhase(p.cl, tx, obs.PhReplyTravel)
 					m.lockTxEnd(p)
 					m.complete(p, m.now(p.cl)+m.t.Hit)
 				})
@@ -88,9 +88,9 @@ func (m *Machine) handleGrant(addr int64, home int, g protocol.Grant) {
 			return
 		}
 		tx := m.lockTxOf(q)
-		m.txPhase(tx, obs.PhDirWait)
+		m.txPhase(m.clusters[home], tx, obs.PhDirWait)
 		m.sendTx(protocol.LockGrant, home, g.Node, tx, func() {
-			m.txPhase(tx, obs.PhReplyTravel)
+			m.txPhase(q.cl, tx, obs.PhReplyTravel)
 			m.lockTxEnd(q)
 			m.complete(q, m.now(q.cl)+m.t.Hit)
 		})
@@ -135,7 +135,7 @@ func (m *Machine) retryWaiters(addr int64, procIDs []int) {
 		// A wake ends the waiter's current lock round (the retry opens a
 		// fresh transaction, linked by the lock.retry trace event).
 		if tx := m.lockTxOf(q); tx != nil {
-			m.txPhase(tx, obs.PhDirWait)
+			m.txPhase(q.cl, tx, obs.PhDirWait)
 			m.lockTxEnd(q)
 		}
 		m.lockAcquire(q, addr, true)

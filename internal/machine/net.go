@@ -125,13 +125,15 @@ func (m *Machine) timeoutMsg(env *netMsg, att int) {
 
 // emitRecovery annotates env.tx with one recovery episode: an async child
 // span covering the lost attempt's injection to the retry, its N carrying
-// the attempt number so tracelens can show retry-inflated tails.
+// the attempt number so tracelens can show retry-inflated tails. Fault
+// recovery only runs on the serial engine, so the sender cluster passed to
+// emitSpan is never used for shard buffering.
 func (m *Machine) emitRecovery(env *netMsg) {
 	tx := env.tx
 	if tx == nil || m.spans == nil {
 		return
 	}
-	m.emitSpan(obs.Span{
+	m.emitSpan(m.clusters[env.from], obs.Span{
 		Tx: tx.id, ID: m.spans.NextID(), Parent: tx.id,
 		Class: tx.class, Phase: obs.PhRecovery, Node: tx.node, Block: tx.block,
 		Start: uint64(env.sent), End: uint64(m.eng.Now()), N: int64(env.attempt),
@@ -204,23 +206,31 @@ func (m *Machine) abort(reason string) {
 }
 
 // runEngine drives the event loop, honoring watchdog aborts and the
-// wall-clock deadline. The deadline is sampled every few thousand events
-// so the time syscall never shows up in profiles; it cannot change
-// simulation results, only cut them short.
+// wall-clock deadline. The deadline and the live-snapshot throttle are
+// sampled every few thousand events so the time syscall never shows up in
+// profiles; neither can change simulation results.
 func (m *Machine) runEngine() error {
 	if m.watchdogEnabled() {
 		m.eng.After(m.cfg.StuckBudget, m.watchdogScan)
 	}
 	deadline := m.cfg.Deadline
-	var start time.Time
-	if deadline > 0 {
+	sampleWall := deadline > 0 || m.cfg.Live != nil
+	var start, lastPub time.Time
+	if sampleWall {
 		start = time.Now()
+		lastPub = start
 	}
 	var n uint64
 	for m.aborted == nil && m.eng.Step() {
-		if deadline > 0 {
-			if n++; n&0x3FFF == 0 && time.Since(start) > deadline {
-				m.abort(fmt.Sprintf("wall-clock deadline %s exceeded at t=%d", deadline, m.eng.Now()))
+		if sampleWall {
+			if n++; n&0x3FFF == 0 {
+				if deadline > 0 && time.Since(start) > deadline {
+					m.abort(fmt.Sprintf("wall-clock deadline %s exceeded at t=%d", deadline, m.eng.Now()))
+				}
+				if m.cfg.Live != nil && time.Since(lastPub) >= livePublishEvery {
+					m.publishLive(false)
+					lastPub = time.Now()
+				}
 			}
 		}
 	}

@@ -15,12 +15,18 @@ package machine
 // order, the total event order — and therefore every simulation result —
 // is byte-identical at every shard count.
 //
+// Observability shards with the simulation: every cluster records metrics
+// into its private registry (merged at quiescence), and trace events and
+// spans are buffered per shard with (time, key) stamps and replayed in the
+// canonical global order — see shardobs.go — so metrics, traces, spans,
+// and queue-depth samples are byte-identical at every shard width.
+//
 // Configurations the core cannot honor (anything that shares mutable state
 // across clusters outside this protocol: fault injection, the invariant
-// checker, tracing, spans, sampling, mesh port contention, an external
-// metrics registry, deliberate protocol faults, or a latency model where a
-// reply can tie with the acknowledgements it logically precedes) fall back
-// to the serial heap engine; Machine.FallbackReason says why.
+// checker, mesh port contention, deliberate protocol faults, or a latency
+// model where a reply can tie with the acknowledgements it logically
+// precedes) fall back to the serial heap engine; Machine.FallbackReason
+// says why.
 
 import (
 	"fmt"
@@ -40,30 +46,25 @@ import (
 const never = ^sim.Time(0)
 
 // shardBlockReason reports why cfg cannot run on the sharded core, or ""
-// when it can. Called after New has applied timing/mesh defaults.
+// when it can. Called after New has applied timing/mesh defaults. Each
+// message names the offending flag and the workaround. Observability
+// (tracing, spans, sampling, external metrics) never blocks sharding: the
+// per-shard buffers and registry merge reproduce the serial byte stream.
 func shardBlockReason(cfg *Config) string {
 	switch {
 	case cfg.Mesh.Faults.Enabled():
-		return "fault injection"
+		return "fault injection enabled (-faults): delivery recovery tracks in-flight messages machine-wide; drop -faults or run serial with -shards 0"
 	case cfg.Check:
-		return "invariant checker"
-	case cfg.Trace != nil:
-		return "event tracing"
-	case cfg.Spans != nil:
-		return "transaction spans"
-	case cfg.SampleEvery > 0:
-		return "queue-depth sampling"
+		return "invariant checker enabled (-check): the checker oracle reads machine-wide state at every transition; drop -check or run serial with -shards 0"
 	case cfg.Mesh.PortTime > 0:
-		return "mesh port contention"
-	case cfg.Metrics != nil:
-		return "external metrics registry"
+		return "mesh port contention modeled (mesh PortTime > 0): ejection ports serialize arrivals across shards; set PortTime to 0 or run serial with -shards 0"
 	case cfg.Fault != FaultNone:
-		return "deliberate protocol fault"
+		return "deliberate protocol fault injected (-fault): fault mutations perturb cross-cluster state; drop -fault or run serial with -shards 0"
 	case cfg.Timing.InvalBus == 0 && cfg.Mesh.Base == 0:
 		// With both zero an ownership reply can tie with an invalidation
 		// acknowledgement, and the reply-carried ack count would go
 		// negative if the ack fires first.
-		return "degenerate timing (InvalBus and Mesh.Base both zero)"
+		return "degenerate timing (InvalBus and Mesh.Base both zero) lets a reply tie with the acks it must precede; use nonzero timing or run serial with -shards 0"
 	}
 	return ""
 }
@@ -96,7 +97,26 @@ func newClusterRes(cfg *Config, clusters int) *clusterRes {
 	for k := range res.kindCtr {
 		res.kindCtr[k] = reg.Counter(protocol.MsgKind(k).MetricName())
 	}
+	res.initObsHists(cfg)
 	return res
+}
+
+// initObsHists registers the transaction-latency and queue-depth
+// histograms in the bundle's registry when the corresponding feature is
+// on. The conditionals keep the metric namespace identical across cores
+// and widths: a disabled feature must contribute no zero-valued series to
+// the merged snapshot.
+func (r *clusterRes) initObsHists(cfg *Config) {
+	if cfg.Spans != nil {
+		for c := range r.txLat {
+			r.txLat[c] = r.reg.Histogram("tx.lat."+obs.TxClass(c).String(), obs.LatBuckets)
+		}
+	}
+	if cfg.SampleEvery > 0 {
+		r.dirDepth = r.reg.Histogram("dir.queue.depth", obs.QueueBuckets)
+		r.dirLive = r.reg.Histogram("dir.entries.live", obs.QueueBuckets)
+		r.portDepth = r.reg.Histogram("mesh.port.backlog", obs.QueueBuckets)
+	}
 }
 
 // relayEv is one cross-shard event in transit through an outbox.
@@ -123,11 +143,19 @@ type shardedCore struct {
 	// every worker computes the identical next window from it.
 	nextT []sim.Time
 
+	// obsBuf[s] is shard s's private trace-event and span buffer cell,
+	// stamped with firing positions and merged into the canonical order at
+	// quiescence (shardobs.go). Only shard s appends; the merge runs after
+	// the workers join. Cells are cache-line padded: appends rewrite the
+	// slice headers constantly, and adjacent headers would false-share.
+	obsBuf []shardObsCell
+
 	barrier  spinBarrier
 	deadline time.Duration
 	start    time.Time
 	wallHit  bool // worker 0 samples the wall clock; read after the barrier
 	budget   sim.Time
+	lastPub  time.Time // worker 0's live-publish throttle (Config.Live)
 
 	// Initial watchdog verdict, computed before the workers start (every
 	// worker seeds its local copy from these, then rescans between the
@@ -161,6 +189,7 @@ func newShardedCore(m *Machine, n int) *shardedCore {
 		wheels:   make([]*sim.Wheel, n),
 		out:      make([][][]relayEv, n),
 		nextT:    make([]sim.Time, n),
+		obsBuf:   make([]shardObsCell, n),
 		deadline: m.cfg.Deadline,
 		budget:   m.cfg.StuckBudget,
 	}
@@ -201,6 +230,9 @@ func (s *shardedCore) run() error {
 	}
 	if s.deadline > 0 {
 		s.start = time.Now()
+	}
+	if s.m.cfg.Live != nil {
+		s.lastPub = time.Now()
 	}
 	s.wdLimit, s.wdStuck = s.watchdogScan()
 	if s.n == 1 {
@@ -290,6 +322,13 @@ func (s *shardedCore) worker(id int) {
 		if id == 0 && s.deadline > 0 && time.Since(s.start) > s.deadline {
 			s.wallHit = true
 		}
+		if id == 0 && m.cfg.Live != nil && time.Since(s.lastPub) >= livePublishEvery {
+			// Between the barriers every shard is quiescent, so worker 0
+			// can read all per-cluster registries for a consistent live
+			// snapshot.
+			m.publishLive(false)
+			s.lastPub = time.Now()
+		}
 		s.barrier.wait()
 	}
 }
@@ -327,18 +366,22 @@ func (m *Machine) runCore() error {
 }
 
 // finalizeSharded folds the per-cluster registries and histograms into the
-// machine-level views Result and MetricsSnapshot read. Counter sums are
-// order-independent, so the merge is deterministic.
+// machine-level views Result and MetricsSnapshot read, and replays the
+// per-shard trace/span buffers in canonical order. The registries merge
+// into m.reg itself — which is Config.Metrics when the caller supplied an
+// external registry, so external registries see sharded runs exactly as
+// they see serial ones. Counter sums and bucket-wise histogram merges are
+// order-independent, so the result is deterministic.
 func (m *Machine) finalizeSharded() {
-	snaps := make([]obs.Snapshot, 0, len(m.clusters))
+	m.flushShardObs()
 	for _, c := range m.clusters {
-		snaps = append(snaps, c.res.reg.Snapshot())
+		m.reg.Merge(c.res.reg)
 		m.invalHist.Merge(c.res.invalHist)
 		m.replHist.Merge(c.res.replHist)
 		m.readLat.Merge(c.res.readLat)
 		m.writeLat.Merge(c.res.writeLat)
 	}
-	merged := obs.MergeSnapshots(snaps...)
+	merged := m.reg.Snapshot()
 	m.merged = &merged
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"dircoh/internal/obs"
@@ -161,7 +162,9 @@ func TestShardedSingleCluster(t *testing.T) {
 }
 
 // TestShardedFallbackReasons: every configuration the sharded core cannot
-// honor must fall back to the serial engine with a reason, not fail.
+// honor must fall back to the serial engine with a reason naming the
+// offending flag and a workaround — and observability features, which the
+// core now shards, must NOT fall back.
 func TestShardedFallbackReasons(t *testing.T) {
 	mk := func(mut func(*Config)) Config {
 		cfg := testConfig(4, FullVec)
@@ -169,15 +172,12 @@ func TestShardedFallbackReasons(t *testing.T) {
 		mut(&cfg)
 		return cfg
 	}
-	cases := map[string]Config{
+	blocked := map[string]Config{
 		"checker":  mk(func(c *Config) { c.Check = true }),
-		"trace":    mk(func(c *Config) { c.Trace = obs.NewTracer(obs.Discard, 0) }),
-		"sampling": mk(func(c *Config) { c.SampleEvery = 64 }),
 		"porttime": mk(func(c *Config) { c.Mesh.PortTime = 2 }),
-		"metrics":  mk(func(c *Config) { c.Metrics = obs.NewRegistry() }),
 		"fault":    mk(func(c *Config) { c.Fault = FaultDropInval }),
 	}
-	for name, cfg := range cases {
+	for name, cfg := range blocked {
 		m, err := New(cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -185,17 +185,31 @@ func TestShardedFallbackReasons(t *testing.T) {
 		if m.Shards() != 0 {
 			t.Errorf("%s: expected serial fallback, running with %d shards", name, m.Shards())
 		}
-		if m.FallbackReason() == "" {
+		reason := m.FallbackReason()
+		if reason == "" {
 			t.Errorf("%s: fallback with no reason", name)
 		}
+		if !strings.Contains(reason, "-shards 0") {
+			t.Errorf("%s: reason %q names no workaround", name, reason)
+		}
 	}
-	// And a plain sharded config reports no fallback.
-	m, err := New(mk(func(*Config) {}))
-	if err != nil {
-		t.Fatal(err)
+	// Observability configurations shard (the whole point of the per-shard
+	// recording cells), as does a plain sharded config.
+	sharded := map[string]Config{
+		"clean":    mk(func(*Config) {}),
+		"trace":    mk(func(c *Config) { c.Trace = obs.NewTracer(obs.Discard, 0) }),
+		"spans":    mk(func(c *Config) { c.Spans = obs.NewSpanRecorder(obs.DiscardSpans, 0) }),
+		"sampling": mk(func(c *Config) { c.SampleEvery = 64 }),
+		"metrics":  mk(func(c *Config) { c.Metrics = obs.NewRegistry() }),
 	}
-	if m.Shards() != 2 || m.FallbackReason() != "" {
-		t.Fatalf("clean config: Shards()=%d reason=%q", m.Shards(), m.FallbackReason())
+	for name, cfg := range sharded {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Shards() != 2 || m.FallbackReason() != "" {
+			t.Errorf("%s: Shards()=%d reason=%q, want a 2-shard run", name, m.Shards(), m.FallbackReason())
+		}
 	}
 }
 

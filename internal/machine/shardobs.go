@@ -1,0 +1,339 @@
+package machine
+
+// Shard-safe observability for the sharded event-wheel core.
+//
+// The serial engine emits traces and spans in the order its heap fires
+// events. The sharded core cannot: shards interleave nondeterministically
+// in wall-clock time. Instead, each shard appends its records to a private
+// buffer, stamping every record with the firing event's (wheel time,
+// ordering key) position. Keys are globally unique (cluster id in the high
+// bits, a per-cluster sequence below), and cross-cluster messages always
+// travel at least the conservative lookahead, so the (time, key) order of
+// fired events is identical at every shard count — it IS the width-1
+// firing order. At quiescence a k-way merge over the per-shard buffers,
+// popping the smallest (time, key) head, therefore replays the records in
+// exactly the order a width-1 run emitted them, making trace and span
+// output byte-identical across widths.
+//
+// Records a single callback emits share one stamp; they stay adjacent in
+// one buffer and the merge preserves their relative order (ties across
+// buffers cannot happen because keys are globally unique).
+//
+// Note the serial heap engine (-shards 0) resolves equal-time ties by
+// insertion order, not by key, so its event interleaving — and hence its
+// observability byte stream — legitimately differs from the sharded
+// widths. Width 1 is the canonical sharded order; see DESIGN.md.
+
+import (
+	"sync"
+	"time"
+
+	"dircoh/internal/obs"
+	"dircoh/internal/sim"
+)
+
+// keyedEvent is one trace event stamped with its firing position (the
+// event's own T field carries the emission time).
+type keyedEvent struct {
+	key uint64
+	ev  obs.Event
+}
+
+// keyedSpan is one span stamped with its firing position. Spans need an
+// explicit time stamp: a span's End field is its semantic endpoint, which
+// for ack-gather children can differ from the cycle it was emitted at.
+type keyedSpan struct {
+	t   sim.Time
+	key uint64
+	sp  obs.Span
+}
+
+// obsChunkLen is the per-shard record chunk size. Chunks are sealed and a
+// fresh one allocated when full, so a record is written exactly once and
+// never moved: growing one flat slice instead would memmove the whole
+// buffer on every geometric regrowth, which profiles as the single
+// largest cost of sharded observability.
+const obsChunkLen = 1 << 15
+
+// Chunk pools recycle record chunks across runs: a retained buffer is hot
+// for exactly one run, and allocating fresh chunks every run pays the
+// allocator's zeroing for tens of megabytes each time.
+var (
+	evChunkPool = sync.Pool{New: func() any { return make([]keyedEvent, 0, obsChunkLen) }}
+	spChunkPool = sync.Pool{New: func() any { return make([]keyedSpan, 0, obsChunkLen) }}
+)
+
+// shardObsCell is one shard's record buffers, padded to its own cache
+// lines: the hot path rewrites the active-chunk headers on every append,
+// and without padding four shards' headers would share a line and thrash
+// it. ev/sp are the active chunks; evFull/spFull the sealed ones, in
+// append order.
+type shardObsCell struct {
+	ev     []keyedEvent
+	sp     []keyedSpan
+	evFull [][]keyedEvent
+	spFull [][]keyedSpan
+	_      [128 - 96]byte
+}
+
+// pushEv appends one trace record; the in-chunk path is small enough to
+// inline into the trace hot path, the chunk-seal path is split out.
+func (c *shardObsCell) pushEv(e keyedEvent) {
+	if len(c.ev) < cap(c.ev) {
+		c.ev = append(c.ev, e)
+		return
+	}
+	c.growEv(e)
+}
+
+func (c *shardObsCell) growEv(e keyedEvent) {
+	if c.ev != nil {
+		c.evFull = append(c.evFull, c.ev)
+	}
+	c.ev = append(evChunkPool.Get().([]keyedEvent)[:0], e)
+}
+
+// pushSp appends one span record; same split as pushEv.
+func (c *shardObsCell) pushSp(e keyedSpan) {
+	if len(c.sp) < cap(c.sp) {
+		c.sp = append(c.sp, e)
+		return
+	}
+	c.growSp(e)
+}
+
+func (c *shardObsCell) growSp(e keyedSpan) {
+	if c.sp != nil {
+		c.spFull = append(c.spFull, c.sp)
+	}
+	c.sp = append(spChunkPool.Get().([]keyedSpan)[:0], e)
+}
+
+// evCursor walks one shard's sealed+active event chunks in append order.
+type evCursor struct {
+	chunks [][]keyedEvent
+	i      int
+}
+
+func (c *evCursor) head() *keyedEvent {
+	for len(c.chunks) > 0 && c.i >= len(c.chunks[0]) {
+		c.chunks = c.chunks[1:]
+		c.i = 0
+	}
+	if len(c.chunks) == 0 {
+		return nil
+	}
+	return &c.chunks[0][c.i]
+}
+
+// spCursor is evCursor for span chunks.
+type spCursor struct {
+	chunks [][]keyedSpan
+	i      int
+}
+
+func (c *spCursor) head() *keyedSpan {
+	for len(c.chunks) > 0 && c.i >= len(c.chunks[0]) {
+		c.chunks = c.chunks[1:]
+		c.i = 0
+	}
+	if len(c.chunks) == 0 {
+		return nil
+	}
+	return &c.chunks[0][c.i]
+}
+
+// flushShardObs replays the per-shard trace and span buffers into the
+// machine's recorders in canonical (time, key) order. Called once at
+// sharded quiescence, before the registries merge.
+func (m *Machine) flushShardObs() {
+	s := m.shard
+	var wg sync.WaitGroup
+	if m.tr != nil && m.spans != nil {
+		// The two merges touch disjoint recorders; overlap them.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.mergeShardSpans()
+		}()
+	} else if m.spans != nil {
+		m.mergeShardSpans()
+	}
+	if m.tr != nil {
+		cur := make([]evCursor, s.n)
+		heads := make([]*keyedEvent, s.n)
+		live := 0
+		for sh := range cur {
+			cell := &s.obsBuf[sh]
+			cur[sh].chunks = append(cell.evFull, cell.ev)
+			if heads[sh] = cur[sh].head(); heads[sh] != nil {
+				live++
+			}
+		}
+		for live > 1 {
+			best, bh := -1, (*keyedEvent)(nil)
+			for sh, h := range heads {
+				if h == nil {
+					continue
+				}
+				if best < 0 || h.ev.T < bh.ev.T || (h.ev.T == bh.ev.T && h.key < bh.key) {
+					best, bh = sh, h
+				}
+			}
+			m.tr.Emit(bh.ev)
+			cur[best].i++
+			if heads[best] = cur[best].head(); heads[best] == nil {
+				live--
+			}
+		}
+		// One buffer left: drain its chunks without per-record compares.
+		for sh, h := range heads {
+			if h == nil {
+				continue
+			}
+			for h != nil {
+				m.tr.Emit(h.ev)
+				cur[sh].i++
+				h = cur[sh].head()
+			}
+		}
+	}
+	wg.Wait()
+	for i := range s.obsBuf {
+		cell := &s.obsBuf[i]
+		for _, ch := range cell.evFull {
+			evChunkPool.Put(ch[:0])
+		}
+		if cell.ev != nil {
+			evChunkPool.Put(cell.ev[:0])
+		}
+		for _, ch := range cell.spFull {
+			spChunkPool.Put(ch[:0])
+		}
+		if cell.sp != nil {
+			spChunkPool.Put(cell.sp[:0])
+		}
+		*cell = shardObsCell{}
+	}
+}
+
+// mergeShardSpans is flushShardObs's span half: the k-way (time, key)
+// merge of the per-shard span buffers into the machine recorder.
+func (m *Machine) mergeShardSpans() {
+	s := m.shard
+	cur := make([]spCursor, s.n)
+	heads := make([]*keyedSpan, s.n)
+	live := 0
+	for sh := range cur {
+		cell := &s.obsBuf[sh]
+		cur[sh].chunks = append(cell.spFull, cell.sp)
+		if heads[sh] = cur[sh].head(); heads[sh] != nil {
+			live++
+		}
+	}
+	for live > 1 {
+		best, bh := -1, (*keyedSpan)(nil)
+		for sh, h := range heads {
+			if h == nil {
+				continue
+			}
+			if best < 0 || h.t < bh.t || (h.t == bh.t && h.key < bh.key) {
+				best, bh = sh, h
+			}
+		}
+		m.spans.Emit(bh.sp)
+		cur[best].i++
+		if heads[best] = cur[best].head(); heads[best] == nil {
+			live--
+		}
+	}
+	for sh, h := range heads {
+		if h == nil {
+			continue
+		}
+		for h != nil {
+			m.spans.Emit(h.sp)
+			cur[sh].i++
+			h = cur[sh].head()
+		}
+	}
+}
+
+// sampleCluster is the sharded core's per-cluster queue-depth sampler: the
+// counterpart of the serial sampleQueues, split so each cluster's chain
+// reads only that cluster's state and records into that cluster's private
+// histograms (merged at quiescence). The chain is scheduled on the
+// reserved ordering key cluster<<40|0 — below every real event key, never
+// consumed by nextKey — so enabling sampling shifts no protocol event's
+// position and results stay byte-identical across widths.
+//
+// The chain continues while any of the cluster's own processors is
+// unfinished (a width-independent condition; the wheel's Pending count is
+// not). A genuinely deadlocked run with no watchdog budget would sample
+// forever — but genuine deadlocks require fault injection, which forces
+// the serial engine, and the sharded tests always set a budget.
+func (m *Machine) sampleCluster(c *clusterNode) {
+	w := m.shard.wheels[c.shard]
+	now := w.Now()
+	var backlog sim.Time
+	if c.dirFree > now {
+		backlog = c.dirFree - now
+	}
+	c.res.dirDepth.Observe(uint64(backlog))
+	c.res.dirLive.Observe(uint64(c.dir.LiveEntries()))
+	c.res.portDepth.Observe(uint64(c.res.net.PortBacklog(c.id, now)))
+	for _, p := range c.procs {
+		if !p.done {
+			w.AtKey(now+m.cfg.SampleEvery, uint64(c.id)<<40, func() { m.sampleCluster(c) })
+			return
+		}
+	}
+}
+
+// livePublishEvery throttles in-run snapshot publishing: a sample per
+// ~100ms is ample for a human or a poller watching /progress, and the
+// wall-clock read happens only when a live slot is attached.
+const livePublishEvery = 100 * time.Millisecond
+
+// liveMetrics returns the registry view a live snapshot should carry: the
+// final merged snapshot when available, a read-only merge of the
+// per-cluster registries mid-run on the sharded core (callers must hold
+// the run quiescent — worker 0 publishes between the window barriers), and
+// the plain registry otherwise.
+func (m *Machine) liveMetrics() obs.Snapshot {
+	if m.shard != nil && m.merged == nil {
+		snaps := make([]obs.Snapshot, 0, len(m.clusters))
+		for _, c := range m.clusters {
+			snaps = append(snaps, c.res.reg.Snapshot())
+		}
+		return obs.MergeSnapshots(snaps...)
+	}
+	return m.MetricsSnapshot()
+}
+
+// publishLive installs a fresh sample in the run's live slot, if one is
+// attached (Config.Live).
+func (m *Machine) publishLive(done bool) {
+	lr := m.cfg.Live
+	if lr == nil {
+		return
+	}
+	s := &obs.LiveSample{
+		Cycles:  uint64(m.simNow()),
+		Events:  m.simFired(),
+		Done:    done,
+		Metrics: m.liveMetrics(),
+	}
+	if sh := m.shard; sh != nil {
+		s.Shards = make([]uint64, sh.n)
+		for i, w := range sh.wheels {
+			s.Shards[i] = uint64(w.Now())
+			// Report the trailing shard as the simulation's reached time:
+			// ahead-of-window wheel times are speculative progress.
+			if i == 0 || s.Shards[i] < s.Cycles {
+				s.Cycles = s.Shards[i]
+			}
+		}
+	}
+	lr.Publish(s)
+}

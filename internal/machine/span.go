@@ -16,6 +16,14 @@ import (
 // invariant tracelens verifies. Acknowledgement gathering is the one
 // exception: it overlaps the reply (release consistency), so its span is
 // emitted when the last ack arrives, possibly after the root.
+//
+// On the sharded core the txState travels along the transaction's message
+// chain: at any simulation instant exactly one cluster's events touch it,
+// and consecutive touches from different shards are separated by at least
+// one cross-shard message hop — which crosses a window barrier — so the
+// accesses are ordered without locks, the same discipline the protocol's
+// own per-proc state follows. Every helper therefore takes the executing
+// cluster, which also anchors span-ID allocation and buffer stamping.
 type txState struct {
 	id    uint64
 	class obs.TxClass
@@ -33,23 +41,45 @@ type txState struct {
 	endOnAcks bool
 }
 
-// txStart opens a transaction at the current cycle, or returns nil when
-// span tracing is off.
-func (m *Machine) txStart(class obs.TxClass, node int, block int64) *txState {
+// spanID allocates the next span identifier in cluster c's context. The
+// serial engine hands out the recorder's sequential IDs; the sharded core
+// derives IDs from the executing cluster and its private sequence
+// (cluster in the high bits, like event ordering keys), so the IDs a run
+// emits are independent of the shard count. Sharded IDs are never zero —
+// Parent == 0 stays the root marker.
+func (m *Machine) spanID(c *clusterNode) uint64 {
+	if m.shard != nil {
+		c.spanSeq++
+		return uint64(c.id)<<40 | c.spanSeq
+	}
+	return m.spans.NextID()
+}
+
+// txStart opens a transaction at the current cycle in cluster c's context
+// (always the requesting cluster), or returns nil when span tracing is off.
+func (m *Machine) txStart(class obs.TxClass, c *clusterNode, block int64) *txState {
 	if m.spans == nil {
 		return nil
 	}
-	now := m.eng.Now()
-	tx := &txState{id: m.spans.NextID(), class: class, node: int32(node), block: block, start: now, mark: now}
+	now := m.now(c)
+	tx := &txState{id: m.spanID(c), class: class, node: int32(c.id), block: block, start: now, mark: now}
 	if m.chk != nil {
 		m.chk.OpenTx(block, tx.id)
 	}
 	return tx
 }
 
-// emitSpan hands one span to the recorder and, when checking is on, to the
-// checker's span-tiling verifier.
-func (m *Machine) emitSpan(s obs.Span) {
+// emitSpan hands one span to the recorder (and, when checking is on, to
+// the checker's span-tiling verifier). On the sharded core the span is
+// buffered in the executing shard's cell, stamped with the firing event's
+// (time, key) position, and replayed into the recorder in the canonical
+// global order at quiescence — see shardobs.go.
+func (m *Machine) emitSpan(c *clusterNode, s obs.Span) {
+	if sh := m.shard; sh != nil {
+		w := sh.wheels[c.shard]
+		sh.obsBuf[c.shard].pushSp(keyedSpan{t: w.Now(), key: w.FiringKey(), sp: s})
+		return
+	}
 	m.spans.Emit(s)
 	if m.chk != nil {
 		m.chk.Span(s)
@@ -57,14 +87,15 @@ func (m *Machine) emitSpan(s obs.Span) {
 }
 
 // txPhase closes the phase that began at tx.mark, emitting its child span,
-// and starts the next phase at the current cycle.
-func (m *Machine) txPhase(tx *txState, ph obs.Phase) {
+// and starts the next phase at the current cycle. c is the cluster whose
+// event is crossing the phase boundary.
+func (m *Machine) txPhase(c *clusterNode, tx *txState, ph obs.Phase) {
 	if tx == nil {
 		return
 	}
-	now := m.eng.Now()
-	m.emitSpan(obs.Span{
-		Tx: tx.id, ID: m.spans.NextID(), Parent: tx.id,
+	now := m.now(c)
+	m.emitSpan(c, obs.Span{
+		Tx: tx.id, ID: m.spanID(c), Parent: tx.id,
 		Class: tx.class, Phase: ph, Node: tx.node, Block: tx.block,
 		Start: uint64(tx.mark), End: uint64(now),
 	})
@@ -72,22 +103,23 @@ func (m *Machine) txPhase(tx *txState, ph obs.Phase) {
 }
 
 // txFanout registers n outstanding invalidation acknowledgements dispatched
-// at the current cycle. When endOnAcks is set the transaction's root span
-// ends at the last ack (eviction recalls); otherwise the acks drain
-// asynchronously and only the ack.gather child depends on them.
-func (m *Machine) txFanout(tx *txState, n int, endOnAcks bool) {
+// at the current cycle in cluster c's context (the home). When endOnAcks is
+// set the transaction's root span ends at the last ack (eviction recalls);
+// otherwise the acks drain asynchronously and only the ack.gather child
+// depends on them.
+func (m *Machine) txFanout(c *clusterNode, tx *txState, n int, endOnAcks bool) {
 	if tx == nil || n <= 0 {
 		return
 	}
 	tx.acks += n
 	tx.fanout += int64(n)
-	tx.ackStart = m.eng.Now()
+	tx.ackStart = m.now(c)
 	tx.endOnAcks = endOnAcks
 }
 
-// txAck records one acknowledgement; the last one emits the ack.gather span
-// and, for endOnAcks transactions, the root.
-func (m *Machine) txAck(tx *txState) {
+// txAck records one acknowledgement arriving at cluster c; the last one
+// emits the ack.gather span and, for endOnAcks transactions, the root.
+func (m *Machine) txAck(c *clusterNode, tx *txState) {
 	if tx == nil {
 		return
 	}
@@ -95,31 +127,31 @@ func (m *Machine) txAck(tx *txState) {
 	if tx.acks > 0 {
 		return
 	}
-	now := m.eng.Now()
-	m.emitSpan(obs.Span{
-		Tx: tx.id, ID: m.spans.NextID(), Parent: tx.id,
+	now := m.now(c)
+	m.emitSpan(c, obs.Span{
+		Tx: tx.id, ID: m.spanID(c), Parent: tx.id,
 		Class: tx.class, Phase: obs.PhAckGather, Node: tx.node, Block: tx.block,
 		Start: uint64(tx.ackStart), End: uint64(now), N: tx.fanout,
 	})
 	if tx.endOnAcks {
 		tx.mark = now
-		m.txEnd(tx)
+		m.txEnd(c, tx)
 	}
 }
 
 // txEnd emits the transaction's root span and records its latency in the
-// class histogram.
-func (m *Machine) txEnd(tx *txState) {
+// executing cluster's class histogram.
+func (m *Machine) txEnd(c *clusterNode, tx *txState) {
 	if tx == nil {
 		return
 	}
-	now := m.eng.Now()
-	m.emitSpan(obs.Span{
+	now := m.now(c)
+	m.emitSpan(c, obs.Span{
 		Tx: tx.id, ID: tx.id, Parent: 0,
 		Class: tx.class, Phase: obs.PhTotal, Node: tx.node, Block: tx.block,
 		Start: uint64(tx.start), End: uint64(now), N: tx.fanout,
 	})
-	m.txLat[tx.class].Observe(m.cycleDelta(now, tx.start, "tx.lat."+tx.class.String()))
+	c.res.txLat[tx.class].Observe(m.cycleDelta(now, tx.start, "tx.lat."+tx.class.String()))
 	if m.chk != nil {
 		m.chk.CloseTx(tx.block, tx.id)
 	}
@@ -127,10 +159,14 @@ func (m *Machine) txEnd(tx *txState) {
 
 // lockTxSet remembers p's open lock-round transaction so the grant or wake
 // path (which reaches p through the lock table, not a closure) can close
-// it. A processor has at most one lock acquisition in flight.
+// it. A processor has at most one lock acquisition in flight; the state
+// lives on the proc itself so the home's grant path reads it without
+// touching any shared map (p is parked until the grant arrives, so the
+// home-side read is ordered after the requester-side write by the request
+// message itself).
 func (m *Machine) lockTxSet(p *proc, tx *txState) {
 	if tx != nil {
-		m.lockTx[p.id] = tx
+		p.lockTx = tx
 	}
 }
 
@@ -139,25 +175,28 @@ func (m *Machine) lockTxOf(p *proc) *txState {
 	if m.spans == nil {
 		return nil
 	}
-	return m.lockTx[p.id]
+	return p.lockTx
 }
 
-// lockTxEnd closes p's open lock-round transaction, if any.
+// lockTxEnd closes p's open lock-round transaction, if any. It runs in
+// p's own cluster context (the grant or wake has arrived at p's cluster).
 func (m *Machine) lockTxEnd(p *proc) {
 	if m.spans == nil {
 		return
 	}
-	if tx := m.lockTx[p.id]; tx != nil {
-		delete(m.lockTx, p.id)
-		m.txEnd(tx)
+	if tx := p.lockTx; tx != nil {
+		p.lockTx = nil
+		m.txEnd(p.cl, tx)
 	}
 }
 
-// sampleQueues is the periodic queue-depth sampler (Config.SampleEvery). It
-// only reads simulator state — directory-controller backlog, live directory
-// entries, network ejection-port backlog — so enabling it never changes
-// simulation results. It reschedules itself while the machine still has
-// work pending and falls silent when the event queue drains.
+// sampleQueues is the serial engine's periodic queue-depth sampler
+// (Config.SampleEvery). It only reads simulator state — directory-
+// controller backlog, live directory entries, network ejection-port
+// backlog — so enabling it never changes simulation results. It
+// reschedules itself while the machine still has work pending and falls
+// silent when the event queue drains. The sharded core samples per
+// cluster instead; see sampleCluster.
 func (m *Machine) sampleQueues() {
 	now := m.eng.Now()
 	for _, c := range m.clusters {
@@ -165,11 +204,11 @@ func (m *Machine) sampleQueues() {
 		if c.dirFree > now {
 			backlog = c.dirFree - now
 		}
-		m.dirDepth.Observe(uint64(backlog))
-		m.dirLive.Observe(uint64(c.dir.LiveEntries()))
+		c.res.dirDepth.Observe(uint64(backlog))
+		c.res.dirLive.Observe(uint64(c.dir.LiveEntries()))
 	}
 	for n := 0; n < m.net.Nodes(); n++ {
-		m.portDepth.Observe(uint64(m.net.PortBacklog(n, now)))
+		m.clusters[n].res.portDepth.Observe(uint64(m.net.PortBacklog(n, now)))
 	}
 	if m.eng.Pending() > 0 {
 		m.eng.After(m.cfg.SampleEvery, m.sampleQueues)

@@ -134,8 +134,14 @@ func TestSpanLockRounds(t *testing.T) {
 	if counts[obs.TxLock] == 0 {
 		t.Fatalf("expected lock transactions, got %v", counts)
 	}
-	if n := len(m.lockTx); n != 0 {
-		t.Fatalf("%d lock transactions leaked past the run", n)
+	leaked := 0
+	for _, p := range m.procs {
+		if p.lockTx != nil {
+			leaked++
+		}
+	}
+	if leaked != 0 {
+		t.Fatalf("%d lock transactions leaked past the run", leaked)
 	}
 }
 

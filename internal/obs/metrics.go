@@ -117,6 +117,31 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	return bucketQuantile(h.bounds, h.counts, h.n, h.max, q)
 }
 
+// Merge folds src into h bucket by bucket. The result is exactly what h
+// would hold had it observed every sample src did — Count, Sum, Max,
+// Bucket, and therefore Quantile, all agree with sequential recording —
+// which is what lets per-shard histograms merge into one deterministic
+// whole. The bucket layouts must match; mismatched bounds panic, since
+// silently re-binning would corrupt the quantile estimates.
+func (h *Histogram) Merge(src *Histogram) {
+	if len(src.bounds) != len(h.bounds) {
+		panic("obs: merging histograms with different bucket layouts")
+	}
+	for i, b := range src.bounds {
+		if h.bounds[i] != b {
+			panic("obs: merging histograms with different bucket layouts")
+		}
+	}
+	for i, c := range src.counts {
+		h.counts[i] += c
+	}
+	h.n += src.n
+	h.sum += src.sum
+	if src.max > h.max {
+		h.max = src.max
+	}
+}
+
 // bucketQuantile is the shared quantile estimator for Histogram and
 // HistSnapshot.
 func bucketQuantile(bounds, counts []uint64, n, max uint64, q float64) uint64 {
@@ -230,6 +255,28 @@ func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
 		r.hists[name] = h
 	}
 	return h
+}
+
+// Merge folds every metric of src into r: counters add, gauges add with
+// the high-water mark taken as the max of the two marks, histograms merge
+// bucket-wise (created with src's bounds when absent from r). Merging the
+// per-shard registries of a sharded run into one registry in shard order
+// yields the same totals as serial recording into a single registry,
+// independent of how recording was partitioned.
+func (r *Registry) Merge(src *Registry) {
+	for name, c := range src.counters {
+		r.Counter(name).Add(c.v)
+	}
+	for name, g := range src.gauges {
+		dst := r.Gauge(name)
+		dst.v += g.v
+		if g.max > dst.max {
+			dst.max = g.max
+		}
+	}
+	for name, h := range src.hists {
+		r.Histogram(name, h.bounds).Merge(h)
+	}
 }
 
 // HistSnapshot is the frozen state of one histogram.

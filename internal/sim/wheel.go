@@ -111,6 +111,7 @@ type Wheel struct {
 	inSlot int    // events currently bucketed
 	over   []witem
 	fired  uint64
+	curKey uint64 // ordering key of the event currently firing
 }
 
 // NewWheel returns a wheel with the given slot count (a power of two;
@@ -133,6 +134,14 @@ func (w *Wheel) Fired() uint64 { return w.fired }
 
 // Pending returns the number of scheduled-but-unfired events.
 func (w *Wheel) Pending() int { return w.inSlot + len(w.over) }
+
+// FiringKey returns the ordering key of the event currently being fired.
+// Together with Now it identifies the firing event's position in the
+// wheel's total (time, key) order — the stamp the sharded machine core
+// attaches to observability records so per-shard buffers merge back into
+// the canonical global order. Outside a callback it returns the key of
+// the most recently fired event (0 before the first).
+func (w *Wheel) FiringKey() uint64 { return w.curKey }
 
 // At schedules fn at absolute time t. Equal-time events scheduled with At
 // fire in insertion order. Scheduling in the past panics.
@@ -229,6 +238,7 @@ func (w *Wheel) fire(t Time) {
 	it, w.slots[s] = wpop(w.slots[s])
 	w.inSlot--
 	w.fired++
+	w.curKey = it.key
 	it.fn()
 }
 
