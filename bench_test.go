@@ -25,13 +25,17 @@ import (
 	"dircoh/internal/sim"
 )
 
+// session is the shared experiment session the benchmarks run on:
+// default parallelism and the serial machine core, no instrumentation.
+var session = exp.NewSession(exp.Observer{}, 0, 0)
+
 func benchCurves(b *testing.B, nodes, region int) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		full := analytic.InvalCurve(core.NewFullVector(nodes), 500, 1)
-		cv := analytic.InvalCurve(core.NewCoarseVector(3, region, nodes), 500, 1)
-		x := analytic.InvalCurve(core.NewSuperset(3, nodes), 500, 1)
-		bc := analytic.InvalCurve(core.NewLimitedBroadcast(3, nodes), 500, 1)
+		full := analytic.InvalCurve(core.Must(core.NewFullVector(nodes)), 500, 1)
+		cv := analytic.InvalCurve(core.Must(core.NewCoarseVector(3, region, nodes)), 500, 1)
+		x := analytic.InvalCurve(core.Must(core.NewSuperset(3, nodes)), 500, 1)
+		bc := analytic.InvalCurve(core.Must(core.NewLimitedBroadcast(3, nodes)), 500, 1)
 		mid := nodes / 2
 		b.ReportMetric(full[mid], "full-invals@mid")
 		b.ReportMetric(cv[mid], "cv-invals@mid")
@@ -59,7 +63,7 @@ func BenchmarkTable1(b *testing.B) {
 // characterization for all four applications.
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tb := exp.Table2(exp.Procs)
+		tb := session.Table2(exp.Procs)
 		if tb == nil {
 			b.Fatal("no table")
 		}
@@ -70,7 +74,7 @@ func BenchmarkTable2(b *testing.B) {
 // invalidation distributions under the four schemes.
 func BenchmarkFig3to6_InvalDist(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		runs := exp.Figs3to6(exp.Procs)
+		runs := session.Figs3to6(exp.Procs)
 		b.ReportMetric(runs[0].Result.InvalHist.Mean(), "full-mean")
 		b.ReportMetric(runs[1].Result.InvalHist.Mean(), "nb-mean")
 		b.ReportMetric(runs[2].Result.InvalHist.Mean(), "b-mean")
@@ -80,7 +84,7 @@ func BenchmarkFig3to6_InvalDist(b *testing.B) {
 
 func benchSchemeComparison(b *testing.B, app string) {
 	for i := 0; i < b.N; i++ {
-		runs, _ := exp.SchemeComparison(app, exp.Procs)
+		runs, _ := session.SchemeComparison(app, exp.Procs)
 		base := float64(runs[0].Result.ExecTime)
 		baseM := float64(runs[0].Result.Msgs.Total())
 		names := []string{"full", "cv", "bcast", "nb"}
@@ -105,7 +109,7 @@ func BenchmarkFig10_LocusRoute(b *testing.B) { benchSchemeComparison(b, "LocusRo
 
 func benchSparse(b *testing.B, app string) {
 	for i := 0; i < b.N; i++ {
-		runs, _ := exp.SparsePerformance(app, exp.Procs)
+		runs, _ := session.SparsePerformance(app, exp.Procs)
 		base := runs[0].Result
 		for _, r := range runs[1:] {
 			if r.Label == "Full Vector sf=1" {
@@ -128,7 +132,7 @@ func BenchmarkFig12_SparseDWF(b *testing.B) { benchSparse(b, "DWF") }
 // BenchmarkFig13_Assoc regenerates Figure 13.
 func BenchmarkFig13_Assoc(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		runs, _ := exp.AssocSweep("LU", exp.Procs)
+		runs, _ := session.AssocSweep("LU", exp.Procs)
 		base := float64(runs[0].Result.Msgs.Total())
 		for _, r := range runs[1:] {
 			switch r.Label {
@@ -145,7 +149,7 @@ func BenchmarkFig13_Assoc(b *testing.B) {
 // LocusRoute — the ablation behind the choice of r in Dir_iCV_r.
 func BenchmarkAblateRegion(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		runs, _ := exp.RegionSweep("LocusRoute", exp.Procs)
+		runs, _ := session.RegionSweep("LocusRoute", exp.Procs)
 		base := float64(runs[0].Result.Msgs.Total())
 		for _, r := range runs[1:] {
 			if r.Label == "Dir3CV2" || r.Label == "Dir3CV16" {
@@ -158,7 +162,7 @@ func BenchmarkAblateRegion(b *testing.B) {
 // BenchmarkAblatePointers sweeps the pointer budget for B/NB/CV.
 func BenchmarkAblatePointers(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		runs, _ := exp.PointerSweep("LocusRoute", exp.Procs)
+		runs, _ := session.PointerSweep("LocusRoute", exp.Procs)
 		base := float64(runs[0].Result.Msgs.Total())
 		for _, r := range runs[1:] {
 			switch r.Label {
@@ -174,7 +178,7 @@ func BenchmarkAblatePointers(b *testing.B) {
 // BenchmarkAblateLockContention measures the §7 queued-lock hot spot.
 func BenchmarkAblateLockContention(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		runs, _ := exp.LockContention(exp.Procs, 8)
+		runs, _ := session.LockContention(exp.Procs, 8)
 		b.ReportMetric(float64(runs[0].Result.ExecTime), "full-exec")
 		b.ReportMetric(float64(runs[1].Result.ExecTime), "cv-exec")
 		b.ReportMetric(float64(runs[1].Result.LockRetries), "cv-retries")
@@ -184,7 +188,7 @@ func BenchmarkAblateLockContention(b *testing.B) {
 // BenchmarkFig14_Policy regenerates Figure 14.
 func BenchmarkFig14_Policy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		runs, _ := exp.PolicySweep("LU", exp.Procs)
+		runs, _ := session.PolicySweep("LU", exp.Procs)
 		base := float64(runs[0].Result.Msgs.Total())
 		for _, r := range runs[1:] {
 			switch r.Label {
@@ -200,7 +204,7 @@ func BenchmarkFig14_Policy(b *testing.B) {
 // BenchmarkAblateDirectories runs the §7 directory-organization comparison.
 func BenchmarkAblateDirectories(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		runs, _ := exp.DirectoryComparison("LocusRoute", exp.Procs)
+		runs, _ := session.DirectoryComparison("LocusRoute", exp.Procs)
 		base := float64(runs[0].Result.Msgs.Total())
 		b.ReportMetric(float64(runs[3].Result.Msgs.Total())/base, "overflow64-msgs")
 		b.ReportMetric(float64(runs[4].Result.Msgs.Total())/base, "overflow8-msgs")
@@ -210,7 +214,7 @@ func BenchmarkAblateDirectories(b *testing.B) {
 // BenchmarkAblateOccupancy measures peak directory occupancy (§4.2).
 func BenchmarkAblateOccupancy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		runs, _ := exp.OccupancyStudy(exp.Procs)
+		runs, _ := session.OccupancyStudy(exp.Procs)
 		for _, r := range runs {
 			b.ReportMetric(float64(r.Result.DirPeak), r.App+"-peak")
 		}
@@ -220,7 +224,7 @@ func BenchmarkAblateOccupancy(b *testing.B) {
 // BenchmarkAblateNetworkContention reruns Figure 10 with finite ports.
 func BenchmarkAblateNetworkContention(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		runs, _ := exp.NetworkContention("LocusRoute", exp.Procs, []sim.Time{8})
+		runs, _ := session.NetworkContention("LocusRoute", exp.Procs, []sim.Time{8})
 		base := float64(runs[0].Result.ExecTime)
 		b.ReportMetric(float64(runs[1].Result.ExecTime)/base, "cv-exec")
 		b.ReportMetric(float64(runs[2].Result.ExecTime)/base, "bcast-exec")
@@ -230,7 +234,7 @@ func BenchmarkAblateNetworkContention(b *testing.B) {
 // BenchmarkAblateBlockSize runs the §3.1 block-size tradeoff.
 func BenchmarkAblateBlockSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		runs, _ := exp.BlockSizeStudy("MP3D", exp.Procs, []int{16, 64})
+		runs, _ := session.BlockSizeStudy("MP3D", exp.Procs, []int{16, 64})
 		b.ReportMetric(float64(runs[1].Result.Msgs.InvalAck())/float64(runs[0].Result.Msgs.InvalAck()), "invack-64B-vs-16B")
 	}
 }
@@ -247,18 +251,17 @@ func BenchmarkSweepParallel(b *testing.B) {
 	}
 	for _, par := range widths {
 		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
-			exp.SetParallelism(par)
-			defer exp.SetParallelism(0)
+			s := exp.NewSession(exp.Observer{}, par, 0)
 			for i := 0; i < b.N; i++ {
-				exp.Meter().Reset()
+				s.Meter().Reset()
 				start := b.Elapsed()
 				for _, app := range []string{"LU", "DWF", "MP3D", "LocusRoute"} {
-					runs, _ := exp.SchemeComparison(app, 8)
+					runs, _ := s.SchemeComparison(app, 8)
 					if len(runs) != 4 {
 						b.Fatalf("%s: %d runs", app, len(runs))
 					}
 				}
-				b.ReportMetric(exp.Meter().Summary().Speedup(b.Elapsed()-start), "speedup")
+				b.ReportMetric(s.Meter().Summary().Speedup(b.Elapsed()-start), "speedup")
 			}
 		})
 	}
@@ -267,7 +270,7 @@ func BenchmarkSweepParallel(b *testing.B) {
 // BenchmarkAblateBarriers compares central and tree barriers.
 func BenchmarkAblateBarriers(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		runs, _ := exp.BarrierStudy(exp.Procs, 6, []sim.Time{8})
+		runs, _ := session.BarrierStudy(exp.Procs, 6, []sim.Time{8})
 		b.ReportMetric(float64(runs[0].Result.ExecTime), "central-exec")
 		b.ReportMetric(float64(runs[1].Result.ExecTime), "tree-exec")
 	}

@@ -1,12 +1,17 @@
 // Command bench records the simulator's performance trajectory: a pinned
 // workload matrix (scheme × processor count × application), each cell run
 // at a fixed set of machine-core shard widths, measuring wall time,
-// cycles simulated per second and heap allocations — once with
-// observability off and once with event tracing, span recording, and
-// queue sampling enabled on discard sinks, so the instrumentation's cost
-// is tracked per width alongside raw throughput. Results go to a JSON
-// file (BENCH_8.json by default) so successive PRs can diff throughput on
-// the same matrix.
+// cycles simulated per second, heap allocations and per-entry directory
+// bytes — once with observability off and once with event tracing, span
+// recording, and queue sampling enabled on discard sinks, so the
+// instrumentation's cost is tracked per width alongside raw throughput.
+// Results go to a JSON file (BENCH_9.json by default) so successive PRs
+// can diff throughput on the same matrix.
+//
+// Besides the paper's 32-processor figure workloads, the matrix carries
+// two 1024-cluster scale-probe cells (full vector and the adaptive
+// two-level directory), so throughput and memory at the sizes the compact
+// encodings exist for are pinned alongside the small grid.
 //
 // Shard width 0 is the legacy serial heap engine — the baseline every
 // other width's speedup is computed against. Widths >= 1 run the sharded
@@ -15,9 +20,9 @@
 // host the widths > 1 cannot beat width 1, and the recorded host.cpus
 // says so.
 //
-//	bench                   # full matrix, ~2 minutes
+//	bench                   # full matrix, ~3 minutes
 //	bench -quick            # one cell, one repetition, for CI
-//	bench -o BENCH_8.json   # output path
+//	bench -o BENCH_9.json   # output path
 package main
 
 import (
@@ -29,6 +34,7 @@ import (
 	"time"
 
 	"dircoh/internal/cli"
+	"dircoh/internal/core"
 	"dircoh/internal/exp"
 	"dircoh/internal/machine"
 	"dircoh/internal/obs"
@@ -54,6 +60,12 @@ type result struct {
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	AllocObjs    uint64  `json:"alloc_objs"`  // heap objects per run
 	AllocBytes   uint64  `json:"alloc_bytes"` // heap bytes per run
+
+	// Per-entry directory cost of the cell's scheme at the cell's size:
+	// architectural bits and simulator heap bytes (Result.DirEntryBits /
+	// DirEntryBytes).
+	DirEntryBits  int `json:"dir_entry_bits"`
+	DirEntryBytes int `json:"dir_entry_bytes"`
 
 	// The same cell with tracing, spans, and queue sampling enabled on
 	// discard sinks. ObsOverhead is ObsWallSeconds / WallSeconds.
@@ -90,8 +102,14 @@ var schemes = []struct {
 	{"Dir3CV2", machine.CoarseVec2},
 }
 
+// scaleProbeApp is the synthetic large-machine workload; cells naming it
+// run exp.ScaleProbe instead of a paper application.
+const scaleProbeApp = "scale-probe"
+
 // matrix returns the pinned cells. The 32-processor figure workloads are
-// the paper's own experiment grid; -quick keeps one representative cell.
+// the paper's own experiment grid; the 1024-cluster scale-probe cells pin
+// throughput and directory bytes at large geometry. -quick keeps one
+// representative cell.
 func matrix(quick bool) []cell {
 	if quick {
 		return []cell{{App: "LocusRoute", Scheme: "Dir3CV2", Procs: 32}}
@@ -102,22 +120,41 @@ func matrix(quick bool) []cell {
 			cells = append(cells, cell{App: app, Scheme: s.name, Procs: 32})
 		}
 	}
+	cells = append(cells,
+		cell{App: scaleProbeApp, Scheme: "full", Procs: 1024},
+		cell{App: scaleProbeApp, Scheme: "tl", Procs: 1024},
+	)
 	return cells
 }
 
+// workload builds the cell's reference stream: a paper application, or
+// the scale probe for the large-geometry cells.
+func workload(c cell) *tango.Workload {
+	if c.App == scaleProbeApp {
+		return exp.ScaleProbe(c.Procs, 2)
+	}
+	return exp.Workload(c.App, c.Procs)
+}
+
+// factory resolves a cell's scheme: the pinned 32-processor pair first,
+// then any registry spec ("full", "tl", "Dir4R32", ...) so the scale
+// cells need no bespoke table.
 func factory(name string) machine.SchemeFactory {
 	for _, s := range schemes {
 		if s.name == name {
 			return s.f
 		}
 	}
-	cli.Fatalf(tool, "unknown scheme %q", name)
-	return nil
+	f, err := core.Parse(name)
+	if err != nil {
+		cli.Fatalf(tool, "unknown scheme %q: %v", name, err)
+	}
+	return f
 }
 
 // runOnce executes one cell once, with or without observability, and
-// returns the wall seconds, simulated cycles, and allocation deltas.
-func runOnce(c cell, w *tango.Workload, shards int, withObs bool) (wall float64, cycles, objs, bytes uint64) {
+// returns the wall seconds, the run result, and allocation deltas.
+func runOnce(c cell, w *tango.Workload, shards int, withObs bool) (wall float64, res *machine.Result, objs, bytes uint64) {
 	cfg := machine.DefaultConfig(factory(c.Scheme))
 	cfg.Procs = c.Procs
 	cfg.Shards = shards
@@ -143,7 +180,7 @@ func runOnce(c cell, w *tango.Workload, shards int, withObs bool) (wall float64,
 	}
 	wall = time.Since(start).Seconds()
 	runtime.ReadMemStats(&after)
-	return wall, uint64(r.ExecTime), after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
+	return wall, r, after.Mallocs - before.Mallocs, after.TotalAlloc - before.TotalAlloc
 }
 
 // measure runs one cell at one width reps times, obs off and on, and
@@ -152,8 +189,10 @@ func runOnce(c cell, w *tango.Workload, shards int, withObs bool) (wall float64,
 func measure(c cell, w *tango.Workload, shards, reps int) result {
 	res := result{cell: c, Shards: shards, Reps: reps}
 	for rep := 0; rep < reps; rep++ {
-		wall, cycles, objs, bytes := runOnce(c, w, shards, false)
-		res.Cycles = cycles
+		wall, r, objs, bytes := runOnce(c, w, shards, false)
+		res.Cycles = uint64(r.ExecTime)
+		res.DirEntryBits = r.DirEntryBits
+		res.DirEntryBytes = r.DirEntryBytes
 		res.AllocObjs = objs
 		res.AllocBytes = bytes
 		if rep == 0 || wall < res.WallSeconds {
@@ -174,7 +213,7 @@ func main() {
 	var (
 		quick = flag.Bool("quick", false, "one cell, one repetition (CI smoke)")
 		reps  = flag.Int("reps", 3, "repetitions per point (best wall time wins)")
-		out   = flag.String("o", "BENCH_8.json", "output JSON path ('-' for stdout)")
+		out   = flag.String("o", "BENCH_9.json", "output JSON path ('-' for stdout)")
 	)
 	flag.Parse()
 	if *quick {
@@ -186,14 +225,14 @@ func main() {
 
 	widths := []int{0, 1, 2, 4}
 	rep := report{
-		Version: 2, Tool: tool, Quick: *quick,
+		Version: 3, Tool: tool, Quick: *quick,
 		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 		CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
 		Widths: widths,
 	}
 
 	for _, c := range matrix(*quick) {
-		w := exp.Workload(c.App, c.Procs)
+		w := workload(c)
 		sp := speedup{cell: c, OverSerial: map[string]float64{}}
 		var serial float64
 		for _, width := range widths {

@@ -29,10 +29,10 @@ func fig2Plot(nodes, trials int, seed int64) string {
 	p := stats.NewPlot(
 		fmt.Sprintf("Figure 2: average invalidations vs sharers, %d processors", nodes),
 		"number of sharers", "invalidations per write")
-	p.AddSeries("Dir3B", xs, slice(analytic.InvalCurve(core.NewLimitedBroadcast(3, nodes), trials, seed)))
-	p.AddSeries("Dir3X", xs, slice(analytic.InvalCurve(core.NewSuperset(3, nodes), trials, seed)))
-	p.AddSeries(fmt.Sprintf("Dir3CV%d", region), xs, slice(analytic.InvalCurve(core.NewCoarseVector(3, region, nodes), trials, seed)))
-	p.AddSeries(fmt.Sprintf("Dir%d", nodes), xs, slice(analytic.InvalCurve(core.NewFullVector(nodes), trials, seed)))
+	p.AddSeries("Dir3B", xs, slice(analytic.InvalCurve(core.Must(core.NewLimitedBroadcast(3, nodes)), trials, seed)))
+	p.AddSeries("Dir3X", xs, slice(analytic.InvalCurve(core.Must(core.NewSuperset(3, nodes)), trials, seed)))
+	p.AddSeries(fmt.Sprintf("Dir3CV%d", region), xs, slice(analytic.InvalCurve(core.Must(core.NewCoarseVector(3, region, nodes)), trials, seed)))
+	p.AddSeries(fmt.Sprintf("Dir%d", nodes), xs, slice(analytic.InvalCurve(core.Must(core.NewFullVector(nodes)), trials, seed)))
 	return p.Render(64, 20)
 }
 

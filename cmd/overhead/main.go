@@ -34,13 +34,15 @@ func main() {
 
 	if *custom {
 		clusters := *procs / *ppc
+		scheme, err := core.NewFullVector(clusters)
+		cli.Check("overhead", err)
 		cfg := analytic.OverheadConfig{
 			Procs:             *procs,
 			ProcsPerCluster:   *ppc,
 			MemBytesPerProc:   16 << 20,
 			CacheBytesPerProc: 256 << 10,
 			BlockBytes:        16,
-			Scheme:            core.NewFullVector(clusters),
+			Scheme:            scheme,
 			Sparsity:          *sparsity,
 		}
 		r := analytic.Overhead(cfg)

@@ -83,11 +83,11 @@ func seedFor(campaign int64, i, trials int) int64 {
 
 // schemeNames mirrors the roster in machine's scheme factories; the
 // trial rng indexes into it so a replayed seed picks the same scheme.
-var schemeNames = []string{"full", "cv", "b", "nb", "x"}
+var schemeNames = []string{"full", "cv", "b", "nb", "x", "tl"}
 
 var schemes = []machine.SchemeFactory{
 	machine.FullVec, machine.CoarseVec2, machine.Broadcast,
-	machine.NoBroadcast, machine.SupersetX,
+	machine.NoBroadcast, machine.SupersetX, machine.TwoLevel,
 }
 
 var policies = []sparse.ReplacePolicy{sparse.LRU, sparse.Random, sparse.LRA}

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		only     = flag.String("only", "all", "comma list of: 2, t1, t2, 3-6, 7-10, 11-12, 13, 14")
+		only     = flag.String("only", "all", "comma list of: 2, t1, t2, 3-6, 7-10, 11-12, 13, 14, scale, scale-sim")
 		procs    = flag.Int("procs", exp.Procs, "processors for the simulation experiments")
 		trials   = flag.Int("trials", 2000, "Monte-Carlo trials for Figure 2")
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = one per core)")

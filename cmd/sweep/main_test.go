@@ -48,6 +48,52 @@ func TestSweepGoldenTable2(t *testing.T) {
 	checkGolden(t, "sweep_t2.golden", buf.Bytes())
 }
 
+// TestSweepGoldenScale locks the analytic half of the beyond-64 section:
+// Table 1 extended along the paper's growth axis and the per-scheme entry
+// cost table at 64-4096 clusters. Pure arithmetic, no simulation.
+func TestSweepGoldenScale(t *testing.T) {
+	var buf bytes.Buffer
+	runSweep(exp.NewSession(exp.Observer{}, 0, 0), &buf, "scale", 8, 1)
+	checkGolden(t, "sweep_scale.golden", buf.Bytes())
+}
+
+// TestSweepGoldenScaleSim locks the simulated beyond-64 figure: the scale
+// probe at 256, 1024 and 4096 clusters under the full roster. The largest
+// cell simulates a 4096-cluster machine, so the test is skipped in short
+// mode (it is the bulk of this package's non-short runtime).
+func TestSweepGoldenScaleSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates 256-4096 cluster machines")
+	}
+	var buf bytes.Buffer
+	runSweep(exp.NewSession(exp.Observer{}, 0, 0), &buf, "scale-sim", 8, 1)
+	checkGolden(t, "sweep_scale_sim.golden", buf.Bytes())
+}
+
+// TestScaleSmokeSerialVsSharded is the bounded large-geometry smoke: one
+// 1024-cluster scale cell (the adaptive two-level scheme) run on the
+// sharded machine core at widths 1 and 4 must render byte-identically —
+// the width-independence guarantee exercised at the scale the compact
+// encodings exist for. Bounded to a single cell so CI stays fast.
+func TestScaleSmokeSerialVsSharded(t *testing.T) {
+	saved := exp.ScaleSchemes
+	exp.ScaleSchemes = exp.ScaleSchemes[2:3] // Two Level only
+	defer func() { exp.ScaleSchemes = saved }()
+	render := func(shards int) []byte {
+		var buf bytes.Buffer
+		_, tb := exp.NewSession(exp.Observer{}, 0, shards).ScaleStudy([]int{1024}, 2)
+		buf.WriteString(tb.String())
+		return buf.Bytes()
+	}
+	want := render(1)
+	if len(want) == 0 {
+		t.Fatal("empty scale output")
+	}
+	if got := render(4); !bytes.Equal(got, want) {
+		t.Fatalf("-shards 4 scale cell differs from -shards 1:\n--- shards 1 ---\n%s\n--- shards 4 ---\n%s", want, got)
+	}
+}
+
 // TestSweepParallelismInvariant renders a simulation-backed section at
 // several pool widths and requires byte-identical output.
 func TestSweepParallelismInvariant(t *testing.T) {

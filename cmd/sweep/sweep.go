@@ -76,4 +76,15 @@ func runSweep(s *exp.Session, w io.Writer, only string, procs, trials int) {
 		_, tb := s.PolicySweep("LU", procs)
 		fmt.Fprintln(w, tb)
 	}
+	if want(only, "scale") {
+		section("Beyond 64 processors: Table 1 extended to 4096-cluster machines")
+		fmt.Fprintln(w, analytic.Table1For([]int{64, 256, 1024, 4096}))
+		section("Beyond 64 processors: directory entry cost per scheme")
+		fmt.Fprintln(w, analytic.EntryCostTable([]int{64, 256, 1024, 4096}))
+	}
+	if want(only, "scale-sim") {
+		section("Beyond 64 processors: simulated traffic at 256-4096 clusters")
+		_, tb := s.ScaleStudy(exp.ScaleAxis, 3)
+		fmt.Fprintln(w, tb)
+	}
 }

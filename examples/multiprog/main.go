@@ -21,8 +21,8 @@ import (
 
 func entryDemo() {
 	const nodes = 32
-	cv := core.NewCoarseVector(3, 2, nodes).NewEntry()
-	b := core.NewLimitedBroadcast(3, nodes).NewEntry()
+	cv := core.Must(core.NewCoarseVector(3, 2, nodes)).NewEntry()
+	b := core.Must(core.NewLimitedBroadcast(3, nodes)).NewEntry()
 
 	// User A's application runs on clusters 0..15 and shares one block
 	// among eight of them — enough to overflow three pointers.

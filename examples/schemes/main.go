@@ -26,7 +26,7 @@ func main() {
 		{"Dir3CV2 coarse vector", machine.CoarseVec2},
 		{"Dir3B broadcast", machine.Broadcast},
 		{"Dir3NB no-broadcast", machine.NoBroadcast},
-		{"Dir2X superset", func(n int) core.Scheme { return core.NewSuperset(2, n) }},
+		{"Dir2X superset", func(n int) (core.Scheme, error) { return core.NewSuperset(2, n) }},
 	}
 
 	tb := stats.NewTable("scheme", "exec(norm)", "msgs(norm)", "requests", "replies", "inval+ack", "avg invals/event")

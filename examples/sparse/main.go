@@ -48,7 +48,7 @@ func main() {
 			oh := analytic.Overhead(analytic.OverheadConfig{
 				Procs: procs, ProcsPerCluster: 1,
 				MemBytesPerProc: 16 << 20, CacheBytesPerProc: 256 << 10,
-				BlockBytes: 16, Scheme: core.NewFullVector(procs),
+				BlockBytes: 16, Scheme: core.Must(core.NewFullVector(procs)),
 				Sparsity: sparsity,
 			})
 			savings = fmt.Sprintf("%.0fx", oh.Savings)

@@ -64,10 +64,10 @@ func Fig2Table(nodes, trials int, seed int64) *stats.Table {
 		region = 4
 	}
 	schemes := []core.Scheme{
-		core.NewLimitedBroadcast(3, nodes),
-		core.NewSuperset(3, nodes),
-		core.NewCoarseVector(3, region, nodes),
-		core.NewFullVector(nodes),
+		core.Must(core.NewLimitedBroadcast(3, nodes)),
+		core.Must(core.NewSuperset(3, nodes)),
+		core.Must(core.NewCoarseVector(3, region, nodes)),
+		core.Must(core.NewFullVector(nodes)),
 	}
 	header := []string{"sharers"}
 	curves := make([][]float64, len(schemes))
@@ -139,44 +139,123 @@ func Overhead(cfg OverheadConfig) OverheadResult {
 	return r
 }
 
+// Table1Scheme returns the paper's Table 1 scheme choice and sparsity for
+// a machine of the given processor count (4 processors per cluster): small
+// machines afford a full, non-sparse bit vector; mid-size machines keep
+// the full vector but go sparse; large machines need both sparsity and a
+// coarse vector. This is the rule the paper's three sample rows instantiate
+// at 64, 256 and 1024 processors, stated once so the table extends to any
+// machine size instead of hardcoding the 1024-processor endpoint.
+func Table1Scheme(procs int) (scheme core.Scheme, sparsity int, label string) {
+	clusters := procs / 4
+	switch {
+	case procs <= 64:
+		return core.Must(core.NewFullVector(clusters)), 1, fmt.Sprintf("Dir%d", clusters)
+	case procs <= 256:
+		return core.Must(core.NewFullVector(clusters)), 4, fmt.Sprintf("sparse Dir%d", clusters)
+	default:
+		return core.Must(core.NewCoarseVector(8, 4, clusters)), 4, "sparse Dir8CV4"
+	}
+}
+
 // Table1 reproduces the paper's Table 1: sample machine configurations
 // with 16 MB of memory and 256 KB of cache per processor, 16-byte blocks
 // and ≈13% directory overhead throughout.
 func Table1() *stats.Table {
+	return Table1For([]int{64, 256, 1024})
+}
+
+// Table1For renders the Table 1 accounting for an arbitrary axis of
+// processor counts, choosing each row's scheme via Table1Scheme — the
+// parameterized form that extends the paper's table to 4096 processors
+// and beyond.
+func Table1For(procAxis []int) *stats.Table {
 	tb := stats.NewTable("clusters", "procs", "memory(MB)", "cache(MB)", "block(B)", "scheme", "sparsity", "overhead")
-	rows := []struct {
-		procs    int
-		scheme   func(clusters int) core.Scheme
-		sparsity int
-		label    string
-	}{
-		{64, func(n int) core.Scheme { return core.NewFullVector(n) }, 1, "Dir16"},
-		{256, func(n int) core.Scheme { return core.NewFullVector(n) }, 4, "sparse Dir64"},
-		{1024, func(n int) core.Scheme { return core.NewCoarseVector(8, 4, n) }, 4, "sparse Dir8CV4"},
-	}
-	for _, row := range rows {
+	for _, procs := range procAxis {
+		scheme, sparsity, label := Table1Scheme(procs)
 		cfg := OverheadConfig{
-			Procs:             row.procs,
+			Procs:             procs,
 			ProcsPerCluster:   4,
 			MemBytesPerProc:   16 << 20,
 			CacheBytesPerProc: 256 << 10,
 			BlockBytes:        16,
-			Sparsity:          row.sparsity,
+			Scheme:            scheme,
+			Sparsity:          sparsity,
 		}
-		cfg.Scheme = row.scheme(cfg.Clusters())
 		r := Overhead(cfg)
 		tb.AddRow(
 			fmt.Sprintf("%d", cfg.Clusters()),
-			fmt.Sprintf("%d", row.procs),
-			fmt.Sprintf("%d", int64(row.procs)*16),
-			fmt.Sprintf("%.0f", float64(row.procs)*0.25),
+			fmt.Sprintf("%d", procs),
+			fmt.Sprintf("%d", int64(procs)*16),
+			fmt.Sprintf("%.0f", float64(procs)*0.25),
 			"16",
-			row.label,
-			fmt.Sprintf("%d", row.sparsity),
+			label,
+			fmt.Sprintf("%d", sparsity),
 			fmt.Sprintf("%.1f%%", r.OverheadPct),
 		)
 	}
 	return tb
+}
+
+// EntryCostTable tabulates, for each cluster count on the axis, the
+// hardware bits (BitsPerEntry) and simulator resident bytes (EntryBytes)
+// of one directory entry under every registered scheme — the storage side
+// of the scale story, regression-guarded by the sweep goldens.
+func EntryCostTable(clusterAxis []int) *stats.Table {
+	tb := stats.NewTable("clusters", "scheme", "bits/entry", "sim bytes/entry")
+	for _, n := range clusterAxis {
+		for _, name := range core.SchemeNames() {
+			f := core.MustParse(name)
+			s, err := f(n)
+			if err != nil {
+				tb.AddRow(fmt.Sprintf("%d", n), name, "-", "-")
+				continue
+			}
+			tb.AddRow(
+				fmt.Sprintf("%d", n),
+				s.Name(),
+				fmt.Sprintf("%d", s.BitsPerEntry()),
+				fmt.Sprintf("%d", s.EntryBytes()),
+			)
+		}
+	}
+	return tb
+}
+
+// InvalAt estimates the average invalidation count for a single sharer
+// count — one point of InvalCurve. The scale figures sample it at
+// power-of-two sharer counts so the 1K–4K-node curves stay affordable
+// (a full InvalCurve is O(nodes · trials · nodes)).
+func InvalAt(scheme core.Scheme, sharers, trials int, seed int64) float64 {
+	n := scheme.Nodes()
+	if trials <= 0 {
+		panic(&ArgError{Name: "trials", Value: trials})
+	}
+	if sharers < 1 || sharers >= n {
+		panic(&ArgError{Name: "sharers", Value: sharers})
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := make([]int, n)
+	var total uint64
+	for t := 0; t < trials; t++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		e := scheme.NewEntry()
+		for _, node := range perm[:sharers] {
+			e.AddSharer(node)
+		}
+		writer := perm[sharers]
+		home := rng.Intn(n)
+		targets := e.Sharers()
+		targets.Remove(writer)
+		if home != writer {
+			targets.Remove(home)
+		}
+		total += uint64(targets.Count())
+	}
+	return float64(total) / float64(trials)
 }
 
 // SparseSavingsExample reproduces the §5 worked example: a full bit vector
@@ -190,7 +269,7 @@ func SparseSavingsExample() OverheadResult {
 		MemBytesPerProc:   16 << 20,
 		CacheBytesPerProc: 256 << 10,
 		BlockBytes:        16,
-		Scheme:            core.NewFullVector(32),
+		Scheme:            core.Must(core.NewFullVector(32)),
 		Sparsity:          64,
 	}
 	return Overhead(cfg)

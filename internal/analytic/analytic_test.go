@@ -10,7 +10,7 @@ import (
 func TestInvalCurveFullVectorIsIdeal(t *testing.T) {
 	// The full bit vector sends invalidations to exactly the sharers
 	// (minus the home when it happens to be one): s-1 <= avg <= s.
-	curve := InvalCurve(core.NewFullVector(16), 400, 1)
+	curve := InvalCurve(core.Must(core.NewFullVector(16)), 400, 1)
 	for s := 1; s < 16; s++ {
 		if curve[s] > float64(s) || curve[s] < float64(s)-1 {
 			t.Fatalf("full vector curve[%d] = %.2f, want within [s-1, s]", s, curve[s])
@@ -22,7 +22,7 @@ func TestInvalCurveBroadcastSaturates(t *testing.T) {
 	// Dir3B with 32 nodes: once sharers exceed 3 pointers every event is
 	// a broadcast to ~N-2 clusters (§6.1: "For most broadcasts, 30
 	// clusters have to be invalidated" at 32 clusters).
-	curve := InvalCurve(core.NewLimitedBroadcast(3, 32), 400, 1)
+	curve := InvalCurve(core.Must(core.NewLimitedBroadcast(3, 32)), 400, 1)
 	for s := 1; s <= 3; s++ {
 		if curve[s] > float64(s) {
 			t.Fatalf("below-overflow curve[%d] = %.2f too high", s, curve[s])
@@ -41,10 +41,10 @@ func TestInvalCurveOrdering(t *testing.T) {
 	// Figure 2's headline: full <= CV <= X <= B for every sharer count
 	// beyond overflow (X is "only marginally better than broadcast").
 	const n = 64
-	full := InvalCurve(core.NewFullVector(n), 300, 1)
-	cv := InvalCurve(core.NewCoarseVector(3, 4, n), 300, 1)
-	x := InvalCurve(core.NewSuperset(3, n), 300, 1)
-	b := InvalCurve(core.NewLimitedBroadcast(3, n), 300, 1)
+	full := InvalCurve(core.Must(core.NewFullVector(n)), 300, 1)
+	cv := InvalCurve(core.Must(core.NewCoarseVector(3, 4, n)), 300, 1)
+	x := InvalCurve(core.Must(core.NewSuperset(3, n)), 300, 1)
+	b := InvalCurve(core.Must(core.NewLimitedBroadcast(3, n)), 300, 1)
 	for s := 4; s < n; s++ {
 		if !(full[s] <= cv[s]+0.5 && cv[s] <= x[s]+0.5 && x[s] <= b[s]+0.5) {
 			t.Fatalf("ordering violated at s=%d: full=%.1f cv=%.1f x=%.1f b=%.1f",
@@ -59,8 +59,8 @@ func TestInvalCurveOrdering(t *testing.T) {
 }
 
 func TestInvalCurveDeterministic(t *testing.T) {
-	a := InvalCurve(core.NewCoarseVector(3, 2, 16), 100, 9)
-	b := InvalCurve(core.NewCoarseVector(3, 2, 16), 100, 9)
+	a := InvalCurve(core.Must(core.NewCoarseVector(3, 2, 16)), 100, 9)
+	b := InvalCurve(core.Must(core.NewCoarseVector(3, 2, 16)), 100, 9)
 	for s := range a {
 		if a[s] != b[s] {
 			t.Fatal("curve not deterministic for equal seeds")
@@ -74,7 +74,7 @@ func TestInvalCurvePanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	InvalCurve(core.NewFullVector(4), 0, 1)
+	InvalCurve(core.Must(core.NewFullVector(4)), 0, 1)
 }
 
 func TestFig2Table(t *testing.T) {
@@ -94,7 +94,7 @@ func TestOverheadDASHPrototype(t *testing.T) {
 	cfg := OverheadConfig{
 		Procs: 64, ProcsPerCluster: 4,
 		MemBytesPerProc: 16 << 20, CacheBytesPerProc: 256 << 10,
-		BlockBytes: 16, Scheme: core.NewFullVector(16),
+		BlockBytes: 16, Scheme: core.Must(core.NewFullVector(16)),
 	}
 	r := Overhead(cfg)
 	if r.StateBits != 17 || r.TagBits != 0 {
@@ -139,7 +139,7 @@ func TestOverheadSparsityReducesStorage(t *testing.T) {
 	base := OverheadConfig{
 		Procs: 256, ProcsPerCluster: 4,
 		MemBytesPerProc: 16 << 20, CacheBytesPerProc: 256 << 10,
-		BlockBytes: 16, Scheme: core.NewFullVector(64),
+		BlockBytes: 16, Scheme: core.Must(core.NewFullVector(64)),
 	}
 	full := Overhead(base)
 	base.Sparsity = 16

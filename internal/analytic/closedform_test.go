@@ -31,7 +31,7 @@ func candidateMC(s core.Scheme, sharers, trials int, seed int64) float64 {
 }
 
 func TestClosedFormFullMatchesMC(t *testing.T) {
-	scheme := core.NewFullVector(24)
+	scheme := core.Must(core.NewFullVector(24))
 	for s := 1; s < 24; s += 4 {
 		mc := candidateMC(scheme, s, 200, 1)
 		cf := ExpectedCandidatesFull(24, s)
@@ -42,7 +42,7 @@ func TestClosedFormFullMatchesMC(t *testing.T) {
 }
 
 func TestClosedFormBroadcastMatchesMC(t *testing.T) {
-	scheme := core.NewLimitedBroadcast(3, 24)
+	scheme := core.Must(core.NewLimitedBroadcast(3, 24))
 	for s := 1; s < 24; s += 3 {
 		mc := candidateMC(scheme, s, 200, 1)
 		cf := ExpectedCandidatesBroadcast(3, 24, s)
@@ -60,7 +60,7 @@ func TestClosedFormCVMatchesMC(t *testing.T) {
 		{1, 8, 20},
 	}
 	for _, c := range cases {
-		scheme := core.NewCoarseVector(c.ptrs, c.region, c.n)
+		scheme := core.Must(core.NewCoarseVector(c.ptrs, c.region, c.n))
 		for s := 1; s <= c.n; s += 3 {
 			mc := candidateMC(scheme, s, 3000, 7)
 			cf := ExpectedCandidatesCV(c.ptrs, c.region, c.n, s)

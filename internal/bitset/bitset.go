@@ -47,6 +47,16 @@ func (s Set) Clone() Set {
 	return c
 }
 
+// CopyFrom overwrites s with the contents of t without allocating. Both
+// sets must have the same width.
+func (s Set) CopyFrom(t Set) {
+	s.mustMatch(t)
+	copy(s.words, t.words)
+}
+
+// Bytes returns the resident heap size of the set's backing storage.
+func (s Set) Bytes() int { return len(s.words) * 8 }
+
 func (s Set) check(i int) {
 	if i < 0 || i >= s.n {
 		panic(fmt.Sprintf("bitset: element %d out of range [0,%d)", i, s.n))
@@ -169,9 +179,23 @@ func (s Set) Elems() []int {
 
 // AddRange inserts every element in [lo, hi).
 func (s Set) AddRange(lo, hi int) {
-	for i := lo; i < hi; i++ {
-		s.Add(i)
+	if lo >= hi {
+		return
 	}
+	s.check(lo)
+	s.check(hi - 1)
+	lw, hw := lo/wordBits, (hi-1)/wordBits
+	loMask := ^uint64(0) << (uint(lo) % wordBits)
+	hiMask := ^uint64(0) >> (wordBits - 1 - uint(hi-1)%wordBits)
+	if lw == hw {
+		s.words[lw] |= loMask & hiMask
+		return
+	}
+	s.words[lw] |= loMask
+	for i := lw + 1; i < hw; i++ {
+		s.words[i] = ^uint64(0)
+	}
+	s.words[hw] |= hiMask
 }
 
 // Fill inserts every element 0..n-1.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dircoh/internal/apps"
+	"dircoh/internal/core"
 	"dircoh/internal/machine"
 )
 
@@ -63,7 +64,7 @@ func TestLoadFull(t *testing.T) {
 	if cfg.Barrier != machine.TreeBarrier || cfg.Mesh.PortTime != 4 || cfg.Seed != 7 {
 		t.Fatalf("options wrong: %+v", cfg)
 	}
-	if got := cfg.Scheme(cfg.Clusters()).Name(); got != "Dir4CV4" {
+	if got := core.Must(cfg.Scheme(cfg.Clusters())).Name(); got != "Dir4CV4" {
 		t.Fatalf("scheme = %q", got)
 	}
 }

@@ -13,13 +13,14 @@ func benchAddSharer(b *testing.B, s Scheme) {
 	}
 }
 
-func BenchmarkAddSharerFullVector(b *testing.B) { benchAddSharer(b, NewFullVector(64)) }
-func BenchmarkAddSharerBroadcast(b *testing.B)  { benchAddSharer(b, NewLimitedBroadcast(3, 64)) }
+func BenchmarkAddSharerFullVector(b *testing.B) { benchAddSharer(b, Must(NewFullVector(64))) }
+func BenchmarkAddSharerBroadcast(b *testing.B)  { benchAddSharer(b, Must(NewLimitedBroadcast(3, 64))) }
 func BenchmarkAddSharerNoBroadcast(b *testing.B) {
-	benchAddSharer(b, NewLimitedNoBroadcast(3, 64, VictimRandom, 1))
+	benchAddSharer(b, Must(NewLimitedNoBroadcast(3, 64, VictimRandom, 1)))
 }
-func BenchmarkAddSharerSuperset(b *testing.B)     { benchAddSharer(b, NewSuperset(2, 64)) }
-func BenchmarkAddSharerCoarseVector(b *testing.B) { benchAddSharer(b, NewCoarseVector(3, 4, 64)) }
+func BenchmarkAddSharerSuperset(b *testing.B)     { benchAddSharer(b, Must(NewSuperset(2, 64))) }
+func BenchmarkAddSharerCoarseVector(b *testing.B) { benchAddSharer(b, Must(NewCoarseVector(3, 4, 64))) }
+func BenchmarkAddSharerTwoLevel(b *testing.B)     { benchAddSharer(b, Must(NewTwoLevel(4, 8, 64))) }
 
 func benchSharers(b *testing.B, s Scheme) {
 	e := s.NewEntry()
@@ -35,6 +36,30 @@ func benchSharers(b *testing.B, s Scheme) {
 	_ = total
 }
 
-func BenchmarkSharersFullVector(b *testing.B)   { benchSharers(b, NewFullVector(64)) }
-func BenchmarkSharersSuperset(b *testing.B)     { benchSharers(b, NewSuperset(2, 64)) }
-func BenchmarkSharersCoarseVector(b *testing.B) { benchSharers(b, NewCoarseVector(3, 4, 64)) }
+func BenchmarkSharersFullVector(b *testing.B)   { benchSharers(b, Must(NewFullVector(64))) }
+func BenchmarkSharersSuperset(b *testing.B)     { benchSharers(b, Must(NewSuperset(2, 64))) }
+func BenchmarkSharersCoarseVector(b *testing.B) { benchSharers(b, Must(NewCoarseVector(3, 4, 64))) }
+func BenchmarkSharersTwoLevel(b *testing.B)     { benchSharers(b, Must(NewTwoLevel(4, 8, 64))) }
+
+func BenchmarkSharersFullVector4096(b *testing.B) { benchSharers(b, Must(NewFullVector(4096))) }
+func BenchmarkSharersTwoLevel4096(b *testing.B)   { benchSharers(b, Must(NewTwoLevel(4, 64, 4096))) }
+
+// TestSharersAllocFree pins the scratch-view contract: after the first
+// Sharers call allocates the per-entry scratch, every further call must
+// be allocation-free at every machine size the schemes are built for —
+// the per-call garbage this view replaced is what made large sweeps
+// allocation-bound.
+func TestSharersAllocFree(t *testing.T) {
+	for _, nodes := range []int{64, 1024, 4096} {
+		for _, s := range scaleSchemes(nodes) {
+			e := s.NewEntry()
+			for j := 0; j < nodes; j += 7 {
+				e.AddSharer(j)
+			}
+			e.Sharers() // first call may allocate the scratch
+			if n := testing.AllocsPerRun(50, func() { e.Sharers() }); n != 0 {
+				t.Errorf("n=%d %s: Sharers allocates %.1f objects per call after warm-up", nodes, s.Name(), n)
+			}
+		}
+	}
+}

@@ -25,17 +25,23 @@ type CoarseVector struct {
 }
 
 // NewCoarseVector returns a Dir_iCV_r scheme with ptrs pointers and
-// region-size region.
-func NewCoarseVector(ptrs, region, nodes int) *CoarseVector {
-	if ptrs <= 0 || nodes <= 0 || region <= 0 {
-		panic("core: ptrs, region and nodes must be positive")
+// region-size region, or a *GeometryError for an impossible geometry.
+func NewCoarseVector(ptrs, region, nodes int) (*CoarseVector, error) {
+	name := fmt.Sprintf("Dir%dCV%d", ptrs, region)
+	if err := checkPtrGeometry(name, ptrs, region, nodes); err != nil {
+		return nil, err
 	}
+	if region <= 0 {
+		return nil, &GeometryError{Scheme: name, Ptrs: ptrs, Region: region, Nodes: nodes, Reason: "region size must be positive"}
+	}
+	// region > nodes is allowed: the vector degenerates to one region bit,
+	// i.e. a broadcast (RegionSweep probes exactly that endpoint).
 	return &CoarseVector{
 		nodes:   nodes,
 		ptrs:    ptrs,
 		region:  region,
 		regions: (nodes + region - 1) / region,
-	}
+	}, nil
 }
 
 // RegionFor returns the region index that node n belongs to.
@@ -60,18 +66,25 @@ func (s *CoarseVector) BitsPerEntry() int {
 	return bits + 2
 }
 
+// EntryBytes implements Scheme: packed pointers, the region vector and
+// the sharer scratch.
+func (s *CoarseVector) EntryBytes() int {
+	return (s.ptrs*log2ceil(s.nodes)+63)/64*8 + (s.regions+63)/64*8 + scratchBytes(s.nodes)
+}
+
 // NewEntry implements Scheme.
 func (s *CoarseVector) NewEntry() Entry {
-	return &coarseEntry{s: s, ptrs: make([]NodeID, 0, s.ptrs)}
+	return &coarseEntry{s: s, ptrs: newPackedPtrs(s.ptrs, s.nodes)}
 }
 
 type coarseEntry struct {
-	s      *CoarseVector
-	ptrs   []NodeID
-	coarse bool
-	vec    bitset.Set // region bits; allocated lazily on first overflow
-	dirty  bool
-	owner  NodeID
+	s       *CoarseVector
+	ptrs    packedPtrs
+	scratch sharerScratch
+	coarse  bool
+	vec     bitset.Set // region bits; allocated lazily on first overflow
+	dirty   bool
+	owner   NodeID
 }
 
 func (e *coarseEntry) AddSharer(n NodeID) []NodeID {
@@ -79,11 +92,11 @@ func (e *coarseEntry) AddSharer(n NodeID) []NodeID {
 		e.vec.Add(e.s.RegionFor(n))
 		return nil
 	}
-	if idIndex(e.ptrs, n) >= 0 {
+	if e.ptrs.Index(n) >= 0 {
 		return nil
 	}
-	if len(e.ptrs) < cap(e.ptrs) {
-		e.ptrs = append(e.ptrs, n)
+	if !e.ptrs.Full() {
+		e.ptrs.Append(n)
 		return nil
 	}
 	// Overflow: reinterpret the storage as a coarse vector covering the
@@ -94,11 +107,9 @@ func (e *coarseEntry) AddSharer(n NodeID) []NodeID {
 	} else {
 		e.vec.Clear()
 	}
-	for _, p := range e.ptrs {
-		e.vec.Add(e.s.RegionFor(p))
-	}
+	e.ptrs.ForEach(func(p NodeID) { e.vec.Add(e.s.RegionFor(p)) })
 	e.vec.Add(e.s.RegionFor(n))
-	e.ptrs = e.ptrs[:0]
+	e.ptrs.Reset()
 	return nil
 }
 
@@ -106,8 +117,8 @@ func (e *coarseEntry) RemoveSharer(n NodeID) {
 	if e.coarse {
 		return // a region bit may cover other sharers; keep the superset
 	}
-	if k := idIndex(e.ptrs, n); k >= 0 {
-		e.ptrs = popID(e.ptrs, k)
+	if k := e.ptrs.Index(n); k >= 0 {
+		e.ptrs.RemoveSwap(k)
 	}
 }
 
@@ -122,11 +133,9 @@ func (e *coarseEntry) expandRegion(set bitset.Set, ri int) {
 }
 
 func (e *coarseEntry) Sharers() bitset.Set {
-	set := bitset.New(e.s.nodes)
+	set := e.scratch.view(e.s.nodes)
 	if !e.coarse {
-		for _, p := range e.ptrs {
-			set.Add(p)
-		}
+		e.ptrs.ForEach(func(p NodeID) { set.Add(p) })
 		return set
 	}
 	e.vec.ForEach(func(ri int) { e.expandRegion(set, ri) })
@@ -137,12 +146,12 @@ func (e *coarseEntry) IsSharer(n NodeID) bool {
 	if e.coarse {
 		return e.vec.Contains(e.s.RegionFor(n))
 	}
-	return idIndex(e.ptrs, n) >= 0
+	return e.ptrs.Index(n) >= 0
 }
 
 func (e *coarseEntry) Count() int {
 	if !e.coarse {
-		return len(e.ptrs)
+		return e.ptrs.Len()
 	}
 	// Every region is full-sized except possibly the last.
 	c := 0
@@ -168,7 +177,8 @@ func (e *coarseEntry) Owner() NodeID {
 
 func (e *coarseEntry) SetDirty(owner NodeID) {
 	e.coarse = false
-	e.ptrs = append(e.ptrs[:0], owner)
+	e.ptrs.Reset()
+	e.ptrs.Append(owner)
 	e.dirty = true
 	e.owner = owner
 }
@@ -179,7 +189,7 @@ func (e *coarseEntry) ClearDirty() {
 }
 
 func (e *coarseEntry) Reset() {
-	e.ptrs = e.ptrs[:0]
+	e.ptrs.Reset()
 	e.coarse = false
 	if e.vec.Width() != 0 {
 		e.vec.Clear()
@@ -188,7 +198,7 @@ func (e *coarseEntry) Reset() {
 	e.owner = None
 }
 
-func (e *coarseEntry) Empty() bool { return !e.dirty && !e.coarse && len(e.ptrs) == 0 }
+func (e *coarseEntry) Empty() bool { return !e.dirty && !e.coarse && e.ptrs.Len() == 0 }
 
 func (e *coarseEntry) Precise() bool { return !e.coarse }
 
@@ -207,17 +217,24 @@ func (e *coarseEntry) PopGrant() []NodeID {
 			return nil
 		}
 		e.vec.Remove(ri)
-		set := bitset.New(e.s.nodes)
-		e.expandRegion(set, ri)
+		lo := ri * e.s.region
+		hi := lo + e.s.region
+		if hi > e.s.nodes {
+			hi = e.s.nodes
+		}
+		out := make([]NodeID, 0, hi-lo)
+		for n := lo; n < hi; n++ {
+			out = append(out, n)
+		}
 		if e.vec.Empty() {
 			e.coarse = false
 		}
-		return set.Elems()
+		return out
 	}
-	if len(e.ptrs) == 0 {
+	if e.ptrs.Len() == 0 {
 		return nil
 	}
-	n := e.ptrs[0]
-	e.ptrs = popID(e.ptrs, 0)
+	n := e.ptrs.At(0)
+	e.ptrs.RemoveSwap(0)
 	return []NodeID{n}
 }

@@ -9,7 +9,7 @@ import (
 // The coarse vector keeps exact pointers until they overflow, then tracks
 // regions of processors instead of broadcasting.
 func ExampleNewCoarseVector() {
-	scheme := core.NewCoarseVector(3, 2, 32) // Dir3CV2 over 32 clusters
+	scheme := core.Must(core.NewCoarseVector(3, 2, 32)) // Dir3CV2 over 32 clusters
 	e := scheme.NewEntry()
 
 	for _, n := range []core.NodeID{4, 9, 17} {
@@ -26,7 +26,7 @@ func ExampleNewCoarseVector() {
 
 // A broadcast entry loses all precision on overflow.
 func ExampleNewLimitedBroadcast() {
-	e := core.NewLimitedBroadcast(2, 8).NewEntry()
+	e := core.Must(core.NewLimitedBroadcast(2, 8)).NewEntry()
 	e.AddSharer(1)
 	e.AddSharer(2)
 	e.AddSharer(3) // overflow
@@ -37,7 +37,7 @@ func ExampleNewLimitedBroadcast() {
 
 // A write resets any representation to a single exclusive owner.
 func ExampleEntry_setDirty() {
-	e := core.NewFullVector(8).NewEntry()
+	e := core.Must(core.NewFullVector(8)).NewEntry()
 	e.AddSharer(2)
 	e.AddSharer(5)
 	e.SetDirty(7)

@@ -14,12 +14,13 @@ type FullVector struct {
 	nodes int
 }
 
-// NewFullVector returns the full-bit-vector scheme for the given node count.
-func NewFullVector(nodes int) *FullVector {
+// NewFullVector returns the full-bit-vector scheme for the given node
+// count, or a *GeometryError for an impossible geometry.
+func NewFullVector(nodes int) (*FullVector, error) {
 	if nodes <= 0 {
-		panic("core: nodes must be positive")
+		return nil, &GeometryError{Scheme: "DirP", Nodes: nodes, Reason: "nodes must be positive"}
 	}
-	return &FullVector{nodes: nodes}
+	return &FullVector{nodes: nodes}, nil
 }
 
 // Name implements Scheme.
@@ -31,15 +32,22 @@ func (s *FullVector) Nodes() int { return s.nodes }
 // BitsPerEntry implements Scheme: one bit per node plus the dirty bit.
 func (s *FullVector) BitsPerEntry() int { return s.nodes + 1 }
 
+// EntryBytes implements Scheme: the presence vector plus the sharer
+// scratch it is copied into.
+func (s *FullVector) EntryBytes() int {
+	return (s.nodes+63)/64*8 + scratchBytes(s.nodes)
+}
+
 // NewEntry implements Scheme.
 func (s *FullVector) NewEntry() Entry {
 	return &fullVecEntry{vec: bitset.New(s.nodes)}
 }
 
 type fullVecEntry struct {
-	vec   bitset.Set
-	dirty bool
-	owner NodeID
+	vec     bitset.Set
+	scratch sharerScratch
+	dirty   bool
+	owner   NodeID
 }
 
 func (e *fullVecEntry) AddSharer(n NodeID) []NodeID {
@@ -49,7 +57,11 @@ func (e *fullVecEntry) AddSharer(n NodeID) []NodeID {
 
 func (e *fullVecEntry) RemoveSharer(n NodeID) { e.vec.Remove(n) }
 
-func (e *fullVecEntry) Sharers() bitset.Set { return e.vec.Clone() }
+func (e *fullVecEntry) Sharers() bitset.Set {
+	set := e.scratch.view(e.vec.Width())
+	set.CopyFrom(e.vec)
+	return set
+}
 
 func (e *fullVecEntry) IsSharer(n NodeID) bool { return e.vec.Contains(n) }
 

@@ -29,6 +29,20 @@ func (p VictimPolicy) String() string {
 	}
 }
 
+// checkPtrGeometry validates the common (ptrs, nodes) geometry of the
+// limited-pointer families. More pointers than nodes is deliberately NOT
+// an error: tiny conformance configs run Dir3CV2 on 2 clusters, where the
+// pointers simply never overflow.
+func checkPtrGeometry(scheme string, ptrs, region, nodes int) error {
+	switch {
+	case nodes <= 0:
+		return &GeometryError{Scheme: scheme, Ptrs: ptrs, Region: region, Nodes: nodes, Reason: "nodes must be positive"}
+	case ptrs <= 0:
+		return &GeometryError{Scheme: scheme, Ptrs: ptrs, Region: region, Nodes: nodes, Reason: "pointer count must be positive"}
+	}
+	return nil
+}
+
 // LimitedBroadcast is the Dir_iB scheme (§3.2.1): i pointers plus a
 // broadcast bit. Pointer overflow sets the broadcast bit; subsequent writes
 // invalidate every node.
@@ -37,12 +51,13 @@ type LimitedBroadcast struct {
 	ptrs  int
 }
 
-// NewLimitedBroadcast returns a Dir_iB scheme with ptrs pointers.
-func NewLimitedBroadcast(ptrs, nodes int) *LimitedBroadcast {
-	if ptrs <= 0 || nodes <= 0 {
-		panic("core: ptrs and nodes must be positive")
+// NewLimitedBroadcast returns a Dir_iB scheme with ptrs pointers, or a
+// *GeometryError for an impossible geometry.
+func NewLimitedBroadcast(ptrs, nodes int) (*LimitedBroadcast, error) {
+	if err := checkPtrGeometry(fmt.Sprintf("Dir%dB", ptrs), ptrs, 0, nodes); err != nil {
+		return nil, err
 	}
-	return &LimitedBroadcast{nodes: nodes, ptrs: ptrs}
+	return &LimitedBroadcast{nodes: nodes, ptrs: ptrs}, nil
 }
 
 // Name implements Scheme.
@@ -56,32 +71,39 @@ func (s *LimitedBroadcast) BitsPerEntry() int {
 	return s.ptrs*log2ceil(s.nodes) + 2
 }
 
+// EntryBytes implements Scheme: the packed pointer words plus the sharer
+// scratch, the entry struct itself excluded.
+func (s *LimitedBroadcast) EntryBytes() int {
+	return (s.ptrs*log2ceil(s.nodes)+63)/64*8 + scratchBytes(s.nodes)
+}
+
 // NewEntry implements Scheme.
 func (s *LimitedBroadcast) NewEntry() Entry {
-	return &broadcastEntry{s: s, ptrs: make([]NodeID, 0, s.ptrs)}
+	return &broadcastEntry{s: s, ptrs: newPackedPtrs(s.ptrs, s.nodes)}
 }
 
 type broadcastEntry struct {
-	s     *LimitedBroadcast
-	ptrs  []NodeID
-	bcast bool
-	dirty bool
-	owner NodeID
+	s       *LimitedBroadcast
+	ptrs    packedPtrs
+	scratch sharerScratch
+	bcast   bool
+	dirty   bool
+	owner   NodeID
 }
 
 func (e *broadcastEntry) AddSharer(n NodeID) []NodeID {
 	if e.bcast {
 		return nil
 	}
-	if idIndex(e.ptrs, n) >= 0 {
+	if e.ptrs.Index(n) >= 0 {
 		return nil
 	}
-	if len(e.ptrs) == cap(e.ptrs) {
+	if e.ptrs.Full() {
 		e.bcast = true
-		e.ptrs = e.ptrs[:0]
+		e.ptrs.Reset()
 		return nil
 	}
-	e.ptrs = append(e.ptrs, n)
+	e.ptrs.Append(n)
 	return nil
 }
 
@@ -89,32 +111,30 @@ func (e *broadcastEntry) RemoveSharer(n NodeID) {
 	if e.bcast {
 		return // cannot express removal once broadcasting
 	}
-	if k := idIndex(e.ptrs, n); k >= 0 {
-		e.ptrs = popID(e.ptrs, k)
+	if k := e.ptrs.Index(n); k >= 0 {
+		e.ptrs.RemoveSwap(k)
 	}
 }
 
 func (e *broadcastEntry) Sharers() bitset.Set {
-	set := bitset.New(e.s.nodes)
+	set := e.scratch.view(e.s.nodes)
 	if e.bcast {
 		set.Fill()
 		return set
 	}
-	for _, p := range e.ptrs {
-		set.Add(p)
-	}
+	e.ptrs.ForEach(func(p NodeID) { set.Add(p) })
 	return set
 }
 
 func (e *broadcastEntry) IsSharer(n NodeID) bool {
-	return e.bcast || idIndex(e.ptrs, n) >= 0
+	return e.bcast || e.ptrs.Index(n) >= 0
 }
 
 func (e *broadcastEntry) Count() int {
 	if e.bcast {
 		return e.s.nodes
 	}
-	return len(e.ptrs)
+	return e.ptrs.Len()
 }
 
 func (e *broadcastEntry) Dirty() bool { return e.dirty }
@@ -128,7 +148,8 @@ func (e *broadcastEntry) Owner() NodeID {
 
 func (e *broadcastEntry) SetDirty(owner NodeID) {
 	e.bcast = false
-	e.ptrs = append(e.ptrs[:0], owner)
+	e.ptrs.Reset()
+	e.ptrs.Append(owner)
 	e.dirty = true
 	e.owner = owner
 }
@@ -139,13 +160,13 @@ func (e *broadcastEntry) ClearDirty() {
 }
 
 func (e *broadcastEntry) Reset() {
-	e.ptrs = e.ptrs[:0]
+	e.ptrs.Reset()
 	e.bcast = false
 	e.dirty = false
 	e.owner = None
 }
 
-func (e *broadcastEntry) Empty() bool { return !e.dirty && !e.bcast && len(e.ptrs) == 0 }
+func (e *broadcastEntry) Empty() bool { return !e.dirty && !e.bcast && e.ptrs.Len() == 0 }
 
 func (e *broadcastEntry) Precise() bool { return !e.bcast }
 
@@ -158,11 +179,11 @@ func (e *broadcastEntry) PopGrant() []NodeID {
 		e.bcast = false
 		return out
 	}
-	if len(e.ptrs) == 0 {
+	if e.ptrs.Len() == 0 {
 		return nil
 	}
-	n := e.ptrs[0]
-	e.ptrs = popID(e.ptrs, 0)
+	n := e.ptrs.At(0)
+	e.ptrs.RemoveSwap(0)
 	return []NodeID{n}
 }
 
@@ -177,18 +198,19 @@ type LimitedNoBroadcast struct {
 	rng    *rand.Rand
 }
 
-// NewLimitedNoBroadcast returns a Dir_iNB scheme. The seed drives the
-// random victim policy so runs are reproducible.
-func NewLimitedNoBroadcast(ptrs, nodes int, policy VictimPolicy, seed int64) *LimitedNoBroadcast {
-	if ptrs <= 0 || nodes <= 0 {
-		panic("core: ptrs and nodes must be positive")
+// NewLimitedNoBroadcast returns a Dir_iNB scheme, or a *GeometryError for
+// an impossible geometry. The seed drives the random victim policy so
+// runs are reproducible.
+func NewLimitedNoBroadcast(ptrs, nodes int, policy VictimPolicy, seed int64) (*LimitedNoBroadcast, error) {
+	if err := checkPtrGeometry(fmt.Sprintf("Dir%dNB", ptrs), ptrs, 0, nodes); err != nil {
+		return nil, err
 	}
 	return &LimitedNoBroadcast{
 		nodes:  nodes,
 		ptrs:   ptrs,
 		policy: policy,
 		rng:    rand.New(rand.NewSource(seed)),
-	}
+	}, nil
 }
 
 // Name implements Scheme.
@@ -202,24 +224,30 @@ func (s *LimitedNoBroadcast) BitsPerEntry() int {
 	return s.ptrs*log2ceil(s.nodes) + 1
 }
 
+// EntryBytes implements Scheme.
+func (s *LimitedNoBroadcast) EntryBytes() int {
+	return (s.ptrs*log2ceil(s.nodes)+63)/64*8 + scratchBytes(s.nodes)
+}
+
 // NewEntry implements Scheme.
 func (s *LimitedNoBroadcast) NewEntry() Entry {
-	return &noBroadcastEntry{s: s, ptrs: make([]NodeID, 0, s.ptrs)}
+	return &noBroadcastEntry{s: s, ptrs: newPackedPtrs(s.ptrs, s.nodes)}
 }
 
 type noBroadcastEntry struct {
-	s     *LimitedNoBroadcast
-	ptrs  []NodeID // insertion order preserved except after random eviction
-	dirty bool
-	owner NodeID
+	s       *LimitedNoBroadcast
+	ptrs    packedPtrs // insertion order preserved except after random eviction
+	scratch sharerScratch
+	dirty   bool
+	owner   NodeID
 }
 
 func (e *noBroadcastEntry) AddSharer(n NodeID) []NodeID {
-	if idIndex(e.ptrs, n) >= 0 {
+	if e.ptrs.Index(n) >= 0 {
 		return nil
 	}
-	if len(e.ptrs) < cap(e.ptrs) {
-		e.ptrs = append(e.ptrs, n)
+	if !e.ptrs.Full() {
+		e.ptrs.Append(n)
 		return nil
 	}
 	var k int
@@ -227,33 +255,30 @@ func (e *noBroadcastEntry) AddSharer(n NodeID) []NodeID {
 	case VictimOldest:
 		k = 0
 	default:
-		k = e.s.rng.Intn(len(e.ptrs))
+		k = e.s.rng.Intn(e.ptrs.Len())
 	}
-	victim := e.ptrs[k]
+	victim := e.ptrs.At(k)
 	// Preserve order for the FIFO policy by shifting.
-	copy(e.ptrs[k:], e.ptrs[k+1:])
-	e.ptrs[len(e.ptrs)-1] = n
+	e.ptrs.RemoveShift(k)
+	e.ptrs.Append(n)
 	return []NodeID{victim}
 }
 
 func (e *noBroadcastEntry) RemoveSharer(n NodeID) {
-	if k := idIndex(e.ptrs, n); k >= 0 {
-		copy(e.ptrs[k:], e.ptrs[k+1:])
-		e.ptrs = e.ptrs[:len(e.ptrs)-1]
+	if k := e.ptrs.Index(n); k >= 0 {
+		e.ptrs.RemoveShift(k)
 	}
 }
 
 func (e *noBroadcastEntry) Sharers() bitset.Set {
-	set := bitset.New(e.s.nodes)
-	for _, p := range e.ptrs {
-		set.Add(p)
-	}
+	set := e.scratch.view(e.s.nodes)
+	e.ptrs.ForEach(func(p NodeID) { set.Add(p) })
 	return set
 }
 
-func (e *noBroadcastEntry) IsSharer(n NodeID) bool { return idIndex(e.ptrs, n) >= 0 }
+func (e *noBroadcastEntry) IsSharer(n NodeID) bool { return e.ptrs.Index(n) >= 0 }
 
-func (e *noBroadcastEntry) Count() int { return len(e.ptrs) }
+func (e *noBroadcastEntry) Count() int { return e.ptrs.Len() }
 
 func (e *noBroadcastEntry) Dirty() bool { return e.dirty }
 
@@ -265,7 +290,8 @@ func (e *noBroadcastEntry) Owner() NodeID {
 }
 
 func (e *noBroadcastEntry) SetDirty(owner NodeID) {
-	e.ptrs = append(e.ptrs[:0], owner)
+	e.ptrs.Reset()
+	e.ptrs.Append(owner)
 	e.dirty = true
 	e.owner = owner
 }
@@ -276,21 +302,20 @@ func (e *noBroadcastEntry) ClearDirty() {
 }
 
 func (e *noBroadcastEntry) Reset() {
-	e.ptrs = e.ptrs[:0]
+	e.ptrs.Reset()
 	e.dirty = false
 	e.owner = None
 }
 
-func (e *noBroadcastEntry) Empty() bool { return !e.dirty && len(e.ptrs) == 0 }
+func (e *noBroadcastEntry) Empty() bool { return !e.dirty && e.ptrs.Len() == 0 }
 
 func (e *noBroadcastEntry) Precise() bool { return true }
 
 func (e *noBroadcastEntry) PopGrant() []NodeID {
-	if len(e.ptrs) == 0 {
+	if e.ptrs.Len() == 0 {
 		return nil
 	}
-	n := e.ptrs[0]
-	copy(e.ptrs, e.ptrs[1:])
-	e.ptrs = e.ptrs[:len(e.ptrs)-1]
+	n := e.ptrs.At(0)
+	e.ptrs.RemoveShift(0)
 	return []NodeID{n}
 }

@@ -1,0 +1,106 @@
+package core
+
+// packedPtrs is a memory-compact pointer array: up to cap pointers of
+// width bits each, packed contiguously into uint64 words. It replaces the
+// []NodeID slices the limited-pointer entries used to carry — at 4096
+// nodes a pointer costs 12 bits here instead of a 64-bit int, so a
+// Dir8... entry's pointer storage drops from 64 to 16 bytes (two words)
+// and the per-entry footprint tracks the hardware cost the paper argues
+// from rather than Go's word size.
+//
+// Operations mirror the slice idioms the entries were written with:
+// append, index-of, swap-remove (popID) and order-preserving shift-remove,
+// so converting an entry changes its representation and nothing else.
+type packedPtrs struct {
+	words []uint64
+	width uint16 // bits per pointer
+	len   uint16
+	cap   uint16
+}
+
+// newPackedPtrs returns an empty packed array able to hold capacity
+// pointers for a machine of the given node count.
+func newPackedPtrs(capacity, nodes int) packedPtrs {
+	w := log2ceil(nodes)
+	return packedPtrs{
+		words: make([]uint64, (capacity*w+63)/64),
+		width: uint16(w),
+		cap:   uint16(capacity),
+	}
+}
+
+// bytes returns the resident heap size of the packed storage.
+func (p *packedPtrs) bytes() int { return len(p.words) * 8 }
+
+func (p *packedPtrs) Len() int { return int(p.len) }
+
+func (p *packedPtrs) Cap() int { return int(p.cap) }
+
+func (p *packedPtrs) Full() bool { return p.len == p.cap }
+
+// At returns the pointer at index k.
+func (p *packedPtrs) At(k int) NodeID {
+	w := int(p.width)
+	bit := k * w
+	wi, off := bit/64, uint(bit%64)
+	v := p.words[wi] >> off
+	if off+uint(w) > 64 {
+		v |= p.words[wi+1] << (64 - off)
+	}
+	return NodeID(v & (1<<uint(w) - 1))
+}
+
+// Set overwrites the pointer at index k.
+func (p *packedPtrs) Set(k int, n NodeID) {
+	w := int(p.width)
+	bit := k * w
+	wi, off := bit/64, uint(bit%64)
+	mask := uint64(1<<uint(w) - 1)
+	p.words[wi] = p.words[wi]&^(mask<<off) | uint64(n)<<off
+	if off+uint(w) > 64 {
+		rem := off + uint(w) - 64
+		p.words[wi+1] = p.words[wi+1]&^(mask>>(uint(w)-rem)) | uint64(n)>>(uint(w)-rem)
+	}
+}
+
+// Append adds n at the end; the caller checks Full() first.
+func (p *packedPtrs) Append(n NodeID) {
+	p.Set(int(p.len), n)
+	p.len++
+}
+
+// Index returns the index of n, or -1 — the packed idIndex.
+func (p *packedPtrs) Index(n NodeID) int {
+	for k := 0; k < int(p.len); k++ {
+		if p.At(k) == n {
+			return k
+		}
+	}
+	return -1
+}
+
+// RemoveSwap deletes index k by moving the last pointer into its place —
+// the packed form of popID, preserving its exact ordering behaviour.
+func (p *packedPtrs) RemoveSwap(k int) {
+	p.len--
+	p.Set(k, p.At(int(p.len)))
+}
+
+// RemoveShift deletes index k and shifts the tail down, preserving
+// insertion order (the Dir_iNB FIFO policy depends on it).
+func (p *packedPtrs) RemoveShift(k int) {
+	for i := k; i < int(p.len)-1; i++ {
+		p.Set(i, p.At(i+1))
+	}
+	p.len--
+}
+
+// Reset empties the array.
+func (p *packedPtrs) Reset() { p.len = 0 }
+
+// ForEach calls fn for every pointer in storage order.
+func (p *packedPtrs) ForEach(fn func(NodeID)) {
+	for k := 0; k < int(p.len); k++ {
+		fn(p.At(k))
+	}
+}

@@ -7,8 +7,11 @@ import (
 	"strings"
 )
 
-// Factory builds a Scheme for a machine with the given node count.
-type Factory func(nodes int) Scheme
+// Factory builds a Scheme for a machine with the given node count. The
+// error is a *GeometryError when the scheme's parameters are impossible
+// for that node count — parameters parse structurally long before the
+// machine size is known, so geometry is only checkable here.
+type Factory func(nodes int) (Scheme, error)
 
 // UnknownSchemeError reports a scheme name that is neither registered nor
 // valid paper notation. Valid lists the registered names so flag errors
@@ -19,7 +22,7 @@ type UnknownSchemeError struct {
 }
 
 func (e *UnknownSchemeError) Error() string {
-	return fmt.Sprintf("unknown scheme %q (want one of %s, or paper notation like Dir3CV2, Dir3B, Dir3NB, Dir2X, Dir32)",
+	return fmt.Sprintf("unknown scheme %q (want one of %s, or paper notation like Dir3CV2, Dir3B, Dir3NB, Dir2X, Dir4R8, Dir32)",
 		e.Name, strings.Join(e.Valid, ", "))
 }
 
@@ -82,9 +85,13 @@ func SchemeNames() []string {
 //	Dir<i>NB     i pointers, never broadcast
 //	Dir<i>X      superset / composite pointers
 //	Dir<i>CV<r>  i pointers degrading to a coarse vector of region r
+//	Dir<i>R<r>   two-level: i region slots of r nodes, each with an
+//	             exact in-region vector, degrading to a coarse vector
 //
 // Unknown names return *UnknownSchemeError; structurally valid notation
-// with bad parameters returns *NotationError.
+// with bad parameters returns *NotationError. Parameters that are only
+// checkable against the machine size (e.g. more pointers than nodes)
+// surface as *GeometryError when the factory runs.
 func Parse(name string) (Factory, error) {
 	if f, ok := schemeFactories[strings.ToLower(name)]; ok {
 		return f, nil
@@ -139,26 +146,35 @@ func parseNotation(name string) (f Factory, ok bool, err error) {
 	case "":
 		// DirP: the full bit vector. P documents the machine size; the
 		// actual width always follows the machine the factory builds for.
-		return func(n int) Scheme { return NewFullVector(n) }, true, nil
+		return func(n int) (Scheme, error) { return NewFullVector(n) }, true, nil
 	case "B":
-		return func(n int) Scheme { return NewLimitedBroadcast(i, n) }, true, nil
+		return func(n int) (Scheme, error) { return NewLimitedBroadcast(i, n) }, true, nil
 	case "NB":
-		return func(n int) Scheme { return NewLimitedNoBroadcast(i, n, VictimRandom, 11) }, true, nil
+		return func(n int) (Scheme, error) { return NewLimitedNoBroadcast(i, n, VictimRandom, 11) }, true, nil
 	case "X":
-		return func(n int) Scheme { return NewSuperset(i, n) }, true, nil
+		return func(n int) (Scheme, error) { return NewSuperset(i, n) }, true, nil
 	}
-	cvRest, isCV := cutPrefixFold(suffix, "CV")
-	if !isCV {
-		return bad(fmt.Sprintf("unknown suffix %q", suffix))
+	if cvRest, isCV := cutPrefixFold(suffix, "CV"); isCV {
+		r, convErr := strconv.Atoi(cvRest)
+		if convErr != nil {
+			return bad(fmt.Sprintf("coarse vector region %q is not a number", cvRest))
+		}
+		if r < 1 {
+			return bad("coarse vector region must be at least 1")
+		}
+		return func(n int) (Scheme, error) { return NewCoarseVector(i, r, n) }, true, nil
 	}
-	r, convErr := strconv.Atoi(cvRest)
-	if convErr != nil {
-		return bad(fmt.Sprintf("coarse vector region %q is not a number", cvRest))
+	if rRest, isR := cutPrefixFold(suffix, "R"); isR {
+		r, convErr := strconv.Atoi(rRest)
+		if convErr != nil {
+			return bad(fmt.Sprintf("two-level region %q is not a number", rRest))
+		}
+		if r < 1 {
+			return bad("two-level region must be at least 1")
+		}
+		return func(n int) (Scheme, error) { return NewTwoLevel(i, r, n) }, true, nil
 	}
-	if r < 1 {
-		return bad("coarse vector region must be at least 1")
-	}
-	return func(n int) Scheme { return NewCoarseVector(i, r, n) }, true, nil
+	return bad(fmt.Sprintf("unknown suffix %q", suffix))
 }
 
 // cutPrefixFold is strings.CutPrefix with ASCII case folding.
@@ -169,13 +185,43 @@ func cutPrefixFold(s, prefix string) (rest string, ok bool) {
 	return s[len(prefix):], true
 }
 
+// AdaptiveRegion returns the registry's default two-level region size for
+// an n-node
+// machine: the smallest power of two r with r*r >= n, i.e. roughly sqrt(n)
+// (8 at 64 nodes, 32 at 1K, 64 at 4K) — regions and region vectors then
+// cost about the same bits.
+func AdaptiveRegion(n int) int {
+	r := 1
+	for r*r < n {
+		r <<= 1
+	}
+	return r
+}
+
+// newAdaptiveTwoLevel builds the registry-default two-level scheme for an
+// n-node machine: region ~ sqrt(n) and up to 4 region slots, clamped so
+// tiny machines stay constructible.
+func newAdaptiveTwoLevel(n int) (Scheme, error) {
+	if n <= 0 {
+		return nil, &GeometryError{Scheme: "Dir4R", Nodes: n, Reason: "nodes must be positive"}
+	}
+	r := AdaptiveRegion(n)
+	regions := (n + r - 1) / r
+	ptrs := 4
+	if ptrs > regions {
+		ptrs = regions
+	}
+	return NewTwoLevel(ptrs, r, n)
+}
+
 // ParseSpec resolves a scheme from a short kind plus explicit parameters
 // — the form command-line flags and JSON specs use. Full notation names
 // are also accepted (the parameters are then ignored). Non-positive
-// parameters select the paper's defaults: 3 pointers (2 for Dir_iX) and
-// region 2.
+// parameters select the paper's defaults: 3 pointers (2 for Dir_iX, 4 for
+// the two-level scheme) and region 2 (~sqrt(nodes) for two-level).
 func ParseSpec(kind string, ptrs, region int) (Factory, error) {
-	if region < 1 {
+	regionSet := region >= 1
+	if !regionSet {
 		region = 2
 	}
 	defPtrs := func(def int) int {
@@ -195,6 +241,15 @@ func ParseSpec(kind string, ptrs, region int) (Factory, error) {
 		return Parse(fmt.Sprintf("Dir%dNB", defPtrs(3)))
 	case "x", "superset":
 		return Parse(fmt.Sprintf("Dir%dX", defPtrs(2)))
+	case "tl", "twolevel", "region":
+		if !regionSet {
+			if ptrs < 1 {
+				return Parse("tl") // fully adaptive default
+			}
+			i := ptrs
+			return func(n int) (Scheme, error) { return NewTwoLevel(i, AdaptiveRegion(n), n) }, nil
+		}
+		return Parse(fmt.Sprintf("Dir%dR%d", defPtrs(4), region))
 	default:
 		return Parse(kind)
 	}
@@ -202,10 +257,11 @@ func ParseSpec(kind string, ptrs, region int) (Factory, error) {
 
 func init() {
 	// The §5 roster under its short names. The parameterized families are
-	// reachable through notation (Dir4CV8, Dir5B, ...) via Parse.
-	Register("full", func(n int) Scheme { return NewFullVector(n) }, "fullvec", "dir")
-	Register("cv", func(n int) Scheme { return NewCoarseVector(3, 2, n) }, "coarse")
-	Register("b", func(n int) Scheme { return NewLimitedBroadcast(3, n) }, "broadcast")
-	Register("nb", func(n int) Scheme { return NewLimitedNoBroadcast(3, n, VictimRandom, 11) }, "nobroadcast")
-	Register("x", func(n int) Scheme { return NewSuperset(2, n) }, "superset")
+	// reachable through notation (Dir4CV8, Dir5B, Dir4R8, ...) via Parse.
+	Register("full", func(n int) (Scheme, error) { return NewFullVector(n) }, "fullvec", "dir")
+	Register("cv", func(n int) (Scheme, error) { return NewCoarseVector(3, 2, n) }, "coarse")
+	Register("b", func(n int) (Scheme, error) { return NewLimitedBroadcast(3, n) }, "broadcast")
+	Register("nb", func(n int) (Scheme, error) { return NewLimitedNoBroadcast(3, n, VictimRandom, 11) }, "nobroadcast")
+	Register("x", func(n int) (Scheme, error) { return NewSuperset(2, n) }, "superset")
+	Register("tl", newAdaptiveTwoLevel, "twolevel", "region")
 }

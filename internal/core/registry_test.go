@@ -15,12 +15,12 @@ func TestRegistryRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Parse(%q): %v", name, err)
 		}
-		s := f(nodes)
+		s := Must(f(nodes))
 		f2, err := Parse(s.Name())
 		if err != nil {
 			t.Fatalf("%s: Parse(%q) failed round trip: %v", name, s.Name(), err)
 		}
-		s2 := f2(nodes)
+		s2 := Must(f2(nodes))
 		if s2.Name() != s.Name() {
 			t.Errorf("%s: round trip %q -> %q", name, s.Name(), s2.Name())
 		}
@@ -41,9 +41,12 @@ func TestParseNotation(t *testing.T) {
 		{"Dir4NB", "Dir4NB"},
 		{"Dir3X", "Dir3X"},
 		{"Dir4CV8", "Dir4CV8"},
+		{"Dir4R8", "Dir4R8"},
+		{"dir2r16", "Dir2R16"},
 		{"full", "Dir32"},
 		{"CV", "Dir3CV2"},
 		{"broadcast", "Dir3B"},
+		{"tl", "Dir4R8"}, // adaptive default: region ~ sqrt(32) -> 8
 	}
 	for _, c := range cases {
 		f, err := Parse(c.in)
@@ -51,7 +54,7 @@ func TestParseNotation(t *testing.T) {
 			t.Errorf("Parse(%q): %v", c.in, err)
 			continue
 		}
-		if got := f(32).Name(); got != c.name {
+		if got := Must(f(32)).Name(); got != c.name {
 			t.Errorf("Parse(%q)(32).Name() = %q, want %q", c.in, got, c.name)
 		}
 	}
@@ -65,7 +68,7 @@ func TestParseErrors(t *testing.T) {
 		t.Fatal("UnknownSchemeError lists no valid names")
 	}
 	var notation *NotationError
-	for _, bad := range []string{"Dir3CVx", "Dir0B", "Dir3CV0", "Dir3Q"} {
+	for _, bad := range []string{"Dir3CVx", "Dir0B", "Dir3CV0", "Dir3Q", "Dir3Rx", "Dir3R0"} {
 		if _, err := Parse(bad); !errors.As(err, &notation) {
 			t.Errorf("Parse(%q) = %v, want *NotationError", bad, err)
 		}
@@ -89,6 +92,10 @@ func TestParseSpec(t *testing.T) {
 		{"b", 5, 0, "Dir5B"},
 		{"nb", 0, 0, "Dir3NB"},
 		{"x", 0, 0, "Dir2X"},
+		{"tl", 0, 0, "Dir4R8"}, // adaptive region at 32 nodes
+		{"tl", 2, 0, "Dir2R8"}, // explicit slots, adaptive region
+		{"tl", 2, 16, "Dir2R16"},
+		{"twolevel", 3, 4, "Dir3R4"},
 		{"Dir6B", 3, 2, "Dir6B"}, // full notation passes through
 	}
 	for _, c := range cases {
@@ -97,12 +104,47 @@ func TestParseSpec(t *testing.T) {
 			t.Errorf("ParseSpec(%q,%d,%d): %v", c.kind, c.ptrs, c.region, err)
 			continue
 		}
-		if got := f(32).Name(); got != c.name {
+		if got := Must(f(32)).Name(); got != c.name {
 			t.Errorf("ParseSpec(%q,%d,%d) = %q, want %q", c.kind, c.ptrs, c.region, got, c.name)
 		}
 	}
 	if _, err := ParseSpec("nope", 0, 0); err == nil {
 		t.Fatal("ParseSpec(nope) did not error")
+	}
+}
+
+// TestFactoryGeometryErrors pins the typed-error path the panic sweep
+// replaced: structurally valid notation whose parameters are impossible
+// for the machine size must surface a *GeometryError from the factory —
+// including at the 4096-node scale specs the large figures use.
+func TestFactoryGeometryErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		nodes int
+	}{
+		{"Dir5000R2", 4096}, // more slots than regions
+		{"Dir3R8192", 4096}, // one region, three slots
+		{"Dir3R2", 3},       // two regions, three slots
+	}
+	for _, c := range cases {
+		f, err := Parse(c.name)
+		if err != nil {
+			t.Errorf("Parse(%q): %v (geometry should fail at the factory, not Parse)", c.name, err)
+			continue
+		}
+		_, err = f(c.nodes)
+		var geo *GeometryError
+		if !errors.As(err, &geo) {
+			t.Errorf("%s at %d nodes: err = %v, want *GeometryError", c.name, c.nodes, err)
+		}
+	}
+	// Every registered scheme must reject a nonsensical node count with
+	// the typed error, not a panic.
+	var geo *GeometryError
+	for _, name := range SchemeNames() {
+		if _, err := MustParse(name)(0); !errors.As(err, &geo) {
+			t.Errorf("%s at 0 nodes: err = %v, want *GeometryError", name, err)
+		}
 	}
 }
 

@@ -18,7 +18,11 @@
 // schemes merely send extra ("extraneous") invalidations.
 package core
 
-import "dircoh/internal/bitset"
+import (
+	"fmt"
+
+	"dircoh/internal/bitset"
+)
 
 // NodeID identifies a node (a DASH cluster) at directory granularity.
 type NodeID = int
@@ -45,6 +49,13 @@ type Entry interface {
 	// Sharers returns the candidate sharer set: a superset of every node
 	// recorded via AddSharer (and not precisely removed). Invalidations
 	// on a write are sent to this set.
+	//
+	// The returned set is a mutable view backed by per-entry scratch
+	// storage: it is valid (and may be freely mutated by the caller)
+	// until the next Sharers call on the same entry. State mutations
+	// (AddSharer, SetDirty, Reset, ...) never write the scratch, so a
+	// view taken before them keeps its contents. This keeps the fanout
+	// hot path allocation-free at any node count.
 	Sharers() bitset.Set
 
 	// IsSharer reports whether n is in the candidate set.
@@ -100,6 +111,40 @@ type Scheme interface {
 	// entry in bits, including the dirty bit and any mode flags but
 	// excluding sparse-directory tags.
 	BitsPerEntry() int
+
+	// EntryBytes returns the approximate resident heap bytes one entry
+	// of this scheme occupies in this simulator — the packed pointer
+	// words, bit-vector words and scratch the implementation actually
+	// allocates, as opposed to BitsPerEntry, the hardware storage the
+	// paper accounts. Drivers surface it so memory claims at 1K–4K
+	// nodes are regression-guarded numbers, not estimates.
+	EntryBytes() int
+}
+
+// GeometryError reports an impossible directory-entry geometry — the
+// typed form of what the constructors used to panic with, mirroring
+// cache.GeometryError. Parse and ParseSpec surface it for notation whose
+// parameters only become checkable once the machine size is known.
+type GeometryError struct {
+	Scheme string // scheme notation or family name
+	Ptrs   int    // pointer count (0 when not applicable)
+	Region int    // region size (0 when not applicable)
+	Nodes  int
+	Reason string
+}
+
+func (e *GeometryError) Error() string {
+	return fmt.Sprintf("core: bad %s geometry (ptrs=%d region=%d nodes=%d): %s",
+		e.Scheme, e.Ptrs, e.Region, e.Nodes, e.Reason)
+}
+
+// Must unwraps a scheme-constructor result, panicking on error. For
+// geometries known good statically — tests, examples, registry defaults.
+func Must[S Scheme](s S, err error) S {
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // log2ceil returns ceil(log2(n)) for n >= 1; pointer width in bits.
@@ -114,18 +159,24 @@ func log2ceil(n int) int {
 	return b
 }
 
-// popID removes the element at index k from a pointer list.
-func popID(ptrs []NodeID, k int) []NodeID {
-	ptrs[k] = ptrs[len(ptrs)-1]
-	return ptrs[:len(ptrs)-1]
+// sharerScratch is the per-entry scratch bit vector Sharers views are
+// built in: allocated lazily on the first Sharers call, cleared and
+// refilled on every subsequent one, and never touched by state mutations
+// (so views taken before a SetDirty/Reset stay intact — see
+// Entry.Sharers).
+type sharerScratch struct {
+	set bitset.Set
 }
 
-// idIndex returns the index of n in ptrs, or -1.
-func idIndex(ptrs []NodeID, n NodeID) int {
-	for i, p := range ptrs {
-		if p == n {
-			return i
-		}
+// view returns the scratch cleared to width nodes, allocating on first use.
+func (s *sharerScratch) view(nodes int) bitset.Set {
+	if s.set.Width() != nodes {
+		s.set = bitset.New(nodes)
+	} else {
+		s.set.Clear()
 	}
-	return -1
+	return s.set
 }
+
+// bytes returns the resident size of the scratch once allocated.
+func scratchBytes(nodes int) int { return (nodes + 63) / 64 * 8 }

@@ -13,26 +13,27 @@ const testNodes = 32
 // allSchemes returns one instance of every scheme, sized for n nodes.
 func allSchemes(n int) []Scheme {
 	return []Scheme{
-		NewFullVector(n),
-		NewLimitedBroadcast(3, n),
-		NewLimitedNoBroadcast(3, n, VictimRandom, 1),
-		NewLimitedNoBroadcast(3, n, VictimOldest, 1),
-		NewSuperset(2, n),
-		NewCoarseVector(3, 2, n),
-		NewCoarseVector(8, 4, n),
+		Must(NewFullVector(n)),
+		Must(NewLimitedBroadcast(3, n)),
+		Must(NewLimitedNoBroadcast(3, n, VictimRandom, 1)),
+		Must(NewLimitedNoBroadcast(3, n, VictimOldest, 1)),
+		Must(NewSuperset(2, n)),
+		Must(NewCoarseVector(3, 2, n)),
+		Must(NewCoarseVector(8, 4, n)),
+		Must(NewTwoLevel(3, 4, n)),
 	}
 }
 
 func TestSchemeNames(t *testing.T) {
 	want := map[string]Scheme{
-		"Dir32":   NewFullVector(32),
-		"Dir3B":   NewLimitedBroadcast(3, 32),
-		"Dir3NB":  NewLimitedNoBroadcast(3, 32, VictimRandom, 1),
-		"Dir2X":   NewSuperset(2, 32),
-		"Dir3CV2": NewCoarseVector(3, 2, 32),
-		"Dir8CV4": NewCoarseVector(8, 4, 256),
-		"Dir16":   NewFullVector(16),
-		"Dir12NB": NewLimitedNoBroadcast(12, 64, VictimOldest, 1),
+		"Dir32":   Must(NewFullVector(32)),
+		"Dir3B":   Must(NewLimitedBroadcast(3, 32)),
+		"Dir3NB":  Must(NewLimitedNoBroadcast(3, 32, VictimRandom, 1)),
+		"Dir2X":   Must(NewSuperset(2, 32)),
+		"Dir3CV2": Must(NewCoarseVector(3, 2, 32)),
+		"Dir8CV4": Must(NewCoarseVector(8, 4, 256)),
+		"Dir16":   Must(NewFullVector(16)),
+		"Dir12NB": Must(NewLimitedNoBroadcast(12, 64, VictimOldest, 1)),
 	}
 	for name, s := range want {
 		if s.Name() != name {
@@ -43,22 +44,22 @@ func TestSchemeNames(t *testing.T) {
 
 func TestBitsPerEntry(t *testing.T) {
 	// Paper §3.1: DASH prototype, 16 clusters, full vector: 16+1 = 17 bits.
-	if got := NewFullVector(16).BitsPerEntry(); got != 17 {
+	if got := Must(NewFullVector(16)).BitsPerEntry(); got != 17 {
 		t.Errorf("Dir16 bits = %d, want 17", got)
 	}
 	// §5: 32 nodes, 3 pointers of 5 bits each.
-	if got := NewLimitedNoBroadcast(3, 32, VictimRandom, 1).BitsPerEntry(); got != 16 {
+	if got := Must(NewLimitedNoBroadcast(3, 32, VictimRandom, 1)).BitsPerEntry(); got != 16 {
 		t.Errorf("Dir3NB bits = %d, want 16", got)
 	}
-	if got := NewLimitedBroadcast(3, 32).BitsPerEntry(); got != 17 {
+	if got := Must(NewLimitedBroadcast(3, 32)).BitsPerEntry(); got != 17 {
 		t.Errorf("Dir3B bits = %d, want 17", got)
 	}
 	// Dir3CV2 at 32 nodes: max(15, 16) + 2 = 18.
-	if got := NewCoarseVector(3, 2, 32).BitsPerEntry(); got != 18 {
+	if got := Must(NewCoarseVector(3, 2, 32)).BitsPerEntry(); got != 18 {
 		t.Errorf("Dir3CV2 bits = %d, want 18", got)
 	}
 	// Dir2X at 32 nodes: composite = 2*5 = pointer storage, +2.
-	if got := NewSuperset(2, 32).BitsPerEntry(); got != 12 {
+	if got := Must(NewSuperset(2, 32)).BitsPerEntry(); got != 12 {
 		t.Errorf("Dir2X bits = %d, want 12", got)
 	}
 }
@@ -145,7 +146,7 @@ func TestResetEmpties(t *testing.T) {
 }
 
 func TestFullVectorPrecision(t *testing.T) {
-	s := NewFullVector(testNodes)
+	s := Must(NewFullVector(testNodes))
 	e := s.NewEntry()
 	for n := 0; n < testNodes; n += 3 {
 		e.AddSharer(n)
@@ -167,7 +168,7 @@ func TestFullVectorPrecision(t *testing.T) {
 }
 
 func TestBroadcastOverflow(t *testing.T) {
-	s := NewLimitedBroadcast(3, testNodes)
+	s := Must(NewLimitedBroadcast(3, testNodes))
 	e := s.NewEntry()
 	for n := 0; n < 3; n++ {
 		e.AddSharer(n)
@@ -195,7 +196,7 @@ func TestBroadcastOverflow(t *testing.T) {
 }
 
 func TestNoBroadcastEviction(t *testing.T) {
-	s := NewLimitedNoBroadcast(3, testNodes, VictimOldest, 1)
+	s := Must(NewLimitedNoBroadcast(3, testNodes, VictimOldest, 1))
 	e := s.NewEntry()
 	for n := 0; n < 3; n++ {
 		if ev := e.AddSharer(n); ev != nil {
@@ -222,7 +223,7 @@ func TestNoBroadcastEviction(t *testing.T) {
 }
 
 func TestNoBroadcastRandomEvictionIsMember(t *testing.T) {
-	s := NewLimitedNoBroadcast(3, testNodes, VictimRandom, 42)
+	s := Must(NewLimitedNoBroadcast(3, testNodes, VictimRandom, 42))
 	e := s.NewEntry()
 	members := map[NodeID]bool{}
 	for n := 0; n < 3; n++ {
@@ -243,7 +244,7 @@ func TestNoBroadcastRandomEvictionIsMember(t *testing.T) {
 }
 
 func TestSupersetComposite(t *testing.T) {
-	s := NewSuperset(2, testNodes)
+	s := Must(NewSuperset(2, testNodes))
 	e := s.NewEntry()
 	e.AddSharer(0) // 00000
 	e.AddSharer(1) // 00001
@@ -273,8 +274,8 @@ func TestSupersetWorseOrEqualCoarse(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	xTotal, cvTotal := 0, 0
 	for trial := 0; trial < 200; trial++ {
-		x := NewSuperset(2, 64).NewEntry()
-		cv := NewCoarseVector(3, 2, 64).NewEntry()
+		x := Must(NewSuperset(2, 64)).NewEntry()
+		cv := Must(NewCoarseVector(3, 2, 64)).NewEntry()
 		for k := 0; k < 8; k++ {
 			n := rng.Intn(64)
 			x.AddSharer(n)
@@ -289,7 +290,7 @@ func TestSupersetWorseOrEqualCoarse(t *testing.T) {
 }
 
 func TestCoarseVectorRegions(t *testing.T) {
-	s := NewCoarseVector(3, 2, testNodes)
+	s := Must(NewCoarseVector(3, 2, testNodes))
 	e := s.NewEntry()
 	e.AddSharer(0)
 	e.AddSharer(5)
@@ -317,8 +318,8 @@ func TestCoarseVectorNeverWorseThanBroadcast(t *testing.T) {
 	// strictly better. Check |CV targets| <= |B targets| for random adds.
 	rng := rand.New(rand.NewSource(3))
 	for trial := 0; trial < 100; trial++ {
-		cv := NewCoarseVector(3, 2, testNodes).NewEntry()
-		b := NewLimitedBroadcast(3, testNodes).NewEntry()
+		cv := Must(NewCoarseVector(3, 2, testNodes)).NewEntry()
+		b := Must(NewLimitedBroadcast(3, testNodes)).NewEntry()
 		k := 1 + rng.Intn(testNodes)
 		for j := 0; j < k; j++ {
 			n := rng.Intn(testNodes)
@@ -333,7 +334,7 @@ func TestCoarseVectorNeverWorseThanBroadcast(t *testing.T) {
 
 func TestCoarseVectorOddRegion(t *testing.T) {
 	// 10 nodes, region 3 -> regions {0-2},{3-5},{6-8},{9}.
-	s := NewCoarseVector(1, 3, 10)
+	s := Must(NewCoarseVector(1, 3, 10))
 	e := s.NewEntry()
 	e.AddSharer(9)
 	e.AddSharer(0) // overflow
@@ -381,7 +382,7 @@ func TestPopGrantDrainsEntry(t *testing.T) {
 }
 
 func TestCoarsePopGrantReleasesOneRegion(t *testing.T) {
-	s := NewCoarseVector(3, 4, testNodes)
+	s := Must(NewCoarseVector(3, 4, testNodes))
 	e := s.NewEntry()
 	for _, n := range []NodeID{0, 5, 10, 15} { // overflow into regions 0,1,2,3
 		e.AddSharer(n)
@@ -463,9 +464,9 @@ func TestQuickCountMatchesSharers(t *testing.T) {
 // broadcast candidate set and a superset of the full-vector (true) set.
 func TestQuickCVBetweenFullAndBroadcast(t *testing.T) {
 	f := func(nodes []uint8) bool {
-		full := NewFullVector(testNodes).NewEntry()
-		cv := NewCoarseVector(3, 2, testNodes).NewEntry()
-		b := NewLimitedBroadcast(3, testNodes).NewEntry()
+		full := Must(NewFullVector(testNodes)).NewEntry()
+		cv := Must(NewCoarseVector(3, 2, testNodes)).NewEntry()
+		b := Must(NewLimitedBroadcast(3, testNodes)).NewEntry()
 		for _, raw := range nodes {
 			n := NodeID(raw % testNodes)
 			full.AddSharer(n)
@@ -482,11 +483,11 @@ func TestQuickCVBetweenFullAndBroadcast(t *testing.T) {
 
 func TestConstructorPanics(t *testing.T) {
 	cases := []func(){
-		func() { NewFullVector(0) },
-		func() { NewLimitedBroadcast(0, 4) },
-		func() { NewLimitedNoBroadcast(2, 0, VictimRandom, 1) },
-		func() { NewSuperset(-1, 4) },
-		func() { NewCoarseVector(1, 0, 4) },
+		func() { Must(NewFullVector(0)) },
+		func() { Must(NewLimitedBroadcast(0, 4)) },
+		func() { Must(NewLimitedNoBroadcast(2, 0, VictimRandom, 1)) },
+		func() { Must(NewSuperset(-1, 4)) },
+		func() { Must(NewCoarseVector(1, 0, 4)) },
 	}
 	for i, fn := range cases {
 		func() {

@@ -17,12 +17,13 @@ type Superset struct {
 	ptrs  int
 }
 
-// NewSuperset returns a Dir_iX scheme with ptrs exact pointers.
-func NewSuperset(ptrs, nodes int) *Superset {
-	if ptrs <= 0 || nodes <= 0 {
-		panic("core: ptrs and nodes must be positive")
+// NewSuperset returns a Dir_iX scheme with ptrs exact pointers, or a
+// *GeometryError for an impossible geometry.
+func NewSuperset(ptrs, nodes int) (*Superset, error) {
+	if err := checkPtrGeometry(fmt.Sprintf("Dir%dX", ptrs), ptrs, 0, nodes); err != nil {
+		return nil, err
 	}
-	return &Superset{nodes: nodes, ptrs: ptrs}
+	return &Superset{nodes: nodes, ptrs: ptrs}, nil
 }
 
 // Name implements Scheme.
@@ -43,14 +44,21 @@ func (s *Superset) BitsPerEntry() int {
 	return bits + 2
 }
 
+// EntryBytes implements Scheme: packed pointers, the composite pattern
+// words and the sharer scratch.
+func (s *Superset) EntryBytes() int {
+	return (s.ptrs*log2ceil(s.nodes)+63)/64*8 + 16 + scratchBytes(s.nodes)
+}
+
 // NewEntry implements Scheme.
 func (s *Superset) NewEntry() Entry {
-	return &supersetEntry{s: s, ptrs: make([]NodeID, 0, s.ptrs)}
+	return &supersetEntry{s: s, ptrs: newPackedPtrs(s.ptrs, s.nodes)}
 }
 
 type supersetEntry struct {
 	s         *Superset
-	ptrs      []NodeID
+	ptrs      packedPtrs
+	scratch   sharerScratch
 	composite bool
 	value     uint64 // pattern bits (bits under xmask are irrelevant)
 	xmask     uint64 // bits in the X ("both") state
@@ -63,20 +71,18 @@ func (e *supersetEntry) AddSharer(n NodeID) []NodeID {
 		e.xmask |= e.value ^ uint64(n)
 		return nil
 	}
-	if idIndex(e.ptrs, n) >= 0 {
+	if e.ptrs.Index(n) >= 0 {
 		return nil
 	}
-	if len(e.ptrs) < cap(e.ptrs) {
-		e.ptrs = append(e.ptrs, n)
+	if !e.ptrs.Full() {
+		e.ptrs.Append(n)
 		return nil
 	}
 	// Overflow: fold all pointers plus the newcomer into one composite.
 	e.composite = true
 	e.value = uint64(n)
-	for _, p := range e.ptrs {
-		e.xmask |= e.value ^ uint64(p)
-	}
-	e.ptrs = e.ptrs[:0]
+	e.ptrs.ForEach(func(p NodeID) { e.xmask |= e.value ^ uint64(p) })
+	e.ptrs.Reset()
 	return nil
 }
 
@@ -84,8 +90,8 @@ func (e *supersetEntry) RemoveSharer(n NodeID) {
 	if e.composite {
 		return // composite pointers cannot express removal
 	}
-	if k := idIndex(e.ptrs, n); k >= 0 {
-		e.ptrs = popID(e.ptrs, k)
+	if k := e.ptrs.Index(n); k >= 0 {
+		e.ptrs.RemoveSwap(k)
 	}
 }
 
@@ -95,11 +101,9 @@ func (e *supersetEntry) matches(n NodeID) bool {
 }
 
 func (e *supersetEntry) Sharers() bitset.Set {
-	set := bitset.New(e.s.nodes)
+	set := e.scratch.view(e.s.nodes)
 	if !e.composite {
-		for _, p := range e.ptrs {
-			set.Add(p)
-		}
+		e.ptrs.ForEach(func(p NodeID) { set.Add(p) })
 		return set
 	}
 	// Expand every X bit to both values; enumerate matching node IDs.
@@ -115,14 +119,22 @@ func (e *supersetEntry) IsSharer(n NodeID) bool {
 	if e.composite {
 		return e.matches(n)
 	}
-	return idIndex(e.ptrs, n) >= 0
+	return e.ptrs.Index(n) >= 0
 }
 
 func (e *supersetEntry) Count() int {
 	if !e.composite {
-		return len(e.ptrs)
+		return e.ptrs.Len()
 	}
-	return e.Sharers().Count()
+	// Enumerate matches directly rather than via Sharers so counting does
+	// not clobber a view the caller may still hold.
+	c := 0
+	for n := 0; n < e.s.nodes; n++ {
+		if e.matches(n) {
+			c++
+		}
+	}
+	return c
 }
 
 func (e *supersetEntry) Dirty() bool { return e.dirty }
@@ -137,7 +149,8 @@ func (e *supersetEntry) Owner() NodeID {
 func (e *supersetEntry) SetDirty(owner NodeID) {
 	e.composite = false
 	e.value, e.xmask = 0, 0
-	e.ptrs = append(e.ptrs[:0], owner)
+	e.ptrs.Reset()
+	e.ptrs.Append(owner)
 	e.dirty = true
 	e.owner = owner
 }
@@ -148,28 +161,35 @@ func (e *supersetEntry) ClearDirty() {
 }
 
 func (e *supersetEntry) Reset() {
-	e.ptrs = e.ptrs[:0]
+	e.ptrs.Reset()
 	e.composite = false
 	e.value, e.xmask = 0, 0
 	e.dirty = false
 	e.owner = None
 }
 
-func (e *supersetEntry) Empty() bool { return !e.dirty && !e.composite && len(e.ptrs) == 0 }
+func (e *supersetEntry) Empty() bool { return !e.dirty && !e.composite && e.ptrs.Len() == 0 }
 
 func (e *supersetEntry) Precise() bool { return !e.composite }
 
 func (e *supersetEntry) PopGrant() []NodeID {
 	if e.composite {
-		out := e.Sharers().Elems()
+		// Enumerate matches directly — going through Sharers would rebuild
+		// the scratch and invalidate a view the caller may still hold.
+		var out []NodeID
+		for n := 0; n < e.s.nodes; n++ {
+			if e.matches(n) {
+				out = append(out, n)
+			}
+		}
 		e.composite = false
 		e.value, e.xmask = 0, 0
 		return out
 	}
-	if len(e.ptrs) == 0 {
+	if e.ptrs.Len() == 0 {
 		return nil
 	}
-	n := e.ptrs[0]
-	e.ptrs = popID(e.ptrs, 0)
+	n := e.ptrs.At(0)
+	e.ptrs.RemoveSwap(0)
 	return []NodeID{n}
 }

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"fmt"
+
+	"dircoh/internal/bitset"
+)
+
+// TwoLevel is the Dir_iR_r two-level (region-grain) directory: the §4.1
+// coarse-vector idea applied hierarchically so that precision survives past
+// i sharers. The entry holds up to i region slots; each slot names a region
+// of r consecutive nodes and carries an exact r-bit vector of the sharers
+// inside that region. While sharing stays clustered in at most i regions
+// the entry is fully precise — unlike Dir_iCV_r, whose precision ends at i
+// individual sharers. Only when sharing spreads across more than i regions
+// does the entry degrade to Dir_iCV_r's coarse region bitmap.
+//
+// This is the natural encoding for 1K–4K-node machines built from
+// r-node clusters: i*(log2(N/r)+r) bits buys region-exact tracking where a
+// full vector would need N bits and Dir_iCV_r would already be coarse.
+type TwoLevel struct {
+	nodes   int
+	ptrs    int // region slots (the i in Dir_iR_r)
+	region  int // nodes per region (the r)
+	regions int // ceil(nodes/region)
+}
+
+// NewTwoLevel returns a Dir_iR_r scheme with ptrs region slots of
+// region-size region, or a *GeometryError for an impossible geometry.
+func NewTwoLevel(ptrs, region, nodes int) (*TwoLevel, error) {
+	name := fmt.Sprintf("Dir%dR%d", ptrs, region)
+	if err := checkPtrGeometry(name, ptrs, region, nodes); err != nil {
+		return nil, err
+	}
+	if region <= 0 {
+		return nil, &GeometryError{Scheme: name, Ptrs: ptrs, Region: region, Nodes: nodes, Reason: "region size must be positive"}
+	}
+	regions := (nodes + region - 1) / region
+	if ptrs > regions {
+		return nil, &GeometryError{Scheme: name, Ptrs: ptrs, Region: region, Nodes: nodes, Reason: "more region slots than regions"}
+	}
+	return &TwoLevel{nodes: nodes, ptrs: ptrs, region: region, regions: regions}, nil
+}
+
+// RegionFor returns the region index that node n belongs to.
+func (s *TwoLevel) RegionFor(n NodeID) int { return n / s.region }
+
+// Region returns the configured region size r.
+func (s *TwoLevel) Region() int { return s.region }
+
+// Name implements Scheme.
+func (s *TwoLevel) Name() string { return fmt.Sprintf("Dir%dR%d", s.ptrs, s.region) }
+
+// Nodes implements Scheme.
+func (s *TwoLevel) Nodes() int { return s.nodes }
+
+// BitsPerEntry implements Scheme: the larger of i region slots (region
+// pointer plus an exact r-bit vector each) and the coarse region bitmap,
+// plus a mode bit and the dirty bit.
+func (s *TwoLevel) BitsPerEntry() int {
+	bits := s.ptrs * (log2ceil(s.regions) + s.region)
+	if s.regions > bits {
+		bits = s.regions
+	}
+	return bits + 2
+}
+
+// EntryBytes implements Scheme: packed region ids, the per-slot vectors,
+// the coarse bitmap and the sharer scratch.
+func (s *TwoLevel) EntryBytes() int {
+	slotVec := (s.region + 63) / 64 * 8
+	return (s.ptrs*log2ceil(s.regions)+63)/64*8 + s.ptrs*slotVec + (s.regions+63)/64*8 + scratchBytes(s.nodes)
+}
+
+// NewEntry implements Scheme.
+func (s *TwoLevel) NewEntry() Entry {
+	e := &twoLevelEntry{
+		s:     s,
+		regs:  newPackedPtrs(s.ptrs, s.regions),
+		slots: make([]bitset.Set, s.ptrs),
+	}
+	for i := range e.slots {
+		e.slots[i] = bitset.New(s.region)
+	}
+	return e
+}
+
+type twoLevelEntry struct {
+	s       *TwoLevel
+	regs    packedPtrs   // region id of slot k (len = live slots)
+	slots   []bitset.Set // slot k's exact in-region sharer vector
+	scratch sharerScratch
+	coarse  bool
+	vec     bitset.Set // coarse region bits; allocated lazily on overflow
+	dirty   bool
+	owner   NodeID
+}
+
+// slotFor returns the slot index holding region ri, or -1.
+func (e *twoLevelEntry) slotFor(ri int) int { return e.regs.Index(ri) }
+
+func (e *twoLevelEntry) AddSharer(n NodeID) []NodeID {
+	ri := e.s.RegionFor(n)
+	if e.coarse {
+		e.vec.Add(ri)
+		return nil
+	}
+	if k := e.slotFor(ri); k >= 0 {
+		e.slots[k].Add(n % e.s.region)
+		return nil
+	}
+	if !e.regs.Full() {
+		k := e.regs.Len()
+		e.regs.Append(ri)
+		e.slots[k].Clear()
+		e.slots[k].Add(n % e.s.region)
+		return nil
+	}
+	// Slot overflow: degrade to the coarse region bitmap covering every
+	// slot region plus the newcomer's — exactly Dir_iCV_r's fallback.
+	e.coarse = true
+	if e.vec.Width() == 0 {
+		e.vec = bitset.New(e.s.regions)
+	} else {
+		e.vec.Clear()
+	}
+	e.regs.ForEach(func(r NodeID) { e.vec.Add(r) })
+	e.vec.Add(ri)
+	e.regs.Reset()
+	return nil
+}
+
+func (e *twoLevelEntry) RemoveSharer(n NodeID) {
+	if e.coarse {
+		return // a region bit may cover other sharers; keep the superset
+	}
+	ri := e.s.RegionFor(n)
+	k := e.slotFor(ri)
+	if k < 0 {
+		return
+	}
+	e.slots[k].Remove(n % e.s.region)
+	if e.slots[k].Empty() {
+		e.freeSlot(k)
+	}
+}
+
+// freeSlot releases slot k, moving the last live slot into its place so
+// the live slots stay contiguous (the slot analogue of RemoveSwap).
+func (e *twoLevelEntry) freeSlot(k int) {
+	last := e.regs.Len() - 1
+	if k != last {
+		e.regs.Set(k, e.regs.At(last))
+		e.slots[k].CopyFrom(e.slots[last])
+	}
+	e.regs.RemoveShift(last) // removing the tail: shift == swap, len--
+}
+
+// expandRegion adds every node of region ri to set.
+func (e *twoLevelEntry) expandRegion(set bitset.Set, ri int) {
+	lo := ri * e.s.region
+	hi := lo + e.s.region
+	if hi > e.s.nodes {
+		hi = e.s.nodes
+	}
+	set.AddRange(lo, hi)
+}
+
+func (e *twoLevelEntry) Sharers() bitset.Set {
+	set := e.scratch.view(e.s.nodes)
+	if !e.coarse {
+		for k := 0; k < e.regs.Len(); k++ {
+			base := e.regs.At(k) * e.s.region
+			e.slots[k].ForEach(func(b int) { set.Add(base + b) })
+		}
+		return set
+	}
+	e.vec.ForEach(func(ri int) { e.expandRegion(set, ri) })
+	return set
+}
+
+func (e *twoLevelEntry) IsSharer(n NodeID) bool {
+	ri := e.s.RegionFor(n)
+	if e.coarse {
+		return e.vec.Contains(ri)
+	}
+	k := e.slotFor(ri)
+	return k >= 0 && e.slots[k].Contains(n%e.s.region)
+}
+
+func (e *twoLevelEntry) Count() int {
+	if !e.coarse {
+		c := 0
+		for k := 0; k < e.regs.Len(); k++ {
+			c += e.slots[k].Count()
+		}
+		return c
+	}
+	c := 0
+	e.vec.ForEach(func(ri int) {
+		lo := ri * e.s.region
+		hi := lo + e.s.region
+		if hi > e.s.nodes {
+			hi = e.s.nodes
+		}
+		c += hi - lo
+	})
+	return c
+}
+
+func (e *twoLevelEntry) Dirty() bool { return e.dirty }
+
+func (e *twoLevelEntry) Owner() NodeID {
+	if !e.dirty {
+		return None
+	}
+	return e.owner
+}
+
+func (e *twoLevelEntry) SetDirty(owner NodeID) {
+	e.coarse = false
+	e.regs.Reset()
+	e.regs.Append(e.s.RegionFor(owner))
+	e.slots[0].Clear()
+	e.slots[0].Add(owner % e.s.region)
+	e.dirty = true
+	e.owner = owner
+}
+
+func (e *twoLevelEntry) ClearDirty() {
+	e.dirty = false
+	e.owner = None
+}
+
+func (e *twoLevelEntry) Reset() {
+	e.regs.Reset()
+	e.coarse = false
+	if e.vec.Width() != 0 {
+		e.vec.Clear()
+	}
+	e.dirty = false
+	e.owner = None
+}
+
+func (e *twoLevelEntry) Empty() bool { return !e.dirty && !e.coarse && e.regs.Len() == 0 }
+
+func (e *twoLevelEntry) Precise() bool { return !e.coarse }
+
+// PopGrant pops one node while precise, or one whole region once coarse —
+// matching Dir_iCV_r's §7 queued-lock behaviour in the degraded mode.
+func (e *twoLevelEntry) PopGrant() []NodeID {
+	if e.coarse {
+		ri := -1
+		e.vec.ForEach(func(i int) {
+			if ri < 0 {
+				ri = i
+			}
+		})
+		if ri < 0 {
+			return nil
+		}
+		e.vec.Remove(ri)
+		lo := ri * e.s.region
+		hi := lo + e.s.region
+		if hi > e.s.nodes {
+			hi = e.s.nodes
+		}
+		out := make([]NodeID, 0, hi-lo)
+		for n := lo; n < hi; n++ {
+			out = append(out, n)
+		}
+		if e.vec.Empty() {
+			e.coarse = false
+		}
+		return out
+	}
+	if e.regs.Len() == 0 {
+		return nil
+	}
+	base := e.regs.At(0) * e.s.region
+	b := -1
+	e.slots[0].ForEach(func(i int) {
+		if b < 0 {
+			b = i
+		}
+	})
+	e.slots[0].Remove(b)
+	if e.slots[0].Empty() {
+		e.freeSlot(0)
+	}
+	return []NodeID{base + b}
+}

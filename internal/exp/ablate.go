@@ -26,7 +26,7 @@ func (s *Session) RegionSweep(app string, procs int) ([]Run, *stats.Table) {
 		}
 		r := regions[i-1]
 		return s.RunApp(app, procs, fmt.Sprintf("Dir3CV%d", r),
-			func(n int) core.Scheme { return core.NewCoarseVector(3, r, n) })
+			func(n int) (core.Scheme, error) { return core.NewCoarseVector(3, r, n) })
 	})
 	base := runs[0]
 	tb := stats.NewTable("scheme", "region", "msgs(norm)", "inval+ack", "avg invals/event")
@@ -51,11 +51,11 @@ func (s *Session) RegionSweep(app string, procs int) ([]Run, *stats.Table) {
 func (s *Session) PointerSweep(app string, procs int) ([]Run, *stats.Table) {
 	kinds := []struct {
 		name string
-		f    func(i, n int) core.Scheme
+		f    func(i, n int) (core.Scheme, error)
 	}{
-		{"Dir_iB", func(i, n int) core.Scheme { return core.NewLimitedBroadcast(i, n) }},
-		{"Dir_iNB", func(i, n int) core.Scheme { return core.NewLimitedNoBroadcast(i, n, core.VictimRandom, 11) }},
-		{"Dir_iCV2", func(i, n int) core.Scheme { return core.NewCoarseVector(i, 2, n) }},
+		{"Dir_iB", func(i, n int) (core.Scheme, error) { return core.NewLimitedBroadcast(i, n) }},
+		{"Dir_iNB", func(i, n int) (core.Scheme, error) { return core.NewLimitedNoBroadcast(i, n, core.VictimRandom, 11) }},
+		{"Dir_iCV2", func(i, n int) (core.Scheme, error) { return core.NewCoarseVector(i, 2, n) }},
 	}
 	type spec struct {
 		kind int // -1: the full-vector baseline
@@ -74,7 +74,7 @@ func (s *Session) PointerSweep(app string, procs int) ([]Run, *stats.Table) {
 		}
 		k := kinds[sp.kind]
 		return s.RunApp(app, procs, fmt.Sprintf("%s i=%d", k.name, sp.ptrs),
-			func(n int) core.Scheme { return k.f(sp.ptrs, n) })
+			func(n int) (core.Scheme, error) { return k.f(sp.ptrs, n) })
 	})
 	base := runs[0]
 	tb := stats.NewTable("scheme", "pointers", "msgs(norm)", "exec(norm)")

@@ -9,7 +9,7 @@ func TestRegionSweepMonotone(t *testing.T) {
 	if testing.Short() {
 		t.Skip("several 32-proc runs")
 	}
-	runs, tb := RegionSweep("LocusRoute", Procs)
+	runs, tb := ts.RegionSweep("LocusRoute", Procs)
 	if !strings.Contains(tb.String(), "Dir3CV16") {
 		t.Fatalf("table missing rows:\n%s", tb)
 	}
@@ -42,7 +42,7 @@ func TestPointerSweepMorePointersHelp(t *testing.T) {
 	if testing.Short() {
 		t.Skip("many 32-proc runs")
 	}
-	runs, _ := PointerSweep("LocusRoute", Procs)
+	runs, _ := ts.PointerSweep("LocusRoute", Procs)
 	byLabel := map[string]Run{}
 	for _, r := range runs[1:] {
 		byLabel[r.Label] = r
@@ -75,7 +75,7 @@ func TestDirectoryComparison(t *testing.T) {
 	if testing.Short() {
 		t.Skip("five 32-proc runs")
 	}
-	runs, tb := DirectoryComparison("LocusRoute", Procs)
+	runs, tb := ts.DirectoryComparison("LocusRoute", Procs)
 	if len(runs) != 5 {
 		t.Fatalf("runs = %d", len(runs))
 	}
@@ -101,7 +101,7 @@ func TestDirectoryComparison(t *testing.T) {
 }
 
 func TestLockContention(t *testing.T) {
-	runs, tb := LockContention(16, 4)
+	runs, tb := ts.LockContention(16, 4)
 	if len(runs) != 3 {
 		t.Fatalf("runs = %d", len(runs))
 	}

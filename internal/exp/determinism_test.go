@@ -14,21 +14,21 @@ type snapshot struct {
 	hists  []string
 }
 
-func capture(procs int) snapshot {
-	var s snapshot
-	runs, tb := SchemeComparison("MP3D", procs)
-	s.runs = append(s.runs, runs...)
-	s.tables = append(s.tables, tb.String())
-	sruns, stb := SparsePerformance("MP3D", procs)
-	s.runs = append(s.runs, sruns...)
-	s.tables = append(s.tables, stb.String())
-	figs := Figs3to6(procs)
-	s.runs = append(s.runs, figs...)
+func capture(s *Session, procs int) snapshot {
+	var snap snapshot
+	runs, tb := s.SchemeComparison("MP3D", procs)
+	snap.runs = append(snap.runs, runs...)
+	snap.tables = append(snap.tables, tb.String())
+	sruns, stb := s.SparsePerformance("MP3D", procs)
+	snap.runs = append(snap.runs, sruns...)
+	snap.tables = append(snap.tables, stb.String())
+	figs := s.Figs3to6(procs)
+	snap.runs = append(snap.runs, figs...)
 	for _, r := range figs {
-		s.hists = append(s.hists, r.Result.InvalHist.Render(r.Label))
+		snap.hists = append(snap.hists, r.Result.InvalHist.Render(r.Label))
 	}
-	s.tables = append(s.tables, Table2(procs).String())
-	return s
+	snap.tables = append(snap.tables, s.Table2(procs).String())
+	return snap
 }
 
 // TestPoolDeterminism runs the same experiment grid serially and under
@@ -37,22 +37,20 @@ func capture(procs int) snapshot {
 // histogram byte-for-byte the same. Any ordering bug in the orchestrator
 // or shared state between concurrent simulations fails this test.
 func TestPoolDeterminism(t *testing.T) {
-	defer SetParallelism(0)
 	const procs = 8
 
-	SetParallelism(1)
-	want := capture(procs)
+	want := capture(NewSession(Observer{}, 1, 0), procs)
 
 	widths := []int{2, 3, 8}
 	if testing.Short() {
 		widths = []int{4}
 	}
 	for _, par := range widths {
-		SetParallelism(par)
-		if got := Parallelism(); got != par {
+		s := NewSession(Observer{}, par, 0)
+		if got := s.Parallelism(); got != par {
 			t.Fatalf("Parallelism() = %d, want %d", got, par)
 		}
-		got := capture(procs)
+		got := capture(s, procs)
 		for i := range want.runs {
 			if got.runs[i].App != want.runs[i].App || got.runs[i].Label != want.runs[i].Label {
 				t.Fatalf("parallel=%d: run %d is (%s, %s), serial had (%s, %s) — submission order broken",
@@ -77,15 +75,12 @@ func TestPoolDeterminism(t *testing.T) {
 	}
 }
 
-// TestSetParallelismBounds checks the auto default and floor.
-func TestSetParallelismBounds(t *testing.T) {
-	defer SetParallelism(0)
-	SetParallelism(3)
-	if got := Parallelism(); got != 3 {
+// TestSessionParallelismBounds checks the auto default and floor.
+func TestSessionParallelismBounds(t *testing.T) {
+	if got := NewSession(Observer{}, 3, 0).Parallelism(); got != 3 {
 		t.Fatalf("Parallelism() = %d, want 3", got)
 	}
-	SetParallelism(0)
-	if got := Parallelism(); got < 1 {
+	if got := NewSession(Observer{}, 0, 0).Parallelism(); got < 1 {
 		t.Fatalf("auto parallelism = %d, want >= 1", got)
 	}
 }
@@ -93,19 +88,17 @@ func TestSetParallelismBounds(t *testing.T) {
 // TestMeterCountsRuns checks that every simulation is metered exactly
 // once with a non-zero cycle count.
 func TestMeterCountsRuns(t *testing.T) {
-	defer SetParallelism(0)
-	SetParallelism(2)
-	Meter().Reset()
-	runs, _ := SchemeComparison("MP3D", 8)
-	s := Meter().Summary()
-	if s.Jobs != len(runs) {
-		t.Fatalf("meter recorded %d jobs, want %d", s.Jobs, len(runs))
+	s := NewSession(Observer{}, 2, 0)
+	runs, _ := s.SchemeComparison("MP3D", 8)
+	sum := s.Meter().Summary()
+	if sum.Jobs != len(runs) {
+		t.Fatalf("meter recorded %d jobs, want %d", sum.Jobs, len(runs))
 	}
-	if s.Cycles == 0 || s.Busy <= 0 {
-		t.Fatalf("meter summary %+v should have non-zero cycles and busy time", s)
+	if sum.Cycles == 0 || sum.Busy <= 0 {
+		t.Fatalf("meter summary %+v should have non-zero cycles and busy time", sum)
 	}
-	Meter().Reset()
-	if s := Meter().Summary(); s.Jobs != 0 {
-		t.Fatalf("reset failed: %+v", s)
+	s.Meter().Reset()
+	if sum := s.Meter().Summary(); sum.Jobs != 0 {
+		t.Fatalf("reset failed: %+v", sum)
 	}
 }

@@ -17,7 +17,7 @@ func msgRatio(a, b Run) float64 {
 }
 
 func TestTable2Shape(t *testing.T) {
-	s := Table2(8).String()
+	s := ts.Table2(8).String()
 	for _, app := range []string{"LU", "DWF", "MP3D", "LocusRoute"} {
 		if !strings.Contains(s, app) {
 			t.Fatalf("Table 2 missing %s:\n%s", app, s)
@@ -33,7 +33,7 @@ func TestFigs3to6Ordering(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full 32-proc runs")
 	}
-	runs := Figs3to6(Procs)
+	runs := ts.Figs3to6(Procs)
 	full, nb, b, cv := runs[0].Result, runs[1].Result, runs[2].Result, runs[3].Result
 	if nb.InvalHist.Events() <= full.InvalHist.Events() {
 		t.Errorf("NB events (%d) should exceed full vector events (%d): reads cause invalidations",
@@ -70,7 +70,7 @@ func TestFig7LU(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full 32-proc runs")
 	}
-	runs, _ := SchemeComparison("LU", Procs)
+	runs, _ := ts.SchemeComparison("LU", Procs)
 	full, cv, b, nb := runs[0], runs[1], runs[2], runs[3]
 	if r := execRatio(nb, full); r < 1.15 {
 		t.Errorf("NB exec ratio %.3f, want >= 1.15 (paper: severe degradation)", r)
@@ -91,7 +91,7 @@ func TestFig8DWF(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full 32-proc runs")
 	}
-	runs, _ := SchemeComparison("DWF", Procs)
+	runs, _ := ts.SchemeComparison("DWF", Procs)
 	full, cv, b, nb := runs[0], runs[1], runs[2], runs[3]
 	if r := execRatio(nb, full); r < 1.05 {
 		t.Errorf("NB exec ratio %.3f, want >= 1.05", r)
@@ -109,7 +109,7 @@ func TestFig9MP3D(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full 32-proc runs")
 	}
-	runs, _ := SchemeComparison("MP3D", Procs)
+	runs, _ := ts.SchemeComparison("MP3D", Procs)
 	full := runs[0]
 	for _, s := range runs[1:] {
 		if r := execRatio(s, full); r < 0.99 || r > 1.01 {
@@ -128,7 +128,7 @@ func TestFig10LocusRoute(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full 32-proc runs")
 	}
-	runs, _ := SchemeComparison("LocusRoute", Procs)
+	runs, _ := ts.SchemeComparison("LocusRoute", Procs)
 	full, cv, b, nb := runs[0], runs[1], runs[2], runs[3]
 	if r := msgRatio(b, full); r < 1.5 {
 		t.Errorf("B msg ratio %.3f, want >= 1.5 (broadcast explosion)", r)
@@ -159,7 +159,7 @@ func TestFig11SparseLU(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long: ~10 sparse LU runs")
 	}
-	runs, _ := SparsePerformance("LU", Procs)
+	runs, _ := ts.SparsePerformance("LU", Procs)
 	base := runs[0]
 	byLabel := map[string]Run{}
 	for _, r := range runs[1:] {
@@ -196,7 +196,7 @@ func TestFig12SparseDWF(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long: ~10 sparse DWF runs")
 	}
-	runs, _ := SparsePerformance("DWF", Procs)
+	runs, _ := ts.SparsePerformance("DWF", Procs)
 	base := runs[0]
 	for _, r := range runs[1:] {
 		if er := execRatio(r, base); er > 1.02 {
@@ -210,7 +210,7 @@ func TestFig13Assoc(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long: 10 sparse LU runs")
 	}
-	runs, _ := AssocSweep("LU", Procs)
+	runs, _ := ts.AssocSweep("LU", Procs)
 	byLabel := map[string]Run{}
 	for _, r := range runs[1:] {
 		byLabel[r.Label] = r
@@ -230,7 +230,7 @@ func TestFig14Policy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long: 10 sparse LU runs")
 	}
-	runs, _ := PolicySweep("LU", Procs)
+	runs, _ := ts.PolicySweep("LU", Procs)
 	byLabel := map[string]Run{}
 	for _, r := range runs[1:] {
 		byLabel[r.Label] = r
@@ -247,17 +247,17 @@ func TestFig14Policy(t *testing.T) {
 // figure driver runs at 8 processors without error.
 func TestSmallScaleSmoke(t *testing.T) {
 	const procs = 8
-	if got := len(Figs3to6(procs)); got != 4 {
+	if got := len(ts.Figs3to6(procs)); got != 4 {
 		t.Fatalf("Figs3to6 produced %d runs", got)
 	}
-	runs, tb := SchemeComparison("MP3D", procs)
+	runs, tb := ts.SchemeComparison("MP3D", procs)
 	if len(runs) != 4 || !strings.Contains(tb.String(), "Coarse Vector") {
 		t.Fatal("SchemeComparison output wrong")
 	}
 	if runs[0].Result.Msgs[stats.Request] == 0 {
 		t.Fatal("no traffic recorded")
 	}
-	runsS, tbS := SparsePerformance("MP3D", procs)
+	runsS, tbS := ts.SparsePerformance("MP3D", procs)
 	if len(runsS) != 10 || !strings.Contains(tbS.String(), "size factor") {
 		t.Fatal("SparsePerformance output wrong")
 	}
@@ -280,7 +280,7 @@ func TestClaimsRobustAcrossSeeds(t *testing.T) {
 		t.Skip("24 32-proc runs")
 	}
 	for seed := int64(2); seed <= 4; seed++ {
-		runs := SchemeComparisonSeeded("LocusRoute", Procs, seed)
+		runs := ts.SchemeComparisonSeeded("LocusRoute", Procs, seed)
 		full, cv, b := runs[0], runs[1], runs[2]
 		if r := msgRatio(b, full); r < 1.4 {
 			t.Errorf("seed %d: B msg ratio %.3f, want >= 1.4", seed, r)
@@ -288,7 +288,7 @@ func TestClaimsRobustAcrossSeeds(t *testing.T) {
 		if r := msgRatio(cv, full); r > 1.15 {
 			t.Errorf("seed %d: CV msg ratio %.3f, want <= 1.15", seed, r)
 		}
-		mruns := SchemeComparisonSeeded("MP3D", Procs, seed)
+		mruns := ts.SchemeComparisonSeeded("MP3D", Procs, seed)
 		for _, s := range mruns[1:] {
 			if r := execRatio(s, mruns[0]); r < 0.99 || r > 1.01 {
 				t.Errorf("seed %d: MP3D %s exec ratio %.3f, want within 1%%", seed, s.Label, r)

@@ -11,7 +11,7 @@ func TestOccupancyStudy(t *testing.T) {
 	if testing.Short() {
 		t.Skip("four 32-proc runs")
 	}
-	runs, tb := OccupancyStudy(Procs)
+	runs, tb := ts.OccupancyStudy(Procs)
 	if len(runs) != 4 {
 		t.Fatalf("runs = %d", len(runs))
 	}
@@ -40,7 +40,7 @@ func TestFFTControlWorkload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("four 32-proc runs")
 	}
-	runs, _ := SchemeComparison("FFT", Procs)
+	runs, _ := ts.SchemeComparison("FFT", Procs)
 	full := runs[0].Result
 	for _, r := range runs[1:] {
 		if r.Result.Msgs != full.Msgs {
@@ -58,7 +58,7 @@ func TestBlockSizeTradeoff(t *testing.T) {
 	if testing.Short() {
 		t.Skip("three 32-proc runs")
 	}
-	runs, _ := BlockSizeStudy("MP3D", Procs, []int{16, 64})
+	runs, _ := ts.BlockSizeStudy("MP3D", Procs, []int{16, 64})
 	small, big := runs[0].Result, runs[1].Result
 	if big.Cache.Misses >= small.Cache.Misses {
 		t.Errorf("bigger blocks should cut misses: %d vs %d", big.Cache.Misses, small.Cache.Misses)
@@ -79,7 +79,7 @@ func TestNetworkContentionAmplifiesBroadcast(t *testing.T) {
 	if testing.Short() {
 		t.Skip("six 32-proc runs")
 	}
-	runs, _ := NetworkContention("LocusRoute", Procs, []sim.Time{0, 8})
+	runs, _ := ts.NetworkContention("LocusRoute", Procs, []sim.Time{0, 8})
 	byLabel := map[string]Run{}
 	for _, r := range runs {
 		byLabel[r.Label] = r
@@ -112,7 +112,7 @@ func TestNetworkContentionAmplifiesBroadcast(t *testing.T) {
 func TestWriteReportSmoke(t *testing.T) {
 	var buf strings.Builder
 	opt := ReportOptions{Procs: 8, Trials: 50, Sparse: false, Ablations: false}
-	if err := WriteReport(&buf, opt); err != nil {
+	if err := ts.WriteReport(&buf, opt); err != nil {
 		t.Fatal(err)
 	}
 	s := buf.String()
@@ -137,7 +137,7 @@ func TestWriteReportSmoke(t *testing.T) {
 // TestBarrierStudy: under port contention the combining tree beats the
 // central barrier, whose home cluster absorbs every arrival.
 func TestBarrierStudy(t *testing.T) {
-	runs, tb := BarrierStudy(32, 6, []sim.Time{0, 8})
+	runs, tb := ts.BarrierStudy(32, 6, []sim.Time{0, 8})
 	byLabel := map[string]Run{}
 	for _, r := range runs {
 		byLabel[r.Label] = r

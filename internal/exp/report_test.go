@@ -25,7 +25,7 @@ func TestReportOptionsDefaults(t *testing.T) {
 func TestWriteReportCore(t *testing.T) {
 	var b strings.Builder
 	opt := ReportOptions{Procs: 8, Trials: 32, Sparse: false, Ablations: false}
-	if err := WriteReport(&b, opt); err != nil {
+	if err := ts.WriteReport(&b, opt); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -55,7 +55,7 @@ func TestWriteReportSections(t *testing.T) {
 	}
 	var b strings.Builder
 	opt := ReportOptions{Procs: 8, Trials: 32, Sparse: true, Ablations: true}
-	if err := WriteReport(&b, opt); err != nil {
+	if err := ts.WriteReport(&b, opt); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -85,7 +85,7 @@ func (w *failAfter) Write(p []byte) (int, error) {
 }
 
 func TestWriteReportPropagatesWriteError(t *testing.T) {
-	err := WriteReport(&failAfter{n: 64}, ReportOptions{Procs: 8, Trials: 16})
+	err := ts.WriteReport(&failAfter{n: 64}, ReportOptions{Procs: 8, Trials: 16})
 	if !errors.Is(err, errDiskFull) {
 		t.Fatalf("WriteReport error = %v, want %v", err, errDiskFull)
 	}

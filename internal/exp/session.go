@@ -67,18 +67,6 @@ func (s *Session) runPool() *runner.Pool {
 	return s.pool
 }
 
-func (s *Session) setObserver(o Observer) {
-	s.mu.Lock()
-	s.obs = o
-	s.mu.Unlock()
-}
-
-func (s *Session) setParallelism(n int) {
-	s.mu.Lock()
-	s.pool = runner.New(n)
-	s.mu.Unlock()
-}
-
 // collectRuns executes n independent simulations on the session's pool
 // and returns them indexed by job number.
 func (s *Session) collectRuns(n int, job func(i int) Run) []Run {

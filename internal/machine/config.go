@@ -31,6 +31,9 @@ var (
 	NoBroadcast = core.MustParse("nb")
 	// SupersetX is Dir2X.
 	SupersetX = core.MustParse("x")
+	// TwoLevel is Dir_iR_r with the adaptive region size (region ~ sqrt of
+	// the cluster count, at most 4 slots).
+	TwoLevel = core.MustParse("tl")
 )
 
 // SparseConfig enables the sparse directory when Entries > 0.
@@ -242,6 +245,12 @@ func (c *Config) Validate() error {
 	}
 	if c.Scheme == nil {
 		return fmt.Errorf("machine: Scheme factory is required")
+	}
+	if _, err := c.Scheme(c.Clusters()); err != nil {
+		// Scheme geometry (e.g. more pointers than clusters) is only
+		// checkable once the machine size is known; surface it here as a
+		// flag-level error instead of deep inside New.
+		return fmt.Errorf("machine: %w", err)
 	}
 	if c.Overflow != nil && c.Sparse.Entries > 0 {
 		return fmt.Errorf("machine: Sparse and Overflow directories are mutually exclusive")

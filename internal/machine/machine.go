@@ -241,12 +241,16 @@ func New(cfg Config) (*Machine, error) {
 		cfg.Spans = obs.NewSpanRecorder(obs.DiscardSpans, 0)
 	}
 
+	scheme, err := cfg.Scheme(clusters)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
 	m := &Machine{
 		cfg:         cfg,
 		t:           cfg.Timing,
 		eng:         &sim.Engine{},
 		net:         mesh.New(cfg.Mesh),
-		scheme:      cfg.Scheme(clusters),
+		scheme:      scheme,
 		reg:         reg,
 		tr:          cfg.Trace,
 		lockRetries: reg.Counter("lock.retries"),

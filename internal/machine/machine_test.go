@@ -178,7 +178,7 @@ func TestNBPointerOverflowInvalidates(t *testing.T) {
 	// Dir1NB: one pointer. Cluster 1 reads block 0, then cluster 2 reads
 	// it: the directory must evict cluster 1 (Inval + Ack), and the
 	// read-caused invalidation is an invalidation event (Figure 4).
-	nb1 := func(n int) core.Scheme {
+	nb1 := func(n int) (core.Scheme, error) {
 		return core.NewLimitedNoBroadcast(1, n, core.VictimOldest, 1)
 	}
 	var b0, b1, b2 tango.Builder
@@ -206,7 +206,7 @@ func TestBroadcastWriteInvalidatesAll(t *testing.T) {
 	// Dir1B with 4 clusters: clusters 1, 2, 3 read block 0 (overflow to
 	// broadcast at the second read); then proc 0 (home) writes it.
 	// Targets = everyone except home: 3 invalidations.
-	b1scheme := func(n int) core.Scheme { return core.NewLimitedBroadcast(1, n) }
+	b1scheme := func(n int) (core.Scheme, error) { return core.NewLimitedBroadcast(1, n) }
 	var b0, b1, b2, b3 tango.Builder
 	for _, b := range []*tango.Builder{&b1, &b2, &b3} {
 		b.Read(addr(0))

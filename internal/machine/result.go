@@ -32,6 +32,12 @@ type Result struct {
 	WriteLat     stats.LatHist
 	RACPeak      int
 	DirPeak      int // peak simultaneously-live directory entries, machine-wide
+
+	// Directory-entry cost of the scheme this machine ran, so sweeps and
+	// benches can report memory overhead next to traffic without
+	// re-deriving the scheme from its name.
+	DirEntryBits  int // architectural bits per entry (Scheme.BitsPerEntry)
+	DirEntryBytes int // simulator heap bytes per entry (Scheme.EntryBytes)
 }
 
 // result builds the Result from the machine's metrics-registry snapshot
@@ -50,15 +56,17 @@ func (m *Machine) result() *Result {
 		msgs[kind.Class()] += snap.Counter(kind.MetricName())
 	}
 	r := &Result{
-		Scheme:      m.scheme.Name(),
-		Msgs:        msgs,
-		InvalHist:   m.invalHist,
-		ReplHist:    m.replHist,
-		Net:         m.netStats(snap),
-		LockRetries: snap.Counter("lock.retries"),
-		MergedReads: snap.Counter("rac.merged.reads"),
-		ReadLat:     m.readLat,
-		WriteLat:    m.writeLat,
+		Scheme:        m.scheme.Name(),
+		DirEntryBits:  m.scheme.BitsPerEntry(),
+		DirEntryBytes: m.scheme.EntryBytes(),
+		Msgs:          msgs,
+		InvalHist:     m.invalHist,
+		ReplHist:      m.replHist,
+		Net:           m.netStats(snap),
+		LockRetries:   snap.Counter("lock.retries"),
+		MergedReads:   snap.Counter("rac.merged.reads"),
+		ReadLat:       m.readLat,
+		WriteLat:      m.writeLat,
 		Dir: sparse.Stats{
 			Lookups:      snap.Counter("dir.lookup"),
 			Hits:         snap.Counter("dir.hit"),

@@ -78,10 +78,16 @@ func newClusterRes(cfg *Config, clusters int) *clusterRes {
 	reg := obs.NewRegistry()
 	mc := cfg.Mesh
 	mc.Metrics = reg
+	scheme, err := cfg.Scheme(clusters)
+	if err != nil {
+		// Config.Validate already ran the factory once; factories are
+		// deterministic, so failing here is a program bug, not input.
+		panic(err)
+	}
 	res := &clusterRes{
 		reg:         reg,
 		net:         mesh.New(mc),
-		scheme:      cfg.Scheme(clusters),
+		scheme:      scheme,
 		lockRetries: reg.Counter("lock.retries"),
 		mergedReads: reg.Counter("rac.merged.reads"),
 		extraInval:  reg.Counter("dir.inval.extraneous"),

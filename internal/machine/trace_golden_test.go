@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"dircoh/internal/apps"
+	"dircoh/internal/core"
 	"dircoh/internal/obs"
 )
 
@@ -24,7 +25,7 @@ func TestTraceGoldenLU(t *testing.T) {
 	var buf bytes.Buffer
 	sink := obs.NewJSONLSink(&buf)
 	cfg := testConfig(4, CoarseVec2)
-	cfg.Trace = obs.NewTracer(sink.Sub("LU/"+CoarseVec2(4).Name()), 64)
+	cfg.Trace = obs.NewTracer(sink.Sub("LU/"+core.Must(CoarseVec2(4)).Name()), 64)
 	m, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -45,6 +45,7 @@ const (
 	kindNoBroadcast
 	kindCoarse
 	kindSuperset
+	kindTwoLevel
 )
 
 // entryScheme describes a directory scheme's entry semantics, recovered
@@ -53,14 +54,14 @@ const (
 type entryScheme struct {
 	kind   schemeKind
 	nodes  int
-	ptrs   int // pointer capacity (== nodes for kindFull)
-	region int // kindCoarse region size r
+	ptrs   int // pointer capacity (== nodes for kindFull; region slots for kindTwoLevel)
+	region int // kindCoarse / kindTwoLevel region size r
 	name   string
 }
 
 // parseScheme recovers entry semantics from a core scheme. The notation
 // grammar is core.Parse's: Dir<P>, Dir<i>B, Dir<i>NB, Dir<i>X,
-// Dir<i>CV<r>.
+// Dir<i>CV<r>, Dir<i>R<r>.
 func parseScheme(s core.Scheme) (*entryScheme, error) {
 	name, nodes := s.Name(), s.Nodes()
 	if nodes < 2 || nodes > maxClusters {
@@ -98,6 +99,12 @@ func parseScheme(s core.Scheme) (*entryScheme, error) {
 			return nil, fmt.Errorf("model: scheme name %q has a bad region size", name)
 		}
 		es.kind, es.region = kindCoarse, r
+	case strings.HasPrefix(suffix, "R"):
+		r, err := strconv.Atoi(suffix[1:])
+		if err != nil || r < 1 {
+			return nil, fmt.Errorf("model: scheme name %q has a bad region size", name)
+		}
+		es.kind, es.region = kindTwoLevel, r
 	default:
 		return nil, fmt.Errorf("model: scheme name %q has unknown suffix %q", name, suffix)
 	}
@@ -119,6 +126,12 @@ func (s *entryScheme) symOK() bool {
 		return s.region == 1 || s.region >= s.nodes
 	case kindSuperset:
 		return s.ptrs >= s.nodes
+	case kindTwoLevel:
+		// With r = 1 a slot is just a pointer (its 1-bit vector is always
+		// set), so relabeling the slot ids is the whole story. Larger
+		// regions tie slot vectors to node numbering and are not
+		// permutation-equivariant.
+		return s.region == 1
 	default:
 		return true
 	}
@@ -136,16 +149,21 @@ const (
 // comparable value. Invariants keeping equal states byte-identical:
 // unused ptrs slots are zero, nptr counts live slots, owner is -1 unless
 // dirty, and order-free kinds keep the pointer list sorted (only Dir_iNB's
-// FIFO eviction makes insertion order observable).
+// FIFO eviction makes insertion order observable; kindTwoLevel keeps its
+// slot list sorted by region id, carrying svec along).
+//
+// kindTwoLevel reuses ptrs as the slot region ids; svec[i] is slot i's
+// exact in-region sharer vector.
 type dirEntry struct {
 	dirty bool
 	owner int8
 	mode  uint8
 	nptr  uint8
 	ptrs  [maxClusters]int8
-	vec   uint8 // emCoarse: region bits
-	val   uint8 // emComposite: pattern bits
-	x     uint8 // emComposite: bits in the X ("both") state
+	svec  [maxClusters]uint8 // kindTwoLevel: per-slot in-region vectors
+	vec   uint8              // emCoarse: region bits
+	val   uint8              // emComposite: pattern bits
+	x     uint8              // emComposite: bits in the X ("both") state
 }
 
 // emptyEntry returns the canonical empty entry.
@@ -161,7 +179,8 @@ func (e *dirEntry) hasPtr(n int) bool {
 }
 
 // normalize sorts the pointer list for order-free kinds (everything but
-// Dir_iNB, whose FIFO victim choice makes insertion order semantic).
+// Dir_iNB, whose FIFO victim choice makes insertion order semantic). For
+// kindTwoLevel the slot vectors travel with their region ids.
 func (e *dirEntry) normalize(s *entryScheme) {
 	if s.kind == kindNoBroadcast {
 		return
@@ -169,12 +188,14 @@ func (e *dirEntry) normalize(s *entryScheme) {
 	for i := uint8(1); i < e.nptr; i++ {
 		for j := i; j > 0 && e.ptrs[j] < e.ptrs[j-1]; j-- {
 			e.ptrs[j], e.ptrs[j-1] = e.ptrs[j-1], e.ptrs[j]
+			e.svec[j], e.svec[j-1] = e.svec[j-1], e.svec[j]
 		}
 	}
 }
 
 func (e *dirEntry) clearPtrs() {
 	e.ptrs = [maxClusters]int8{}
+	e.svec = [maxClusters]uint8{}
 	e.nptr = 0
 }
 
@@ -189,6 +210,31 @@ func (e *dirEntry) addSharer(s *entryScheme, n int) int {
 		return -1
 	case emComposite:
 		e.x |= e.val ^ uint8(n)
+		return -1
+	}
+	if s.kind == kindTwoLevel {
+		ri := n / s.region
+		for i := uint8(0); i < e.nptr; i++ {
+			if int(e.ptrs[i]) == ri {
+				e.svec[i] |= 1 << uint(n%s.region)
+				return -1
+			}
+		}
+		if int(e.nptr) < s.ptrs {
+			e.ptrs[e.nptr] = int8(ri)
+			e.svec[e.nptr] = 1 << uint(n%s.region)
+			e.nptr++
+			e.normalize(s)
+			return -1
+		}
+		// Slot overflow: degrade to the coarse region bitmap, exactly as
+		// twoLevelEntry does.
+		var vec uint8 = 1 << uint(ri)
+		for i := uint8(0); i < e.nptr; i++ {
+			vec |= 1 << uint(e.ptrs[i])
+		}
+		e.mode, e.vec = emCoarse, vec
+		e.clearPtrs()
 		return -1
 	}
 	if e.hasPtr(n) {
@@ -232,11 +278,16 @@ func (e *dirEntry) addSharer(s *entryScheme, n int) int {
 }
 
 // setDirty mirrors core.Entry.SetDirty: owner becomes the sole sharer.
-func (e *dirEntry) setDirty(owner int) {
+func (e *dirEntry) setDirty(s *entryScheme, owner int) {
 	*e = emptyEntry()
 	e.dirty = true
 	e.owner = int8(owner)
-	e.ptrs[0] = int8(owner)
+	if s.kind == kindTwoLevel {
+		e.ptrs[0] = int8(owner / s.region)
+		e.svec[0] = 1 << uint(owner%s.region)
+	} else {
+		e.ptrs[0] = int8(owner)
+	}
 	e.nptr = 1
 }
 
@@ -272,6 +323,18 @@ func (e *dirEntry) mask(s *entryScheme) uint8 {
 		for n := 0; n < s.nodes; n++ {
 			if (uint8(n)^e.val)&^e.x == 0 {
 				m |= 1 << uint(n)
+			}
+		}
+		return m
+	}
+	if s.kind == kindTwoLevel {
+		var m uint8
+		for i := uint8(0); i < e.nptr; i++ {
+			base := int(e.ptrs[i]) * s.region
+			for b := 0; b < s.region; b++ {
+				if e.svec[i]&(1<<uint(b)) != 0 && base+b < s.nodes {
+					m |= 1 << uint(base+b)
+				}
 			}
 		}
 		return m
@@ -315,5 +378,6 @@ func (e *dirEntry) encode(buf []byte) []byte {
 	for _, p := range e.ptrs {
 		buf = append(buf, byte(p+1))
 	}
+	buf = append(buf, e.svec[:]...)
 	return append(buf, e.vec, e.val, e.x)
 }

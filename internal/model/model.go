@@ -130,7 +130,11 @@ func New(cfg Config) (*Model, error) {
 	if cfg.Scheme == nil {
 		return nil, fmt.Errorf("model: no scheme factory")
 	}
-	es, err := parseScheme(cfg.Scheme(cfg.Clusters))
+	scheme, err := cfg.Scheme(cfg.Clusters)
+	if err != nil {
+		return nil, err
+	}
+	es, err := parseScheme(scheme)
 	if err != nil {
 		return nil, err
 	}

@@ -17,14 +17,14 @@ import (
 func TestEntryMirrorsCore(t *testing.T) {
 	var schemes []core.Scheme
 	for n := 2; n <= 4; n++ {
-		schemes = append(schemes, core.NewFullVector(n))
+		schemes = append(schemes, core.Must(core.NewFullVector(n)))
 		for i := 1; i <= n; i++ {
 			schemes = append(schemes,
-				core.NewLimitedBroadcast(i, n),
-				core.NewLimitedNoBroadcast(i, n, core.VictimOldest, 0),
-				core.NewSuperset(i, n))
+				core.Must(core.NewLimitedBroadcast(i, n)),
+				core.Must(core.NewLimitedNoBroadcast(i, n, core.VictimOldest, 0)),
+				core.Must(core.NewSuperset(i, n)))
 			for r := 1; r <= n; r++ {
-				schemes = append(schemes, core.NewCoarseVector(i, r, n))
+				schemes = append(schemes, core.Must(core.NewCoarseVector(i, r, n)))
 			}
 		}
 	}
@@ -58,7 +58,7 @@ func TestEntryMirrorsCore(t *testing.T) {
 				case k < 7:
 					desc = "SetDirty"
 					ce.SetDirty(n)
-					me.setDirty(n)
+					me.setDirty(es, n)
 				case k < 9:
 					if !ce.Dirty() {
 						continue
@@ -95,11 +95,11 @@ func TestParseScheme(t *testing.T) {
 		ptrs   int
 		region int
 	}{
-		{core.NewFullVector(3), kindFull, 3, 0},
-		{core.NewLimitedBroadcast(2, 4), kindBroadcast, 2, 0},
-		{core.NewLimitedNoBroadcast(1, 3, core.VictimOldest, 0), kindNoBroadcast, 1, 0},
-		{core.NewSuperset(2, 4), kindSuperset, 2, 0},
-		{core.NewCoarseVector(3, 2, 4), kindCoarse, 3, 2},
+		{core.Must(core.NewFullVector(3)), kindFull, 3, 0},
+		{core.Must(core.NewLimitedBroadcast(2, 4)), kindBroadcast, 2, 0},
+		{core.Must(core.NewLimitedNoBroadcast(1, 3, core.VictimOldest, 0)), kindNoBroadcast, 1, 0},
+		{core.Must(core.NewSuperset(2, 4)), kindSuperset, 2, 0},
+		{core.Must(core.NewCoarseVector(3, 2, 4)), kindCoarse, 3, 2},
 	} {
 		es, err := parseScheme(c.scheme)
 		if err != nil {
@@ -110,7 +110,7 @@ func TestParseScheme(t *testing.T) {
 				c.scheme.Name(), es.kind, es.ptrs, es.region, c.kind, c.ptrs, c.region)
 		}
 	}
-	if _, err := parseScheme(core.NewFullVector(8)); err == nil {
+	if _, err := parseScheme(core.Must(core.NewFullVector(8))); err == nil {
 		t.Errorf("parseScheme accepted 8 nodes")
 	}
 }

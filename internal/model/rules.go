@@ -382,7 +382,7 @@ func (a *applier) serveWrite(h, rc, b int) {
 	if e.dirty && int(e.owner) != rc {
 		// Ownership transfer between two remote clusters.
 		owner := int(e.owner)
-		e.setDirty(rc)
+		e.setDirty(a.m.es, rc)
 		a.gateLock(b)
 		a.send(kFwdWriteReq, h, owner, b, rc, fNone)
 		return
@@ -395,7 +395,7 @@ func (a *applier) serveWrite(h, rc, b int) {
 	}
 	targets := e.mask(a.m.es) &^ (1 << uint(rc)) &^ (1 << uint(h))
 	a.applyInval(h, b) // home-bus snoop, no messages
-	e.setDirty(rc)
+	e.setDirty(a.m.es, rc)
 	a.s.acks[rc] += uint8(bits.OnesCount8(targets))
 	a.gateLock(b)
 	a.send(kOwnershipReply, h, rc, b, -1, fNone)

@@ -154,7 +154,7 @@ func TestRACPanics(t *testing.T) {
 }
 
 func TestLockBasicAcquireRelease(t *testing.T) {
-	lt := NewLockTable(core.NewFullVector(8))
+	lt := NewLockTable(core.Must(core.NewFullVector(8)))
 	granted, woken := lt.Acquire(100, 2, 20)
 	if !granted || woken != nil {
 		t.Fatal("free lock should grant immediately")
@@ -172,7 +172,7 @@ func TestLockBasicAcquireRelease(t *testing.T) {
 }
 
 func TestLockDirectGrantFullVector(t *testing.T) {
-	lt := NewLockTable(core.NewFullVector(8))
+	lt := NewLockTable(core.Must(core.NewFullVector(8)))
 	lt.Acquire(100, 0, 0)
 	if granted, _ := lt.Acquire(100, 3, 30); granted {
 		t.Fatal("held lock should queue")
@@ -192,7 +192,7 @@ func TestLockDirectGrantFullVector(t *testing.T) {
 }
 
 func TestLockMultipleProcsSameNode(t *testing.T) {
-	lt := NewLockTable(core.NewFullVector(8))
+	lt := NewLockTable(core.Must(core.NewFullVector(8)))
 	lt.Acquire(100, 0, 0)
 	lt.Acquire(100, 3, 30)
 	lt.Acquire(100, 3, 31)
@@ -209,7 +209,7 @@ func TestLockMultipleProcsSameNode(t *testing.T) {
 func TestLockCoarseRegionWake(t *testing.T) {
 	// Coarse vector with 1 pointer, region 2: two waiters overflow into
 	// coarse mode; release wakes a whole region.
-	lt := NewLockTable(core.NewCoarseVector(1, 2, 8))
+	lt := NewLockTable(core.Must(core.NewCoarseVector(1, 2, 8)))
 	lt.Acquire(100, 0, 0)
 	lt.Acquire(100, 4, 40)
 	lt.Acquire(100, 6, 60) // overflow: waiters now coarse {region 2, region 3}
@@ -233,7 +233,7 @@ func TestLockCoarseRegionWake(t *testing.T) {
 }
 
 func TestLockNBEvictionWakes(t *testing.T) {
-	lt := NewLockTable(core.NewLimitedNoBroadcast(1, 8, core.VictimOldest, 1))
+	lt := NewLockTable(core.Must(core.NewLimitedNoBroadcast(1, 8, core.VictimOldest, 1)))
 	lt.Acquire(100, 0, 0)
 	lt.Acquire(100, 1, 10)
 	_, woken := lt.Acquire(100, 2, 20) // evicts node 1 from waiter entry
@@ -243,7 +243,7 @@ func TestLockNBEvictionWakes(t *testing.T) {
 }
 
 func TestReleaseFreeLockPanics(t *testing.T) {
-	lt := NewLockTable(core.NewFullVector(4))
+	lt := NewLockTable(core.Must(core.NewFullVector(4)))
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic")

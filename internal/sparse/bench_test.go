@@ -7,7 +7,7 @@ import (
 )
 
 func BenchmarkSparseAllocate(b *testing.B) {
-	d := New(Config{Scheme: core.NewFullVector(32), Entries: 1024, Assoc: 4, Policy: LRU})
+	d := New(Config{Scheme: core.Must(core.NewFullVector(32)), Entries: 1024, Assoc: 4, Policy: LRU})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d.Allocate(int64(i%4096), uint64(i))
@@ -15,7 +15,7 @@ func BenchmarkSparseAllocate(b *testing.B) {
 }
 
 func BenchmarkSparseLookupHit(b *testing.B) {
-	d := New(Config{Scheme: core.NewFullVector(32), Entries: 1024, Assoc: 4, Policy: LRU})
+	d := New(Config{Scheme: core.Must(core.NewFullVector(32)), Entries: 1024, Assoc: 4, Policy: LRU})
 	for i := int64(0); i < 1024; i++ {
 		d.Allocate(i, 0)
 	}
@@ -27,7 +27,7 @@ func BenchmarkSparseLookupHit(b *testing.B) {
 }
 
 func BenchmarkFullMapAllocate(b *testing.B) {
-	d := NewFullMap(core.NewFullVector(32), nil)
+	d := NewFullMap(core.Must(core.NewFullVector(32)), nil)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		d.Allocate(int64(i%4096), uint64(i))

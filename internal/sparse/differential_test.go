@@ -203,7 +203,7 @@ func FuzzSparseAlloc(f *testing.F) {
 		pol := ReplacePolicy(polByte % 3)
 		entries := 2 + int(geoByte%15)
 		assoc := 1 << (geoByte % 3)
-		d := New(Config{Scheme: core.NewFullVector(8), Entries: entries, Assoc: assoc, Policy: pol, Seed: 1})
+		d := New(Config{Scheme: core.Must(core.NewFullVector(8)), Entries: entries, Assoc: assoc, Policy: pol, Seed: 1})
 		ref := newRefDir(entries, assoc, pol, 1)
 		now := uint64(0)
 		for i, b := range ops {

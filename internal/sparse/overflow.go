@@ -62,13 +62,13 @@ func NewOverflow(cfg OverflowConfig) *Overflow {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	wideScheme := core.NewFullVector(cfg.Nodes)
+	wideScheme := core.Must(core.NewFullVector(cfg.Nodes))
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
 	d := &Overflow{
-		smallScheme: core.NewLimitedNoBroadcast(cfg.Ptrs, cfg.Nodes, core.VictimOldest, cfg.Seed),
+		smallScheme: core.Must(core.NewLimitedNoBroadcast(cfg.Ptrs, cfg.Nodes, core.VictimOldest, cfg.Seed)),
 		wideScheme:  wideScheme,
 		ptrs:        cfg.Ptrs,
 		entries:     make(map[int64]*ovEntry),

@@ -7,7 +7,7 @@ import (
 	"dircoh/internal/core"
 )
 
-func scheme() core.Scheme { return core.NewFullVector(16) }
+func scheme() core.Scheme { return core.Must(core.NewFullVector(16)) }
 
 func TestFullMapLookupAllocate(t *testing.T) {
 	d := NewFullMap(scheme(), nil)
