@@ -5,7 +5,7 @@
 // bytes — once with observability off and once with event tracing, span
 // recording, and queue sampling enabled on discard sinks, so the
 // instrumentation's cost is tracked per width alongside raw throughput.
-// Results go to a JSON file (BENCH_9.json by default) so successive PRs
+// Results go to a JSON file (BENCH_10.json by default) so successive PRs
 // can diff throughput on the same matrix.
 //
 // Besides the paper's 32-processor figure workloads, the matrix carries
@@ -20,9 +20,14 @@
 // host the widths > 1 cannot beat width 1, and the recorded host.cpus
 // says so.
 //
+// One extra cell benchmarks the campaign service's durability machinery:
+// the same pinned stress campaign run volatile (no persistence) and
+// durable (fsynced journal appends plus periodic checkpoint compaction),
+// reported as jobs/sec each way and the durable/volatile overhead ratio.
+//
 //	bench                   # full matrix, ~3 minutes
 //	bench -quick            # one cell, one repetition, for CI
-//	bench -o BENCH_9.json   # output path
+//	bench -o BENCH_10.json  # output path
 package main
 
 import (
@@ -30,9 +35,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
+	"dircoh/internal/campaign"
 	"dircoh/internal/cli"
 	"dircoh/internal/core"
 	"dircoh/internal/exp"
@@ -81,17 +88,32 @@ type speedup struct {
 	OverSerial map[string]float64 `json:"over_serial"` // width -> cps(width)/cps(0)
 }
 
+// campaignResult pins the campaign service's durability cost: one fixed
+// stress campaign run volatile (Root "", nothing persisted) and durable
+// (fsynced journal appends, checkpoint compaction every 2 jobs), best
+// wall time of each over the repetitions.
+type campaignResult struct {
+	Jobs               int     `json:"jobs"`
+	Reps               int     `json:"reps"`
+	VolatileSeconds    float64 `json:"volatile_seconds"`
+	VolatileJobsPerSec float64 `json:"volatile_jobs_per_sec"`
+	DurableSeconds     float64 `json:"durable_seconds"`
+	DurableJobsPerSec  float64 `json:"durable_jobs_per_sec"`
+	CheckpointOverhead float64 `json:"checkpoint_overhead"` // durable / volatile wall
+}
+
 type report struct {
-	Version    int       `json:"version"`
-	Tool       string    `json:"tool"`
-	Quick      bool      `json:"quick"`
-	GOOS       string    `json:"goos"`
-	GOARCH     string    `json:"goarch"`
-	CPUs       int       `json:"cpus"`
-	GoMaxProcs int       `json:"gomaxprocs"`
-	Widths     []int     `json:"shard_widths"`
-	Results    []result  `json:"results"`
-	Speedups   []speedup `json:"speedups"`
+	Version    int             `json:"version"`
+	Tool       string          `json:"tool"`
+	Quick      bool            `json:"quick"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	CPUs       int             `json:"cpus"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	Widths     []int           `json:"shard_widths"`
+	Results    []result        `json:"results"`
+	Speedups   []speedup       `json:"speedups"`
+	Campaign   *campaignResult `json:"campaign,omitempty"`
 }
 
 var schemes = []struct {
@@ -209,11 +231,73 @@ func measure(c cell, w *tango.Workload, shards, reps int) result {
 	return res
 }
 
+// campaignSpec is the pinned campaign cell: 8 stress trials, one job
+// each, serial so journal and checkpoint I/O sits on the critical path.
+func campaignSpec() campaign.Spec {
+	return campaign.Spec{
+		Kind: "stress", Name: "bench",
+		Stress: &campaign.StressSpec{Trials: 8, Seed: 11, Procs: []int{4}, Refs: 400, Blocks: 16},
+	}
+}
+
+// campaignWall runs the pinned campaign once under root ("" = volatile)
+// and returns the submit-to-done wall seconds.
+func campaignWall(root string) float64 {
+	m, err := campaign.Open(campaign.Config{Root: root, CheckpointEvery: 2, Parallel: 1})
+	if err != nil {
+		cli.Fatalf(tool, "campaign: %v", err)
+	}
+	defer m.Close()
+	start := time.Now()
+	c, err := m.Submit("bench", campaignSpec())
+	if err != nil {
+		cli.Fatalf(tool, "campaign: %v", err)
+	}
+	for {
+		st, ok := m.Get(c.ID)
+		if !ok {
+			cli.Fatalf(tool, "campaign %s vanished", c.ID)
+		}
+		switch st.State {
+		case campaign.StateDone:
+			return time.Since(start).Seconds()
+		case campaign.StateFailed:
+			cli.Fatalf(tool, "campaign failed: %+v", st.Failures)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// measureCampaign times the pinned campaign volatile and durable, best
+// wall of reps each.
+func measureCampaign(reps int) campaignResult {
+	scratch, err := os.MkdirTemp("", "bench-campaign")
+	if err != nil {
+		cli.Fatalf(tool, "campaign: %v", err)
+	}
+	defer os.RemoveAll(scratch)
+	spec := campaignSpec()
+	cr := campaignResult{Jobs: spec.Jobs(), Reps: reps}
+	for rep := 0; rep < reps; rep++ {
+		if wall := campaignWall(""); rep == 0 || wall < cr.VolatileSeconds {
+			cr.VolatileSeconds = wall
+		}
+		dir := filepath.Join(scratch, fmt.Sprintf("r%d", rep))
+		if wall := campaignWall(dir); rep == 0 || wall < cr.DurableSeconds {
+			cr.DurableSeconds = wall
+		}
+	}
+	cr.VolatileJobsPerSec = float64(cr.Jobs) / cr.VolatileSeconds
+	cr.DurableJobsPerSec = float64(cr.Jobs) / cr.DurableSeconds
+	cr.CheckpointOverhead = cr.DurableSeconds / cr.VolatileSeconds
+	return cr
+}
+
 func main() {
 	var (
 		quick = flag.Bool("quick", false, "one cell, one repetition (CI smoke)")
 		reps  = flag.Int("reps", 3, "repetitions per point (best wall time wins)")
-		out   = flag.String("o", "BENCH_9.json", "output JSON path ('-' for stdout)")
+		out   = flag.String("o", "BENCH_10.json", "output JSON path ('-' for stdout)")
 	)
 	flag.Parse()
 	if *quick {
@@ -225,7 +309,7 @@ func main() {
 
 	widths := []int{0, 1, 2, 4}
 	rep := report{
-		Version: 3, Tool: tool, Quick: *quick,
+		Version: 4, Tool: tool, Quick: *quick,
 		GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 		CPUs: runtime.NumCPU(), GoMaxProcs: runtime.GOMAXPROCS(0),
 		Widths: widths,
@@ -248,6 +332,11 @@ func main() {
 		}
 		rep.Speedups = append(rep.Speedups, sp)
 	}
+
+	cr := measureCampaign(*reps)
+	rep.Campaign = &cr
+	fmt.Fprintf(os.Stderr, "campaign %d jobs: volatile %.0f jobs/s, durable %.0f jobs/s, checkpoint overhead %.2fx\n",
+		cr.Jobs, cr.VolatileJobsPerSec, cr.DurableJobsPerSec, cr.CheckpointOverhead)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -21,6 +21,10 @@
 // exits zero only if every trial aborts with the watchdog's diagnostic
 // dump.
 //
+// The campaign machinery itself lives in internal/stress so the campaign
+// service (cmd/simd) can journal and resume stress runs trial by trial;
+// this command is flag parsing plus the self-test exit policy.
+//
 //	protostress                        # 64 clean trials, all cores
 //	protostress -trials 8 -seed 42     # quick bounded smoke
 //	protostress -fault drop-inval      # the mutation must be caught
@@ -30,281 +34,19 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strconv"
 	"strings"
 
-	"dircoh/internal/cache"
-	"dircoh/internal/check"
 	"dircoh/internal/cli"
 	"dircoh/internal/machine"
 	"dircoh/internal/mesh"
-	"dircoh/internal/replay"
-	"dircoh/internal/rng"
-	"dircoh/internal/runner"
-	"dircoh/internal/sim"
-	"dircoh/internal/sparse"
-	"dircoh/internal/tango"
+	"dircoh/internal/stress"
 )
 
 const tool = "protostress"
-
-// options is everything one stress campaign needs; tests drive
-// runTrials with a literal instead of flags.
-type options struct {
-	trials   int
-	seed     int64
-	procs    []int
-	refs     int
-	blocks   int
-	fault    machine.Fault
-	faults   string // "", a mesh.ParseFaults spec, or "campaign"
-	wedge    bool
-	check    bool // run the invariant checker (forces the serial engine)
-	shards   int  // sharded machine core width; effective only with check off
-	parallel int
-	verbose  bool
-}
-
-// seedFor derives trial i's seed from the campaign seed: a single-trial
-// campaign runs the seed exactly (so printed replay lines reproduce),
-// while multi-trial campaigns decorrelate the trials with a splitmix64
-// mix.
-func seedFor(campaign int64, i, trials int) int64 {
-	if trials == 1 {
-		return campaign
-	}
-	return rng.Mix(campaign, int64(i))
-}
-
-// schemeNames mirrors the roster in machine's scheme factories; the
-// trial rng indexes into it so a replayed seed picks the same scheme.
-var schemeNames = []string{"full", "cv", "b", "nb", "x", "tl"}
-
-var schemes = []machine.SchemeFactory{
-	machine.FullVec, machine.CoarseVec2, machine.Broadcast,
-	machine.NoBroadcast, machine.SupersetX, machine.TwoLevel,
-}
-
-var policies = []sparse.ReplacePolicy{sparse.LRU, sparse.Random, sparse.LRA}
-var policyNames = []string{"lru", "rand", "lra"}
-
-// trial is one randomized configuration plus its outcome.
-type trial struct {
-	id       int
-	seed     int64
-	desc     string
-	err      error
-	caught   []check.Violation
-	cohErr   error
-	execTime uint64
-}
-
-// failed reports whether the trial found anything wrong — a run error,
-// an invariant violation, or a quiescence-sweep failure.
-func (t *trial) failed() bool {
-	return t.err != nil || len(t.caught) > 0 || t.cohErr != nil
-}
-
-// stuck reports whether the trial was aborted by the liveness watchdog
-// (or the undeliverable-message sweep) with a diagnostic dump — the
-// outcome -wedge demands from every trial.
-func (t *trial) stuck() bool {
-	var se *machine.StuckError
-	return errors.As(t.err, &se) && se.Dump != ""
-}
-
-// stress builds the adversarial workload: per-proc streams mixing reads,
-// writes, lock-protected writes and a closing barrier over a small block
-// pool. Identical in spirit to the machine package's checker tests, but
-// parameterized by the trial rng so every trial stresses a different
-// sharing pattern.
-func stress(rng *rand.Rand, procs, refs, blocks int, sync bool) *tango.Workload {
-	addr := func(b int64) int64 { return b * 16 }
-	streams := make([][]tango.Ref, procs)
-	for p := range streams {
-		var b tango.Builder
-		for i := 0; i < refs; i++ {
-			blk := int64(rng.Intn(blocks))
-			switch rng.Intn(12) {
-			case 0, 1, 2, 3:
-				b.Write(addr(blk))
-			case 4:
-				if sync {
-					lock := addr(int64(blocks) + int64(rng.Intn(4)))
-					b.Lock(lock)
-					b.Write(addr(blk))
-					b.Unlock(lock)
-				} else {
-					b.Write(addr(blk))
-				}
-			default:
-				b.Read(addr(blk))
-			}
-		}
-		if sync {
-			b.Barrier(addr(int64(blocks) + 8))
-		}
-		streams[p] = b.Refs()
-	}
-	return &tango.Workload{Name: "stress", Streams: streams}
-}
-
-// drawFaults samples one per-trial fault mix for "-faults campaign":
-// drop/dup/delay/outage rates spanning none to aggressive, re-drawn until
-// at least one dimension is live.
-func drawFaults(rng *rand.Rand) mesh.FaultConfig {
-	rates := []float64{0, 1e-4, 1e-3, 1e-2}
-	delayPs := []float64{0, 0.01, 0.05, 0.2}
-	delayMax := []sim.Time{8, 32, 128}
-	outPs := []float64{0, 0.02, 0.1}
-	outLens := []sim.Time{64, 256}
-	for {
-		fc := mesh.FaultConfig{
-			Drop:   rates[rng.Intn(len(rates))],
-			Dup:    rates[rng.Intn(len(rates))],
-			DelayP: delayPs[rng.Intn(len(delayPs))],
-		}
-		if fc.DelayP > 0 {
-			fc.DelayMax = delayMax[rng.Intn(len(delayMax))]
-		}
-		if p := outPs[rng.Intn(len(outPs))]; p > 0 {
-			fc.OutageP = p
-			fc.OutageLen = outLens[rng.Intn(len(outLens))]
-			fc.OutageEvery = 2048
-		}
-		if fc.Enabled() {
-			return fc
-		}
-	}
-}
-
-// runTrial derives one configuration from the trial seed, runs it with
-// the checker on, and records everything the checker flagged.
-func runTrial(id int, seed int64, o options) trial {
-	rng := rand.New(rand.NewSource(seed))
-	t := trial{id: id, seed: seed}
-
-	si := rng.Intn(len(schemes))
-	procs := o.procs[rng.Intn(len(o.procs))]
-	ppc := 1
-	if procs%2 == 0 && rng.Intn(2) == 1 {
-		ppc = 2
-	}
-	sync := rng.Intn(3) > 0
-
-	cfg := machine.Config{
-		Procs:           procs,
-		ProcsPerCluster: ppc,
-		Block:           16,
-		Cache:           cache.Config{L1Size: 256, L1Assoc: 1, L2Size: 1024, L2Assoc: 2, Block: 16},
-		Scheme:          schemes[si],
-		Timing:          machine.DefaultTiming(),
-		Seed:            seed,
-		Check:           o.check,
-		Shards:          o.shards,
-		Fault:           o.fault,
-	}
-	dir := "fullmap"
-	switch rng.Intn(4) {
-	case 0: // full map
-	case 1, 2: // tiny sparse directory: constant replacement recalls
-		pi := rng.Intn(len(policies))
-		cfg.Sparse = machine.SparseConfig{
-			Entries: 4 << rng.Intn(3),
-			Assoc:   1 << rng.Intn(3),
-			Policy:  policies[pi],
-		}
-		dir = fmt.Sprintf("sparse%d/a%d/%s", cfg.Sparse.Entries, cfg.Sparse.Assoc, policyNames[pi])
-	case 3: // two-level overflow directory
-		cfg.Overflow = &machine.OverflowDirConfig{Ptrs: 1, WideEntries: 4, Assoc: 2}
-		dir = "overflow"
-	}
-	t.desc = fmt.Sprintf("scheme=%s procs=%d ppc=%d dir=%s sync=%v",
-		schemeNames[si], procs, ppc, dir, sync)
-
-	switch {
-	case o.wedge:
-		// Unrecoverable: every message dropped, tiny retry budget. The
-		// liveness watchdog must abort with its diagnostic dump.
-		cfg.Mesh.Faults = mesh.FaultConfig{Drop: 1}
-		cfg.Retry = machine.RetryConfig{MaxRetries: 2}
-		cfg.StuckBudget = 1 << 16
-	case o.faults == "campaign":
-		cfg.Mesh.Faults = drawFaults(rng)
-	case o.faults != "":
-		fc, err := mesh.ParseFaults(o.faults)
-		if err != nil {
-			t.err = err
-			return t
-		}
-		cfg.Mesh.Faults = fc
-	}
-	if cfg.Mesh.Faults.Enabled() {
-		t.desc += " faults=" + cfg.Mesh.Faults.String()
-	}
-
-	w := stress(rng, procs, o.refs, o.blocks, sync)
-	m, err := machine.New(cfg)
-	if err != nil {
-		t.err = err
-		return t
-	}
-	r, err := m.Run(w)
-	if err != nil {
-		t.err = err
-		return t
-	}
-	t.execTime = r.ExecTime
-	t.caught = m.Violations()
-	t.cohErr = m.CheckCoherence()
-	return t
-}
-
-// runTrials executes the campaign and returns the trials plus whether
-// anything was caught. It is the testable core of the command.
-func runTrials(o options) ([]trial, bool) {
-	pool := runner.New(o.parallel)
-	trials := runner.Collect(pool, o.trials, func(i int) trial {
-		return runTrial(i, seedFor(o.seed, i, o.trials), o)
-	})
-	caught := false
-	for i := range trials {
-		if trials[i].failed() {
-			caught = true
-		}
-	}
-	return trials, caught
-}
-
-func report(w *os.File, trials []trial, o options) {
-	for i := range trials {
-		t := &trials[i]
-		if o.verbose || t.failed() {
-			fmt.Fprintf(w, "trial %3d seed=%-12d %s  exec=%d cycles\n", t.id, t.seed, t.desc, t.execTime)
-		}
-		if t.err != nil {
-			fmt.Fprintf(w, "  run error: %v\n", t.err)
-		}
-		for _, v := range t.caught {
-			fmt.Fprintf(w, "  violation: %s\n", v)
-		}
-		if t.cohErr != nil {
-			fmt.Fprintf(w, "  quiescence sweep: %v\n", t.cohErr)
-		}
-		if t.failed() {
-			fmt.Fprintf(w, "  replay: %s\n", replay.Line{
-				Trials: 1, Seed: t.seed, Procs: o.procs, Refs: o.refs, Blocks: o.blocks,
-				Fault: o.fault.String(), Faults: o.faults, Wedge: o.wedge,
-				NoCheck: !o.check, Shards: o.shards, Verbose: true,
-			})
-		}
-	}
-}
 
 func parseProcs(s string) ([]int, error) {
 	var out []int
@@ -361,28 +103,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%s: note: -shards %d has no effect while the checker is on (serial fallback); add -check=false\n", tool, *shards)
 	}
 
-	o := options{
-		trials: *trialsN, seed: *seed, procs: procs, refs: *refs,
-		blocks: *blocks, fault: fault, faults: *faultsStr, wedge: *wedge,
-		check: *checkOn, shards: *shards,
-		parallel: *parallel, verbose: *verbose,
+	o := stress.Options{
+		Trials: *trialsN, Seed: *seed, Procs: procs, Refs: *refs,
+		Blocks: *blocks, Fault: fault, Faults: *faultsStr, Wedge: *wedge,
+		Check: *checkOn, Shards: *shards,
+		Parallel: *parallel, Verbose: *verbose,
 	}
-	trials, caught := runTrials(o)
-	report(os.Stdout, trials, o)
+	trials, caught := stress.RunTrials(o)
+	stress.Report(os.Stdout, trials, o)
 
 	nviol := 0
 	for i := range trials {
-		nviol += len(trials[i].caught)
+		nviol += len(trials[i].Caught)
 	}
 	fmt.Printf("%d trials, %d with findings, %d violations total, fault=%s\n",
-		len(trials), countFailed(trials), nviol, fault)
+		len(trials), stress.CountFailed(trials), nviol, fault)
 
-	if o.wedge {
+	if o.Wedge {
 		// Self-test mode: the liveness watchdog must catch every wedged
 		// trial and produce its diagnostic dump.
 		for i := range trials {
-			if !trials[i].stuck() {
-				cli.Fatalf(tool, "trial %d did not trip the liveness watchdog (err=%v)", trials[i].id, trials[i].err)
+			if !trials[i].Stuck() {
+				cli.Fatalf(tool, "trial %d did not trip the liveness watchdog (err=%v)", trials[i].ID, trials[i].Err)
 			}
 		}
 		fmt.Printf("watchdog caught all %d wedged trials with diagnostic dumps\n", len(trials))
@@ -392,8 +134,8 @@ func main() {
 		if caught {
 			cli.Fatalf(tool, "protocol invariant violations on an unmutated protocol")
 		}
-		if o.faults != "" {
-			fmt.Printf("clean: every transaction recovered under fault injection (-faults %s)\n", o.faults)
+		if o.Faults != "" {
+			fmt.Printf("clean: every transaction recovered under fault injection (-faults %s)\n", o.Faults)
 			return
 		}
 		fmt.Println("clean: no invariant violations")
@@ -404,14 +146,4 @@ func main() {
 		cli.Fatalf(tool, "injected fault %s went undetected", fault)
 	}
 	fmt.Printf("checker caught injected fault %s\n", fault)
-}
-
-func countFailed(trials []trial) int {
-	n := 0
-	for i := range trials {
-		if trials[i].failed() {
-			n++
-		}
-	}
-	return n
 }

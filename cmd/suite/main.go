@@ -14,95 +14,24 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"os"
 
-	"dircoh/internal/apps"
 	"dircoh/internal/cli"
 	"dircoh/internal/config"
+	"dircoh/internal/exp"
 	"dircoh/internal/machine"
 	"dircoh/internal/runner"
 	"dircoh/internal/stats"
-	"dircoh/internal/tango"
-	"dircoh/internal/trace"
 )
 
 const tool = "suite"
-
-var obsFlags *cli.Obs
 
 // outcome is one run's result or its first error.
 type outcome struct {
 	r   *machine.Result
 	err error
-}
-
-// loadWorkload resolves a suite entry's app field: a registered
-// application name, or (for unknown names) a trace file path.
-func loadWorkload(name string, procs int) (*tango.Workload, error) {
-	build, lookupErr := apps.Lookup(name)
-	if lookupErr == nil {
-		return build(procs), nil
-	}
-	tf, err := os.Open(name)
-	if err != nil {
-		var unknown *apps.UnknownAppError
-		if errors.As(lookupErr, &unknown) {
-			return nil, fmt.Errorf("%w and no such trace file", lookupErr)
-		}
-		return nil, err
-	}
-	defer tf.Close()
-	return trace.Read(tf)
-}
-
-// execute builds and runs one suite entry end to end.
-func execute(run config.RunSpec) outcome {
-	fail := func(err error) outcome {
-		return outcome{err: fmt.Errorf("%s: %w", run.Name, err)}
-	}
-	cfg, err := run.Machine.Build()
-	if err != nil {
-		return fail(err)
-	}
-	w, err := loadWorkload(run.App, cfg.Procs)
-	if err != nil {
-		return fail(err)
-	}
-	cfg.Trace = obsFlags.Tracer(run.Name)
-	cfg.Spans = obsFlags.Spans(run.Name)
-	cfg.SampleEvery = obsFlags.SampleEvery()
-	cfg.Mesh.Faults = obsFlags.Faults()
-	cfg.Deadline = obsFlags.Deadline()
-	cfg.Shards = obsFlags.Shards()
-	if obsFlags.Checking() {
-		cfg.Check = true
-		cfg.CheckSink = obsFlags.CheckSink(run.Name)
-	}
-	m, err := machine.New(cfg)
-	if err != nil {
-		return fail(err)
-	}
-	r, err := m.Run(w)
-	if err != nil {
-		return fail(err)
-	}
-	if err := m.CheckCoherence(); err != nil {
-		return fail(fmt.Errorf("coherence: %w", err))
-	}
-	if err := m.CheckErr(); err != nil {
-		return fail(err)
-	}
-	if err := m.FlushTrace(); err != nil {
-		return fail(fmt.Errorf("trace: %w", err))
-	}
-	if err := m.FlushSpans(); err != nil {
-		return fail(fmt.Errorf("spans: %w", err))
-	}
-	obsFlags.WriteMetrics(run.Name, m.MetricsSnapshot())
-	return outcome{r: r}
 }
 
 func main() {
@@ -111,7 +40,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-run summaries")
 		parallel = flag.Int("parallel", 0, "concurrent runs (0 = one per core)")
 	)
-	obsFlags = cli.NewObs(tool)
+	obsFlags := cli.NewObs(tool)
 	flag.Parse()
 	if *file == "" {
 		cli.Usagef(tool, "-f suite file required")
@@ -128,28 +57,31 @@ func main() {
 	cli.Check(tool, obsFlags.Start())
 	defer obsFlags.Stop()
 
-	results := runner.Map(runner.New(*parallel), s.Runs, execute)
+	// One exp.Session carries the observability hooks and shard width into
+	// every run (the same path the campaign service uses, so outputs
+	// match); the suite's own pool provides the cross-run concurrency, so
+	// the session executes each entry serially.
+	ob := exp.Observer{Tracer: obsFlags.Tracer, Spans: obsFlags.Spans, Metrics: obsFlags.WriteMetrics, SampleEvery: obsFlags.SampleEvery(), Faults: obsFlags.Faults(), Deadline: obsFlags.Deadline(), Live: obsFlags.Live()}
+	if obsFlags.Checking() {
+		ob.Check = obsFlags.CheckSink
+	}
+	sess := exp.NewSession(ob, 1, obsFlags.Shards())
 
-	tb := stats.NewTable("run", "scheme", "exec", "msgs", "requests", "replies", "inval+ack", "repl")
+	results := runner.Map(runner.New(*parallel), s.Runs, func(run config.RunSpec) outcome {
+		r, err := sess.ExecuteSpec(run)
+		return outcome{r: r, err: err}
+	})
+
+	tb := stats.NewTable(exp.SuiteTableHeader...)
 	for i, run := range s.Runs {
 		out := results[i]
 		if out.err != nil {
 			cli.Fatalf(tool, "%v", out.err)
 		}
-		r := out.r
 		if *verbose {
-			fmt.Printf("%s:\n%s\n", run.Name, r.Summary())
+			fmt.Printf("%s:\n%s\n", run.Name, out.r.Summary())
 		}
-		tb.AddRow(
-			run.Name,
-			r.Scheme,
-			fmt.Sprintf("%d", r.ExecTime),
-			fmt.Sprintf("%d", r.Msgs.Total()),
-			fmt.Sprintf("%d", r.Msgs[stats.Request]),
-			fmt.Sprintf("%d", r.Msgs[stats.Reply]),
-			fmt.Sprintf("%d", r.Msgs.InvalAck()),
-			fmt.Sprintf("%d", r.Replacements),
-		)
+		tb.AddRow(exp.SuiteRowCells(run.Name, out.r)...)
 	}
 	fmt.Println(tb)
 }

@@ -1,90 +1,21 @@
 package main
 
 import (
-	"fmt"
 	"io"
-	"strings"
 
-	"dircoh/internal/analytic"
 	"dircoh/internal/exp"
 )
 
-func want(only, key string) bool {
-	if only == "" || only == "all" {
-		return true
-	}
-	for _, k := range strings.Split(only, ",") {
-		if strings.TrimSpace(k) == key {
-			return true
-		}
-	}
-	return false
-}
+// want reports whether the -only list selects the section key; the logic
+// lives in exp.SectionEnabled so the campaign service shares it.
+func want(only, key string) bool { return exp.SectionEnabled(only, key) }
 
 // runSweep renders the selected sections to w. It is deterministic for a
 // fixed (only, procs, trials) triple at any parallelism, which the
 // golden-file and determinism tests rely on — keep wall-clock output out
-// of here (the footer lives in main).
+// of here (the footer lives in main). The section renderers moved to
+// exp.Session so the campaign service can journal and resume a sweep
+// section by section; this wrapper keeps the command and its goldens.
 func runSweep(s *exp.Session, w io.Writer, only string, procs, trials int) {
-	section := func(title string) {
-		fmt.Fprintf(w, "\n===== %s =====\n\n", title)
-	}
-
-	if want(only, "2") {
-		section("Figure 2(a): average invalidations vs sharers, 32 processors")
-		fmt.Fprintln(w, analytic.Fig2Table(32, trials, 1))
-		section("Figure 2(b): average invalidations vs sharers, 64 processors")
-		fmt.Fprintln(w, analytic.Fig2Table(64, trials, 1))
-	}
-	if want(only, "t1") {
-		section("Table 1: sample machine configurations")
-		fmt.Fprintln(w, analytic.Table1())
-	}
-	if want(only, "t2") {
-		section("Table 2: general application characteristics")
-		fmt.Fprintln(w, s.Table2(procs))
-	}
-	if want(only, "3-6") {
-		section("Figures 3-6: invalidation distributions, LocusRoute")
-		for _, run := range s.Figs3to6(procs) {
-			fmt.Fprint(w, run.Result.InvalHist.Render(run.Label))
-			fmt.Fprintln(w)
-		}
-	}
-	if want(only, "7-10") {
-		for i, app := range []string{"LU", "DWF", "MP3D", "LocusRoute"} {
-			section(fmt.Sprintf("Figure %d: performance for %s", 7+i, app))
-			_, tb := s.SchemeComparison(app, procs)
-			fmt.Fprintln(w, tb)
-		}
-	}
-	if want(only, "11-12") {
-		section("Figure 11: sparse directory performance for LU")
-		_, tb := s.SparsePerformance("LU", procs)
-		fmt.Fprintln(w, tb)
-		section("Figure 12: sparse directory performance for DWF")
-		_, tb = s.SparsePerformance("DWF", procs)
-		fmt.Fprintln(w, tb)
-	}
-	if want(only, "13") {
-		section("Figure 13: effect of associativity in sparse directory (LU)")
-		_, tb := s.AssocSweep("LU", procs)
-		fmt.Fprintln(w, tb)
-	}
-	if want(only, "14") {
-		section("Figure 14: effect of replacement policy in sparse directory (LU)")
-		_, tb := s.PolicySweep("LU", procs)
-		fmt.Fprintln(w, tb)
-	}
-	if want(only, "scale") {
-		section("Beyond 64 processors: Table 1 extended to 4096-cluster machines")
-		fmt.Fprintln(w, analytic.Table1For([]int{64, 256, 1024, 4096}))
-		section("Beyond 64 processors: directory entry cost per scheme")
-		fmt.Fprintln(w, analytic.EntryCostTable([]int{64, 256, 1024, 4096}))
-	}
-	if want(only, "scale-sim") {
-		section("Beyond 64 processors: simulated traffic at 256-4096 clusters")
-		_, tb := s.ScaleStudy(exp.ScaleAxis, 3)
-		fmt.Fprintln(w, tb)
-	}
+	s.Sweep(w, only, procs, trials)
 }

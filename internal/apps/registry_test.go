@@ -3,6 +3,7 @@ package apps
 import (
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -24,12 +25,17 @@ func TestAllIncludesExtensions(t *testing.T) {
 	if !found {
 		t.Fatalf("All() = %v, want FFT included", all)
 	}
-	if len(all) != len(Names())+1 {
-		t.Fatalf("All() = %v: want paper set plus FFT", all)
+	if len(all) != len(Names())+2 {
+		t.Fatalf("All() = %v: want paper set plus FFT and trace", all)
 	}
 }
 
 func TestLookupRoundTrip(t *testing.T) {
+	// The trace app replays files from its configured directory; point it
+	// at a temporary four-core trace for the round trip.
+	dir := writeTraceDir(t, "RD 0\n", "RD 8\n", "RD 16\n", "RD 24\n")
+	prev := SetTraceDir(dir)
+	defer SetTraceDir(prev)
 	for _, name := range All() {
 		f, err := Lookup(name)
 		if err != nil {
@@ -38,6 +44,12 @@ func TestLookupRoundTrip(t *testing.T) {
 		w := f(4)
 		if w == nil || w.Procs() != 4 {
 			t.Fatalf("%s: factory built %v", name, w)
+		}
+		if name == "trace" {
+			if !strings.HasPrefix(w.Name, "trace:") {
+				t.Errorf("trace: workload reports Name %q", w.Name)
+			}
+			continue
 		}
 		if w.Name != name {
 			t.Errorf("%s: workload reports Name %q", name, w.Name)

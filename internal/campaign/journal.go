@@ -1,0 +1,215 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Campaign directory layout, under <root>/<id>/:
+//
+//	spec.json       what was submitted (atomic write, before anything runs)
+//	journal.jsonl   one record per job completed since the last checkpoint,
+//	                appended (and by default fsynced) as each job finishes
+//	checkpoint.json every known outcome, rewritten atomically every
+//	                CheckpointEvery journal appends; the journal restarts
+//	result.txt      assembled output (atomic write; marks success)
+//	failed.json     typed failure records (atomic write; marks failure)
+//	obs.jsonl       live metrics stream, one line per finished run
+//
+// Recovery after any crash = checkpoint + journal replay. A torn journal
+// tail — the partial line a SIGKILL can leave — is dropped, costing at
+// most a re-run of the jobs whose records were cut, never correctness.
+const (
+	specFile       = "spec.json"
+	journalFile    = "journal.jsonl"
+	checkpointFile = "checkpoint.json"
+	resultFile     = "result.txt"
+	failedFile     = "failed.json"
+	obsFile        = "obs.jsonl"
+)
+
+// Failure is the typed record of a job the campaign gave up on.
+type Failure struct {
+	Job      int    `json:"job"`
+	Label    string `json:"label"`
+	Kind     string `json:"kind"` // "stuck" (quarantined, not retried) or "error"
+	Msg      string `json:"msg"`
+	Attempts int    `json:"attempts"`
+}
+
+// record is one journal entry: job i finished, successfully (Out) or
+// terminally not (Fail).
+type record struct {
+	Job      int      `json:"job"`
+	Attempts int      `json:"attempts"`
+	Out      string   `json:"out,omitempty"`
+	Fail     *Failure `json:"fail,omitempty"`
+}
+
+// specEnvelope is what spec.json holds: the spec plus the submission
+// identity a restarted server needs to rebuild its tenant accounting.
+type specEnvelope struct {
+	ID     string `json:"id"`
+	Tenant string `json:"tenant,omitempty"`
+	Spec   Spec   `json:"spec"`
+}
+
+// checkpoint is the compacted journal: every outcome known at write time.
+type checkpoint struct {
+	Records []record `json:"records"`
+}
+
+// atomicWrite writes data to path via a temp file in the same directory,
+// fsync, and rename, so the file is either absent or complete — never
+// torn — whatever kills the process.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a rename into it survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// journal appends completed-job records to one campaign's journal file.
+type journal struct {
+	f    *os.File
+	sync bool // fsync after every append
+}
+
+// openJournal opens (creating if needed) the campaign's journal for
+// appending.
+func openJournal(dir string, sync bool) (*journal, error) {
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journal{f: f, sync: sync}, nil
+}
+
+// append writes one record as a single line. The line is written with one
+// Write call, so concurrent appenders (jobs finishing on different
+// workers serialize on the caller's lock, but the kernel still sees whole
+// lines) and crashes can tear at most the final line.
+func (j *journal) append(rec record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	if j.sync {
+		return j.f.Sync()
+	}
+	return nil
+}
+
+// reset truncates the journal after its contents were folded into a
+// checkpoint.
+func (j *journal) reset() error {
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	_, err := j.f.Seek(0, 0)
+	return err
+}
+
+func (j *journal) close() error { return j.f.Close() }
+
+// loadOutcomes reconstructs a campaign's known job outcomes from its
+// checkpoint plus journal replay. Journal decode errors stop the replay
+// at the last good record rather than failing the load: a torn tail is
+// the expected SIGKILL artifact, and the cut jobs simply re-run.
+func loadOutcomes(dir string) (map[int]record, error) {
+	outcomes := make(map[int]record)
+	if data, err := os.ReadFile(filepath.Join(dir, checkpointFile)); err == nil {
+		var cp checkpoint
+		if err := json.Unmarshal(data, &cp); err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", checkpointFile, err)
+		}
+		for _, rec := range cp.Records {
+			outcomes[rec.Job] = rec
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	jf, err := os.Open(filepath.Join(dir, journalFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return outcomes, nil
+		}
+		return nil, err
+	}
+	defer jf.Close()
+	sc := bufio.NewScanner(jf)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn or corrupt tail: keep everything before it
+		}
+		outcomes[rec.Job] = rec
+	}
+	return outcomes, nil
+}
+
+// writeCheckpoint compacts the outcome set into checkpoint.json
+// (atomically) and truncates the journal. Records are written in job
+// order so the file is diffable.
+func writeCheckpoint(dir string, j *journal, outcomes map[int]record) error {
+	cp := checkpoint{Records: sortedRecords(outcomes)}
+	data, err := json.MarshalIndent(&cp, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := atomicWrite(filepath.Join(dir, checkpointFile), data); err != nil {
+		return err
+	}
+	return j.reset()
+}
+
+// sortedRecords flattens the outcome map in job order.
+func sortedRecords(outcomes map[int]record) []record {
+	recs := make([]record, 0, len(outcomes))
+	for _, rec := range outcomes {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(a, b int) bool { return recs[a].Job < recs[b].Job })
+	return recs
+}

@@ -12,6 +12,7 @@
 package cli
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -31,6 +32,32 @@ import (
 	"dircoh/internal/obs"
 	"dircoh/internal/sim"
 )
+
+// BindError reports that the -pprof (or any command's listen) address
+// could not be bound — most often because another instance already holds
+// it. It wraps the net error so callers can still reach the syscall
+// detail with errors.As.
+type BindError struct {
+	Addr string
+	Err  error
+}
+
+func (e *BindError) Error() string { return fmt.Sprintf("cannot bind %s: %v", e.Addr, e.Err) }
+func (e *BindError) Unwrap() error { return e.Err }
+
+// Listen binds addr, wrapping failures in *BindError so every command
+// reports an already-taken address the same way.
+func Listen(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, &BindError{Addr: addr, Err: err}
+	}
+	return ln, nil
+}
+
+// shutdownTimeout bounds how long Stop waits for in-flight -pprof
+// requests to finish before closing connections hard.
+const shutdownTimeout = 5 * time.Second
 
 // Fatalf prints "tool: message" to stderr and exits with status 1 — the
 // one way commands report runtime failures.
@@ -77,6 +104,8 @@ type Obs struct {
 	serverOn bool      // EnableServer was called (the -pprof flag exists)
 	live     *obs.Live // live-run registry the server reads; nil until Start
 	ln       net.Listener
+	srv      *http.Server
+	srvDone  chan struct{} // closed when the serve loop returns
 
 	mu      sync.Mutex // serializes metrics blocks from concurrent runs
 	metrics *os.File
@@ -234,13 +263,16 @@ func (o *Obs) Start() error {
 		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 		mux.HandleFunc("/metrics", o.serveMetrics)
 		mux.HandleFunc("/progress", o.serveProgress)
-		ln, err := net.Listen("tcp", o.pprofAddr)
+		ln, err := Listen(o.pprofAddr)
 		if err != nil {
-			return fmt.Errorf("-pprof %s: %w", o.pprofAddr, err)
+			return fmt.Errorf("-pprof: %w", err)
 		}
 		o.ln = ln
+		o.srv = &http.Server{Handler: mux}
+		o.srvDone = make(chan struct{})
 		go func() {
-			if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+			defer close(o.srvDone)
+			if err := o.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "%s: pprof server: %v\n", o.tool, err)
 			}
 		}()
@@ -253,8 +285,17 @@ func (o *Obs) Start() error {
 // profile if one was requested. Errors are fatal: a truncated trace or
 // profile silently accepted would defeat the point of asking for one.
 func (o *Obs) Stop() {
-	if o.ln != nil {
-		o.ln.Close()
+	if o.srv != nil {
+		// Let in-flight /metrics and /debug/pprof requests finish rather
+		// than abandoning the listener; past the deadline, close hard.
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+		if err := o.srv.Shutdown(ctx); err != nil {
+			o.srv.Close()
+		}
+		cancel()
+		<-o.srvDone
+		o.srv = nil
+		o.srvDone = nil
 		o.ln = nil
 	}
 	if o.cpu != nil {

@@ -2,9 +2,11 @@ package cli
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 
 	"dircoh/internal/obs"
@@ -110,5 +112,80 @@ func TestLiveServerEndpoints(t *testing.T) {
 	o.Stop()
 	if o.ServerAddr() != "" {
 		t.Fatal("ServerAddr nonempty after Stop")
+	}
+}
+
+// TestStopDrainsInFlightRequest: Stop must let a request already being
+// served finish (http.Server.Shutdown semantics) instead of abandoning
+// the listener with connections open.
+func TestStopDrainsInFlightRequest(t *testing.T) {
+	o := &Obs{tool: "clitest", pprofAddr: "127.0.0.1:0"}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := o.ServerAddr()
+
+	// Park a request inside a handler, then Stop concurrently.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	o.srv.Handler.(*http.ServeMux).HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "done")
+	})
+
+	got := make(chan string, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/slow", addr))
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		got <- string(body)
+	}()
+	<-entered
+
+	stopped := make(chan struct{})
+	go func() { o.Stop(); close(stopped) }()
+
+	// New connections are refused once Shutdown has begun, but the parked
+	// request must still complete.
+	select {
+	case <-stopped:
+		t.Fatal("Stop returned while a request was in flight")
+	default:
+	}
+	close(release)
+	if body := <-got; body != "done" {
+		t.Fatalf("in-flight request got %q, want %q", body, "done")
+	}
+	<-stopped
+	if o.ServerAddr() != "" {
+		t.Fatal("ServerAddr nonempty after Stop")
+	}
+}
+
+// TestStartBindError: a second server on the same address must fail with
+// a typed *BindError naming the address.
+func TestStartBindError(t *testing.T) {
+	o := &Obs{tool: "clitest", pprofAddr: "127.0.0.1:0"}
+	if err := o.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer o.Stop()
+
+	o2 := &Obs{tool: "clitest", pprofAddr: o.ServerAddr()}
+	err := o2.Start()
+	var be *BindError
+	if !errors.As(err, &be) {
+		t.Fatalf("second Start = %v, want *BindError", err)
+	}
+	if be.Addr != o.ServerAddr() {
+		t.Fatalf("BindError.Addr = %q, want %q", be.Addr, o.ServerAddr())
+	}
+	if !strings.Contains(err.Error(), "cannot bind") {
+		t.Fatalf("error text %q lacks bind detail", err)
 	}
 }

@@ -80,10 +80,43 @@ func SparseWorkload(app string, procs int) *tango.Workload {
 	return Workload(app, procs)
 }
 
+// RunError is the typed panic value the experiment drivers raise when a
+// run fails: it names the run and the failed stage and wraps the
+// underlying cause, so supervisors that recover driver panics (the
+// campaign service) can classify the failure — errors.As through Unwrap
+// reaches a *machine.StuckError for wedged or deadline-aborted runs.
+type RunError struct {
+	Run   string // "app/label" display name
+	Stage string // "build", "run", "coherence", "check", "trace", "spans"
+	Err   error
+}
+
+func (e *RunError) Error() string {
+	if e.Stage == "run" || e.Stage == "build" {
+		return fmt.Sprintf("exp: %s: %v", e.Run, e.Err)
+	}
+	return fmt.Sprintf("exp: %s %s: %v", e.Run, e.Stage, e.Err)
+}
+
+func (e *RunError) Unwrap() error { return e.Err }
+
 func (s *Session) runWorkload(app string, w *tango.Workload, cfg machine.Config, label string) Run {
+	r, err := s.runConfigured(app+"/"+label, w, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return Run{App: app, Label: label, Result: r}
+}
+
+// runConfigured executes one machine run under the session's observer and
+// returns a typed *RunError on any failure instead of panicking — the
+// error-propagating core runWorkload and ExecuteSpec share.
+func (s *Session) runConfigured(name string, w *tango.Workload, cfg machine.Config) (*machine.Result, error) {
 	start := time.Now()
 	ob := s.Observer()
-	name := app + "/" + label
+	fail := func(stage string, err error) error {
+		return &RunError{Run: name, Stage: stage, Err: err}
+	}
 	var tr *obs.Tracer
 	if ob.Tracer != nil {
 		tr = ob.Tracer(name)
@@ -109,29 +142,29 @@ func (s *Session) runWorkload(app string, w *tango.Workload, cfg machine.Config,
 	cfg.Shards = s.Shards()
 	m, err := machine.New(cfg)
 	if err != nil {
-		panic(err)
+		return nil, fail("build", err)
 	}
 	r, err := m.Run(w)
 	if err != nil {
-		panic(fmt.Sprintf("exp: %s/%s: %v", app, label, err))
+		return nil, fail("run", err)
 	}
 	if err := m.CheckCoherence(); err != nil {
-		panic(fmt.Sprintf("exp: %s/%s coherence: %v", app, label, err))
+		return nil, fail("coherence", err)
 	}
 	if err := m.CheckErr(); err != nil {
-		panic(fmt.Sprintf("exp: %s/%s: %v", app, label, err))
+		return nil, fail("check", err)
 	}
 	if err := tr.Flush(); err != nil {
-		panic(fmt.Sprintf("exp: %s trace: %v", name, err))
+		return nil, fail("trace", err)
 	}
 	if err := sp.Flush(); err != nil {
-		panic(fmt.Sprintf("exp: %s spans: %v", name, err))
+		return nil, fail("spans", err)
 	}
 	if ob.Metrics != nil {
 		ob.Metrics(name, m.MetricsSnapshot())
 	}
 	s.meter.Record(time.Since(start), uint64(r.ExecTime))
-	return Run{App: app, Label: label, Result: r}
+	return r, nil
 }
 
 // Table2 reproduces Table 2: general application characteristics at the

@@ -208,6 +208,30 @@ func TestJSONLSink(t *testing.T) {
 	}
 }
 
+// TestJSONLSinkFlush: Flush pushes completed lines through the bufio
+// layer without closing, so a reader tailing the output sees them; Sub
+// views flush the shared writer.
+func TestJSONLSinkFlush(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	sub := sink.Sub("r")
+	if err := sub.WriteLine(`{"k":1}`); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("line reached the writer before Flush: %q", buf.String())
+	}
+	if err := sub.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "{\"k\":1}\n" {
+		t.Fatalf("after Flush: %q", got)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestEventKindNamesRoundTrip(t *testing.T) {
 	for k := EventKind(0); k < numEventKinds; k++ {
 		got, err := ParseEventKind(k.String())

@@ -201,6 +201,20 @@ func (s *JSONLSink) WriteLine(line string) error {
 	return sh.err
 }
 
+// Flush pushes buffered output through to the underlying writer without
+// closing it, so a reader tailing the file (the campaign service's
+// /stream endpoint) sees every completed line. Flushing any Sub view
+// flushes the shared writer.
+func (s *JSONLSink) Flush() error {
+	sh := s.shared
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.w.Flush(); err != nil && sh.err == nil {
+		sh.err = err
+	}
+	return sh.err
+}
+
 // Close flushes buffered output and closes the underlying writer if the
 // sink owns it. Closing any Sub view closes the shared writer.
 func (s *JSONLSink) Close() error {

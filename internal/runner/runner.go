@@ -13,6 +13,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -50,16 +51,43 @@ type span struct {
 // panic in any job is re-raised in the caller after the remaining
 // workers drain.
 func Collect[R any](p *Pool, n int, job func(i int) R) []R {
+	out, _ := CollectCtx(nil, p, n, job)
+	return out
+}
+
+// CollectCtx is Collect with cooperative cancellation: once ctx is done,
+// workers finish the job they are currently executing but claim no new
+// ones — the "finish the in-flight window" discipline graceful drains
+// need. It returns the (partial) results plus a mask of which jobs
+// actually ran; with a nil or never-cancelled context every job runs and
+// the call is exactly Collect.
+func CollectCtx[R any](ctx context.Context, p *Pool, n int, job func(i int) R) ([]R, []bool) {
 	out := make([]R, n)
+	ran := make([]bool, n)
+	cancelled := func() bool {
+		if ctx == nil {
+			return false
+		}
+		select {
+		case <-ctx.Done():
+			return true
+		default:
+			return false
+		}
+	}
 	w := p.Workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if cancelled() {
+				break
+			}
 			out[i] = job(i)
+			ran[i] = true
 		}
-		return out
+		return out, ran
 	}
 
 	spans := make([]span, w)
@@ -71,6 +99,9 @@ func Collect[R any](p *Pool, n int, job func(i int) R) []R {
 	// or — once that drains — the tail half (at least one job) of the
 	// victim span with the most work left.
 	take := func(k int) (int, bool) {
+		if cancelled() {
+			return 0, false
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		s := &spans[k]
@@ -114,6 +145,7 @@ func Collect[R any](p *Pool, n int, job func(i int) R) []R {
 					return
 				}
 				out[i] = job(i)
+				ran[i] = true
 			}
 		}(k)
 	}
@@ -121,7 +153,7 @@ func Collect[R any](p *Pool, n int, job func(i int) R) []R {
 	if panicked != nil {
 		panic(panicked)
 	}
-	return out
+	return out, ran
 }
 
 // Map runs fn over every item concurrently and returns the results in

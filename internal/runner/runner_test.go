@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"sync/atomic"
@@ -107,5 +108,71 @@ func TestMap(t *testing.T) {
 	got := Map(New(3), items, func(s string) int { return len(s) })
 	if !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
 		t.Fatalf("Map = %v", got)
+	}
+}
+
+// TestCollectCtxUncancelled: with a background context every job runs and
+// results match Collect exactly.
+func TestCollectCtxUncancelled(t *testing.T) {
+	p := New(4)
+	out, ran := CollectCtx(context.Background(), p, 50, func(i int) int { return i * i })
+	for i, r := range out {
+		if r != i*i {
+			t.Fatalf("job %d: got %d", i, r)
+		}
+		if !ran[i] {
+			t.Fatalf("job %d not marked ran", i)
+		}
+	}
+}
+
+// TestCollectCtxCancel: cancelling mid-run stops new claims; in-flight
+// jobs finish and are marked ran, unclaimed jobs are not.
+func TestCollectCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	p := New(2)
+	out, ran := CollectCtx(ctx, p, 100, func(i int) int {
+		if started.Add(1) == 5 {
+			cancel()
+		}
+		return i + 1
+	})
+	ranN := 0
+	for i := range ran {
+		if ran[i] {
+			ranN++
+			if out[i] != i+1 {
+				t.Fatalf("job %d ran but result %d", i, out[i])
+			}
+		} else if out[i] != 0 {
+			t.Fatalf("job %d did not run but result %d", i, out[i])
+		}
+	}
+	if ranN == 0 || ranN == 100 {
+		t.Fatalf("expected a partial run, got %d/100", ranN)
+	}
+}
+
+// TestCollectCtxCancelSerial: the serial path (1 worker) honors
+// cancellation between jobs too.
+func TestCollectCtxCancelSerial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	_, ran := CollectCtx(ctx, New(1), 10, func(i int) int {
+		n++
+		if n == 3 {
+			cancel()
+		}
+		return i
+	})
+	ranN := 0
+	for _, r := range ran {
+		if r {
+			ranN++
+		}
+	}
+	if ranN != 3 {
+		t.Fatalf("expected 3 jobs before cancel, got %d", ranN)
 	}
 }

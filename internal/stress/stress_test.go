@@ -1,4 +1,4 @@
-package main
+package stress
 
 import (
 	"errors"
@@ -8,19 +8,19 @@ import (
 	"dircoh/internal/machine"
 )
 
-func smallOpts() options {
-	return options{trials: 6, seed: 21, procs: []int{4, 6}, refs: 150, blocks: 16, check: true}
+func smallOpts() Options {
+	return Options{Trials: 6, Seed: 21, Procs: []int{4, 6}, Refs: 150, Blocks: 16, Check: true}
 }
 
 // TestCleanCampaign: an unmutated protocol must survive the stress grid
 // with zero findings.
 func TestCleanCampaign(t *testing.T) {
-	trials, caught := runTrials(smallOpts())
+	trials, caught := RunTrials(smallOpts())
 	if caught {
 		for _, tr := range trials {
-			if tr.failed() {
+			if tr.Failed() {
 				t.Errorf("trial %d (%s): err=%v violations=%v coherence=%v",
-					tr.id, tr.desc, tr.err, tr.caught, tr.cohErr)
+					tr.ID, tr.Desc, tr.Err, tr.Caught, tr.CohErr)
 			}
 		}
 		t.Fatal("clean protocol produced findings")
@@ -32,11 +32,11 @@ func TestCleanCampaign(t *testing.T) {
 func TestFaultsCaught(t *testing.T) {
 	for _, f := range []machine.Fault{machine.FaultDropInval, machine.FaultSkipRecallInval} {
 		o := smallOpts()
-		o.trials = 16
-		o.fault = f
-		_, caught := runTrials(o)
+		o.Trials = 16
+		o.Fault = f
+		_, caught := RunTrials(o)
 		if !caught {
-			t.Errorf("fault %s went undetected in %d trials", f, o.trials)
+			t.Errorf("fault %s went undetected in %d trials", f, o.Trials)
 		}
 	}
 }
@@ -45,11 +45,11 @@ func TestFaultsCaught(t *testing.T) {
 // reproduces the identical configuration and execution time.
 func TestReplayDeterminism(t *testing.T) {
 	o := smallOpts()
-	first := runTrial(3, seedFor(o.seed, 3, o.trials), o)
-	replay := runTrial(0, first.seed, o)
-	if replay.desc != first.desc || replay.execTime != first.execTime {
+	first := RunTrial(3, SeedFor(o.Seed, 3, o.Trials), o)
+	replay := RunTrial(0, first.Seed, o)
+	if replay.Desc != first.Desc || replay.ExecTime != first.ExecTime {
 		t.Fatalf("replay diverged: %q exec=%d vs %q exec=%d",
-			first.desc, first.execTime, replay.desc, replay.execTime)
+			first.Desc, first.ExecTime, replay.Desc, replay.ExecTime)
 	}
 }
 
@@ -58,21 +58,21 @@ func TestReplayDeterminism(t *testing.T) {
 // invariant violations.
 func TestFaultCampaignClean(t *testing.T) {
 	o := smallOpts()
-	o.trials = 8
-	o.faults = "campaign"
-	trials, caught := runTrials(o)
+	o.Trials = 8
+	o.Faults = "campaign"
+	trials, caught := RunTrials(o)
 	if caught {
 		for _, tr := range trials {
-			if tr.failed() {
+			if tr.Failed() {
 				t.Errorf("trial %d (%s): err=%v violations=%v coherence=%v",
-					tr.id, tr.desc, tr.err, tr.caught, tr.cohErr)
+					tr.ID, tr.Desc, tr.Err, tr.Caught, tr.CohErr)
 			}
 		}
 		t.Fatal("fault campaign produced findings")
 	}
 	for _, tr := range trials {
-		if tr.desc == "" || !strings.Contains(tr.desc, "faults=") {
-			t.Fatalf("trial %d desc lacks fault spec: %q", tr.id, tr.desc)
+		if tr.Desc == "" || !strings.Contains(tr.Desc, "faults=") {
+			t.Fatalf("trial %d desc lacks fault spec: %q", tr.ID, tr.Desc)
 		}
 	}
 }
@@ -81,14 +81,14 @@ func TestFaultCampaignClean(t *testing.T) {
 // draws the identical fault mix and execution time.
 func TestFaultCampaignReplay(t *testing.T) {
 	o := smallOpts()
-	o.trials = 4
-	o.faults = "campaign"
-	first := runTrial(2, seedFor(o.seed, 2, o.trials), o)
-	o.trials = 1
-	replay := runTrial(0, first.seed, o)
-	if replay.desc != first.desc || replay.execTime != first.execTime {
+	o.Trials = 4
+	o.Faults = "campaign"
+	first := RunTrial(2, SeedFor(o.Seed, 2, o.Trials), o)
+	o.Trials = 1
+	replay := RunTrial(0, first.Seed, o)
+	if replay.Desc != first.Desc || replay.ExecTime != first.ExecTime {
 		t.Fatalf("replay diverged: %q exec=%d vs %q exec=%d",
-			first.desc, first.execTime, replay.desc, replay.execTime)
+			first.Desc, first.ExecTime, replay.Desc, replay.ExecTime)
 	}
 }
 
@@ -107,13 +107,13 @@ func TestFaultCampaignRegressions(t *testing.T) {
 		8478203652574459302, -4260178708525722724, 6942937328743600961,
 		-2631691874271825767,
 	}
-	o := options{trials: 1, seed: 0, procs: []int{4, 6, 8}, refs: 300,
-		blocks: 24, faults: "campaign", check: true}
+	o := Options{Trials: 1, Seed: 0, Procs: []int{4, 6, 8}, Refs: 300,
+		Blocks: 24, Faults: "campaign", Check: true}
 	for _, seed := range seeds {
-		tr := runTrial(0, seed, o)
-		if tr.failed() {
+		tr := RunTrial(0, seed, o)
+		if tr.Failed() {
 			t.Errorf("seed %d (%s): err=%v violations=%v coherence=%v",
-				seed, tr.desc, tr.err, tr.caught, tr.cohErr)
+				seed, tr.Desc, tr.Err, tr.Caught, tr.CohErr)
 		}
 	}
 }
@@ -124,23 +124,23 @@ func TestFaultCampaignRegressions(t *testing.T) {
 // it forces the serial engine).
 func TestShardedDifferential(t *testing.T) {
 	base := smallOpts()
-	base.check = false
-	base.shards = 1
-	want, caught := runTrials(base)
+	base.Check = false
+	base.Shards = 1
+	want, caught := RunTrials(base)
 	if caught {
 		t.Fatal("clean protocol produced findings at -shards 1")
 	}
 	for _, shards := range []int{2, 4} {
 		o := base
-		o.shards = shards
-		got, caught := runTrials(o)
+		o.Shards = shards
+		got, caught := RunTrials(o)
 		if caught {
 			t.Fatalf("clean protocol produced findings at -shards %d", shards)
 		}
 		for i := range want {
-			if got[i].desc != want[i].desc || got[i].execTime != want[i].execTime {
+			if got[i].Desc != want[i].Desc || got[i].ExecTime != want[i].ExecTime {
 				t.Errorf("trial %d diverged at -shards %d: %q exec=%d vs %q exec=%d",
-					i, shards, want[i].desc, want[i].execTime, got[i].desc, got[i].execTime)
+					i, shards, want[i].Desc, want[i].ExecTime, got[i].Desc, got[i].ExecTime)
 			}
 		}
 	}
@@ -151,17 +151,17 @@ func TestShardedDifferential(t *testing.T) {
 // diagnostic dump.
 func TestWedgeTripsWatchdog(t *testing.T) {
 	o := smallOpts()
-	o.trials = 3
-	o.wedge = true
-	trials, _ := runTrials(o)
+	o.Trials = 3
+	o.Wedge = true
+	trials, _ := RunTrials(o)
 	for _, tr := range trials {
-		if !tr.stuck() {
-			t.Fatalf("trial %d not stuck: err=%v", tr.id, tr.err)
+		if !tr.Stuck() {
+			t.Fatalf("trial %d not stuck: err=%v", tr.ID, tr.Err)
 		}
 		var se *machine.StuckError
-		errors.As(tr.err, &se)
+		errors.As(tr.Err, &se)
 		if !strings.Contains(se.Dump, "refs remaining") || !strings.Contains(se.Dump, "msg ") {
-			t.Fatalf("trial %d dump lacks proc/envelope detail:\n%s", tr.id, se.Dump)
+			t.Fatalf("trial %d dump lacks proc/envelope detail:\n%s", tr.ID, se.Dump)
 		}
 	}
 }
